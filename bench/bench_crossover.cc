@@ -1,0 +1,100 @@
+// Reproduces the paper's Section 4.4 discussion: the crossover between the
+// native lock-based scheduler and the declarative set-at-a-time scheduler.
+//
+// Native overhead (simulated): 240 s window minus the single-user replay
+// time of the statements it managed to execute.
+// Declarative overhead (measured + extrapolated, the paper's method):
+// (statements / qualified-per-run) * measured cycle time.
+//
+// Paper result: at 300 clients the native scheduler wins (46 s vs 1314 s);
+// at 500 clients the declarative scheduler wins (106 s vs 225 s).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scheduler/declarative_scheduler.h"
+#include "server/native_scheduler_sim.h"
+#include "server/single_user_replayer.h"
+
+namespace {
+
+using namespace declsched;             // NOLINT
+using namespace declsched::bench;      // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+using declsched::server::NativeSimConfig;
+using declsched::server::ReplaySingleUser;
+using declsched::server::RunNativeSimulation;
+
+struct Row {
+  int clients;
+  int64_t statements;
+  double native_overhead_s;
+  double declarative_overhead_s;
+};
+
+Row RunPoint(int clients) {
+  Row row{clients, 0, 0, 0};
+
+  // Native side (simulated, Figure 2 method).
+  NativeSimConfig native;
+  native.num_clients = clients;
+  native.seed = 42;
+  auto result = Unwrap(RunNativeSimulation(native), "native sim");
+  row.statements = result.committed_statements;
+  const double su =
+      ReplaySingleUser(result.committed_statements, native.cost).elapsed.ToSecondsF();
+  row.native_overhead_s = 240.0 - su;
+
+  // Declarative side (real measured cycle, paper's extrapolation).
+  DeclarativeScheduler::Options options;
+  options.deadlock_detection = false;
+  options.history_gc = false;
+  DeclarativeScheduler sched(options, nullptr);
+  Check(sched.Init(), "init");
+  FillSteadyState(sched.store(), clients, /*ops_in_history=*/20, /*seed=*/7);
+  Rng rng(11);
+  for (int c = 0; c < clients; ++c) {
+    Request r;
+    r.ta = clients + c + 1;
+    r.intrata = 1;
+    r.op = rng.Bernoulli(0.5) ? txn::OpType::kRead : txn::OpType::kWrite;
+    r.object = rng.UniformInt(0, 99999);
+    sched.Submit(r, SimTime());
+  }
+  CycleStats stats = Unwrap(sched.RunCycle(SimTime()), "cycle");
+  const double qualified = stats.qualified > 0 ? stats.qualified : 1;
+  const double runs = static_cast<double>(row.statements) / qualified;
+  row.declarative_overhead_s = runs * stats.total_us / 1e6;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Native vs declarative scheduling overhead (paper Section 4.4) ==\n\n");
+  std::printf("%8s %12s %16s %20s %10s\n", "clients", "stmts", "native ovh (s)",
+              "declarative ovh (s)", "winner");
+
+  int crossover = -1;
+  for (int clients : {100, 200, 300, 350, 400, 450, 500, 550, 600}) {
+    const Row row = RunPoint(clients);
+    const bool declarative_wins =
+        row.declarative_overhead_s < row.native_overhead_s;
+    if (declarative_wins && crossover < 0) crossover = clients;
+    std::printf("%8d %12lld %16.1f %20.1f %10s\n", row.clients,
+                static_cast<long long>(row.statements), row.native_overhead_s,
+                row.declarative_overhead_s,
+                declarative_wins ? "declarative" : "native");
+  }
+
+  std::printf("\npaper:    native wins at 300 (46 s vs 1314 s); declarative wins "
+              "at 500 (225 s vs 106 s)\n");
+  if (crossover > 0) {
+    std::printf("measured: crossover between %d and %d clients\n",
+                crossover > 100 ? crossover - 50 : crossover, crossover);
+  } else {
+    std::printf("measured: no crossover in the swept range\n");
+  }
+  return 0;
+}

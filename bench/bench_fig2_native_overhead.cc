@@ -1,0 +1,96 @@
+// Reproduces paper Figure 2 ("Comparison of execution times of single-user
+// and multi-user mode") and the Section 4.2.2 calibration numbers.
+//
+// Method (paper Section 4.2.1): for each client count, run the multi-user
+// native-scheduler simulation for a 240 s window under serializable
+// isolation, count committed statements, then replay the same statement
+// sequence single-user. The reported curve is MU elapsed / SU elapsed in
+// percent (SU == 100%).
+
+#include <cstdio>
+
+#include "server/native_scheduler_sim.h"
+#include "server/single_user_replayer.h"
+
+namespace {
+
+using declsched::SimTime;
+using declsched::server::CostModel;
+using declsched::server::NativeSimConfig;
+using declsched::server::NativeSimResult;
+using declsched::server::ReplaySingleUser;
+using declsched::server::RunNativeSimulation;
+
+struct Point {
+  int clients;
+  int64_t mu_statements;
+  double su_seconds;
+  double ratio_percent;
+  int64_t deadlocks;
+  int64_t timeouts;
+  int64_t wasted;
+};
+
+Point RunPoint(int clients, uint64_t seed) {
+  NativeSimConfig config;
+  config.num_clients = clients;
+  config.seed = seed;
+  auto result = RunNativeSimulation(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto su = ReplaySingleUser(result->committed_statements, config.cost);
+  Point p;
+  p.clients = clients;
+  p.mu_statements = result->committed_statements;
+  p.su_seconds = su.elapsed.ToSecondsF();
+  p.ratio_percent = p.su_seconds > 0
+                        ? result->elapsed.ToSecondsF() / p.su_seconds * 100.0
+                        : 0.0;
+  p.deadlocks = result->deadlock_aborts;
+  p.timeouts = result->timeout_aborts;
+  p.wasted = result->wasted_statements;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Figure 2: execution time multi-user / single-user (SU = 100%%) ==\n"
+      "workload: 20 SELECT + 20 UPDATE per txn, 100000 rows, uniform;\n"
+      "240 s simulated window per point; isolation serializable (SS2PL).\n\n");
+  std::printf("%8s %14s %10s %12s %9s %9s %10s\n", "clients", "MU stmts",
+              "SU (s)", "MU/SU (%)", "deadlocks", "timeouts", "wasted");
+
+  for (int clients : {1, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500,
+                      550, 600}) {
+    const Point p = RunPoint(clients, /*seed=*/42);
+    std::printf("%8d %14lld %10.1f %12.1f %9lld %9lld %10lld\n", p.clients,
+                static_cast<long long>(p.mu_statements), p.su_seconds,
+                p.ratio_percent, static_cast<long long>(p.deadlocks),
+                static_cast<long long>(p.timeouts),
+                static_cast<long long>(p.wasted));
+  }
+
+  std::printf(
+      "\n== Section 4.2.2 calibration points (paper vs. this reproduction) ==\n");
+  std::printf("%-34s %14s %14s\n", "", "paper", "measured");
+  const Point p300 = RunPoint(300, 42);
+  const Point p500 = RunPoint(500, 42);
+  std::printf("%-34s %14s %14lld\n", "statements in 240s @300 clients", "550055",
+              static_cast<long long>(p300.mu_statements));
+  std::printf("%-34s %14s %14.0f\n", "single-user replay @300 (s)", "194",
+              p300.su_seconds);
+  std::printf("%-34s %14s %14.0f\n", "native overhead @300 (s)", "46",
+              240.0 - p300.su_seconds);
+  std::printf("%-34s %14s %14lld\n", "statements in 240s @500 clients", "48267",
+              static_cast<long long>(p500.mu_statements));
+  std::printf("%-34s %14s %14.0f\n", "single-user replay @500 (s)", "15",
+              p500.su_seconds);
+  std::printf("%-34s %14s %14.0f\n", "native overhead @500 (s)", "225",
+              240.0 - p500.su_seconds);
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Protocol comparison under contention: consistency strength vs throughput
+// (the paper's Section 2/5 motivation for relaxed, application-specific
+// consistency — "relaxed consistency is necessary for highly scalable
+// systems").
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scheduler/middleware_sim.h"
+#include "scheduler/protocol_library.h"
+#include "txn/serializability.h"
+
+namespace {
+
+using namespace declsched;             // NOLINT
+using namespace declsched::bench;      // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+void RunWith(const char* label, ProtocolSpec spec, int64_t objects) {
+  MiddlewareSimConfig config;
+  config.num_clients = 30;
+  config.duration = SimTime::FromSeconds(900);
+  config.workload.num_objects = objects;
+  config.workload.reads_per_txn = 4;
+  config.workload.writes_per_txn = 4;
+  config.server.num_rows = objects;
+  config.seed = 21;
+  config.record_history = true;
+  config.max_committed_txns = 300;
+  config.scheduler.protocol = std::move(spec);
+  auto result = Unwrap(RunMiddlewareSimulation(config), label);
+  auto serializable = txn::CheckConflictSerializable(result.history);
+  std::printf("%-24s %8lld %10.1f %9lld %14s\n", label,
+              static_cast<long long>(objects),
+              result.throughput_txns_per_sec(),
+              static_cast<long long>(result.aborted_txns),
+              serializable.serializable ? "serializable" : "NOT serializable");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Consistency protocols under contention ==\n"
+              "30 clients, 8-op txns, until 300 commits; oracle checks the\n"
+              "produced history\n\n");
+  std::printf("%-24s %8s %10s %9s %14s\n", "protocol", "objects", "txn/s",
+              "aborts", "history");
+  for (int64_t objects : {100, 1000}) {
+    RunWith("ss2pl-sql", Ss2plSql(), objects);
+    RunWith("ss2pl-datalog", Ss2plDatalog(), objects);
+    RunWith("read-committed-sql", ReadCommittedSql(), objects);
+    RunWith("fcfs-sql", FcfsSql(), objects);
+    std::printf("\n");
+  }
+  std::printf("Reading: relaxing consistency buys throughput under contention\n"
+              "exactly as the paper's CAP discussion predicts; the declarative\n"
+              "formulation makes the trade a one-line protocol swap.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation: query-processing techniques inside the SQL engine, measured on
+// the Listing 1 shape (the paper's Section 1 claims declarative scheduling
+// inherits query-optimization wins "without affecting the scheduler
+// specification" — this quantifies them).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "scheduler/protocol_library.h"
+#include "scheduler/request_store.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace {
+
+using namespace declsched;           // NOLINT
+using namespace declsched::bench;    // NOLINT
+using declsched::scheduler::RequestStore;
+using declsched::scheduler::Ss2plSql;
+
+void RunListing1(benchmark::State& state, bool decorrelate, bool hash_join) {
+  const int clients = static_cast<int>(state.range(0));
+  RequestStore store;
+  FillSteadyState(&store, clients, /*ops_in_history=*/20, /*seed=*/1);
+
+  auto stmt = Unwrap(sql::ParseSelect(Ss2plSql().text), "parse");
+  sql::PlannerOptions options;
+  options.enable_exists_decorrelation = decorrelate;
+  options.enable_hash_join = hash_join;
+  auto plan = Unwrap(
+      sql::PlanSelectStatement(*store.catalog(), *stmt, options), "plan");
+
+  for (auto _ : state) {
+    auto rel = sql::ExecutePlan(plan);
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(rel);
+  }
+}
+
+void BM_Listing1_Optimized(benchmark::State& state) {
+  RunListing1(state, /*decorrelate=*/true, /*hash_join=*/true);
+}
+void BM_Listing1_NoDecorrelation(benchmark::State& state) {
+  RunListing1(state, /*decorrelate=*/false, /*hash_join=*/true);
+}
+void BM_Listing1_NoHashJoin(benchmark::State& state) {
+  RunListing1(state, /*decorrelate=*/true, /*hash_join=*/false);
+}
+void BM_Listing1_Naive(benchmark::State& state) {
+  RunListing1(state, /*decorrelate=*/false, /*hash_join=*/false);
+}
+
+// Operator micro-benchmarks on the request relations.
+void BM_PreparedVsReparse(benchmark::State& state) {
+  RequestStore store;
+  FillSteadyState(&store, 100, 20, 1);
+  const bool reparse = state.range(0) == 1;
+  auto prepared = Unwrap(
+      store.sql_engine()->PrepareQuery("SELECT COUNT(*) FROM history"), "prep");
+  for (auto _ : state) {
+    if (reparse) {
+      auto result = store.sql_engine()->Query("SELECT COUNT(*) FROM history");
+      benchmark::DoNotOptimize(result);
+    } else {
+      auto result = prepared.Run();
+      benchmark::DoNotOptimize(result);
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Listing1_Optimized)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Listing1_NoDecorrelation)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Listing1_NoHashJoin)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Listing1_Naive)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PreparedVsReparse)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

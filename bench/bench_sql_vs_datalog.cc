@@ -1,0 +1,60 @@
+// Ablation: SQL vs Datalog as the scheduler language (paper Section 5 asks
+// for "a suitable declarative scheduler language which is more succinct
+// than SQL"). Micro-benchmark of one SS2PL protocol evaluation at varying
+// active-transaction counts, via google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "scheduler/protocol.h"
+#include "scheduler/protocol_library.h"
+
+namespace {
+
+using namespace declsched;             // NOLINT
+using namespace declsched::bench;      // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+void RunProtocol(benchmark::State& state, const ProtocolSpec& spec) {
+  const int clients = static_cast<int>(state.range(0));
+  RequestStore store;
+  FillSteadyState(&store, clients, /*ops_in_history=*/20, /*seed=*/1);
+  CompiledProtocol protocol =
+      Unwrap(CompiledProtocol::Compile(spec, &store), "compile");
+  int64_t qualified = 0;
+  for (auto _ : state) {
+    auto batch = protocol.Schedule();
+    if (!batch.ok()) {
+      state.SkipWithError(batch.status().ToString().c_str());
+      return;
+    }
+    qualified = static_cast<int64_t>(batch->size());
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["qualified"] = static_cast<double>(qualified);
+  state.counters["history_rows"] = static_cast<double>(store.history_count());
+}
+
+void BM_Ss2plSql(benchmark::State& state) { RunProtocol(state, Ss2plSql()); }
+void BM_Ss2plDatalog(benchmark::State& state) {
+  RunProtocol(state, Ss2plDatalog());
+}
+void BM_ReadCommittedSql(benchmark::State& state) {
+  RunProtocol(state, ReadCommittedSql());
+}
+void BM_ReadCommittedDatalog(benchmark::State& state) {
+  RunProtocol(state, ReadCommittedDatalog());
+}
+
+}  // namespace
+
+BENCHMARK(BM_Ss2plSql)->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ss2plDatalog)->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadCommittedSql)->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReadCommittedDatalog)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Reproduces paper Table 1 ("Related Approaches") and demonstrates, with
+// running mini-scenarios, that this system covers every column the related
+// work only partially covers: Performance (P), Quality of Service (QoS),
+// Declarativity (D), Flexibility (F), High Scalability (HS).
+//
+// The declarativity row also reports the code-size comparison the paper's
+// Section 3.4 proposes (declarative protocol text vs. the imperative
+// lock-manager implementation).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scheduler/middleware_sim.h"
+#include "scheduler/protocol_library.h"
+
+namespace {
+
+using namespace declsched;             // NOLINT
+using namespace declsched::bench;      // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+MiddlewareSimConfig BaseConfig(uint64_t seed) {
+  MiddlewareSimConfig config;
+  config.num_clients = 24;
+  config.duration = SimTime::FromSeconds(600);
+  config.workload.num_objects = 2000;
+  config.workload.reads_per_txn = 4;
+  config.workload.writes_per_txn = 4;
+  config.server.num_rows = 2000;
+  config.seed = seed;
+  config.max_committed_txns = 400;
+  return config;
+}
+
+void PrintTable1() {
+  std::printf("== Paper Table 1 (qualitative), plus this system ==\n");
+  std::printf("%-14s %3s %4s %3s %3s %3s\n", "Approach", "P", "QoS", "D", "F", "HS");
+  const char* rows[][6] = {
+      {"EQMS", "+", "+", "-", "-", "-"},   {"Ganymed", "+", "-", "-", "-", "+"},
+      {"WLMS", "+", "+", "-", "-", "-"},   {"C-JDBC", "+", "-", "-", "-", "+"},
+      {"GP", "+", "-", "-", "-", "-"},     {"WebQoS", "+", "+", "-", "+", "-"},
+      {"QShuffler", "+", "-", "-", "-", "-"},
+      {"declsched", "+", "+", "+", "+", "+"},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-14s %3s %4s %3s %3s %3s\n", row[0], row[1], row[2], row[3],
+                row[4], row[5]);
+  }
+  std::printf("\nEvidence for each declsched column follows.\n\n");
+}
+
+void DemoPerformance() {
+  MiddlewareSimConfig config = BaseConfig(1);
+  auto result = Unwrap(RunMiddlewareSimulation(config), "P scenario");
+  std::printf("[P]  throughput: %lld txns committed in %.2f s simulated "
+              "(%.0f txn/s), %lld scheduler cycles, mean cycle %.0f us real\n",
+              static_cast<long long>(result.committed_txns),
+              result.elapsed.ToSecondsF(), result.throughput_txns_per_sec(),
+              static_cast<long long>(result.cycles),
+              result.totals.cycle_us.Mean());
+}
+
+void DemoQos() {
+  MiddlewareSimConfig config = BaseConfig(2);
+  config.workload.num_sla_classes = 2;
+  config.scheduler.protocol = SlaPrioritySql();
+  config.scheduler.max_dispatch_per_cycle = 6;
+  auto result = Unwrap(RunMiddlewareSimulation(config), "QoS scenario");
+  std::printf("[QoS] SLA tiers under load: premium mean latency %.1f ms, "
+              "free mean latency %.1f ms (premium prioritized declaratively)\n",
+              result.latency_by_class[0].Mean() / 1000.0,
+              result.latency_by_class[1].Mean() / 1000.0);
+}
+
+void DemoDeclarativity() {
+  const int sql_loc = Ss2plSql().CodeSize();
+  const int datalog_loc = Ss2plDatalog().CodeSize();
+  // The imperative comparison point: the native lock manager implementation.
+  std::printf("[D]  SS2PL as declarative text: %d lines of SQL (Listing 1) or "
+              "%d Datalog rules, vs ~310 lines of imperative C++ lock manager "
+              "(src/txn/lock_manager.{h,cc})\n",
+              sql_loc, datalog_loc);
+}
+
+void DemoFlexibility() {
+  MiddlewareSimConfig config = BaseConfig(3);
+  AdaptiveConsistencyController::Options adaptive;
+  adaptive.relax_above = 20;
+  adaptive.tighten_below = 4;
+  config.adaptive = adaptive;
+  config.workload.num_objects = 60;  // contention spikes pending load
+  config.server.num_rows = 60;
+  auto result = Unwrap(RunMiddlewareSimulation(config), "F scenario");
+  std::printf("[F]  runtime protocol switches under load: %lld "
+              "(SS2PL <-> read-committed, no recompilation, no downtime)\n",
+              static_cast<long long>(result.protocol_switches));
+}
+
+void DemoHighScalability() {
+  std::printf("[HS] client scaling with one server connection (the middleware "
+              "decouples client count from server MPL):\n");
+  for (int clients : {50, 200, 800}) {
+    MiddlewareSimConfig config = BaseConfig(4);
+    config.num_clients = clients;
+    config.max_committed_txns = 300;
+    config.workload.num_objects = 100000;
+    config.server.num_rows = 100000;
+    auto result = Unwrap(RunMiddlewareSimulation(config), "HS scenario");
+    std::printf("      %4d clients -> %lld commits, %.0f txn/s, avg %.1f "
+                "qualified/run\n",
+                clients, static_cast<long long>(result.committed_txns),
+                result.throughput_txns_per_sec(),
+                result.totals.qualified_per_cycle.Mean());
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintTable1();
+  DemoPerformance();
+  DemoQos();
+  DemoDeclarativity();
+  DemoFlexibility();
+  DemoHighScalability();
+  return 0;
+}

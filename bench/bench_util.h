@@ -1,0 +1,78 @@
+// Shared helpers for the experiment benches.
+
+#ifndef DECLSCHED_BENCH_BENCH_UTIL_H_
+#define DECLSCHED_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "scheduler/request_store.h"
+
+namespace declsched::bench {
+
+inline int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).MoveValue();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Populates a RequestStore with the paper's Section 4.3.2 steady state for
+/// N concurrently active clients: every client has one pending request, and
+/// the history holds the prior operations of all N active (uncommitted)
+/// transactions — `ops_in_history` each, reads and writes alternating over a
+/// 100 000-object space.
+inline void FillSteadyState(scheduler::RequestStore* store, int clients,
+                            int ops_in_history, uint64_t seed,
+                            int64_t num_objects = 100000) {
+  Rng rng(seed);
+  // High id range: ids assigned later by a DeclarativeScheduler (which
+  // numbers from 1) must not collide with the pre-seeded rows.
+  int64_t id = 10000000;
+  scheduler::RequestBatch history;
+  scheduler::RequestBatch pending;
+  for (int c = 0; c < clients; ++c) {
+    const txn::TxnId ta = c + 1;
+    for (int k = 0; k < ops_in_history; ++k) {
+      scheduler::Request r;
+      r.id = ++id;
+      r.ta = ta;
+      r.intrata = k + 1;
+      r.op = k % 2 == 0 ? txn::OpType::kRead : txn::OpType::kWrite;
+      r.object = rng.UniformInt(0, num_objects - 1);
+      history.push_back(r);
+    }
+    scheduler::Request p;
+    p.id = ++id;
+    p.ta = ta;
+    p.intrata = ops_in_history + 1;
+    p.op = rng.Bernoulli(0.5) ? txn::OpType::kRead : txn::OpType::kWrite;
+    p.object = rng.UniformInt(0, num_objects - 1);
+    pending.push_back(p);
+  }
+  Check(store->InsertPending(history), "insert history");
+  Check(store->MarkScheduled(history), "move history");
+  Check(store->InsertPending(pending), "insert pending");
+}
+
+}  // namespace declsched::bench
+
+#endif  // DECLSCHED_BENCH_BENCH_UTIL_H_

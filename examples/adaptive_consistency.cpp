@@ -1,0 +1,76 @@
+// Adaptive consistency (the paper's Section 5 future work, implemented):
+// "an adaptive consistency scheduler which varies the applied consistency
+// protocols based on metadata and business application requirements".
+//
+// A flash-sale scenario: load on a small hot set spikes, pending work piles
+// up, and the controller downgrades SS2PL to read-committed until the spike
+// drains — then restores full serializability. Possible precisely because
+// the protocol is data, not compiled code.
+//
+//   ./build/examples/adaptive_consistency
+
+#include <cstdio>
+
+#include "scheduler/middleware_sim.h"
+#include "scheduler/protocol_library.h"
+#include "txn/serializability.h"
+
+using namespace declsched;             // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+int main() {
+  std::printf("=== Adaptive consistency under a load spike ===\n\n");
+
+  MiddlewareSimConfig config;
+  config.num_clients = 40;
+  config.duration = SimTime::FromSeconds(120);
+  config.workload.num_objects = 50;  // flash-sale hot set
+  config.workload.reads_per_txn = 3;
+  config.workload.writes_per_txn = 3;
+  config.server.num_rows = 50;
+  config.seed = 23;
+  config.record_history = true;
+  config.max_committed_txns = 400;
+
+  // Strict first.
+  auto strict = RunMiddlewareSimulation(config);
+  if (!strict.ok()) {
+    std::printf("failed: %s\n", strict.status().ToString().c_str());
+    return 1;
+  }
+
+  // Same load with the adaptive controller.
+  AdaptiveConsistencyController::Options adaptive;
+  adaptive.strict = Ss2plSql();
+  adaptive.relaxed = ReadCommittedSql();
+  adaptive.relax_above = 30;
+  adaptive.tighten_below = 8;
+  config.adaptive = adaptive;
+  auto adapted = RunMiddlewareSimulation(config);
+  if (!adapted.ok()) {
+    std::printf("failed: %s\n", adapted.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-28s %14s %14s\n", "", "strict SS2PL", "adaptive");
+  std::printf("%-28s %14.1f %14.1f\n", "throughput (txn/s)",
+              strict->throughput_txns_per_sec(),
+              adapted->throughput_txns_per_sec());
+  std::printf("%-28s %14lld %14lld\n", "deadlock aborts",
+              static_cast<long long>(strict->aborted_txns),
+              static_cast<long long>(adapted->aborted_txns));
+  std::printf("%-28s %14d %14lld\n", "protocol switches", 0,
+              static_cast<long long>(adapted->protocol_switches));
+
+  auto strict_check = txn::CheckConflictSerializable(strict->history);
+  auto adapted_check = txn::CheckConflictSerializable(adapted->history);
+  std::printf("%-28s %14s %14s\n", "history serializable",
+              strict_check.serializable ? "yes" : "no",
+              adapted_check.serializable ? "yes" : "no");
+  std::printf(
+      "\nThe adaptive run trades serializability during the spike for\n"
+      "throughput and fewer aborts - the CAP-style trade the paper's\n"
+      "Section 2 argues highly scalable systems must be able to make,\n"
+      "here as a declarative runtime decision.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: requests are data, scheduling is a query.
+//
+// Builds the middleware of the paper's Figure 1 by hand: submit a few
+// conflicting requests, run scheduler cycles, and watch the SS2PL protocol
+// (the paper's Listing 1, executed verbatim by the bundled SQL engine)
+// decide declaratively who runs and who waits.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "scheduler/declarative_scheduler.h"
+#include "scheduler/protocol_library.h"
+#include "server/database_server.h"
+
+using namespace declsched;             // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+namespace {
+
+Request Op(txn::TxnId ta, int64_t intrata, txn::OpType op, int64_t object) {
+  Request r;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  return r;
+}
+
+void ShowCycle(DeclarativeScheduler& sched, const char* label) {
+  auto stats = sched.RunCycle(SimTime());
+  if (!stats.ok()) {
+    std::printf("cycle failed: %s\n", stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("%s\n  qualified=%lld dispatched=%lld pending_left=%lld "
+              "(query took %lld us)\n",
+              label, static_cast<long long>(stats->qualified),
+              static_cast<long long>(stats->dispatched),
+              static_cast<long long>(sched.store()->pending_count()),
+              static_cast<long long>(stats->query_us));
+  for (const Request& r : sched.last_dispatched()) {
+    std::printf("    dispatched %s\n", r.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== declsched quickstart ===\n\n");
+  std::printf("The active protocol is '%s' - %d lines of SQL, no scheduler "
+              "code:\n%s\n",
+              Ss2plSql().name.c_str(), Ss2plSql().CodeSize(),
+              "  (see scheduler/protocol_library.cc for the full Listing 1 text)");
+
+  server::DatabaseServer::Config server_config;
+  server_config.num_rows = 1000;
+  server::DatabaseServer server(server_config);
+
+  DeclarativeScheduler::Options options;  // defaults: ss2pl-sql, eager trigger
+  DeclarativeScheduler sched(options, &server);
+  if (auto status = sched.Init(); !status.ok()) {
+    std::printf("init failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Transaction 1 writes row 7; transaction 2 wants to read the same row.
+  sched.Submit(Op(1, 1, txn::OpType::kWrite, 7), SimTime());
+  sched.Submit(Op(2, 1, txn::OpType::kRead, 7), SimTime());
+  sched.Submit(Op(3, 1, txn::OpType::kRead, 99), SimTime());
+  std::printf("\nSubmitted: w1[7], r2[7], r3[99]\n\n");
+
+  ShowCycle(sched, "Cycle 1: T1's write and T3's read qualify; T2 must wait "
+                   "(write lock on row 7):");
+
+  // T1 commits - as a request like any other (Table 2's operation 'c').
+  sched.Submit(Op(1, 2, txn::OpType::kCommit, Request::kNoObject), SimTime());
+  ShowCycle(sched, "\nCycle 2: T1's commit qualifies (releases its locks):");
+  ShowCycle(sched, "\nCycle 3: now T2's blocked read qualifies:");
+
+  std::printf("\nThe request/history relations are plain tables - inspect them "
+              "with SQL:\n\n");
+  auto result = sched.store()->sql_engine()->Query(
+      "SELECT ta, COUNT(*) AS ops FROM history GROUP BY ta ORDER BY ta");
+  if (result.ok()) std::printf("%s\n", result->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Application-specific consistency for a reservation system (the paper's
+// Section 2: "for most parts of modern highly scalable web applications,
+// e.g., hotel or flight reservation systems, ... relaxed consistency is
+// sufficient").
+//
+// A hotel booking service where:
+//   * availability *reads* may be slightly stale (never block), but
+//   * *bookings* (writes) must serialize per room.
+// That consistency contract is exactly the read-committed protocol — but
+// here we write it from scratch as a ~6-rule Datalog program, register it,
+// and run the service, demonstrating how a new application-specific protocol
+// ships as text.
+//
+//   ./build/examples/reservation_system
+
+#include <cstdio>
+
+#include "scheduler/middleware_sim.h"
+#include "scheduler/protocol_library.h"
+
+using namespace declsched;             // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+namespace {
+
+// The booking contract, written for this application. Rooms are objects;
+// "w" requests are bookings, "r" requests are availability checks.
+constexpr const char* kBookingProtocol = R"(
+% A room is being booked by Ta if Ta wrote it and has not finished.
+finished(Ta) :- hist(_, Ta, _, "c", _).
+finished(Ta) :- hist(_, Ta, _, "a", _).
+booking(Room, Ta) :- hist(_, Ta, _, "w", Room), !finished(Ta).
+
+% A booking request must wait while another transaction books the room,
+% or while an older pending booking exists for it.
+blocked(Ta, In) :- req(_, Ta, In, "w", Room), booking(Room, T2), Ta != T2.
+blocked(T2, In2) :- req(_, T2, In2, "w", Room), req(_, T1, _, "w", Room), T2 > T1.
+
+% Availability checks never block.
+qualified(Id, Ta, In, Op, Room) :- req(Id, Ta, In, Op, Room), !blocked(Ta, In).
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("=== Hotel reservations with an application-specific protocol ===\n\n");
+  std::printf("The booking contract as Datalog (%d rules):\n%s\n",
+              7, kBookingProtocol);
+
+  ProtocolSpec booking;
+  booking.name = "hotel-booking";
+  booking.description = "stale reads allowed; bookings serialize per room";
+  booking.language = ProtocolSpec::Language::kDatalog;
+  booking.text = kBookingProtocol;
+
+  ProtocolRegistry registry = ProtocolRegistry::BuiltIns();
+  if (auto status = registry.Register(booking); !status.ok()) {
+    std::printf("register failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Registered protocols:");
+  for (const std::string& name : registry.Names()) std::printf(" %s", name.c_str());
+  std::printf("\n\n");
+
+  // 200 rooms, 25 concurrent booking agents, 2 availability checks + 2
+  // bookings per transaction.
+  auto run = [&](const char* label, ProtocolSpec spec) {
+    MiddlewareSimConfig config;
+    config.num_clients = 25;
+    config.duration = SimTime::FromSeconds(300);
+    config.workload.num_objects = 200;
+    config.workload.reads_per_txn = 2;
+    config.workload.writes_per_txn = 2;
+    config.server.num_rows = 200;
+    config.seed = 29;
+    config.max_committed_txns = 500;
+    config.scheduler.protocol = std::move(spec);
+    auto result = RunMiddlewareSimulation(config);
+    if (!result.ok()) {
+      std::printf("failed: %s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("%-22s %8.1f txn/s, %5lld deadlock aborts, mean booking "
+                "latency %6.1f ms\n",
+                label, result->throughput_txns_per_sec(),
+                static_cast<long long>(result->aborted_txns),
+                result->latency_by_class[0].Mean() / 1000.0);
+  };
+
+  run("full SS2PL:", Ss2plSql());
+  run("hotel-booking:", booking);
+  std::printf(
+      "\nThe custom contract keeps bookings conflict-free while availability\n"
+      "reads fly past write locks - higher throughput, and the protocol is\n"
+      "seven lines of Datalog the application team owns.\n");
+  return 0;
+}

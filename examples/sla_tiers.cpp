@@ -1,0 +1,64 @@
+// SLA tiers: premium vs. free customers (the paper's Section 1 motivation:
+// "service-level agreements, e.g. for premium vs. free customers in Web
+// applications").
+//
+// Thirty web-shop clients — one third premium — run checkout transactions
+// through the middleware. The `sla-priority-sql` protocol is the SS2PL query
+// plus a single ORDER BY: under server saturation, premium requests jump the
+// dispatch queue and see a fraction of the free tier's latency.
+//
+//   ./build/examples/sla_tiers
+
+#include <cstdio>
+
+#include "scheduler/middleware_sim.h"
+#include "scheduler/protocol_library.h"
+
+using namespace declsched;             // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+namespace {
+
+void RunAndReport(const char* label, ProtocolSpec spec) {
+  MiddlewareSimConfig config;
+  config.num_clients = 30;
+  config.duration = SimTime::FromSeconds(300);
+  config.workload.num_objects = 5000;
+  config.workload.reads_per_txn = 4;
+  config.workload.writes_per_txn = 4;
+  config.workload.num_sla_classes = 2;  // 0 = premium, 1 = free
+  config.server.num_rows = 5000;
+  config.seed = 11;
+  config.max_committed_txns = 400;
+  config.scheduler.protocol = std::move(spec);
+  config.scheduler.max_dispatch_per_cycle = 6;  // saturated server
+
+  auto result = RunMiddlewareSimulation(config);
+  if (!result.ok()) {
+    std::printf("simulation failed: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  const Histogram& premium = result->latency_by_class[0];
+  const Histogram& free_tier = result->latency_by_class[1];
+  std::printf("%-18s premium: mean %6.1f ms  p95 %6.1f ms (%lld txns)\n", label,
+              premium.Mean() / 1000.0, premium.Percentile(95) / 1000.0,
+              static_cast<long long>(premium.count()));
+  std::printf("%-18s free:    mean %6.1f ms  p95 %6.1f ms (%lld txns)\n", "",
+              free_tier.Mean() / 1000.0, free_tier.Percentile(95) / 1000.0,
+              static_cast<long long>(free_tier.count()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== SLA tiers: premium vs free checkout latency ===\n\n");
+  std::printf("Protocol text difference: one ORDER BY clause.\n\n");
+  RunAndReport("ss2pl (no SLA):", Ss2plSql());
+  std::printf("\n");
+  RunAndReport("sla-priority:", SlaPrioritySql());
+  std::printf(
+      "\nWith the SLA protocol, premium requests are dispatched first within\n"
+      "every scheduler batch; the free tier absorbs the queueing delay.\n"
+      "Changing or adding tiers is a protocol-text edit - no scheduler code.\n");
+  return 0;
+}

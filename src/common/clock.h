@@ -1,0 +1,74 @@
+// Simulated-time representation.
+//
+// All server-side experiments run on a deterministic simulated clock (see
+// DESIGN.md: the paper's 2.8 GHz single-core testbed is replaced by a
+// discrete-event simulation). SimTime is a strongly typed microsecond count
+// so that real (wall-clock) durations and simulated durations cannot be mixed
+// by accident.
+
+#ifndef DECLSCHED_COMMON_CLOCK_H_
+#define DECLSCHED_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace declsched {
+
+/// A point or span on the simulated timeline, in integer microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() : micros_(0) {}
+
+  static constexpr SimTime FromMicros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime FromMillis(int64_t ms) { return SimTime(ms * 1000); }
+  static constexpr SimTime FromSeconds(int64_t s) { return SimTime(s * 1000000); }
+  /// From fractional seconds; rounds to the nearest microsecond.
+  static constexpr SimTime FromSecondsF(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e6 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double ToMillisF() const { return static_cast<double>(micros_) / 1e3; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.micros_ + b.micros_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.micros_ - b.micros_);
+  }
+  SimTime& operator+=(SimTime other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, int64_t k) {
+    return SimTime(a.micros_ * k);
+  }
+  friend constexpr bool operator==(SimTime a, SimTime b) {
+    return a.micros_ == b.micros_;
+  }
+  friend constexpr bool operator!=(SimTime a, SimTime b) {
+    return a.micros_ != b.micros_;
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) { return a.micros_ < b.micros_; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) {
+    return a.micros_ <= b.micros_;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return a.micros_ > b.micros_; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) {
+    return a.micros_ >= b.micros_;
+  }
+
+ private:
+  explicit constexpr SimTime(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.micros() << "us";
+}
+
+}  // namespace declsched
+
+#endif  // DECLSCHED_COMMON_CLOCK_H_

@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace declsched {
+
+namespace {
+// Bucket boundaries grow ~10% per bucket after an exact region for small
+// values. Exact buckets cover [0, 64); geometric buckets cover the rest.
+constexpr int kExactBuckets = 64;
+constexpr double kGrowth = 1.1;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kExactBuckets) return static_cast<int>(value);
+  int idx = kExactBuckets +
+            static_cast<int>(std::log(static_cast<double>(value) / kExactBuckets) /
+                             std::log(kGrowth));
+  if (idx >= kNumBuckets) idx = kNumBuckets - 1;
+  return idx;
+}
+
+int64_t Histogram::BucketUpper(int index) {
+  if (index < kExactBuckets) return index;
+  double upper = kExactBuckets * std::pow(kGrowth, index - kExactBuckets + 1);
+  return static_cast<int64_t>(upper);
+}
+
+void Histogram::Record(int64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0) return min_;
+  if (p >= 100) return max_;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return std::clamp(BucketUpper(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << Mean() << " p50=" << Percentile(50)
+     << " p95=" << Percentile(95) << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace declsched

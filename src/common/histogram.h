@@ -1,0 +1,51 @@
+// Log-bucketed histogram for latency/throughput metrics.
+
+#ifndef DECLSCHED_COMMON_HISTOGRAM_H_
+#define DECLSCHED_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace declsched {
+
+/// Records non-negative int64 samples (typically microseconds) into
+/// exponentially sized buckets and answers approximate percentile queries.
+/// Relative error is bounded by the bucket growth factor (~10%).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  /// Approximate value at percentile p in [0, 100].
+  int64_t Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 280;
+  /// Index of the bucket whose range contains `value`.
+  static int BucketFor(int64_t value);
+  /// Upper bound (inclusive) of bucket `index`.
+  static int64_t BucketUpper(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace declsched
+
+#endif  // DECLSCHED_COMMON_HISTOGRAM_H_

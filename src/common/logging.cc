@@ -1,0 +1,10 @@
+#include "common/logging.h"
+
+namespace declsched {
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+}  // namespace declsched

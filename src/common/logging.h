@@ -1,0 +1,86 @@
+// Minimal leveled logging and check macros.
+
+#ifndef DECLSCHED_COMMON_LOGGING_H_
+#define DECLSCHED_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace declsched {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Defaults to Info.
+LogLevel& MinLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+  ~LogMessage() {
+    if (level_ >= MinLogLevel()) {
+      stream_ << "\n";
+      std::fputs(stream_.str().c_str(), stderr);
+    }
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+    }
+    return "?";
+  }
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace declsched
+
+#define DS_LOG(level)                                                            \
+  ::declsched::internal::LogMessage(::declsched::LogLevel::k##level, __FILE__, \
+                                    __LINE__)                                    \
+      .stream()
+
+/// Fatal invariant check: always on (benchmarks rely on invariants holding).
+#define DS_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                   #cond);                                                  \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define DS_CHECK_OK(expr)                                                     \
+  do {                                                                        \
+    ::declsched::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                          \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, _st.ToString().c_str());                         \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#endif  // DECLSCHED_COMMON_LOGGING_H_

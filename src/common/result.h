@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef DECLSCHED_COMMON_RESULT_H_
+#define DECLSCHED_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace declsched {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced. Mirrors arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out. Requires ok().
+  T MoveValue() {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace declsched
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value into `lhs` (which may be a declaration).
+#define DS_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  DS_ASSIGN_OR_RETURN_IMPL(DS_CONCAT(_ds_result_, __LINE__), lhs, rexpr)
+
+#define DS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).MoveValue()
+
+#endif  // DECLSCHED_COMMON_RESULT_H_

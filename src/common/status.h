@@ -1,0 +1,146 @@
+// Status and error-code plumbing used across the library.
+//
+// declsched follows the Arrow/RocksDB idiom for database code: fallible
+// operations return a Status (or a Result<T>, see result.h) instead of
+// throwing exceptions, so that error handling is explicit at every call site
+// and hot paths stay allocation-free on success.
+
+#ifndef DECLSCHED_COMMON_STATUS_H_
+#define DECLSCHED_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace declsched {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kParseError = 4,
+  kBindError = 5,
+  kPlanError = 6,
+  kExecutionError = 7,
+  kTypeError = 8,
+  kDeadlock = 9,
+  kAborted = 10,
+  kUnsupported = 11,
+  kInternal = 12,
+};
+
+/// Human-readable name of a StatusCode (e.g. "ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// The OK state carries no allocation; error states heap-allocate their
+/// payload, which keeps `Status` one pointer wide and cheap to move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// Error message; empty string for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsDeadlock() const { return code() == StatusCode::kDeadlock; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace declsched
+
+/// Propagates a non-OK Status to the caller.
+#define DS_RETURN_NOT_OK(expr)                   \
+  do {                                           \
+    ::declsched::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#define DS_CONCAT_IMPL(x, y) x##y
+#define DS_CONCAT(x, y) DS_CONCAT_IMPL(x, y)
+
+#endif  // DECLSCHED_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared by the SQL and Datalog front ends.
+
+#ifndef DECLSCHED_COMMON_STRING_UTIL_H_
+#define DECLSCHED_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace declsched {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace declsched
+
+#endif  // DECLSCHED_COMMON_STRING_UTIL_H_

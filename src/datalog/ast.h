@@ -1,0 +1,73 @@
+// Datalog abstract syntax.
+//
+// Dialect: positive atoms, stratified negation (`!atom` or `not atom`),
+// comparison literals (=, !=, <, <=, >, >=), integer/string/symbol constants,
+// variables start with an upper-case letter, `_` is an anonymous variable.
+
+#ifndef DECLSCHED_DATALOG_AST_H_
+#define DECLSCHED_DATALOG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace declsched::datalog {
+
+struct Term {
+  enum class Kind { kVariable, kConstant, kWildcard };
+  Kind kind = Kind::kWildcard;
+  std::string var;         // kVariable
+  storage::Value value;    // kConstant
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(storage::Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.value = std::move(v);
+    return t;
+  }
+  static Term Wildcard() { return Term{}; }
+
+  std::string ToString() const;
+};
+
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct BodyLiteral {
+  enum class Kind { kAtom, kNegatedAtom, kComparison };
+  Kind kind = Kind::kAtom;
+  Atom atom;            // kAtom / kNegatedAtom
+  CompareOp op = CompareOp::kEq;  // kComparison
+  Term lhs, rhs;        // kComparison
+
+  std::string ToString() const;
+};
+
+struct Rule {
+  Atom head;
+  std::vector<BodyLiteral> body;  // empty body = fact (must be ground)
+
+  bool IsFact() const { return body.empty(); }
+  std::string ToString() const;
+};
+
+struct Program {
+  std::vector<Rule> rules;
+};
+
+}  // namespace declsched::datalog
+
+#endif  // DECLSCHED_DATALOG_AST_H_

@@ -1,0 +1,504 @@
+#include "datalog/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datalog/parser.h"
+
+namespace declsched::datalog {
+
+namespace {
+
+using storage::Row;
+using storage::RowEq;
+using storage::RowHash;
+using storage::Value;
+using storage::ValueEq;
+using storage::ValueHash;
+
+bool CompareValues(CompareOp op, const Value& l, const Value& r) {
+  switch (op) {
+    case CompareOp::kEq:
+      return l.Equals(r);
+    case CompareOp::kNe:
+      return !l.Equals(r);
+    case CompareOp::kLt:
+      return l.Compare(r) < 0;
+    case CompareOp::kLe:
+      return l.Compare(r) <= 0;
+    case CompareOp::kGt:
+      return l.Compare(r) > 0;
+    case CompareOp::kGe:
+      return l.Compare(r) >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Validation + compilation
+// ---------------------------------------------------------------------------
+
+Result<DatalogProgram> DatalogProgram::Create(std::string_view text) {
+  DS_ASSIGN_OR_RETURN(Program program, ParseProgram(text));
+  DatalogProgram out;
+  out.program_ = std::move(program);
+
+  // Arity consistency; head predicates are IDB.
+  std::set<std::string> idb;
+  std::set<std::string> all_preds;
+  auto check_arity = [&](const Atom& atom) -> Status {
+    auto [it, inserted] =
+        out.arity_.emplace(atom.predicate, static_cast<int>(atom.args.size()));
+    if (!inserted && it->second != static_cast<int>(atom.args.size())) {
+      return Status::BindError(StrFormat("predicate %s used with arity %zu and %d",
+                                         atom.predicate.c_str(), atom.args.size(),
+                                         it->second));
+    }
+    all_preds.insert(atom.predicate);
+    return Status::OK();
+  };
+  for (const Rule& rule : out.program_.rules) {
+    DS_RETURN_NOT_OK(check_arity(rule.head));
+    idb.insert(rule.head.predicate);
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kComparison) {
+        DS_RETURN_NOT_OK(check_arity(lit.atom));
+      }
+    }
+  }
+  for (const std::string& p : all_preds) {
+    if (idb.count(p) > 0) {
+      out.idb_preds_.push_back(p);
+    } else {
+      out.edb_preds_.push_back(p);
+    }
+  }
+
+  // Safety: head vars, negated-atom vars and comparison vars must be bound by
+  // positive body atoms; facts must be ground; no wildcards in heads.
+  for (const Rule& rule : out.program_.rules) {
+    std::set<std::string> bound;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+      for (const Term& t : lit.atom.args) {
+        if (t.kind == Term::Kind::kVariable) bound.insert(t.var);
+      }
+    }
+    auto require_bound = [&](const Term& t, const char* where) -> Status {
+      if (t.kind == Term::Kind::kVariable && bound.count(t.var) == 0) {
+        return Status::BindError(StrFormat(
+            "unsafe rule '%s': variable %s in %s is not bound by a positive atom",
+            rule.ToString().c_str(), t.var.c_str(), where));
+      }
+      return Status::OK();
+    };
+    for (const Term& t : rule.head.args) {
+      if (t.kind == Term::Kind::kWildcard) {
+        return Status::BindError("wildcard not allowed in rule head: " +
+                                 rule.ToString());
+      }
+      DS_RETURN_NOT_OK(require_bound(t, "the head"));
+    }
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind == BodyLiteral::Kind::kNegatedAtom) {
+        for (const Term& t : lit.atom.args) {
+          DS_RETURN_NOT_OK(require_bound(t, "a negated atom"));
+        }
+      } else if (lit.kind == BodyLiteral::Kind::kComparison) {
+        DS_RETURN_NOT_OK(require_bound(lit.lhs, "a comparison"));
+        DS_RETURN_NOT_OK(require_bound(lit.rhs, "a comparison"));
+      }
+    }
+  }
+
+  // Stratification: stratum[head] >= stratum[positive dep];
+  //                 stratum[head] >= stratum[negated dep] + 1.
+  for (const std::string& p : all_preds) out.stratum_[p] = 0;
+  const int max_stratum = static_cast<int>(all_preds.size()) + 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : out.program_.rules) {
+      int& head_stratum = out.stratum_[rule.head.predicate];
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind == BodyLiteral::Kind::kComparison) continue;
+        const int dep = out.stratum_[lit.atom.predicate];
+        const int need = lit.kind == BodyLiteral::Kind::kNegatedAtom ? dep + 1 : dep;
+        if (head_stratum < need) {
+          head_stratum = need;
+          changed = true;
+          if (head_stratum > max_stratum) {
+            return Status::BindError(
+                "program is not stratifiable (recursion through negation "
+                "involving " +
+                rule.head.predicate + ")");
+          }
+        }
+      }
+    }
+  }
+  int max_seen = 0;
+  for (const auto& [pred, s] : out.stratum_) max_seen = std::max(max_seen, s);
+  out.num_strata_ = max_seen + 1;
+
+  // Compile: intern variables per rule.
+  for (const Rule& rule : out.program_.rules) {
+    CompiledRule cr;
+    std::map<std::string, int> slots;
+    auto compile_term = [&slots](const Term& t) {
+      CompiledTerm ct;
+      switch (t.kind) {
+        case Term::Kind::kVariable: {
+          auto [it, inserted] =
+              slots.emplace(t.var, static_cast<int>(slots.size()));
+          ct.var_slot = it->second;
+          break;
+        }
+        case Term::Kind::kConstant:
+          ct.var_slot = -1;
+          ct.constant = t.value;
+          break;
+        case Term::Kind::kWildcard:
+          ct.var_slot = -2;
+          break;
+      }
+      return ct;
+    };
+    auto compile_atom = [&](const Atom& atom) {
+      CompiledAtom ca;
+      ca.predicate = atom.predicate;
+      ca.arity = static_cast<int>(atom.args.size());
+      for (const Term& t : atom.args) ca.args.push_back(compile_term(t));
+      return ca;
+    };
+    // Compile the body first so that positional binding order matches
+    // evaluation order; head slots then reuse the same interning.
+    for (const BodyLiteral& lit : rule.body) {
+      CompiledLiteral cl;
+      cl.kind = lit.kind;
+      if (lit.kind == BodyLiteral::Kind::kComparison) {
+        cl.op = lit.op;
+        cl.lhs = compile_term(lit.lhs);
+        cl.rhs = compile_term(lit.rhs);
+      } else {
+        cl.atom = compile_atom(lit.atom);
+      }
+      cr.body.push_back(std::move(cl));
+    }
+    cr.head = compile_atom(rule.head);
+    cr.num_vars = static_cast<int>(slots.size());
+    cr.stratum = out.stratum_[rule.head.predicate];
+    out.compiled_.push_back(std::move(cr));
+  }
+  return out;
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string out;
+  for (const Rule& rule : program_.rules) {
+    out += rule.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kNoDelta = -1;
+}  // namespace
+
+/// Mutable evaluation state: relation contents plus lazily maintained
+/// per-(predicate, position) hash indexes.
+class Evaluator {
+ public:
+  explicit Evaluator(const DatalogProgram& program) : program_(program) {}
+
+  Status Run(const Database& edb, Database* out) {
+    // Load EDB.
+    for (const std::string& pred : program_.edb_preds_) {
+      auto it = edb.find(pred);
+      if (it == edb.end()) {
+        return Status::InvalidArgument("missing EDB relation: " + pred);
+      }
+      const int arity = program_.arity_.at(pred);
+      RelationState& state = relations_[pred];
+      for (const Row& row : it->second) {
+        if (static_cast<int>(row.size()) != arity) {
+          return Status::InvalidArgument(
+              StrFormat("EDB relation %s: tuple arity %zu, expected %d",
+                        pred.c_str(), row.size(), arity));
+        }
+        state.Insert(row);
+      }
+    }
+    for (const std::string& pred : program_.idb_preds_) {
+      relations_.try_emplace(pred);  // ensure presence even if empty
+    }
+
+    // Evaluate stratum by stratum.
+    for (int stratum = 0; stratum < program_.num_strata_; ++stratum) {
+      DS_RETURN_NOT_OK(EvalStratum(stratum));
+    }
+
+    for (const std::string& pred : program_.idb_preds_) {
+      (*out)[pred] = relations_[pred].rows;
+    }
+    return Status::OK();
+  }
+
+ private:
+  using CompiledRule = DatalogProgram::CompiledRule;
+  using CompiledAtom = DatalogProgram::CompiledAtom;
+  using CompiledTerm = DatalogProgram::CompiledTerm;
+  using CompiledLiteral = DatalogProgram::CompiledLiteral;
+
+  struct RelationState {
+    std::vector<Row> rows;
+    std::unordered_set<Row, RowHash, RowEq> index;
+    // (position) -> value -> row ordinals; extended lazily.
+    std::unordered_map<int, std::unordered_map<Value, std::vector<int>, ValueHash,
+                                               ValueEq>>
+        pos_index;
+    std::unordered_map<int, size_t> pos_index_built_upto;
+
+    bool Insert(const Row& row) {
+      if (!index.insert(row).second) return false;
+      rows.push_back(row);
+      return true;
+    }
+    bool Contains(const Row& row) const { return index.count(row) > 0; }
+
+    const std::vector<int>& Lookup(int pos, const Value& key) {
+      auto& idx = pos_index[pos];
+      size_t& upto = pos_index_built_upto[pos];
+      while (upto < rows.size()) {
+        idx[rows[upto][pos]].push_back(static_cast<int>(upto));
+        ++upto;
+      }
+      static const std::vector<int> kEmpty;
+      auto it = idx.find(key);
+      return it == idx.end() ? kEmpty : it->second;
+    }
+  };
+
+  Status EvalStratum(int stratum) {
+    std::vector<const CompiledRule*> rules;
+    for (const CompiledRule& rule : program_.compiled_) {
+      if (rule.stratum == stratum) rules.push_back(&rule);
+    }
+    if (rules.empty()) return Status::OK();
+
+    // Which predicates are IDB of this stratum (recursion can only go
+    // through them)?
+    std::set<std::string> stratum_idb;
+    for (const CompiledRule* rule : rules) stratum_idb.insert(rule->head.predicate);
+
+    // Round 0: all rules against full relations.
+    std::map<std::string, std::vector<Row>> delta;
+    for (const CompiledRule* rule : rules) {
+      DS_RETURN_NOT_OK(EvalRule(*rule, kNoDelta, nullptr, &delta));
+    }
+
+    // Semi-naive iterations.
+    while (!delta.empty()) {
+      std::map<std::string, std::vector<Row>> next_delta;
+      for (const CompiledRule* rule : rules) {
+        for (int i = 0; i < static_cast<int>(rule->body.size()); ++i) {
+          const CompiledLiteral& lit = rule->body[i];
+          if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+          if (stratum_idb.count(lit.atom.predicate) == 0) continue;
+          auto dit = delta.find(lit.atom.predicate);
+          if (dit == delta.end() || dit->second.empty()) continue;
+          DS_RETURN_NOT_OK(EvalRule(*rule, i, &dit->second, &next_delta));
+        }
+      }
+      delta = std::move(next_delta);
+    }
+    return Status::OK();
+  }
+
+  /// Evaluates one rule. If delta_atom >= 0, that body atom ranges over
+  /// `delta_rows` instead of the full relation. Newly derived tuples go to
+  /// the head relation and `new_delta`.
+  Status EvalRule(const CompiledRule& rule, int delta_atom,
+                  const std::vector<Row>* delta_rows,
+                  std::map<std::string, std::vector<Row>>* new_delta) {
+    std::vector<Value> env(static_cast<size_t>(rule.num_vars));
+    std::vector<bool> bound(static_cast<size_t>(rule.num_vars), false);
+    return Solve(rule, 0, delta_atom, delta_rows, &env, &bound, new_delta);
+  }
+
+  Result<Value> TermValue(const CompiledTerm& term, const std::vector<Value>& env,
+                          const std::vector<bool>& bound) const {
+    if (term.var_slot == -1) return term.constant;
+    DS_CHECK(term.var_slot >= 0);
+    DS_CHECK(bound[term.var_slot]);
+    return env[term.var_slot];
+  }
+
+  Status Solve(const CompiledRule& rule, size_t literal_index, int delta_atom,
+               const std::vector<Row>* delta_rows, std::vector<Value>* env,
+               std::vector<bool>* bound,
+               std::map<std::string, std::vector<Row>>* new_delta) {
+    if (literal_index == rule.body.size()) {
+      // Instantiate the head.
+      Row head_row;
+      head_row.reserve(rule.head.args.size());
+      for (const CompiledTerm& t : rule.head.args) {
+        DS_ASSIGN_OR_RETURN(Value v, TermValue(t, *env, *bound));
+        head_row.push_back(std::move(v));
+      }
+      RelationState& head_rel = relations_[rule.head.predicate];
+      if (head_rel.Insert(head_row)) {
+        (*new_delta)[rule.head.predicate].push_back(std::move(head_row));
+      }
+      return Status::OK();
+    }
+
+    const CompiledLiteral& lit = rule.body[literal_index];
+    switch (lit.kind) {
+      case BodyLiteral::Kind::kComparison: {
+        DS_ASSIGN_OR_RETURN(Value l, TermValue(lit.lhs, *env, *bound));
+        DS_ASSIGN_OR_RETURN(Value r, TermValue(lit.rhs, *env, *bound));
+        if (!CompareValues(lit.op, l, r)) return Status::OK();
+        return Solve(rule, literal_index + 1, delta_atom, delta_rows, env, bound,
+                     new_delta);
+      }
+      case BodyLiteral::Kind::kNegatedAtom: {
+        // All terms are ground (safety); wildcards mean existential check.
+        bool has_wildcard = false;
+        Row probe;
+        probe.reserve(lit.atom.args.size());
+        for (const CompiledTerm& t : lit.atom.args) {
+          if (t.var_slot == -2) {
+            has_wildcard = true;
+            probe.push_back(Value::Null());
+          } else {
+            DS_ASSIGN_OR_RETURN(Value v, TermValue(t, *env, *bound));
+            probe.push_back(std::move(v));
+          }
+        }
+        RelationState& rel = relations_[lit.atom.predicate];
+        bool exists;
+        if (!has_wildcard) {
+          exists = rel.Contains(probe);
+        } else {
+          exists = false;
+          for (const Row& row : rel.rows) {
+            bool match = true;
+            for (size_t i = 0; i < probe.size(); ++i) {
+              if (lit.atom.args[i].var_slot == -2) continue;
+              if (!row[i].Equals(probe[i])) {
+                match = false;
+                break;
+              }
+            }
+            if (match) {
+              exists = true;
+              break;
+            }
+          }
+        }
+        if (exists) return Status::OK();
+        return Solve(rule, literal_index + 1, delta_atom, delta_rows, env, bound,
+                     new_delta);
+      }
+      case BodyLiteral::Kind::kAtom: {
+        RelationState& rel = relations_[lit.atom.predicate];
+        const bool use_delta = static_cast<int>(literal_index) == delta_atom;
+
+        // Candidate rows: delta, an index bucket, or the full relation.
+        // The bucket is copied: recursive rules may extend this relation's
+        // rows and indexes while we iterate, which would invalidate any
+        // reference into the index map.
+        const std::vector<Row>* seq = nullptr;
+        std::vector<int> bucket;
+        bool use_bucket = false;
+        if (use_delta) {
+          seq = delta_rows;
+        } else {
+          // Pick the first bound/constant position for an index lookup.
+          int pos = -1;
+          Value key;
+          for (int i = 0; i < lit.atom.arity; ++i) {
+            const CompiledTerm& t = lit.atom.args[i];
+            if (t.var_slot == -1) {
+              pos = i;
+              key = t.constant;
+              break;
+            }
+            if (t.var_slot >= 0 && (*bound)[t.var_slot]) {
+              pos = i;
+              key = (*env)[t.var_slot];
+              break;
+            }
+          }
+          if (pos >= 0) {
+            bucket = rel.Lookup(pos, key);
+            use_bucket = true;
+          } else {
+            seq = &rel.rows;
+          }
+        }
+
+        const size_t n = use_bucket ? bucket.size()
+                                    : (seq != nullptr ? seq->size() : 0);
+        for (size_t k = 0; k < n; ++k) {
+          const Row& row = use_bucket ? rel.rows[bucket[k]] : (*seq)[k];
+          // Unify.
+          std::vector<int> trail;
+          bool ok = true;
+          for (int i = 0; i < lit.atom.arity; ++i) {
+            const CompiledTerm& t = lit.atom.args[i];
+            if (t.var_slot == -2) continue;
+            if (t.var_slot == -1) {
+              if (!row[i].Equals(t.constant)) {
+                ok = false;
+                break;
+              }
+              continue;
+            }
+            if ((*bound)[t.var_slot]) {
+              if (!row[i].Equals((*env)[t.var_slot])) {
+                ok = false;
+                break;
+              }
+            } else {
+              (*env)[t.var_slot] = row[i];
+              (*bound)[t.var_slot] = true;
+              trail.push_back(t.var_slot);
+            }
+          }
+          if (ok) {
+            DS_RETURN_NOT_OK(Solve(rule, literal_index + 1, delta_atom, delta_rows,
+                                   env, bound, new_delta));
+          }
+          for (int slot : trail) (*bound)[slot] = false;
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled literal kind");
+  }
+
+  const DatalogProgram& program_;
+  std::map<std::string, RelationState> relations_;
+};
+
+Result<Database> DatalogProgram::Evaluate(const Database& edb) const {
+  Evaluator evaluator(*this);
+  Database out;
+  DS_RETURN_NOT_OK(evaluator.Run(edb, &out));
+  return out;
+}
+
+}  // namespace declsched::datalog

@@ -1,0 +1,274 @@
+#include "datalog/parser.h"
+
+#include "common/string_util.h"
+
+namespace declsched::datalog {
+
+namespace {
+
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+  int line = 1;
+
+  bool AtEnd() {
+    SkipWhitespace();
+    return pos >= text.size();
+  }
+
+  void SkipWhitespace() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (c == ' ' || c == '\t' || c == '\r') {
+        ++pos;
+      } else if (c == '%') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipWhitespace();
+    if (text.substr(pos, word.size()) != word) return false;
+    const size_t after = pos + word.size();
+    if (after < text.size()) {
+      const char c = text[after];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') return false;
+    }
+    pos = after;
+    return true;
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::ParseError(StrFormat("datalog: %s (line %d)", message.c_str(), line));
+  }
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+Result<std::string> ParseIdent(Cursor& cur) {
+  cur.SkipWhitespace();
+  if (cur.pos >= cur.text.size() || !IsIdentStart(cur.text[cur.pos])) {
+    return cur.Err("expected identifier");
+  }
+  const size_t start = cur.pos;
+  while (cur.pos < cur.text.size() && IsIdentCont(cur.text[cur.pos])) ++cur.pos;
+  return std::string(cur.text.substr(start, cur.pos - start));
+}
+
+Result<Term> ParseTerm(Cursor& cur) {
+  const char c = cur.Peek();
+  if (c == '"') {
+    ++cur.pos;
+    std::string body;
+    while (cur.pos < cur.text.size() && cur.text[cur.pos] != '"') {
+      body += cur.text[cur.pos];
+      ++cur.pos;
+    }
+    if (cur.pos >= cur.text.size()) return cur.Err("unterminated string");
+    ++cur.pos;
+    return Term::Const(storage::Value::String(std::move(body)));
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+    const size_t start = cur.pos;
+    if (c == '-') ++cur.pos;
+    bool is_double = false;
+    while (cur.pos < cur.text.size()) {
+      const char d = cur.text[cur.pos];
+      if (std::isdigit(static_cast<unsigned char>(d))) {
+        ++cur.pos;
+        continue;
+      }
+      // A '.' is a decimal point only when a digit follows; otherwise it is
+      // the clause terminator ("x(42)." must not lex 42 as 42.0).
+      if (d == '.' && !is_double && cur.pos + 1 < cur.text.size() &&
+          std::isdigit(static_cast<unsigned char>(cur.text[cur.pos + 1]))) {
+        is_double = true;
+        ++cur.pos;
+        continue;
+      }
+      break;
+    }
+    const std::string num(cur.text.substr(start, cur.pos - start));
+    if (num == "-") return cur.Err("lonely '-'");
+    if (is_double) return Term::Const(storage::Value::Double(std::stod(num)));
+    return Term::Const(storage::Value::Int64(std::stoll(num)));
+  }
+  if (IsIdentStart(c)) {
+    DS_ASSIGN_OR_RETURN(std::string name, ParseIdent(cur));
+    if (name == "_") return Term::Wildcard();
+    if (std::isupper(static_cast<unsigned char>(name[0])) || name[0] == '_') {
+      return Term::Var(std::move(name));
+    }
+    // Lower-case bare identifier: a symbol constant.
+    return Term::Const(storage::Value::String(std::move(name)));
+  }
+  return cur.Err("expected term");
+}
+
+Result<Atom> ParseAtom(Cursor& cur) {
+  Atom atom;
+  DS_ASSIGN_OR_RETURN(atom.predicate, ParseIdent(cur));
+  if (std::isupper(static_cast<unsigned char>(atom.predicate[0]))) {
+    return cur.Err("predicate names must start lower-case: " + atom.predicate);
+  }
+  if (!cur.Consume('(')) return cur.Err("expected '(' after predicate");
+  if (cur.Peek() != ')') {
+    while (true) {
+      DS_ASSIGN_OR_RETURN(Term t, ParseTerm(cur));
+      atom.args.push_back(std::move(t));
+      if (cur.Consume(',')) continue;
+      break;
+    }
+  }
+  if (!cur.Consume(')')) return cur.Err("expected ')'");
+  return atom;
+}
+
+Result<CompareOp> ParseCompareOp(Cursor& cur) {
+  cur.SkipWhitespace();
+  const std::string_view rest = cur.text.substr(cur.pos);
+  struct OpSpec {
+    std::string_view text;
+    CompareOp op;
+  };
+  static constexpr OpSpec kOps[] = {
+      {"!=", CompareOp::kNe}, {"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+      {"=", CompareOp::kEq},  {"<", CompareOp::kLt},  {">", CompareOp::kGt},
+  };
+  for (const OpSpec& spec : kOps) {
+    if (rest.substr(0, spec.text.size()) == spec.text) {
+      cur.pos += spec.text.size();
+      return spec.op;
+    }
+  }
+  return cur.Err("expected comparison operator");
+}
+
+Result<BodyLiteral> ParseBodyLiteral(Cursor& cur) {
+  BodyLiteral lit;
+  if (cur.Consume('!') || cur.ConsumeWord("not")) {
+    lit.kind = BodyLiteral::Kind::kNegatedAtom;
+    DS_ASSIGN_OR_RETURN(lit.atom, ParseAtom(cur));
+    return lit;
+  }
+  // Lookahead: an atom starts with ident '('; a comparison starts with a term.
+  const size_t saved_pos = cur.pos;
+  const int saved_line = cur.line;
+  cur.SkipWhitespace();
+  if (IsIdentStart(cur.Peek())) {
+    auto ident = ParseIdent(cur);
+    if (ident.ok() && cur.Peek() == '(' &&
+        !std::isupper(static_cast<unsigned char>((*ident)[0]))) {
+      cur.pos = saved_pos;
+      cur.line = saved_line;
+      lit.kind = BodyLiteral::Kind::kAtom;
+      DS_ASSIGN_OR_RETURN(lit.atom, ParseAtom(cur));
+      return lit;
+    }
+    cur.pos = saved_pos;
+    cur.line = saved_line;
+  }
+  lit.kind = BodyLiteral::Kind::kComparison;
+  DS_ASSIGN_OR_RETURN(lit.lhs, ParseTerm(cur));
+  DS_ASSIGN_OR_RETURN(lit.op, ParseCompareOp(cur));
+  DS_ASSIGN_OR_RETURN(lit.rhs, ParseTerm(cur));
+  return lit;
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      return var;
+    case Kind::kConstant:
+      return value.type() == storage::ValueType::kString ? "\"" + value.AsString() + "\""
+                                                         : value.ToString();
+    case Kind::kWildcard:
+      return "_";
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string BodyLiteral::ToString() const {
+  switch (kind) {
+    case Kind::kAtom:
+      return atom.ToString();
+    case Kind::kNegatedAtom:
+      return "!" + atom.ToString();
+    case Kind::kComparison: {
+      static const char* kOpNames[] = {"=", "!=", "<", "<=", ">", ">="};
+      return lhs.ToString() + " " + kOpNames[static_cast<int>(op)] + " " +
+             rhs.ToString();
+    }
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  return out + ".";
+}
+
+Result<Program> ParseProgram(std::string_view text) {
+  Cursor cur{text};
+  Program program;
+  while (!cur.AtEnd()) {
+    Rule rule;
+    DS_ASSIGN_OR_RETURN(rule.head, ParseAtom(cur));
+    if (cur.Consume(':')) {
+      if (!cur.Consume('-')) return cur.Err("expected ':-'");
+      while (true) {
+        DS_ASSIGN_OR_RETURN(BodyLiteral lit, ParseBodyLiteral(cur));
+        rule.body.push_back(std::move(lit));
+        if (cur.Consume(',')) continue;
+        break;
+      }
+    }
+    if (!cur.Consume('.')) return cur.Err("expected '.' at end of clause");
+    program.rules.push_back(std::move(rule));
+  }
+  return program;
+}
+
+}  // namespace declsched::datalog

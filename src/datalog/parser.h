@@ -1,0 +1,21 @@
+// Datalog parser: text -> Program.
+
+#ifndef DECLSCHED_DATALOG_PARSER_H_
+#define DECLSCHED_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "datalog/ast.h"
+
+namespace declsched::datalog {
+
+/// Parses a Datalog program. Clauses end with '.'; `%` starts a line comment.
+///
+///   finished(Ta) :- hist(_, Ta, _, "c", _).
+///   blocked(Ta, In) :- req(_, Ta, In, _, Obj), wlock(Obj, T2), Ta != T2.
+Result<Program> ParseProgram(std::string_view text);
+
+}  // namespace declsched::datalog
+
+#endif  // DECLSCHED_DATALOG_PARSER_H_

@@ -1,0 +1,25 @@
+#include "scheduler/adaptive_controller.h"
+
+namespace declsched::scheduler {
+
+Result<bool> AdaptiveConsistencyController::OnCycle(int64_t load) {
+  ++cycles_since_switch_;
+  if (cycles_since_switch_ < options_.min_cycles_between_switches) return false;
+  if (!relaxed_active_ && load > options_.relax_above) {
+    DS_RETURN_NOT_OK(scheduler_->SwitchProtocol(options_.relaxed));
+    relaxed_active_ = true;
+    ++switches_;
+    cycles_since_switch_ = 0;
+    return true;
+  }
+  if (relaxed_active_ && load < options_.tighten_below) {
+    DS_RETURN_NOT_OK(scheduler_->SwitchProtocol(options_.strict));
+    relaxed_active_ = false;
+    ++switches_;
+    cycles_since_switch_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace declsched::scheduler

@@ -1,0 +1,54 @@
+// Adaptive consistency (paper Section 5 / Section 1): "reduced consistency
+// criteria may be used during times of high load". The controller watches
+// the scheduler's load and swaps the active protocol between a strict and a
+// relaxed spec — possible precisely because protocols are data, not code.
+
+#ifndef DECLSCHED_SCHEDULER_ADAPTIVE_CONTROLLER_H_
+#define DECLSCHED_SCHEDULER_ADAPTIVE_CONTROLLER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "scheduler/declarative_scheduler.h"
+
+namespace declsched::scheduler {
+
+class AdaptiveConsistencyController {
+ public:
+  struct Options {
+    ProtocolSpec strict;   // e.g. Ss2plSql()
+    ProtocolSpec relaxed;  // e.g. ReadCommittedSql()
+    /// Switch to relaxed when load (queued + pending requests) exceeds this.
+    int64_t relax_above = 256;
+    /// Switch back to strict when load drops below this (hysteresis).
+    int64_t tighten_below = 64;
+    /// Minimum cycles between switches (anti-flapping).
+    int64_t min_cycles_between_switches = 4;
+
+    Options() : strict(Ss2plSql()), relaxed(ReadCommittedSql()) {}
+  };
+
+  AdaptiveConsistencyController(Options options, DeclarativeScheduler* scheduler)
+      : options_(std::move(options)), scheduler_(scheduler) {}
+
+  /// Call once per cycle with the current load; switches the scheduler's
+  /// protocol when a threshold is crossed. Returns true if a switch happened.
+  Result<bool> OnCycle(int64_t load);
+
+  bool relaxed_active() const { return relaxed_active_; }
+  const std::string& active_protocol() const {
+    return relaxed_active_ ? options_.relaxed.name : options_.strict.name;
+  }
+  int64_t switches() const { return switches_; }
+
+ private:
+  Options options_;
+  DeclarativeScheduler* scheduler_;
+  bool relaxed_active_ = false;
+  int64_t switches_ = 0;
+  int64_t cycles_since_switch_ = 1 << 20;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_ADAPTIVE_CONTROLLER_H_

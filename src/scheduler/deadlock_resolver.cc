@@ -1,0 +1,61 @@
+#include "scheduler/deadlock_resolver.h"
+
+#include <algorithm>
+
+namespace declsched::scheduler {
+
+namespace {
+
+constexpr const char* kDeadlockProgram = R"(
+% Waits-for graph over pending requests and history locks, its transitive
+% closure, and youngest-victim selection.
+finished(Ta) :- hist(_, Ta, _, "c", _).
+finished(Ta) :- hist(_, Ta, _, "a", _).
+wrotepair(Obj, Ta) :- hist(_, Ta, _, "w", Obj).
+wlock(Obj, Ta) :- hist(_, Ta, _, "w", Obj), !finished(Ta).
+rlock(Obj, Ta) :- hist(_, Ta, _, "r", Obj), !finished(Ta), !wrotepair(Obj, Ta).
+
+% Edges from blocked pending requests to their blockers.
+waits(T1, T2) :- req(_, T1, _, _, Obj), wlock(Obj, T2), T1 != T2.
+waits(T1, T2) :- req(_, T1, _, "w", Obj), rlock(Obj, T2), T1 != T2.
+% Pending-pending conflicts block the younger transaction.
+waits(T2, T1) :- req(_, T2, _, "w", Obj), req(_, T1, _, _, Obj), T2 > T1.
+waits(T2, T1) :- req(_, T2, _, _, Obj), req(_, T1, _, "w", Obj), T2 > T1.
+
+reach(T1, T2) :- waits(T1, T2).
+reach(T1, T3) :- reach(T1, T2), waits(T2, T3).
+indeadlock(T) :- reach(T, T).
+% Two transactions share a cycle iff they reach each other; the youngest of
+% each cycle is sacrificed.
+samecycle(T, T2) :- reach(T, T2), reach(T2, T).
+notyoungest(T) :- samecycle(T, T2), T2 > T.
+victim(T) :- indeadlock(T), !notyoungest(T).
+)";
+
+}  // namespace
+
+const char* DeadlockResolver::ProgramText() { return kDeadlockProgram; }
+
+DeadlockResolver::DeadlockResolver(datalog::DatalogProgram program)
+    : program_(std::make_shared<const datalog::DatalogProgram>(std::move(program))) {}
+
+Result<DeadlockResolver> DeadlockResolver::Create() {
+  DS_ASSIGN_OR_RETURN(datalog::DatalogProgram program,
+                      datalog::DatalogProgram::Create(kDeadlockProgram));
+  return DeadlockResolver(std::move(program));
+}
+
+Result<std::vector<txn::TxnId>> DeadlockResolver::FindVictims(
+    const RequestStore& store) const {
+  datalog::Database edb = store.BuildDatalogEdb();
+  edb.erase("reqmeta");  // the program does not use it
+  DS_ASSIGN_OR_RETURN(datalog::Database result, program_->Evaluate(edb));
+  std::vector<txn::TxnId> victims;
+  for (const storage::Row& row : result.at("victim")) {
+    victims.push_back(row[0].AsInt64());
+  }
+  std::sort(victims.begin(), victims.end());
+  return victims;
+}
+
+}  // namespace declsched::scheduler

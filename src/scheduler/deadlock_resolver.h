@@ -1,0 +1,41 @@
+// Declarative deadlock detection.
+//
+// Batch scheduling can wedge: T1 holds a lock T2 needs while T2 holds a lock
+// T1 needs — neither pending request ever qualifies. The paper does not
+// address this; we resolve it *declaratively*, with a recursive Datalog
+// program computing the waits-for graph's transitive closure and selecting
+// the youngest transaction on each cycle as the victim. This doubles as the
+// showcase for why a recursive scheduler language (Section 5) earns its keep:
+// transitive closure is inexpressible in the paper's plain SQL dialect.
+
+#ifndef DECLSCHED_SCHEDULER_DEADLOCK_RESOLVER_H_
+#define DECLSCHED_SCHEDULER_DEADLOCK_RESOLVER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/engine.h"
+#include "scheduler/request_store.h"
+#include "txn/types.h"
+
+namespace declsched::scheduler {
+
+class DeadlockResolver {
+ public:
+  static Result<DeadlockResolver> Create();
+
+  /// Transactions chosen as victims (the youngest on each waits-for cycle),
+  /// given the store's current pending/history state.
+  Result<std::vector<txn::TxnId>> FindVictims(const RequestStore& store) const;
+
+  /// The Datalog program text (for documentation / examples).
+  static const char* ProgramText();
+
+ private:
+  explicit DeadlockResolver(datalog::DatalogProgram program);
+  std::shared_ptr<const datalog::DatalogProgram> program_;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_DEADLOCK_RESOLVER_H_

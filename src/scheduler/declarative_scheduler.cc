@@ -1,0 +1,159 @@
+#include "scheduler/declarative_scheduler.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DeclarativeScheduler::DeclarativeScheduler(Options options,
+                                           server::DatabaseServer* server)
+    : options_(std::move(options)), server_(server), trigger_(options_.trigger) {}
+
+Status DeclarativeScheduler::Init() {
+  DS_ASSIGN_OR_RETURN(CompiledProtocol compiled,
+                      CompiledProtocol::Compile(options_.protocol, &store_));
+  compiled_.emplace(std::move(compiled));
+  if (options_.deadlock_detection) {
+    DS_ASSIGN_OR_RETURN(DeadlockResolver resolver, DeadlockResolver::Create());
+    resolver_.emplace(std::move(resolver));
+  }
+  return Status::OK();
+}
+
+int64_t DeclarativeScheduler::Submit(Request request, SimTime now) {
+  request.id = next_request_id_++;
+  request.arrival = now;
+  queue_.Push(std::move(request));
+  ++totals_.admitted;
+  return next_request_id_ - 1;
+}
+
+bool DeclarativeScheduler::ShouldFire(SimTime now) const {
+  // Fire on queued work; also fire on stalled pending work (blocked requests
+  // can only make progress through another cycle).
+  if (trigger_.ShouldFire(now, queue_.size())) return true;
+  return queue_.size() == 0 && store_.pending_count() > 0;
+}
+
+Status DeclarativeScheduler::SwitchProtocol(const ProtocolSpec& spec) {
+  DS_ASSIGN_OR_RETURN(CompiledProtocol compiled,
+                      CompiledProtocol::Compile(spec, &store_));
+  compiled_.emplace(std::move(compiled));
+  options_.protocol = spec;
+  return Status::OK();
+}
+
+const ProtocolSpec& DeclarativeScheduler::protocol() const {
+  return options_.protocol;
+}
+
+Status DeclarativeScheduler::AbortTransaction(txn::TxnId ta, SimTime now) {
+  // Drop the victim's pending requests, then record an abort marker so the
+  // protocol sees its locks released (and GC retires its history rows).
+  RequestBatch marker(1);
+  marker[0].id = next_request_id_++;
+  marker[0].ta = ta;
+  marker[0].intrata = 1 << 30;  // after any real intra-transaction number
+  marker[0].op = txn::OpType::kAbort;
+  marker[0].object = Request::kNoObject;
+  marker[0].arrival = now;
+
+  storage::Table* requests = store_.catalog()->GetTable("requests");
+  requests->DeleteWhere([ta](const storage::Row& row) {
+    return row[RequestStore::kColTa].AsInt64() == ta;
+  });
+  storage::Table* history = store_.catalog()->GetTable("history");
+  DS_RETURN_NOT_OK(history
+                       ->Insert({storage::Value::Int64(marker[0].id),
+                                 storage::Value::Int64(ta),
+                                 storage::Value::Int64(marker[0].intrata),
+                                 storage::Value::String("a"),
+                                 storage::Value::Int64(Request::kNoObject),
+                                 storage::Value::Int64(0), storage::Value::Int64(0),
+                                 storage::Value::Int64(now.micros()),
+                                 storage::Value::Int64(-1)})
+                       .status());
+  return Status::OK();
+}
+
+Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
+  DS_CHECK(compiled_.has_value());  // Init() was called
+  CycleStats stats;
+  const int64_t cycle_start = NowMicros();
+
+  stats.pending_before = store_.pending_count();
+  stats.history_before = store_.history_count();
+
+  // 1. Empty the incoming queue into the pending-request database.
+  RequestBatch drained = queue_.DrainAll();
+  stats.drained = static_cast<int64_t>(drained.size());
+  DS_RETURN_NOT_OK(store_.InsertPending(drained));
+  stats.insert_us = NowMicros() - cycle_start;
+
+  // 2. Run the declarative protocol.
+  const int64_t query_start = NowMicros();
+  DS_ASSIGN_OR_RETURN(RequestBatch qualified, compiled_->Schedule());
+  stats.query_us = NowMicros() - query_start;
+  if (options_.max_dispatch_per_cycle > 0 &&
+      static_cast<int64_t>(qualified.size()) > options_.max_dispatch_per_cycle) {
+    qualified.resize(static_cast<size_t>(options_.max_dispatch_per_cycle));
+  }
+  stats.qualified = static_cast<int64_t>(qualified.size());
+
+  // 3. Qualified requests leave pending and enter history; finished
+  //    transactions retire from history.
+  const int64_t move_start = NowMicros();
+  DS_RETURN_NOT_OK(store_.MarkScheduled(qualified));
+  if (options_.history_gc) {
+    DS_ASSIGN_OR_RETURN(stats.gc_removed, store_.GarbageCollectFinished());
+  }
+  stats.move_us = NowMicros() - move_start;
+
+  // 4. Deadlock resolution: only worth checking when the cycle stalled
+  //    (nothing qualified while work is pending).
+  last_victims_.clear();
+  if (resolver_.has_value() && qualified.empty() && store_.pending_count() > 0) {
+    DS_ASSIGN_OR_RETURN(last_victims_, resolver_->FindVictims(store_));
+    for (txn::TxnId victim : last_victims_) {
+      DS_RETURN_NOT_OK(AbortTransaction(victim, now));
+    }
+    stats.victims = static_cast<int64_t>(last_victims_.size());
+    totals_.victims += stats.victims;
+  }
+
+  // 5. Dispatch the batch to the server.
+  if (server_ != nullptr && !qualified.empty()) {
+    server::StatementBatch batch;
+    batch.reserve(qualified.size());
+    for (const Request& request : qualified) batch.push_back(request.ToStatement());
+    DS_ASSIGN_OR_RETURN(server::DatabaseServer::BatchStats server_stats,
+                        server_->ExecuteBatch(batch));
+    stats.server_busy = server_stats.busy;
+  }
+  stats.dispatched = static_cast<int64_t>(qualified.size());
+  last_dispatched_ = std::move(qualified);
+
+  stats.total_us = NowMicros() - cycle_start;
+  trigger_.NotifyFired(now);
+
+  ++totals_.cycles;
+  totals_.dispatched += stats.dispatched;
+  totals_.total_query_us += stats.query_us;
+  totals_.total_cycle_us += stats.total_us;
+  totals_.cycle_us.Record(stats.total_us);
+  totals_.qualified_per_cycle.Record(stats.qualified);
+  return stats;
+}
+
+}  // namespace declsched::scheduler

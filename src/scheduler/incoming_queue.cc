@@ -1,0 +1,29 @@
+#include "scheduler/incoming_queue.h"
+
+namespace declsched::scheduler {
+
+int64_t IncomingQueue::Push(Request request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(request));
+  ++total_pushed_;
+  return static_cast<int64_t>(queue_.size());
+}
+
+RequestBatch IncomingQueue::DrainAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RequestBatch out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+int64_t IncomingQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+int64_t IncomingQueue::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+}  // namespace declsched::scheduler

@@ -1,0 +1,38 @@
+// The incoming queue of Figure 1: client workers append, the scheduler
+// drains in batch when the trigger fires.
+
+#ifndef DECLSCHED_SCHEDULER_INCOMING_QUEUE_H_
+#define DECLSCHED_SCHEDULER_INCOMING_QUEUE_H_
+
+#include <deque>
+#include <mutex>
+
+#include "scheduler/request.h"
+
+namespace declsched::scheduler {
+
+/// FIFO, thread-safe (client workers may run on their own threads; the
+/// deterministic simulation harness calls it single-threaded).
+class IncomingQueue {
+ public:
+  /// Appends and returns the queue size after the append.
+  int64_t Push(Request request);
+
+  /// Removes and returns everything, in arrival order.
+  RequestBatch DrainAll();
+
+  int64_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Total requests ever pushed.
+  int64_t total_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Request> queue_;
+  int64_t total_pushed_ = 0;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_INCOMING_QUEUE_H_

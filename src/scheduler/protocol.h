@@ -1,0 +1,67 @@
+// Scheduling protocols as data: a protocol is declarative text (SQL or
+// Datalog) evaluated over the pending/history relations. Swapping protocols
+// is a runtime operation — the flexibility the paper contrasts against
+// hand-coded schedulers.
+
+#ifndef DECLSCHED_SCHEDULER_PROTOCOL_H_
+#define DECLSCHED_SCHEDULER_PROTOCOL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "datalog/engine.h"
+#include "scheduler/request_store.h"
+#include "sql/engine.h"
+
+namespace declsched::scheduler {
+
+struct ProtocolSpec {
+  enum class Language { kSql, kDatalog, kPassthrough };
+
+  std::string name;
+  std::string description;
+  Language language = Language::kPassthrough;
+  /// SQL SELECT or Datalog program text; unused for passthrough.
+  std::string text;
+  /// Datalog: the derived relation holding qualified requests
+  /// (id, ta, intrata, operation, object).
+  std::string datalog_output = "qualified";
+  /// If true, the protocol's result order is the dispatch order (SLA/EDF
+  /// protocols ORDER BY priority/deadline); otherwise dispatch is by id.
+  bool ordered = false;
+
+  /// Size metric for the paper's Section 3.4 productivity comparison:
+  /// non-empty, non-comment lines (SQL) or rules (Datalog).
+  int CodeSize() const;
+};
+
+/// A protocol compiled against one RequestStore (prepared SQL plan or
+/// stratified Datalog program). Compile once, Schedule() every cycle.
+class CompiledProtocol {
+ public:
+  static Result<CompiledProtocol> Compile(ProtocolSpec spec, RequestStore* store);
+
+  /// Evaluates the protocol over the store's current pending/history
+  /// contents; returns the qualified requests in dispatch order.
+  Result<RequestBatch> Schedule() const;
+
+  const ProtocolSpec& spec() const { return spec_; }
+
+ private:
+  CompiledProtocol(ProtocolSpec spec, RequestStore* store)
+      : spec_(std::move(spec)), store_(store) {}
+
+  ProtocolSpec spec_;
+  RequestStore* store_;
+  std::optional<sql::PreparedQuery> sql_;
+  // Column positions of (id, ta, intrata, operation, object) in the SQL
+  // result schema.
+  std::vector<int> sql_cols_;
+  std::shared_ptr<const datalog::DatalogProgram> datalog_;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_PROTOCOL_H_

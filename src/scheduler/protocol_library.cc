@@ -1,0 +1,227 @@
+#include "scheduler/protocol_library.h"
+
+#include "common/logging.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+/// Paper Listing 1. The CTE block is shared by the SS2PL-based protocols;
+/// only the final SELECT differs (plain, priority-ordered, deadline-ordered).
+constexpr const char* kSs2plCtes = R"sql(
+WITH RLockedObjects AS
+  (SELECT a.object, a.ta, a.Operation
+   FROM history a
+   WHERE NOT EXISTS
+     (SELECT * FROM history b
+      WHERE (a.ta = b.ta AND a.object = b.object AND b.operation = 'w')
+         OR (a.ta = b.ta AND (b.operation = 'a' OR b.operation = 'c')))),
+WLockedObjects AS
+  (SELECT DISTINCT a.object, a.ta, a.operation
+   FROM history a LEFT JOIN
+     (SELECT ta FROM history
+      WHERE operation = 'a' OR operation = 'c') AS finishedTAs
+     ON a.ta = finishedTAs.ta
+   WHERE a.operation = 'w' AND finishedTAs.ta IS Null),
+OperationsOnWLockedObjects AS
+  (SELECT r.ta, r.intrata
+   FROM requests r, WLockedObjects wlo
+   WHERE r.object = wlo.object AND r.ta <> wlo.ta),
+OperationsOnRLockedObjects AS
+  (SELECT wOpsOnRLObj.ta, wOpsOnRLObj.intrata
+   FROM requests wOpsOnRLObj, RLockedObjects rl
+   WHERE wOpsOnRLObj.object = rl.object
+     AND wOpsOnRLObj.operation = 'w'
+     AND wOpsOnRLObj.ta <> rl.ta),
+OpsOnSameObjAsPriorSelectOps AS
+  (SELECT r2.ta, r2.intrata
+   FROM requests r2, requests r1
+   WHERE r2.object = r1.object AND r2.ta > r1.ta
+     AND ((r1.operation = 'w') OR (r2.operation = 'w'))),
+QualifiedSS2PLOps AS
+  ((SELECT ta, intrata FROM requests)
+   EXCEPT (
+     (SELECT * FROM OperationsOnWLockedObjects)
+     UNION ALL
+     (SELECT * FROM OpsOnSameObjAsPriorSelectOps)
+     UNION ALL
+     (SELECT * FROM OperationsOnRLockedObjects)))
+)sql";
+
+constexpr const char* kSs2plFinal = R"sql(
+SELECT r2.*
+FROM requests r2, QualifiedSS2PLOps ss2PL
+WHERE r2.ta = ss2PL.ta AND r2.intrata = ss2PL.intrata
+)sql";
+
+constexpr const char* kSlaFinal = R"sql(
+SELECT r2.*
+FROM requests r2, QualifiedSS2PLOps ss2PL
+WHERE r2.ta = ss2PL.ta AND r2.intrata = ss2PL.intrata
+ORDER BY r2.priority, r2.id
+)sql";
+
+constexpr const char* kEdfFinal = R"sql(
+SELECT r2.*
+FROM requests r2, QualifiedSS2PLOps ss2PL
+WHERE r2.ta = ss2PL.ta AND r2.intrata = ss2PL.intrata
+ORDER BY CASE WHEN r2.deadline = 0 THEN 1 ELSE 0 END, r2.deadline, r2.id
+)sql";
+
+constexpr const char* kReadCommittedSql = R"sql(
+WITH WLockedObjects AS
+  (SELECT DISTINCT a.object, a.ta
+   FROM history a LEFT JOIN
+     (SELECT ta FROM history
+      WHERE operation = 'a' OR operation = 'c') AS finishedTAs
+     ON a.ta = finishedTAs.ta
+   WHERE a.operation = 'w' AND finishedTAs.ta IS Null),
+BlockedOps AS
+  ((SELECT r.ta, r.intrata
+    FROM requests r, WLockedObjects wlo
+    WHERE r.operation = 'w' AND r.object = wlo.object AND r.ta <> wlo.ta)
+   UNION ALL
+   (SELECT r2.ta, r2.intrata
+    FROM requests r2, requests r1
+    WHERE r2.object = r1.object AND r2.ta > r1.ta
+      AND r1.operation = 'w' AND r2.operation = 'w')),
+QualifiedOps AS
+  ((SELECT ta, intrata FROM requests)
+   EXCEPT (SELECT * FROM BlockedOps))
+SELECT r2.*
+FROM requests r2, QualifiedOps q
+WHERE r2.ta = q.ta AND r2.intrata = q.intrata
+)sql";
+
+constexpr const char* kSs2plDatalog = R"(
+% Strong two-phase locking over the request/history relations.
+finished(Ta) :- hist(_, Ta, _, "c", _).
+finished(Ta) :- hist(_, Ta, _, "a", _).
+wrotepair(Obj, Ta) :- hist(_, Ta, _, "w", Obj).
+wlock(Obj, Ta) :- hist(_, Ta, _, "w", Obj), !finished(Ta).
+rlock(Obj, Ta) :- hist(_, Ta, _, "r", Obj), !finished(Ta), !wrotepair(Obj, Ta).
+blocked(Ta, In) :- req(_, Ta, In, _, Obj), wlock(Obj, T2), Ta != T2.
+blocked(Ta, In) :- req(_, Ta, In, "w", Obj), rlock(Obj, T2), Ta != T2.
+blocked(T2, In2) :- req(_, T2, In2, "w", Obj), req(_, T1, _, _, Obj), T2 > T1.
+blocked(T2, In2) :- req(_, T2, In2, _, Obj), req(_, T1, _, "w", Obj), T2 > T1.
+qualified(Id, Ta, In, Op, Obj) :- req(Id, Ta, In, Op, Obj), !blocked(Ta, In).
+)";
+
+constexpr const char* kReadCommittedDatalog = R"(
+% Relaxed consistency: readers never block, writers respect write locks.
+finished(Ta) :- hist(_, Ta, _, "c", _).
+finished(Ta) :- hist(_, Ta, _, "a", _).
+wlock(Obj, Ta) :- hist(_, Ta, _, "w", Obj), !finished(Ta).
+blocked(Ta, In) :- req(_, Ta, In, "w", Obj), wlock(Obj, T2), Ta != T2.
+blocked(T2, In2) :- req(_, T2, In2, "w", Obj), req(_, T1, _, "w", Obj), T2 > T1.
+qualified(Id, Ta, In, Op, Obj) :- req(Id, Ta, In, Op, Obj), !blocked(Ta, In).
+)";
+
+}  // namespace
+
+ProtocolSpec Ss2plSql() {
+  ProtocolSpec spec;
+  spec.name = "ss2pl-sql";
+  spec.description = "Strong 2PL as SQL (paper Listing 1); serializable";
+  spec.language = ProtocolSpec::Language::kSql;
+  spec.text = std::string(kSs2plCtes) + kSs2plFinal;
+  return spec;
+}
+
+ProtocolSpec Ss2plDatalog() {
+  ProtocolSpec spec;
+  spec.name = "ss2pl-datalog";
+  spec.description = "Strong 2PL as Datalog rules; serializable";
+  spec.language = ProtocolSpec::Language::kDatalog;
+  spec.text = kSs2plDatalog;
+  return spec;
+}
+
+ProtocolSpec FcfsSql() {
+  ProtocolSpec spec;
+  spec.name = "fcfs-sql";
+  spec.description = "FCFS, no consistency control (every request qualifies)";
+  spec.language = ProtocolSpec::Language::kSql;
+  spec.text = "SELECT * FROM requests ORDER BY id";
+  spec.ordered = true;
+  return spec;
+}
+
+ProtocolSpec SlaPrioritySql() {
+  ProtocolSpec spec;
+  spec.name = "sla-priority-sql";
+  spec.description = "SS2PL-safe, premium-tier requests dispatched first";
+  spec.language = ProtocolSpec::Language::kSql;
+  spec.text = std::string(kSs2plCtes) + kSlaFinal;
+  spec.ordered = true;
+  return spec;
+}
+
+ProtocolSpec EdfSql() {
+  ProtocolSpec spec;
+  spec.name = "edf-sql";
+  spec.description = "SS2PL-safe, earliest-deadline-first dispatch";
+  spec.language = ProtocolSpec::Language::kSql;
+  spec.text = std::string(kSs2plCtes) + kEdfFinal;
+  spec.ordered = true;
+  return spec;
+}
+
+ProtocolSpec ReadCommittedSql() {
+  ProtocolSpec spec;
+  spec.name = "read-committed-sql";
+  spec.description = "Relaxed: readers never block; write locks only";
+  spec.language = ProtocolSpec::Language::kSql;
+  spec.text = kReadCommittedSql;
+  return spec;
+}
+
+ProtocolSpec ReadCommittedDatalog() {
+  ProtocolSpec spec;
+  spec.name = "read-committed-datalog";
+  spec.description = "Relaxed read-committed as Datalog rules";
+  spec.language = ProtocolSpec::Language::kDatalog;
+  spec.text = kReadCommittedDatalog;
+  return spec;
+}
+
+ProtocolSpec Passthrough() {
+  ProtocolSpec spec;
+  spec.name = "passthrough";
+  spec.description = "Non-scheduling mode: forward everything immediately";
+  spec.language = ProtocolSpec::Language::kPassthrough;
+  return spec;
+}
+
+ProtocolRegistry ProtocolRegistry::BuiltIns() {
+  ProtocolRegistry registry;
+  for (const ProtocolSpec& spec :
+       {Ss2plSql(), Ss2plDatalog(), FcfsSql(), SlaPrioritySql(), EdfSql(),
+        ReadCommittedSql(), ReadCommittedDatalog(), Passthrough()}) {
+    DS_CHECK_OK(registry.Register(spec));
+  }
+  return registry;
+}
+
+Status ProtocolRegistry::Register(ProtocolSpec spec) {
+  const std::string name = spec.name;
+  if (!specs_.emplace(name, std::move(spec)).second) {
+    return Status::AlreadyExists("protocol already registered: " + name);
+  }
+  return Status::OK();
+}
+
+Result<ProtocolSpec> ProtocolRegistry::Get(const std::string& name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) return Status::NotFound("no protocol named " + name);
+  return it->second;
+}
+
+std::vector<std::string> ProtocolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace declsched::scheduler

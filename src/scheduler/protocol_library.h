@@ -1,0 +1,56 @@
+// Built-in declarative protocol library.
+//
+// Covers the paper's three goals (Section 3.1): (a) traditional consistency
+// protocols — SS2PL in SQL (Listing 1, verbatim) and in Datalog; (b) SLA
+// scheduling — priority tiers and earliest-deadline-first; (c) application-
+// specific consistency — a relaxed read-committed protocol that never blocks
+// readers. A passthrough spec implements the paper's non-scheduling mode.
+
+#ifndef DECLSCHED_SCHEDULER_PROTOCOL_LIBRARY_H_
+#define DECLSCHED_SCHEDULER_PROTOCOL_LIBRARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "scheduler/protocol.h"
+
+namespace declsched::scheduler {
+
+/// Strong 2PL as SQL — the paper's Listing 1, verbatim modulo whitespace.
+ProtocolSpec Ss2plSql();
+/// Strong 2PL as Datalog (the Section 5 "more succinct language").
+ProtocolSpec Ss2plDatalog();
+/// First-come-first-served without consistency guarantees: every pending
+/// request qualifies, in arrival order.
+ProtocolSpec FcfsSql();
+/// SS2PL-safe requests dispatched premium-first (priority column, then id).
+ProtocolSpec SlaPrioritySql();
+/// SS2PL-safe requests dispatched by earliest deadline (0 = none, last).
+ProtocolSpec EdfSql();
+/// Relaxed consistency: readers never block; writers respect write locks
+/// (no read locks at all) — lost-update-free but not serializable.
+ProtocolSpec ReadCommittedSql();
+/// The same relaxed protocol in Datalog.
+ProtocolSpec ReadCommittedDatalog();
+/// Non-scheduling passthrough (paper Section 3.3 last paragraph).
+ProtocolSpec Passthrough();
+
+/// Name -> spec registry of every built-in; custom specs can be added.
+class ProtocolRegistry {
+ public:
+  /// A registry pre-loaded with all built-ins above.
+  static ProtocolRegistry BuiltIns();
+
+  Status Register(ProtocolSpec spec);
+  Result<ProtocolSpec> Get(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, ProtocolSpec> specs_;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_PROTOCOL_LIBRARY_H_

@@ -1,0 +1,65 @@
+// Request: the unit the declarative scheduler treats as data.
+//
+// Core attributes follow the paper's Table 2 (ID, TA, INTRATA, Operation,
+// Object). The SLA attributes (priority, deadline, arrival) are the natural
+// extension the paper's Section 1 motivates ("premium vs. free customers");
+// they live in extra columns of the same relation so that SLA protocols can
+// reference them declaratively.
+
+#ifndef DECLSCHED_SCHEDULER_REQUEST_H_
+#define DECLSCHED_SCHEDULER_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "server/statement.h"
+#include "txn/types.h"
+
+namespace declsched::scheduler {
+
+struct Request {
+  /// Consecutive request number (assigned by the scheduler at admission).
+  int64_t id = 0;
+  /// Transaction number.
+  txn::TxnId ta = 0;
+  /// Request number within the transaction.
+  int64_t intrata = 0;
+  /// read / write / abort / commit.
+  txn::OpType op = txn::OpType::kRead;
+  /// Object (row) number; kNoObject for commit/abort.
+  txn::ObjectId object = kNoObject;
+
+  // --- SLA extension ---
+  /// 0 = highest priority (premium).
+  int priority = 0;
+  /// Absolute deadline on the simulated timeline (0 = none).
+  SimTime deadline;
+  /// Admission time (set by the scheduler).
+  SimTime arrival;
+  /// Submitting client (middleware bookkeeping, not visible to protocols).
+  int client = -1;
+
+  static constexpr txn::ObjectId kNoObject = -1;
+
+  server::Statement ToStatement() const {
+    return server::Statement{ta, intrata, op, object};
+  }
+
+  std::string ToString() const {
+    std::string out = "#" + std::to_string(id) + " ";
+    out += txn::OpTypeToChar(op);
+    out += std::to_string(ta) + "." + std::to_string(intrata);
+    if (op == txn::OpType::kRead || op == txn::OpType::kWrite) {
+      out += "[" + std::to_string(object) + "]";
+    }
+    return out;
+  }
+};
+
+using RequestBatch = std::vector<Request>;
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_REQUEST_H_

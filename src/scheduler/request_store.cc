@@ -1,0 +1,170 @@
+#include "scheduler/request_store.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace declsched::scheduler {
+
+using storage::Row;
+using storage::RowId;
+using storage::Value;
+using storage::ValueType;
+
+namespace {
+
+storage::Schema RequestSchema() {
+  return storage::Schema({
+      {"id", ValueType::kInt64},
+      {"ta", ValueType::kInt64},
+      {"intrata", ValueType::kInt64},
+      {"operation", ValueType::kString},
+      {"object", ValueType::kInt64},
+      {"priority", ValueType::kInt64},
+      {"deadline", ValueType::kInt64},
+      {"arrival", ValueType::kInt64},
+      {"client", ValueType::kInt64},
+  });
+}
+
+txn::OpType OpFromString(const std::string& s) {
+  if (s == "r") return txn::OpType::kRead;
+  if (s == "w") return txn::OpType::kWrite;
+  if (s == "a") return txn::OpType::kAbort;
+  return txn::OpType::kCommit;
+}
+
+}  // namespace
+
+RequestStore::RequestStore() : engine_(&catalog_) {
+  requests_ = catalog_.CreateTable("requests", RequestSchema()).ValueOrDie();
+  history_ = catalog_.CreateTable("history", RequestSchema()).ValueOrDie();
+  // Point lookups by id (MarkScheduled) and GC by ta benefit from indexes.
+  DS_CHECK_OK(requests_->CreateIndex("id"));
+  DS_CHECK_OK(history_->CreateIndex("ta"));
+}
+
+storage::Row RequestStore::ToRow(const Request& request) {
+  return Row{
+      Value::Int64(request.id),
+      Value::Int64(request.ta),
+      Value::Int64(request.intrata),
+      Value::String(std::string(1, txn::OpTypeToChar(request.op))),
+      Value::Int64(request.object),
+      Value::Int64(request.priority),
+      Value::Int64(request.deadline.micros()),
+      Value::Int64(request.arrival.micros()),
+      Value::Int64(request.client),
+  };
+}
+
+Status RequestStore::InsertPending(const RequestBatch& batch) {
+  for (const Request& request : batch) {
+    DS_RETURN_NOT_OK(requests_->Insert(ToRow(request)).status());
+  }
+  return Status::OK();
+}
+
+Status RequestStore::MarkScheduled(const RequestBatch& batch) {
+  for (const Request& request : batch) {
+    DS_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                        requests_->IndexLookup(kColId, Value::Int64(request.id)));
+    if (ids.size() != 1) {
+      return Status::Internal(StrFormat("request #%lld matched %zu pending rows",
+                                        static_cast<long long>(request.id),
+                                        ids.size()));
+    }
+    const Row row = *requests_->Get(ids[0]);
+    DS_RETURN_NOT_OK(requests_->Delete(ids[0]));
+    DS_RETURN_NOT_OK(history_->Insert(row).status());
+  }
+  return Status::OK();
+}
+
+Result<int64_t> RequestStore::GarbageCollectFinished() {
+  // Pass 1: transactions with a termination marker in history.
+  std::unordered_set<int64_t> finished;
+  history_->ForEach([&](RowId, const Row& row) {
+    const std::string& op = row[kColOperation].AsString();
+    if (op == "c" || op == "a") finished.insert(row[kColTa].AsInt64());
+  });
+  if (finished.empty()) return 0;
+  // Pass 2: retire all their rows (markers included).
+  const int64_t removed = history_->DeleteWhere([&](const Row& row) {
+    return finished.count(row[kColTa].AsInt64()) > 0;
+  });
+  return removed;
+}
+
+Result<RequestBatch> RequestStore::AllPending() const {
+  RequestBatch out;
+  out.reserve(static_cast<size_t>(requests_->size()));
+  Status status;
+  requests_->ForEach([&](RowId, const Row& row) {
+    if (!status.ok()) return;
+    auto request = RowToRequest(row);
+    if (!request.ok()) {
+      status = request.status();
+      return;
+    }
+    out.push_back(request.MoveValue());
+  });
+  DS_RETURN_NOT_OK(status);
+  std::sort(out.begin(), out.end(),
+            [](const Request& a, const Request& b) { return a.id < b.id; });
+  return out;
+}
+
+int64_t RequestStore::pending_count() const { return requests_->size(); }
+int64_t RequestStore::history_count() const { return history_->size(); }
+
+datalog::Database RequestStore::BuildDatalogEdb() const {
+  datalog::Database edb;
+  datalog::Relation& req = edb["req"];
+  datalog::Relation& reqmeta = edb["reqmeta"];
+  datalog::Relation& hist = edb["hist"];
+  requests_->ForEach([&](RowId, const Row& row) {
+    req.push_back({row[kColId], row[kColTa], row[kColIntrata], row[kColOperation],
+                   row[kColObject]});
+    reqmeta.push_back(
+        {row[kColId], row[kColPriority], row[kColDeadline], row[kColArrival]});
+  });
+  history_->ForEach([&](RowId, const Row& row) {
+    hist.push_back({row[kColId], row[kColTa], row[kColIntrata], row[kColOperation],
+                    row[kColObject]});
+  });
+  return edb;
+}
+
+Result<Request> RequestStore::RowToRequest(const storage::Row& row) const {
+  if (row.size() < 5) {
+    return Status::InvalidArgument("protocol result row needs >= 5 columns");
+  }
+  Request request;
+  request.id = row[kColId].AsInt64();
+  request.ta = row[kColTa].AsInt64();
+  request.intrata = row[kColIntrata].AsInt64();
+  request.op = OpFromString(row[kColOperation].AsString());
+  request.object = row[kColObject].AsInt64();
+  // Rejoin the metadata columns from the pending table (protocols only
+  // guarantee the Table 2 columns in their result).
+  auto ids = requests_->IndexLookup(kColId, row[kColId]);
+  if (ids.ok() && ids->size() == 1) {
+    const Row& full = *requests_->Get((*ids)[0]);
+    request.priority = static_cast<int>(full[kColPriority].AsInt64());
+    request.deadline = SimTime::FromMicros(full[kColDeadline].AsInt64());
+    request.arrival = SimTime::FromMicros(full[kColArrival].AsInt64());
+    request.client = static_cast<int>(full[kColClient].AsInt64());
+  } else if (row.size() >= 9) {
+    request.priority = static_cast<int>(row[kColPriority].AsInt64());
+    request.deadline = SimTime::FromMicros(row[kColDeadline].AsInt64());
+    request.arrival = SimTime::FromMicros(row[kColArrival].AsInt64());
+    request.client = static_cast<int>(row[kColClient].AsInt64());
+  }
+  return request;
+}
+
+}  // namespace declsched::scheduler

@@ -1,0 +1,79 @@
+// RequestStore: the pending-request and history databases of Figure 1.
+//
+// Both are ordinary relations in a storage::Catalog so that scheduling
+// protocols — SQL queries or Datalog programs — can treat requests as data.
+// Schema: the paper's Table 2 columns plus the SLA extension columns.
+
+#ifndef DECLSCHED_SCHEDULER_REQUEST_STORE_H_
+#define DECLSCHED_SCHEDULER_REQUEST_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/engine.h"
+#include "scheduler/request.h"
+#include "sql/engine.h"
+#include "storage/catalog.h"
+
+namespace declsched::scheduler {
+
+class RequestStore {
+ public:
+  /// Column layout of both the `requests` and `history` tables.
+  /// The first five columns are the paper's Table 2.
+  static constexpr int kColId = 0;
+  static constexpr int kColTa = 1;
+  static constexpr int kColIntrata = 2;
+  static constexpr int kColOperation = 3;
+  static constexpr int kColObject = 4;
+  static constexpr int kColPriority = 5;
+  static constexpr int kColDeadline = 6;
+  static constexpr int kColArrival = 7;
+  static constexpr int kColClient = 8;
+
+  RequestStore();
+
+  storage::Catalog* catalog() { return &catalog_; }
+  sql::SqlEngine* sql_engine() { return &engine_; }
+
+  /// Appends a batch to the pending `requests` relation.
+  Status InsertPending(const RequestBatch& batch);
+
+  /// Moves scheduled requests: delete from `requests`, insert into `history`.
+  /// (Paper Section 3.3, step three.)
+  Status MarkScheduled(const RequestBatch& batch);
+
+  /// Deletes every history row of transactions that have a commit/abort
+  /// marker. Under SS2PL those rows no longer represent locks; retiring them
+  /// keeps the history table at the active working set ("all *relevant*
+  /// prior executed requests"). Returns the number of rows retired.
+  Result<int64_t> GarbageCollectFinished();
+
+  /// All pending requests, by ascending id.
+  Result<RequestBatch> AllPending() const;
+
+  int64_t pending_count() const;
+  int64_t history_count() const;
+
+  /// EDB for Datalog protocols:
+  ///   req(Id, Ta, Intrata, Op, Obj), hist(Id, Ta, Intrata, Op, Obj),
+  ///   reqmeta(Id, Priority, Deadline, Arrival).
+  datalog::Database BuildDatalogEdb() const;
+
+  /// Converts a result row (id, ta, intrata, operation, object [, ...]) back
+  /// into a Request, rejoining the SLA columns from the pending table.
+  Result<Request> RowToRequest(const storage::Row& row) const;
+
+ private:
+  static storage::Row ToRow(const Request& request);
+
+  storage::Catalog catalog_;
+  sql::SqlEngine engine_;
+  storage::Table* requests_ = nullptr;
+  storage::Table* history_ = nullptr;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_REQUEST_STORE_H_

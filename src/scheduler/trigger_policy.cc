@@ -1,0 +1,48 @@
+#include "scheduler/trigger_policy.h"
+
+#include "common/string_util.h"
+
+namespace declsched::scheduler {
+
+std::string TriggerConfig::ToString() const {
+  switch (kind) {
+    case Kind::kTimer:
+      return StrFormat("timer(%lldus)", static_cast<long long>(interval.micros()));
+    case Kind::kFillLevel:
+      return StrFormat("fill(%lld)", static_cast<long long>(fill_level));
+    case Kind::kHybrid:
+      return StrFormat("hybrid(%lldus,%lld)",
+                       static_cast<long long>(interval.micros()),
+                       static_cast<long long>(fill_level));
+    case Kind::kEager:
+      return "eager";
+  }
+  return "?";
+}
+
+bool TriggerPolicy::ShouldFire(SimTime now, int64_t queue_size) const {
+  if (queue_size <= 0) return false;
+  switch (config_.kind) {
+    case TriggerConfig::Kind::kEager:
+      return true;
+    case TriggerConfig::Kind::kTimer:
+      return now - last_fired_ >= config_.interval;
+    case TriggerConfig::Kind::kFillLevel:
+      return queue_size >= config_.fill_level;
+    case TriggerConfig::Kind::kHybrid:
+      return now - last_fired_ >= config_.interval ||
+             queue_size >= config_.fill_level;
+  }
+  return false;
+}
+
+SimTime TriggerPolicy::NextEligible(SimTime now) const {
+  if (config_.kind == TriggerConfig::Kind::kTimer ||
+      config_.kind == TriggerConfig::Kind::kHybrid) {
+    const SimTime due = last_fired_ + config_.interval;
+    return due > now ? due : now;
+  }
+  return now;
+}
+
+}  // namespace declsched::scheduler

@@ -1,0 +1,68 @@
+// Trigger policies: when does the scheduler empty the incoming queue?
+//
+// Paper Section 3.3: "The trigger condition can be configured (dynamically).
+// The best condition has to be evaluated experimentally. Possible conditions
+// are, e.g. a lapse of time, a certain fill level of the incoming queue or a
+// hybrid version." All three are here; bench_trigger_policies runs the
+// evaluation the paper defers.
+
+#ifndef DECLSCHED_SCHEDULER_TRIGGER_POLICY_H_
+#define DECLSCHED_SCHEDULER_TRIGGER_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+
+namespace declsched::scheduler {
+
+struct TriggerConfig {
+  enum class Kind {
+    kTimer,      // fire when `interval` elapsed since the last firing
+    kFillLevel,  // fire when the queue holds >= `fill_level` requests
+    kHybrid,     // fire on whichever condition is met first
+    kEager,      // fire whenever the queue is non-empty
+  };
+  Kind kind = Kind::kEager;
+  SimTime interval = SimTime::FromMillis(10);
+  int64_t fill_level = 64;
+
+  static TriggerConfig Timer(SimTime interval) {
+    return {Kind::kTimer, interval, 0};
+  }
+  static TriggerConfig FillLevel(int64_t level) {
+    return {Kind::kFillLevel, SimTime(), level};
+  }
+  static TriggerConfig Hybrid(SimTime interval, int64_t level) {
+    return {Kind::kHybrid, interval, level};
+  }
+  static TriggerConfig Eager() { return {}; }
+
+  std::string ToString() const;
+};
+
+/// Stateful evaluation of a TriggerConfig (tracks the last firing time).
+class TriggerPolicy {
+ public:
+  explicit TriggerPolicy(const TriggerConfig& config) : config_(config) {}
+
+  /// True if the scheduler should run a cycle now. Call NotifyFired() after
+  /// actually running one.
+  bool ShouldFire(SimTime now, int64_t queue_size) const;
+
+  void NotifyFired(SimTime now) { last_fired_ = now; }
+
+  /// The next time at which a timer-based policy could fire (now if already
+  /// due or non-timer). Used by simulation harnesses to advance the clock.
+  SimTime NextEligible(SimTime now) const;
+
+  const TriggerConfig& config() const { return config_; }
+
+ private:
+  TriggerConfig config_;
+  SimTime last_fired_;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_TRIGGER_POLICY_H_

@@ -1,0 +1,77 @@
+#include "server/database_server.h"
+
+#include "common/string_util.h"
+#include "storage/value.h"
+
+namespace declsched::server {
+
+using storage::Value;
+
+DatabaseServer::DatabaseServer(const Config& config)
+    : config_(config),
+      table_("data", storage::Schema({{"key", storage::ValueType::kInt64},
+                                      {"val", storage::ValueType::kInt64}})) {
+  if (config_.materialize_rows) {
+    for (int64_t k = 0; k < config_.num_rows; ++k) {
+      // RowId equals key: dense insertion order.
+      table_.Insert({Value::Int64(k), Value::Int64(0)}).ValueOrDie();
+    }
+  }
+}
+
+Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
+    const StatementBatch& batch) {
+  BatchStats stats;
+  if (batch.empty()) return stats;
+  stats.busy = config_.cost.batch_dispatch;
+  for (const Statement& stmt : batch) {
+    switch (stmt.op) {
+      case txn::OpType::kRead:
+      case txn::OpType::kWrite: {
+        if (stmt.object < 0 || stmt.object >= config_.num_rows) {
+          return Status::InvalidArgument(
+              StrFormat("row %lld out of range [0, %lld)",
+                        static_cast<long long>(stmt.object),
+                        static_cast<long long>(config_.num_rows)));
+        }
+        if (config_.materialize_rows) {
+          const storage::Row* row = table_.Get(stmt.object);
+          if (stmt.op == txn::OpType::kWrite) {
+            DS_RETURN_NOT_OK(table_.Update(
+                stmt.object,
+                {Value::Int64(stmt.object), Value::Int64((*row)[1].AsInt64() + 1)}));
+          }
+        }
+        if (stmt.op == txn::OpType::kWrite) {
+          ++stats.writes;
+        } else {
+          ++stats.reads;
+        }
+        stats.busy += config_.cost.statement_service;
+        break;
+      }
+      case txn::OpType::kCommit:
+        ++stats.commits;
+        stats.busy += config_.cost.commit_service;
+        break;
+      case txn::OpType::kAbort:
+        ++stats.aborts;
+        stats.busy += config_.cost.commit_service;
+        break;
+    }
+  }
+  total_statements_ += static_cast<int64_t>(batch.size());
+  total_busy_ += stats.busy;
+  return stats;
+}
+
+Result<int64_t> DatabaseServer::RowValue(int64_t key) const {
+  if (!config_.materialize_rows) return 0;
+  const storage::Row* row = table_.Get(key);
+  if (row == nullptr) {
+    return Status::NotFound(StrFormat("no row %lld", static_cast<long long>(key)));
+  }
+  return (*row)[1].AsInt64();
+}
+
+}  // namespace declsched::server

@@ -1,0 +1,64 @@
+// DatabaseServer: the backend the declarative scheduler dispatches to.
+//
+// In the paper's architecture (Figure 1) the middleware sends scheduled
+// request batches to the server with the server's own scheduler disabled as
+// far as possible. This server executes the batch directly against its
+// storage without any lock acquisition (the middleware guarantees the batch
+// is conflict-safe) and accounts the simulated CPU time it would take.
+
+#ifndef DECLSCHED_SERVER_DATABASE_SERVER_H_
+#define DECLSCHED_SERVER_DATABASE_SERVER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "server/cost_model.h"
+#include "server/statement.h"
+#include "storage/table.h"
+
+namespace declsched::server {
+
+class DatabaseServer {
+ public:
+  struct Config {
+    /// Size of the user table (the paper: 100 000 rows).
+    int64_t num_rows = 100000;
+    CostModel cost;
+    /// When false, data is not materialized and statements only account
+    /// simulated time (fast mode for large benchmarks).
+    bool materialize_rows = true;
+  };
+
+  explicit DatabaseServer(const Config& config);
+
+  struct BatchStats {
+    int64_t reads = 0;
+    int64_t writes = 0;
+    int64_t commits = 0;
+    int64_t aborts = 0;
+    /// Simulated CPU time consumed by this batch.
+    SimTime busy;
+  };
+
+  /// Executes a pre-scheduled batch without internal scheduling. Statements
+  /// touching rows outside [0, num_rows) fail with InvalidArgument.
+  Result<BatchStats> ExecuteBatch(const StatementBatch& batch);
+
+  /// Current value of a row (writes increment it); 0 in non-materialized
+  /// mode. For test verification.
+  Result<int64_t> RowValue(int64_t key) const;
+
+  int64_t total_statements() const { return total_statements_; }
+  SimTime total_busy() const { return total_busy_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  storage::Table table_;
+  int64_t total_statements_ = 0;
+  SimTime total_busy_;
+};
+
+}  // namespace declsched::server
+
+#endif  // DECLSCHED_SERVER_DATABASE_SERVER_H_

@@ -1,0 +1,219 @@
+#include "server/native_scheduler_sim.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "txn/lock_manager.h"
+
+namespace declsched::server {
+
+namespace {
+
+using txn::LockManager;
+using txn::LockMode;
+using txn::OpType;
+using txn::TxnId;
+
+class Simulation {
+ public:
+  explicit Simulation(const NativeSimConfig& config)
+      : config_(config),
+        cpu_(&sim_),
+        slowdown_(config.cost.MplSlowdown(config.num_clients)) {}
+
+  Result<NativeSimResult> Run() {
+    if (config_.num_clients <= 0) {
+      return Status::InvalidArgument("num_clients must be positive");
+    }
+    clients_.reserve(static_cast<size_t>(config_.num_clients));
+    for (int i = 0; i < config_.num_clients; ++i) {
+      clients_.push_back(std::make_unique<Client>());
+      Client& c = *clients_.back();
+      c.index = i;
+      c.generator = std::make_unique<workload::OltpWorkloadGenerator>(
+          config_.workload, config_.seed + static_cast<uint64_t>(i) * 7919);
+      BeginTransaction(c);
+    }
+    sim_.RunUntil(config_.duration);
+
+    result_.elapsed = config_.duration;
+    result_.cpu_busy = cpu_.busy_time();
+    // CPU busy time can nominally extend past the window (the last job runs
+    // to completion); clamp for utilization reporting.
+    if (result_.cpu_busy > result_.elapsed) result_.cpu_busy = result_.elapsed;
+    return std::move(result_);
+  }
+
+ private:
+  struct Client {
+    int index = 0;
+    std::unique_ptr<workload::OltpWorkloadGenerator> generator;
+    workload::TxnSpec spec;
+    TxnId txn = 0;
+    size_t next_op = 0;       // index of the statement being processed
+    int64_t executed = 0;     // statements completed in this attempt
+    SimTime txn_start;
+    bool waiting = false;
+    int64_t wait_epoch = 0;   // invalidates stale timeout events
+    bool done = false;        // stopped by max_committed_txns
+  };
+
+  void BeginTransaction(Client& c) {
+    c.spec = c.generator->NextTransaction();
+    StartAttempt(c);
+  }
+
+  /// Starts (or restarts after abort) the current transaction spec under a
+  /// fresh transaction id.
+  void StartAttempt(Client& c) {
+    c.txn = next_txn_id_++;
+    c.next_op = 0;
+    c.executed = 0;
+    c.txn_start = sim_.Now();
+    txn_owner_[c.txn] = c.index;
+    NextStatement(c);
+  }
+
+  /// All CPU work slows down uniformly under MPL overcommit (memory
+  /// pressure and context switching affect every job equally).
+  SimTime Scaled(SimTime t) const {
+    return SimTime::FromMicros(
+        static_cast<int64_t>(static_cast<double>(t.micros()) * slowdown_ + 0.5));
+  }
+
+  void NextStatement(Client& c) {
+    if (stopped_ || c.done) return;
+    if (c.next_op >= c.spec.ops.size()) {
+      Commit(c);
+      return;
+    }
+    // Lock-manager bookkeeping burns CPU before the request is decided.
+    cpu_.Submit(Scaled(config_.cost.lock_acquire),
+                [this, &c, txn = c.txn] { RequestLock(c, txn); });
+  }
+
+  void RequestLock(Client& c, TxnId txn) {
+    if (stopped_ || c.txn != txn) return;  // attempt was aborted meanwhile
+    const workload::OpSpec& op = c.spec.ops[c.next_op];
+    const LockMode mode = op.is_write ? LockMode::kExclusive : LockMode::kShared;
+    auto outcome = lm_.Request(c.txn, op.object, mode);
+    switch (outcome.outcome) {
+      case LockManager::AcquireOutcome::kGranted:
+      case LockManager::AcquireOutcome::kAlreadyHeld:
+        ExecuteStatement(c);
+        return;
+      case LockManager::AcquireOutcome::kQueued: {
+        ++result_.lock_waits;
+        c.waiting = true;
+        const int64_t epoch = ++c.wait_epoch;
+        sim_.Schedule(config_.cost.lock_wait_timeout,
+                      [this, &c, txn, epoch] { OnWaitTimeout(c, txn, epoch); });
+        return;
+      }
+      case LockManager::AcquireOutcome::kDeadlock:
+        ++result_.deadlock_aborts;
+        Abort(c);
+        return;
+    }
+  }
+
+  void OnWaitTimeout(Client& c, TxnId txn, int64_t epoch) {
+    if (stopped_ || c.txn != txn || !c.waiting || c.wait_epoch != epoch) return;
+    ++result_.timeout_aborts;
+    c.waiting = false;
+    Abort(c);
+  }
+
+  void OnGrant(Client& c) {
+    if (stopped_) return;
+    c.waiting = false;
+    ++c.wait_epoch;  // cancel the pending timeout
+    ExecuteStatement(c);
+  }
+
+  void ExecuteStatement(Client& c) {
+    cpu_.Submit(Scaled(config_.cost.statement_service),
+                [this, &c, txn = c.txn] { OnStatementDone(c, txn); });
+  }
+
+  void OnStatementDone(Client& c, TxnId txn) {
+    if (stopped_ || c.txn != txn) return;
+    const workload::OpSpec& op = c.spec.ops[c.next_op];
+    if (config_.record_history) {
+      result_.history.push_back(txn::HistoryOp{
+          c.txn, op.is_write ? OpType::kWrite : OpType::kRead, op.object});
+    }
+    ++c.executed;
+    ++c.next_op;
+    NextStatement(c);
+  }
+
+  void Commit(Client& c) {
+    cpu_.Submit(Scaled(config_.cost.commit_service), [this, &c, txn = c.txn] {
+      if (stopped_ || c.txn != txn) return;
+      if (config_.record_history) {
+        result_.history.push_back(txn::HistoryOp{c.txn, OpType::kCommit, 0});
+      }
+      ++result_.committed_txns;
+      result_.committed_statements += static_cast<int64_t>(c.spec.ops.size());
+      result_.txn_latency_us.Record((sim_.Now() - c.txn_start).micros());
+      ReleaseAndDeliver(c.txn);
+      txn_owner_.erase(c.txn);
+      if (config_.max_committed_txns >= 0 &&
+          result_.committed_txns >= config_.max_committed_txns) {
+        stopped_ = true;
+        sim_.Stop();
+        return;
+      }
+      BeginTransaction(c);
+    });
+  }
+
+  void Abort(Client& c) {
+    result_.wasted_statements += c.executed;
+    if (config_.record_history && c.executed > 0) {
+      result_.history.push_back(txn::HistoryOp{c.txn, OpType::kAbort, 0});
+    }
+    ReleaseAndDeliver(c.txn);
+    txn_owner_.erase(c.txn);
+    c.txn = 0;  // invalidate in-flight callbacks of this attempt
+    // Rollback burns CPU proportional to the executed statements, then the
+    // transaction restarts from scratch (immediate-restart policy).
+    const SimTime undo = Scaled(config_.cost.undo_per_statement * c.executed);
+    cpu_.Submit(undo, [this, &c] {
+      if (stopped_ || c.done) return;
+      StartAttempt(c);
+    });
+  }
+
+  void ReleaseAndDeliver(TxnId txn) {
+    for (const LockManager::Grant& grant : lm_.ReleaseAll(txn)) {
+      auto it = txn_owner_.find(grant.txn);
+      if (it == txn_owner_.end()) continue;
+      Client& granted = *clients_[it->second];
+      if (granted.txn == grant.txn && granted.waiting) OnGrant(granted);
+    }
+  }
+
+  NativeSimConfig config_;
+  sim::Simulator sim_;
+  sim::FifoResource cpu_;
+  LockManager lm_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unordered_map<TxnId, int> txn_owner_;
+  TxnId next_txn_id_ = 1;
+  bool stopped_ = false;
+  double slowdown_ = 1.0;
+  NativeSimResult result_;
+};
+
+}  // namespace
+
+Result<NativeSimResult> RunNativeSimulation(const NativeSimConfig& config) {
+  Simulation simulation(config);
+  return simulation.Run();
+}
+
+}  // namespace declsched::server

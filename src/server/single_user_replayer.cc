@@ -1,0 +1,16 @@
+#include "server/single_user_replayer.h"
+
+namespace declsched::server {
+
+SingleUserReplayResult ReplaySingleUser(int64_t num_statements,
+                                        const CostModel& cost) {
+  SingleUserReplayResult result;
+  result.statements = num_statements;
+  // One exclusive table lock (a single acquire), the statement sequence, and
+  // a single commit.
+  result.elapsed = cost.lock_acquire + cost.statement_service * num_statements +
+                   cost.commit_service;
+  return result;
+}
+
+}  // namespace declsched::server

@@ -1,0 +1,29 @@
+// Single-user replay: the paper's lower bound for scheduling overhead.
+//
+// Section 4.2.1: "we acquired an exclusive lock on the table ... and
+// processed the same statement sequence in a single transaction". Without
+// concurrency there is no lock-manager work, no blocking and no wasted
+// rollbacks: elapsed time is just the sum of statement service times.
+
+#ifndef DECLSCHED_SERVER_SINGLE_USER_REPLAYER_H_
+#define DECLSCHED_SERVER_SINGLE_USER_REPLAYER_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "server/cost_model.h"
+
+namespace declsched::server {
+
+struct SingleUserReplayResult {
+  int64_t statements = 0;
+  SimTime elapsed;
+};
+
+/// Simulated elapsed time to replay `num_statements` in one transaction:
+/// one table lock + statements + one commit.
+SingleUserReplayResult ReplaySingleUser(int64_t num_statements, const CostModel& cost);
+
+}  // namespace declsched::server
+
+#endif  // DECLSCHED_SERVER_SINGLE_USER_REPLAYER_H_

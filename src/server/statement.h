@@ -1,0 +1,27 @@
+// Statement: the unit of work the simulated DBMS executes.
+
+#ifndef DECLSCHED_SERVER_STATEMENT_H_
+#define DECLSCHED_SERVER_STATEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/types.h"
+
+namespace declsched::server {
+
+/// One database statement against a single row, as in the paper's workload
+/// ("each statement affected exactly one random row"). Commit/abort
+/// statements terminate a transaction.
+struct Statement {
+  txn::TxnId txn = 0;
+  int64_t intra_txn = 0;  // position within the transaction (Table 2 INTRATA)
+  txn::OpType op = txn::OpType::kRead;
+  txn::ObjectId object = 0;  // row key; ignored for commit/abort
+};
+
+using StatementBatch = std::vector<Statement>;
+
+}  // namespace declsched::server
+
+#endif  // DECLSCHED_SERVER_STATEMENT_H_

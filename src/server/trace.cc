@@ -1,0 +1,116 @@
+#include "server/trace.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace declsched::server {
+
+ScheduleTrace TraceFromHistory(const std::vector<txn::HistoryOp>& history) {
+  std::unordered_set<txn::TxnId> committed;
+  for (const txn::HistoryOp& op : history) {
+    if (op.type == txn::OpType::kCommit) committed.insert(op.txn);
+  }
+  ScheduleTrace trace;
+  for (const txn::HistoryOp& op : history) {
+    if (committed.count(op.txn) == 0) continue;
+    switch (op.type) {
+      case txn::OpType::kRead:
+      case txn::OpType::kWrite:
+        trace.statements.push_back(Statement{op.txn, 0, op.type, op.object});
+        ++trace.data_statements;
+        break;
+      case txn::OpType::kCommit:
+        trace.statements.push_back(
+            Statement{op.txn, 0, txn::OpType::kCommit, 0});
+        ++trace.committed_txns;
+        break;
+      case txn::OpType::kAbort:
+        break;  // cannot happen for committed txns
+    }
+  }
+  return trace;
+}
+
+std::string SerializeTrace(const ScheduleTrace& trace) {
+  std::string out;
+  out.reserve(trace.statements.size() * 16);
+  for (const Statement& stmt : trace.statements) {
+    switch (stmt.op) {
+      case txn::OpType::kRead:
+        out += StrFormat("r %lld %lld\n", static_cast<long long>(stmt.txn),
+                         static_cast<long long>(stmt.object));
+        break;
+      case txn::OpType::kWrite:
+        out += StrFormat("w %lld %lld\n", static_cast<long long>(stmt.txn),
+                         static_cast<long long>(stmt.object));
+        break;
+      case txn::OpType::kCommit:
+        out += StrFormat("c %lld\n", static_cast<long long>(stmt.txn));
+        break;
+      case txn::OpType::kAbort:
+        out += StrFormat("a %lld\n", static_cast<long long>(stmt.txn));
+        break;
+    }
+  }
+  return out;
+}
+
+Result<ScheduleTrace> ParseTrace(std::string_view text) {
+  ScheduleTrace trace;
+  int line_no = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_no;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> parts = Split(std::string(line), ' ');
+    auto fail = [line_no]() {
+      return Status::ParseError(StrFormat("trace line %d malformed", line_no));
+    };
+    if (parts.empty() || parts[0].size() != 1) return fail();
+    Statement stmt;
+    try {
+      switch (parts[0][0]) {
+        case 'r':
+        case 'w':
+          if (parts.size() != 3) return fail();
+          stmt.op = parts[0][0] == 'r' ? txn::OpType::kRead : txn::OpType::kWrite;
+          stmt.txn = std::stoll(parts[1]);
+          stmt.object = std::stoll(parts[2]);
+          ++trace.data_statements;
+          break;
+        case 'c':
+        case 'a':
+          if (parts.size() != 2) return fail();
+          stmt.op = parts[0][0] == 'c' ? txn::OpType::kCommit : txn::OpType::kAbort;
+          stmt.txn = std::stoll(parts[1]);
+          if (stmt.op == txn::OpType::kCommit) ++trace.committed_txns;
+          break;
+        default:
+          return fail();
+      }
+    } catch (...) {
+      return fail();
+    }
+    trace.statements.push_back(stmt);
+  }
+  return trace;
+}
+
+Result<SimTime> ReplayTrace(const ScheduleTrace& trace, DatabaseServer* server) {
+  // Single-user replay: the whole schedule as one lock-free batch. Commit
+  // markers are skipped except one final commit — the paper processed "the
+  // same statement sequence in a single transaction".
+  StatementBatch batch;
+  batch.reserve(trace.statements.size() + 1);
+  for (const Statement& stmt : trace.statements) {
+    if (stmt.op == txn::OpType::kRead || stmt.op == txn::OpType::kWrite) {
+      batch.push_back(stmt);
+    }
+  }
+  batch.push_back(Statement{0, 0, txn::OpType::kCommit, 0});
+  DS_ASSIGN_OR_RETURN(DatabaseServer::BatchStats stats, server->ExecuteBatch(batch));
+  return stats.busy;
+}
+
+}  // namespace declsched::server

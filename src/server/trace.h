@@ -1,0 +1,52 @@
+// Schedule traces: the paper's Section 4.2.1 measurement methodology.
+//
+// "In a separate run, we also logged the produced schedule. We then reran
+// this schedule with a single concurrent transaction" — a trace is that
+// logged schedule: the committed statement sequence in execution order.
+// Traces can be captured from the native simulation, saved/loaded as text,
+// and replayed single-user against a DatabaseServer.
+
+#ifndef DECLSCHED_SERVER_TRACE_H_
+#define DECLSCHED_SERVER_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "server/database_server.h"
+#include "server/statement.h"
+#include "txn/types.h"
+
+namespace declsched::server {
+
+/// A logged schedule.
+struct ScheduleTrace {
+  /// Read/write statements plus commit markers, in execution order.
+  std::vector<Statement> statements;
+  int64_t committed_txns = 0;
+  /// Read/write statements only (excludes markers).
+  int64_t data_statements = 0;
+};
+
+/// Extracts the committed projection of an executed history (operations of
+/// aborted or unfinished transactions are dropped — they never appear in the
+/// replayed schedule).
+ScheduleTrace TraceFromHistory(const std::vector<txn::HistoryOp>& history);
+
+/// Serializes to a line-oriented text format:
+///   r <txn> <object>
+///   w <txn> <object>
+///   c <txn>
+std::string SerializeTrace(const ScheduleTrace& trace);
+
+/// Parses the text format back. Rejects malformed lines.
+Result<ScheduleTrace> ParseTrace(std::string_view text);
+
+/// Replays the trace single-user against `server` (one batch, locks
+/// disabled, exactly the paper's lower-bound measurement) and returns the
+/// simulated elapsed time.
+Result<SimTime> ReplayTrace(const ScheduleTrace& trace, DatabaseServer* server);
+
+}  // namespace declsched::server
+
+#endif  // DECLSCHED_SERVER_TRACE_H_

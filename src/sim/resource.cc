@@ -1,0 +1,20 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace declsched::sim {
+
+void FifoResource::Submit(SimTime service, std::function<void()> on_complete) {
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  const SimTime end = start + service;
+  busy_until_ = end;
+  busy_time_ += service;
+  ++jobs_in_system_;
+  sim_->ScheduleAt(end, [this, cb = std::move(on_complete)]() {
+    --jobs_in_system_;
+    cb();
+  });
+}
+
+}  // namespace declsched::sim

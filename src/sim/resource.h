@@ -1,0 +1,44 @@
+// Single-server FIFO resource (models the testbed's single CPU core).
+
+#ifndef DECLSCHED_SIM_RESOURCE_H_
+#define DECLSCHED_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.h"
+#include "sim/simulator.h"
+
+namespace declsched::sim {
+
+/// A work-conserving single server with a FIFO queue. Jobs submitted while
+/// the server is busy wait in arrival order; service is non-preemptive.
+/// Models the paper's single-core CPU: every statement's execution and every
+/// lock-manager action consumes CPU time here.
+class FifoResource {
+ public:
+  explicit FifoResource(Simulator* sim) : sim_(sim) {}
+
+  /// Submits a job needing `service` CPU time. `on_complete` runs at the
+  /// virtual time the job finishes.
+  void Submit(SimTime service, std::function<void()> on_complete);
+
+  /// Jobs submitted but not yet completed.
+  int64_t jobs_in_system() const { return jobs_in_system_; }
+
+  /// Total CPU busy time accumulated so far.
+  SimTime busy_time() const { return busy_time_; }
+
+  /// Virtual time at which the server next becomes idle (<= Now() if idle).
+  SimTime busy_until() const { return busy_until_; }
+
+ private:
+  Simulator* sim_;
+  SimTime busy_until_;
+  SimTime busy_time_;
+  int64_t jobs_in_system_ = 0;
+};
+
+}  // namespace declsched::sim
+
+#endif  // DECLSCHED_SIM_RESOURCE_H_

@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace declsched::sim {
+
+void Simulator::ScheduleAt(SimTime when, Callback cb) {
+  DS_CHECK(when >= now_);
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!heap_.empty() && !stopped_) {
+    // priority_queue::top returns const&; the callback must be moved out, so
+    // copy the POD fields first and const_cast the functor (safe: we pop
+    // immediately and never re-read the moved-from element).
+    Event& top = const_cast<Event&>(heap_.top());
+    now_ = top.time;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    ++events_processed_;
+    cb();
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  stopped_ = false;
+  while (!heap_.empty() && !stopped_ && heap_.top().time <= deadline) {
+    Event& top = const_cast<Event&>(heap_.top());
+    now_ = top.time;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    ++events_processed_;
+    cb();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace declsched::sim

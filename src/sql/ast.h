@@ -1,0 +1,205 @@
+// SQL abstract syntax tree (parser output, planner input).
+
+#ifndef DECLSCHED_SQL_AST_H_
+#define DECLSCHED_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace declsched::sql {
+
+struct SelectStmt;
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+};
+
+enum class UnOp { kNot, kNeg };
+
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+struct Expr {
+  enum class Kind {
+    kLiteral,     // value
+    kColumnRef,   // [qualifier.]column
+    kStar,        // * or alias.*  (select list / COUNT(*) only)
+    kUnary,       // NOT / -
+    kBinary,      // comparisons, AND/OR, arithmetic
+    kIsNull,      // expr IS [NOT] NULL
+    kExists,      // [NOT] EXISTS (subquery)
+    kInList,      // expr [NOT] IN (e1, e2, ...)
+    kInSubquery,  // expr [NOT] IN (subquery)
+    kBetween,     // expr [NOT] BETWEEN lo AND hi
+    kAggCall,     // COUNT/SUM/MIN/MAX/AVG([DISTINCT] arg | *)
+    kCase,        // CASE [operand] WHEN .. THEN .. [ELSE ..] END
+  };
+
+  Kind kind;
+
+  // kLiteral
+  storage::Value literal;
+
+  // kColumnRef / kStar
+  std::string qualifier;  // may be empty
+  std::string column;
+
+  // kUnary / kBinary / kIsNull / kInList / kBetween / kCase
+  UnOp un_op = UnOp::kNot;
+  BinOp bin_op = BinOp::kEq;
+  bool negated = false;  // IS NOT NULL / NOT IN / NOT EXISTS / NOT BETWEEN
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // kExists / kInSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  // kAggCall
+  AggFunc agg_func = AggFunc::kCount;
+  bool agg_distinct = false;
+  bool agg_star = false;  // COUNT(*)
+
+  // kCase: children layout is [operand?] then pairs (when, then)..., [else?]
+  bool case_has_operand = false;
+  bool case_has_else = false;
+
+  static std::unique_ptr<Expr> Make(Kind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+struct TableRef {
+  enum class Kind { kBase, kSubquery, kJoin };
+  Kind kind;
+
+  // kBase
+  std::string table_name;
+
+  // kBase / kSubquery
+  std::string alias;  // empty -> table_name is the binding name
+
+  // kSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  // kJoin
+  enum class JoinType { kInner, kLeft };
+  JoinType join_type = JoinType::kInner;
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  std::unique_ptr<Expr> on;  // may be null for CROSS-like INNER JOIN .. ON TRUE
+};
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;  // kStar allowed here
+  std::string alias;           // optional
+};
+
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<std::unique_ptr<TableRef>> from;  // comma-separated factors
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+};
+
+/// Set-operation tree over SELECT cores.
+struct SetOpNode {
+  enum class Kind { kCore, kUnionAll, kUnionDistinct, kExcept, kIntersect };
+  Kind kind = Kind::kCore;
+  std::unique_ptr<SelectCore> core;  // iff kCore
+  std::unique_ptr<SetOpNode> left;
+  std::unique_ptr<SetOpNode> right;
+};
+
+struct OrderItem {
+  std::unique_ptr<Expr> expr;
+  bool desc = false;
+};
+
+struct CteDef {
+  std::string name;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct SelectStmt {
+  std::vector<CteDef> ctes;
+  std::unique_ptr<SetOpNode> body;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = none
+};
+
+// ---------------------------------------------------------------------------
+// DML / DDL
+// ---------------------------------------------------------------------------
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty -> full schema order
+  // Either literal rows or a source select.
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> assignments;
+  std::unique_ptr<Expr> where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::unique_ptr<Expr> where;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<std::pair<std::string, storage::ValueType>> columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+struct Statement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete, kCreateTable, kDropTable };
+  Kind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<DropTableStmt> drop_table;
+};
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_AST_H_

@@ -1,0 +1,254 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace declsched::sql {
+
+using storage::Row;
+using storage::RowId;
+using storage::Value;
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::string> headers;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::string h = columns[c].alias.empty()
+                        ? columns[c].name
+                        : columns[c].alias + "." + columns[c].name;
+    widths[c] = h.size();
+    headers.push_back(std::move(h));
+  }
+  const size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].reserve(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      std::string s = rows[r][c].ToString();
+      widths[c] = std::max(widths[c], s.size());
+      cells[r].push_back(std::move(s));
+    }
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << "+";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      os << std::string(widths[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  rule();
+  line(headers);
+  rule();
+  for (size_t r = 0; r < shown; ++r) line(cells[r]);
+  rule();
+  os << rows.size() << " row(s)";
+  if (shown < rows.size()) os << " (" << shown << " shown)";
+  os << "\n";
+  return os.str();
+}
+
+Result<QueryResult> PreparedQuery::Run() const {
+  DS_ASSIGN_OR_RETURN(Relation rel, ExecutePlan(*plan_));
+  QueryResult out;
+  out.columns = plan_->schema;
+  out.rows = std::move(rel.rows);
+  return out;
+}
+
+Result<QueryResult> SqlEngine::Query(std::string_view sql) {
+  DS_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(sql));
+  return prepared.Run();
+}
+
+Result<PreparedQuery> SqlEngine::PrepareQuery(std::string_view sql) {
+  DS_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt, ParseSelect(sql));
+  DS_ASSIGN_OR_RETURN(PreparedPlan plan, PlanSelectStatement(*catalog_, *stmt));
+  return PreparedQuery(std::make_shared<const PreparedPlan>(std::move(plan)));
+}
+
+Result<int64_t> SqlEngine::Execute(std::string_view sql) {
+  DS_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      return Status::InvalidArgument("use Query() for SELECT statements");
+    case Statement::Kind::kInsert:
+      return ExecInsert(*stmt.insert);
+    case Statement::Kind::kUpdate:
+      return ExecUpdate(*stmt.update);
+    case Statement::Kind::kDelete:
+      return ExecDelete(*stmt.del);
+    case Statement::Kind::kCreateTable:
+      return ExecCreateTable(*stmt.create_table);
+    case Statement::Kind::kDropTable:
+      return ExecDropTable(*stmt.drop_table);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<int64_t> SqlEngine::ExecInsert(const InsertStmt& stmt) {
+  storage::Table* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
+
+  // Map the (optional) column list to schema positions.
+  std::vector<int> positions;
+  if (stmt.columns.empty()) {
+    for (int i = 0; i < table->schema().num_columns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      const int idx = table->schema().FindColumn(name);
+      if (idx < 0) {
+        return Status::BindError("no column " + name + " in " + stmt.table);
+      }
+      positions.push_back(idx);
+    }
+  }
+
+  std::vector<Row> to_insert;
+  if (stmt.select != nullptr) {
+    DS_ASSIGN_OR_RETURN(PreparedPlan plan, PlanSelectStatement(*catalog_, *stmt.select));
+    if (plan.schema.size() != positions.size()) {
+      return Status::BindError(
+          StrFormat("INSERT expects %zu columns, SELECT supplies %zu",
+                    positions.size(), plan.schema.size()));
+    }
+    DS_ASSIGN_OR_RETURN(Relation rel, ExecutePlan(plan));
+    to_insert = std::move(rel.rows);
+  } else {
+    for (const auto& row_exprs : stmt.rows) {
+      if (row_exprs.size() != positions.size()) {
+        return Status::BindError(
+            StrFormat("INSERT row has %zu values, expected %zu", row_exprs.size(),
+                      positions.size()));
+      }
+      Row row;
+      row.reserve(row_exprs.size());
+      for (const auto& e : row_exprs) {
+        if (e->kind != Expr::Kind::kLiteral) {
+          return Status::Unsupported("INSERT ... VALUES requires literal values");
+        }
+        row.push_back(e->literal);
+      }
+      to_insert.push_back(std::move(row));
+    }
+  }
+
+  int64_t inserted = 0;
+  for (Row& source : to_insert) {
+    Row full(static_cast<size_t>(table->schema().num_columns()), Value::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      full[positions[i]] = std::move(source[i]);
+    }
+    auto id = table->Insert(std::move(full));
+    if (!id.ok()) return id.status();
+    ++inserted;
+  }
+  return inserted;
+}
+
+Result<int64_t> SqlEngine::ExecUpdate(const UpdateStmt& stmt) {
+  storage::Table* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
+
+  std::unique_ptr<BoundExpr> where;
+  if (stmt.where != nullptr) {
+    DS_ASSIGN_OR_RETURN(where, BindExprForTable(*catalog_, *table, *stmt.where));
+  }
+  std::vector<std::pair<int, std::unique_ptr<BoundExpr>>> sets;
+  for (const auto& [name, expr] : stmt.assignments) {
+    const int idx = table->schema().FindColumn(name);
+    if (idx < 0) return Status::BindError("no column " + name + " in " + stmt.table);
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bound,
+                        BindExprForTable(*catalog_, *table, *expr));
+    sets.emplace_back(idx, std::move(bound));
+  }
+
+  // Two-phase: evaluate all updates first so that the scan is not disturbed.
+  std::vector<std::pair<RowId, Row>> updates;
+  Status status;
+  table->ForEach([&](RowId id, const Row& row) {
+    if (!status.ok()) return;
+    if (where != nullptr) {
+      auto verdict = EvalWithRow(*where, row);
+      if (!verdict.ok()) {
+        status = verdict.status();
+        return;
+      }
+      if (!ValueIsTrue(*verdict)) return;
+    }
+    Row updated = row;
+    for (const auto& [idx, expr] : sets) {
+      auto v = EvalWithRow(*expr, row);
+      if (!v.ok()) {
+        status = v.status();
+        return;
+      }
+      updated[idx] = v.MoveValue();
+    }
+    updates.emplace_back(id, std::move(updated));
+  });
+  DS_RETURN_NOT_OK(status);
+  for (auto& [id, row] : updates) {
+    DS_RETURN_NOT_OK(table->Update(id, std::move(row)));
+  }
+  return static_cast<int64_t>(updates.size());
+}
+
+Result<int64_t> SqlEngine::ExecDelete(const DeleteStmt& stmt) {
+  storage::Table* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + stmt.table);
+
+  if (stmt.where == nullptr) {
+    const int64_t removed = table->size();
+    table->Clear();
+    return removed;
+  }
+  DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> where,
+                      BindExprForTable(*catalog_, *table, *stmt.where));
+  std::vector<RowId> doomed;
+  Status status;
+  table->ForEach([&](RowId id, const Row& row) {
+    if (!status.ok()) return;
+    auto verdict = EvalWithRow(*where, row);
+    if (!verdict.ok()) {
+      status = verdict.status();
+      return;
+    }
+    if (ValueIsTrue(*verdict)) doomed.push_back(id);
+  });
+  DS_RETURN_NOT_OK(status);
+  for (RowId id : doomed) {
+    DS_RETURN_NOT_OK(table->Delete(id));
+  }
+  return static_cast<int64_t>(doomed.size());
+}
+
+Result<int64_t> SqlEngine::ExecCreateTable(const CreateTableStmt& stmt) {
+  std::vector<storage::ColumnDef> cols;
+  cols.reserve(stmt.columns.size());
+  for (const auto& [name, type] : stmt.columns) {
+    cols.push_back(storage::ColumnDef{name, type});
+  }
+  DS_RETURN_NOT_OK(catalog_->CreateTable(stmt.table, storage::Schema(std::move(cols)))
+                       .status());
+  return 0;
+}
+
+Result<int64_t> SqlEngine::ExecDropTable(const DropTableStmt& stmt) {
+  DS_RETURN_NOT_OK(catalog_->DropTable(stmt.table));
+  return 0;
+}
+
+}  // namespace declsched::sql

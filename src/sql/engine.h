@@ -1,0 +1,73 @@
+// SqlEngine: the public SQL facade over a storage catalog.
+//
+// This is the "scheduler language" runtime of the paper: the declarative
+// scheduler stores requests in tables of a Catalog and runs its scheduling
+// protocol as a prepared SELECT through this engine.
+
+#ifndef DECLSCHED_SQL_ENGINE_H_
+#define DECLSCHED_SQL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/plan.h"
+#include "storage/catalog.h"
+
+namespace declsched::sql {
+
+/// Result of a SELECT: column metadata plus materialized rows.
+struct QueryResult {
+  OutSchema columns;
+  std::vector<storage::Row> rows;
+
+  /// Renders an aligned ASCII table (for examples and debugging).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// A planned SELECT that can be executed repeatedly; each Run() observes the
+/// tables' current contents. Invalidated if a referenced table is dropped.
+class PreparedQuery {
+ public:
+  Result<QueryResult> Run() const;
+  const OutSchema& schema() const { return plan_->schema; }
+
+ private:
+  friend class SqlEngine;
+  explicit PreparedQuery(std::shared_ptr<const PreparedPlan> plan)
+      : plan_(std::move(plan)) {}
+  std::shared_ptr<const PreparedPlan> plan_;
+};
+
+class SqlEngine {
+ public:
+  /// The engine does not own the catalog; it must outlive the engine.
+  explicit SqlEngine(storage::Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parses, plans and runs a SELECT.
+  Result<QueryResult> Query(std::string_view sql);
+
+  /// Parses and plans a SELECT once for repeated execution (the scheduler's
+  /// hot path: the protocol query runs every cycle).
+  Result<PreparedQuery> PrepareQuery(std::string_view sql);
+
+  /// Runs a DML/DDL statement; returns the number of affected rows
+  /// (0 for DDL). INSERT ... VALUES accepts literal values only.
+  Result<int64_t> Execute(std::string_view sql);
+
+  storage::Catalog* catalog() { return catalog_; }
+
+ private:
+  Result<int64_t> ExecInsert(const InsertStmt& stmt);
+  Result<int64_t> ExecUpdate(const UpdateStmt& stmt);
+  Result<int64_t> ExecDelete(const DeleteStmt& stmt);
+  Result<int64_t> ExecCreateTable(const CreateTableStmt& stmt);
+  Result<int64_t> ExecDropTable(const DropTableStmt& stmt);
+
+  storage::Catalog* catalog_;
+};
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_ENGINE_H_

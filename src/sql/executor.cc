@@ -1,0 +1,810 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace declsched::sql {
+
+namespace {
+
+using storage::Row;
+using storage::RowEq;
+using storage::RowHash;
+using storage::Value;
+using storage::ValueEq;
+using storage::ValueHash;
+using storage::ValueType;
+
+// ---------------------------------------------------------------------------
+// Execution context
+// ---------------------------------------------------------------------------
+
+struct PartitionCache {
+  Relation source;
+  std::unordered_map<Value, std::vector<int>, ValueHash, ValueEq> buckets;
+};
+
+struct InSetCache {
+  std::unordered_set<Value, ValueHash, ValueEq> values;
+  bool has_null = false;
+};
+
+struct Ctx {
+  const PreparedPlan* plan = nullptr;
+  std::vector<Relation> cte_results;
+  std::vector<const Row*> row_stack;
+  std::unordered_map<const SubqueryPlan*, Relation> subquery_cache;
+  std::unordered_map<const SubqueryPlan*, PartitionCache> partition_cache;
+  std::unordered_map<const SubqueryPlan*, InSetCache> in_set_cache;
+};
+
+Result<Relation> ExecNode(const PlanNode& node, Ctx& ctx);
+Result<Value> Eval(const BoundExpr& e, Ctx& ctx);
+
+// ---------------------------------------------------------------------------
+// Value helpers
+// ---------------------------------------------------------------------------
+
+Value Bool(bool b) { return Value::Int64(b ? 1 : 0); }
+
+/// Three-valued comparison: null if either side is null; error on class
+/// mismatch (number vs string).
+Result<Value> Compare3(BinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const bool ln = l.is_numeric();
+  const bool rn = r.is_numeric();
+  if (ln != rn) {
+    return Status::TypeError(StrFormat("cannot compare %s with %s",
+                                       ValueTypeToString(l.type()),
+                                       ValueTypeToString(r.type())));
+  }
+  const int c = l.Compare(r);
+  switch (op) {
+    case BinOp::kEq:
+      return Bool(c == 0);
+    case BinOp::kNe:
+      return Bool(c != 0);
+    case BinOp::kLt:
+      return Bool(c < 0);
+    case BinOp::kLe:
+      return Bool(c <= 0);
+    case BinOp::kGt:
+      return Bool(c > 0);
+    case BinOp::kGe:
+      return Bool(c >= 0);
+    default:
+      return Status::Internal("not a comparison");
+  }
+}
+
+Result<Value> Arith(BinOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return Status::TypeError("arithmetic requires numeric operands");
+  }
+  const bool use_double =
+      l.type() == ValueType::kDouble || r.type() == ValueType::kDouble;
+  if (use_double) {
+    const double a = l.AsDouble();
+    const double b = r.AsDouble();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value::Double(a + b);
+      case BinOp::kSub:
+        return Value::Double(a - b);
+      case BinOp::kMul:
+        return Value::Double(a * b);
+      case BinOp::kDiv:
+        if (b == 0) return Status::ExecutionError("division by zero");
+        return Value::Double(a / b);
+      case BinOp::kMod:
+        return Status::TypeError("%% requires integer operands");
+      default:
+        return Status::Internal("not arithmetic");
+    }
+  }
+  const int64_t a = l.AsInt64();
+  const int64_t b = r.AsInt64();
+  switch (op) {
+    case BinOp::kAdd:
+      return Value::Int64(a + b);
+    case BinOp::kSub:
+      return Value::Int64(a - b);
+    case BinOp::kMul:
+      return Value::Int64(a * b);
+    case BinOp::kDiv:
+      if (b == 0) return Status::ExecutionError("division by zero");
+      return Value::Int64(a / b);
+    case BinOp::kMod:
+      if (b == 0) return Status::ExecutionError("modulo by zero");
+      return Value::Int64(a % b);
+    default:
+      return Status::Internal("not arithmetic");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subquery evaluation
+// ---------------------------------------------------------------------------
+
+Result<bool> EvalExists(const BoundExpr& e, Ctx& ctx) {
+  const SubqueryPlan& sq = *e.subquery;
+  if (sq.decorrelated) {
+    auto it = ctx.partition_cache.find(&sq);
+    if (it == ctx.partition_cache.end()) {
+      DS_ASSIGN_OR_RETURN(Relation source, ExecNode(*sq.source, ctx));
+      PartitionCache cache;
+      cache.source = std::move(source);
+      for (int i = 0; i < static_cast<int>(cache.source.rows.size()); ++i) {
+        const Value& key = cache.source.rows[i][sq.inner_key_col];
+        if (key.is_null()) continue;  // null keys never match an equality
+        cache.buckets[key].push_back(i);
+      }
+      it = ctx.partition_cache.emplace(&sq, std::move(cache)).first;
+    }
+    const PartitionCache& cache = it->second;
+    DS_ASSIGN_OR_RETURN(Value key, Eval(*sq.outer_key, ctx));
+    if (key.is_null()) return false;
+    auto bucket = cache.buckets.find(key);
+    if (bucket == cache.buckets.end()) return false;
+    for (int idx : bucket->second) {
+      ctx.row_stack.push_back(&cache.source.rows[idx]);
+      auto verdict = Eval(*sq.residual, ctx);
+      ctx.row_stack.pop_back();
+      if (!verdict.ok()) return verdict.status();
+      if (ValueIsTrue(*verdict)) return true;
+    }
+    return false;
+  }
+  if (!sq.correlated) {
+    auto it = ctx.subquery_cache.find(&sq);
+    if (it == ctx.subquery_cache.end()) {
+      DS_ASSIGN_OR_RETURN(Relation rel, ExecNode(*sq.plan, ctx));
+      it = ctx.subquery_cache.emplace(&sq, std::move(rel)).first;
+    }
+    return !it->second.rows.empty();
+  }
+  DS_ASSIGN_OR_RETURN(Relation rel, ExecNode(*sq.plan, ctx));
+  return !rel.rows.empty();
+}
+
+Result<Value> EvalInSubquery(const BoundExpr& e, Ctx& ctx) {
+  DS_ASSIGN_OR_RETURN(Value tested, Eval(*e.children[0], ctx));
+  const SubqueryPlan& sq = *e.subquery;
+
+  auto match = [&tested](bool found, bool has_null) -> Value {
+    if (tested.is_null()) return Value::Null();
+    if (found) return Bool(true);
+    if (has_null) return Value::Null();
+    return Bool(false);
+  };
+
+  Value result = Value::Null();
+  if (!sq.correlated) {
+    auto it = ctx.in_set_cache.find(&sq);
+    if (it == ctx.in_set_cache.end()) {
+      DS_ASSIGN_OR_RETURN(Relation rel, ExecNode(*sq.plan, ctx));
+      InSetCache cache;
+      for (const Row& row : rel.rows) {
+        if (row[0].is_null()) {
+          cache.has_null = true;
+        } else {
+          cache.values.insert(row[0]);
+        }
+      }
+      it = ctx.in_set_cache.emplace(&sq, std::move(cache)).first;
+    }
+    const InSetCache& cache = it->second;
+    result = match(!tested.is_null() && cache.values.count(tested) > 0, cache.has_null);
+  } else {
+    DS_ASSIGN_OR_RETURN(Relation rel, ExecNode(*sq.plan, ctx));
+    bool found = false;
+    bool has_null = false;
+    for (const Row& row : rel.rows) {
+      if (row[0].is_null()) {
+        has_null = true;
+      } else if (!tested.is_null() && row[0].Equals(tested)) {
+        found = true;
+        break;
+      }
+    }
+    result = match(found, has_null);
+  }
+  if (!e.negated) return result;
+  if (result.is_null()) return result;
+  return Bool(!ValueIsTrue(result));
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+Result<Value> Eval(const BoundExpr& e, Ctx& ctx) {
+  switch (e.kind) {
+    case BoundKind::kConst:
+      return e.value;
+    case BoundKind::kColRef: {
+      const size_t n = ctx.row_stack.size();
+      DS_CHECK(e.depth < static_cast<int>(n));
+      const Row& row = *ctx.row_stack[n - 1 - e.depth];
+      DS_CHECK(e.col < static_cast<int>(row.size()));
+      return row[e.col];
+    }
+    case BoundKind::kBinary: {
+      switch (e.bin_op) {
+        case BinOp::kAnd: {
+          DS_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], ctx));
+          if (!l.is_null() && !ValueIsTrue(l)) return Bool(false);
+          DS_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], ctx));
+          if (!r.is_null() && !ValueIsTrue(r)) return Bool(false);
+          if (l.is_null() || r.is_null()) return Value::Null();
+          return Bool(true);
+        }
+        case BinOp::kOr: {
+          DS_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], ctx));
+          if (!l.is_null() && ValueIsTrue(l)) return Bool(true);
+          DS_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], ctx));
+          if (!r.is_null() && ValueIsTrue(r)) return Bool(true);
+          if (l.is_null() || r.is_null()) return Value::Null();
+          return Bool(false);
+        }
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe: {
+          DS_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], ctx));
+          DS_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], ctx));
+          return Compare3(e.bin_op, l, r);
+        }
+        default: {
+          DS_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], ctx));
+          DS_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], ctx));
+          return Arith(e.bin_op, l, r);
+        }
+      }
+    }
+    case BoundKind::kUnary: {
+      DS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], ctx));
+      if (e.un_op == UnOp::kNot) {
+        if (v.is_null()) return Value::Null();
+        return Bool(!ValueIsTrue(v));
+      }
+      if (v.is_null()) return Value::Null();
+      if (v.type() == ValueType::kInt64) return Value::Int64(-v.AsInt64());
+      if (v.type() == ValueType::kDouble) return Value::Double(-v.AsDouble());
+      return Status::TypeError("unary minus requires a numeric operand");
+    }
+    case BoundKind::kIsNull: {
+      DS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], ctx));
+      return Bool(v.is_null() != e.negated);
+    }
+    case BoundKind::kInList: {
+      DS_ASSIGN_OR_RETURN(Value tested, Eval(*e.children[0], ctx));
+      bool found = false;
+      bool saw_null = tested.is_null();
+      for (size_t i = 1; i < e.children.size() && !found; ++i) {
+        DS_ASSIGN_OR_RETURN(Value item, Eval(*e.children[i], ctx));
+        if (item.is_null()) {
+          saw_null = true;
+        } else if (!tested.is_null() && item.Equals(tested)) {
+          found = true;
+        }
+      }
+      Value result = found ? Bool(true) : (saw_null ? Value::Null() : Bool(false));
+      if (!e.negated || result.is_null()) return result;
+      return Bool(!ValueIsTrue(result));
+    }
+    case BoundKind::kBetween: {
+      DS_ASSIGN_OR_RETURN(Value x, Eval(*e.children[0], ctx));
+      DS_ASSIGN_OR_RETURN(Value lo, Eval(*e.children[1], ctx));
+      DS_ASSIGN_OR_RETURN(Value hi, Eval(*e.children[2], ctx));
+      DS_ASSIGN_OR_RETURN(Value ge, Compare3(BinOp::kGe, x, lo));
+      DS_ASSIGN_OR_RETURN(Value le, Compare3(BinOp::kLe, x, hi));
+      Value result;
+      if ((!ge.is_null() && !ValueIsTrue(ge)) || (!le.is_null() && !ValueIsTrue(le))) {
+        result = Bool(false);
+      } else if (ge.is_null() || le.is_null()) {
+        result = Value::Null();
+      } else {
+        result = Bool(true);
+      }
+      if (!e.negated || result.is_null()) return result;
+      return Bool(!ValueIsTrue(result));
+    }
+    case BoundKind::kExists: {
+      DS_ASSIGN_OR_RETURN(bool exists, EvalExists(e, ctx));
+      return Bool(exists != e.negated);
+    }
+    case BoundKind::kInSubquery:
+      return EvalInSubquery(e, ctx);
+    case BoundKind::kCase: {
+      size_t i = 0;
+      Value operand;
+      if (e.case_has_operand) {
+        DS_ASSIGN_OR_RETURN(operand, Eval(*e.children[0], ctx));
+        i = 1;
+      }
+      const size_t end = e.children.size() - (e.case_has_else ? 1 : 0);
+      for (; i + 1 < end + 1; i += 2) {  // (when, then) pairs occupy [i, end)
+        DS_ASSIGN_OR_RETURN(Value when, Eval(*e.children[i], ctx));
+        bool hit;
+        if (e.case_has_operand) {
+          hit = !operand.is_null() && !when.is_null() && operand.Equals(when);
+        } else {
+          hit = !when.is_null() && ValueIsTrue(when);
+        }
+        if (hit) return Eval(*e.children[i + 1], ctx);
+      }
+      if (e.case_has_else) return Eval(*e.children.back(), ctx);
+      return Value::Null();
+    }
+  }
+  return Status::Internal("unhandled bound expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+Result<Relation> ExecScan(const PlanNode& node, Ctx&) {
+  Relation rel;
+  rel.rows = node.table->Scan();
+  return rel;
+}
+
+Result<Relation> ExecFilter(const PlanNode& node, Ctx& ctx) {
+  DS_ASSIGN_OR_RETURN(Relation in, ExecNode(*node.children[0], ctx));
+  Relation out;
+  out.rows.reserve(in.rows.size());
+  for (Row& row : in.rows) {
+    ctx.row_stack.push_back(&row);
+    auto verdict = Eval(*node.predicate, ctx);
+    ctx.row_stack.pop_back();
+    if (!verdict.ok()) return verdict.status();
+    if (ValueIsTrue(*verdict)) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> ExecProject(const PlanNode& node, Ctx& ctx) {
+  DS_ASSIGN_OR_RETURN(Relation in, ExecNode(*node.children[0], ctx));
+  Relation out;
+  out.rows.reserve(in.rows.size());
+  for (const Row& row : in.rows) {
+    ctx.row_stack.push_back(&row);
+    Row projected;
+    projected.reserve(node.exprs.size());
+    Status status;
+    for (const auto& expr : node.exprs) {
+      auto v = Eval(*expr, ctx);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      projected.push_back(v.MoveValue());
+    }
+    ctx.row_stack.pop_back();
+    DS_RETURN_NOT_OK(status);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Row ConcatRows(const Row& l, const Row& r) {
+  Row out;
+  out.reserve(l.size() + r.size());
+  out.insert(out.end(), l.begin(), l.end());
+  out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+Row NullExtend(const Row& l, size_t right_width) {
+  Row out;
+  out.reserve(l.size() + right_width);
+  out.insert(out.end(), l.begin(), l.end());
+  for (size_t i = 0; i < right_width; ++i) out.push_back(Value::Null());
+  return out;
+}
+
+Result<Relation> ExecNestedLoopJoin(const PlanNode& node, Ctx& ctx) {
+  DS_ASSIGN_OR_RETURN(Relation left, ExecNode(*node.children[0], ctx));
+  DS_ASSIGN_OR_RETURN(Relation right, ExecNode(*node.children[1], ctx));
+  const size_t right_width = node.children[1]->schema.size();
+  Relation out;
+  for (const Row& l : left.rows) {
+    bool matched = false;
+    for (const Row& r : right.rows) {
+      Row combined = ConcatRows(l, r);
+      bool keep = true;
+      if (node.predicate != nullptr) {
+        ctx.row_stack.push_back(&combined);
+        auto verdict = Eval(*node.predicate, ctx);
+        ctx.row_stack.pop_back();
+        if (!verdict.ok()) return verdict.status();
+        keep = ValueIsTrue(*verdict);
+      }
+      if (keep) {
+        matched = true;
+        out.rows.push_back(std::move(combined));
+      }
+    }
+    if (node.left_outer && !matched) {
+      out.rows.push_back(NullExtend(l, right_width));
+    }
+  }
+  return out;
+}
+
+Result<Relation> ExecHashJoin(const PlanNode& node, Ctx& ctx) {
+  DS_ASSIGN_OR_RETURN(Relation left, ExecNode(*node.children[0], ctx));
+  DS_ASSIGN_OR_RETURN(Relation right, ExecNode(*node.children[1], ctx));
+  const size_t right_width = node.children[1]->schema.size();
+
+  // Build on the right side.
+  std::unordered_map<Row, std::vector<int>, RowHash, RowEq> table;
+  table.reserve(right.rows.size());
+  for (int i = 0; i < static_cast<int>(right.rows.size()); ++i) {
+    ctx.row_stack.push_back(&right.rows[i]);
+    Row key;
+    key.reserve(node.right_keys.size());
+    bool null_key = false;
+    Status status;
+    for (const auto& k : node.right_keys) {
+      auto v = Eval(*k, ctx);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      if (v->is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(v.MoveValue());
+    }
+    ctx.row_stack.pop_back();
+    DS_RETURN_NOT_OK(status);
+    if (!null_key) table[std::move(key)].push_back(i);
+  }
+
+  Relation out;
+  for (const Row& l : left.rows) {
+    ctx.row_stack.push_back(&l);
+    Row key;
+    key.reserve(node.left_keys.size());
+    bool null_key = false;
+    Status status;
+    for (const auto& k : node.left_keys) {
+      auto v = Eval(*k, ctx);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      if (v->is_null()) {
+        null_key = true;
+        break;
+      }
+      key.push_back(v.MoveValue());
+    }
+    ctx.row_stack.pop_back();
+    DS_RETURN_NOT_OK(status);
+
+    bool matched = false;
+    if (!null_key) {
+      auto bucket = table.find(key);
+      if (bucket != table.end()) {
+        for (int idx : bucket->second) {
+          Row combined = ConcatRows(l, right.rows[idx]);
+          bool keep = true;
+          if (node.predicate != nullptr) {
+            ctx.row_stack.push_back(&combined);
+            auto verdict = Eval(*node.predicate, ctx);
+            ctx.row_stack.pop_back();
+            if (!verdict.ok()) return verdict.status();
+            keep = ValueIsTrue(*verdict);
+          }
+          if (keep) {
+            matched = true;
+            out.rows.push_back(std::move(combined));
+          }
+        }
+      }
+    }
+    if (node.left_outer && !matched) {
+      out.rows.push_back(NullExtend(l, right_width));
+    }
+  }
+  return out;
+}
+
+Result<Relation> ExecDistinctRows(Relation in) {
+  std::unordered_set<Row, RowHash, RowEq> seen;
+  seen.reserve(in.rows.size());
+  Relation out;
+  for (Row& row : in.rows) {
+    if (seen.insert(row).second) out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> ExecSort(const PlanNode& node, Ctx& ctx) {
+  DS_ASSIGN_OR_RETURN(Relation in, ExecNode(*node.children[0], ctx));
+  // Evaluate keys once per row (evaluation can fail; comparators cannot).
+  std::vector<Row> keys;
+  keys.reserve(in.rows.size());
+  for (const Row& row : in.rows) {
+    ctx.row_stack.push_back(&row);
+    Row key;
+    key.reserve(node.sort_keys.size());
+    Status status;
+    for (const SortKey& sk : node.sort_keys) {
+      auto v = Eval(*sk.expr, ctx);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      key.push_back(v.MoveValue());
+    }
+    ctx.row_stack.pop_back();
+    DS_RETURN_NOT_OK(status);
+    keys.push_back(std::move(key));
+  }
+  std::vector<int> order(in.rows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    for (size_t k = 0; k < node.sort_keys.size(); ++k) {
+      int c = keys[a][k].Compare(keys[b][k]);
+      if (node.sort_keys[k].desc) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  Relation out;
+  out.rows.reserve(in.rows.size());
+  for (int idx : order) out.rows.push_back(std::move(in.rows[idx]));
+  return out;
+}
+
+Result<Relation> ExecAggregate(const PlanNode& node, Ctx& ctx) {
+  DS_ASSIGN_OR_RETURN(Relation in, ExecNode(*node.children[0], ctx));
+
+  struct AggState {
+    int64_t count = 0;         // kCount (and denominator of kAvg)
+    int64_t isum = 0;
+    double dsum = 0.0;
+    bool saw_double = false;
+    bool any = false;
+    Value min, max;
+    std::unordered_set<Value, ValueHash, ValueEq> distinct;
+  };
+  struct Group {
+    Row key;
+    std::vector<AggState> states;
+  };
+
+  std::unordered_map<Row, int, RowHash, RowEq> group_index;
+  std::vector<Group> groups;
+  const bool global = node.group_exprs.empty();
+
+  for (const Row& row : in.rows) {
+    ctx.row_stack.push_back(&row);
+    Status status;
+    Row key;
+    key.reserve(node.group_exprs.size());
+    for (const auto& g : node.group_exprs) {
+      auto v = Eval(*g, ctx);
+      if (!v.ok()) {
+        status = v.status();
+        break;
+      }
+      key.push_back(v.MoveValue());
+    }
+    if (status.ok()) {
+      int gi;
+      auto it = group_index.find(key);
+      if (it == group_index.end()) {
+        gi = static_cast<int>(groups.size());
+        group_index.emplace(key, gi);
+        Group group;
+        group.key = key;
+        group.states.resize(node.aggs.size());
+        groups.push_back(std::move(group));
+      } else {
+        gi = it->second;
+      }
+      Group& group = groups[gi];
+      for (size_t a = 0; a < node.aggs.size() && status.ok(); ++a) {
+        const BoundAggCall& call = node.aggs[a];
+        AggState& st = group.states[a];
+        if (call.star) {
+          ++st.count;
+          continue;
+        }
+        auto v = Eval(*call.arg, ctx);
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        if (v->is_null()) continue;  // aggregates skip nulls
+        if (call.distinct && !st.distinct.insert(*v).second) continue;
+        st.any = true;
+        ++st.count;
+        switch (call.func) {
+          case AggFunc::kCount:
+            break;
+          case AggFunc::kSum:
+          case AggFunc::kAvg:
+            if (v->type() == ValueType::kDouble) st.saw_double = true;
+            if (v->type() == ValueType::kInt64) {
+              st.isum += v->AsInt64();
+            }
+            st.dsum += v->AsDouble();
+            break;
+          case AggFunc::kMin:
+            if (st.min.is_null() || v->Compare(st.min) < 0) st.min = *v;
+            break;
+          case AggFunc::kMax:
+            if (st.max.is_null() || v->Compare(st.max) > 0) st.max = *v;
+            break;
+        }
+      }
+    }
+    ctx.row_stack.pop_back();
+    DS_RETURN_NOT_OK(status);
+  }
+
+  if (global && groups.empty()) {
+    Group empty;
+    empty.states.resize(node.aggs.size());
+    groups.push_back(std::move(empty));
+  }
+
+  Relation out;
+  out.rows.reserve(groups.size());
+  for (Group& group : groups) {
+    Row row = std::move(group.key);
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      const BoundAggCall& call = node.aggs[a];
+      const AggState& st = group.states[a];
+      switch (call.func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int64(st.count));
+          break;
+        case AggFunc::kSum:
+          if (!st.any) {
+            row.push_back(Value::Null());
+          } else if (st.saw_double) {
+            row.push_back(Value::Double(st.dsum));
+          } else {
+            row.push_back(Value::Int64(st.isum));
+          }
+          break;
+        case AggFunc::kAvg:
+          row.push_back(st.any ? Value::Double(st.dsum / static_cast<double>(st.count))
+                               : Value::Null());
+          break;
+        case AggFunc::kMin:
+          row.push_back(st.min);
+          break;
+        case AggFunc::kMax:
+          row.push_back(st.max);
+          break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> ExecNode(const PlanNode& node, Ctx& ctx) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return ExecScan(node, ctx);
+    case PlanNode::Kind::kCteScan: {
+      DS_CHECK(node.cte_index >= 0 &&
+               node.cte_index < static_cast<int>(ctx.cte_results.size()));
+      return ctx.cte_results[node.cte_index];  // copy
+    }
+    case PlanNode::Kind::kValuesSingleRow: {
+      Relation rel;
+      rel.rows.emplace_back();
+      return rel;
+    }
+    case PlanNode::Kind::kFilter:
+      return ExecFilter(node, ctx);
+    case PlanNode::Kind::kProject:
+      return ExecProject(node, ctx);
+    case PlanNode::Kind::kNestedLoopJoin:
+      return ExecNestedLoopJoin(node, ctx);
+    case PlanNode::Kind::kHashJoin:
+      return ExecHashJoin(node, ctx);
+    case PlanNode::Kind::kDistinct: {
+      DS_ASSIGN_OR_RETURN(Relation in, ExecNode(*node.children[0], ctx));
+      return ExecDistinctRows(std::move(in));
+    }
+    case PlanNode::Kind::kUnionAll: {
+      DS_ASSIGN_OR_RETURN(Relation left, ExecNode(*node.children[0], ctx));
+      DS_ASSIGN_OR_RETURN(Relation right, ExecNode(*node.children[1], ctx));
+      for (Row& row : right.rows) left.rows.push_back(std::move(row));
+      return left;
+    }
+    case PlanNode::Kind::kUnionDistinct: {
+      DS_ASSIGN_OR_RETURN(Relation left, ExecNode(*node.children[0], ctx));
+      DS_ASSIGN_OR_RETURN(Relation right, ExecNode(*node.children[1], ctx));
+      for (Row& row : right.rows) left.rows.push_back(std::move(row));
+      return ExecDistinctRows(std::move(left));
+    }
+    case PlanNode::Kind::kExcept: {
+      DS_ASSIGN_OR_RETURN(Relation left, ExecNode(*node.children[0], ctx));
+      DS_ASSIGN_OR_RETURN(Relation right, ExecNode(*node.children[1], ctx));
+      std::unordered_set<Row, RowHash, RowEq> exclude;
+      exclude.reserve(right.rows.size());
+      for (Row& row : right.rows) exclude.insert(std::move(row));
+      DS_ASSIGN_OR_RETURN(Relation dedup, ExecDistinctRows(std::move(left)));
+      Relation out;
+      for (Row& row : dedup.rows) {
+        if (exclude.count(row) == 0) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case PlanNode::Kind::kIntersect: {
+      DS_ASSIGN_OR_RETURN(Relation left, ExecNode(*node.children[0], ctx));
+      DS_ASSIGN_OR_RETURN(Relation right, ExecNode(*node.children[1], ctx));
+      std::unordered_set<Row, RowHash, RowEq> keep;
+      keep.reserve(right.rows.size());
+      for (Row& row : right.rows) keep.insert(std::move(row));
+      DS_ASSIGN_OR_RETURN(Relation dedup, ExecDistinctRows(std::move(left)));
+      Relation out;
+      for (Row& row : dedup.rows) {
+        if (keep.count(row) > 0) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+    case PlanNode::Kind::kSort:
+      return ExecSort(node, ctx);
+    case PlanNode::Kind::kLimit: {
+      DS_ASSIGN_OR_RETURN(Relation in, ExecNode(*node.children[0], ctx));
+      if (static_cast<int64_t>(in.rows.size()) > node.limit) {
+        in.rows.resize(static_cast<size_t>(node.limit));
+      }
+      return in;
+    }
+    case PlanNode::Kind::kAggregate:
+      return ExecAggregate(node, ctx);
+  }
+  return Status::Internal("unhandled plan node kind");
+}
+
+}  // namespace
+
+bool ValueIsTrue(const storage::Value& v) {
+  if (v.is_null()) return false;
+  if (v.type() == ValueType::kInt64) return v.AsInt64() != 0;
+  if (v.type() == ValueType::kDouble) return v.AsDouble() != 0.0;
+  return false;
+}
+
+Result<Relation> ExecutePlan(const PreparedPlan& plan) {
+  Ctx ctx;
+  ctx.plan = &plan;
+  ctx.cte_results.reserve(plan.cte_plans.size());
+  for (const auto& cte : plan.cte_plans) {
+    DS_ASSIGN_OR_RETURN(Relation rel, ExecNode(*cte, ctx));
+    ctx.cte_results.push_back(std::move(rel));
+  }
+  return ExecNode(*plan.root, ctx);
+}
+
+Result<storage::Value> EvalWithRow(const BoundExpr& expr, const storage::Row& row) {
+  Ctx ctx;
+  ctx.row_stack.push_back(&row);
+  return Eval(expr, ctx);
+}
+
+}  // namespace declsched::sql

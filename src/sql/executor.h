@@ -1,0 +1,26 @@
+// Executor: runs a PreparedPlan against the current table contents.
+
+#ifndef DECLSCHED_SQL_EXECUTOR_H_
+#define DECLSCHED_SQL_EXECUTOR_H_
+
+#include "common/result.h"
+#include "sql/plan.h"
+
+namespace declsched::sql {
+
+/// Executes the plan. CTEs are materialized once per call (in definition
+/// order); uncorrelated subqueries are materialized once; decorrelated EXISTS
+/// partitions are built on first probe. Re-running the same plan observes the
+/// tables' current contents.
+Result<Relation> ExecutePlan(const PreparedPlan& plan);
+
+/// Evaluates a bound expression against a single row (depth 0 = `row`).
+/// The expression must not contain subqueries. Used by UPDATE/DELETE.
+Result<storage::Value> EvalWithRow(const BoundExpr& expr, const storage::Row& row);
+
+/// SQL truthiness: non-null numeric != 0.
+bool ValueIsTrue(const storage::Value& v);
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_EXECUTOR_H_

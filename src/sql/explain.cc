@@ -1,0 +1,210 @@
+#include "sql/explain.h"
+
+#include "common/string_util.h"
+
+namespace declsched::sql {
+
+namespace {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+      return "=";
+    case BinOp::kNe:
+      return "<>";
+    case BinOp::kLt:
+      return "<";
+    case BinOp::kLe:
+      return "<=";
+    case BinOp::kGt:
+      return ">";
+    case BinOp::kGe:
+      return ">=";
+    case BinOp::kAnd:
+      return "AND";
+    case BinOp::kOr:
+      return "OR";
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+std::string ExprString(const BoundExpr& e) {
+  switch (e.kind) {
+    case BoundKind::kConst:
+      return e.value.ToString();
+    case BoundKind::kColRef:
+      return e.depth == 0 ? StrFormat("#%d", e.col)
+                          : StrFormat("outer(%d)#%d", e.depth, e.col);
+    case BoundKind::kBinary:
+      return "(" + ExprString(*e.children[0]) + " " + BinOpName(e.bin_op) + " " +
+             ExprString(*e.children[1]) + ")";
+    case BoundKind::kUnary:
+      return (e.un_op == UnOp::kNot ? "NOT " : "-") + ExprString(*e.children[0]);
+    case BoundKind::kIsNull:
+      return ExprString(*e.children[0]) + (e.negated ? " IS NOT NULL" : " IS NULL");
+    case BoundKind::kInList: {
+      std::string out = ExprString(*e.children[0]);
+      out += e.negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += ExprString(*e.children[i]);
+      }
+      return out + ")";
+    }
+    case BoundKind::kBetween:
+      return ExprString(*e.children[0]) + (e.negated ? " NOT BETWEEN " : " BETWEEN ") +
+             ExprString(*e.children[1]) + " AND " + ExprString(*e.children[2]);
+    case BoundKind::kExists: {
+      std::string tag;
+      if (e.subquery->decorrelated) {
+        tag = StrFormat("decorrelated hash on inner #%d", e.subquery->inner_key_col);
+      } else if (e.subquery->correlated) {
+        tag = "correlated";
+      } else {
+        tag = "uncorrelated, cached";
+      }
+      return std::string(e.negated ? "NOT EXISTS" : "EXISTS") + "(" + tag + ")";
+    }
+    case BoundKind::kInSubquery:
+      return std::string(e.negated ? "NOT IN" : "IN") + "(subquery" +
+             (e.subquery->correlated ? ", correlated)" : ", cached)");
+    case BoundKind::kCase:
+      return "CASE(...)";
+  }
+  return "?";
+}
+
+const char* AggName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+void Render(const PlanNode& node, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      out->append("Scan " + node.table->name());
+      break;
+    case PlanNode::Kind::kCteScan:
+      out->append(StrFormat("CteScan %d", node.cte_index));
+      break;
+    case PlanNode::Kind::kValuesSingleRow:
+      out->append("Values (1 empty row)");
+      break;
+    case PlanNode::Kind::kFilter:
+      out->append("Filter " + ExprString(*node.predicate));
+      break;
+    case PlanNode::Kind::kProject: {
+      out->append("Project [");
+      for (size_t i = 0; i < node.schema.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(node.schema[i].name);
+      }
+      out->append("]");
+      break;
+    }
+    case PlanNode::Kind::kNestedLoopJoin:
+      out->append(node.left_outer ? "NestedLoopJoin LEFT" : "NestedLoopJoin");
+      if (node.predicate != nullptr) {
+        out->append(" on " + ExprString(*node.predicate));
+      }
+      break;
+    case PlanNode::Kind::kHashJoin: {
+      out->append(node.left_outer ? "HashJoin LEFT (" : "HashJoin (");
+      for (size_t i = 0; i < node.left_keys.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(ExprString(*node.left_keys[i]) + "=" +
+                    ExprString(*node.right_keys[i]));
+      }
+      out->append(")");
+      if (node.predicate != nullptr) {
+        out->append(" residual " + ExprString(*node.predicate));
+      }
+      break;
+    }
+    case PlanNode::Kind::kDistinct:
+      out->append("Distinct");
+      break;
+    case PlanNode::Kind::kUnionAll:
+      out->append("UnionAll");
+      break;
+    case PlanNode::Kind::kUnionDistinct:
+      out->append("Union");
+      break;
+    case PlanNode::Kind::kExcept:
+      out->append("Except");
+      break;
+    case PlanNode::Kind::kIntersect:
+      out->append("Intersect");
+      break;
+    case PlanNode::Kind::kSort: {
+      out->append("Sort [");
+      for (size_t i = 0; i < node.sort_keys.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(ExprString(*node.sort_keys[i].expr));
+        if (node.sort_keys[i].desc) out->append(" DESC");
+      }
+      out->append("]");
+      break;
+    }
+    case PlanNode::Kind::kLimit:
+      out->append(StrFormat("Limit %lld", static_cast<long long>(node.limit)));
+      break;
+    case PlanNode::Kind::kAggregate: {
+      out->append(StrFormat("Aggregate groups=%zu aggs=[",
+                            node.group_exprs.size()));
+      for (size_t i = 0; i < node.aggs.size(); ++i) {
+        if (i > 0) out->append(", ");
+        out->append(AggName(node.aggs[i].func));
+        if (node.aggs[i].star) out->append("(*)");
+      }
+      out->append("]");
+      break;
+    }
+  }
+  out->append("\n");
+  for (const auto& child : node.children) {
+    Render(*child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainNode(const PlanNode& node, int indent) {
+  std::string out;
+  Render(node, indent, &out);
+  return out;
+}
+
+std::string ExplainPlan(const PreparedPlan& plan) {
+  std::string out;
+  for (size_t i = 0; i < plan.cte_plans.size(); ++i) {
+    out += StrFormat("CTE %zu:\n", i);
+    Render(*plan.cte_plans[i], 1, &out);
+  }
+  Render(*plan.root, 0, &out);
+  return out;
+}
+
+}  // namespace declsched::sql

@@ -1,0 +1,31 @@
+// EXPLAIN: renders a physical plan as an indented operator tree, with the
+// query-processing choices (join strategy, decorrelation, pushed predicates)
+// visible — the paper's "optimization without touching the specification"
+// made inspectable.
+
+#ifndef DECLSCHED_SQL_EXPLAIN_H_
+#define DECLSCHED_SQL_EXPLAIN_H_
+
+#include <string>
+
+#include "sql/plan.h"
+
+namespace declsched::sql {
+
+/// Multi-line rendering of the plan tree, CTEs first. Example:
+///
+///   CTE 0:
+///     Project [object, ta, Operation]
+///       Filter [not exists(decorrelated on history)]
+///         Scan history
+///   Project [...]
+///     HashJoin (2 keys)
+///       ...
+std::string ExplainPlan(const PreparedPlan& plan);
+
+/// One operator subtree (used by ExplainPlan; exposed for tests).
+std::string ExplainNode(const PlanNode& node, int indent = 0);
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_EXPLAIN_H_

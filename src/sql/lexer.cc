@@ -1,0 +1,258 @@
+#include "sql/lexer.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace declsched::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",   "WHERE",  "WITH",     "AS",     "AND",    "OR",
+      "NOT",    "EXISTS", "IN",     "IS",       "NULL",   "DISTINCT",
+      "ALL",    "LEFT",   "RIGHT",  "INNER",    "OUTER",  "JOIN",   "ON",
+      "EXCEPT", "UNION",  "INTERSECT",          "ORDER",  "BY",     "ASC",
+      "DESC",   "LIMIT",  "GROUP",  "HAVING",   "CASE",   "WHEN",   "THEN",
+      "ELSE",   "END",    "BETWEEN",            "INSERT", "INTO",   "VALUES",
+      "UPDATE", "SET",    "DELETE", "CREATE",   "TABLE",  "DROP",   "TRUE",
+      "FALSE",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentCont(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+bool IsReservedKeyword(std::string_view upper) {
+  return Keywords().count(std::string(upper)) > 0;
+}
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  const size_t n = input.size();
+
+  auto make = [&](TokenType type) {
+    Token t;
+    t.type = type;
+    t.position = static_cast<int>(i);
+    t.line = line;
+    return t;
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) {
+        if (input[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::ParseError(StrFormat("unterminated block comment at line %d", line));
+      }
+      i += 2;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      Token t = make(TokenType::kIdentifier);
+      size_t start = i;
+      while (i < n && IsIdentCont(input[i])) ++i;
+      t.text = std::string(input.substr(start, i - start));
+      const std::string upper = ToUpper(t.text);
+      if (Keywords().count(upper) > 0) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Quoted identifiers.
+    if (c == '"') {
+      Token t = make(TokenType::kIdentifier);
+      ++i;
+      size_t start = i;
+      while (i < n && input[i] != '"') ++i;
+      if (i >= n) {
+        return Status::ParseError(StrFormat("unterminated quoted identifier at line %d", line));
+      }
+      t.text = std::string(input.substr(start, i - start));
+      ++i;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Numbers.
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(input[i + 1]))) {
+      Token t = make(TokenType::kIntLiteral);
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && IsDigit(input[i])) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && IsDigit(input[i])) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && IsDigit(input[i])) ++i;
+      }
+      const std::string text(input.substr(start, i - start));
+      if (is_double) {
+        t.type = TokenType::kDoubleLiteral;
+        t.double_value = std::stod(text);
+      } else {
+        try {
+          t.int_value = std::stoll(text);
+        } catch (...) {
+          return Status::ParseError(StrFormat("integer literal out of range at line %d", line));
+        }
+      }
+      t.text = text;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // String literals with '' escaping.
+    if (c == '\'') {
+      Token t = make(TokenType::kStringLiteral);
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        if (input[i] == '\n') ++line;
+        body += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(StrFormat("unterminated string literal at line %d", line));
+      }
+      t.text = std::move(body);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators / punctuation.
+    Token t = make(TokenType::kEof);
+    switch (c) {
+      case ',':
+        t.type = TokenType::kComma;
+        ++i;
+        break;
+      case '.':
+        t.type = TokenType::kDot;
+        ++i;
+        break;
+      case '*':
+        t.type = TokenType::kStar;
+        ++i;
+        break;
+      case '(':
+        t.type = TokenType::kLParen;
+        ++i;
+        break;
+      case ')':
+        t.type = TokenType::kRParen;
+        ++i;
+        break;
+      case ';':
+        t.type = TokenType::kSemicolon;
+        ++i;
+        break;
+      case '+':
+        t.type = TokenType::kPlus;
+        ++i;
+        break;
+      case '-':
+        t.type = TokenType::kMinus;
+        ++i;
+        break;
+      case '/':
+        t.type = TokenType::kSlash;
+        ++i;
+        break;
+      case '%':
+        t.type = TokenType::kPercent;
+        ++i;
+        break;
+      case '=':
+        t.type = TokenType::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          t.type = TokenType::kNe;
+          i += 2;
+        } else {
+          return Status::ParseError(StrFormat("unexpected '!' at line %d", line));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '>') {
+          t.type = TokenType::kNe;
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '=') {
+          t.type = TokenType::kLe;
+          i += 2;
+        } else {
+          t.type = TokenType::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          t.type = TokenType::kGe;
+          i += 2;
+        } else {
+          t.type = TokenType::kGt;
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' (0x%02x) at line %d", c, c, line));
+    }
+    tokens.push_back(std::move(t));
+  }
+
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.position = static_cast<int>(n);
+  eof.line = line;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace declsched::sql

@@ -1,0 +1,26 @@
+// SQL lexer: text -> Token stream.
+
+#ifndef DECLSCHED_SQL_LEXER_H_
+#define DECLSCHED_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace declsched::sql {
+
+/// Tokenizes `input`. Keywords are recognized case-insensitively and emitted
+/// upper-cased; identifiers keep their original spelling (matching is
+/// case-insensitive downstream). Supports `--` line and `/* */` block
+/// comments and '' escaping inside string literals.
+Result<std::vector<Token>> Lex(std::string_view input);
+
+/// True if `word` (upper-cased) is a reserved SQL keyword in this dialect.
+bool IsReservedKeyword(std::string_view upper);
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_LEXER_H_

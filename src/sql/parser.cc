@@ -1,0 +1,825 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace declsched::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    const Token& t = Peek();
+    if (t.IsKeyword("SELECT") || t.IsKeyword("WITH") ||
+        t.type == TokenType::kLParen) {
+      stmt.kind = Statement::Kind::kSelect;
+      DS_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+    } else if (t.IsKeyword("INSERT")) {
+      stmt.kind = Statement::Kind::kInsert;
+      DS_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    } else if (t.IsKeyword("UPDATE")) {
+      stmt.kind = Statement::Kind::kUpdate;
+      DS_ASSIGN_OR_RETURN(stmt.update, ParseUpdate());
+    } else if (t.IsKeyword("DELETE")) {
+      stmt.kind = Statement::Kind::kDelete;
+      DS_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+    } else if (t.IsKeyword("CREATE")) {
+      stmt.kind = Statement::Kind::kCreateTable;
+      DS_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+    } else if (t.IsKeyword("DROP")) {
+      stmt.kind = Statement::Kind::kDropTable;
+      DS_ASSIGN_OR_RETURN(stmt.drop_table, ParseDropTable());
+    } else {
+      return Err("expected a statement");
+    }
+    if (Peek().type == TokenType::kSemicolon) Advance();
+    if (Peek().type != TokenType::kEof) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt() {
+    auto stmt = std::make_unique<SelectStmt>();
+    if (Peek().IsKeyword("WITH")) {
+      Advance();
+      while (true) {
+        CteDef cte;
+        DS_ASSIGN_OR_RETURN(cte.name, ExpectIdentifier("CTE name"));
+        DS_RETURN_NOT_OK(ExpectKeyword("AS"));
+        DS_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+        DS_ASSIGN_OR_RETURN(cte.select, ParseSelectStmt());
+        DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+        stmt->ctes.push_back(std::move(cte));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    DS_ASSIGN_OR_RETURN(stmt->body, ParseSetOpExpr());
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      DS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        DS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Peek().IsKeyword("ASC")) {
+          Advance();
+        } else if (Peek().IsKeyword("DESC")) {
+          Advance();
+          item.desc = true;
+        }
+        stmt->order_by.push_back(std::move(item));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("LIMIT")) {
+      Advance();
+      if (Peek().type != TokenType::kIntLiteral) return Err("expected LIMIT count");
+      stmt->limit = Peek().int_value;
+      Advance();
+    }
+    return stmt;
+  }
+
+ private:
+  // ---- set-operation level ----
+
+  Result<std::unique_ptr<SetOpNode>> ParseSetOpExpr() {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<SetOpNode> left, ParseSetOpTerm());
+    while (true) {
+      SetOpNode::Kind kind;
+      if (Peek().IsKeyword("UNION")) {
+        Advance();
+        if (Peek().IsKeyword("ALL")) {
+          Advance();
+          kind = SetOpNode::Kind::kUnionAll;
+        } else {
+          kind = SetOpNode::Kind::kUnionDistinct;
+        }
+      } else if (Peek().IsKeyword("EXCEPT")) {
+        Advance();
+        kind = SetOpNode::Kind::kExcept;
+      } else if (Peek().IsKeyword("INTERSECT")) {
+        Advance();
+        kind = SetOpNode::Kind::kIntersect;
+      } else {
+        break;
+      }
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<SetOpNode> right, ParseSetOpTerm());
+      auto node = std::make_unique<SetOpNode>();
+      node->kind = kind;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<SetOpNode>> ParseSetOpTerm() {
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<SetOpNode> inner, ParseSetOpExpr());
+      DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+      return inner;
+    }
+    if (!Peek().IsKeyword("SELECT")) return Err("expected SELECT");
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<SelectCore> core, ParseSelectCore());
+    auto node = std::make_unique<SetOpNode>();
+    node->kind = SetOpNode::Kind::kCore;
+    node->core = std::move(core);
+    return node;
+  }
+
+  Result<std::unique_ptr<SelectCore>> ParseSelectCore() {
+    DS_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto core = std::make_unique<SelectCore>();
+    if (Peek().IsKeyword("DISTINCT")) {
+      Advance();
+      core->distinct = true;
+    } else if (Peek().IsKeyword("ALL")) {
+      Advance();
+    }
+    // Select list.
+    while (true) {
+      SelectItem item;
+      DS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Peek().IsKeyword("AS")) {
+        Advance();
+        DS_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Peek().text;
+        Advance();
+      }
+      core->items.push_back(std::move(item));
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("FROM")) {
+      Advance();
+      while (true) {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> ref, ParseTableRef());
+        core->from.push_back(std::move(ref));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(core->where, ParseExpr());
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      DS_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+        core->group_by.push_back(std::move(e));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(core->having, ParseExpr());
+    }
+    return core;
+  }
+
+  // ---- table references ----
+
+  Result<std::unique_ptr<TableRef>> ParseTableRef() {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> left, ParsePrimaryTableRef());
+    while (true) {
+      TableRef::JoinType join_type;
+      if (Peek().IsKeyword("LEFT")) {
+        Advance();
+        if (Peek().IsKeyword("OUTER")) Advance();
+        DS_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        join_type = TableRef::JoinType::kLeft;
+      } else if (Peek().IsKeyword("INNER")) {
+        Advance();
+        DS_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        join_type = TableRef::JoinType::kInner;
+      } else if (Peek().IsKeyword("JOIN")) {
+        Advance();
+        join_type = TableRef::JoinType::kInner;
+      } else {
+        break;
+      }
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<TableRef> right, ParsePrimaryTableRef());
+      DS_RETURN_NOT_OK(ExpectKeyword("ON"));
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> on, ParseExpr());
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRef::Kind::kJoin;
+      join->join_type = join_type;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      join->on = std::move(on);
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParsePrimaryTableRef() {
+    auto ref = std::make_unique<TableRef>();
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      ref->kind = TableRef::Kind::kSubquery;
+      DS_ASSIGN_OR_RETURN(ref->subquery, ParseSelectStmt());
+      DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+    } else {
+      ref->kind = TableRef::Kind::kBase;
+      DS_ASSIGN_OR_RETURN(ref->table_name, ExpectIdentifier("table name"));
+    }
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(ref->alias, ExpectIdentifier("table alias"));
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref->alias = Peek().text;
+      Advance();
+    } else if (ref->kind == TableRef::Kind::kSubquery) {
+      return Err("derived table requires an alias");
+    }
+    return ref;
+  }
+
+  // ---- expressions (precedence climbing) ----
+
+  Result<std::unique_ptr<Expr>> ParseExpr() { return ParseOr(); }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseAnd());
+      left = MakeBinary(BinOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseNot());
+      left = MakeBinary(BinOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      // Fold NOT EXISTS into the Exists node: the planner's decorrelation
+      // pattern-matches on it.
+      if (Peek().IsKeyword("EXISTS")) {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> exists, ParseExists());
+        exists->negated = true;
+        return exists;
+      }
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseNot());
+      auto e = Expr::Make(Expr::Kind::kUnary);
+      e->un_op = UnOp::kNot;
+      e->children.push_back(std::move(operand));
+      return e;
+    }
+    return ParsePredicate();
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePredicate() {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseAdditive());
+    const Token& t = Peek();
+    // Comparison operators.
+    BinOp op;
+    bool is_cmp = true;
+    switch (t.type) {
+      case TokenType::kEq:
+        op = BinOp::kEq;
+        break;
+      case TokenType::kNe:
+        op = BinOp::kNe;
+        break;
+      case TokenType::kLt:
+        op = BinOp::kLt;
+        break;
+      case TokenType::kLe:
+        op = BinOp::kLe;
+        break;
+      case TokenType::kGt:
+        op = BinOp::kGt;
+        break;
+      case TokenType::kGe:
+        op = BinOp::kGe;
+        break;
+      default:
+        is_cmp = false;
+        op = BinOp::kEq;
+        break;
+    }
+    if (is_cmp) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseAdditive());
+      return MakeBinary(op, std::move(left), std::move(right));
+    }
+    if (t.IsKeyword("IS")) {
+      Advance();
+      bool negated = false;
+      if (Peek().IsKeyword("NOT")) {
+        Advance();
+        negated = true;
+      }
+      DS_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      auto e = Expr::Make(Expr::Kind::kIsNull);
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      return e;
+    }
+    bool negated = false;
+    if (t.IsKeyword("NOT")) {
+      // expr NOT IN / NOT BETWEEN
+      Advance();
+      negated = true;
+    }
+    if (Peek().IsKeyword("IN")) {
+      Advance();
+      DS_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+      if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+        auto e = Expr::Make(Expr::Kind::kInSubquery);
+        e->negated = negated;
+        e->children.push_back(std::move(left));
+        DS_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+        DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+        return e;
+      }
+      auto e = Expr::Make(Expr::Kind::kInList);
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      while (true) {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> item, ParseExpr());
+        e->children.push_back(std::move(item));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+      return e;
+    }
+    if (Peek().IsKeyword("BETWEEN")) {
+      Advance();
+      auto e = Expr::Make(Expr::Kind::kBetween);
+      e->negated = negated;
+      e->children.push_back(std::move(left));
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lo, ParseAdditive());
+      DS_RETURN_NOT_OK(ExpectKeyword("AND"));
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> hi, ParseAdditive());
+      e->children.push_back(std::move(lo));
+      e->children.push_back(std::move(hi));
+      return e;
+    }
+    if (negated) return Err("expected IN or BETWEEN after NOT");
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAdditive() {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseMultiplicative());
+    while (true) {
+      BinOp op;
+      if (Peek().type == TokenType::kPlus) {
+        op = BinOp::kAdd;
+      } else if (Peek().type == TokenType::kMinus) {
+        op = BinOp::kSub;
+      } else {
+        break;
+      }
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseMultiplicative() {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> left, ParseUnary());
+    while (true) {
+      BinOp op;
+      if (Peek().type == TokenType::kStar) {
+        op = BinOp::kMul;
+      } else if (Peek().type == TokenType::kSlash) {
+        op = BinOp::kDiv;
+      } else if (Peek().type == TokenType::kPercent) {
+        op = BinOp::kMod;
+      } else {
+        break;
+      }
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (Peek().type == TokenType::kMinus) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseUnary());
+      // Constant-fold negative literals.
+      if (operand->kind == Expr::Kind::kLiteral) {
+        const storage::Value& v = operand->literal;
+        if (v.type() == storage::ValueType::kInt64) {
+          operand->literal = storage::Value::Int64(-v.AsInt64());
+          return operand;
+        }
+        if (v.type() == storage::ValueType::kDouble) {
+          operand->literal = storage::Value::Double(-v.AsDouble());
+          return operand;
+        }
+      }
+      auto e = Expr::Make(Expr::Kind::kUnary);
+      e->un_op = UnOp::kNeg;
+      e->children.push_back(std::move(operand));
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExists() {
+    DS_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+    DS_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+    auto e = Expr::Make(Expr::Kind::kExists);
+    DS_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+    DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseCase() {
+    DS_RETURN_NOT_OK(ExpectKeyword("CASE"));
+    auto e = Expr::Make(Expr::Kind::kCase);
+    if (!Peek().IsKeyword("WHEN")) {
+      e->case_has_operand = true;
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> operand, ParseExpr());
+      e->children.push_back(std::move(operand));
+    }
+    if (!Peek().IsKeyword("WHEN")) return Err("expected WHEN in CASE");
+    while (Peek().IsKeyword("WHEN")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> when, ParseExpr());
+      DS_RETURN_NOT_OK(ExpectKeyword("THEN"));
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> then, ParseExpr());
+      e->children.push_back(std::move(when));
+      e->children.push_back(std::move(then));
+    }
+    if (Peek().IsKeyword("ELSE")) {
+      Advance();
+      e->case_has_else = true;
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> else_expr, ParseExpr());
+      e->children.push_back(std::move(else_expr));
+    }
+    DS_RETURN_NOT_OK(ExpectKeyword("END"));
+    return e;
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntLiteral: {
+        auto e = Expr::Make(Expr::Kind::kLiteral);
+        e->literal = storage::Value::Int64(t.int_value);
+        Advance();
+        return e;
+      }
+      case TokenType::kDoubleLiteral: {
+        auto e = Expr::Make(Expr::Kind::kLiteral);
+        e->literal = storage::Value::Double(t.double_value);
+        Advance();
+        return e;
+      }
+      case TokenType::kStringLiteral: {
+        auto e = Expr::Make(Expr::Kind::kLiteral);
+        e->literal = storage::Value::String(t.text);
+        Advance();
+        return e;
+      }
+      case TokenType::kStar: {
+        auto e = Expr::Make(Expr::Kind::kStar);
+        Advance();
+        return e;
+      }
+      case TokenType::kLParen: {
+        Advance();
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseExpr());
+        DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+        return inner;
+      }
+      case TokenType::kKeyword: {
+        if (t.IsKeyword("NULL")) {
+          Advance();
+          auto e = Expr::Make(Expr::Kind::kLiteral);
+          e->literal = storage::Value::Null();
+          return e;
+        }
+        if (t.IsKeyword("TRUE") || t.IsKeyword("FALSE")) {
+          auto e = Expr::Make(Expr::Kind::kLiteral);
+          e->literal = storage::Value::Int64(t.IsKeyword("TRUE") ? 1 : 0);
+          Advance();
+          return e;
+        }
+        if (t.IsKeyword("EXISTS")) return ParseExists();
+        if (t.IsKeyword("CASE")) return ParseCase();
+        return Err("unexpected keyword " + t.text);
+      }
+      case TokenType::kIdentifier: {
+        // Aggregate call?
+        if (PeekAt(1).type == TokenType::kLParen) {
+          AggFunc func;
+          bool is_agg = true;
+          if (EqualsIgnoreCase(t.text, "COUNT")) {
+            func = AggFunc::kCount;
+          } else if (EqualsIgnoreCase(t.text, "SUM")) {
+            func = AggFunc::kSum;
+          } else if (EqualsIgnoreCase(t.text, "MIN")) {
+            func = AggFunc::kMin;
+          } else if (EqualsIgnoreCase(t.text, "MAX")) {
+            func = AggFunc::kMax;
+          } else if (EqualsIgnoreCase(t.text, "AVG")) {
+            func = AggFunc::kAvg;
+          } else {
+            is_agg = false;
+            func = AggFunc::kCount;
+          }
+          if (is_agg) {
+            Advance();  // name
+            Advance();  // (
+            auto e = Expr::Make(Expr::Kind::kAggCall);
+            e->agg_func = func;
+            if (Peek().type == TokenType::kStar) {
+              if (func != AggFunc::kCount) return Err("* only valid in COUNT(*)");
+              e->agg_star = true;
+              Advance();
+            } else {
+              if (Peek().IsKeyword("DISTINCT")) {
+                Advance();
+                e->agg_distinct = true;
+              }
+              DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> arg, ParseExpr());
+              e->children.push_back(std::move(arg));
+            }
+            DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+            return e;
+          }
+          return Err("unknown function: " + t.text);
+        }
+        // Column reference: ident | ident.ident | ident.*
+        std::string first = t.text;
+        Advance();
+        if (Peek().type == TokenType::kDot) {
+          Advance();
+          if (Peek().type == TokenType::kStar) {
+            Advance();
+            auto e = Expr::Make(Expr::Kind::kStar);
+            e->qualifier = std::move(first);
+            return e;
+          }
+          if (Peek().type != TokenType::kIdentifier &&
+              Peek().type != TokenType::kKeyword) {
+            return Err("expected column name after '.'");
+          }
+          auto e = Expr::Make(Expr::Kind::kColumnRef);
+          e->qualifier = std::move(first);
+          e->column = Peek().text;
+          Advance();
+          return e;
+        }
+        auto e = Expr::Make(Expr::Kind::kColumnRef);
+        e->column = std::move(first);
+        return e;
+      }
+      default:
+        return Err("unexpected token in expression");
+    }
+  }
+
+  // ---- DML / DDL ----
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    DS_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+    DS_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStmt>();
+    DS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    if (Peek().type == TokenType::kLParen) {
+      // Could be a column list or the start of a SELECT in parens; only a
+      // column list is valid here in this dialect.
+      Advance();
+      while (true) {
+        DS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        stmt->columns.push_back(std::move(col));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+    }
+    if (Peek().IsKeyword("VALUES")) {
+      Advance();
+      while (true) {
+        DS_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+        std::vector<std::unique_ptr<Expr>> row;
+        while (true) {
+          DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> e, ParseExpr());
+          row.push_back(std::move(e));
+          if (Peek().type == TokenType::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+        DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+        stmt->rows.push_back(std::move(row));
+        if (Peek().type == TokenType::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      return stmt;
+    }
+    if (Peek().IsKeyword("SELECT") || Peek().IsKeyword("WITH")) {
+      DS_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+      return stmt;
+    }
+    return Err("expected VALUES or SELECT in INSERT");
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    DS_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    DS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    DS_RETURN_NOT_OK(ExpectKeyword("SET"));
+    while (true) {
+      DS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      DS_RETURN_NOT_OK(Expect(TokenType::kEq, "="));
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<Expr> value, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(value));
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    DS_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+    DS_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    DS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      DS_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
+    DS_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+    DS_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<CreateTableStmt>();
+    DS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    DS_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+    while (true) {
+      DS_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      DS_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier("type name"));
+      storage::ValueType type;
+      const std::string upper = ToUpper(type_name);
+      if (upper == "INT" || upper == "INTEGER" || upper == "BIGINT") {
+        type = storage::ValueType::kInt64;
+      } else if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL") {
+        type = storage::ValueType::kDouble;
+      } else if (upper == "TEXT" || upper == "STRING" || upper == "VARCHAR" ||
+                 upper == "CHAR") {
+        type = storage::ValueType::kString;
+        if (Peek().type == TokenType::kLParen) {  // VARCHAR(n): length ignored
+          Advance();
+          if (Peek().type != TokenType::kIntLiteral) return Err("expected length");
+          Advance();
+          DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+        }
+      } else {
+        return Err("unknown type: " + type_name);
+      }
+      stmt->columns.emplace_back(std::move(col), type);
+      if (Peek().type == TokenType::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    DS_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DropTableStmt>> ParseDropTable() {
+    DS_RETURN_NOT_OK(ExpectKeyword("DROP"));
+    DS_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<DropTableStmt>();
+    DS_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier("table name"));
+    return stmt;
+  }
+
+  // ---- plumbing ----
+
+  static std::unique_ptr<Expr> MakeBinary(BinOp op, std::unique_ptr<Expr> l,
+                                          std::unique_ptr<Expr> r) {
+    auto e = Expr::Make(Expr::Kind::kBinary);
+    e->bin_op = op;
+    e->children.push_back(std::move(l));
+    e->children.push_back(std::move(r));
+    return e;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t ahead) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::ParseError(
+        StrFormat("%s (line %d, near '%s')", message.c_str(), Peek().line,
+                  Peek().type == TokenType::kEof ? "<eof>" : Peek().text.c_str()));
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) return Err(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return Err(std::string("expected ") + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err(std::string("expected ") + what);
+    }
+    std::string text = Peek().text;
+    Advance();
+    return text;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(std::string_view sql) {
+  DS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql) {
+  DS_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::ParseError("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+}  // namespace declsched::sql

@@ -1,0 +1,28 @@
+// SQL parser: token stream -> AST.
+//
+// Dialect notes (documented restrictions):
+//  * Set-operation operands may be SELECT cores or parenthesized set
+//    expressions; ORDER BY / LIMIT / WITH apply only at statement level.
+//  * Scalar subqueries are not supported (EXISTS / IN subqueries are).
+//  * UNION/EXCEPT/INTERSECT associate left with equal precedence.
+
+#ifndef DECLSCHED_SQL_PARSER_H_
+#define DECLSCHED_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace declsched::sql {
+
+/// Parses one SQL statement (trailing semicolon optional).
+Result<Statement> Parse(std::string_view sql);
+
+/// Parses a statement that must be a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view sql);
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_PARSER_H_

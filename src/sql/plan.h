@@ -1,0 +1,187 @@
+// Bound (physical) query plans: the planner's output, the executor's input.
+//
+// The executor is a materializing operator tree over Relation (vector of
+// rows). Correlated expressions reference outer rows through a runtime row
+// stack: depth 0 is the row of the operator evaluating the expression,
+// depth k the row of the k-th enclosing query scope.
+
+#ifndef DECLSCHED_SQL_PLAN_H_
+#define DECLSCHED_SQL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/row.h"
+#include "storage/table.h"
+
+namespace declsched::sql {
+
+/// One output column of an operator: the binding alias (table alias or empty
+/// for derived columns), the column name, and the inferred type.
+struct OutCol {
+  std::string alias;
+  std::string name;
+  storage::ValueType type = storage::ValueType::kNull;
+};
+using OutSchema = std::vector<OutCol>;
+
+/// A materialized intermediate result.
+struct Relation {
+  std::vector<storage::Row> rows;
+};
+
+struct PlanNode;
+struct BoundExpr;
+
+/// Payload of EXISTS / IN subqueries.
+struct SubqueryPlan {
+  /// Generic path: full subplan (projects the subquery's select list; EXISTS
+  /// only tests emptiness, IN reads column 0).
+  std::unique_ptr<PlanNode> plan;
+  /// True if the subplan references enclosing-scope columns; uncorrelated
+  /// subqueries are materialized once per execution and cached.
+  bool correlated = false;
+
+  // --- EXISTS decorrelation (see planner.cc: TryDecorrelateExists) ---
+  // When `decorrelated`, the generic plan is unused. Instead `source` (an
+  // uncorrelated scan) is materialized once and hash-partitioned on column
+  // `inner_key_col`; per outer row the bucket for `outer_key` is probed with
+  // the original predicate `residual` (bound: depth 0 = source row, depth 1 =
+  // outer row).
+  bool decorrelated = false;
+  std::unique_ptr<PlanNode> source;
+  int inner_key_col = -1;
+  std::unique_ptr<BoundExpr> outer_key;  // bound in the enclosing scope
+  std::unique_ptr<BoundExpr> residual;   // never null when decorrelated
+};
+
+enum class BoundKind : uint8_t {
+  kConst,
+  kColRef,
+  kBinary,
+  kUnary,
+  kIsNull,
+  kInList,
+  kBetween,
+  kExists,
+  kInSubquery,
+  kCase,
+};
+
+struct BoundExpr {
+  BoundKind kind;
+  storage::ValueType type = storage::ValueType::kNull;
+
+  // kConst
+  storage::Value value;
+
+  // kColRef
+  int depth = 0;
+  int col = -1;
+
+  // kBinary / kUnary
+  BinOp bin_op = BinOp::kEq;
+  UnOp un_op = UnOp::kNot;
+
+  // kIsNull / kInList / kBetween / kExists / kInSubquery
+  bool negated = false;
+
+  std::vector<std::unique_ptr<BoundExpr>> children;
+
+  // kExists / kInSubquery
+  std::unique_ptr<SubqueryPlan> subquery;
+
+  // kCase: children layout [operand?], (when, then)*, [else?]
+  bool case_has_operand = false;
+  bool case_has_else = false;
+
+  static std::unique_ptr<BoundExpr> Make(BoundKind kind) {
+    auto e = std::make_unique<BoundExpr>();
+    e->kind = kind;
+    return e;
+  }
+};
+
+struct BoundAggCall {
+  AggFunc func = AggFunc::kCount;
+  bool distinct = false;
+  bool star = false;                    // COUNT(*)
+  std::unique_ptr<BoundExpr> arg;       // null iff star
+  storage::ValueType out_type = storage::ValueType::kInt64;
+};
+
+struct SortKey {
+  std::unique_ptr<BoundExpr> expr;
+  bool desc = false;
+};
+
+struct PlanNode {
+  enum class Kind : uint8_t {
+    kScan,            // base table scan
+    kCteScan,         // reference to a materialized CTE
+    kValuesSingleRow, // single empty row (FROM-less SELECT)
+    kFilter,
+    kProject,
+    kNestedLoopJoin,
+    kHashJoin,
+    kDistinct,
+    kUnionAll,
+    kUnionDistinct,
+    kExcept,
+    kIntersect,
+    kSort,
+    kLimit,
+    kAggregate,
+  };
+
+  Kind kind;
+  OutSchema schema;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // kScan
+  const storage::Table* table = nullptr;
+
+  // kCteScan
+  int cte_index = -1;
+
+  // kFilter (predicate) / joins (residual predicate over the combined row)
+  std::unique_ptr<BoundExpr> predicate;
+
+  // kNestedLoopJoin / kHashJoin
+  bool left_outer = false;
+  std::vector<std::unique_ptr<BoundExpr>> left_keys;   // over left child rows
+  std::vector<std::unique_ptr<BoundExpr>> right_keys;  // over right child rows
+
+  // kProject
+  std::vector<std::unique_ptr<BoundExpr>> exprs;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  // kAggregate
+  std::vector<std::unique_ptr<BoundExpr>> group_exprs;
+  std::vector<BoundAggCall> aggs;
+
+  static std::unique_ptr<PlanNode> Make(Kind kind) {
+    auto n = std::make_unique<PlanNode>();
+    n->kind = kind;
+    return n;
+  }
+};
+
+/// A fully planned SELECT: CTE plans (materialized in order at execution,
+/// shared across the whole statement) plus the root operator tree.
+struct PreparedPlan {
+  std::vector<std::unique_ptr<PlanNode>> cte_plans;
+  std::unique_ptr<PlanNode> root;
+  OutSchema schema;
+};
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_PLAN_H_

@@ -1,0 +1,1195 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace declsched::sql {
+
+namespace {
+
+using storage::Value;
+using storage::ValueType;
+
+// ---------------------------------------------------------------------------
+// AST utilities
+// ---------------------------------------------------------------------------
+
+/// Structural equality of expression ASTs (identifiers case-insensitive;
+/// subqueries are never equal to anything).
+bool AstEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Expr::Kind::kLiteral:
+      if (a.literal.is_null() != b.literal.is_null()) return false;
+      return a.literal.is_null() || a.literal.Equals(b.literal);
+    case Expr::Kind::kColumnRef:
+      return EqualsIgnoreCase(a.qualifier, b.qualifier) &&
+             EqualsIgnoreCase(a.column, b.column);
+    case Expr::Kind::kStar:
+      return EqualsIgnoreCase(a.qualifier, b.qualifier);
+    case Expr::Kind::kExists:
+    case Expr::Kind::kInSubquery:
+      return false;
+    case Expr::Kind::kUnary:
+      if (a.un_op != b.un_op) return false;
+      break;
+    case Expr::Kind::kBinary:
+      if (a.bin_op != b.bin_op) return false;
+      break;
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kInList:
+    case Expr::Kind::kBetween:
+      if (a.negated != b.negated) return false;
+      break;
+    case Expr::Kind::kAggCall:
+      if (a.agg_func != b.agg_func || a.agg_distinct != b.agg_distinct ||
+          a.agg_star != b.agg_star) {
+        return false;
+      }
+      break;
+    case Expr::Kind::kCase:
+      if (a.case_has_operand != b.case_has_operand ||
+          a.case_has_else != b.case_has_else) {
+        return false;
+      }
+      break;
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!AstEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+/// Splits an AND tree into its conjuncts (non-owning).
+void CollectConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == Expr::Kind::kBinary && e.bin_op == BinOp::kAnd) {
+    CollectConjuncts(*e.children[0], out);
+    CollectConjuncts(*e.children[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+/// Conjuncts implied by `e` regardless of which OR branch holds:
+/// AND -> union of sides, OR -> intersection of sides, leaf -> itself.
+std::vector<const Expr*> CollectRequiredConjuncts(const Expr& e) {
+  if (e.kind == Expr::Kind::kBinary && e.bin_op == BinOp::kAnd) {
+    std::vector<const Expr*> out = CollectRequiredConjuncts(*e.children[0]);
+    std::vector<const Expr*> rhs = CollectRequiredConjuncts(*e.children[1]);
+    out.insert(out.end(), rhs.begin(), rhs.end());
+    return out;
+  }
+  if (e.kind == Expr::Kind::kBinary && e.bin_op == BinOp::kOr) {
+    std::vector<const Expr*> lhs = CollectRequiredConjuncts(*e.children[0]);
+    std::vector<const Expr*> rhs = CollectRequiredConjuncts(*e.children[1]);
+    std::vector<const Expr*> out;
+    for (const Expr* l : lhs) {
+      for (const Expr* r : rhs) {
+        if (AstEquals(*l, *r)) {
+          out.push_back(l);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  return {&e};
+}
+
+/// True if the expression tree contains an aggregate call (not descending
+/// into subqueries: their aggregates belong to the subquery).
+bool ContainsAgg(const Expr& e) {
+  if (e.kind == Expr::Kind::kAggCall) return true;
+  if (e.kind == Expr::Kind::kExists || e.kind == Expr::Kind::kInSubquery) {
+    for (const auto& c : e.children) {
+      if (ContainsAgg(*c)) return true;  // the tested expr of IN
+    }
+    return false;
+  }
+  for (const auto& c : e.children) {
+    if (ContainsAgg(*c)) return true;
+  }
+  return false;
+}
+
+/// True if the tree contains an EXISTS or IN-subquery node.
+bool ContainsSubquery(const Expr& e) {
+  if (e.kind == Expr::Kind::kExists || e.kind == Expr::Kind::kInSubquery) return true;
+  for (const auto& c : e.children) {
+    if (ContainsSubquery(*c)) return true;
+  }
+  return false;
+}
+
+ValueType PromoteNumeric(ValueType a, ValueType b) {
+  if (a == ValueType::kDouble || b == ValueType::kDouble) return ValueType::kDouble;
+  return ValueType::kInt64;
+}
+
+bool TypesCompatible(ValueType a, ValueType b) {
+  if (a == b) return true;
+  if (a == ValueType::kNull || b == ValueType::kNull) return true;
+  const bool na = a == ValueType::kInt64 || a == ValueType::kDouble;
+  const bool nb = b == ValueType::kInt64 || b == ValueType::kDouble;
+  return na && nb;
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+class Planner {
+ public:
+  Planner(const storage::Catalog& catalog, const PlannerOptions& options)
+      : catalog_(catalog), options_(options) {}
+
+  Result<std::unique_ptr<BoundExpr>> BindStandalone(const Expr& e,
+                                                    const OutSchema& schema) {
+    return BindExpr(e, schema);
+  }
+
+  Result<PreparedPlan> Plan(const SelectStmt& stmt) {
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> root, PlanSelectStmt(stmt));
+    PreparedPlan plan;
+    plan.schema = root->schema;
+    plan.root = std::move(root);
+    plan.cte_plans = std::move(cte_plans_);
+    return plan;
+  }
+
+ private:
+  struct CteBinding {
+    std::string lower_name;
+    int index;
+    OutSchema schema;
+  };
+
+  struct Session {
+    size_t base;       // index of the session's enclosing scope in outer_scopes_
+    bool correlated = false;
+  };
+
+  // ---- scope / correlation machinery ----
+
+  struct ResolvedCol {
+    int depth;
+    int col;
+    ValueType type;
+  };
+
+  Result<ResolvedCol> ResolveColumn(const OutSchema& current,
+                                    const std::string& qualifier,
+                                    const std::string& name) {
+    auto find_in = [&](const OutSchema& schema) -> Result<int> {
+      int found = -1;
+      for (int i = 0; i < static_cast<int>(schema.size()); ++i) {
+        const OutCol& c = schema[i];
+        if (!qualifier.empty() && !EqualsIgnoreCase(c.alias, qualifier)) continue;
+        if (!EqualsIgnoreCase(c.name, name)) continue;
+        if (found >= 0) {
+          return Status::BindError("ambiguous column: " +
+                                   (qualifier.empty() ? name : qualifier + "." + name));
+        }
+        found = i;
+      }
+      return found;
+    };
+    DS_ASSIGN_OR_RETURN(int idx, find_in(current));
+    if (idx >= 0) return ResolvedCol{0, idx, current[idx].type};
+    for (int s = static_cast<int>(outer_scopes_.size()) - 1; s >= 0; --s) {
+      DS_ASSIGN_OR_RETURN(idx, find_in(outer_scopes_[s]));
+      if (idx >= 0) {
+        // Mark every subquery session this reference escapes.
+        for (Session& session : sessions_) {
+          if (static_cast<int>(session.base) >= s) session.correlated = true;
+        }
+        const int depth = static_cast<int>(outer_scopes_.size()) - s;
+        return ResolvedCol{depth, idx, outer_scopes_[s][idx].type};
+      }
+    }
+    return Status::BindError("unknown column: " +
+                             (qualifier.empty() ? name : qualifier + "." + name));
+  }
+
+  // ---- expression binding ----
+
+  Result<std::unique_ptr<BoundExpr>> BindExpr(const Expr& e, const OutSchema& current) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral: {
+        auto b = BoundExpr::Make(BoundKind::kConst);
+        b->value = e.literal;
+        b->type = e.literal.type();
+        return b;
+      }
+      case Expr::Kind::kColumnRef: {
+        DS_ASSIGN_OR_RETURN(ResolvedCol rc, ResolveColumn(current, e.qualifier, e.column));
+        auto b = BoundExpr::Make(BoundKind::kColRef);
+        b->depth = rc.depth;
+        b->col = rc.col;
+        b->type = rc.type;
+        return b;
+      }
+      case Expr::Kind::kStar:
+        return Status::BindError("'*' is only valid in a select list or COUNT(*)");
+      case Expr::Kind::kUnary: {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> child,
+                            BindExpr(*e.children[0], current));
+        auto b = BoundExpr::Make(BoundKind::kUnary);
+        b->un_op = e.un_op;
+        b->type = e.un_op == UnOp::kNot ? ValueType::kInt64 : child->type;
+        b->children.push_back(std::move(child));
+        return b;
+      }
+      case Expr::Kind::kBinary: {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> l, BindExpr(*e.children[0], current));
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> r, BindExpr(*e.children[1], current));
+        auto b = BoundExpr::Make(BoundKind::kBinary);
+        b->bin_op = e.bin_op;
+        switch (e.bin_op) {
+          case BinOp::kAdd:
+          case BinOp::kSub:
+          case BinOp::kMul:
+          case BinOp::kDiv:
+          case BinOp::kMod:
+            b->type = PromoteNumeric(l->type, r->type);
+            break;
+          default:
+            b->type = ValueType::kInt64;  // comparisons / logic
+        }
+        b->children.push_back(std::move(l));
+        b->children.push_back(std::move(r));
+        return b;
+      }
+      case Expr::Kind::kIsNull: {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> child,
+                            BindExpr(*e.children[0], current));
+        auto b = BoundExpr::Make(BoundKind::kIsNull);
+        b->negated = e.negated;
+        b->type = ValueType::kInt64;
+        b->children.push_back(std::move(child));
+        return b;
+      }
+      case Expr::Kind::kInList: {
+        auto b = BoundExpr::Make(BoundKind::kInList);
+        b->negated = e.negated;
+        b->type = ValueType::kInt64;
+        for (const auto& c : e.children) {
+          DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bc, BindExpr(*c, current));
+          b->children.push_back(std::move(bc));
+        }
+        return b;
+      }
+      case Expr::Kind::kBetween: {
+        auto b = BoundExpr::Make(BoundKind::kBetween);
+        b->negated = e.negated;
+        b->type = ValueType::kInt64;
+        for (const auto& c : e.children) {
+          DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bc, BindExpr(*c, current));
+          b->children.push_back(std::move(bc));
+        }
+        return b;
+      }
+      case Expr::Kind::kExists:
+        return BindExists(e, current);
+      case Expr::Kind::kInSubquery:
+        return BindInSubquery(e, current);
+      case Expr::Kind::kCase: {
+        auto b = BoundExpr::Make(BoundKind::kCase);
+        b->case_has_operand = e.case_has_operand;
+        b->case_has_else = e.case_has_else;
+        for (const auto& c : e.children) {
+          DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bc, BindExpr(*c, current));
+          b->children.push_back(std::move(bc));
+        }
+        // Type: first THEN branch.
+        const size_t first_then = e.case_has_operand ? 2 : 1;
+        b->type = first_then < b->children.size() ? b->children[first_then]->type
+                                                  : ValueType::kNull;
+        return b;
+      }
+      case Expr::Kind::kAggCall:
+        return Status::BindError("aggregate function not allowed here");
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  /// Plans an EXISTS subquery, attempting hash decorrelation first.
+  Result<std::unique_ptr<BoundExpr>> BindExists(const Expr& e, const OutSchema& current) {
+    auto bound = BoundExpr::Make(BoundKind::kExists);
+    bound->negated = e.negated;
+    bound->type = ValueType::kInt64;
+    bound->subquery = std::make_unique<SubqueryPlan>();
+    SubqueryPlan& sq = *bound->subquery;
+
+    if (options_.enable_exists_decorrelation) {
+      DS_ASSIGN_OR_RETURN(bool done, TryDecorrelateExists(*e.subquery, current, &sq));
+      if (done) return bound;
+    }
+
+    // Generic path.
+    outer_scopes_.push_back(current);
+    sessions_.push_back(Session{outer_scopes_.size() - 1});
+    auto plan_result = PlanSelectStmt(*e.subquery);
+    const bool correlated = sessions_.back().correlated;
+    sessions_.pop_back();
+    outer_scopes_.pop_back();
+    if (!plan_result.ok()) return plan_result.status();
+    sq.plan = plan_result.MoveValue();
+    sq.correlated = correlated;
+    return bound;
+  }
+
+  /// Pattern: EXISTS (SELECT ... FROM one_relation [inner_alias] WHERE pred)
+  /// where pred *requires* inner_col = outer_col. Fills `sq` and returns true
+  /// on success.
+  Result<bool> TryDecorrelateExists(const SelectStmt& sub, const OutSchema& current,
+                                    SubqueryPlan* sq) {
+    if (!sub.ctes.empty() || !sub.order_by.empty() || sub.limit >= 0) return false;
+    if (sub.body->kind != SetOpNode::Kind::kCore) return false;
+    const SelectCore& core = *sub.body->core;
+    if (core.from.size() != 1 || core.from[0]->kind != TableRef::Kind::kBase) {
+      return false;
+    }
+    if (!core.group_by.empty() || core.having != nullptr) return false;
+    if (core.where == nullptr) return false;
+
+    // Resolve the inner relation.
+    const TableRef& ref = *core.from[0];
+    const std::string binding =
+        ref.alias.empty() ? ref.table_name : ref.alias;
+    std::unique_ptr<PlanNode> source;
+    OutSchema inner_schema;
+    DS_ASSIGN_OR_RETURN(bool resolved,
+                        PlanRelationByName(ref.table_name, binding, &source,
+                                           &inner_schema));
+    if (!resolved) return false;
+
+    auto resolvable_in_inner = [&](const Expr& col) -> int {
+      // Returns the inner column index, or -1.
+      if (col.kind != Expr::Kind::kColumnRef) return -1;
+      int found = -1;
+      for (int i = 0; i < static_cast<int>(inner_schema.size()); ++i) {
+        if (!col.qualifier.empty() &&
+            !EqualsIgnoreCase(inner_schema[i].alias, col.qualifier)) {
+          continue;
+        }
+        if (!EqualsIgnoreCase(inner_schema[i].name, col.column)) continue;
+        if (found >= 0) return -1;  // ambiguous
+        found = i;
+      }
+      return found;
+    };
+
+    const std::vector<const Expr*> required = CollectRequiredConjuncts(*core.where);
+    for (const Expr* conjunct : required) {
+      if (conjunct->kind != Expr::Kind::kBinary || conjunct->bin_op != BinOp::kEq) {
+        continue;
+      }
+      const Expr& lhs = *conjunct->children[0];
+      const Expr& rhs = *conjunct->children[1];
+      for (int swap = 0; swap < 2; ++swap) {
+        const Expr& inner_side = swap == 0 ? lhs : rhs;
+        const Expr& outer_side = swap == 0 ? rhs : lhs;
+        const int inner_col = resolvable_in_inner(inner_side);
+        if (inner_col < 0) continue;
+        if (resolvable_in_inner(outer_side) >= 0) continue;
+        if (outer_side.kind != Expr::Kind::kColumnRef) continue;
+        // Bind the outer key in the *enclosing* scope; failure just means the
+        // pattern does not apply.
+        auto outer_bound = BindExpr(outer_side, current);
+        if (!outer_bound.ok()) continue;
+        // Bind the full predicate as the residual, inner row at depth 0.
+        outer_scopes_.push_back(current);
+        sessions_.push_back(Session{outer_scopes_.size() - 1});
+        auto residual = BindExpr(*core.where, inner_schema);
+        sessions_.pop_back();
+        outer_scopes_.pop_back();
+        if (!residual.ok()) return residual.status();
+        sq->decorrelated = true;
+        sq->source = std::move(source);
+        sq->inner_key_col = inner_col;
+        sq->outer_key = outer_bound.MoveValue();
+        sq->residual = residual.MoveValue();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Result<std::unique_ptr<BoundExpr>> BindInSubquery(const Expr& e,
+                                                    const OutSchema& current) {
+    auto bound = BoundExpr::Make(BoundKind::kInSubquery);
+    bound->negated = e.negated;
+    bound->type = ValueType::kInt64;
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> tested,
+                        BindExpr(*e.children[0], current));
+    bound->children.push_back(std::move(tested));
+
+    bound->subquery = std::make_unique<SubqueryPlan>();
+    outer_scopes_.push_back(current);
+    sessions_.push_back(Session{outer_scopes_.size() - 1});
+    auto plan_result = PlanSelectStmt(*e.subquery);
+    const bool correlated = sessions_.back().correlated;
+    sessions_.pop_back();
+    outer_scopes_.pop_back();
+    if (!plan_result.ok()) return plan_result.status();
+    std::unique_ptr<PlanNode> plan = plan_result.MoveValue();
+    if (plan->schema.size() != 1) {
+      return Status::BindError("IN subquery must return exactly one column");
+    }
+    bound->subquery->plan = std::move(plan);
+    bound->subquery->correlated = correlated;
+    return bound;
+  }
+
+  /// Resolves `name` as CTE (innermost scope first) or base table and builds
+  /// a scan node with `binding` as the column alias. Returns false if the
+  /// name is unknown (caller decides whether that is an error).
+  Result<bool> PlanRelationByName(const std::string& name, const std::string& binding,
+                                  std::unique_ptr<PlanNode>* node, OutSchema* schema) {
+    const std::string lower = ToLower(name);
+    for (int s = static_cast<int>(cte_scopes_.size()) - 1; s >= 0; --s) {
+      for (const CteBinding& cte : cte_scopes_[s]) {
+        if (cte.lower_name != lower) continue;
+        auto n = PlanNode::Make(PlanNode::Kind::kCteScan);
+        n->cte_index = cte.index;
+        for (const OutCol& c : cte.schema) {
+          n->schema.push_back(OutCol{binding, c.name, c.type});
+        }
+        *schema = n->schema;
+        *node = std::move(n);
+        return true;
+      }
+    }
+    const storage::Table* table = catalog_.GetTable(name);
+    if (table == nullptr) return false;
+    auto n = PlanNode::Make(PlanNode::Kind::kScan);
+    n->table = table;
+    for (const storage::ColumnDef& c : table->schema().columns()) {
+      n->schema.push_back(OutCol{binding, c.name, c.type});
+    }
+    *schema = n->schema;
+    *node = std::move(n);
+    return true;
+  }
+
+  // ---- FROM / join planning ----
+
+  struct JoinState {
+    std::unique_ptr<PlanNode> plan;
+  };
+
+  Result<std::unique_ptr<PlanNode>> PlanTableRef(const TableRef& ref) {
+    switch (ref.kind) {
+      case TableRef::Kind::kBase: {
+        const std::string binding = ref.alias.empty() ? ref.table_name : ref.alias;
+        std::unique_ptr<PlanNode> node;
+        OutSchema schema;
+        DS_ASSIGN_OR_RETURN(bool ok,
+                            PlanRelationByName(ref.table_name, binding, &node, &schema));
+        if (!ok) return Status::BindError("unknown table: " + ref.table_name);
+        return node;
+      }
+      case TableRef::Kind::kSubquery: {
+        // Derived tables cannot be correlated (no LATERAL): hide outer scopes.
+        std::vector<OutSchema> saved_scopes;
+        std::vector<Session> saved_sessions;
+        saved_scopes.swap(outer_scopes_);
+        saved_sessions.swap(sessions_);
+        auto sub = PlanSelectStmt(*ref.subquery);
+        outer_scopes_.swap(saved_scopes);
+        sessions_.swap(saved_sessions);
+        if (!sub.ok()) return sub.status();
+        std::unique_ptr<PlanNode> node = sub.MoveValue();
+        for (OutCol& c : node->schema) c.alias = ref.alias;
+        return node;
+      }
+      case TableRef::Kind::kJoin: {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> left, PlanTableRef(*ref.left));
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> right, PlanTableRef(*ref.right));
+        std::vector<const Expr*> on_conjuncts;
+        if (ref.on != nullptr) CollectConjuncts(*ref.on, &on_conjuncts);
+        return BuildJoin(std::move(left), std::move(right),
+                         ref.join_type == TableRef::JoinType::kLeft, on_conjuncts);
+      }
+    }
+    return Status::Internal("unhandled table ref kind");
+  }
+
+  /// Which side(s) of a prospective join an AST conjunct references.
+  /// 0 = neither, 1 = left only, 2 = right only, 3 = both, -1 = unresolvable
+  /// here (outer/unknown columns or subqueries): must be bound elsewhere.
+  int ClassifySides(const Expr& e, const OutSchema& left, const OutSchema& right) {
+    if (e.kind == Expr::Kind::kExists || e.kind == Expr::Kind::kInSubquery) return -1;
+    if (e.kind == Expr::Kind::kColumnRef) {
+      auto matches = [&](const OutSchema& schema) {
+        int count = 0;
+        for (const OutCol& c : schema) {
+          if (!e.qualifier.empty() && !EqualsIgnoreCase(c.alias, e.qualifier)) continue;
+          if (EqualsIgnoreCase(c.name, e.column)) ++count;
+        }
+        return count;
+      };
+      const int in_left = matches(left);
+      const int in_right = matches(right);
+      if (in_left + in_right == 0) return -1;  // outer or unknown
+      if (in_left > 0 && in_right > 0) return -1;  // ambiguous; let binder error
+      if (in_left > 1 || in_right > 1) return -1;
+      return in_left > 0 ? 1 : 2;
+    }
+    int mask = 0;
+    for (const auto& c : e.children) {
+      const int m = ClassifySides(*c, left, right);
+      if (m == -1) return -1;
+      mask |= m;
+    }
+    return mask;
+  }
+
+  Result<std::unique_ptr<PlanNode>> BuildJoin(std::unique_ptr<PlanNode> left,
+                                              std::unique_ptr<PlanNode> right,
+                                              bool left_outer,
+                                              const std::vector<const Expr*>& conjuncts) {
+    OutSchema combined = left->schema;
+    combined.insert(combined.end(), right->schema.begin(), right->schema.end());
+
+    std::vector<std::pair<const Expr*, const Expr*>> key_pairs;  // (left, right)
+    std::vector<const Expr*> residual;
+    for (const Expr* c : conjuncts) {
+      bool is_key = false;
+      if (options_.enable_hash_join && c->kind == Expr::Kind::kBinary &&
+          c->bin_op == BinOp::kEq) {
+        const int lm = ClassifySides(*c->children[0], left->schema, right->schema);
+        const int rm = ClassifySides(*c->children[1], left->schema, right->schema);
+        if (lm == 1 && rm == 2) {
+          key_pairs.emplace_back(c->children[0].get(), c->children[1].get());
+          is_key = true;
+        } else if (lm == 2 && rm == 1) {
+          key_pairs.emplace_back(c->children[1].get(), c->children[0].get());
+          is_key = true;
+        }
+      }
+      if (!is_key) residual.push_back(c);
+    }
+
+    std::unique_ptr<PlanNode> join;
+    if (!key_pairs.empty()) {
+      join = PlanNode::Make(PlanNode::Kind::kHashJoin);
+      for (const auto& [l_ast, r_ast] : key_pairs) {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> lk, BindExpr(*l_ast, left->schema));
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> rk,
+                            BindExpr(*r_ast, right->schema));
+        join->left_keys.push_back(std::move(lk));
+        join->right_keys.push_back(std::move(rk));
+      }
+    } else {
+      join = PlanNode::Make(PlanNode::Kind::kNestedLoopJoin);
+    }
+    join->left_outer = left_outer;
+    if (!residual.empty()) {
+      DS_ASSIGN_OR_RETURN(join->predicate, BindConjunction(residual, combined));
+    }
+    join->schema = std::move(combined);
+    join->children.push_back(std::move(left));
+    join->children.push_back(std::move(right));
+    return join;
+  }
+
+  Result<std::unique_ptr<BoundExpr>> BindConjunction(const std::vector<const Expr*>& cs,
+                                                     const OutSchema& current) {
+    DS_CHECK(!cs.empty());
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> acc, BindExpr(*cs[0], current));
+    for (size_t i = 1; i < cs.size(); ++i) {
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> next, BindExpr(*cs[i], current));
+      auto conj = BoundExpr::Make(BoundKind::kBinary);
+      conj->bin_op = BinOp::kAnd;
+      conj->type = ValueType::kInt64;
+      conj->children.push_back(std::move(acc));
+      conj->children.push_back(std::move(next));
+      acc = std::move(conj);
+    }
+    return acc;
+  }
+
+  // ---- SELECT core ----
+
+  Result<std::unique_ptr<PlanNode>> PlanCore(const SelectCore& core) {
+    // 1. FROM factors.
+    std::vector<std::unique_ptr<PlanNode>> factors;
+    for (const auto& ref : core.from) {
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> f, PlanTableRef(*ref));
+      factors.push_back(std::move(f));
+    }
+    if (factors.empty()) {
+      auto values = PlanNode::Make(PlanNode::Kind::kValuesSingleRow);
+      factors.push_back(std::move(values));
+    }
+
+    // Duplicate binding aliases across factors are ambiguous.
+    {
+      std::unordered_set<std::string> seen;
+      for (const auto& f : factors) {
+        std::unordered_set<std::string> mine;
+        for (const OutCol& c : f->schema) {
+          if (!c.alias.empty()) mine.insert(ToLower(c.alias));
+        }
+        for (const std::string& a : mine) {
+          if (!seen.insert(a).second) {
+            return Status::BindError("duplicate table alias: " + a);
+          }
+        }
+      }
+    }
+
+    // 2. WHERE conjunct classification.
+    std::vector<const Expr*> conjuncts;
+    if (core.where != nullptr) CollectConjuncts(*core.where, &conjuncts);
+
+    // factor_mask[i]: bitset (as vector<bool>) of factors referenced, or
+    // empty meaning "not classifiable" (subquery / outer / ambiguous refs).
+    const size_t nf = factors.size();
+    struct ConjunctInfo {
+      const Expr* expr;
+      bool classifiable = false;
+      uint64_t mask = 0;
+      bool used = false;
+    };
+    std::vector<ConjunctInfo> infos;
+    infos.reserve(conjuncts.size());
+    for (const Expr* c : conjuncts) {
+      ConjunctInfo info;
+      info.expr = c;
+      if (!ContainsSubquery(*c) && nf <= 64) {
+        bool ok = true;
+        uint64_t mask = 0;
+        ClassifyFactors(*c, factors, &mask, &ok);
+        info.classifiable = ok;
+        info.mask = mask;
+      }
+      infos.push_back(info);
+    }
+
+    // 3. Push single-factor conjuncts down.
+    for (size_t i = 0; i < nf; ++i) {
+      std::vector<const Expr*> local;
+      for (ConjunctInfo& info : infos) {
+        if (!info.used && info.classifiable && info.mask == (uint64_t{1} << i)) {
+          local.push_back(info.expr);
+          info.used = true;
+        }
+      }
+      if (!local.empty()) {
+        DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> pred,
+                            BindConjunction(local, factors[i]->schema));
+        auto filter = PlanNode::Make(PlanNode::Kind::kFilter);
+        filter->schema = factors[i]->schema;
+        filter->predicate = std::move(pred);
+        filter->children.push_back(std::move(factors[i]));
+        factors[i] = std::move(filter);
+      }
+    }
+
+    // 4. Left-deep join of the comma factors, harvesting equi-join keys.
+    std::unique_ptr<PlanNode> cur = std::move(factors[0]);
+    uint64_t joined_mask = 1;
+    for (size_t i = 1; i < nf; ++i) {
+      const uint64_t self = uint64_t{1} << i;
+      std::vector<const Expr*> step;
+      for (ConjunctInfo& info : infos) {
+        if (info.used || !info.classifiable) continue;
+        if ((info.mask & self) != 0 && (info.mask & ~(joined_mask | self)) == 0) {
+          step.push_back(info.expr);
+          info.used = true;
+        }
+      }
+      DS_ASSIGN_OR_RETURN(
+          cur, BuildJoin(std::move(cur), std::move(factors[i]), /*left_outer=*/false,
+                         step));
+      joined_mask |= self;
+    }
+
+    // 5. Remaining conjuncts filter above the join tree.
+    std::vector<const Expr*> leftover;
+    for (ConjunctInfo& info : infos) {
+      if (!info.used) leftover.push_back(info.expr);
+    }
+    if (!leftover.empty()) {
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> pred,
+                          BindConjunction(leftover, cur->schema));
+      auto filter = PlanNode::Make(PlanNode::Kind::kFilter);
+      filter->schema = cur->schema;
+      filter->predicate = std::move(pred);
+      filter->children.push_back(std::move(cur));
+      cur = std::move(filter);
+    }
+
+    // 6. Aggregation.
+    bool has_agg = !core.group_by.empty();
+    for (const SelectItem& item : core.items) {
+      if (ContainsAgg(*item.expr)) has_agg = true;
+    }
+    if (core.having != nullptr) has_agg = true;
+
+    if (has_agg) {
+      DS_ASSIGN_OR_RETURN(cur, PlanAggregate(core, std::move(cur)));
+      return FinishCore(core, std::move(cur), /*agg_mode=*/true);
+    }
+    return FinishCore(core, std::move(cur), /*agg_mode=*/false);
+  }
+
+  /// Resolves which factors an AST expression references.
+  void ClassifyFactors(const Expr& e, const std::vector<std::unique_ptr<PlanNode>>& fs,
+                       uint64_t* mask, bool* ok) {
+    if (!*ok) return;
+    if (e.kind == Expr::Kind::kStar) {
+      *ok = false;
+      return;
+    }
+    if (e.kind == Expr::Kind::kColumnRef) {
+      int owner = -1;
+      int matches = 0;
+      for (size_t i = 0; i < fs.size(); ++i) {
+        for (const OutCol& c : fs[i]->schema) {
+          if (!e.qualifier.empty() && !EqualsIgnoreCase(c.alias, e.qualifier)) continue;
+          if (!EqualsIgnoreCase(c.name, e.column)) continue;
+          ++matches;
+          owner = static_cast<int>(i);
+        }
+      }
+      if (matches != 1) {
+        *ok = false;  // outer reference, unknown, or ambiguous
+        return;
+      }
+      *mask |= uint64_t{1} << owner;
+      return;
+    }
+    for (const auto& c : e.children) ClassifyFactors(*c, fs, mask, ok);
+  }
+
+  // ---- aggregation ----
+
+  struct AggContext {
+    std::vector<const Expr*> group_asts;
+    OutSchema agg_schema;  // group cols then agg cols
+    std::vector<const Expr*> registered_aggs;  // AST of each agg call
+    PlanNode* agg_node = nullptr;
+    const OutSchema* child_schema = nullptr;
+  };
+
+  Result<std::unique_ptr<PlanNode>> PlanAggregate(const SelectCore& core,
+                                                  std::unique_ptr<PlanNode> child) {
+    auto agg = PlanNode::Make(PlanNode::Kind::kAggregate);
+    agg_ctx_ = std::make_unique<AggContext>();
+    agg_ctx_->child_schema = nullptr;  // set below via stored schema copy
+
+    agg_child_schema_ = child->schema;
+    for (const auto& g : core.group_by) {
+      agg_ctx_->group_asts.push_back(g.get());
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bg, BindExpr(*g, agg_child_schema_));
+      OutCol col;
+      if (g->kind == Expr::Kind::kColumnRef) {
+        col = OutCol{g->qualifier, g->column, bg->type};
+      } else {
+        col = OutCol{"", StrFormat("group%zu", agg_ctx_->group_asts.size()), bg->type};
+      }
+      agg_ctx_->agg_schema.push_back(col);
+      agg->group_exprs.push_back(std::move(bg));
+    }
+    agg_ctx_->agg_node = agg.get();
+    agg->schema = agg_ctx_->agg_schema;  // updated as aggs register
+    agg->children.push_back(std::move(child));
+    return agg;
+  }
+
+  /// Binds an expression in aggregate mode: group expressions and aggregate
+  /// calls become references into the aggregate node's output.
+  Result<std::unique_ptr<BoundExpr>> BindAggExpr(const Expr& e) {
+    AggContext& ctx = *agg_ctx_;
+    // Group-expression match?
+    for (size_t i = 0; i < ctx.group_asts.size(); ++i) {
+      if (AstEquals(e, *ctx.group_asts[i])) {
+        auto b = BoundExpr::Make(BoundKind::kColRef);
+        b->depth = 0;
+        b->col = static_cast<int>(i);
+        b->type = ctx.agg_schema[i].type;
+        return b;
+      }
+    }
+    switch (e.kind) {
+      case Expr::Kind::kAggCall: {
+        // Deduplicate structurally identical aggregate calls.
+        for (size_t j = 0; j < ctx.registered_aggs.size(); ++j) {
+          if (AstEquals(e, *ctx.registered_aggs[j])) {
+            auto b = BoundExpr::Make(BoundKind::kColRef);
+            b->col = static_cast<int>(ctx.group_asts.size() + j);
+            b->type = ctx.agg_schema[ctx.group_asts.size() + j].type;
+            return b;
+          }
+        }
+        BoundAggCall call;
+        call.func = e.agg_func;
+        call.distinct = e.agg_distinct;
+        call.star = e.agg_star;
+        ValueType out_type = ValueType::kInt64;
+        if (!e.agg_star) {
+          DS_ASSIGN_OR_RETURN(call.arg, BindExpr(*e.children[0], agg_child_schema_));
+          switch (e.agg_func) {
+            case AggFunc::kCount:
+              out_type = ValueType::kInt64;
+              break;
+            case AggFunc::kAvg:
+              out_type = ValueType::kDouble;
+              break;
+            default:
+              out_type = call.arg->type;
+          }
+        }
+        call.out_type = out_type;
+        ctx.registered_aggs.push_back(&e);
+        const std::string name = StrFormat("agg%zu", ctx.registered_aggs.size());
+        ctx.agg_schema.push_back(OutCol{"", name, out_type});
+        ctx.agg_node->aggs.push_back(std::move(call));
+        ctx.agg_node->schema = ctx.agg_schema;
+        auto b = BoundExpr::Make(BoundKind::kColRef);
+        b->col = static_cast<int>(ctx.agg_schema.size()) - 1;
+        b->type = out_type;
+        return b;
+      }
+      case Expr::Kind::kLiteral: {
+        auto b = BoundExpr::Make(BoundKind::kConst);
+        b->value = e.literal;
+        b->type = e.literal.type();
+        return b;
+      }
+      case Expr::Kind::kColumnRef:
+        return Status::BindError("column " + e.column +
+                                 " must appear in GROUP BY or an aggregate");
+      case Expr::Kind::kExists:
+      case Expr::Kind::kInSubquery:
+        return Status::Unsupported("subqueries in aggregate select lists");
+      case Expr::Kind::kStar:
+        return Status::BindError("'*' not allowed with GROUP BY");
+      default: {
+        // Recurse structurally.
+        auto b = BoundExpr::Make(BoundKind::kConst);
+        switch (e.kind) {
+          case Expr::Kind::kUnary:
+            b = BoundExpr::Make(BoundKind::kUnary);
+            b->un_op = e.un_op;
+            break;
+          case Expr::Kind::kBinary:
+            b = BoundExpr::Make(BoundKind::kBinary);
+            b->bin_op = e.bin_op;
+            break;
+          case Expr::Kind::kIsNull:
+            b = BoundExpr::Make(BoundKind::kIsNull);
+            b->negated = e.negated;
+            break;
+          case Expr::Kind::kInList:
+            b = BoundExpr::Make(BoundKind::kInList);
+            b->negated = e.negated;
+            break;
+          case Expr::Kind::kBetween:
+            b = BoundExpr::Make(BoundKind::kBetween);
+            b->negated = e.negated;
+            break;
+          case Expr::Kind::kCase:
+            b = BoundExpr::Make(BoundKind::kCase);
+            b->case_has_operand = e.case_has_operand;
+            b->case_has_else = e.case_has_else;
+            break;
+          default:
+            return Status::Internal("unhandled agg-mode expression");
+        }
+        for (const auto& c : e.children) {
+          DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> bc, BindAggExpr(*c));
+          b->children.push_back(std::move(bc));
+        }
+        switch (e.kind) {
+          case Expr::Kind::kUnary:
+            b->type = e.un_op == UnOp::kNot ? ValueType::kInt64 : b->children[0]->type;
+            break;
+          case Expr::Kind::kBinary:
+            switch (e.bin_op) {
+              case BinOp::kAdd:
+              case BinOp::kSub:
+              case BinOp::kMul:
+              case BinOp::kDiv:
+              case BinOp::kMod:
+                b->type = PromoteNumeric(b->children[0]->type, b->children[1]->type);
+                break;
+              default:
+                b->type = ValueType::kInt64;
+            }
+            break;
+          case Expr::Kind::kCase: {
+            const size_t first_then = e.case_has_operand ? 2 : 1;
+            b->type = first_then < b->children.size() ? b->children[first_then]->type
+                                                      : ValueType::kNull;
+            break;
+          }
+          default:
+            b->type = ValueType::kInt64;
+        }
+        return b;
+      }
+    }
+  }
+
+  /// Applies HAVING, projection and DISTINCT above `cur`.
+  Result<std::unique_ptr<PlanNode>> FinishCore(const SelectCore& core,
+                                               std::unique_ptr<PlanNode> cur,
+                                               bool agg_mode) {
+    if (core.having != nullptr) {
+      DS_CHECK(agg_mode);
+      DS_ASSIGN_OR_RETURN(std::unique_ptr<BoundExpr> pred, BindAggExpr(*core.having));
+      auto filter = PlanNode::Make(PlanNode::Kind::kFilter);
+      filter->schema = cur->schema;
+      filter->predicate = std::move(pred);
+      filter->children.push_back(std::move(cur));
+      cur = std::move(filter);
+    }
+
+    auto project = PlanNode::Make(PlanNode::Kind::kProject);
+    const OutSchema& in_schema = agg_mode && agg_ctx_ ? agg_ctx_->agg_schema : cur->schema;
+    for (const SelectItem& item : core.items) {
+      if (item.expr->kind == Expr::Kind::kStar) {
+        if (agg_mode) return Status::BindError("'*' not allowed with GROUP BY");
+        bool matched = false;
+        for (int i = 0; i < static_cast<int>(in_schema.size()); ++i) {
+          const OutCol& c = in_schema[i];
+          if (!item.expr->qualifier.empty() &&
+              !EqualsIgnoreCase(c.alias, item.expr->qualifier)) {
+            continue;
+          }
+          matched = true;
+          auto col = BoundExpr::Make(BoundKind::kColRef);
+          col->col = i;
+          col->type = c.type;
+          project->exprs.push_back(std::move(col));
+          project->schema.push_back(c);
+        }
+        if (!matched) {
+          return Status::BindError("'" + item.expr->qualifier +
+                                   ".*' matches no columns");
+        }
+        continue;
+      }
+      std::unique_ptr<BoundExpr> bound;
+      if (agg_mode) {
+        DS_ASSIGN_OR_RETURN(bound, BindAggExpr(*item.expr));
+      } else {
+        DS_ASSIGN_OR_RETURN(bound, BindExpr(*item.expr, cur->schema));
+      }
+      OutCol col;
+      col.type = bound->type;
+      if (!item.alias.empty()) {
+        col.name = item.alias;
+      } else if (item.expr->kind == Expr::Kind::kColumnRef) {
+        col.alias = item.expr->qualifier;
+        col.name = item.expr->column;
+      } else {
+        col.name = StrFormat("col%zu", project->schema.size() + 1);
+      }
+      project->exprs.push_back(std::move(bound));
+      project->schema.push_back(col);
+    }
+    // In agg mode the project's child is whatever FinishCore received, whose
+    // schema may have grown while binding (aggs register lazily); refresh it.
+    if (agg_mode && agg_ctx_) {
+      RefreshAggSchemas(cur.get());
+    }
+    project->children.push_back(std::move(cur));
+    std::unique_ptr<PlanNode> out = std::move(project);
+
+    if (core.distinct) {
+      auto distinct = PlanNode::Make(PlanNode::Kind::kDistinct);
+      distinct->schema = out->schema;
+      distinct->children.push_back(std::move(out));
+      out = std::move(distinct);
+    }
+    agg_ctx_.reset();
+    return out;
+  }
+
+  /// The aggregate node's schema grows while select items bind; propagate the
+  /// final schema through any HAVING filter stacked on top of it.
+  void RefreshAggSchemas(PlanNode* node) {
+    if (node == nullptr) return;
+    if (node->kind == PlanNode::Kind::kAggregate) {
+      node->schema = agg_ctx_->agg_schema;
+      return;
+    }
+    if (node->kind == PlanNode::Kind::kFilter) {
+      RefreshAggSchemas(node->children[0].get());
+      node->schema = node->children[0]->schema;
+    }
+  }
+
+  // ---- set operations / statement ----
+
+  Result<std::unique_ptr<PlanNode>> PlanSetOp(const SetOpNode& node) {
+    if (node.kind == SetOpNode::Kind::kCore) return PlanCore(*node.core);
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> left, PlanSetOp(*node.left));
+    DS_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> right, PlanSetOp(*node.right));
+    if (left->schema.size() != right->schema.size()) {
+      return Status::BindError(
+          StrFormat("set operation operands have %zu vs %zu columns",
+                    left->schema.size(), right->schema.size()));
+    }
+    for (size_t i = 0; i < left->schema.size(); ++i) {
+      if (!TypesCompatible(left->schema[i].type, right->schema[i].type)) {
+        return Status::BindError(
+            StrFormat("set operation column %zu has incompatible types", i + 1));
+      }
+    }
+    PlanNode::Kind kind;
+    switch (node.kind) {
+      case SetOpNode::Kind::kUnionAll:
+        kind = PlanNode::Kind::kUnionAll;
+        break;
+      case SetOpNode::Kind::kUnionDistinct:
+        kind = PlanNode::Kind::kUnionDistinct;
+        break;
+      case SetOpNode::Kind::kExcept:
+        kind = PlanNode::Kind::kExcept;
+        break;
+      case SetOpNode::Kind::kIntersect:
+        kind = PlanNode::Kind::kIntersect;
+        break;
+      default:
+        return Status::Internal("unexpected set op");
+    }
+    auto out = PlanNode::Make(kind);
+    out->schema = left->schema;
+    for (OutCol& c : out->schema) c.alias.clear();
+    out->children.push_back(std::move(left));
+    out->children.push_back(std::move(right));
+    return out;
+  }
+
+  Result<std::unique_ptr<PlanNode>> PlanSelectStmt(const SelectStmt& stmt) {
+    cte_scopes_.emplace_back();
+    auto cleanup = [this]() { cte_scopes_.pop_back(); };
+
+    for (const CteDef& cte : stmt.ctes) {
+      // CTEs cannot be correlated: hide outer scopes while planning them.
+      std::vector<OutSchema> saved_scopes;
+      std::vector<Session> saved_sessions;
+      saved_scopes.swap(outer_scopes_);
+      saved_sessions.swap(sessions_);
+      auto sub = PlanSelectStmt(*cte.select);
+      outer_scopes_.swap(saved_scopes);
+      sessions_.swap(saved_sessions);
+      if (!sub.ok()) {
+        cleanup();
+        return sub.status();
+      }
+      std::unique_ptr<PlanNode> plan = sub.MoveValue();
+      CteBinding binding;
+      binding.lower_name = ToLower(cte.name);
+      binding.index = static_cast<int>(cte_plans_.size());
+      binding.schema = plan->schema;
+      for (OutCol& c : binding.schema) c.alias.clear();
+      cte_plans_.push_back(std::move(plan));
+      cte_scopes_.back().push_back(std::move(binding));
+    }
+
+    auto body = PlanSetOp(*stmt.body);
+    if (!body.ok()) {
+      cleanup();
+      return body.status();
+    }
+    std::unique_ptr<PlanNode> cur = body.MoveValue();
+
+    if (!stmt.order_by.empty()) {
+      auto sort = PlanNode::Make(PlanNode::Kind::kSort);
+      sort->schema = cur->schema;
+      for (const OrderItem& item : stmt.order_by) {
+        SortKey key;
+        key.desc = item.desc;
+        // ORDER BY <n> refers to the n-th output column.
+        if (item.expr->kind == Expr::Kind::kLiteral &&
+            item.expr->literal.type() == ValueType::kInt64) {
+          const int64_t pos = item.expr->literal.AsInt64();
+          if (pos < 1 || pos > static_cast<int64_t>(cur->schema.size())) {
+            cleanup();
+            return Status::BindError(
+                StrFormat("ORDER BY position %lld out of range",
+                          static_cast<long long>(pos)));
+          }
+          auto col = BoundExpr::Make(BoundKind::kColRef);
+          col->col = static_cast<int>(pos - 1);
+          col->type = cur->schema[pos - 1].type;
+          key.expr = std::move(col);
+        } else {
+          auto bound = BindExpr(*item.expr, cur->schema);
+          if (!bound.ok()) {
+            cleanup();
+            return bound.status();
+          }
+          key.expr = bound.MoveValue();
+        }
+        sort->sort_keys.push_back(std::move(key));
+      }
+      sort->children.push_back(std::move(cur));
+      cur = std::move(sort);
+    }
+
+    if (stmt.limit >= 0) {
+      auto limit = PlanNode::Make(PlanNode::Kind::kLimit);
+      limit->schema = cur->schema;
+      limit->limit = stmt.limit;
+      limit->children.push_back(std::move(cur));
+      cur = std::move(limit);
+    }
+
+    cleanup();
+    return cur;
+  }
+
+  const storage::Catalog& catalog_;
+  PlannerOptions options_;
+
+  std::vector<OutSchema> outer_scopes_;
+  std::vector<Session> sessions_;
+  std::vector<std::vector<CteBinding>> cte_scopes_;
+  std::vector<std::unique_ptr<PlanNode>> cte_plans_;
+
+  // Aggregate-binding context for the core currently in FinishCore.
+  std::unique_ptr<AggContext> agg_ctx_;
+  OutSchema agg_child_schema_;
+};
+
+}  // namespace
+
+Result<PreparedPlan> PlanSelectStatement(const storage::Catalog& catalog,
+                                         const SelectStmt& stmt,
+                                         const PlannerOptions& options) {
+  Planner planner(catalog, options);
+  return planner.Plan(stmt);
+}
+
+Result<PreparedPlan> PlanSelectStatement(const storage::Catalog& catalog,
+                                         const SelectStmt& stmt) {
+  return PlanSelectStatement(catalog, stmt, PlannerOptions{});
+}
+
+Result<std::unique_ptr<BoundExpr>> BindExprForTable(const storage::Catalog& catalog,
+                                                    const storage::Table& table,
+                                                    const Expr& expr) {
+  OutSchema schema;
+  for (const storage::ColumnDef& c : table.schema().columns()) {
+    schema.push_back(OutCol{table.name(), c.name, c.type});
+  }
+  Planner planner(catalog, PlannerOptions{});
+  return planner.BindStandalone(expr, schema);
+}
+
+}  // namespace declsched::sql

@@ -1,0 +1,52 @@
+// SQL token vocabulary.
+
+#ifndef DECLSCHED_SQL_TOKEN_H_
+#define DECLSCHED_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace declsched::sql {
+
+enum class TokenType : uint8_t {
+  kEof,
+  kIdentifier,   // foo, "quoted"
+  kKeyword,      // normalized to upper case in `text`
+  kIntLiteral,   // 42
+  kDoubleLiteral,  // 1.5
+  kStringLiteral,  // 'abc' (text holds the unescaped body)
+  // punctuation / operators
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kEq,        // =
+  kNe,        // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    // identifier/keyword/literal body
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int position = 0;  // byte offset in the input, for error messages
+  int line = 1;
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+}  // namespace declsched::sql
+
+#endif  // DECLSCHED_SQL_TOKEN_H_

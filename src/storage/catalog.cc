@@ -1,0 +1,54 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace declsched::storage {
+
+std::string Catalog::Key(std::string_view name) { return ToLower(name); }
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  // Reject duplicate column names up front; every later lookup assumes
+  // unambiguous columns.
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    for (int j = i + 1; j < schema.num_columns(); ++j) {
+      if (EqualsIgnoreCase(schema.column(i).name, schema.column(j).name)) {
+        return Status::InvalidArgument("duplicate column name: " +
+                                       schema.column(i).name);
+      }
+    }
+  }
+  const std::string key = Key(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Table* Catalog::GetTable(std::string_view name) {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  if (tables_.erase(Key(name)) == 0) {
+    return Status::NotFound("no such table: " + std::string(name));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) out.push_back(table->name());
+  return out;
+}
+
+}  // namespace declsched::storage

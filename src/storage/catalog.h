@@ -1,0 +1,41 @@
+// Catalog: the namespace of tables visible to the SQL engine.
+
+#ifndef DECLSCHED_STORAGE_CATALOG_H_
+#define DECLSCHED_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace declsched::storage {
+
+/// Owns tables, keyed by case-insensitive name.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on name collision.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// nullptr if absent.
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+
+  Status DropTable(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  static std::string Key(std::string_view name);
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace declsched::storage
+
+#endif  // DECLSCHED_STORAGE_CATALOG_H_

@@ -1,0 +1,40 @@
+// Row representation shared by the storage engine and query executors.
+
+#ifndef DECLSCHED_STORAGE_ROW_H_
+#define DECLSCHED_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace declsched::storage {
+
+using Row = std::vector<Value>;
+
+/// Stable identifier of a row within one Table (never reused after delete).
+using RowId = int64_t;
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : row) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+struct RowEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace declsched::storage
+
+#endif  // DECLSCHED_STORAGE_ROW_H_

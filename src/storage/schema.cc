@@ -1,0 +1,38 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace declsched::storage {
+
+int Schema::FindColumn(std::string_view name) const {
+  for (int i = 0; i < num_columns(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return -1;
+}
+
+bool Schema::TypeCompatible(const Schema& other) const {
+  if (num_columns() != other.num_columns()) return false;
+  for (int i = 0; i < num_columns(); ++i) {
+    const ValueType a = columns_[i].type;
+    const ValueType b = other.columns_[i].type;
+    const bool numeric_a = a == ValueType::kInt64 || a == ValueType::kDouble;
+    const bool numeric_b = b == ValueType::kInt64 || b == ValueType::kDouble;
+    if (a != b && !(numeric_a && numeric_b)) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace declsched::storage

@@ -1,0 +1,44 @@
+// Relation schemas: ordered, typed, named columns.
+
+#ifndef DECLSCHED_STORAGE_SCHEMA_H_
+#define DECLSCHED_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace declsched::storage {
+
+struct ColumnDef {
+  std::string name;
+  ValueType type;
+};
+
+/// Ordered column list. Column-name lookup is case-insensitive (SQL
+/// identifiers are folded); duplicate names are rejected at table creation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with this (case-insensitive) name, or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// True if both schemas have the same column count and types (names may
+  /// differ) — the compatibility rule for set operations.
+  bool TypeCompatible(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace declsched::storage
+
+#endif  // DECLSCHED_STORAGE_SCHEMA_H_

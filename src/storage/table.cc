@@ -1,0 +1,148 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace declsched::storage {
+
+Status Table::ValidateRow(const Row& row) const {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s: row has %zu values, schema has %d columns",
+                  name_.c_str(), row.size(), schema_.num_columns()));
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (row[i].is_null()) continue;
+    const ValueType expect = schema_.column(i).type;
+    const ValueType got = row[i].type();
+    const bool numeric_ok =
+        (expect == ValueType::kInt64 || expect == ValueType::kDouble) &&
+        row[i].is_numeric();
+    if (got != expect && !numeric_ok) {
+      return Status::TypeError(StrFormat(
+          "table %s column %s: expected %s, got %s", name_.c_str(),
+          schema_.column(i).name.c_str(), ValueTypeToString(expect),
+          ValueTypeToString(got)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowId> Table::Insert(Row row) {
+  DS_RETURN_NOT_OK(ValidateRow(row));
+  const RowId id = static_cast<RowId>(slots_.size());
+  IndexInsert(id, row);
+  slots_.emplace_back(std::move(row));
+  ++live_rows_;
+  return id;
+}
+
+Status Table::Delete(RowId id) {
+  if (id < 0 || id >= static_cast<RowId>(slots_.size()) || !slots_[id].has_value()) {
+    return Status::NotFound(StrFormat("table %s: row %lld not found", name_.c_str(),
+                                      static_cast<long long>(id)));
+  }
+  DeleteInternal(id);
+  return Status::OK();
+}
+
+void Table::DeleteInternal(RowId id) {
+  IndexErase(id, *slots_[id]);
+  slots_[id].reset();
+  --live_rows_;
+}
+
+Status Table::Update(RowId id, Row row) {
+  if (id < 0 || id >= static_cast<RowId>(slots_.size()) || !slots_[id].has_value()) {
+    return Status::NotFound(StrFormat("table %s: row %lld not found", name_.c_str(),
+                                      static_cast<long long>(id)));
+  }
+  DS_RETURN_NOT_OK(ValidateRow(row));
+  IndexErase(id, *slots_[id]);
+  IndexInsert(id, row);
+  slots_[id] = std::move(row);
+  return Status::OK();
+}
+
+const Row* Table::Get(RowId id) const {
+  if (id < 0 || id >= static_cast<RowId>(slots_.size()) || !slots_[id].has_value()) {
+    return nullptr;
+  }
+  return &*slots_[id];
+}
+
+std::vector<Row> Table::Scan() const {
+  std::vector<Row> out;
+  out.reserve(static_cast<size_t>(live_rows_));
+  ForEach([&out](RowId, const Row& row) { out.push_back(row); });
+  return out;
+}
+
+Status Table::CreateIndex(std::string_view column_name) {
+  const int col = schema_.FindColumn(column_name);
+  if (col < 0) {
+    return Status::NotFound(StrFormat("table %s: no column named %.*s", name_.c_str(),
+                                      static_cast<int>(column_name.size()),
+                                      column_name.data()));
+  }
+  if (indexes_.count(col) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("table %s: index on column %d exists", name_.c_str(), col));
+  }
+  auto& index = indexes_[col];
+  ForEach([&index, col](RowId id, const Row& row) { index[row[col]].push_back(id); });
+  return Status::OK();
+}
+
+bool Table::HasIndex(int column_index) const { return indexes_.count(column_index) > 0; }
+
+Result<std::vector<RowId>> Table::IndexLookup(int column_index, const Value& key) const {
+  auto it = indexes_.find(column_index);
+  if (it == indexes_.end()) {
+    return Status::InvalidArgument(
+        StrFormat("table %s: no index on column %d", name_.c_str(), column_index));
+  }
+  auto hit = it->second.find(key);
+  if (hit == it->second.end()) return std::vector<RowId>{};
+  return hit->second;
+}
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    index[row[col]].push_back(id);
+  }
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  for (auto& [col, index] : indexes_) {
+    auto it = index.find(row[col]);
+    if (it == index.end()) continue;
+    auto& ids = it->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+    if (ids.empty()) index.erase(it);
+  }
+}
+
+void Table::Clear() {
+  slots_.clear();
+  live_rows_ = 0;
+  for (auto& [col, index] : indexes_) index.clear();
+}
+
+void Table::Vacuum() {
+  std::vector<std::optional<Row>> compacted;
+  compacted.reserve(static_cast<size_t>(live_rows_));
+  for (auto& slot : slots_) {
+    if (slot.has_value()) compacted.emplace_back(std::move(slot));
+  }
+  slots_ = std::move(compacted);
+  for (auto& [col, index] : indexes_) {
+    index.clear();
+    for (RowId id = 0; id < static_cast<RowId>(slots_.size()); ++id) {
+      index[(*slots_[id])[col]].push_back(id);
+    }
+  }
+}
+
+}  // namespace declsched::storage

@@ -1,0 +1,97 @@
+// Heap table: the storage engine's row container with optional hash indexes.
+
+#ifndef DECLSCHED_STORAGE_TABLE_H_
+#define DECLSCHED_STORAGE_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace declsched::storage {
+
+/// An in-memory heap of rows with a fixed schema. Deleted slots are tomb-
+/// stoned (RowIds stay stable) and reclaimed by Vacuum(). Equality hash
+/// indexes can be declared per column and are maintained on every mutation.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  /// Live (non-deleted) row count.
+  int64_t size() const { return live_rows_; }
+
+  /// Validates arity and types (Null allowed in any column), then appends.
+  Result<RowId> Insert(Row row);
+
+  /// Tombstones the row. Fails with NotFound if absent or already deleted.
+  Status Delete(RowId id);
+
+  /// Replaces the row in place (same validation as Insert).
+  Status Update(RowId id, Row row);
+
+  /// nullptr if the id is out of range or deleted.
+  const Row* Get(RowId id) const;
+
+  /// Calls fn(id, row) for every live row, in insertion order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (RowId id = 0; id < static_cast<RowId>(slots_.size()); ++id) {
+      if (slots_[id].has_value()) fn(id, *slots_[id]);
+    }
+  }
+
+  /// Snapshot of all live rows (copy), in insertion order.
+  std::vector<Row> Scan() const;
+
+  /// Declares (and builds) an equality hash index over one column.
+  Status CreateIndex(std::string_view column_name);
+  bool HasIndex(int column_index) const;
+
+  /// RowIds of live rows whose `column` equals `key`. Requires an index.
+  Result<std::vector<RowId>> IndexLookup(int column_index, const Value& key) const;
+
+  /// Deletes every live row matching `pred`; returns how many were removed.
+  template <typename Pred>
+  int64_t DeleteWhere(Pred&& pred) {
+    int64_t removed = 0;
+    for (RowId id = 0; id < static_cast<RowId>(slots_.size()); ++id) {
+      if (slots_[id].has_value() && pred(*slots_[id])) {
+        DeleteInternal(id);
+        ++removed;
+      }
+    }
+    return removed;
+  }
+
+  /// Removes all rows (keeps schema and index declarations).
+  void Clear();
+
+  /// Compacts tombstones. Invalidates all previously returned RowIds.
+  void Vacuum();
+
+ private:
+  Status ValidateRow(const Row& row) const;
+  void IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+  void DeleteInternal(RowId id);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<std::optional<Row>> slots_;
+  int64_t live_rows_ = 0;
+  // column index -> (key value -> RowIds)
+  std::unordered_map<int, std::unordered_map<Value, std::vector<RowId>, ValueHash, ValueEq>>
+      indexes_;
+};
+
+}  // namespace declsched::storage
+
+#endif  // DECLSCHED_STORAGE_TABLE_H_

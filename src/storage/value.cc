@@ -1,0 +1,103 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+namespace declsched::storage {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    if (type_ == ValueType::kInt64 && other.type_ == ValueType::kInt64) {
+      return i64_ == other.i64_;
+    }
+    return AsDouble() == other.AsDouble();
+  }
+  if (type_ == ValueType::kString && other.type_ == ValueType::kString) {
+    return str_ == other.str_;
+  }
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  // Order classes: Null < numeric < string.
+  auto cls = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_numeric()) return 1;
+    return 2;
+  };
+  const int ca = cls(*this);
+  const int cb = cls(other);
+  if (ca != cb) return ca < cb ? -1 : 1;
+  if (ca == 0) return 0;  // both null
+  if (ca == 1) {
+    if (type_ == ValueType::kInt64 && other.type_ == ValueType::kInt64) {
+      if (i64_ < other.i64_) return -1;
+      if (i64_ > other.i64_) return 1;
+      return 0;
+    }
+    const double a = AsDouble();
+    const double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  const int c = str_.compare(other.str_);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64:
+      return std::hash<int64_t>()(i64_);
+    case ValueType::kDouble: {
+      // Hash doubles that hold integral values identically to the int64, so
+      // that numeric equality implies hash equality.
+      const double d = f64_;
+      if (d == static_cast<double>(static_cast<int64_t>(d)) &&
+          std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(str_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(i64_);
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", f64_);
+      return buf;
+    }
+    case ValueType::kString:
+      return "'" + str_ + "'";
+  }
+  return "?";
+}
+
+}  // namespace declsched::storage

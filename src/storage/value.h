@@ -1,0 +1,89 @@
+// Dynamically typed scalar value: the cell type of every relation in the
+// system (user tables, the scheduler's request/history relations, SQL and
+// Datalog intermediate results).
+
+#ifndef DECLSCHED_STORAGE_VALUE_H_
+#define DECLSCHED_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace declsched::storage {
+
+enum class ValueType : uint8_t { kNull = 0, kInt64 = 1, kDouble = 2, kString = 3 };
+
+const char* ValueTypeToString(ValueType type);
+
+/// Immutable tagged scalar. Int64/Double compare numerically with each other;
+/// Null is ordered before everything (a total order used by ORDER BY and
+/// DISTINCT — SQL three-valued comparison semantics live in the expression
+/// evaluator, not here).
+class Value {
+ public:
+  /// Null value.
+  Value() : type_(ValueType::kNull), i64_(0), f64_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt64;
+    out.i64_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.f64_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+  bool is_numeric() const {
+    return type_ == ValueType::kInt64 || type_ == ValueType::kDouble;
+  }
+
+  int64_t AsInt64() const { return i64_; }
+  double AsDouble() const { return type_ == ValueType::kInt64 ? static_cast<double>(i64_) : f64_; }
+  const std::string& AsString() const { return str_; }
+
+  /// Strict equality: same type class (numeric types are one class) and same
+  /// value. Null equals Null here (used by DISTINCT / set operations).
+  bool Equals(const Value& other) const;
+
+  /// Total order: Null < numerics (by value) < strings (lexicographic).
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  size_t Hash() const;
+
+  /// SQL-literal-ish rendering ("NULL", 42, 1.5, 'text').
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  int64_t i64_;
+  double f64_;
+  std::string str_;
+};
+
+inline bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+inline bool operator!=(const Value& a, const Value& b) { return !a.Equals(b); }
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEq {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+
+}  // namespace declsched::storage
+
+#endif  // DECLSCHED_STORAGE_VALUE_H_

@@ -1,0 +1,191 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace declsched::txn {
+
+std::vector<TxnId> LockManager::Blockers(const LockState& state, TxnId txn,
+                                         LockMode mode, bool upgrade) const {
+  std::vector<TxnId> blockers;
+  for (const Holder& h : state.holders) {
+    if (h.txn == txn) continue;
+    if (!Compatible(h.mode, mode)) blockers.push_back(h.txn);
+  }
+  if (!upgrade) {
+    // FIFO fairness: an incompatible earlier waiter also blocks us. Upgrades
+    // skip the queue (they only wait for other holders) to avoid the classic
+    // upgrade-starves-behind-own-queue problem.
+    for (const Waiter& w : state.queue) {
+      if (w.txn == txn) break;
+      if (!Compatible(w.mode, mode) || !Compatible(mode, w.mode)) {
+        blockers.push_back(w.txn);
+      }
+    }
+  }
+  return blockers;
+}
+
+bool LockManager::PathExists(TxnId from, TxnId target,
+                             const std::vector<TxnId>& /*extra_targets*/) const {
+  // DFS over the waits-for graph: edge T -> U iff T waits on an object where
+  // U is a blocker of T's queued request.
+  std::vector<TxnId> stack = {from};
+  std::unordered_set<TxnId> visited;
+  while (!stack.empty()) {
+    const TxnId t = stack.back();
+    stack.pop_back();
+    if (t == target) return true;
+    if (!visited.insert(t).second) continue;
+    auto wait_it = waiting_on_.find(t);
+    if (wait_it == waiting_on_.end()) continue;
+    auto lock_it = locks_.find(wait_it->second);
+    if (lock_it == locks_.end()) continue;
+    const LockState& state = lock_it->second;
+    // Find t's queued request to know its mode/upgrade flag.
+    for (const Waiter& w : state.queue) {
+      if (w.txn != t) continue;
+      for (TxnId b : Blockers(state, t, w.mode, w.upgrade)) stack.push_back(b);
+      break;
+    }
+  }
+  return false;
+}
+
+LockManager::AcquireResult LockManager::Request(TxnId txn, ObjectId object,
+                                                LockMode mode) {
+  ++total_acquires_;
+  DS_CHECK(waiting_on_.count(txn) == 0);  // single outstanding request per txn
+
+  LockState& state = locks_[object];
+
+  // Already held?
+  bool holds_shared = false;
+  for (const Holder& h : state.holders) {
+    if (h.txn != txn) continue;
+    if (h.mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      return {AcquireOutcome::kAlreadyHeld, {}};
+    }
+    holds_shared = true;  // holds S, wants X: upgrade path
+    break;
+  }
+
+  const bool upgrade = holds_shared;
+  std::vector<TxnId> blockers = Blockers(state, txn, mode, upgrade);
+  if (blockers.empty()) {
+    if (upgrade) {
+      for (Holder& h : state.holders) {
+        if (h.txn == txn) h.mode = LockMode::kExclusive;
+      }
+    } else {
+      state.holders.push_back(Holder{txn, mode});
+      held_[txn].insert(object);
+    }
+    return {AcquireOutcome::kGranted, {}};
+  }
+
+  // Would waiting close a cycle? A cycle exists iff some blocker can already
+  // reach `txn` through the waits-for graph.
+  for (TxnId b : blockers) {
+    if (b == txn) continue;
+    if (PathExists(b, txn, {})) {
+      ++total_deadlocks_;
+      std::vector<TxnId> cycle = {txn, b, txn};  // witness endpoints
+      // If the lock state vanished (it can't here — blockers nonempty), the
+      // cycle is still reported with the requester as victim context.
+      return {AcquireOutcome::kDeadlock, std::move(cycle)};
+    }
+  }
+
+  ++total_waits_;
+  if (upgrade) {
+    // Upgrades go to the front, after any other queued upgrade.
+    auto it = state.queue.begin();
+    while (it != state.queue.end() && it->upgrade) ++it;
+    state.queue.insert(it, Waiter{txn, mode, true});
+  } else {
+    state.queue.push_back(Waiter{txn, mode, false});
+  }
+  waiting_on_[txn] = object;
+  return {AcquireOutcome::kQueued, {}};
+}
+
+void LockManager::PumpQueue(ObjectId object, LockState& state,
+                            std::vector<Grant>* grants) {
+  bool granted_one = true;
+  while (granted_one && !state.queue.empty()) {
+    granted_one = false;
+    const Waiter w = state.queue.front();
+    if (!Blockers(state, w.txn, w.mode, w.upgrade).empty()) break;
+    state.queue.pop_front();
+    if (w.upgrade) {
+      for (Holder& h : state.holders) {
+        if (h.txn == w.txn) h.mode = LockMode::kExclusive;
+      }
+    } else {
+      state.holders.push_back(Holder{w.txn, w.mode});
+      held_[w.txn].insert(object);
+    }
+    waiting_on_.erase(w.txn);
+    grants->push_back(Grant{w.txn, object, w.mode});
+    granted_one = true;
+  }
+}
+
+std::vector<LockManager::Grant> LockManager::ReleaseAll(TxnId txn) {
+  std::vector<Grant> grants;
+
+  // Remove any queued request first.
+  auto wait_it = waiting_on_.find(txn);
+  if (wait_it != waiting_on_.end()) {
+    auto lock_it = locks_.find(wait_it->second);
+    if (lock_it != locks_.end()) {
+      auto& queue = lock_it->second.queue;
+      queue.erase(std::remove_if(queue.begin(), queue.end(),
+                                 [txn](const Waiter& w) { return w.txn == txn; }),
+                  queue.end());
+      // Removing a waiter can unblock those queued behind it.
+      PumpQueue(wait_it->second, lock_it->second, &grants);
+      if (lock_it->second.holders.empty() && lock_it->second.queue.empty()) {
+        locks_.erase(lock_it);
+      }
+    }
+    waiting_on_.erase(wait_it);
+  }
+
+  auto held_it = held_.find(txn);
+  if (held_it != held_.end()) {
+    for (ObjectId object : held_it->second) {
+      auto lock_it = locks_.find(object);
+      if (lock_it == locks_.end()) continue;
+      LockState& state = lock_it->second;
+      state.holders.erase(
+          std::remove_if(state.holders.begin(), state.holders.end(),
+                         [txn](const Holder& h) { return h.txn == txn; }),
+          state.holders.end());
+      PumpQueue(object, state, &grants);
+      if (state.holders.empty() && state.queue.empty()) locks_.erase(lock_it);
+    }
+    held_.erase(held_it);
+  }
+  return grants;
+}
+
+bool LockManager::Holds(TxnId txn, ObjectId object, LockMode mode) const {
+  auto it = locks_.find(object);
+  if (it == locks_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn) {
+      return h.mode == LockMode::kExclusive || mode == LockMode::kShared;
+    }
+  }
+  return false;
+}
+
+int64_t LockManager::num_held(TxnId txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+}  // namespace declsched::txn

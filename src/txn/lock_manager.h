@@ -1,0 +1,118 @@
+// Two-phase-locking lock manager: the "native scheduler" of the simulated
+// DBMS (paper Section 4.2 measures exactly this component's overhead).
+//
+// Semantics:
+//  * Shared/Exclusive locks per object, FIFO wait queues, lock upgrades.
+//  * Each transaction has at most one outstanding (waiting) request — the
+//    natural shape for closed-loop clients executing one statement at a time.
+//  * Deadlock handling: before a request is queued, a waits-for cycle check
+//    runs; if queuing would close a cycle the request is rejected with
+//    kDeadlock and the *requester* is expected to abort (industry-standard
+//    immediate-restart policy). This wasted re-execution is the mechanism
+//    that produces the paper's Figure 2 thrashing collapse.
+
+#ifndef DECLSCHED_TXN_LOCK_MANAGER_H_
+#define DECLSCHED_TXN_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "txn/types.h"
+
+namespace declsched::txn {
+
+enum class LockMode : uint8_t { kShared = 0, kExclusive = 1 };
+
+class LockManager {
+ public:
+  enum class AcquireOutcome {
+    kGranted,      // lock acquired (or upgraded) immediately
+    kAlreadyHeld,  // txn already holds a sufficient lock
+    kQueued,       // request enqueued; caller waits for a Grant
+    kDeadlock,     // queuing would create a waits-for cycle; not enqueued
+  };
+
+  struct AcquireResult {
+    AcquireOutcome outcome;
+    /// For kDeadlock: the transactions on the detected cycle (starting and
+    /// ending at the requester).
+    std::vector<TxnId> cycle;
+  };
+
+  /// A queued request that became grantable after a release.
+  struct Grant {
+    TxnId txn;
+    ObjectId object;
+    LockMode mode;
+  };
+
+  /// Requests `mode` on `object` for `txn`.
+  AcquireResult Request(TxnId txn, ObjectId object, LockMode mode);
+
+  /// Releases all locks held by `txn` and removes any queued request it has.
+  /// Returns requests that became granted, in FIFO order. (Strict 2PL: called
+  /// exactly once, at commit or abort.)
+  std::vector<Grant> ReleaseAll(TxnId txn);
+
+  /// True if txn holds a lock on object at least as strong as `mode`.
+  bool Holds(TxnId txn, ObjectId object, LockMode mode) const;
+  /// True if txn has a queued (waiting) request.
+  bool IsWaiting(TxnId txn) const { return waiting_on_.count(txn) > 0; }
+
+  int64_t num_locked_objects() const { return static_cast<int64_t>(locks_.size()); }
+  int64_t num_waiting_txns() const { return static_cast<int64_t>(waiting_on_.size()); }
+  /// Number of locks held by `txn`.
+  int64_t num_held(TxnId txn) const;
+
+  /// Cumulative counters (monotone; for experiment reporting).
+  int64_t total_acquires() const { return total_acquires_; }
+  int64_t total_waits() const { return total_waits_; }
+  int64_t total_deadlocks() const { return total_deadlocks_; }
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    bool upgrade;  // txn already holds kShared on this object
+  };
+  struct LockState {
+    std::vector<Holder> holders;
+    std::deque<Waiter> queue;
+  };
+
+  /// Transactions that prevent `txn` from being granted (mode, object):
+  /// incompatible holders plus incompatible earlier-queued waiters.
+  std::vector<TxnId> Blockers(const LockState& state, TxnId txn, LockMode mode,
+                              bool upgrade) const;
+
+  /// True if a waits-for path exists from `from` to `target` (DFS over the
+  /// hypothetical graph that includes the pending edges `extra_from` -> ...).
+  bool PathExists(TxnId from, TxnId target,
+                  const std::vector<TxnId>& extra_targets) const;
+
+  /// Grants compatible queue heads of `state`; appends to `grants`.
+  void PumpQueue(ObjectId object, LockState& state, std::vector<Grant>* grants);
+
+  static bool Compatible(LockMode a, LockMode b) {
+    return a == LockMode::kShared && b == LockMode::kShared;
+  }
+
+  std::unordered_map<ObjectId, LockState> locks_;
+  std::unordered_map<TxnId, std::unordered_set<ObjectId>> held_;
+  std::unordered_map<TxnId, ObjectId> waiting_on_;
+
+  int64_t total_acquires_ = 0;
+  int64_t total_waits_ = 0;
+  int64_t total_deadlocks_ = 0;
+};
+
+}  // namespace declsched::txn
+
+#endif  // DECLSCHED_TXN_LOCK_MANAGER_H_

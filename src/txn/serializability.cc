@@ -1,0 +1,185 @@
+#include "txn/serializability.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace declsched::txn {
+
+namespace {
+
+bool Conflicting(OpType a, OpType b) {
+  return (a == OpType::kWrite && (b == OpType::kRead || b == OpType::kWrite)) ||
+         (b == OpType::kWrite && (a == OpType::kRead || a == OpType::kWrite));
+}
+
+}  // namespace
+
+SerializabilityResult CheckConflictSerializable(const std::vector<HistoryOp>& history) {
+  // Committed transactions only.
+  std::unordered_set<TxnId> committed;
+  for (const HistoryOp& op : history) {
+    if (op.type == OpType::kCommit) committed.insert(op.txn);
+  }
+
+  // Conflict-graph edges T -> U: T's op precedes a conflicting op of U.
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> edges;
+  std::unordered_map<ObjectId, std::vector<std::pair<TxnId, OpType>>> per_object;
+  for (const HistoryOp& op : history) {
+    if (op.type != OpType::kRead && op.type != OpType::kWrite) continue;
+    if (committed.count(op.txn) == 0) continue;
+    auto& ops = per_object[op.object];
+    for (const auto& [prev_txn, prev_type] : ops) {
+      if (prev_txn != op.txn && Conflicting(prev_type, op.type)) {
+        edges[prev_txn].insert(op.txn);
+      }
+    }
+    ops.emplace_back(op.txn, op.type);
+    edges.try_emplace(op.txn);  // ensure node exists
+  }
+
+  // Cycle detection + topological order via iterative DFS with colors.
+  SerializabilityResult result;
+  enum Color : uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  std::unordered_map<TxnId, TxnId> parent;
+  std::vector<TxnId> topo;
+
+  // Deterministic iteration order for reproducible witnesses.
+  std::set<TxnId> nodes;
+  for (const auto& [node, targets] : edges) {
+    nodes.insert(node);
+    for (TxnId t : targets) nodes.insert(t);
+  }
+
+  for (TxnId root : nodes) {
+    if (color[root] != kWhite) continue;
+    // Stack holds (node, next-neighbor iterator index).
+    std::vector<std::pair<TxnId, std::vector<TxnId>>> stack;
+    auto neighbors = [&edges](TxnId n) {
+      std::vector<TxnId> out;
+      auto it = edges.find(n);
+      if (it != edges.end()) out.assign(it->second.begin(), it->second.end());
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    color[root] = kGray;
+    stack.emplace_back(root, neighbors(root));
+    while (!stack.empty()) {
+      auto& [node, nbrs] = stack.back();
+      if (nbrs.empty()) {
+        color[node] = kBlack;
+        topo.push_back(node);
+        stack.pop_back();
+        continue;
+      }
+      const TxnId next = nbrs.back();
+      nbrs.pop_back();
+      if (color[next] == kWhite) {
+        color[next] = kGray;
+        parent[next] = node;
+        stack.emplace_back(next, neighbors(next));
+      } else if (color[next] == kGray) {
+        // Found a back edge node -> next: reconstruct the cycle.
+        std::vector<TxnId> cycle = {next};
+        TxnId cur = node;
+        while (cur != next) {
+          cycle.push_back(cur);
+          cur = parent[cur];
+        }
+        cycle.push_back(next);
+        std::reverse(cycle.begin(), cycle.end());
+        result.serializable = false;
+        result.cycle = std::move(cycle);
+        return result;
+      }
+    }
+  }
+
+  std::reverse(topo.begin(), topo.end());
+  result.serializable = true;
+  result.serial_order = std::move(topo);
+  return result;
+}
+
+bool CheckStrict(const std::vector<HistoryOp>& history, std::string* violation) {
+  // last uncommitted writer per object
+  std::unordered_map<ObjectId, TxnId> dirty;
+  std::unordered_set<TxnId> finished;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const HistoryOp& op = history[i];
+    switch (op.type) {
+      case OpType::kCommit:
+      case OpType::kAbort: {
+        finished.insert(op.txn);
+        for (auto it = dirty.begin(); it != dirty.end();) {
+          if (it->second == op.txn) {
+            it = dirty.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+      case OpType::kRead:
+      case OpType::kWrite: {
+        auto it = dirty.find(op.object);
+        if (it != dirty.end() && it->second != op.txn) {
+          if (violation != nullptr) {
+            *violation = StrFormat(
+                "position %zu: %s on object %lld dirty-written by txn %lld",
+                i, op.ToString().c_str(), static_cast<long long>(op.object),
+                static_cast<long long>(it->second));
+          }
+          return false;
+        }
+        if (op.type == OpType::kWrite) dirty[op.object] = op.txn;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckRigorous(const std::vector<HistoryOp>& history, std::string* violation) {
+  if (!CheckStrict(history, violation)) return false;
+  // Additionally: no write on an object while another live txn has read it.
+  std::unordered_map<ObjectId, std::set<TxnId>> live_readers;
+  std::unordered_set<TxnId> finished;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const HistoryOp& op = history[i];
+    switch (op.type) {
+      case OpType::kCommit:
+      case OpType::kAbort: {
+        for (auto& [object, readers] : live_readers) readers.erase(op.txn);
+        break;
+      }
+      case OpType::kRead:
+        live_readers[op.object].insert(op.txn);
+        break;
+      case OpType::kWrite: {
+        auto it = live_readers.find(op.object);
+        if (it != live_readers.end()) {
+          for (TxnId reader : it->second) {
+            if (reader != op.txn) {
+              if (violation != nullptr) {
+                *violation = StrFormat(
+                    "position %zu: %s while txn %lld holds a live read",
+                    i, op.ToString().c_str(), static_cast<long long>(reader));
+              }
+              return false;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace declsched::txn

@@ -1,0 +1,42 @@
+// Correctness oracles over executed histories.
+//
+// Every schedule produced by a declarative consistency protocol (SS2PL in SQL
+// or Datalog) is validated against these checkers in the property-test suite:
+// conflict-serializability of the committed projection, and strictness.
+
+#ifndef DECLSCHED_TXN_SERIALIZABILITY_H_
+#define DECLSCHED_TXN_SERIALIZABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "txn/types.h"
+
+namespace declsched::txn {
+
+struct SerializabilityResult {
+  bool serializable = false;
+  /// If not serializable: a witness cycle of transaction ids in the conflict
+  /// graph (first == last).
+  std::vector<TxnId> cycle;
+  /// If serializable: one topological (equivalent serial) order.
+  std::vector<TxnId> serial_order;
+};
+
+/// Conflict-serializability of the committed projection of `history`
+/// (operations of aborted / still-active transactions are ignored).
+/// Conflicts: r-w, w-r, w-w on the same object, ordered by history position.
+SerializabilityResult CheckConflictSerializable(const std::vector<HistoryOp>& history);
+
+/// Strictness: no transaction reads or overwrites an object whose last writer
+/// has neither committed nor aborted. On violation, fills `violation` with a
+/// human-readable description and returns false.
+bool CheckStrict(const std::vector<HistoryOp>& history, std::string* violation);
+
+/// Rigorousness (strong strictness, what SS2PL guarantees): additionally, no
+/// transaction writes an object read by a live other transaction.
+bool CheckRigorous(const std::vector<HistoryOp>& history, std::string* violation);
+
+}  // namespace declsched::txn
+
+#endif  // DECLSCHED_TXN_SERIALIZABILITY_H_

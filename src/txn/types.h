@@ -1,0 +1,50 @@
+// Shared transaction-processing vocabulary types.
+
+#ifndef DECLSCHED_TXN_TYPES_H_
+#define DECLSCHED_TXN_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace declsched::txn {
+
+using TxnId = int64_t;
+using ObjectId = int64_t;
+
+/// Operation kinds, matching the paper's Table 2 operation attribute
+/// (read / write / abort / commit).
+enum class OpType : uint8_t { kRead = 0, kWrite = 1, kAbort = 2, kCommit = 3 };
+
+inline char OpTypeToChar(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return 'r';
+    case OpType::kWrite:
+      return 'w';
+    case OpType::kAbort:
+      return 'a';
+    case OpType::kCommit:
+      return 'c';
+  }
+  return '?';
+}
+
+/// One executed operation in a history (the serializability oracle's input).
+struct HistoryOp {
+  TxnId txn;
+  OpType type;
+  ObjectId object;  // ignored for commit/abort
+
+  std::string ToString() const {
+    std::string out(1, OpTypeToChar(type));
+    out += std::to_string(txn);
+    if (type == OpType::kRead || type == OpType::kWrite) {
+      out += "[" + std::to_string(object) + "]";
+    }
+    return out;
+  }
+};
+
+}  // namespace declsched::txn
+
+#endif  // DECLSCHED_TXN_TYPES_H_

@@ -1,0 +1,100 @@
+#include "workload/oltp_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace declsched::workload {
+
+OltpWorkloadGenerator::OltpWorkloadGenerator(const WorkloadConfig& config,
+                                             uint64_t seed)
+    : config_(config), rng_(seed), zipf_(config.num_objects, config.zipf_theta) {
+  DS_CHECK(config.num_objects > 0);
+  DS_CHECK(config.reads_per_txn >= 0 && config.writes_per_txn >= 0);
+  DS_CHECK(config.reads_per_txn + config.writes_per_txn > 0);
+  DS_CHECK(config.num_sla_classes >= 1);
+  if (config.distinct_objects) {
+    DS_CHECK(config.reads_per_txn + config.writes_per_txn <= config.num_objects);
+  }
+}
+
+TxnSpec OltpWorkloadGenerator::NextTransaction() {
+  const int total = config_.reads_per_txn + config_.writes_per_txn;
+  TxnSpec txn;
+  txn.ops.reserve(static_cast<size_t>(total));
+
+  // Draw objects (optionally distinct within the transaction).
+  std::vector<txn::ObjectId> objects;
+  objects.reserve(static_cast<size_t>(total));
+  std::unordered_set<txn::ObjectId> seen;
+  for (int i = 0; i < total; ++i) {
+    txn::ObjectId object = zipf_.Next(rng_);
+    if (config_.distinct_objects) {
+      while (seen.count(object) > 0) object = zipf_.Next(rng_);
+      seen.insert(object);
+    }
+    objects.push_back(object);
+  }
+
+  // Assign read/write types in the configured order.
+  std::vector<bool> is_write;
+  is_write.reserve(static_cast<size_t>(total));
+  switch (config_.order) {
+    case WorkloadConfig::OpOrder::kReadsFirst:
+      for (int i = 0; i < config_.reads_per_txn; ++i) is_write.push_back(false);
+      for (int i = 0; i < config_.writes_per_txn; ++i) is_write.push_back(true);
+      break;
+    case WorkloadConfig::OpOrder::kAlternating: {
+      int reads = config_.reads_per_txn;
+      int writes = config_.writes_per_txn;
+      bool next_write = false;
+      while (reads + writes > 0) {
+        if ((next_write && writes > 0) || reads == 0) {
+          is_write.push_back(true);
+          --writes;
+        } else {
+          is_write.push_back(false);
+          --reads;
+        }
+        next_write = !next_write;
+      }
+      break;
+    }
+    case WorkloadConfig::OpOrder::kShuffled: {
+      for (int i = 0; i < config_.reads_per_txn; ++i) is_write.push_back(false);
+      for (int i = 0; i < config_.writes_per_txn; ++i) is_write.push_back(true);
+      // Fisher-Yates with our deterministic Rng (vector<bool> proxies cannot
+      // be std::swap'ed).
+      for (int i = total - 1; i > 0; --i) {
+        const int j = static_cast<int>(rng_.UniformInt(0, i));
+        const bool tmp = is_write[i];
+        is_write[i] = is_write[j];
+        is_write[j] = tmp;
+      }
+      break;
+    }
+  }
+
+  for (int i = 0; i < total; ++i) {
+    txn.ops.push_back(OpSpec{is_write[i], objects[i]});
+  }
+
+  // SLA class: weight 1/2^c.
+  if (config_.num_sla_classes > 1) {
+    double total_weight = 0;
+    for (int c = 0; c < config_.num_sla_classes; ++c) total_weight += 1.0 / (1 << c);
+    double draw = rng_.NextDouble() * total_weight;
+    for (int c = 0; c < config_.num_sla_classes; ++c) {
+      draw -= 1.0 / (1 << c);
+      if (draw <= 0) {
+        txn.sla_class = c;
+        break;
+      }
+      txn.sla_class = config_.num_sla_classes - 1;
+    }
+  }
+  return txn;
+}
+
+}  // namespace declsched::workload

@@ -1,0 +1,71 @@
+// OLTP workload generator: the paper's Section 4.2.1 workload plus the
+// knobs (skew, SLA classes, read-only mix) the later experiments need.
+
+#ifndef DECLSCHED_WORKLOAD_OLTP_GENERATOR_H_
+#define DECLSCHED_WORKLOAD_OLTP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "txn/types.h"
+#include "workload/zipf.h"
+
+namespace declsched::workload {
+
+struct WorkloadConfig {
+  /// Table size; statements address one uniform (or Zipfian) random row.
+  int64_t num_objects = 100000;
+  /// Paper workload: 20 SELECT + 20 UPDATE per transaction.
+  int reads_per_txn = 20;
+  int writes_per_txn = 20;
+
+  enum class OpOrder {
+    kShuffled,    // reads and writes interleaved randomly (default)
+    kReadsFirst,  // all reads, then all writes
+    kAlternating  // r w r w ...
+  };
+  OpOrder order = OpOrder::kShuffled;
+
+  /// 0 = uniform (the paper); ~0.99 = YCSB-style hot spot.
+  double zipf_theta = 0.0;
+
+  /// The paper's SS2PL query assumes "each transaction accesses an object
+  /// only once"; the generator enforces it by redrawing duplicates.
+  bool distinct_objects = true;
+
+  /// Number of service classes; class 0 is the highest priority ("premium").
+  /// Classes are drawn with probability weight 1/2^class (then normalized).
+  int num_sla_classes = 1;
+};
+
+/// One operation of a transaction.
+struct OpSpec {
+  bool is_write = false;
+  txn::ObjectId object = 0;
+};
+
+/// A generated transaction: its operations plus SLA metadata.
+struct TxnSpec {
+  std::vector<OpSpec> ops;
+  int sla_class = 0;
+};
+
+/// Deterministic generator (a pure function of config + seed + call order).
+class OltpWorkloadGenerator {
+ public:
+  OltpWorkloadGenerator(const WorkloadConfig& config, uint64_t seed);
+
+  TxnSpec NextTransaction();
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace declsched::workload
+
+#endif  // DECLSCHED_WORKLOAD_OLTP_GENERATOR_H_

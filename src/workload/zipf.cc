@@ -1,0 +1,42 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace declsched::workload {
+
+namespace {
+double Zeta(int64_t n, double theta) {
+  double sum = 0;
+  for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(int64_t n, double theta) : n_(n), theta_(theta) {
+  DS_CHECK(n > 0);
+  DS_CHECK(theta >= 0 && theta < 1.0 + 1e-9);
+  if (theta_ == 0) {
+    alpha_ = zetan_ = eta_ = zeta2_ = 0;
+    return;
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+int64_t ZipfGenerator::Next(Rng& rng) {
+  if (theta_ == 0) return rng.UniformInt(0, n_ - 1);
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const int64_t k = static_cast<int64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(k, n_ - 1);
+}
+
+}  // namespace declsched::workload

@@ -1,0 +1,35 @@
+// Zipfian object-key generator (YCSB-style), for skewed workload variants.
+
+#ifndef DECLSCHED_WORKLOAD_ZIPF_H_
+#define DECLSCHED_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace declsched::workload {
+
+/// Draws keys in [0, n) with P(k) proportional to 1/(k+1)^theta, using the
+/// Gray et al. rejection-free method. theta = 0 degenerates to uniform;
+/// theta ~ 0.99 is the YCSB default "hot-spot" skew.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double theta);
+
+  int64_t Next(Rng& rng);
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  int64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace declsched::workload
+
+#endif  // DECLSCHED_WORKLOAD_ZIPF_H_

@@ -1,0 +1,50 @@
+#include "common/clock.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(SimTime::FromMicros(1500).micros(), 1500);
+  EXPECT_EQ(SimTime::FromMillis(2).micros(), 2000);
+  EXPECT_EQ(SimTime::FromSeconds(3).micros(), 3000000);
+  EXPECT_EQ(SimTime::FromSecondsF(0.5).micros(), 500000);
+  EXPECT_DOUBLE_EQ(SimTime::FromSeconds(2).ToSecondsF(), 2.0);
+  EXPECT_DOUBLE_EQ(SimTime::FromMicros(1500).ToMillisF(), 1.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::FromMicros(100);
+  const SimTime b = SimTime::FromMicros(250);
+  EXPECT_EQ((a + b).micros(), 350);
+  EXPECT_EQ((b - a).micros(), 150);
+  EXPECT_EQ((a * 3).micros(), 300);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.micros(), 350);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  const SimTime a = SimTime::FromMicros(1);
+  const SimTime b = SimTime::FromMicros(2);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(b >= b);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == SimTime::FromMicros(1));
+}
+
+TEST(SimTimeTest, DefaultIsZeroAndMaxIsLargest) {
+  EXPECT_EQ(SimTime().micros(), 0);
+  EXPECT_TRUE(SimTime::FromSeconds(1000000) < SimTime::Max());
+}
+
+TEST(SimTimeTest, FractionalSecondsRound) {
+  EXPECT_EQ(SimTime::FromSecondsF(1e-7).micros(), 0);   // rounds down
+  EXPECT_EQ(SimTime::FromSecondsF(6e-7).micros(), 1);   // rounds up
+}
+
+}  // namespace
+}  // namespace declsched

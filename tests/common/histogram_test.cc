@@ -1,0 +1,110 @@
+#include "common/histogram.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace declsched {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.Mean(), 1000.0);
+  EXPECT_EQ(h.Percentile(0), 1000);
+  EXPECT_EQ(h.Percentile(100), 1000);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 9);
+  // Values < 64 land in exact buckets: percentiles are exact.
+  EXPECT_EQ(h.Percentile(50), 4);
+  EXPECT_EQ(h.Percentile(100), 9);
+}
+
+TEST(HistogramTest, PercentileWithinBucketError) {
+  Histogram h;
+  Rng rng(42);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(1, 1000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  const int64_t exact_p50 = values[values.size() / 2];
+  const int64_t approx_p50 = h.Percentile(50);
+  // Bucket growth factor is 1.1: the estimate must be within ~15%.
+  EXPECT_NEAR(static_cast<double>(approx_p50), static_cast<double>(exact_p50),
+              0.15 * static_cast<double>(exact_p50));
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 30);
+  EXPECT_DOUBLE_EQ(a.Mean(), 20.0);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a, b;
+  b.Record(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 5);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.max(), 0);
+  h.Record(7);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 7);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZeroBucket) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), -5);  // min/max keep the raw value
+  EXPECT_LE(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.Record(rng.UniformInt(0, 100000));
+  int64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const int64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace declsched

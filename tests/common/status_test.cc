@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include "common/result.h"
+#include "gtest/gtest.h"
+
+namespace declsched {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Deadlock("cycle t1->t2->t1");
+  Status t = s;
+  EXPECT_TRUE(t.IsDeadlock());
+  EXPECT_EQ(t.message(), "cycle t1->t2->t1");
+  // Copy assignment back to OK.
+  t = Status::OK();
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(s.IsDeadlock());  // source untouched
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status s = Status::NotFound("x");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsNotFound());
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("m").IsNotFound());
+  EXPECT_TRUE(Status::ParseError("m").IsParseError());
+  EXPECT_TRUE(Status::BindError("m").IsBindError());
+  EXPECT_TRUE(Status::ExecutionError("m").IsExecutionError());
+  EXPECT_TRUE(Status::TypeError("m").IsTypeError());
+  EXPECT_TRUE(Status::Deadlock("m").IsDeadlock());
+  EXPECT_TRUE(Status::Aborted("m").IsAborted());
+  EXPECT_TRUE(Status::Unsupported("m").IsUnsupported());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    DS_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveValueTransfersOwnership) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  std::unique_ptr<int> v = r.MoveValue();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto produce = [](bool ok) -> Result<int> {
+    if (ok) return 10;
+    return Status::InvalidArgument("no");
+  };
+  auto consume = [&](bool ok) -> Result<int> {
+    DS_ASSIGN_OR_RETURN(int v, produce(ok));
+    return v + 1;
+  };
+  EXPECT_EQ(*consume(true), 11);
+  EXPECT_TRUE(consume(false).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace declsched

@@ -1,0 +1,48 @@
+#include "common/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched {
+namespace {
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("a1_B2"), "a1_b2");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("select", "SELECT"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selects"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace declsched

@@ -1,0 +1,328 @@
+#include "datalog/engine.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace declsched::datalog {
+namespace {
+
+using storage::Row;
+using storage::Value;
+
+Row Ints(std::initializer_list<int64_t> values) {
+  Row row;
+  for (int64_t v : values) row.push_back(Value::Int64(v));
+  return row;
+}
+
+std::vector<std::string> Sorted(const Relation& rel) {
+  std::vector<std::string> out;
+  for (const Row& row : rel) {
+    std::string s;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += "|";
+      s += row[i].ToString();
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(DatalogEngineTest, SimpleProjection) {
+  auto program = DatalogProgram::Create("out(Y) :- in(_, Y).");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Database edb;
+  edb["in"] = {Ints({1, 10}), Ints({2, 20})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Sorted(result->at("out")), (std::vector<std::string>{"10", "20"}));
+}
+
+TEST(DatalogEngineTest, JoinTwoRelations) {
+  auto program = DatalogProgram::Create("j(X, Z) :- r(X, Y), s(Y, Z).");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["r"] = {Ints({1, 2}), Ints({3, 4})};
+  edb["s"] = {Ints({2, 9}), Ints({2, 8}), Ints({5, 7})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("j")), (std::vector<std::string>{"1|8", "1|9"}));
+}
+
+TEST(DatalogEngineTest, ConstantsInAtomsFilter) {
+  auto program = DatalogProgram::Create(R"(w(Obj) :- op(Obj, "w").)");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["op"] = {{Value::Int64(1), Value::String("w")},
+               {Value::Int64(2), Value::String("r")}};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("w")), (std::vector<std::string>{"1"}));
+}
+
+TEST(DatalogEngineTest, TransitiveClosure) {
+  auto program = DatalogProgram::Create(
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->num_strata(), 1);
+  Database edb;
+  edb["edge"] = {Ints({1, 2}), Ints({2, 3}), Ints({3, 4})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("path")),
+            (std::vector<std::string>{"1|2", "1|3", "1|4", "2|3", "2|4", "3|4"}));
+}
+
+TEST(DatalogEngineTest, TransitiveClosureWithCycle) {
+  auto program = DatalogProgram::Create(
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["edge"] = {Ints({1, 2}), Ints({2, 1})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  // Fixpoint terminates despite the cycle.
+  EXPECT_EQ(Sorted(result->at("path")),
+            (std::vector<std::string>{"1|1", "1|2", "2|1", "2|2"}));
+}
+
+TEST(DatalogEngineTest, LargeChainSemiNaiveTerminates) {
+  auto program = DatalogProgram::Create(
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) edb["edge"].push_back(Ints({i, i + 1}));
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at("path").size(), static_cast<size_t>(n * (n + 1) / 2));
+}
+
+TEST(DatalogEngineTest, StratifiedNegation) {
+  auto program = DatalogProgram::Create(
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), edge(X, Y).\n"
+      "unreach(X) :- node(X), !reach(X).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->num_strata(), 2);
+  Database edb;
+  edb["start"] = {Ints({1})};
+  edb["edge"] = {Ints({1, 2}), Ints({3, 4})};
+  edb["node"] = {Ints({1}), Ints({2}), Ints({3}), Ints({4})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("reach")), (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(Sorted(result->at("unreach")), (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(DatalogEngineTest, NegationWithWildcardIsExistential) {
+  // lonely(X) holds when X has no outgoing edge at all.
+  auto program = DatalogProgram::Create(
+      "lonely(X) :- node(X), !edge(X, _).");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["node"] = {Ints({1}), Ints({2})};
+  edb["edge"] = {Ints({1, 5})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("lonely")), (std::vector<std::string>{"2"}));
+}
+
+TEST(DatalogEngineTest, ComparisonsRestrictBindings) {
+  auto program = DatalogProgram::Create(
+      "older(X, Y) :- person(X, Ax), person(Y, Ay), Ax > Ay.");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["person"] = {Ints({1, 30}), Ints({2, 20}), Ints({3, 40})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("older")),
+            (std::vector<std::string>{"1|2", "3|1", "3|2"}));
+}
+
+TEST(DatalogEngineTest, FactsInProgram) {
+  auto program = DatalogProgram::Create(
+      "bonus(100).\n"
+      "total(X) :- bonus(X).");
+  ASSERT_TRUE(program.ok());
+  auto result = program->Evaluate({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("total")), (std::vector<std::string>{"100"}));
+}
+
+TEST(DatalogEngineTest, EdbIdbClassification) {
+  auto program = DatalogProgram::Create("a(X) :- b(X), c(X).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->idb_predicates(), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(program->edb_predicates(), (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(DatalogEngineTest, MissingEdbRelationFails) {
+  auto program = DatalogProgram::Create("a(X) :- b(X).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->Evaluate({}).status().IsInvalidArgument());
+}
+
+TEST(DatalogEngineTest, EdbArityMismatchFails) {
+  auto program = DatalogProgram::Create("a(X) :- b(X).");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["b"] = {Ints({1, 2})};
+  EXPECT_TRUE(program->Evaluate(edb).status().IsInvalidArgument());
+}
+
+TEST(DatalogEngineTest, InconsistentArityRejected) {
+  EXPECT_TRUE(DatalogProgram::Create("a(X) :- b(X). a(X, Y) :- b(X), b(Y).")
+                  .status()
+                  .IsBindError());
+}
+
+TEST(DatalogEngineTest, UnsafeHeadRejected) {
+  EXPECT_TRUE(DatalogProgram::Create("a(X, Y) :- b(X).").status().IsBindError());
+}
+
+TEST(DatalogEngineTest, UnsafeNegationRejected) {
+  EXPECT_TRUE(DatalogProgram::Create("a(X) :- b(X), !c(Y).").status().IsBindError());
+}
+
+TEST(DatalogEngineTest, UnsafeComparisonRejected) {
+  EXPECT_TRUE(DatalogProgram::Create("a(X) :- b(X), X > Y.").status().IsBindError());
+}
+
+TEST(DatalogEngineTest, NonGroundFactRejected) {
+  EXPECT_TRUE(DatalogProgram::Create("a(X).").status().IsBindError());
+}
+
+TEST(DatalogEngineTest, WildcardInHeadRejected) {
+  EXPECT_TRUE(DatalogProgram::Create("a(_) :- b(X).").status().IsBindError());
+}
+
+TEST(DatalogEngineTest, NonStratifiableRejected) {
+  EXPECT_TRUE(DatalogProgram::Create(
+                  "p(X) :- n(X), !q(X).\n"
+                  "q(X) :- n(X), !p(X).")
+                  .status()
+                  .IsBindError());
+}
+
+TEST(DatalogEngineTest, NegationThroughRecursionRejected) {
+  EXPECT_TRUE(DatalogProgram::Create(
+                  "win(X) :- move(X, Y), !win(Y).")
+                  .status()
+                  .IsBindError());
+}
+
+TEST(DatalogEngineTest, SymbolConstantsUnifyWithStrings) {
+  auto program = DatalogProgram::Create("ok(X) :- st(X, active).");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["st"] = {{Value::Int64(1), Value::String("active")},
+               {Value::Int64(2), Value::String("idle")}};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(Sorted(result->at("ok")), (std::vector<std::string>{"1"}));
+}
+
+TEST(DatalogEngineTest, EvaluateIsRepeatable) {
+  auto program = DatalogProgram::Create("a(X) :- b(X).");
+  ASSERT_TRUE(program.ok());
+  Database edb1;
+  edb1["b"] = {Ints({1})};
+  Database edb2;
+  edb2["b"] = {Ints({2}), Ints({3})};
+  auto r1 = program->Evaluate(edb1);
+  auto r2 = program->Evaluate(edb2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->at("a").size(), 1u);
+  EXPECT_EQ(r2->at("a").size(), 2u);  // no state leaks between evaluations
+}
+
+TEST(DatalogEngineTest, DuplicateEdbTuplesDeduplicated) {
+  auto program = DatalogProgram::Create("a(X) :- b(X).");
+  ASSERT_TRUE(program.ok());
+  Database edb;
+  edb["b"] = {Ints({1}), Ints({1}), Ints({1})};
+  auto result = program->Evaluate(edb);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at("a").size(), 1u);
+}
+
+// The SS2PL protocol in Datalog: the scheduler-facing formulation.
+constexpr const char* kSs2plDatalog = R"(
+finished(Ta) :- hist(_, Ta, _, "c", _).
+finished(Ta) :- hist(_, Ta, _, "a", _).
+wrotepair(Obj, Ta) :- hist(_, Ta, _, "w", Obj).
+wlock(Obj, Ta) :- hist(_, Ta, _, "w", Obj), !finished(Ta).
+rlock(Obj, Ta) :- hist(_, Ta, _, "r", Obj), !finished(Ta), !wrotepair(Obj, Ta).
+blocked(Ta, In) :- req(_, Ta, In, _, Obj), wlock(Obj, T2), Ta != T2.
+blocked(Ta, In) :- req(_, Ta, In, "w", Obj), rlock(Obj, T2), Ta != T2.
+blocked(T2, In2) :- req(_, T2, In2, "w", Obj), req(_, T1, _, _, Obj), T2 > T1.
+blocked(T2, In2) :- req(_, T2, In2, _, Obj), req(_, T1, _, "w", Obj), T2 > T1.
+qualified(Id, Ta, In, Op, Obj) :- req(Id, Ta, In, Op, Obj), !blocked(Ta, In).
+)";
+
+class Ss2plDatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = DatalogProgram::Create(kSs2plDatalog);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    program_ = std::make_unique<DatalogProgram>(std::move(program).MoveValue());
+  }
+
+  static Row Op(int64_t id, int64_t ta, int64_t in, const char* op, int64_t obj) {
+    return {Value::Int64(id), Value::Int64(ta), Value::Int64(in),
+            Value::String(op), Value::Int64(obj)};
+  }
+
+  std::vector<std::string> Qualified() {
+    auto result = program_->Evaluate(edb_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return {};
+    std::vector<std::string> out;
+    for (const Row& row : result->at("qualified")) {
+      out.push_back(row[1].ToString() + "|" + row[2].ToString());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::unique_ptr<DatalogProgram> program_;
+  Database edb_ = {{"hist", {}}, {"req", {}}};
+};
+
+TEST_F(Ss2plDatalogTest, StratifiesIntoThreeStrata) {
+  // finished/wrotepair -> locks (negate finished) -> qualified (negate blocked).
+  EXPECT_EQ(program_->num_strata(), 3);
+}
+
+TEST_F(Ss2plDatalogTest, WriteLockBlocksOthers) {
+  edb_["hist"] = {Op(100, 1, 1, "w", 10)};
+  edb_["req"] = {Op(1, 2, 1, "r", 10), Op(2, 2, 2, "r", 99)};
+  EXPECT_EQ(Qualified(), (std::vector<std::string>{"2|2"}));
+}
+
+TEST_F(Ss2plDatalogTest, CommitReleases) {
+  edb_["hist"] = {Op(100, 1, 1, "w", 10), Op(101, 1, 2, "c", 0)};
+  edb_["req"] = {Op(1, 2, 1, "w", 10)};
+  EXPECT_EQ(Qualified(), (std::vector<std::string>{"2|1"}));
+}
+
+TEST_F(Ss2plDatalogTest, ReadLockBlocksWritersOnly) {
+  edb_["hist"] = {Op(100, 1, 1, "r", 10)};
+  edb_["req"] = {Op(1, 2, 1, "r", 10), Op(2, 3, 1, "w", 10)};
+  EXPECT_EQ(Qualified(), (std::vector<std::string>{"2|1"}));
+}
+
+TEST_F(Ss2plDatalogTest, PendingConflictFavorsOlder) {
+  edb_["req"] = {Op(1, 1, 1, "w", 10), Op(2, 2, 1, "w", 10)};
+  EXPECT_EQ(Qualified(), (std::vector<std::string>{"1|1"}));
+}
+
+}  // namespace
+}  // namespace declsched::datalog

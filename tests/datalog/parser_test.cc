@@ -1,0 +1,89 @@
+#include "datalog/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::datalog {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto result = ParseProgram(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).MoveValue() : Program{};
+}
+
+TEST(DatalogParserTest, EmptyProgram) {
+  EXPECT_TRUE(MustParse("").rules.empty());
+  EXPECT_TRUE(MustParse("  % just a comment\n").rules.empty());
+}
+
+TEST(DatalogParserTest, GroundFact) {
+  Program p = MustParse("edge(1, 2).");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_TRUE(p.rules[0].IsFact());
+  EXPECT_EQ(p.rules[0].head.predicate, "edge");
+  ASSERT_EQ(p.rules[0].head.args.size(), 2u);
+  EXPECT_EQ(p.rules[0].head.args[0].value.AsInt64(), 1);
+}
+
+TEST(DatalogParserTest, RuleWithBody) {
+  Program p = MustParse("path(X, Y) :- edge(X, Y).");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_EQ(p.rules[0].body.size(), 1u);
+  EXPECT_EQ(p.rules[0].head.args[0].kind, Term::Kind::kVariable);
+  EXPECT_EQ(p.rules[0].head.args[0].var, "X");
+}
+
+TEST(DatalogParserTest, NegationBothSyntaxes) {
+  Program p = MustParse(
+      "a(X) :- b(X), !c(X).\n"
+      "d(X) :- b(X), not c(X).");
+  EXPECT_EQ(p.rules[0].body[1].kind, BodyLiteral::Kind::kNegatedAtom);
+  EXPECT_EQ(p.rules[1].body[1].kind, BodyLiteral::Kind::kNegatedAtom);
+}
+
+TEST(DatalogParserTest, Comparisons) {
+  Program p = MustParse("big(X) :- n(X), X > 10, X != 42.");
+  ASSERT_EQ(p.rules[0].body.size(), 3u);
+  EXPECT_EQ(p.rules[0].body[1].kind, BodyLiteral::Kind::kComparison);
+  EXPECT_EQ(p.rules[0].body[1].op, CompareOp::kGt);
+  EXPECT_EQ(p.rules[0].body[2].op, CompareOp::kNe);
+}
+
+TEST(DatalogParserTest, TermKinds) {
+  Program p = MustParse(R"(t(X, _, 7, -3, 2.5, "str", sym).)");
+  const auto& args = p.rules[0].head.args;
+  EXPECT_EQ(args[0].kind, Term::Kind::kVariable);
+  EXPECT_EQ(args[1].kind, Term::Kind::kWildcard);
+  EXPECT_EQ(args[2].value.AsInt64(), 7);
+  EXPECT_EQ(args[3].value.AsInt64(), -3);
+  EXPECT_DOUBLE_EQ(args[4].value.AsDouble(), 2.5);
+  EXPECT_EQ(args[5].value.AsString(), "str");
+  // Bare lowercase identifiers are symbol constants.
+  EXPECT_EQ(args[6].kind, Term::Kind::kConstant);
+  EXPECT_EQ(args[6].value.AsString(), "sym");
+}
+
+TEST(DatalogParserTest, CommentsBetweenClauses) {
+  Program p = MustParse(
+      "% comment\n"
+      "a(1). % trailing\n"
+      "b(2).");
+  EXPECT_EQ(p.rules.size(), 2u);
+}
+
+TEST(DatalogParserTest, Errors) {
+  EXPECT_TRUE(ParseProgram("a(1)").status().IsParseError());       // missing dot
+  EXPECT_TRUE(ParseProgram("a(1,).").status().IsParseError());     // dangling comma
+  EXPECT_TRUE(ParseProgram("A(1).").status().IsParseError());      // uppercase pred
+  EXPECT_TRUE(ParseProgram("a(\"x).").status().IsParseError());    // open string
+  EXPECT_TRUE(ParseProgram("a(X) : b(X).").status().IsParseError());  // bad ':-'
+}
+
+TEST(DatalogParserTest, RoundTripToString) {
+  const std::string text = "qualified(Id) :- req(Id, Ta), !blocked(Ta), Ta > 0.";
+  Program p = MustParse(text);
+  EXPECT_EQ(p.rules[0].ToString(), text);
+}
+
+}  // namespace
+}  // namespace declsched::datalog

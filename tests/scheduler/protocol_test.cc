@@ -1,0 +1,225 @@
+#include "scheduler/protocol.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "scheduler/protocol_library.h"
+
+namespace declsched::scheduler {
+namespace {
+
+Request Op(int64_t id, int64_t ta, int64_t intrata, txn::OpType op, int64_t object) {
+  Request r;
+  r.id = id;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  return r;
+}
+
+std::vector<std::string> Ids(const RequestBatch& batch) {
+  std::vector<std::string> out;
+  for (const Request& r : batch) out.push_back(std::to_string(r.id));
+  return out;
+}
+
+TEST(ProtocolLibraryTest, AllBuiltInsCompile) {
+  RequestStore store;
+  for (const std::string& name : ProtocolRegistry::BuiltIns().Names()) {
+    auto spec = ProtocolRegistry::BuiltIns().Get(name);
+    ASSERT_TRUE(spec.ok());
+    auto compiled = CompiledProtocol::Compile(*spec, &store);
+    EXPECT_TRUE(compiled.ok()) << name << ": " << compiled.status().ToString();
+  }
+}
+
+TEST(ProtocolLibraryTest, RegistryLookup) {
+  ProtocolRegistry registry = ProtocolRegistry::BuiltIns();
+  EXPECT_TRUE(registry.Get("ss2pl-sql").ok());
+  EXPECT_TRUE(registry.Get("nope").status().IsNotFound());
+  EXPECT_EQ(registry.Names().size(), 8u);
+  EXPECT_TRUE(registry.Register(Ss2plSql()).code() == StatusCode::kAlreadyExists);
+}
+
+TEST(ProtocolLibraryTest, DatalogIsMoreSuccinctThanSql) {
+  // The paper's Section 5 motivation, quantified: the Datalog formulation of
+  // SS2PL is a fraction of the SQL one.
+  const int sql_size = Ss2plSql().CodeSize();
+  const int datalog_size = Ss2plDatalog().CodeSize();
+  EXPECT_GT(sql_size, 30);
+  EXPECT_LT(datalog_size, 15);
+  EXPECT_LT(datalog_size * 2, sql_size);
+}
+
+TEST(ProtocolTest, PassthroughReturnsEverythingInIdOrder) {
+  RequestStore store;
+  ASSERT_TRUE(store
+                  .InsertPending({Op(2, 1, 2, txn::OpType::kWrite, 5),
+                                  Op(1, 1, 1, txn::OpType::kWrite, 5),
+                                  Op(3, 2, 1, txn::OpType::kWrite, 5)})
+                  .ok());
+  auto compiled = CompiledProtocol::Compile(Passthrough(), &store);
+  ASSERT_TRUE(compiled.ok());
+  auto batch = compiled->Schedule();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(Ids(*batch), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ProtocolTest, Ss2plSqlBlocksConflicts) {
+  RequestStore store;
+  // T1 write-locked object 5 (history, not finished).
+  const Request held = Op(1, 1, 1, txn::OpType::kWrite, 5);
+  ASSERT_TRUE(store.InsertPending({held}).ok());
+  ASSERT_TRUE(store.MarkScheduled({held}).ok());
+  ASSERT_TRUE(store
+                  .InsertPending({Op(2, 2, 1, txn::OpType::kRead, 5),
+                                  Op(3, 2, 2, txn::OpType::kRead, 9)})
+                  .ok());
+  auto compiled = CompiledProtocol::Compile(Ss2plSql(), &store);
+  ASSERT_TRUE(compiled.ok());
+  auto batch = compiled->Schedule();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(Ids(*batch), (std::vector<std::string>{"3"}));
+}
+
+TEST(ProtocolTest, ReadCommittedNeverBlocksReaders) {
+  RequestStore store;
+  const Request held = Op(1, 1, 1, txn::OpType::kWrite, 5);
+  ASSERT_TRUE(store.InsertPending({held}).ok());
+  ASSERT_TRUE(store.MarkScheduled({held}).ok());
+  ASSERT_TRUE(store
+                  .InsertPending({Op(2, 2, 1, txn::OpType::kRead, 5),
+                                  Op(3, 3, 1, txn::OpType::kWrite, 5)})
+                  .ok());
+  for (const ProtocolSpec& spec : {ReadCommittedSql(), ReadCommittedDatalog()}) {
+    auto compiled = CompiledProtocol::Compile(spec, &store);
+    ASSERT_TRUE(compiled.ok()) << spec.name;
+    auto batch = compiled->Schedule();
+    ASSERT_TRUE(batch.ok()) << spec.name << ": " << batch.status().ToString();
+    // The read qualifies despite the write lock; the write stays blocked.
+    EXPECT_EQ(Ids(*batch), (std::vector<std::string>{"2"})) << spec.name;
+  }
+}
+
+TEST(ProtocolTest, SlaPriorityOrdersPremiumFirst) {
+  RequestStore store;
+  Request low = Op(1, 1, 1, txn::OpType::kRead, 5);
+  low.priority = 2;
+  Request high = Op(2, 2, 1, txn::OpType::kRead, 6);
+  high.priority = 0;
+  Request mid = Op(3, 3, 1, txn::OpType::kRead, 7);
+  mid.priority = 1;
+  ASSERT_TRUE(store.InsertPending({low, high, mid}).ok());
+  auto compiled = CompiledProtocol::Compile(SlaPrioritySql(), &store);
+  ASSERT_TRUE(compiled.ok());
+  auto batch = compiled->Schedule();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(Ids(*batch), (std::vector<std::string>{"2", "3", "1"}));
+}
+
+TEST(ProtocolTest, EdfOrdersByDeadlineWithZeroLast) {
+  RequestStore store;
+  Request no_deadline = Op(1, 1, 1, txn::OpType::kRead, 5);
+  Request late = Op(2, 2, 1, txn::OpType::kRead, 6);
+  late.deadline = SimTime::FromMillis(500);
+  Request soon = Op(3, 3, 1, txn::OpType::kRead, 7);
+  soon.deadline = SimTime::FromMillis(100);
+  ASSERT_TRUE(store.InsertPending({no_deadline, late, soon}).ok());
+  auto compiled = CompiledProtocol::Compile(EdfSql(), &store);
+  ASSERT_TRUE(compiled.ok());
+  auto batch = compiled->Schedule();
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(Ids(*batch), (std::vector<std::string>{"3", "2", "1"}));
+}
+
+TEST(ProtocolTest, FcfsQualifiesEverything) {
+  RequestStore store;
+  // Even conflicting requests all qualify under FCFS (no consistency).
+  ASSERT_TRUE(store
+                  .InsertPending({Op(1, 1, 1, txn::OpType::kWrite, 5),
+                                  Op(2, 2, 1, txn::OpType::kWrite, 5)})
+                  .ok());
+  auto compiled = CompiledProtocol::Compile(FcfsSql(), &store);
+  ASSERT_TRUE(compiled.ok());
+  auto batch = compiled->Schedule();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 2u);
+}
+
+TEST(ProtocolTest, CompileRejectsResultWithoutTable2Columns) {
+  RequestStore store;
+  ProtocolSpec bad;
+  bad.name = "bad";
+  bad.language = ProtocolSpec::Language::kSql;
+  bad.text = "SELECT ta, intrata FROM requests";
+  EXPECT_TRUE(CompiledProtocol::Compile(bad, &store).status().IsBindError());
+}
+
+TEST(ProtocolTest, CompileRejectsDatalogWithoutOutputRelation) {
+  RequestStore store;
+  ProtocolSpec bad;
+  bad.name = "bad";
+  bad.language = ProtocolSpec::Language::kDatalog;
+  bad.text = "foo(Id) :- req(Id, _, _, _, _).";
+  EXPECT_TRUE(CompiledProtocol::Compile(bad, &store).status().IsBindError());
+}
+
+// Property: the SQL (Listing 1) and Datalog formulations of SS2PL qualify
+// exactly the same requests on randomized request/history instances.
+class Ss2plEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ss2plEquivalenceTest, SqlAndDatalogAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  RequestStore store;
+
+  // Random history: ops of 10 transactions over 12 objects, some finished.
+  RequestBatch history;
+  int64_t id = 0;
+  for (int i = 0; i < 50; ++i) {
+    const int64_t ta = rng.UniformInt(1, 10);
+    txn::OpType op;
+    const double kind = rng.NextDouble();
+    if (kind < 0.08) {
+      op = txn::OpType::kCommit;
+    } else if (kind < 0.12) {
+      op = txn::OpType::kAbort;
+    } else if (kind < 0.56) {
+      op = txn::OpType::kRead;
+    } else {
+      op = txn::OpType::kWrite;
+    }
+    const int64_t object = op == txn::OpType::kCommit || op == txn::OpType::kAbort
+                               ? -1
+                               : rng.UniformInt(1, 12);
+    history.push_back(Op(++id, ta, i + 1, op, object));
+  }
+  ASSERT_TRUE(store.InsertPending(history).ok());
+  ASSERT_TRUE(store.MarkScheduled(history).ok());
+
+  // Random pending requests of 10 further transactions.
+  RequestBatch pending;
+  for (int i = 0; i < 40; ++i) {
+    const int64_t ta = rng.UniformInt(5, 20);
+    pending.push_back(Op(++id, ta, 100 + i,
+                         rng.Bernoulli(0.5) ? txn::OpType::kRead : txn::OpType::kWrite,
+                         rng.UniformInt(1, 12)));
+  }
+  ASSERT_TRUE(store.InsertPending(pending).ok());
+
+  auto sql = CompiledProtocol::Compile(Ss2plSql(), &store);
+  auto datalog = CompiledProtocol::Compile(Ss2plDatalog(), &store);
+  ASSERT_TRUE(sql.ok());
+  ASSERT_TRUE(datalog.ok());
+  auto sql_batch = sql->Schedule();
+  auto datalog_batch = datalog->Schedule();
+  ASSERT_TRUE(sql_batch.ok()) << sql_batch.status().ToString();
+  ASSERT_TRUE(datalog_batch.ok()) << datalog_batch.status().ToString();
+  EXPECT_EQ(Ids(*sql_batch), Ids(*datalog_batch));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ss2plEquivalenceTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace declsched::scheduler

@@ -1,0 +1,125 @@
+#include "scheduler/request_store.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::scheduler {
+namespace {
+
+Request MakeRequest(int64_t id, int64_t ta, int64_t intrata, txn::OpType op,
+                    int64_t object) {
+  Request r;
+  r.id = id;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  return r;
+}
+
+TEST(RequestStoreTest, StartsEmpty) {
+  RequestStore store;
+  EXPECT_EQ(store.pending_count(), 0);
+  EXPECT_EQ(store.history_count(), 0);
+  ASSERT_NE(store.catalog()->GetTable("requests"), nullptr);
+  ASSERT_NE(store.catalog()->GetTable("history"), nullptr);
+}
+
+TEST(RequestStoreTest, InsertPendingAndReadBack) {
+  RequestStore store;
+  ASSERT_TRUE(store
+                  .InsertPending({MakeRequest(1, 10, 1, txn::OpType::kRead, 5),
+                                  MakeRequest(2, 11, 1, txn::OpType::kWrite, 6)})
+                  .ok());
+  EXPECT_EQ(store.pending_count(), 2);
+  auto pending = store.AllPending();
+  ASSERT_TRUE(pending.ok());
+  ASSERT_EQ(pending->size(), 2u);
+  EXPECT_EQ((*pending)[0].id, 1);
+  EXPECT_EQ((*pending)[0].op, txn::OpType::kRead);
+  EXPECT_EQ((*pending)[1].object, 6);
+}
+
+TEST(RequestStoreTest, MarkScheduledMovesToHistory) {
+  RequestStore store;
+  const Request r = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  ASSERT_TRUE(store.InsertPending({r}).ok());
+  ASSERT_TRUE(store.MarkScheduled({r}).ok());
+  EXPECT_EQ(store.pending_count(), 0);
+  EXPECT_EQ(store.history_count(), 1);
+}
+
+TEST(RequestStoreTest, MarkScheduledUnknownIdFails) {
+  RequestStore store;
+  EXPECT_FALSE(store.MarkScheduled({MakeRequest(99, 1, 1, txn::OpType::kRead, 1)})
+                   .ok());
+}
+
+TEST(RequestStoreTest, GarbageCollectRetiresFinishedTransactions) {
+  RequestStore store;
+  // T10: two ops + commit. T11: one op, still active.
+  const Request a = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  const Request b = MakeRequest(2, 10, 2, txn::OpType::kRead, 6);
+  const Request c = MakeRequest(3, 10, 3, txn::OpType::kCommit, -1);
+  const Request d = MakeRequest(4, 11, 1, txn::OpType::kWrite, 7);
+  ASSERT_TRUE(store.InsertPending({a, b, c, d}).ok());
+  ASSERT_TRUE(store.MarkScheduled({a, b, c, d}).ok());
+  EXPECT_EQ(store.history_count(), 4);
+  auto removed = store.GarbageCollectFinished();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 3);  // T10's two ops + marker
+  EXPECT_EQ(store.history_count(), 1);
+}
+
+TEST(RequestStoreTest, GarbageCollectNoopWithoutMarkers) {
+  RequestStore store;
+  const Request a = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  ASSERT_TRUE(store.InsertPending({a}).ok());
+  ASSERT_TRUE(store.MarkScheduled({a}).ok());
+  auto removed = store.GarbageCollectFinished();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
+}
+
+TEST(RequestStoreTest, DatalogEdbShapes) {
+  RequestStore store;
+  const Request a = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  const Request b = MakeRequest(2, 11, 1, txn::OpType::kRead, 6);
+  ASSERT_TRUE(store.InsertPending({a, b}).ok());
+  ASSERT_TRUE(store.MarkScheduled({a}).ok());
+  datalog::Database edb = store.BuildDatalogEdb();
+  ASSERT_EQ(edb.count("req"), 1u);
+  ASSERT_EQ(edb.count("hist"), 1u);
+  ASSERT_EQ(edb.count("reqmeta"), 1u);
+  EXPECT_EQ(edb["req"].size(), 1u);
+  EXPECT_EQ(edb["hist"].size(), 1u);
+  EXPECT_EQ(edb["req"][0].size(), 5u);
+  EXPECT_EQ(edb["reqmeta"][0].size(), 4u);
+  EXPECT_EQ(edb["hist"][0][3].AsString(), "w");
+}
+
+TEST(RequestStoreTest, RowToRequestRejoinsSlaColumns) {
+  RequestStore store;
+  Request r = MakeRequest(1, 10, 1, txn::OpType::kRead, 5);
+  r.priority = 2;
+  r.deadline = SimTime::FromMillis(77);
+  ASSERT_TRUE(store.InsertPending({r}).ok());
+  // Simulate a protocol that projected only the Table 2 columns.
+  storage::Row core = {storage::Value::Int64(1), storage::Value::Int64(10),
+                       storage::Value::Int64(1), storage::Value::String("r"),
+                       storage::Value::Int64(5)};
+  auto back = store.RowToRequest(core);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->priority, 2);
+  EXPECT_EQ(back->deadline.micros(), 77000);
+}
+
+TEST(RequestStoreTest, SqlEngineSeesTables) {
+  RequestStore store;
+  ASSERT_TRUE(store.InsertPending({MakeRequest(1, 10, 1, txn::OpType::kRead, 5)}).ok());
+  auto result = store.sql_engine()->Query("SELECT COUNT(*) FROM requests");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 1);
+}
+
+}  // namespace
+}  // namespace declsched::scheduler

@@ -1,0 +1,211 @@
+#include "scheduler/declarative_scheduler.h"
+
+#include "gtest/gtest.h"
+#include "scheduler/protocol_library.h"
+
+namespace declsched::scheduler {
+namespace {
+
+Request Op(int64_t ta, int64_t intrata, txn::OpType op, int64_t object,
+           int client = 0) {
+  Request r;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  r.client = client;
+  return r;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void MakeScheduler(DeclarativeScheduler::Options options,
+                     bool with_server = true) {
+    if (with_server) {
+      server::DatabaseServer::Config server_config;
+      server_config.num_rows = 100;
+      server_ = std::make_unique<server::DatabaseServer>(server_config);
+    }
+    scheduler_ = std::make_unique<DeclarativeScheduler>(std::move(options),
+                                                        server_.get());
+    ASSERT_TRUE(scheduler_->Init().ok());
+  }
+
+  std::unique_ptr<server::DatabaseServer> server_;
+  std::unique_ptr<DeclarativeScheduler> scheduler_;
+};
+
+TEST_F(SchedulerTest, AssignsMonotonicRequestIds) {
+  MakeScheduler({});
+  EXPECT_EQ(scheduler_->Submit(Op(1, 1, txn::OpType::kRead, 5), SimTime()), 1);
+  EXPECT_EQ(scheduler_->Submit(Op(1, 2, txn::OpType::kRead, 6), SimTime()), 2);
+  EXPECT_EQ(scheduler_->queue_size(), 2);
+}
+
+TEST_F(SchedulerTest, CycleDrainsQueueAndDispatches) {
+  MakeScheduler({});
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  scheduler_->Submit(Op(2, 1, txn::OpType::kRead, 6), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->drained, 2);
+  EXPECT_EQ(stats->qualified, 2);
+  EXPECT_EQ(stats->dispatched, 2);
+  EXPECT_EQ(scheduler_->queue_size(), 0);
+  EXPECT_EQ(scheduler_->store()->pending_count(), 0);
+  EXPECT_EQ(scheduler_->store()->history_count(), 2);
+  EXPECT_GT(stats->server_busy.micros(), 0);
+  EXPECT_EQ(server_->total_statements(), 2);
+}
+
+TEST_F(SchedulerTest, BlockedRequestStaysPending) {
+  MakeScheduler({});
+  // T1 write-locks object 5 (dispatched, not yet committed).
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  ASSERT_TRUE(scheduler_->RunCycle(SimTime()).ok());
+  // T2 requests the same object: blocked.
+  scheduler_->Submit(Op(2, 1, txn::OpType::kWrite, 5), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 0);
+  EXPECT_EQ(scheduler_->store()->pending_count(), 1);
+  // T1 commits: next cycle releases T2.
+  scheduler_->Submit(Op(1, 2, txn::OpType::kCommit, Request::kNoObject), SimTime());
+  stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 1);  // the commit
+  stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 1);  // T2's freed write
+  EXPECT_EQ(scheduler_->store()->pending_count(), 0);
+}
+
+TEST_F(SchedulerTest, HistoryGcKeepsHistorySmall) {
+  DeclarativeScheduler::Options options;
+  options.history_gc = true;
+  MakeScheduler(std::move(options));
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  scheduler_->Submit(Op(1, 2, txn::OpType::kCommit, Request::kNoObject), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 2);
+  EXPECT_EQ(stats->gc_removed, 2);
+  EXPECT_EQ(scheduler_->store()->history_count(), 0);
+}
+
+TEST_F(SchedulerTest, HistoryGcOffAccumulates) {
+  DeclarativeScheduler::Options options;
+  options.history_gc = false;
+  MakeScheduler(std::move(options));
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  scheduler_->Submit(Op(1, 2, txn::OpType::kCommit, Request::kNoObject), SimTime());
+  ASSERT_TRUE(scheduler_->RunCycle(SimTime()).ok());
+  EXPECT_EQ(scheduler_->store()->history_count(), 2);
+}
+
+TEST_F(SchedulerTest, DeadlockResolvedDeclaratively) {
+  MakeScheduler({});
+  // Build the classic cross: T1 holds 5, T2 holds 6.
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  scheduler_->Submit(Op(2, 1, txn::OpType::kWrite, 6), SimTime());
+  ASSERT_TRUE(scheduler_->RunCycle(SimTime()).ok());
+  // Now each wants the other's object.
+  scheduler_->Submit(Op(1, 2, txn::OpType::kWrite, 6), SimTime());
+  scheduler_->Submit(Op(2, 2, txn::OpType::kWrite, 5), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 0);
+  EXPECT_EQ(stats->victims, 1);
+  ASSERT_EQ(scheduler_->last_victims().size(), 1u);
+  EXPECT_EQ(scheduler_->last_victims()[0], 2);  // youngest
+  // T2's pending request was dropped; T1 can proceed next cycle.
+  stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 1);
+}
+
+TEST_F(SchedulerTest, SwitchProtocolAtRuntime) {
+  MakeScheduler({});
+  EXPECT_EQ(scheduler_->protocol().name, "ss2pl-sql");
+  // Write-lock object 5, then submit a read of 5: blocked under SS2PL.
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  ASSERT_TRUE(scheduler_->RunCycle(SimTime()).ok());
+  scheduler_->Submit(Op(2, 1, txn::OpType::kRead, 5), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 0);
+  // Relax consistency at runtime: the pending read now qualifies.
+  ASSERT_TRUE(scheduler_->SwitchProtocol(ReadCommittedSql()).ok());
+  EXPECT_EQ(scheduler_->protocol().name, "read-committed-sql");
+  stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 1);
+}
+
+TEST_F(SchedulerTest, MaxDispatchCapsBatch) {
+  DeclarativeScheduler::Options options;
+  options.max_dispatch_per_cycle = 2;
+  MakeScheduler(std::move(options));
+  for (int i = 1; i <= 5; ++i) {
+    scheduler_->Submit(Op(i, 1, txn::OpType::kRead, i), SimTime());
+  }
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dispatched, 2);
+  EXPECT_EQ(scheduler_->store()->pending_count(), 3);
+  stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dispatched, 2);
+  stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dispatched, 1);
+}
+
+TEST_F(SchedulerTest, PassthroughModeForwardsEverything) {
+  DeclarativeScheduler::Options options;
+  options.protocol = Passthrough();
+  MakeScheduler(std::move(options));
+  // Conflicting requests all go through (the server's native scheduler would
+  // deal with them in this mode).
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  scheduler_->Submit(Op(2, 1, txn::OpType::kWrite, 5), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dispatched, 2);
+}
+
+TEST_F(SchedulerTest, WorksWithoutServer) {
+  MakeScheduler({}, /*with_server=*/false);
+  scheduler_->Submit(Op(1, 1, txn::OpType::kRead, 5), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 1);
+  EXPECT_EQ(stats->server_busy.micros(), 0);
+}
+
+TEST_F(SchedulerTest, TotalsAccumulate) {
+  MakeScheduler({});
+  scheduler_->Submit(Op(1, 1, txn::OpType::kRead, 5), SimTime());
+  ASSERT_TRUE(scheduler_->RunCycle(SimTime()).ok());
+  scheduler_->Submit(Op(2, 1, txn::OpType::kRead, 6), SimTime());
+  ASSERT_TRUE(scheduler_->RunCycle(SimTime()).ok());
+  EXPECT_EQ(scheduler_->totals().cycles, 2);
+  EXPECT_EQ(scheduler_->totals().admitted, 2);
+  EXPECT_EQ(scheduler_->totals().dispatched, 2);
+  EXPECT_EQ(scheduler_->totals().qualified_per_cycle.count(), 2);
+}
+
+TEST_F(SchedulerTest, DatalogProtocolEndToEnd) {
+  DeclarativeScheduler::Options options;
+  options.protocol = Ss2plDatalog();
+  MakeScheduler(std::move(options));
+  scheduler_->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  ASSERT_TRUE(scheduler_->RunCycle(SimTime()).ok());
+  scheduler_->Submit(Op(2, 1, txn::OpType::kWrite, 5), SimTime());
+  auto stats = scheduler_->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 0);  // blocked, same as the SQL protocol
+}
+
+}  // namespace
+}  // namespace declsched::scheduler

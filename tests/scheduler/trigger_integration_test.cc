@@ -1,0 +1,68 @@
+// Trigger policies exercised through the full middleware pipeline.
+
+#include "gtest/gtest.h"
+#include "scheduler/middleware_sim.h"
+#include "scheduler/protocol_library.h"
+
+namespace declsched::scheduler {
+namespace {
+
+MiddlewareSimConfig Config(TriggerConfig trigger, uint64_t seed) {
+  MiddlewareSimConfig config;
+  config.num_clients = 16;
+  config.duration = SimTime::FromSeconds(120);
+  config.workload.num_objects = 2000;
+  config.workload.reads_per_txn = 3;
+  config.workload.writes_per_txn = 3;
+  config.server.num_rows = 2000;
+  config.seed = seed;
+  config.max_committed_txns = 100;
+  config.scheduler.trigger = trigger;
+  return config;
+}
+
+TEST(TriggerIntegrationTest, TimerTriggerCompletes) {
+  auto result =
+      RunMiddlewareSimulation(Config(TriggerConfig::Timer(SimTime::FromMillis(5)), 1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 100);
+}
+
+TEST(TriggerIntegrationTest, FillLevelTriggerCompletes) {
+  auto result = RunMiddlewareSimulation(Config(TriggerConfig::FillLevel(8), 2));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 100);
+}
+
+TEST(TriggerIntegrationTest, HybridTriggerCompletes) {
+  auto result = RunMiddlewareSimulation(
+      Config(TriggerConfig::Hybrid(SimTime::FromMillis(5), 8), 3));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 100);
+}
+
+TEST(TriggerIntegrationTest, LongTimerRaisesLatency) {
+  auto fast =
+      RunMiddlewareSimulation(Config(TriggerConfig::Timer(SimTime::FromMillis(1)), 4));
+  auto slow = RunMiddlewareSimulation(
+      Config(TriggerConfig::Timer(SimTime::FromMillis(50)), 4));
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  // A 50 ms batching delay must show up in transaction latency.
+  EXPECT_GT(slow->latency_by_class[0].Mean(),
+            fast->latency_by_class[0].Mean() * 1.5);
+}
+
+TEST(TriggerIntegrationTest, FillLevelBatchesRequests) {
+  auto eager = RunMiddlewareSimulation(Config(TriggerConfig::Eager(), 5));
+  auto batched = RunMiddlewareSimulation(Config(TriggerConfig::FillLevel(16), 5));
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(batched.ok());
+  // Waiting for 16 queued requests implies fewer, larger cycles.
+  EXPECT_LE(batched->cycles, eager->cycles);
+  EXPECT_GE(batched->totals.qualified_per_cycle.Mean(),
+            eager->totals.qualified_per_cycle.Mean());
+}
+
+}  // namespace
+}  // namespace declsched::scheduler

@@ -1,0 +1,70 @@
+#include "scheduler/trigger_policy.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::scheduler {
+namespace {
+
+TEST(TriggerPolicyTest, EagerFiresWheneverQueueNonEmpty) {
+  TriggerPolicy policy(TriggerConfig::Eager());
+  EXPECT_FALSE(policy.ShouldFire(SimTime(), 0));
+  EXPECT_TRUE(policy.ShouldFire(SimTime(), 1));
+  EXPECT_TRUE(policy.ShouldFire(SimTime::FromSeconds(5), 100));
+}
+
+TEST(TriggerPolicyTest, TimerFiresAfterInterval) {
+  TriggerPolicy policy(TriggerConfig::Timer(SimTime::FromMillis(10)));
+  // First firing: interval measured from t=0.
+  EXPECT_FALSE(policy.ShouldFire(SimTime::FromMillis(5), 10));
+  EXPECT_TRUE(policy.ShouldFire(SimTime::FromMillis(10), 10));
+  policy.NotifyFired(SimTime::FromMillis(10));
+  EXPECT_FALSE(policy.ShouldFire(SimTime::FromMillis(15), 10));
+  EXPECT_TRUE(policy.ShouldFire(SimTime::FromMillis(20), 10));
+}
+
+TEST(TriggerPolicyTest, TimerNeverFiresOnEmptyQueue) {
+  TriggerPolicy policy(TriggerConfig::Timer(SimTime::FromMillis(10)));
+  EXPECT_FALSE(policy.ShouldFire(SimTime::FromSeconds(100), 0));
+}
+
+TEST(TriggerPolicyTest, FillLevelFiresAtThreshold) {
+  TriggerPolicy policy(TriggerConfig::FillLevel(5));
+  EXPECT_FALSE(policy.ShouldFire(SimTime(), 4));
+  EXPECT_TRUE(policy.ShouldFire(SimTime(), 5));
+  EXPECT_TRUE(policy.ShouldFire(SimTime(), 50));
+}
+
+TEST(TriggerPolicyTest, HybridFiresOnEitherCondition) {
+  TriggerPolicy policy(TriggerConfig::Hybrid(SimTime::FromMillis(10), 5));
+  policy.NotifyFired(SimTime());
+  // Neither condition met.
+  EXPECT_FALSE(policy.ShouldFire(SimTime::FromMillis(1), 2));
+  // Fill level met, timer not.
+  EXPECT_TRUE(policy.ShouldFire(SimTime::FromMillis(1), 5));
+  // Timer met, fill level not.
+  EXPECT_TRUE(policy.ShouldFire(SimTime::FromMillis(10), 1));
+}
+
+TEST(TriggerPolicyTest, NextEligible) {
+  TriggerPolicy timer(TriggerConfig::Timer(SimTime::FromMillis(10)));
+  timer.NotifyFired(SimTime::FromMillis(100));
+  EXPECT_EQ(timer.NextEligible(SimTime::FromMillis(105)).micros(), 110000);
+  EXPECT_EQ(timer.NextEligible(SimTime::FromMillis(200)).micros(), 200000);
+
+  TriggerPolicy eager(TriggerConfig::Eager());
+  EXPECT_EQ(eager.NextEligible(SimTime::FromMillis(5)).micros(), 5000);
+  TriggerPolicy fill(TriggerConfig::FillLevel(10));
+  EXPECT_EQ(fill.NextEligible(SimTime::FromMillis(5)).micros(), 5000);
+}
+
+TEST(TriggerPolicyTest, ToStringNames) {
+  EXPECT_EQ(TriggerConfig::Eager().ToString(), "eager");
+  EXPECT_EQ(TriggerConfig::FillLevel(7).ToString(), "fill(7)");
+  EXPECT_EQ(TriggerConfig::Timer(SimTime::FromMicros(500)).ToString(),
+            "timer(500us)");
+  EXPECT_EQ(TriggerConfig::Hybrid(SimTime::FromMicros(500), 7).ToString(),
+            "hybrid(500us,7)");
+}
+
+}  // namespace
+}  // namespace declsched::scheduler

@@ -1,0 +1,88 @@
+#include "server/database_server.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::server {
+namespace {
+
+using txn::OpType;
+
+Statement Stmt(OpType op, int64_t object, int64_t ta = 1, int64_t intra = 1) {
+  return Statement{ta, intra, op, object};
+}
+
+TEST(DatabaseServerTest, ExecutesBatchAndCounts) {
+  DatabaseServer::Config config;
+  config.num_rows = 100;
+  DatabaseServer server(config);
+  auto stats = server.ExecuteBatch({Stmt(OpType::kRead, 5), Stmt(OpType::kWrite, 6),
+                                    Stmt(OpType::kWrite, 6),
+                                    Stmt(OpType::kCommit, -1)});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->reads, 1);
+  EXPECT_EQ(stats->writes, 2);
+  EXPECT_EQ(stats->commits, 1);
+  EXPECT_GT(stats->busy.micros(), 0);
+  EXPECT_EQ(server.total_statements(), 4);
+}
+
+TEST(DatabaseServerTest, WritesIncrementRowValues) {
+  DatabaseServer::Config config;
+  config.num_rows = 10;
+  DatabaseServer server(config);
+  ASSERT_TRUE(server.ExecuteBatch({Stmt(OpType::kWrite, 3), Stmt(OpType::kWrite, 3)})
+                  .ok());
+  auto value = server.RowValue(3);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 2);
+  EXPECT_EQ(*server.RowValue(4), 0);
+}
+
+TEST(DatabaseServerTest, OutOfRangeRowRejected) {
+  DatabaseServer::Config config;
+  config.num_rows = 10;
+  DatabaseServer server(config);
+  EXPECT_TRUE(server.ExecuteBatch({Stmt(OpType::kRead, 10)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(server.ExecuteBatch({Stmt(OpType::kWrite, -2)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatabaseServerTest, EmptyBatchIsFree) {
+  DatabaseServer server(DatabaseServer::Config{});
+  auto stats = server.ExecuteBatch({});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->busy.micros(), 0);
+}
+
+TEST(DatabaseServerTest, BusyTimeScalesWithBatchSize) {
+  DatabaseServer::Config config;
+  config.num_rows = 1000;
+  DatabaseServer server(config);
+  StatementBatch small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(Stmt(OpType::kRead, i));
+  for (int i = 0; i < 100; ++i) large.push_back(Stmt(OpType::kRead, i));
+  auto s = server.ExecuteBatch(small);
+  auto l = server.ExecuteBatch(large);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(l.ok());
+  // Per-statement cost dominates; the fixed dispatch overhead amortizes.
+  EXPECT_GT(l->busy.micros(), 9 * s->busy.micros());
+  EXPECT_LT(l->busy.micros(), 11 * s->busy.micros());
+}
+
+TEST(DatabaseServerTest, NonMaterializedModeSkipsData) {
+  DatabaseServer::Config config;
+  config.num_rows = 1000000;  // would be slow to materialize
+  config.materialize_rows = false;
+  DatabaseServer server(config);
+  auto stats = server.ExecuteBatch({Stmt(OpType::kWrite, 999999)});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->writes, 1);
+  EXPECT_EQ(*server.RowValue(999999), 0);  // no data kept
+}
+
+}  // namespace
+}  // namespace declsched::server

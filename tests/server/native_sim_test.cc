@@ -1,0 +1,122 @@
+#include "server/native_scheduler_sim.h"
+
+#include "gtest/gtest.h"
+#include "server/single_user_replayer.h"
+#include "txn/serializability.h"
+
+namespace declsched::server {
+namespace {
+
+NativeSimConfig SmallConfig(int clients, uint64_t seed) {
+  NativeSimConfig config;
+  config.num_clients = clients;
+  config.duration = SimTime::FromSeconds(20);
+  config.workload.num_objects = 200;
+  config.workload.reads_per_txn = 4;
+  config.workload.writes_per_txn = 4;
+  config.seed = seed;
+  return config;
+}
+
+TEST(NativeSimTest, SingleClientRunsCleanly) {
+  auto result = RunNativeSimulation(SmallConfig(1, 1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed_txns, 0);
+  EXPECT_EQ(result->lock_waits, 0);
+  EXPECT_EQ(result->deadlock_aborts, 0);
+  EXPECT_EQ(result->committed_statements, result->committed_txns * 8);
+}
+
+TEST(NativeSimTest, InvalidConfigRejected) {
+  NativeSimConfig config = SmallConfig(0, 1);
+  EXPECT_TRUE(RunNativeSimulation(config).status().IsInvalidArgument());
+}
+
+TEST(NativeSimTest, DeterministicForSameSeed) {
+  auto a = RunNativeSimulation(SmallConfig(10, 42));
+  auto b = RunNativeSimulation(SmallConfig(10, 42));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->committed_statements, b->committed_statements);
+  EXPECT_EQ(a->deadlock_aborts, b->deadlock_aborts);
+  EXPECT_EQ(a->lock_waits, b->lock_waits);
+}
+
+TEST(NativeSimTest, ContentionCausesWaits) {
+  NativeSimConfig config = SmallConfig(20, 7);
+  config.workload.num_objects = 30;  // hot
+  auto result = RunNativeSimulation(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->lock_waits, 0);
+}
+
+TEST(NativeSimTest, HistoryPassesOracles) {
+  NativeSimConfig config = SmallConfig(12, 3);
+  config.workload.num_objects = 40;
+  config.record_history = true;
+  config.max_committed_txns = 100;
+  auto result = RunNativeSimulation(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->history.empty());
+  auto check = txn::CheckConflictSerializable(result->history);
+  EXPECT_TRUE(check.serializable);
+  std::string why;
+  EXPECT_TRUE(txn::CheckStrict(result->history, &why)) << why;
+  EXPECT_TRUE(txn::CheckRigorous(result->history, &why)) << why;
+}
+
+TEST(NativeSimTest, MaxCommittedTxnsStopsEarly) {
+  NativeSimConfig config = SmallConfig(5, 9);
+  config.max_committed_txns = 10;
+  auto result = RunNativeSimulation(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->committed_txns, 10);
+}
+
+TEST(NativeSimTest, CpuFullyUtilizedUnderLoad) {
+  auto result = RunNativeSimulation(SmallConfig(50, 5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->cpu_utilization(), 0.95);
+}
+
+// The headline mechanism: MU/SU overhead grows with the client count, and
+// the MPL cliff collapses throughput (Figure 2's shape, in miniature).
+TEST(NativeSimTest, ThroughputCollapsesBeyondMplCapacity) {
+  // Paper-scale workload but a short window to keep the test fast.
+  auto run = [](int clients) {
+    NativeSimConfig config;
+    config.num_clients = clients;
+    config.duration = SimTime::FromSeconds(10);
+    config.seed = 1;
+    auto result = RunNativeSimulation(config);
+    EXPECT_TRUE(result.ok());
+    return result->committed_statements;
+  };
+  const int64_t at_100 = run(100);
+  const int64_t at_300 = run(300);
+  const int64_t at_500 = run(500);
+  EXPECT_GT(at_100, 0);
+  EXPECT_LT(at_300, at_100);            // overhead grows
+  EXPECT_LT(at_500 * 4, at_300);        // the cliff: >= 4x collapse
+}
+
+TEST(SingleUserReplayTest, ElapsedIsLinearInStatements) {
+  CostModel cost;
+  auto small = ReplaySingleUser(1000, cost);
+  auto large = ReplaySingleUser(2000, cost);
+  EXPECT_EQ(small.statements, 1000);
+  // Twice the statements is (almost exactly) twice the time.
+  const double ratio = large.elapsed.ToSecondsF() / small.elapsed.ToSecondsF();
+  EXPECT_NEAR(ratio, 2.0, 0.01);
+}
+
+TEST(SingleUserReplayTest, MatchesPaperCalibration) {
+  // The calibration point from DESIGN.md: 550 055 statements replay in about
+  // 194 s single-user (paper Section 4.2.2).
+  CostModel cost;
+  auto replay = ReplaySingleUser(550055, cost);
+  EXPECT_NEAR(replay.elapsed.ToSecondsF(), 194.0, 4.0);
+}
+
+}  // namespace
+}  // namespace declsched::server

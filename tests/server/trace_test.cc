@@ -1,0 +1,98 @@
+#include "server/trace.h"
+
+#include "gtest/gtest.h"
+#include "server/native_scheduler_sim.h"
+#include "server/single_user_replayer.h"
+
+namespace declsched::server {
+namespace {
+
+using txn::HistoryOp;
+using txn::OpType;
+
+TEST(TraceTest, CommittedProjectionOnly) {
+  std::vector<HistoryOp> history = {
+      {1, OpType::kRead, 10},  {2, OpType::kWrite, 20}, {1, OpType::kWrite, 11},
+      {1, OpType::kCommit, 0}, {2, OpType::kAbort, 0},  {3, OpType::kRead, 30},
+  };
+  ScheduleTrace trace = TraceFromHistory(history);
+  // T2 aborted and T3 never finished: only T1's ops + commit survive.
+  ASSERT_EQ(trace.statements.size(), 3u);
+  EXPECT_EQ(trace.data_statements, 2);
+  EXPECT_EQ(trace.committed_txns, 1);
+  EXPECT_EQ(trace.statements[0].object, 10);
+  EXPECT_EQ(trace.statements[2].op, OpType::kCommit);
+}
+
+TEST(TraceTest, SerializeParseRoundTrip) {
+  std::vector<HistoryOp> history = {
+      {1, OpType::kRead, 10}, {1, OpType::kWrite, 20}, {1, OpType::kCommit, 0}};
+  ScheduleTrace trace = TraceFromHistory(history);
+  const std::string text = SerializeTrace(trace);
+  EXPECT_EQ(text, "r 1 10\nw 1 20\nc 1\n");
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->data_statements, 2);
+  EXPECT_EQ(parsed->committed_txns, 1);
+  ASSERT_EQ(parsed->statements.size(), 3u);
+  EXPECT_EQ(parsed->statements[1].op, OpType::kWrite);
+  EXPECT_EQ(parsed->statements[1].object, 20);
+}
+
+TEST(TraceTest, ParseSkipsCommentsAndBlanks) {
+  auto parsed = ParseTrace("# a comment\n\nr 1 5\n  c 1  \n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->statements.size(), 2u);
+}
+
+TEST(TraceTest, ParseRejectsMalformedLines) {
+  EXPECT_TRUE(ParseTrace("x 1 2").status().IsParseError());
+  EXPECT_TRUE(ParseTrace("r 1").status().IsParseError());
+  EXPECT_TRUE(ParseTrace("c").status().IsParseError());
+  EXPECT_TRUE(ParseTrace("r one 2").status().IsParseError());
+}
+
+TEST(TraceTest, ReplayMatchesClosedFormLowerBound) {
+  // A captured native-sim trace replayed against the server must take
+  // (almost exactly) the closed-form single-user time: statements * service.
+  NativeSimConfig config;
+  config.num_clients = 8;
+  config.duration = SimTime::FromSeconds(5);
+  config.workload.num_objects = 500;
+  config.workload.reads_per_txn = 4;
+  config.workload.writes_per_txn = 4;
+  config.seed = 5;
+  config.record_history = true;
+  config.max_committed_txns = 50;
+  auto sim = RunNativeSimulation(config);
+  ASSERT_TRUE(sim.ok());
+
+  ScheduleTrace trace = TraceFromHistory(sim->history);
+  EXPECT_EQ(trace.data_statements, sim->committed_statements);
+
+  DatabaseServer::Config server_config;
+  server_config.num_rows = 500;
+  DatabaseServer server(server_config);
+  auto replayed = ReplayTrace(trace, &server);
+  ASSERT_TRUE(replayed.ok());
+
+  auto closed_form = ReplaySingleUser(trace.data_statements, config.cost);
+  // Both include per-statement service; constants (table lock vs batch
+  // dispatch) differ by well under 1%.
+  const double ratio = replayed->ToSecondsF() / closed_form.elapsed.ToSecondsF();
+  EXPECT_NEAR(ratio, 1.0, 0.01);
+}
+
+TEST(TraceTest, ReplayAppliesWritesToStorage) {
+  std::vector<HistoryOp> history = {
+      {1, OpType::kWrite, 3}, {1, OpType::kWrite, 3}, {1, OpType::kCommit, 0}};
+  ScheduleTrace trace = TraceFromHistory(history);
+  DatabaseServer::Config config;
+  config.num_rows = 10;
+  DatabaseServer server(config);
+  ASSERT_TRUE(ReplayTrace(trace, &server).ok());
+  EXPECT_EQ(*server.RowValue(3), 2);
+}
+
+}  // namespace
+}  // namespace declsched::server

@@ -1,0 +1,103 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/resource.h"
+
+namespace declsched::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(SimTime::FromMicros(30), [&] { order.push_back(3); });
+  sim.Schedule(SimTime::FromMicros(10), [&] { order.push_back(1); });
+  sim.Schedule(SimTime::FromMicros(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now().micros(), 30);
+  EXPECT_EQ(sim.events_processed(), 3);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(SimTime::FromMicros(10), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.Schedule(SimTime::FromMicros(5), chain);
+  };
+  sim.Schedule(SimTime::FromMicros(5), chain);
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.Now().micros(), 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(SimTime::FromMicros(10), [&] { ++fired; });
+  sim.Schedule(SimTime::FromMicros(100), [&] { ++fired; });
+  sim.RunUntil(SimTime::FromMicros(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now().micros(), 50);  // clock lands on the deadline
+  EXPECT_FALSE(sim.empty());          // late event still queued
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StopAbortsDispatch) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(SimTime::FromMicros(1), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(SimTime::FromMicros(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FifoResourceTest, SerializesJobs) {
+  Simulator sim;
+  FifoResource cpu(&sim);
+  std::vector<int64_t> completion_times;
+  // Three jobs of 10us submitted at t=0: complete at 10, 20, 30.
+  for (int i = 0; i < 3; ++i) {
+    cpu.Submit(SimTime::FromMicros(10),
+               [&] { completion_times.push_back(sim.Now().micros()); });
+  }
+  EXPECT_EQ(cpu.jobs_in_system(), 3);
+  sim.Run();
+  EXPECT_EQ(completion_times, (std::vector<int64_t>{10, 20, 30}));
+  EXPECT_EQ(cpu.jobs_in_system(), 0);
+  EXPECT_EQ(cpu.busy_time().micros(), 30);
+}
+
+TEST(FifoResourceTest, IdleGapThenNewJob) {
+  Simulator sim;
+  FifoResource cpu(&sim);
+  std::vector<int64_t> completions;
+  cpu.Submit(SimTime::FromMicros(5), [&] { completions.push_back(sim.Now().micros()); });
+  // Submit the second job at t=100, after the server went idle.
+  sim.Schedule(SimTime::FromMicros(100), [&] {
+    cpu.Submit(SimTime::FromMicros(7),
+               [&] { completions.push_back(sim.Now().micros()); });
+  });
+  sim.Run();
+  EXPECT_EQ(completions, (std::vector<int64_t>{5, 107}));
+  EXPECT_EQ(cpu.busy_time().micros(), 12);  // no idle time counted
+}
+
+}  // namespace
+}  // namespace declsched::sim

@@ -1,0 +1,122 @@
+#include "gtest/gtest.h"
+#include "sql/engine.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace declsched::sql {
+namespace {
+
+using declsched::testing::Rows;
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override { engine_ = std::make_unique<SqlEngine>(&catalog_); }
+  storage::Catalog catalog_;
+  std::unique_ptr<SqlEngine> engine_;
+};
+
+TEST_F(DmlTest, CreateInsertSelectRoundTrip) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT, b TEXT)").ok());
+  auto n = engine_->Execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+  EXPECT_EQ(Rows(*engine_, "SELECT * FROM t"),
+            (std::vector<std::string>{"1|'x'", "2|'y'"}));
+}
+
+TEST_F(DmlTest, InsertWithColumnListFillsNulls) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT, b TEXT, c DOUBLE)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t (c, a) VALUES (1.5, 7)").ok());
+  EXPECT_EQ(Rows(*engine_, "SELECT a, b, c FROM t"),
+            (std::vector<std::string>{"7|NULL|1.5"}));
+}
+
+TEST_F(DmlTest, InsertFromSelect) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE src (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE dst (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO src VALUES (1), (2), (3)").ok());
+  auto n = engine_->Execute("INSERT INTO dst SELECT a FROM src WHERE a >= 2");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM dst"),
+            (std::vector<std::string>{"2", "3"}));
+}
+
+TEST_F(DmlTest, InsertArityMismatchRejected) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT, b INT)").ok());
+  EXPECT_TRUE(engine_->Execute("INSERT INTO t VALUES (1)").status().IsBindError());
+  EXPECT_TRUE(engine_->Execute("INSERT INTO t (a) VALUES (1, 2)").status().IsBindError());
+}
+
+TEST_F(DmlTest, InsertNonLiteralRejected) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT)").ok());
+  EXPECT_TRUE(engine_->Execute("INSERT INTO t VALUES (1 + 1)").status().IsUnsupported());
+}
+
+TEST_F(DmlTest, UpdateWithWhere) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT, b INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t VALUES (1, 0), (2, 0), (3, 0)").ok());
+  auto n = engine_->Execute("UPDATE t SET b = a * 10 WHERE a >= 2");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+  EXPECT_EQ(Rows(*engine_, "SELECT a, b FROM t"),
+            (std::vector<std::string>{"1|0", "2|20", "3|30"}));
+}
+
+TEST_F(DmlTest, UpdateAllRows) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t VALUES (1), (2)").ok());
+  auto n = engine_->Execute("UPDATE t SET a = a + 100");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t"),
+            (std::vector<std::string>{"101", "102"}));
+}
+
+TEST_F(DmlTest, UpdateSeesPreImageOfAllAssignments) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT, b INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t VALUES (1, 2)").ok());
+  // Both assignments read the original row: a=2, b=1 (swap), not a=2,b=2.
+  ASSERT_TRUE(engine_->Execute("UPDATE t SET a = b, b = a").ok());
+  EXPECT_EQ(Rows(*engine_, "SELECT a, b FROM t"),
+            (std::vector<std::string>{"2|1"}));
+}
+
+TEST_F(DmlTest, DeleteWithWhere) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  auto n = engine_->Execute("DELETE FROM t WHERE a % 2 = 1");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t"), (std::vector<std::string>{"2"}));
+}
+
+TEST_F(DmlTest, DeleteAll) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t VALUES (1), (2)").ok());
+  auto n = engine_->Execute("DELETE FROM t");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);
+  EXPECT_EQ(Rows(*engine_, "SELECT COUNT(*) FROM t"),
+            (std::vector<std::string>{"0"}));
+}
+
+TEST_F(DmlTest, DropTable) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("DROP TABLE t").ok());
+  EXPECT_TRUE(engine_->Query("SELECT * FROM t").status().IsBindError());
+  EXPECT_TRUE(engine_->Execute("DROP TABLE t").status().IsNotFound());
+}
+
+TEST_F(DmlTest, ExecuteRejectsSelect) {
+  EXPECT_TRUE(engine_->Execute("SELECT 1").status().IsInvalidArgument());
+}
+
+TEST_F(DmlTest, UnknownTableErrors) {
+  EXPECT_TRUE(engine_->Execute("INSERT INTO missing VALUES (1)").status().IsNotFound());
+  EXPECT_TRUE(engine_->Execute("UPDATE missing SET a = 1").status().IsNotFound());
+  EXPECT_TRUE(engine_->Execute("DELETE FROM missing").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace declsched::sql

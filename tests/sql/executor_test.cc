@@ -1,0 +1,332 @@
+#include "sql/executor.h"
+
+#include "gtest/gtest.h"
+#include "sql/engine.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace declsched::sql {
+namespace {
+
+using declsched::testing::Rows;
+using storage::Catalog;
+using storage::ColumnDef;
+using storage::Schema;
+using storage::Value;
+using storage::ValueType;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<SqlEngine>(&catalog_);
+    ASSERT_TRUE(catalog_
+                    .CreateTable("t", Schema({{"a", ValueType::kInt64},
+                                              {"b", ValueType::kString},
+                                              {"c", ValueType::kDouble}}))
+                    .ok());
+    auto* t = catalog_.GetTable("t");
+    auto add = [&](int64_t a, const char* b, double c) {
+      ASSERT_TRUE(
+          t->Insert({Value::Int64(a), Value::String(b), Value::Double(c)}).ok());
+    };
+    add(1, "x", 1.5);
+    add(2, "y", 2.5);
+    add(3, "x", 3.5);
+    add(4, "z", 0.5);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<SqlEngine> engine_;
+};
+
+TEST_F(ExecutorTest, SelectConstant) {
+  EXPECT_EQ(Rows(*engine_, "SELECT 1"), (std::vector<std::string>{"1"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 + 2 * 3"), (std::vector<std::string>{"7"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT 'a'"), (std::vector<std::string>{"'a'"}));
+}
+
+TEST_F(ExecutorTest, SelectStarAndProjection) {
+  EXPECT_EQ(Rows(*engine_, "SELECT * FROM t").size(), 4u);
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t"),
+            (std::vector<std::string>{"1", "2", "3", "4"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a + 10 FROM t WHERE b = 'x'"),
+            (std::vector<std::string>{"11", "13"}));
+}
+
+TEST_F(ExecutorTest, WhereComparisons) {
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a > 2"),
+            (std::vector<std::string>{"3", "4"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a <> 2 AND c < 3"),
+            (std::vector<std::string>{"1", "4"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE b = 'x' OR a = 4"),
+            (std::vector<std::string>{"1", "3", "4"}));
+}
+
+TEST_F(ExecutorTest, NullSemantics) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE n (v INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO n VALUES (1), (NULL), (3)").ok());
+  // NULL comparisons are unknown: filtered out.
+  EXPECT_EQ(Rows(*engine_, "SELECT v FROM n WHERE v > 0"),
+            (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT v FROM n WHERE v IS NULL"),
+            (std::vector<std::string>{"NULL"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT v FROM n WHERE v IS NOT NULL"),
+            (std::vector<std::string>{"1", "3"}));
+  // NOT(NULL) is NULL: still filtered.
+  EXPECT_EQ(Rows(*engine_, "SELECT v FROM n WHERE NOT (v > 0)").size(), 0u);
+}
+
+TEST_F(ExecutorTest, ThreeValuedLogicAndOr) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE n3 (v INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO n3 VALUES (NULL)").ok());
+  // NULL OR TRUE = TRUE; NULL AND FALSE = FALSE.
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 FROM n3 WHERE v = 1 OR 1 = 1").size(), 1u);
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 FROM n3 WHERE v = 1 AND 1 = 0").size(), 0u);
+  // NULL AND TRUE = NULL -> filtered.
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 FROM n3 WHERE v = 1 AND 1 = 1").size(), 0u);
+}
+
+TEST_F(ExecutorTest, InListSemantics) {
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a IN (1, 3, 99)"),
+            (std::vector<std::string>{"1", "3"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE b NOT IN ('x', 'z')"),
+            (std::vector<std::string>{"2"}));
+}
+
+TEST_F(ExecutorTest, BetweenSemantics) {
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a BETWEEN 2 AND 3"),
+            (std::vector<std::string>{"2", "3"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a NOT BETWEEN 2 AND 3"),
+            (std::vector<std::string>{"1", "4"}));
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  EXPECT_EQ(Rows(*engine_, "SELECT DISTINCT b FROM t"),
+            (std::vector<std::string>{"'x'", "'y'", "'z'"}));
+}
+
+TEST_F(ExecutorTest, CommaJoinBecomesCross) {
+  EXPECT_EQ(Rows(*engine_, "SELECT t1.a, t2.a FROM t t1, t t2").size(), 16u);
+}
+
+TEST_F(ExecutorTest, EquiJoinViaWhere) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE u (a INT, tag TEXT)").ok());
+  ASSERT_TRUE(
+      engine_->Execute("INSERT INTO u VALUES (1, 'one'), (3, 'three'), (9, 'nine')")
+          .ok());
+  EXPECT_EQ(Rows(*engine_, "SELECT t.a, u.tag FROM t, u WHERE t.a = u.a"),
+            (std::vector<std::string>{"1|'one'", "3|'three'"}));
+  // Residual predicate on top of the hash join.
+  EXPECT_EQ(Rows(*engine_, "SELECT t.a FROM t, u WHERE t.a = u.a AND t.c > 2"),
+            (std::vector<std::string>{"3"}));
+}
+
+TEST_F(ExecutorTest, ExplicitInnerJoin) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE u2 (a INT, k INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO u2 VALUES (1, 10), (2, 20)").ok());
+  EXPECT_EQ(Rows(*engine_, "SELECT t.a, u2.k FROM t JOIN u2 ON t.a = u2.a"),
+            (std::vector<std::string>{"1|10", "2|20"}));
+}
+
+TEST_F(ExecutorTest, LeftJoinNullExtends) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE r (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO r VALUES (1), (2)").ok());
+  auto rows = Rows(*engine_,
+                   "SELECT t.a, r.a FROM t LEFT JOIN r ON t.a = r.a");
+  EXPECT_EQ(rows, (std::vector<std::string>{"1|1", "2|2", "3|NULL", "4|NULL"}));
+  // The paper's finished-transactions idiom: IS NULL over the outer side.
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT t.a FROM t LEFT JOIN r ON t.a = r.a WHERE r.a IS NULL"),
+            (std::vector<std::string>{"3", "4"}));
+}
+
+TEST_F(ExecutorTest, LeftJoinOnResidualPredicate) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE r2 (a INT, flag INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO r2 VALUES (1, 0), (2, 1)").ok());
+  // Row 1 matches on key but fails the residual: must be null-extended.
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT t.a, r2.a FROM t LEFT JOIN r2 ON t.a = r2.a AND r2.flag = 1 "
+                 "WHERE t.a <= 2"),
+            (std::vector<std::string>{"1|NULL", "2|2"}));
+}
+
+TEST_F(ExecutorTest, SetOperations) {
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 UNION ALL SELECT 1 UNION ALL SELECT 2"),
+            (std::vector<std::string>{"1", "1", "2"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 UNION SELECT 1 UNION SELECT 2"),
+            (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t EXCEPT SELECT 1"),
+            (std::vector<std::string>{"2", "3", "4"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t INTERSECT SELECT 3"),
+            (std::vector<std::string>{"3"}));
+  // EXCEPT has set semantics: duplicates on the left collapse.
+  EXPECT_EQ(Rows(*engine_, "SELECT b FROM t EXCEPT SELECT 'q'"),
+            (std::vector<std::string>{"'x'", "'y'", "'z'"}));
+}
+
+TEST_F(ExecutorTest, OrderByAndLimit) {
+  auto result = engine_->Query("SELECT a FROM t ORDER BY a DESC");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 4u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 4);
+  EXPECT_EQ(result->rows[3][0].AsInt64(), 1);
+
+  result = engine_->Query("SELECT a, b FROM t ORDER BY b, a DESC LIMIT 2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 2u);
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 3);  // 'x' group, a desc
+  EXPECT_EQ(result->rows[1][0].AsInt64(), 1);
+
+  result = engine_->Query("SELECT a FROM t ORDER BY 1 DESC LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 4);
+}
+
+TEST_F(ExecutorTest, Aggregates) {
+  EXPECT_EQ(Rows(*engine_, "SELECT COUNT(*) FROM t"), (std::vector<std::string>{"4"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT COUNT(*) FROM t WHERE a > 10"),
+            (std::vector<std::string>{"0"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT SUM(a), MIN(a), MAX(a) FROM t"),
+            (std::vector<std::string>{"10|1|4"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT AVG(a) FROM t"), (std::vector<std::string>{"2.5"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT COUNT(DISTINCT b) FROM t"),
+            (std::vector<std::string>{"3"}));
+}
+
+TEST_F(ExecutorTest, GroupBy) {
+  EXPECT_EQ(Rows(*engine_, "SELECT b, COUNT(*) FROM t GROUP BY b"),
+            (std::vector<std::string>{"'x'|2", "'y'|1", "'z'|1"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT b, SUM(a) FROM t GROUP BY b HAVING SUM(a) > 1"),
+            (std::vector<std::string>{"'x'|4", "'y'|2", "'z'|4"}));
+  EXPECT_EQ(
+      Rows(*engine_, "SELECT b, COUNT(*) FROM t GROUP BY b HAVING COUNT(*) > 1"),
+      (std::vector<std::string>{"'x'|2"}));
+}
+
+TEST_F(ExecutorTest, GroupByEmptyInputYieldsNoRows) {
+  EXPECT_EQ(Rows(*engine_, "SELECT b, COUNT(*) FROM t WHERE a > 100 GROUP BY b").size(),
+            0u);
+  // Global aggregate over empty input yields one row.
+  EXPECT_EQ(Rows(*engine_, "SELECT SUM(a) FROM t WHERE a > 100"),
+            (std::vector<std::string>{"NULL"}));
+}
+
+TEST_F(ExecutorTest, UncorrelatedExists) {
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 WHERE EXISTS (SELECT 1 FROM t)").size(), 1u);
+  EXPECT_EQ(
+      Rows(*engine_, "SELECT 1 WHERE EXISTS (SELECT 1 FROM t WHERE a > 100)").size(),
+      0u);
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT 1 WHERE NOT EXISTS (SELECT 1 FROM t WHERE a > 100)")
+                .size(),
+            1u);
+}
+
+TEST_F(ExecutorTest, CorrelatedExists) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE marks (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO marks VALUES (2), (4)").ok());
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM marks m WHERE m.a = t.a)"),
+            (std::vector<std::string>{"2", "4"}));
+  EXPECT_EQ(
+      Rows(*engine_,
+           "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM marks m WHERE m.a = t.a)"),
+      (std::vector<std::string>{"1", "3"}));
+}
+
+TEST_F(ExecutorTest, InSubquery) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE pick (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO pick VALUES (1), (4)").ok());
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a IN (SELECT a FROM pick)"),
+            (std::vector<std::string>{"1", "4"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a NOT IN (SELECT a FROM pick)"),
+            (std::vector<std::string>{"2", "3"}));
+}
+
+TEST_F(ExecutorTest, NotInWithNullInSubqueryYieldsNothing) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE pn (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO pn VALUES (1), (NULL)").ok());
+  // x NOT IN (… NULL …) is never TRUE: standard trap, must return 0 rows.
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t WHERE a NOT IN (SELECT a FROM pn)").size(),
+            0u);
+}
+
+TEST_F(ExecutorTest, CtesMaterializeAndCompose) {
+  EXPECT_EQ(Rows(*engine_,
+                 "WITH big AS (SELECT a FROM t WHERE a >= 3), "
+                 "     bigger AS (SELECT a FROM big WHERE a >= 4) "
+                 "SELECT * FROM bigger"),
+            (std::vector<std::string>{"4"}));
+}
+
+TEST_F(ExecutorTest, CteReferencedTwice) {
+  EXPECT_EQ(Rows(*engine_,
+                 "WITH x AS (SELECT a FROM t WHERE a <= 2) "
+                 "SELECT x1.a, x2.a FROM x x1, x x2 WHERE x1.a < x2.a"),
+            (std::vector<std::string>{"1|2"}));
+}
+
+TEST_F(ExecutorTest, SubqueryInFrom) {
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT s.m FROM (SELECT MAX(a) AS m FROM t) AS s"),
+            (std::vector<std::string>{"4"}));
+}
+
+TEST_F(ExecutorTest, CaseExpressions) {
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT CASE WHEN a <= 2 THEN 'small' ELSE 'big' END FROM t"),
+            (std::vector<std::string>{"'big'", "'big'", "'small'", "'small'"}));
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT CASE b WHEN 'x' THEN a ELSE 0 END FROM t"),
+            (std::vector<std::string>{"0", "0", "1", "3"}));
+  // No ELSE, no match: NULL.
+  EXPECT_EQ(Rows(*engine_, "SELECT CASE WHEN a > 100 THEN 1 END FROM t WHERE a = 1"),
+            (std::vector<std::string>{"NULL"}));
+}
+
+TEST_F(ExecutorTest, DivisionSemantics) {
+  EXPECT_EQ(Rows(*engine_, "SELECT 7 / 2"), (std::vector<std::string>{"3"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT 7.0 / 2"), (std::vector<std::string>{"3.5"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT 7 % 3"), (std::vector<std::string>{"1"}));
+  EXPECT_TRUE(engine_->Query("SELECT 1 / 0").status().IsExecutionError());
+}
+
+TEST_F(ExecutorTest, TypeErrorsSurface) {
+  EXPECT_TRUE(engine_->Query("SELECT a + b FROM t").status().IsTypeError());
+  EXPECT_TRUE(engine_->Query("SELECT 1 WHERE 1 < 'x'").status().IsTypeError());
+}
+
+TEST_F(ExecutorTest, BindErrors) {
+  EXPECT_TRUE(engine_->Query("SELECT nope FROM t").status().IsBindError());
+  EXPECT_TRUE(engine_->Query("SELECT a FROM missing").status().IsBindError());
+  EXPECT_TRUE(engine_->Query("SELECT t2.a FROM t").status().IsBindError());
+  // Ambiguous column across factors.
+  EXPECT_TRUE(engine_->Query("SELECT a FROM t t1, t t2").status().IsBindError());
+  // Duplicate alias.
+  EXPECT_TRUE(engine_->Query("SELECT 1 FROM t x, t x").status().IsBindError());
+  // Set op arity mismatch.
+  EXPECT_TRUE(engine_->Query("SELECT 1 UNION ALL SELECT 1, 2").status().IsBindError());
+}
+
+TEST_F(ExecutorTest, PreparedQueryTracksTableContents) {
+  auto prepared = engine_->PrepareQuery("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(prepared.ok());
+  auto r1 = prepared->Run();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->rows[0][0].AsInt64(), 4);
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t VALUES (5, 'w', 5.5)").ok());
+  auto r2 = prepared->Run();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows[0][0].AsInt64(), 5);
+}
+
+TEST_F(ExecutorTest, QueryResultToStringRenders) {
+  auto result = engine_->Query("SELECT a, b FROM t LIMIT 1");
+  ASSERT_TRUE(result.ok());
+  const std::string rendered = result->ToString();
+  EXPECT_NE(rendered.find("a"), std::string::npos);
+  EXPECT_NE(rendered.find("row(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace declsched::sql

@@ -1,0 +1,103 @@
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::sql {
+namespace {
+
+std::vector<Token> MustLex(std::string_view input) {
+  auto result = Lex(input);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  auto tokens = MustLex("select SeLeCt SELECT");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  auto tokens = MustLex("Requests hIsTory _x a1");
+  EXPECT_EQ(tokens[0].text, "Requests");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "hIsTory");
+  EXPECT_EQ(tokens[2].text, "_x");
+  EXPECT_EQ(tokens[3].text, "a1");
+}
+
+TEST(LexerTest, IntegerAndDoubleLiterals) {
+  auto tokens = MustLex("42 1.5 2e3 0.25");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, 1.5);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.25);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = MustLex("'w' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "w");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Lex("'abc").status().IsParseError());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustLex("= <> != < <= > >= + - * / % ( ) , . ;");
+  const TokenType expected[] = {
+      TokenType::kEq,      TokenType::kNe,    TokenType::kNe,
+      TokenType::kLt,      TokenType::kLe,    TokenType::kGt,
+      TokenType::kGe,      TokenType::kPlus,  TokenType::kMinus,
+      TokenType::kStar,    TokenType::kSlash, TokenType::kPercent,
+      TokenType::kLParen,  TokenType::kRParen, TokenType::kComma,
+      TokenType::kDot,     TokenType::kSemicolon};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = MustLex("SELECT -- line comment\n 1 /* block\ncomment */ , 2");
+  ASSERT_EQ(tokens.size(), 5u);  // SELECT 1 , 2 EOF
+  EXPECT_EQ(tokens[1].int_value, 1);
+  EXPECT_EQ(tokens[3].int_value, 2);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentFails) {
+  EXPECT_TRUE(Lex("SELECT /* oops").status().IsParseError());
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = MustLex("SELECT\n\nfoo");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(LexerTest, QuotedIdentifiers) {
+  auto tokens = MustLex("\"Select\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Select");
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_TRUE(Lex("SELECT @").status().IsParseError());
+  EXPECT_TRUE(Lex("a ! b").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace declsched::sql

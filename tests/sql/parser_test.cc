@@ -1,0 +1,206 @@
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::sql {
+namespace {
+
+std::unique_ptr<SelectStmt> MustSelect(const std::string& sql) {
+  auto result = ParseSelect(sql);
+  EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+  return result.ok() ? std::move(result).MoveValue() : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = MustSelect("SELECT 1");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->body->kind, SetOpNode::Kind::kCore);
+  EXPECT_EQ(stmt->body->core->items.size(), 1u);
+  EXPECT_TRUE(stmt->body->core->from.empty());
+}
+
+TEST(ParserTest, SelectListAliases) {
+  auto stmt = MustSelect("SELECT a AS x, b y, c FROM t");
+  const auto& items = stmt->body->core->items;
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].alias, "x");
+  EXPECT_EQ(items[1].alias, "y");
+  EXPECT_EQ(items[2].alias, "");
+}
+
+TEST(ParserTest, QualifiedStarAndStar) {
+  auto stmt = MustSelect("SELECT *, r2.* FROM t r2");
+  const auto& items = stmt->body->core->items;
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].expr->kind, Expr::Kind::kStar);
+  EXPECT_EQ(items[0].expr->qualifier, "");
+  EXPECT_EQ(items[1].expr->kind, Expr::Kind::kStar);
+  EXPECT_EQ(items[1].expr->qualifier, "r2");
+}
+
+TEST(ParserTest, CommaJoinWithAliases) {
+  auto stmt = MustSelect("SELECT 1 FROM requests r, history AS h");
+  const auto& from = stmt->body->core->from;
+  ASSERT_EQ(from.size(), 2u);
+  EXPECT_EQ(from[0]->table_name, "requests");
+  EXPECT_EQ(from[0]->alias, "r");
+  EXPECT_EQ(from[1]->alias, "h");
+}
+
+TEST(ParserTest, LeftJoinWithOn) {
+  auto stmt = MustSelect(
+      "SELECT 1 FROM a LEFT JOIN (SELECT ta FROM h) AS f ON a.ta = f.ta");
+  const auto& from = stmt->body->core->from;
+  ASSERT_EQ(from.size(), 1u);
+  ASSERT_EQ(from[0]->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(from[0]->join_type, TableRef::JoinType::kLeft);
+  EXPECT_EQ(from[0]->right->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(from[0]->right->alias, "f");
+  ASSERT_NE(from[0]->on, nullptr);
+}
+
+TEST(ParserTest, DerivedTableRequiresAlias) {
+  EXPECT_TRUE(ParseSelect("SELECT 1 FROM (SELECT 1)").status().IsParseError());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  // a = 1 OR b = 2 AND c = 3  parses as  a=1 OR ((b=2) AND (c=3))
+  auto stmt = MustSelect("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  const Expr& where = *stmt->body->core->where;
+  ASSERT_EQ(where.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(where.bin_op, BinOp::kOr);
+  EXPECT_EQ(where.children[1]->bin_op, BinOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  // 1 + 2 * 3 => 1 + (2*3)
+  auto stmt = MustSelect("SELECT 1 + 2 * 3");
+  const Expr& e = *stmt->body->core->items[0].expr;
+  ASSERT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.children[1]->bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, NotExistsFoldsIntoExistsNode) {
+  auto stmt = MustSelect("SELECT 1 FROM t WHERE NOT EXISTS (SELECT 1 FROM u)");
+  const Expr& where = *stmt->body->core->where;
+  EXPECT_EQ(where.kind, Expr::Kind::kExists);
+  EXPECT_TRUE(where.negated);
+}
+
+TEST(ParserTest, InListAndInSubquery) {
+  auto stmt = MustSelect("SELECT 1 FROM t WHERE a IN (1, 2, 3) AND b NOT IN (SELECT x FROM u)");
+  const Expr& where = *stmt->body->core->where;
+  ASSERT_EQ(where.bin_op, BinOp::kAnd);
+  EXPECT_EQ(where.children[0]->kind, Expr::Kind::kInList);
+  EXPECT_EQ(where.children[0]->children.size(), 4u);  // tested + 3 items
+  EXPECT_EQ(where.children[1]->kind, Expr::Kind::kInSubquery);
+  EXPECT_TRUE(where.children[1]->negated);
+}
+
+TEST(ParserTest, IsNullAndIsNotNull) {
+  auto stmt = MustSelect("SELECT 1 FROM t WHERE a IS NULL AND b IS NOT NULL");
+  const Expr& where = *stmt->body->core->where;
+  EXPECT_EQ(where.children[0]->kind, Expr::Kind::kIsNull);
+  EXPECT_FALSE(where.children[0]->negated);
+  EXPECT_TRUE(where.children[1]->negated);
+}
+
+TEST(ParserTest, BetweenParses) {
+  auto stmt = MustSelect("SELECT 1 FROM t WHERE a BETWEEN 1 AND 10");
+  EXPECT_EQ(stmt->body->core->where->kind, Expr::Kind::kBetween);
+}
+
+TEST(ParserTest, WithClauseMultipleCtes) {
+  auto stmt = MustSelect(
+      "WITH a AS (SELECT 1), b AS (SELECT 2) SELECT 1 FROM a, b");
+  ASSERT_EQ(stmt->ctes.size(), 2u);
+  EXPECT_EQ(stmt->ctes[0].name, "a");
+  EXPECT_EQ(stmt->ctes[1].name, "b");
+}
+
+TEST(ParserTest, SetOperationsLeftAssociative) {
+  auto stmt = MustSelect("SELECT 1 UNION ALL SELECT 2 EXCEPT SELECT 3");
+  // ((1 UNION ALL 2) EXCEPT 3)
+  ASSERT_EQ(stmt->body->kind, SetOpNode::Kind::kExcept);
+  EXPECT_EQ(stmt->body->left->kind, SetOpNode::Kind::kUnionAll);
+}
+
+TEST(ParserTest, ParenthesizedSetOperations) {
+  auto stmt = MustSelect(
+      "(SELECT 1) EXCEPT ((SELECT 2) UNION ALL (SELECT 3))");
+  ASSERT_EQ(stmt->body->kind, SetOpNode::Kind::kExcept);
+  EXPECT_EQ(stmt->body->right->kind, SetOpNode::Kind::kUnionAll);
+}
+
+TEST(ParserTest, OrderByLimit) {
+  auto stmt = MustSelect("SELECT a FROM t ORDER BY a DESC, b ASC, c LIMIT 10");
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_TRUE(stmt->order_by[0].desc);
+  EXPECT_FALSE(stmt->order_by[1].desc);
+  EXPECT_FALSE(stmt->order_by[2].desc);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, GroupByHaving) {
+  auto stmt = MustSelect(
+      "SELECT ta, COUNT(*) FROM r GROUP BY ta HAVING COUNT(*) > 2");
+  EXPECT_EQ(stmt->body->core->group_by.size(), 1u);
+  ASSERT_NE(stmt->body->core->having, nullptr);
+}
+
+TEST(ParserTest, AggCalls) {
+  auto stmt = MustSelect("SELECT COUNT(*), COUNT(DISTINCT x), SUM(y), MIN(z), MAX(z), AVG(w) FROM t");
+  const auto& items = stmt->body->core->items;
+  ASSERT_EQ(items.size(), 6u);
+  EXPECT_TRUE(items[0].expr->agg_star);
+  EXPECT_TRUE(items[1].expr->agg_distinct);
+  EXPECT_EQ(items[2].expr->agg_func, AggFunc::kSum);
+  EXPECT_EQ(items[5].expr->agg_func, AggFunc::kAvg);
+}
+
+TEST(ParserTest, CaseExpressions) {
+  auto stmt = MustSelect(
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END, "
+      "CASE op WHEN 'r' THEN 1 WHEN 'w' THEN 2 END FROM t");
+  const auto& items = stmt->body->core->items;
+  EXPECT_FALSE(items[0].expr->case_has_operand);
+  EXPECT_TRUE(items[0].expr->case_has_else);
+  EXPECT_TRUE(items[1].expr->case_has_operand);
+  EXPECT_FALSE(items[1].expr->case_has_else);
+}
+
+TEST(ParserTest, DmlStatements) {
+  EXPECT_TRUE(Parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')").ok());
+  EXPECT_TRUE(Parse("INSERT INTO t (a, b) VALUES (1, 2)").ok());
+  EXPECT_TRUE(Parse("INSERT INTO t SELECT * FROM u").ok());
+  EXPECT_TRUE(Parse("UPDATE t SET a = 1, b = b + 1 WHERE c = 2").ok());
+  EXPECT_TRUE(Parse("DELETE FROM t WHERE a = 1").ok());
+  EXPECT_TRUE(Parse("DELETE FROM t").ok());
+  EXPECT_TRUE(Parse("CREATE TABLE t (a INT, b TEXT, c DOUBLE, d VARCHAR(10))").ok());
+  EXPECT_TRUE(Parse("DROP TABLE t").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(Parse("SELECT 1;").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_TRUE(Parse("SELECT 1 garbage garbage").status().IsParseError());
+  EXPECT_TRUE(Parse("SELECT 1; SELECT 2").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorsCarryLineInfo) {
+  auto status = Parse("SELECT 1\nFROM\n").status();
+  ASSERT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("line"), std::string::npos);
+}
+
+TEST(ParserTest, NegativeNumberLiteralsFold) {
+  auto stmt = MustSelect("SELECT -5, -2.5");
+  EXPECT_EQ(stmt->body->core->items[0].expr->kind, Expr::Kind::kLiteral);
+  EXPECT_EQ(stmt->body->core->items[0].expr->literal.AsInt64(), -5);
+  EXPECT_DOUBLE_EQ(stmt->body->core->items[1].expr->literal.AsDouble(), -2.5);
+}
+
+}  // namespace
+}  // namespace declsched::sql

@@ -1,0 +1,197 @@
+// Edge-case battery for the SQL engine: scoping, null semantics, set
+// operations, nested subqueries — the long tail a protocol author will hit.
+
+#include "gtest/gtest.h"
+#include "sql/engine.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace declsched::sql {
+namespace {
+
+using declsched::testing::Rows;
+
+class SqlEdgeCasesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<SqlEngine>(&catalog_);
+    ASSERT_TRUE(engine_->Execute("CREATE TABLE t (a INT, b INT)").ok());
+    ASSERT_TRUE(
+        engine_->Execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, NULL)").ok());
+  }
+  storage::Catalog catalog_;
+  std::unique_ptr<SqlEngine> engine_;
+};
+
+TEST_F(SqlEdgeCasesTest, CteShadowsBaseTable) {
+  // A CTE named like a base table wins resolution.
+  EXPECT_EQ(Rows(*engine_, "WITH t AS (SELECT 99 AS a) SELECT a FROM t"),
+            (std::vector<std::string>{"99"}));
+}
+
+TEST_F(SqlEdgeCasesTest, InnerCteShadowsOuterCte) {
+  EXPECT_EQ(Rows(*engine_,
+                 "WITH x AS (SELECT 1 AS v) "
+                 "SELECT * FROM (WITH x AS (SELECT 2 AS v) SELECT v FROM x) AS d"),
+            (std::vector<std::string>{"2"}));
+}
+
+TEST_F(SqlEdgeCasesTest, NestedWithInsideSubquery) {
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT a FROM t WHERE a IN "
+                 "(WITH picks AS (SELECT 2 AS p) SELECT p FROM picks)"),
+            (std::vector<std::string>{"2"}));
+}
+
+TEST_F(SqlEdgeCasesTest, CorrelatedExistsTwoLevelsDeep) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE u (a INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO u VALUES (1), (3)").ok());
+  // Inner EXISTS references the outermost scope (depth 2).
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE EXISTS "
+                 "(SELECT 1 FROM u u2 WHERE u2.a = t.a))"),
+            (std::vector<std::string>{"1", "3"}));
+}
+
+TEST_F(SqlEdgeCasesTest, GroupByNullFormsItsOwnGroup) {
+  EXPECT_EQ(Rows(*engine_, "SELECT b, COUNT(*) FROM t GROUP BY b"),
+            (std::vector<std::string>{"10|1", "20|1", "NULL|1"}));
+}
+
+TEST_F(SqlEdgeCasesTest, DistinctTreatsNullsAsOneValue) {
+  ASSERT_TRUE(engine_->Execute("INSERT INTO t VALUES (4, NULL)").ok());
+  EXPECT_EQ(Rows(*engine_, "SELECT DISTINCT b FROM t WHERE b IS NULL"),
+            (std::vector<std::string>{"NULL"}));
+}
+
+TEST_F(SqlEdgeCasesTest, AggregatesIgnoreNulls) {
+  EXPECT_EQ(Rows(*engine_, "SELECT COUNT(b), SUM(b), MIN(b), MAX(b) FROM t"),
+            (std::vector<std::string>{"2|30|10|20"}));
+  // COUNT(*) counts rows regardless.
+  EXPECT_EQ(Rows(*engine_, "SELECT COUNT(*) FROM t"),
+            (std::vector<std::string>{"3"}));
+}
+
+TEST_F(SqlEdgeCasesTest, OrderByPutsNullsFirstAscLastDesc) {
+  auto asc = engine_->Query("SELECT b FROM t ORDER BY b");
+  ASSERT_TRUE(asc.ok());
+  EXPECT_TRUE(asc->rows[0][0].is_null());
+  auto desc = engine_->Query("SELECT b FROM t ORDER BY b DESC");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_TRUE(desc->rows[2][0].is_null());
+}
+
+TEST_F(SqlEdgeCasesTest, OrderByIsStable) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE s (k INT, seq INT)").ok());
+  ASSERT_TRUE(engine_->Execute(
+                  "INSERT INTO s VALUES (1, 1), (1, 2), (1, 3), (0, 4)")
+                  .ok());
+  // Dialect note: ORDER BY binds against the output columns, so the key must
+  // be projected.
+  auto result = engine_->Query("SELECT k, seq FROM s ORDER BY k");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Equal keys keep insertion order: 4 first (k=0), then 1,2,3.
+  EXPECT_EQ(result->rows[0][1].AsInt64(), 4);
+  EXPECT_EQ(result->rows[1][1].AsInt64(), 1);
+  EXPECT_EQ(result->rows[2][1].AsInt64(), 2);
+  EXPECT_EQ(result->rows[3][1].AsInt64(), 3);
+}
+
+TEST_F(SqlEdgeCasesTest, ExceptRemovesNullRowsToo) {
+  EXPECT_EQ(Rows(*engine_, "SELECT b FROM t EXCEPT SELECT NULL"),
+            (std::vector<std::string>{"10", "20"}));
+}
+
+TEST_F(SqlEdgeCasesTest, IntersectWithNumericCoercion) {
+  // INT 2 intersects DOUBLE 2.0 (numeric equality).
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t INTERSECT SELECT 2.0"),
+            (std::vector<std::string>{"2"}));
+}
+
+TEST_F(SqlEdgeCasesTest, JoinOnNullKeysProducesNoMatches) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE n1 (v INT)").ok());
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE n2 (v INT)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO n1 VALUES (NULL), (1)").ok());
+  ASSERT_TRUE(engine_->Execute("INSERT INTO n2 VALUES (NULL), (1)").ok());
+  // NULL = NULL is unknown: only the 1-1 pair joins.
+  EXPECT_EQ(Rows(*engine_, "SELECT n1.v FROM n1, n2 WHERE n1.v = n2.v"),
+            (std::vector<std::string>{"1"}));
+}
+
+TEST_F(SqlEdgeCasesTest, LimitZeroAndOverlongLimit) {
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t LIMIT 0").size(), 0u);
+  EXPECT_EQ(Rows(*engine_, "SELECT a FROM t LIMIT 999").size(), 3u);
+}
+
+TEST_F(SqlEdgeCasesTest, UnionDistinctAcrossTypes) {
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 UNION SELECT 1.0 UNION SELECT 2"),
+            (std::vector<std::string>{"1", "2"}));
+}
+
+TEST_F(SqlEdgeCasesTest, SelfJoinWithThreeFactors) {
+  EXPECT_EQ(
+      Rows(*engine_,
+           "SELECT t1.a, t2.a, t3.a FROM t t1, t t2, t t3 "
+           "WHERE t1.a < t2.a AND t2.a < t3.a"),
+      (std::vector<std::string>{"1|2|3"}));
+}
+
+TEST_F(SqlEdgeCasesTest, WhereOnFromlessSelect) {
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 WHERE 2 > 1").size(), 1u);
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 WHERE 1 > 2").size(), 0u);
+  EXPECT_EQ(Rows(*engine_, "SELECT 1 WHERE NULL IS NULL").size(), 1u);
+}
+
+TEST_F(SqlEdgeCasesTest, CaseWithNullOperandMatchesNothing) {
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT CASE b WHEN 10 THEN 'ten' ELSE 'other' END FROM t "
+                 "WHERE a = 3"),
+            (std::vector<std::string>{"'other'"}));
+}
+
+TEST_F(SqlEdgeCasesTest, QuotedIdentifiersResolve) {
+  EXPECT_EQ(Rows(*engine_, "SELECT \"a\" FROM \"t\" WHERE \"a\" = 1"),
+            (std::vector<std::string>{"1"}));
+}
+
+TEST_F(SqlEdgeCasesTest, KeywordsCaseInsensitive) {
+  EXPECT_EQ(Rows(*engine_, "select A from T where A = 1"),
+            (std::vector<std::string>{"1"}));
+}
+
+TEST_F(SqlEdgeCasesTest, AliasVisibleInOrderBy) {
+  auto result = engine_->Query("SELECT a * 10 AS score FROM t ORDER BY score DESC");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].AsInt64(), 30);
+}
+
+TEST_F(SqlEdgeCasesTest, DuplicateColumnNamesInProjectionAllowed) {
+  auto result = engine_->Query("SELECT a, a FROM t WHERE a = 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0].size(), 2u);
+}
+
+TEST_F(SqlEdgeCasesTest, EmptyInputsThroughEveryOperator) {
+  ASSERT_TRUE(engine_->Execute("CREATE TABLE empty1 (x INT)").ok());
+  EXPECT_EQ(Rows(*engine_, "SELECT * FROM empty1").size(), 0u);
+  EXPECT_EQ(Rows(*engine_, "SELECT x, COUNT(*) FROM empty1 GROUP BY x").size(), 0u);
+  EXPECT_EQ(Rows(*engine_, "SELECT COUNT(*) FROM empty1"),
+            (std::vector<std::string>{"0"}));
+  EXPECT_EQ(Rows(*engine_, "SELECT t.a FROM t, empty1").size(), 0u);
+  EXPECT_EQ(Rows(*engine_,
+                 "SELECT t.a, empty1.x FROM t LEFT JOIN empty1 ON t.a = empty1.x")
+                .size(),
+            3u);
+  EXPECT_EQ(Rows(*engine_, "SELECT x FROM empty1 UNION ALL SELECT a FROM t").size(),
+            3u);
+}
+
+TEST_F(SqlEdgeCasesTest, DeeplyNestedParenthesizedSetOps) {
+  EXPECT_EQ(Rows(*engine_,
+                 "((SELECT 1) UNION ALL ((SELECT 2) EXCEPT (SELECT 2))) "
+                 "UNION ALL (SELECT 3)"),
+            (std::vector<std::string>{"1", "3"}));
+}
+
+}  // namespace
+}  // namespace declsched::sql

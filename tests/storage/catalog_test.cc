@@ -1,0 +1,69 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace declsched::storage {
+namespace {
+
+Schema OneCol() { return Schema({{"x", ValueType::kInt64}}); }
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("foo", OneCol());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(catalog.GetTable("foo"), *t);
+  EXPECT_EQ(catalog.GetTable("FOO"), *t);  // case-insensitive
+  EXPECT_EQ(catalog.GetTable("bar"), nullptr);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("foo", OneCol()).ok());
+  EXPECT_EQ(catalog.CreateTable("FOO", OneCol()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DuplicateColumnNamesRejected) {
+  Catalog catalog;
+  Schema bad({{"a", ValueType::kInt64}, {"A", ValueType::kString}});
+  EXPECT_TRUE(catalog.CreateTable("t", bad).status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("foo", OneCol()).ok());
+  ASSERT_TRUE(catalog.DropTable("Foo").ok());
+  EXPECT_EQ(catalog.GetTable("foo"), nullptr);
+  EXPECT_TRUE(catalog.DropTable("foo").IsNotFound());
+}
+
+TEST(CatalogTest, TableNames) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("a", OneCol()).ok());
+  ASSERT_TRUE(catalog.CreateTable("b", OneCol()).ok());
+  auto names = catalog.TableNames();
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({{"Alpha", ValueType::kInt64}, {"beta", ValueType::kString}});
+  EXPECT_EQ(s.FindColumn("alpha"), 0);
+  EXPECT_EQ(s.FindColumn("BETA"), 1);
+  EXPECT_EQ(s.FindColumn("gamma"), -1);
+}
+
+TEST(SchemaTest, TypeCompatible) {
+  Schema a({{"x", ValueType::kInt64}});
+  Schema b({{"y", ValueType::kDouble}});
+  Schema c({{"z", ValueType::kString}});
+  Schema d({{"x", ValueType::kInt64}, {"y", ValueType::kInt64}});
+  EXPECT_TRUE(a.TypeCompatible(b));  // numerics interchange
+  EXPECT_FALSE(a.TypeCompatible(c));
+  EXPECT_FALSE(a.TypeCompatible(d));  // different widths
+}
+
+}  // namespace
+}  // namespace declsched::storage

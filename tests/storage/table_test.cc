@@ -1,0 +1,162 @@
+#include "storage/table.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"name", ValueType::kString},
+                 {"score", ValueType::kDouble}});
+}
+
+Row MakeRow(int64_t id, const std::string& name, double score) {
+  return {Value::Int64(id), Value::String(name), Value::Double(score)};
+}
+
+TEST(TableTest, InsertAndGet) {
+  Table t("t", TestSchema());
+  auto id = t.Insert(MakeRow(1, "a", 0.5));
+  ASSERT_TRUE(id.ok());
+  const Row* row = t.Get(*id);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[0].AsInt64(), 1);
+  EXPECT_EQ((*row)[1].AsString(), "a");
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST(TableTest, InsertRejectsWrongArity) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(t.Insert({Value::Int64(1)}).status().IsInvalidArgument());
+}
+
+TEST(TableTest, InsertRejectsWrongType) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(t.Insert({Value::String("x"), Value::String("a"), Value::Double(0)})
+                  .status()
+                  .IsTypeError());
+}
+
+TEST(TableTest, InsertAcceptsNullAnywhere) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(t.Insert({Value::Null(), Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, InsertAcceptsNumericCoercion) {
+  Table t("t", TestSchema());
+  // Int into double column and vice versa is allowed (dynamic numerics).
+  EXPECT_TRUE(t.Insert({Value::Int64(1), Value::String("a"), Value::Int64(2)}).ok());
+  EXPECT_TRUE(t.Insert({Value::Double(1.0), Value::String("a"), Value::Double(2)}).ok());
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table t("t", TestSchema());
+  RowId a = *t.Insert(MakeRow(1, "a", 1));
+  RowId b = *t.Insert(MakeRow(2, "b", 2));
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.Get(a), nullptr);
+  EXPECT_NE(t.Get(b), nullptr);
+  // Double delete fails.
+  EXPECT_TRUE(t.Delete(a).IsNotFound());
+  EXPECT_TRUE(t.Delete(999).IsNotFound());
+}
+
+TEST(TableTest, UpdateReplacesRow) {
+  Table t("t", TestSchema());
+  RowId a = *t.Insert(MakeRow(1, "a", 1));
+  ASSERT_TRUE(t.Update(a, MakeRow(1, "z", 9)).ok());
+  EXPECT_EQ((*t.Get(a))[1].AsString(), "z");
+  EXPECT_TRUE(t.Update(999, MakeRow(0, "", 0)).IsNotFound());
+}
+
+TEST(TableTest, ScanReturnsLiveRowsInInsertionOrder) {
+  Table t("t", TestSchema());
+  RowId a = *t.Insert(MakeRow(1, "a", 1));
+  t.Insert(MakeRow(2, "b", 2)).ValueOrDie();
+  t.Insert(MakeRow(3, "c", 3)).ValueOrDie();
+  ASSERT_TRUE(t.Delete(a).ok());
+  auto rows = t.Scan();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].AsInt64(), 2);
+  EXPECT_EQ(rows[1][0].AsInt64(), 3);
+}
+
+TEST(TableTest, IndexLookup) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  RowId a = *t.Insert(MakeRow(1, "x", 1));
+  RowId b = *t.Insert(MakeRow(2, "x", 2));
+  t.Insert(MakeRow(3, "y", 3)).ValueOrDie();
+  auto hits = t.IndexLookup(1, Value::String("x"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0], a);
+  EXPECT_EQ((*hits)[1], b);
+  auto misses = t.IndexLookup(1, Value::String("zzz"));
+  ASSERT_TRUE(misses.ok());
+  EXPECT_TRUE(misses->empty());
+}
+
+TEST(TableTest, IndexMaintainedAcrossMutations) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  RowId a = *t.Insert(MakeRow(1, "a", 1));
+  ASSERT_TRUE(t.Update(a, MakeRow(42, "a", 1)).ok());
+  EXPECT_TRUE(t.IndexLookup(0, Value::Int64(1))->empty());
+  EXPECT_EQ(t.IndexLookup(0, Value::Int64(42))->size(), 1u);
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_TRUE(t.IndexLookup(0, Value::Int64(42))->empty());
+}
+
+TEST(TableTest, IndexBuiltOverExistingRows) {
+  Table t("t", TestSchema());
+  t.Insert(MakeRow(7, "a", 1)).ValueOrDie();
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  EXPECT_EQ(t.IndexLookup(0, Value::Int64(7))->size(), 1u);
+}
+
+TEST(TableTest, CreateIndexErrors) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(t.CreateIndex("nope").IsNotFound());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  EXPECT_EQ(t.CreateIndex("id").code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(t.IndexLookup(1, Value::Int64(0)).status().IsInvalidArgument());
+}
+
+TEST(TableTest, DeleteWhere) {
+  Table t("t", TestSchema());
+  for (int i = 0; i < 10; ++i) t.Insert(MakeRow(i, "a", i)).ValueOrDie();
+  const int64_t removed =
+      t.DeleteWhere([](const Row& row) { return row[0].AsInt64() % 2 == 0; });
+  EXPECT_EQ(removed, 5);
+  EXPECT_EQ(t.size(), 5);
+}
+
+TEST(TableTest, ClearKeepsSchemaAndIndexes) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  t.Insert(MakeRow(1, "a", 1)).ValueOrDie();
+  t.Clear();
+  EXPECT_EQ(t.size(), 0);
+  t.Insert(MakeRow(2, "b", 2)).ValueOrDie();
+  EXPECT_EQ(t.IndexLookup(0, Value::Int64(2))->size(), 1u);
+  EXPECT_TRUE(t.IndexLookup(0, Value::Int64(1))->empty());
+}
+
+TEST(TableTest, VacuumCompactsAndReindexes) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  for (int i = 0; i < 100; ++i) t.Insert(MakeRow(i, "a", i)).ValueOrDie();
+  t.DeleteWhere([](const Row& row) { return row[0].AsInt64() < 90; });
+  t.Vacuum();
+  EXPECT_EQ(t.size(), 10);
+  auto hits = t.IndexLookup(0, Value::Int64(95));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*t.Get((*hits)[0]))[0].AsInt64(), 95);
+}
+
+}  // namespace
+}  // namespace declsched::storage

@@ -1,0 +1,73 @@
+#include "storage/value.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::storage {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, Factories) {
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, NumericEqualityAcrossTypes) {
+  EXPECT_TRUE(Value::Int64(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int64(3).Equals(Value::Double(3.5)));
+  EXPECT_TRUE(Value::Double(2.0).Equals(Value::Int64(2)));
+}
+
+TEST(ValueTest, NullEqualsNullOnly) {
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int64(0)));
+  EXPECT_FALSE(Value::Int64(0).Equals(Value::Null()));
+}
+
+TEST(ValueTest, StringsNeverEqualNumbers) {
+  EXPECT_FALSE(Value::String("3").Equals(Value::Int64(3)));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  // Null < numeric < string.
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)), 0);
+  EXPECT_LT(Value::Int64(5).Compare(Value::String("")), 0);
+  EXPECT_GT(Value::String("a").Compare(Value::Double(1e18)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(2).Compare(Value::Int64(1)), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Double(1.5).Compare(Value::Int64(2)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithNumericEquality) {
+  // If Equals is true the hashes must agree, including across int/double.
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace declsched::storage

@@ -1,0 +1,68 @@
+// Shared helpers for declsched test suites.
+
+#ifndef DECLSCHED_TESTS_TEST_UTIL_H_
+#define DECLSCHED_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sql/engine.h"
+#include "storage/catalog.h"
+
+namespace declsched::testing {
+
+/// Renders each result row as "v1|v2|..." and sorts, for order-insensitive
+/// comparison.
+inline std::vector<std::string> RowStrings(const sql::QueryResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::string s;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += "|";
+      s += row[i].ToString();
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Runs `sql` and returns sorted row strings; fails the test on error.
+inline std::vector<std::string> Rows(sql::SqlEngine& engine, const std::string& sql) {
+  auto result = engine.Query(sql);
+  EXPECT_TRUE(result.ok()) << sql << "\n" << result.status().ToString();
+  if (!result.ok()) return {};
+  return RowStrings(*result);
+}
+
+/// Creates the paper's Table 2 relations (`requests`, `history`, both with
+/// ID, TA, INTRATA, OPERATION, OBJECT) in the catalog.
+inline void CreateRequestTables(storage::Catalog* catalog) {
+  using storage::ColumnDef;
+  using storage::Schema;
+  using storage::ValueType;
+  const std::vector<ColumnDef> cols = {
+      {"id", ValueType::kInt64},        {"ta", ValueType::kInt64},
+      {"intrata", ValueType::kInt64},   {"operation", ValueType::kString},
+      {"object", ValueType::kInt64},
+  };
+  ASSERT_TRUE(catalog->CreateTable("requests", Schema(cols)).ok());
+  ASSERT_TRUE(catalog->CreateTable("history", Schema(cols)).ok());
+}
+
+/// Appends a Table 2 row.
+inline void AddOp(storage::Table* table, int64_t id, int64_t ta, int64_t intrata,
+                  const std::string& op, int64_t object) {
+  using storage::Value;
+  auto result = table->Insert({Value::Int64(id), Value::Int64(ta),
+                               Value::Int64(intrata), Value::String(op),
+                               Value::Int64(object)});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+}  // namespace declsched::testing
+
+#endif  // DECLSCHED_TESTS_TEST_UTIL_H_

@@ -1,0 +1,161 @@
+// Randomized stress invariants for the lock manager: across arbitrary
+// request/release interleavings, mutual exclusion holds, grants are only
+// handed to compatible waiters, and draining all transactions always leaves
+// the manager empty (no leaked state, no lost waiters).
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "txn/lock_manager.h"
+
+namespace declsched::txn {
+namespace {
+
+using Outcome = LockManager::AcquireOutcome;
+
+struct StressCase {
+  uint64_t seed;
+  int txns;
+  int objects;
+  double write_fraction;
+};
+
+class LockManagerStressTest : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(LockManagerStressTest, InvariantsHoldUnderRandomTraffic) {
+  const StressCase& param = GetParam();
+  Rng rng(param.seed);
+  LockManager lm;
+
+  // Shadow state for the invariant checks.
+  std::map<TxnId, std::map<ObjectId, LockMode>> held;
+  std::set<TxnId> waiting;
+  std::set<TxnId> live;
+  for (int t = 1; t <= param.txns; ++t) live.insert(t);
+
+  auto deliver = [&](const std::vector<LockManager::Grant>& grants) {
+    for (const auto& grant : grants) {
+      ASSERT_TRUE(waiting.count(grant.txn)) << "grant to a non-waiting txn";
+      waiting.erase(grant.txn);
+      held[grant.txn][grant.object] = grant.mode;
+    }
+  };
+
+  auto check_mutual_exclusion = [&]() {
+    std::map<ObjectId, std::pair<int, int>> counts;  // object -> (S, X)
+    for (const auto& [txn, locks] : held) {
+      for (const auto& [object, mode] : locks) {
+        if (mode == LockMode::kExclusive) {
+          ++counts[object].second;
+        } else {
+          ++counts[object].first;
+        }
+      }
+    }
+    for (const auto& [object, sx] : counts) {
+      ASSERT_LE(sx.second, 1) << "two X holders on object " << object;
+      if (sx.second == 1) {
+        ASSERT_EQ(sx.first, 0) << "S and X holders coexist on " << object;
+      }
+    }
+  };
+
+  const int steps = 400;
+  for (int step = 0; step < steps; ++step) {
+    if (live.empty()) break;  // everyone committed/aborted
+    // Pick a live transaction with no outstanding wait.
+    std::vector<TxnId> ready;
+    for (TxnId t : live) {
+      if (waiting.count(t) == 0) ready.push_back(t);
+    }
+    if (ready.empty()) {
+      // Everyone waits: release a random live txn to unwedge.
+      std::vector<TxnId> all(live.begin(), live.end());
+      const TxnId victim = all[rng.UniformInt(0, all.size() - 1)];
+      deliver(lm.ReleaseAll(victim));
+      held.erase(victim);
+      waiting.erase(victim);
+      live.erase(victim);
+      continue;
+    }
+    const TxnId txn = ready[rng.UniformInt(0, ready.size() - 1)];
+
+    if (rng.Bernoulli(0.15)) {
+      // Commit/abort: release everything.
+      deliver(lm.ReleaseAll(txn));
+      held.erase(txn);
+      live.erase(txn);
+      continue;
+    }
+
+    const ObjectId object = rng.UniformInt(1, param.objects);
+    const LockMode mode = rng.Bernoulli(param.write_fraction)
+                              ? LockMode::kExclusive
+                              : LockMode::kShared;
+    auto result = lm.Request(txn, object, mode);
+    switch (result.outcome) {
+      case Outcome::kGranted:
+        held[txn][object] = mode;
+        break;
+      case Outcome::kAlreadyHeld: {
+        auto it = held[txn].find(object);
+        ASSERT_NE(it, held[txn].end());
+        // Already-held means the existing lock is at least as strong.
+        if (mode == LockMode::kExclusive) {
+          ASSERT_EQ(it->second, LockMode::kExclusive);
+        }
+        break;
+      }
+      case Outcome::kQueued:
+        waiting.insert(txn);
+        break;
+      case Outcome::kDeadlock:
+        // Victim policy: requester aborts.
+        deliver(lm.ReleaseAll(txn));
+        held.erase(txn);
+        live.erase(txn);
+        break;
+    }
+    check_mutual_exclusion();
+
+    // The manager's view must agree with the shadow state.
+    for (const auto& [holder, locks] : held) {
+      for (const auto& [obj, m] : locks) {
+        ASSERT_TRUE(lm.Holds(holder, obj, m))
+            << "txn " << holder << " should hold " << obj;
+      }
+    }
+  }
+
+  // Drain: releasing every transaction must empty the manager.
+  while (!live.empty()) {
+    const TxnId txn = *live.begin();
+    deliver(lm.ReleaseAll(txn));
+    held.erase(txn);
+    waiting.erase(txn);
+    live.erase(txn);
+  }
+  EXPECT_EQ(lm.num_locked_objects(), 0);
+  EXPECT_EQ(lm.num_waiting_txns(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LockManagerStressTest,
+    ::testing::Values(StressCase{1, 8, 5, 0.5},    // hot, mixed
+                      StressCase{2, 8, 5, 1.0},    // hot, all writes
+                      StressCase{3, 20, 50, 0.3},  // moderate
+                      StressCase{4, 20, 50, 0.7},
+                      StressCase{5, 40, 10, 0.5},  // many txns, few objects
+                      StressCase{6, 4, 2, 0.9},    // tiny, brutal
+                      StressCase{7, 30, 500, 0.2},  // sparse
+                      StressCase{8, 16, 16, 0.5}),
+    [](const ::testing::TestParamInfo<StressCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_t" +
+             std::to_string(info.param.txns) + "_o" +
+             std::to_string(info.param.objects);
+    });
+
+}  // namespace
+}  // namespace declsched::txn

@@ -1,0 +1,188 @@
+#include "txn/lock_manager.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::txn {
+namespace {
+
+using Outcome = LockManager::AcquireOutcome;
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, 100, LockMode::kShared).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.Request(2, 100, LockMode::kShared).outcome, Outcome::kGranted);
+  EXPECT_TRUE(lm.Holds(1, 100, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, 100, LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksEverything) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, 100, LockMode::kExclusive).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.Request(2, 100, LockMode::kShared).outcome, Outcome::kQueued);
+  EXPECT_TRUE(lm.IsWaiting(2));
+  EXPECT_EQ(lm.Request(3, 100, LockMode::kExclusive).outcome, Outcome::kQueued);
+  EXPECT_EQ(lm.num_waiting_txns(), 2);
+}
+
+TEST(LockManagerTest, ReacquisitionIsAlreadyHeld) {
+  LockManager lm;
+  EXPECT_EQ(lm.Request(1, 5, LockMode::kShared).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.Request(1, 5, LockMode::kShared).outcome, Outcome::kAlreadyHeld);
+  EXPECT_EQ(lm.Request(1, 5, LockMode::kExclusive).outcome, Outcome::kGranted);  // upgrade
+  EXPECT_EQ(lm.Request(1, 5, LockMode::kExclusive).outcome, Outcome::kAlreadyHeld);
+  EXPECT_EQ(lm.Request(1, 5, LockMode::kShared).outcome, Outcome::kAlreadyHeld);
+}
+
+TEST(LockManagerTest, ReleaseGrantsFifo) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  ASSERT_EQ(lm.Request(3, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  auto grants = lm.ReleaseAll(1);
+  ASSERT_EQ(grants.size(), 1u);  // only the head of the queue is granted
+  EXPECT_EQ(grants[0].txn, 2);
+  EXPECT_TRUE(lm.Holds(2, 9, LockMode::kExclusive));
+  EXPECT_TRUE(lm.IsWaiting(3));
+  grants = lm.ReleaseAll(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 3);
+}
+
+TEST(LockManagerTest, ReleaseGrantsMultipleSharedReaders) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 9, LockMode::kShared).outcome, Outcome::kQueued);
+  ASSERT_EQ(lm.Request(3, 9, LockMode::kShared).outcome, Outcome::kQueued);
+  auto grants = lm.ReleaseAll(1);
+  ASSERT_EQ(grants.size(), 2u);  // both readers wake together
+  EXPECT_TRUE(lm.Holds(2, 9, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(3, 9, LockMode::kShared));
+}
+
+TEST(LockManagerTest, FifoFairnessWriterNotStarved) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  // A later reader must queue behind the writer, not jump it.
+  EXPECT_EQ(lm.Request(3, 9, LockMode::kShared).outcome, Outcome::kQueued);
+  auto grants = lm.ReleaseAll(1);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 2);
+}
+
+TEST(LockManagerTest, UpgradeGrantedWhenSoleHolder) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.Request(1, 9, LockMode::kExclusive).outcome, Outcome::kGranted);
+  EXPECT_TRUE(lm.Holds(1, 9, LockMode::kExclusive));
+  // Still a single held object.
+  EXPECT_EQ(lm.num_held(1), 1);
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.Request(1, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  auto grants = lm.ReleaseAll(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 1);
+  EXPECT_TRUE(lm.Holds(1, 9, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeJumpsQueue) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(3, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  // 1's upgrade goes ahead of 3's queued X request.
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  auto grants = lm.ReleaseAll(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 1);
+  EXPECT_TRUE(lm.Holds(1, 9, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, SimpleDeadlockDetected) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 100, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 200, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(1, 200, LockMode::kExclusive).outcome, Outcome::kQueued);
+  auto result = lm.Request(2, 100, LockMode::kExclusive);
+  EXPECT_EQ(result.outcome, Outcome::kDeadlock);
+  EXPECT_FALSE(result.cycle.empty());
+  EXPECT_EQ(lm.total_deadlocks(), 1);
+  // The victim (requester) aborts: everything unwinds.
+  auto grants = lm.ReleaseAll(2);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 1);
+}
+
+TEST(LockManagerTest, ThreeWayDeadlockDetected) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 100, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 200, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(3, 300, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(1, 200, LockMode::kExclusive).outcome, Outcome::kQueued);
+  ASSERT_EQ(lm.Request(2, 300, LockMode::kExclusive).outcome, Outcome::kQueued);
+  EXPECT_EQ(lm.Request(3, 100, LockMode::kExclusive).outcome, Outcome::kDeadlock);
+}
+
+TEST(LockManagerTest, SharedReadersNoFalseDeadlock) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 100, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 100, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(1, 200, LockMode::kShared).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.Request(2, 200, LockMode::kShared).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.total_deadlocks(), 0);
+}
+
+TEST(LockManagerTest, UpgradeDeadlockDetected) {
+  // Two readers both upgrading on the same object is the classic
+  // upgrade-deadlock: detected when the second one requests.
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 9, LockMode::kShared).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  EXPECT_EQ(lm.Request(2, 9, LockMode::kExclusive).outcome, Outcome::kDeadlock);
+}
+
+TEST(LockManagerTest, ReleaseAllRemovesQueuedRequest) {
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 9, LockMode::kExclusive).outcome, Outcome::kGranted);
+  ASSERT_EQ(lm.Request(2, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  ASSERT_EQ(lm.Request(3, 9, LockMode::kExclusive).outcome, Outcome::kQueued);
+  // 2 aborts while waiting; 3 moves up but is still blocked by 1.
+  auto grants = lm.ReleaseAll(2);
+  EXPECT_TRUE(grants.empty());
+  EXPECT_FALSE(lm.IsWaiting(2));
+  grants = lm.ReleaseAll(1);
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0].txn, 3);
+}
+
+TEST(LockManagerTest, CountersTrackUsage) {
+  LockManager lm;
+  lm.Request(1, 1, LockMode::kShared);
+  lm.Request(1, 2, LockMode::kShared);
+  EXPECT_EQ(lm.num_held(1), 2);
+  EXPECT_EQ(lm.num_locked_objects(), 2);
+  EXPECT_EQ(lm.total_acquires(), 2);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.num_held(1), 0);
+  EXPECT_EQ(lm.num_locked_objects(), 0);
+}
+
+TEST(LockManagerTest, StrictScheduleViaHoldUntilRelease) {
+  // Strict 2PL: locks survive until ReleaseAll, so a second writer can never
+  // slip in between.
+  LockManager lm;
+  ASSERT_EQ(lm.Request(1, 7, LockMode::kExclusive).outcome, Outcome::kGranted);
+  EXPECT_EQ(lm.Request(2, 7, LockMode::kShared).outcome, Outcome::kQueued);
+  EXPECT_TRUE(lm.Holds(1, 7, LockMode::kExclusive));
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.Holds(2, 7, LockMode::kShared));
+}
+
+}  // namespace
+}  // namespace declsched::txn

@@ -1,0 +1,124 @@
+#include "txn/serializability.h"
+
+#include "gtest/gtest.h"
+
+namespace declsched::txn {
+namespace {
+
+HistoryOp R(TxnId t, ObjectId o) { return {t, OpType::kRead, o}; }
+HistoryOp W(TxnId t, ObjectId o) { return {t, OpType::kWrite, o}; }
+HistoryOp C(TxnId t) { return {t, OpType::kCommit, 0}; }
+HistoryOp A(TxnId t) { return {t, OpType::kAbort, 0}; }
+
+TEST(SerializabilityTest, EmptyHistoryIsSerializable) {
+  auto result = CheckConflictSerializable({});
+  EXPECT_TRUE(result.serializable);
+}
+
+TEST(SerializabilityTest, SerialHistoryIsSerializable) {
+  auto result = CheckConflictSerializable(
+      {R(1, 10), W(1, 10), C(1), R(2, 10), W(2, 10), C(2)});
+  EXPECT_TRUE(result.serializable);
+  ASSERT_EQ(result.serial_order.size(), 2u);
+}
+
+TEST(SerializabilityTest, InterleavedNonConflictingIsSerializable) {
+  auto result = CheckConflictSerializable(
+      {R(1, 10), R(2, 20), W(1, 11), W(2, 21), C(1), C(2)});
+  EXPECT_TRUE(result.serializable);
+}
+
+TEST(SerializabilityTest, ClassicLostUpdateCycle) {
+  // r1[x] r2[x] w1[x] w2[x]: T1 -> T2 (r1 before w2) and T2 -> T1 (r2 before w1).
+  auto result = CheckConflictSerializable(
+      {R(1, 10), R(2, 10), W(1, 10), W(2, 10), C(1), C(2)});
+  EXPECT_FALSE(result.serializable);
+  ASSERT_GE(result.cycle.size(), 3u);
+  EXPECT_EQ(result.cycle.front(), result.cycle.back());
+}
+
+TEST(SerializabilityTest, AbortedTransactionsIgnored) {
+  // Same lost-update shape but T2 aborted: committed projection is clean.
+  auto result = CheckConflictSerializable(
+      {R(1, 10), R(2, 10), W(1, 10), W(2, 10), C(1), A(2)});
+  EXPECT_TRUE(result.serializable);
+}
+
+TEST(SerializabilityTest, UncommittedTransactionsIgnored) {
+  auto result =
+      CheckConflictSerializable({R(1, 10), R(2, 10), W(1, 10), W(2, 10), C(1)});
+  EXPECT_TRUE(result.serializable);
+}
+
+TEST(SerializabilityTest, WriteWriteConflictOrder) {
+  // w1[x] w2[x] w2[y] w1[y]: T1->T2 on x, T2->T1 on y = cycle.
+  auto result =
+      CheckConflictSerializable({W(1, 1), W(2, 1), W(2, 2), W(1, 2), C(1), C(2)});
+  EXPECT_FALSE(result.serializable);
+}
+
+TEST(SerializabilityTest, ReadsDoNotConflict) {
+  auto result =
+      CheckConflictSerializable({R(1, 1), R(2, 1), R(1, 2), R(2, 2), C(1), C(2)});
+  EXPECT_TRUE(result.serializable);
+}
+
+TEST(SerializabilityTest, SerialOrderRespectsConflicts) {
+  // T2 reads what T1 wrote: T1 must precede T2 in any equivalent serial order.
+  auto result = CheckConflictSerializable({W(1, 5), C(1), R(2, 5), C(2)});
+  ASSERT_TRUE(result.serializable);
+  auto pos = [&](TxnId t) {
+    for (size_t i = 0; i < result.serial_order.size(); ++i) {
+      if (result.serial_order[i] == t) return i;
+    }
+    return size_t{999};
+  };
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(StrictnessTest, CleanHistoryIsStrict) {
+  std::string why;
+  EXPECT_TRUE(CheckStrict({W(1, 1), C(1), R(2, 1), W(2, 1), C(2)}, &why)) << why;
+}
+
+TEST(StrictnessTest, DirtyReadViolatesStrictness) {
+  std::string why;
+  EXPECT_FALSE(CheckStrict({W(1, 1), R(2, 1), C(1), C(2)}, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(StrictnessTest, DirtyWriteViolatesStrictness) {
+  std::string why;
+  EXPECT_FALSE(CheckStrict({W(1, 1), W(2, 1), C(1), C(2)}, &why));
+}
+
+TEST(StrictnessTest, AbortClearsDirtyFlag) {
+  std::string why;
+  EXPECT_TRUE(CheckStrict({W(1, 1), A(1), W(2, 1), C(2)}, &why)) << why;
+}
+
+TEST(StrictnessTest, OwnRewritesAllowed) {
+  std::string why;
+  EXPECT_TRUE(CheckStrict({W(1, 1), R(1, 1), W(1, 1), C(1)}, &why)) << why;
+}
+
+TEST(RigorousTest, WriteAfterLiveReadRejected) {
+  std::string why;
+  // T1 read x; T2 writes x before T1 finishes: not rigorous (though strict).
+  EXPECT_TRUE(CheckStrict({R(1, 1), W(2, 1), C(2), C(1)}, &why)) << why;
+  EXPECT_FALSE(CheckRigorous({R(1, 1), W(2, 1), C(2), C(1)}, &why));
+}
+
+TEST(RigorousTest, SS2plStyleHistoryAccepted) {
+  std::string why;
+  EXPECT_TRUE(CheckRigorous({R(1, 1), W(1, 2), C(1), R(2, 1), W(2, 1), C(2)}, &why))
+      << why;
+}
+
+TEST(RigorousTest, OwnWriteAfterOwnReadAllowed) {
+  std::string why;
+  EXPECT_TRUE(CheckRigorous({R(1, 1), W(1, 1), C(1)}, &why)) << why;
+}
+
+}  // namespace
+}  // namespace declsched::txn

@@ -1,0 +1,140 @@
+#include "workload/oltp_generator.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "workload/zipf.h"
+
+namespace declsched::workload {
+namespace {
+
+TEST(OltpGeneratorTest, PaperWorkloadShape) {
+  WorkloadConfig config;  // defaults = the paper's workload
+  OltpWorkloadGenerator gen(config, 1);
+  TxnSpec txn = gen.NextTransaction();
+  ASSERT_EQ(txn.ops.size(), 40u);
+  int reads = 0, writes = 0;
+  for (const OpSpec& op : txn.ops) {
+    (op.is_write ? writes : reads)++;
+    EXPECT_GE(op.object, 0);
+    EXPECT_LT(op.object, 100000);
+  }
+  EXPECT_EQ(reads, 20);
+  EXPECT_EQ(writes, 20);
+}
+
+TEST(OltpGeneratorTest, DistinctObjectsWithinTransaction) {
+  WorkloadConfig config;
+  config.num_objects = 50;  // tight space forces the dedup path
+  config.reads_per_txn = 20;
+  config.writes_per_txn = 20;
+  OltpWorkloadGenerator gen(config, 2);
+  for (int t = 0; t < 20; ++t) {
+    TxnSpec txn = gen.NextTransaction();
+    std::unordered_set<int64_t> seen;
+    for (const OpSpec& op : txn.ops) {
+      EXPECT_TRUE(seen.insert(op.object).second) << "duplicate object";
+    }
+  }
+}
+
+TEST(OltpGeneratorTest, NonDistinctAllowsRepeats) {
+  WorkloadConfig config;
+  config.num_objects = 3;
+  config.reads_per_txn = 10;
+  config.writes_per_txn = 0;
+  config.distinct_objects = false;
+  OltpWorkloadGenerator gen(config, 3);
+  TxnSpec txn = gen.NextTransaction();  // 10 draws from 3 must repeat
+  std::unordered_set<int64_t> seen;
+  for (const OpSpec& op : txn.ops) seen.insert(op.object);
+  EXPECT_LT(seen.size(), txn.ops.size());
+}
+
+TEST(OltpGeneratorTest, ReadsFirstOrder) {
+  WorkloadConfig config;
+  config.reads_per_txn = 3;
+  config.writes_per_txn = 2;
+  config.order = WorkloadConfig::OpOrder::kReadsFirst;
+  OltpWorkloadGenerator gen(config, 4);
+  TxnSpec txn = gen.NextTransaction();
+  ASSERT_EQ(txn.ops.size(), 5u);
+  EXPECT_FALSE(txn.ops[0].is_write);
+  EXPECT_FALSE(txn.ops[1].is_write);
+  EXPECT_FALSE(txn.ops[2].is_write);
+  EXPECT_TRUE(txn.ops[3].is_write);
+  EXPECT_TRUE(txn.ops[4].is_write);
+}
+
+TEST(OltpGeneratorTest, AlternatingOrder) {
+  WorkloadConfig config;
+  config.reads_per_txn = 3;
+  config.writes_per_txn = 3;
+  config.order = WorkloadConfig::OpOrder::kAlternating;
+  OltpWorkloadGenerator gen(config, 5);
+  TxnSpec txn = gen.NextTransaction();
+  for (size_t i = 0; i < txn.ops.size(); ++i) {
+    EXPECT_EQ(txn.ops[i].is_write, i % 2 == 1) << i;
+  }
+}
+
+TEST(OltpGeneratorTest, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  OltpWorkloadGenerator a(config, 99), b(config, 99);
+  for (int t = 0; t < 5; ++t) {
+    TxnSpec ta = a.NextTransaction();
+    TxnSpec tb = b.NextTransaction();
+    ASSERT_EQ(ta.ops.size(), tb.ops.size());
+    for (size_t i = 0; i < ta.ops.size(); ++i) {
+      EXPECT_EQ(ta.ops[i].object, tb.ops[i].object);
+      EXPECT_EQ(ta.ops[i].is_write, tb.ops[i].is_write);
+    }
+  }
+}
+
+TEST(OltpGeneratorTest, SlaClassesFollowGeometricWeights) {
+  WorkloadConfig config;
+  config.num_sla_classes = 2;  // weights 1 : 0.5 => ~2/3 premium
+  OltpWorkloadGenerator gen(config, 6);
+  int premium = 0;
+  const int n = 3000;
+  for (int t = 0; t < n; ++t) {
+    if (gen.NextTransaction().sla_class == 0) ++premium;
+  }
+  EXPECT_NEAR(static_cast<double>(premium) / n, 2.0 / 3.0, 0.05);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 50);
+}
+
+TEST(ZipfTest, HighThetaSkewsToHead) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(2);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next(rng) < 10) ++head;
+  }
+  // With theta=0.99 the top 1% of keys draw a large share of accesses.
+  EXPECT_GT(static_cast<double>(head) / n, 0.3);
+}
+
+TEST(ZipfTest, ValuesStayInRange) {
+  ZipfGenerator zipf(50, 0.9);
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = zipf.Next(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+}  // namespace
+}  // namespace declsched::workload
