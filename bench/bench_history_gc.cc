@@ -60,12 +60,13 @@ int main() {
     Rng rng(17);
     AddCommittedGarbage(&store, garbage_txns, &next_id, &next_ta, &rng);
 
-    CompiledProtocol protocol =
-        Unwrap(CompiledProtocol::Compile(Ss2plSql(), &store), "compile");
+    std::unique_ptr<Protocol> protocol =
+        Unwrap(ProtocolFactory::Global().Compile(Ss2plSql(), &store), "compile");
+    const ScheduleContext context{&store, SimTime()};
     // Warm-up + measure.
-    Unwrap(protocol.Schedule(), "schedule");
+    Unwrap(protocol->Schedule(context), "schedule");
     const int64_t t0 = WallMicros();
-    for (int rep = 0; rep < 3; ++rep) Unwrap(protocol.Schedule(), "schedule");
+    for (int rep = 0; rep < 3; ++rep) Unwrap(protocol->Schedule(context), "schedule");
     const double query_ms = (WallMicros() - t0) / 3.0 / 1000.0;
 
     const int64_t rows = store.history_count();

@@ -48,7 +48,9 @@ int main() {
   for (int64_t objects : {100, 1000}) {
     RunWith("ss2pl-sql", Ss2plSql(), objects);
     RunWith("ss2pl-datalog", Ss2plDatalog(), objects);
+    RunWith("ss2pl-native", Ss2plNative(), objects);
     RunWith("read-committed-sql", ReadCommittedSql(), objects);
+    RunWith("composed-rc-edf", ComposedReadCommittedEdf(), objects);
     RunWith("fcfs-sql", FcfsSql(), objects);
     std::printf("\n");
   }

@@ -19,11 +19,12 @@ void RunProtocol(benchmark::State& state, const ProtocolSpec& spec) {
   const int clients = static_cast<int>(state.range(0));
   RequestStore store;
   FillSteadyState(&store, clients, /*ops_in_history=*/20, /*seed=*/1);
-  CompiledProtocol protocol =
-      Unwrap(CompiledProtocol::Compile(spec, &store), "compile");
+  std::unique_ptr<Protocol> protocol =
+      Unwrap(ProtocolFactory::Global().Compile(spec, &store), "compile");
+  const ScheduleContext context{&store, SimTime()};
   int64_t qualified = 0;
   for (auto _ : state) {
-    auto batch = protocol.Schedule();
+    auto batch = protocol->Schedule(context);
     if (!batch.ok()) {
       state.SkipWithError(batch.status().ToString().c_str());
       return;
@@ -39,6 +40,9 @@ void BM_Ss2plSql(benchmark::State& state) { RunProtocol(state, Ss2plSql()); }
 void BM_Ss2plDatalog(benchmark::State& state) {
   RunProtocol(state, Ss2plDatalog());
 }
+void BM_Ss2plNative(benchmark::State& state) {
+  RunProtocol(state, Ss2plNative());
+}
 void BM_ReadCommittedSql(benchmark::State& state) {
   RunProtocol(state, ReadCommittedSql());
 }
@@ -50,6 +54,7 @@ void BM_ReadCommittedDatalog(benchmark::State& state) {
 
 BENCHMARK(BM_Ss2plSql)->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Ss2plDatalog)->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ss2plNative)->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReadCommittedSql)->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ReadCommittedDatalog)
     ->Arg(100)

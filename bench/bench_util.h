@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "scheduler/declarative_scheduler.h"
 #include "scheduler/request_store.h"
 
 namespace declsched::bench {
@@ -71,6 +72,31 @@ inline void FillSteadyState(scheduler::RequestStore* store, int clients,
   Check(store->InsertPending(history), "insert history");
   Check(store->MarkScheduled(history), "move history");
   Check(store->InsertPending(pending), "insert pending");
+}
+
+/// One scheduling cycle of `spec` on the steady state above plus one fresh
+/// queued request per client, with GC and deadlock detection off (pure
+/// protocol-evaluation cost). The shared measurement of the overhead
+/// benches — keep them on the same workload.
+inline scheduler::CycleStats MeasureSteadyStateCycle(
+    const scheduler::ProtocolSpec& spec, int clients) {
+  scheduler::DeclarativeScheduler::Options options;
+  options.protocol = spec;
+  options.deadlock_detection = false;
+  options.history_gc = false;
+  scheduler::DeclarativeScheduler sched(std::move(options), nullptr);
+  Check(sched.Init(), "init");
+  FillSteadyState(sched.store(), clients, /*ops_in_history=*/20, /*seed=*/7);
+  Rng rng(11);
+  for (int c = 0; c < clients; ++c) {
+    scheduler::Request r;
+    r.ta = clients + c + 1;
+    r.intrata = 1;
+    r.op = rng.Bernoulli(0.5) ? txn::OpType::kRead : txn::OpType::kWrite;
+    r.object = rng.UniformInt(0, 99999);
+    sched.Submit(r, SimTime());
+  }
+  return Unwrap(sched.RunCycle(SimTime()), "steady-state cycle");
 }
 
 }  // namespace declsched::bench

@@ -60,22 +60,29 @@ int main() {
   std::printf("=== One scenario, every protocol ===\n\n");
   std::printf("History: T1 wrote row 10, read row 20 (still active).\n"
               "Pending: r2[10] w3[20] r4[30](premium) w5[30](free) r6[20]\n\n");
-  std::printf("%-24s %-40s\n", "protocol", "dispatch order");
+  std::printf("%-26s %-40s\n", "protocol", "dispatch order");
+
+  std::string backends;
+  for (const std::string& backend : ProtocolFactory::Global().Backends()) {
+    if (!backends.empty()) backends += ", ";
+    backends += backend;
+  }
+  std::printf("(registered backends: %s)\n\n", backends.c_str());
 
   for (const std::string& name : ProtocolRegistry::BuiltIns().Names()) {
     auto spec = ProtocolRegistry::BuiltIns().Get(name);
     if (!spec.ok()) continue;
     RequestStore store;
     FillScenario(&store);
-    auto compiled = CompiledProtocol::Compile(*spec, &store);
+    auto compiled = ProtocolFactory::Global().Compile(*spec, &store);
     if (!compiled.ok()) {
-      std::printf("%-24s compile error: %s\n", name.c_str(),
+      std::printf("%-26s compile error: %s\n", name.c_str(),
                   compiled.status().ToString().c_str());
       continue;
     }
-    auto batch = compiled->Schedule();
+    auto batch = (*compiled)->Schedule(ScheduleContext{&store, SimTime()});
     if (!batch.ok()) {
-      std::printf("%-24s error: %s\n", name.c_str(),
+      std::printf("%-26s error: %s\n", name.c_str(),
                   batch.status().ToString().c_str());
       continue;
     }
@@ -84,7 +91,7 @@ int main() {
       if (!order.empty()) order += "  ";
       order += r.ToString();
     }
-    std::printf("%-24s %s\n", name.c_str(), order.empty() ? "(nothing)" : order.c_str());
+    std::printf("%-26s %s\n", name.c_str(), order.empty() ? "(nothing)" : order.c_str());
   }
 
   std::printf("\n=== Declarative deadlock detection ===\n%s\n",

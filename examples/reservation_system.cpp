@@ -50,7 +50,7 @@ int main() {
   ProtocolSpec booking;
   booking.name = "hotel-booking";
   booking.description = "stale reads allowed; bookings serialize per room";
-  booking.language = ProtocolSpec::Language::kDatalog;
+  booking.backend = "datalog";
   booking.text = kBookingProtocol;
 
   ProtocolRegistry registry = ProtocolRegistry::BuiltIns();

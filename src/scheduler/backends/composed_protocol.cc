@@ -1,0 +1,203 @@
+#include "scheduler/backends/composed_protocol.h"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "scheduler/backends/native_protocol.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+class FilterStage : public ProtocolStage {
+ public:
+  enum class Kind { kSs2pl, kReadCommitted, kNone };
+
+  explicit FilterStage(Kind kind) : kind_(kind) {}
+
+  Result<RequestBatch> Apply(const ScheduleContext& context,
+                             RequestBatch batch) const override {
+    if (kind_ == Kind::kNone) return batch;
+    const LockTable locks = BuildLockTable(context.store);
+    // Pending-pending conflicts are judged against the store's complete
+    // pending set, not the incoming batch: an earlier stage may have
+    // dropped the older conflicting request from the batch, but it is
+    // still pending and still blocks — age ordering must not weaken just
+    // because a cap or rank stage ran first.
+    DS_ASSIGN_OR_RETURN(RequestBatch all_pending, context.store->AllPending());
+    return kind_ == Kind::kSs2pl
+               ? FilterSs2pl(locks, batch, &all_pending)
+               : FilterReadCommitted(locks, batch, &all_pending);
+  }
+
+ private:
+  Kind kind_;
+};
+
+class RankStage : public ProtocolStage {
+ public:
+  enum class Kind { kFcfs, kPriority, kEdf };
+
+  explicit RankStage(Kind kind) : kind_(kind) {}
+
+  Result<RequestBatch> Apply(const ScheduleContext&,
+                             RequestBatch batch) const override {
+    switch (kind_) {
+      case Kind::kFcfs:
+        RankById(&batch);
+        break;
+      case Kind::kPriority:
+        RankByPriority(&batch);
+        break;
+      case Kind::kEdf:
+        RankByDeadline(&batch);
+        break;
+    }
+    return batch;
+  }
+
+  bool DefinesOrder() const override { return true; }
+
+ private:
+  Kind kind_;
+};
+
+class CapStage : public ProtocolStage {
+ public:
+  explicit CapStage(int64_t limit) : limit_(limit) {}
+
+  Result<RequestBatch> Apply(const ScheduleContext&,
+                             RequestBatch batch) const override {
+    if (static_cast<int64_t>(batch.size()) > limit_) {
+      batch.resize(static_cast<size_t>(limit_));
+    }
+    return batch;
+  }
+
+ private:
+  int64_t limit_;
+};
+
+Result<std::unique_ptr<ProtocolStage>> BuildFilter(const std::string& arg) {
+  if (arg == "ss2pl") {
+    return std::unique_ptr<ProtocolStage>(new FilterStage(FilterStage::Kind::kSs2pl));
+  }
+  if (arg == "read-committed") {
+    return std::unique_ptr<ProtocolStage>(
+        new FilterStage(FilterStage::Kind::kReadCommitted));
+  }
+  if (arg == "none") {
+    return std::unique_ptr<ProtocolStage>(new FilterStage(FilterStage::Kind::kNone));
+  }
+  return Status::BindError("unknown filter '" + arg +
+                           "' (want ss2pl, read-committed, or none)");
+}
+
+Result<std::unique_ptr<ProtocolStage>> BuildRank(const std::string& arg) {
+  if (arg == "fcfs") {
+    return std::unique_ptr<ProtocolStage>(new RankStage(RankStage::Kind::kFcfs));
+  }
+  if (arg == "priority") {
+    return std::unique_ptr<ProtocolStage>(new RankStage(RankStage::Kind::kPriority));
+  }
+  if (arg == "edf") {
+    return std::unique_ptr<ProtocolStage>(new RankStage(RankStage::Kind::kEdf));
+  }
+  return Status::BindError("unknown rank '" + arg +
+                           "' (want fcfs, priority, or edf)");
+}
+
+Result<std::unique_ptr<ProtocolStage>> BuildCap(const std::string& arg) {
+  char* end = nullptr;
+  const long long limit = std::strtoll(arg.c_str(), &end, 10);
+  if (arg.empty() || end == nullptr || *end != '\0' || limit <= 0) {
+    return Status::BindError("cap needs a positive integer, got '" + arg + "'");
+  }
+  return std::unique_ptr<ProtocolStage>(new CapStage(limit));
+}
+
+std::map<std::string, StageBuilder>& StageRegistry() {
+  static std::map<std::string, StageBuilder>* registry = [] {
+    auto* r = new std::map<std::string, StageBuilder>();
+    (*r)["filter"] = BuildFilter;
+    (*r)["rank"] = BuildRank;
+    (*r)["cap"] = BuildCap;
+    return r;
+  }();
+  return *registry;
+}
+
+class ComposedProtocol : public Protocol {
+ public:
+  ComposedProtocol(ProtocolSpec spec,
+                   std::vector<std::unique_ptr<ProtocolStage>> stages)
+      : Protocol(std::move(spec)), stages_(std::move(stages)) {}
+
+  Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
+    DS_ASSIGN_OR_RETURN(RequestBatch batch, context.store->AllPending());
+    for (const auto& stage : stages_) {
+      DS_ASSIGN_OR_RETURN(batch, stage->Apply(context, std::move(batch)));
+    }
+    return batch;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ProtocolStage>> stages_;
+};
+
+}  // namespace
+
+Status RegisterStage(const std::string& kind, StageBuilder builder) {
+  if (kind.empty() || builder == nullptr) {
+    return Status::InvalidArgument("stage kind and builder must be set");
+  }
+  if (!StageRegistry().emplace(kind, std::move(builder)).second) {
+    return Status::AlreadyExists("stage kind already registered: " + kind);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> StageKinds() {
+  std::vector<std::string> kinds;
+  for (const auto& [kind, builder] : StageRegistry()) kinds.push_back(kind);
+  return kinds;
+}
+
+Result<std::unique_ptr<Protocol>> CompileComposedProtocol(
+    const ProtocolSpec& spec, RequestStore* /*store*/) {
+  std::vector<std::unique_ptr<ProtocolStage>> stages;
+  bool ordered = false;
+  for (const std::string& piece : Split(spec.text, '|')) {
+    const std::string descriptor(Trim(piece));
+    if (descriptor.empty()) continue;
+    const size_t colon = descriptor.find(':');
+    const std::string kind = descriptor.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : std::string(Trim(descriptor.substr(colon + 1)));
+    auto it = StageRegistry().find(std::string(Trim(kind)));
+    if (it == StageRegistry().end()) {
+      return Status::BindError(StrFormat("protocol %s: unknown stage kind '%s'",
+                                         spec.name.c_str(), kind.c_str()));
+    }
+    auto stage = it->second(arg);
+    if (!stage.ok()) {
+      return Status::BindError(StrFormat("protocol %s: stage '%s': %s",
+                                         spec.name.c_str(), descriptor.c_str(),
+                                         stage.status().message().c_str()));
+    }
+    ordered = ordered || (*stage)->DefinesOrder();
+    stages.push_back(std::move(*stage));
+  }
+  if (stages.empty()) {
+    return Status::BindError(StrFormat("protocol %s: empty stage pipeline",
+                                       spec.name.c_str()));
+  }
+  ProtocolSpec resolved = spec;
+  resolved.ordered = resolved.ordered || ordered;
+  return std::unique_ptr<Protocol>(
+      new ComposedProtocol(std::move(resolved), std::move(stages)));
+}
+
+}  // namespace declsched::scheduler

@@ -1,0 +1,53 @@
+#include "scheduler/backends/datalog_protocol.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "datalog/engine.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+class DatalogProtocol : public Protocol {
+ public:
+  DatalogProtocol(ProtocolSpec spec, datalog::DatalogProgram program)
+      : Protocol(std::move(spec)), program_(std::move(program)) {}
+
+  Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
+    DS_ASSIGN_OR_RETURN(datalog::Database result,
+                        program_.Evaluate(context.store->BuildDatalogEdb()));
+    RequestBatch batch;
+    const datalog::Relation& rel = result.at(spec_.datalog_output);
+    batch.reserve(rel.size());
+    for (const storage::Row& row : rel) {
+      DS_ASSIGN_OR_RETURN(Request request, context.store->RowToRequest(row));
+      batch.push_back(std::move(request));
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const Request& a, const Request& b) { return a.id < b.id; });
+    return batch;
+  }
+
+ private:
+  datalog::DatalogProgram program_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Protocol>> CompileDatalogProtocol(
+    const ProtocolSpec& spec, RequestStore* /*store*/) {
+  DS_ASSIGN_OR_RETURN(datalog::DatalogProgram program,
+                      datalog::DatalogProgram::Create(spec.text));
+  // The output relation must be derived and have the Table 2 arity.
+  const auto& idb = program.idb_predicates();
+  if (std::find(idb.begin(), idb.end(), spec.datalog_output) == idb.end()) {
+    return Status::BindError(StrFormat("protocol %s: program does not derive '%s'",
+                                       spec.name.c_str(),
+                                       spec.datalog_output.c_str()));
+  }
+  return std::unique_ptr<Protocol>(new DatalogProtocol(spec, std::move(program)));
+}
+
+}  // namespace declsched::scheduler

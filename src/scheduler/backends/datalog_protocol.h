@@ -1,0 +1,20 @@
+// Datalog backend: the protocol text is a stratified Datalog program over
+// the req/hist EDB relations; the spec's datalog_output names the derived
+// relation of qualified requests (paper Section 5's "more succinct
+// language").
+
+#ifndef DECLSCHED_SCHEDULER_BACKENDS_DATALOG_PROTOCOL_H_
+#define DECLSCHED_SCHEDULER_BACKENDS_DATALOG_PROTOCOL_H_
+
+#include <memory>
+
+#include "scheduler/protocol.h"
+
+namespace declsched::scheduler {
+
+Result<std::unique_ptr<Protocol>> CompileDatalogProtocol(
+    const ProtocolSpec& spec, RequestStore* store);
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_BACKENDS_DATALOG_PROTOCOL_H_

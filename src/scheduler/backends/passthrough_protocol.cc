@@ -1,0 +1,23 @@
+#include "scheduler/backends/passthrough_protocol.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+class PassthroughProtocol : public Protocol {
+ public:
+  explicit PassthroughProtocol(ProtocolSpec spec) : Protocol(std::move(spec)) {}
+
+  Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
+    return context.store->AllPending();
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Protocol>> CompilePassthroughProtocol(
+    const ProtocolSpec& spec, RequestStore* /*store*/) {
+  return std::unique_ptr<Protocol>(new PassthroughProtocol(spec));
+}
+
+}  // namespace declsched::scheduler

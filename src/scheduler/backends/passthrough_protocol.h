@@ -1,0 +1,18 @@
+// Passthrough backend: the paper's non-scheduling mode (Section 3.3, last
+// paragraph). Every pending request qualifies, in id order.
+
+#ifndef DECLSCHED_SCHEDULER_BACKENDS_PASSTHROUGH_PROTOCOL_H_
+#define DECLSCHED_SCHEDULER_BACKENDS_PASSTHROUGH_PROTOCOL_H_
+
+#include <memory>
+
+#include "scheduler/protocol.h"
+
+namespace declsched::scheduler {
+
+Result<std::unique_ptr<Protocol>> CompilePassthroughProtocol(
+    const ProtocolSpec& spec, RequestStore* store);
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_BACKENDS_PASSTHROUGH_PROTOCOL_H_

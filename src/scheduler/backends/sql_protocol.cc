@@ -1,0 +1,82 @@
+#include "scheduler/backends/sql_protocol.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "sql/engine.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+class SqlProtocol : public Protocol {
+ public:
+  SqlProtocol(ProtocolSpec spec, RequestStore* bound_store,
+              sql::PreparedQuery prepared, std::vector<int> cols)
+      : Protocol(std::move(spec)),
+        bound_store_(bound_store),
+        prepared_(std::move(prepared)),
+        cols_(std::move(cols)) {}
+
+  Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
+    // The prepared plan reads the compile-time store's relations; silently
+    // answering for a different context store would mix two stores' data.
+    if (context.store != bound_store_) {
+      return Status::InvalidArgument(
+          "protocol " + spec_.name +
+          ": scheduled against a different store than it was compiled for");
+    }
+    DS_ASSIGN_OR_RETURN(sql::QueryResult result, prepared_.Run());
+    RequestBatch batch;
+    batch.reserve(result.rows.size());
+    for (const storage::Row& row : result.rows) {
+      storage::Row core = {row[cols_[0]], row[cols_[1]], row[cols_[2]],
+                           row[cols_[3]], row[cols_[4]]};
+      DS_ASSIGN_OR_RETURN(Request request, context.store->RowToRequest(core));
+      batch.push_back(std::move(request));
+    }
+    if (!spec_.ordered) {
+      std::sort(batch.begin(), batch.end(),
+                [](const Request& a, const Request& b) { return a.id < b.id; });
+    }
+    return batch;
+  }
+
+ private:
+  RequestStore* bound_store_;
+  sql::PreparedQuery prepared_;
+  // Column positions of (id, ta, intrata, operation, object) in the SQL
+  // result schema.
+  std::vector<int> cols_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Protocol>> CompileSqlProtocol(const ProtocolSpec& spec,
+                                                     RequestStore* store) {
+  DS_ASSIGN_OR_RETURN(sql::PreparedQuery prepared,
+                      store->sql_engine()->PrepareQuery(spec.text));
+  // Map the Table 2 columns by name in the result schema.
+  const sql::OutSchema& schema = prepared.schema();
+  std::vector<int> cols;
+  for (const char* name : {"id", "ta", "intrata", "operation", "object"}) {
+    int found = -1;
+    for (int i = 0; i < static_cast<int>(schema.size()); ++i) {
+      if (EqualsIgnoreCase(schema[i].name, name)) {
+        found = i;
+        break;
+      }
+    }
+    if (found < 0) {
+      return Status::BindError(StrFormat("protocol %s: result lacks column '%s'",
+                                         spec.name.c_str(), name));
+    }
+    cols.push_back(found);
+  }
+  return std::unique_ptr<Protocol>(
+      new SqlProtocol(spec, store, std::move(prepared), std::move(cols)));
+}
+
+}  // namespace declsched::scheduler

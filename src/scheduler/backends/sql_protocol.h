@@ -1,0 +1,19 @@
+// SQL backend: the protocol text is a SELECT over the requests/history
+// relations (paper Listing 1 style), prepared once at compile time and
+// re-run every cycle against the store's current contents.
+
+#ifndef DECLSCHED_SCHEDULER_BACKENDS_SQL_PROTOCOL_H_
+#define DECLSCHED_SCHEDULER_BACKENDS_SQL_PROTOCOL_H_
+
+#include <memory>
+
+#include "scheduler/protocol.h"
+
+namespace declsched::scheduler {
+
+Result<std::unique_ptr<Protocol>> CompileSqlProtocol(const ProtocolSpec& spec,
+                                                     RequestStore* store);
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_BACKENDS_SQL_PROTOCOL_H_

@@ -20,10 +20,13 @@ DeclarativeScheduler::DeclarativeScheduler(Options options,
                                            server::DatabaseServer* server)
     : options_(std::move(options)), server_(server), trigger_(options_.trigger) {}
 
+const ProtocolFactory& DeclarativeScheduler::factory() const {
+  return options_.factory != nullptr ? *options_.factory
+                                     : ProtocolFactory::Global();
+}
+
 Status DeclarativeScheduler::Init() {
-  DS_ASSIGN_OR_RETURN(CompiledProtocol compiled,
-                      CompiledProtocol::Compile(options_.protocol, &store_));
-  compiled_.emplace(std::move(compiled));
+  DS_ASSIGN_OR_RETURN(protocol_, factory().Compile(options_.protocol, &store_));
   if (options_.deadlock_detection) {
     DS_ASSIGN_OR_RETURN(DeadlockResolver resolver, DeadlockResolver::Create());
     resolver_.emplace(std::move(resolver));
@@ -47,9 +50,9 @@ bool DeclarativeScheduler::ShouldFire(SimTime now) const {
 }
 
 Status DeclarativeScheduler::SwitchProtocol(const ProtocolSpec& spec) {
-  DS_ASSIGN_OR_RETURN(CompiledProtocol compiled,
-                      CompiledProtocol::Compile(spec, &store_));
-  compiled_.emplace(std::move(compiled));
+  DS_ASSIGN_OR_RETURN(std::unique_ptr<Protocol> compiled,
+                      factory().Compile(spec, &store_));
+  protocol_ = std::move(compiled);
   options_.protocol = spec;
   return Status::OK();
 }
@@ -88,7 +91,7 @@ Status DeclarativeScheduler::AbortTransaction(txn::TxnId ta, SimTime now) {
 }
 
 Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
-  DS_CHECK(compiled_.has_value());  // Init() was called
+  DS_CHECK(protocol_ != nullptr);  // Init() was called
   CycleStats stats;
   const int64_t cycle_start = NowMicros();
 
@@ -103,7 +106,8 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
 
   // 2. Run the declarative protocol.
   const int64_t query_start = NowMicros();
-  DS_ASSIGN_OR_RETURN(RequestBatch qualified, compiled_->Schedule());
+  DS_ASSIGN_OR_RETURN(RequestBatch qualified,
+                      protocol_->Schedule(ScheduleContext{&store_, now}));
   stats.query_us = NowMicros() - query_start;
   if (options_.max_dispatch_per_cycle > 0 &&
       static_cast<int64_t>(qualified.size()) > options_.max_dispatch_per_cycle) {

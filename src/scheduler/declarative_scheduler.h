@@ -70,6 +70,10 @@ class DeclarativeScheduler {
     /// <= 0 means unlimited. With an ordered protocol the cap keeps the
     /// highest-ranked requests (SLA admission).
     int64_t max_dispatch_per_cycle = 0;
+    /// Factory that resolves protocol backends; null means the process-wide
+    /// ProtocolFactory::Global(). Supply one to drive the scheduler with
+    /// backends that are not registered globally.
+    const ProtocolFactory* factory = nullptr;
 
     Options() : protocol(Ss2plSql()) {}
   };
@@ -95,11 +99,15 @@ class DeclarativeScheduler {
   /// Runs one full scheduling cycle.
   Result<CycleStats> RunCycle(SimTime now);
 
-  /// Swaps the active protocol at runtime (recompiles; pending requests are
-  /// preserved). This is the paper's flexibility claim made concrete.
+  /// Swaps the active protocol at runtime (recompiles through the factory;
+  /// pending requests are preserved). This is the paper's flexibility claim
+  /// made concrete — and it works across backends: SQL to Datalog to native
+  /// to composed.
   Status SwitchProtocol(const ProtocolSpec& spec);
 
   const ProtocolSpec& protocol() const;
+  /// The compiled protocol instance (null before Init()).
+  const Protocol* active_protocol() const { return protocol_.get(); }
   /// Requests dispatched by the most recent cycle, in dispatch order.
   const RequestBatch& last_dispatched() const { return last_dispatched_; }
   /// Transactions aborted by the most recent cycle's deadlock resolution.
@@ -110,6 +118,9 @@ class DeclarativeScheduler {
   int64_t queue_size() const { return queue_.size(); }
 
  private:
+  /// The factory protocols compile through (Options override or Global()).
+  const ProtocolFactory& factory() const;
+
   /// Injects an abort marker for a victim transaction and drops its pending
   /// requests.
   Status AbortTransaction(txn::TxnId ta, SimTime now);
@@ -119,7 +130,7 @@ class DeclarativeScheduler {
   IncomingQueue queue_;
   RequestStore store_;
   TriggerPolicy trigger_;
-  std::optional<CompiledProtocol> compiled_;
+  std::unique_ptr<Protocol> protocol_;
   std::optional<DeadlockResolver> resolver_;
   RequestBatch last_dispatched_;
   std::vector<txn::TxnId> last_victims_;

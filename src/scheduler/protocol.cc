@@ -1,110 +1,84 @@
 #include "scheduler/protocol.h"
 
-#include <algorithm>
-
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "scheduler/backends/composed_protocol.h"
+#include "scheduler/backends/datalog_protocol.h"
+#include "scheduler/backends/native_protocol.h"
+#include "scheduler/backends/passthrough_protocol.h"
+#include "scheduler/backends/sql_protocol.h"
 
 namespace declsched::scheduler {
 
 int ProtocolSpec::CodeSize() const {
-  if (language == Language::kPassthrough) return 0;
+  if (backend == "passthrough" || backend == "native") return 0;
+  if (backend == "composed") {
+    int stages = 0;
+    for (const std::string& stage : Split(text, '|')) {
+      if (!Trim(stage).empty()) ++stages;
+    }
+    return stages;
+  }
   int count = 0;
   for (const std::string& raw : Split(text, '\n')) {
     const std::string_view line = Trim(raw);
     if (line.empty()) continue;
-    if (language == Language::kSql && line.substr(0, 2) == "--") continue;
-    if (language == Language::kDatalog && line[0] == '%') continue;
+    if (backend == "sql" && line.substr(0, 2) == "--") continue;
+    if (backend == "datalog" && line[0] == '%') continue;
     ++count;
   }
   return count;
 }
 
-Result<CompiledProtocol> CompiledProtocol::Compile(ProtocolSpec spec,
-                                                   RequestStore* store) {
-  CompiledProtocol compiled(std::move(spec), store);
-  switch (compiled.spec_.language) {
-    case ProtocolSpec::Language::kPassthrough:
-      return compiled;
-    case ProtocolSpec::Language::kSql: {
-      DS_ASSIGN_OR_RETURN(sql::PreparedQuery prepared,
-                          store->sql_engine()->PrepareQuery(compiled.spec_.text));
-      // Map the Table 2 columns by name in the result schema.
-      const sql::OutSchema& schema = prepared.schema();
-      for (const char* name : {"id", "ta", "intrata", "operation", "object"}) {
-        int found = -1;
-        for (int i = 0; i < static_cast<int>(schema.size()); ++i) {
-          if (EqualsIgnoreCase(schema[i].name, name)) {
-            found = i;
-            break;
-          }
-        }
-        if (found < 0) {
-          return Status::BindError(
-              StrFormat("protocol %s: result lacks column '%s'",
-                        compiled.spec_.name.c_str(), name));
-        }
-        compiled.sql_cols_.push_back(found);
-      }
-      compiled.sql_.emplace(std::move(prepared));
-      return compiled;
-    }
-    case ProtocolSpec::Language::kDatalog: {
-      DS_ASSIGN_OR_RETURN(datalog::DatalogProgram program,
-                          datalog::DatalogProgram::Create(compiled.spec_.text));
-      // The output relation must be derived and have the Table 2 arity.
-      const auto& idb = program.idb_predicates();
-      if (std::find(idb.begin(), idb.end(), compiled.spec_.datalog_output) ==
-          idb.end()) {
-        return Status::BindError(
-            StrFormat("protocol %s: program does not derive '%s'",
-                      compiled.spec_.name.c_str(),
-                      compiled.spec_.datalog_output.c_str()));
-      }
-      compiled.datalog_ = std::make_shared<const datalog::DatalogProgram>(
-          std::move(program));
-      return compiled;
-    }
-  }
-  return Status::Internal("unhandled protocol language");
+ProtocolFactory& ProtocolFactory::Global() {
+  static ProtocolFactory* factory = [] {
+    auto* f = new ProtocolFactory();
+    DS_CHECK_OK(f->RegisterBackend("sql", CompileSqlProtocol));
+    DS_CHECK_OK(f->RegisterBackend("datalog", CompileDatalogProtocol));
+    DS_CHECK_OK(f->RegisterBackend("passthrough", CompilePassthroughProtocol));
+    DS_CHECK_OK(f->RegisterBackend("native", CompileNativeProtocol));
+    DS_CHECK_OK(f->RegisterBackend("composed", CompileComposedProtocol));
+    return f;
+  }();
+  return *factory;
 }
 
-Result<RequestBatch> CompiledProtocol::Schedule() const {
-  switch (spec_.language) {
-    case ProtocolSpec::Language::kPassthrough:
-      return store_->AllPending();
-    case ProtocolSpec::Language::kSql: {
-      DS_ASSIGN_OR_RETURN(sql::QueryResult result, sql_->Run());
-      RequestBatch batch;
-      batch.reserve(result.rows.size());
-      for (const storage::Row& row : result.rows) {
-        storage::Row core = {row[sql_cols_[0]], row[sql_cols_[1]],
-                             row[sql_cols_[2]], row[sql_cols_[3]],
-                             row[sql_cols_[4]]};
-        DS_ASSIGN_OR_RETURN(Request request, store_->RowToRequest(core));
-        batch.push_back(std::move(request));
-      }
-      if (!spec_.ordered) {
-        std::sort(batch.begin(), batch.end(),
-                  [](const Request& a, const Request& b) { return a.id < b.id; });
-      }
-      return batch;
-    }
-    case ProtocolSpec::Language::kDatalog: {
-      DS_ASSIGN_OR_RETURN(datalog::Database result,
-                          datalog_->Evaluate(store_->BuildDatalogEdb()));
-      RequestBatch batch;
-      const datalog::Relation& rel = result.at(spec_.datalog_output);
-      batch.reserve(rel.size());
-      for (const storage::Row& row : rel) {
-        DS_ASSIGN_OR_RETURN(Request request, store_->RowToRequest(row));
-        batch.push_back(std::move(request));
-      }
-      std::sort(batch.begin(), batch.end(),
-                [](const Request& a, const Request& b) { return a.id < b.id; });
-      return batch;
-    }
+Status ProtocolFactory::RegisterBackend(const std::string& backend,
+                                        CompileFn compile) {
+  if (backend.empty()) {
+    return Status::InvalidArgument("backend name must be non-empty");
   }
-  return Status::Internal("unhandled protocol language");
+  if (compile == nullptr) {
+    return Status::InvalidArgument("backend compile function must be set");
+  }
+  if (!backends_.emplace(backend, std::move(compile)).second) {
+    return Status::AlreadyExists("backend already registered: " + backend);
+  }
+  return Status::OK();
+}
+
+bool ProtocolFactory::HasBackend(const std::string& backend) const {
+  return backends_.count(backend) > 0;
+}
+
+std::vector<std::string> ProtocolFactory::Backends() const {
+  std::vector<std::string> names;
+  names.reserve(backends_.size());
+  for (const auto& [name, fn] : backends_) names.push_back(name);
+  return names;
+}
+
+Result<std::unique_ptr<Protocol>> ProtocolFactory::Compile(
+    const ProtocolSpec& spec, RequestStore* store) const {
+  if (store == nullptr) {
+    return Status::InvalidArgument("protocol compilation needs a RequestStore");
+  }
+  auto it = backends_.find(spec.backend);
+  if (it == backends_.end()) {
+    return Status::NotFound(StrFormat("protocol %s: no backend named '%s'",
+                                      spec.name.c_str(), spec.backend.c_str()));
+  }
+  return it->second(spec, store);
 }
 
 }  // namespace declsched::scheduler

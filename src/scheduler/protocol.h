@@ -1,65 +1,110 @@
-// Scheduling protocols as data: a protocol is declarative text (SQL or
-// Datalog) evaluated over the pending/history relations. Swapping protocols
-// is a runtime operation — the flexibility the paper contrasts against
-// hand-coded schedulers.
+// Scheduling protocols as data behind a pluggable backend API.
+//
+// A ProtocolSpec is the declarative description of a scheduling protocol
+// (its text plus which backend evaluates it); a Protocol is that spec
+// compiled against one RequestStore. Backends are registered by name in a
+// ProtocolFactory, so new evaluation strategies — another query language, a
+// hand-coded native scheduler, a stage pipeline — plug in without touching
+// the scheduler. Swapping protocols is still a runtime operation — the
+// flexibility the paper contrasts against hand-coded schedulers — but the
+// hand-coded scheduler is now itself a backend behind the same interface
+// (the paper's Figure 2 comparison point, benchmarkable through one API).
 
 #ifndef DECLSCHED_SCHEDULER_PROTOCOL_H_
 #define DECLSCHED_SCHEDULER_PROTOCOL_H_
 
+#include <functional>
+#include <map>
 #include <memory>
-#include <optional>
 #include <string>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
-#include "datalog/engine.h"
 #include "scheduler/request_store.h"
-#include "sql/engine.h"
 
 namespace declsched::scheduler {
 
-struct ProtocolSpec {
-  enum class Language { kSql, kDatalog, kPassthrough };
+/// Everything a backend may consult when evaluating one scheduling cycle.
+/// Today that is the request store plus the cycle's simulated time; new
+/// fields extend every backend at once without signature churn.
+struct ScheduleContext {
+  RequestStore* store = nullptr;
+  SimTime now;
+};
 
+/// The declarative description of a scheduling protocol. `backend` names the
+/// evaluation strategy in the ProtocolFactory; `text` is backend-specific:
+/// a SQL SELECT, a Datalog program, a native variant name ("ss2pl", "edf",
+/// ...), or a composed stage pipeline ("filter:ss2pl | rank:edf | cap:16").
+struct ProtocolSpec {
   std::string name;
   std::string description;
-  Language language = Language::kPassthrough;
-  /// SQL SELECT or Datalog program text; unused for passthrough.
+  std::string backend = "passthrough";
   std::string text;
   /// Datalog: the derived relation holding qualified requests
   /// (id, ta, intrata, operation, object).
   std::string datalog_output = "qualified";
   /// If true, the protocol's result order is the dispatch order (SLA/EDF
-  /// protocols ORDER BY priority/deadline); otherwise dispatch is by id.
+  /// protocols rank by priority/deadline); otherwise dispatch is by id.
   bool ordered = false;
 
   /// Size metric for the paper's Section 3.4 productivity comparison:
-  /// non-empty, non-comment lines (SQL) or rules (Datalog).
+  /// non-empty, non-comment lines (SQL), rules (Datalog), stages (composed).
+  /// Zero for backends without declarative text (passthrough, native).
   int CodeSize() const;
 };
 
-/// A protocol compiled against one RequestStore (prepared SQL plan or
-/// stratified Datalog program). Compile once, Schedule() every cycle.
-class CompiledProtocol {
+/// A protocol compiled against one RequestStore. Compile once via the
+/// factory, Schedule() every cycle, always with a context naming the store
+/// it was compiled against (backends may bind compile-time state, e.g. a
+/// prepared SQL plan, to that store).
+class Protocol {
  public:
-  static Result<CompiledProtocol> Compile(ProtocolSpec spec, RequestStore* store);
+  virtual ~Protocol() = default;
 
   /// Evaluates the protocol over the store's current pending/history
   /// contents; returns the qualified requests in dispatch order.
-  Result<RequestBatch> Schedule() const;
+  virtual Result<RequestBatch> Schedule(const ScheduleContext& context) const = 0;
 
   const ProtocolSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  bool ordered() const { return spec_.ordered; }
 
- private:
-  CompiledProtocol(ProtocolSpec spec, RequestStore* store)
-      : spec_(std::move(spec)), store_(store) {}
+ protected:
+  explicit Protocol(ProtocolSpec spec) : spec_(std::move(spec)) {}
 
   ProtocolSpec spec_;
-  RequestStore* store_;
-  std::optional<sql::PreparedQuery> sql_;
-  // Column positions of (id, ta, intrata, operation, object) in the SQL
-  // result schema.
-  std::vector<int> sql_cols_;
-  std::shared_ptr<const datalog::DatalogProgram> datalog_;
+};
+
+/// Registry of protocol backends, keyed by backend name. `Global()` comes
+/// pre-loaded with the built-ins (sql, datalog, passthrough, native,
+/// composed); custom backends register a compile function:
+///
+///   factory.RegisterBackend("mydsl",
+///       [](const ProtocolSpec& spec, RequestStore* store)
+///           -> Result<std::unique_ptr<Protocol>> { ... });
+class ProtocolFactory {
+ public:
+  using CompileFn = std::function<Result<std::unique_ptr<Protocol>>(
+      const ProtocolSpec& spec, RequestStore* store)>;
+
+  /// The process-wide factory with every built-in backend registered.
+  static ProtocolFactory& Global();
+
+  /// An empty factory (no backends); useful for tests and sandboxing.
+  ProtocolFactory() = default;
+
+  Status RegisterBackend(const std::string& backend, CompileFn compile);
+  bool HasBackend(const std::string& backend) const;
+  std::vector<std::string> Backends() const;
+
+  /// Compiles `spec` with the backend it names against `store`.
+  Result<std::unique_ptr<Protocol>> Compile(const ProtocolSpec& spec,
+                                            RequestStore* store) const;
+
+ private:
+  std::map<std::string, CompileFn> backends_;
 };
 
 }  // namespace declsched::scheduler

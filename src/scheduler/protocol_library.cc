@@ -1,6 +1,7 @@
 #include "scheduler/protocol_library.h"
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace declsched::scheduler {
 
@@ -123,7 +124,7 @@ ProtocolSpec Ss2plSql() {
   ProtocolSpec spec;
   spec.name = "ss2pl-sql";
   spec.description = "Strong 2PL as SQL (paper Listing 1); serializable";
-  spec.language = ProtocolSpec::Language::kSql;
+  spec.backend = "sql";
   spec.text = std::string(kSs2plCtes) + kSs2plFinal;
   return spec;
 }
@@ -132,7 +133,7 @@ ProtocolSpec Ss2plDatalog() {
   ProtocolSpec spec;
   spec.name = "ss2pl-datalog";
   spec.description = "Strong 2PL as Datalog rules; serializable";
-  spec.language = ProtocolSpec::Language::kDatalog;
+  spec.backend = "datalog";
   spec.text = kSs2plDatalog;
   return spec;
 }
@@ -141,7 +142,7 @@ ProtocolSpec FcfsSql() {
   ProtocolSpec spec;
   spec.name = "fcfs-sql";
   spec.description = "FCFS, no consistency control (every request qualifies)";
-  spec.language = ProtocolSpec::Language::kSql;
+  spec.backend = "sql";
   spec.text = "SELECT * FROM requests ORDER BY id";
   spec.ordered = true;
   return spec;
@@ -151,7 +152,7 @@ ProtocolSpec SlaPrioritySql() {
   ProtocolSpec spec;
   spec.name = "sla-priority-sql";
   spec.description = "SS2PL-safe, premium-tier requests dispatched first";
-  spec.language = ProtocolSpec::Language::kSql;
+  spec.backend = "sql";
   spec.text = std::string(kSs2plCtes) + kSlaFinal;
   spec.ordered = true;
   return spec;
@@ -161,7 +162,7 @@ ProtocolSpec EdfSql() {
   ProtocolSpec spec;
   spec.name = "edf-sql";
   spec.description = "SS2PL-safe, earliest-deadline-first dispatch";
-  spec.language = ProtocolSpec::Language::kSql;
+  spec.backend = "sql";
   spec.text = std::string(kSs2plCtes) + kEdfFinal;
   spec.ordered = true;
   return spec;
@@ -171,7 +172,7 @@ ProtocolSpec ReadCommittedSql() {
   ProtocolSpec spec;
   spec.name = "read-committed-sql";
   spec.description = "Relaxed: readers never block; write locks only";
-  spec.language = ProtocolSpec::Language::kSql;
+  spec.backend = "sql";
   spec.text = kReadCommittedSql;
   return spec;
 }
@@ -180,7 +181,7 @@ ProtocolSpec ReadCommittedDatalog() {
   ProtocolSpec spec;
   spec.name = "read-committed-datalog";
   spec.description = "Relaxed read-committed as Datalog rules";
-  spec.language = ProtocolSpec::Language::kDatalog;
+  spec.backend = "datalog";
   spec.text = kReadCommittedDatalog;
   return spec;
 }
@@ -189,15 +190,92 @@ ProtocolSpec Passthrough() {
   ProtocolSpec spec;
   spec.name = "passthrough";
   spec.description = "Non-scheduling mode: forward everything immediately";
-  spec.language = ProtocolSpec::Language::kPassthrough;
+  spec.backend = "passthrough";
+  return spec;
+}
+
+namespace {
+
+ProtocolSpec NativeSpec(const char* name, const char* variant,
+                        const char* description, bool ordered) {
+  ProtocolSpec spec;
+  spec.name = name;
+  spec.description = description;
+  spec.backend = "native";
+  spec.text = variant;
+  spec.ordered = ordered;
+  return spec;
+}
+
+}  // namespace
+
+ProtocolSpec Ss2plNative() {
+  return NativeSpec("ss2pl-native", "ss2pl",
+                    "Strong 2PL hand-coded in C++ (Figure 2's scheduler)",
+                    /*ordered=*/false);
+}
+
+ProtocolSpec FcfsNative() {
+  return NativeSpec("fcfs-native", "fcfs",
+                    "FCFS hand-coded in C++, no consistency control",
+                    /*ordered=*/true);
+}
+
+ProtocolSpec SlaPriorityNative() {
+  return NativeSpec("sla-priority-native", "sla-priority",
+                    "SS2PL-safe, premium-first dispatch, hand-coded in C++",
+                    /*ordered=*/true);
+}
+
+ProtocolSpec EdfNative() {
+  return NativeSpec("edf-native", "edf",
+                    "SS2PL-safe, earliest-deadline-first, hand-coded in C++",
+                    /*ordered=*/true);
+}
+
+ProtocolSpec ReadCommittedNative() {
+  return NativeSpec("read-committed-native", "read-committed",
+                    "Relaxed read-committed hand-coded in C++",
+                    /*ordered=*/false);
+}
+
+ProtocolSpec ComposedReadCommittedEdf(int64_t cap) {
+  ProtocolSpec spec;
+  spec.name = cap > 0 ? StrFormat("composed-rc-edf-cap%lld",
+                                  static_cast<long long>(cap))
+                      : "composed-rc-edf";
+  spec.description =
+      "Composed: read-committed filter, EDF ranking, admission cap";
+  spec.backend = "composed";
+  spec.text = "filter:read-committed | rank:edf";
+  if (cap > 0) {
+    spec.text += StrFormat(" | cap:%lld", static_cast<long long>(cap));
+  }
+  return spec;
+}
+
+ProtocolSpec ComposedSs2plPriority(int64_t cap) {
+  ProtocolSpec spec;
+  spec.name = cap > 0 ? StrFormat("composed-ss2pl-priority-cap%lld",
+                                  static_cast<long long>(cap))
+                      : "composed-ss2pl-priority";
+  spec.description =
+      "Composed: SS2PL filter, priority ranking, admission cap";
+  spec.backend = "composed";
+  spec.text = "filter:ss2pl | rank:priority";
+  if (cap > 0) {
+    spec.text += StrFormat(" | cap:%lld", static_cast<long long>(cap));
+  }
   return spec;
 }
 
 ProtocolRegistry ProtocolRegistry::BuiltIns() {
   ProtocolRegistry registry;
   for (const ProtocolSpec& spec :
-       {Ss2plSql(), Ss2plDatalog(), FcfsSql(), SlaPrioritySql(), EdfSql(),
-        ReadCommittedSql(), ReadCommittedDatalog(), Passthrough()}) {
+       {Ss2plSql(), Ss2plDatalog(), Ss2plNative(), FcfsSql(), FcfsNative(),
+        SlaPrioritySql(), SlaPriorityNative(), EdfSql(), EdfNative(),
+        ReadCommittedSql(), ReadCommittedDatalog(), ReadCommittedNative(),
+        Passthrough(), ComposedReadCommittedEdf(), ComposedSs2plPriority()}) {
     DS_CHECK_OK(registry.Register(spec));
   }
   return registry;

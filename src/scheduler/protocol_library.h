@@ -1,10 +1,13 @@
-// Built-in declarative protocol library.
+// Built-in protocol library across every backend.
 //
 // Covers the paper's three goals (Section 3.1): (a) traditional consistency
-// protocols — SS2PL in SQL (Listing 1, verbatim) and in Datalog; (b) SLA
-// scheduling — priority tiers and earliest-deadline-first; (c) application-
-// specific consistency — a relaxed read-committed protocol that never blocks
-// readers. A passthrough spec implements the paper's non-scheduling mode.
+// protocols — SS2PL in SQL (Listing 1, verbatim), in Datalog, and hand-coded
+// native C++ (the paper's Figure 2 comparison point); (b) SLA scheduling —
+// priority tiers and earliest-deadline-first; (c) application-specific
+// consistency — a relaxed read-committed protocol that never blocks readers,
+// plus composed stage pipelines that mix consistency, ranking, and admission
+// control without new protocol text. A passthrough spec implements the
+// paper's non-scheduling mode.
 
 #ifndef DECLSCHED_SCHEDULER_PROTOCOL_LIBRARY_H_
 #define DECLSCHED_SCHEDULER_PROTOCOL_LIBRARY_H_
@@ -22,20 +25,38 @@ namespace declsched::scheduler {
 ProtocolSpec Ss2plSql();
 /// Strong 2PL as Datalog (the Section 5 "more succinct language").
 ProtocolSpec Ss2plDatalog();
+/// Strong 2PL hand-coded in C++ (native backend, Figure 2's scheduler).
+ProtocolSpec Ss2plNative();
 /// First-come-first-served without consistency guarantees: every pending
 /// request qualifies, in arrival order.
 ProtocolSpec FcfsSql();
+/// FCFS hand-coded in C++ (native backend).
+ProtocolSpec FcfsNative();
 /// SS2PL-safe requests dispatched premium-first (priority column, then id).
 ProtocolSpec SlaPrioritySql();
+/// The same SLA policy hand-coded in C++ (native backend).
+ProtocolSpec SlaPriorityNative();
 /// SS2PL-safe requests dispatched by earliest deadline (0 = none, last).
 ProtocolSpec EdfSql();
+/// The same EDF policy hand-coded in C++ (native backend).
+ProtocolSpec EdfNative();
 /// Relaxed consistency: readers never block; writers respect write locks
 /// (no read locks at all) — lost-update-free but not serializable.
 ProtocolSpec ReadCommittedSql();
 /// The same relaxed protocol in Datalog.
 ProtocolSpec ReadCommittedDatalog();
+/// The same relaxed protocol hand-coded in C++ (native backend).
+ProtocolSpec ReadCommittedNative();
 /// Non-scheduling passthrough (paper Section 3.3 last paragraph).
 ProtocolSpec Passthrough();
+
+/// Composed pipeline: read-committed filter, EDF ranking, and (if cap > 0)
+/// an admission cap — the "relaxed consistency + deadline scheduling +
+/// admission control" scenario mix, no new SQL required.
+ProtocolSpec ComposedReadCommittedEdf(int64_t cap = 0);
+/// Composed pipeline: SS2PL filter, priority ranking, optional admission
+/// cap — serializable SLA scheduling out of reusable stages.
+ProtocolSpec ComposedSs2plPriority(int64_t cap = 0);
 
 /// Name -> spec registry of every built-in; custom specs can be added.
 class ProtocolRegistry {

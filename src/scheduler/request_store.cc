@@ -30,14 +30,14 @@ storage::Schema RequestSchema() {
   });
 }
 
-txn::OpType OpFromString(const std::string& s) {
-  if (s == "r") return txn::OpType::kRead;
-  if (s == "w") return txn::OpType::kWrite;
-  if (s == "a") return txn::OpType::kAbort;
+}  // namespace
+
+txn::OpType RequestStore::ParseOperation(const std::string& op) {
+  if (op == "r") return txn::OpType::kRead;
+  if (op == "w") return txn::OpType::kWrite;
+  if (op == "a") return txn::OpType::kAbort;
   return txn::OpType::kCommit;
 }
-
-}  // namespace
 
 RequestStore::RequestStore() : engine_(&catalog_) {
   requests_ = catalog_.CreateTable("requests", RequestSchema()).ValueOrDie();
@@ -147,7 +147,7 @@ Result<Request> RequestStore::RowToRequest(const storage::Row& row) const {
   request.id = row[kColId].AsInt64();
   request.ta = row[kColTa].AsInt64();
   request.intrata = row[kColIntrata].AsInt64();
-  request.op = OpFromString(row[kColOperation].AsString());
+  request.op = ParseOperation(row[kColOperation].AsString());
   request.object = row[kColObject].AsInt64();
   // Rejoin the metadata columns from the pending table (protocols only
   // guarantee the Table 2 columns in their result).

@@ -65,6 +65,10 @@ class RequestStore {
   /// into a Request, rejoining the SLA columns from the pending table.
   Result<Request> RowToRequest(const storage::Row& row) const;
 
+  /// Decodes the `operation` column ("r"/"w"/"a", anything else = commit) —
+  /// the one mapping every consumer of these tables must share.
+  static txn::OpType ParseOperation(const std::string& op);
+
  private:
   static storage::Row ToRow(const Request& request);
 

@@ -77,6 +77,43 @@ TEST(MiddlewareSimTest, ReadCommittedCompletes) {
   EXPECT_GE(result->committed_txns, 60);
 }
 
+TEST(MiddlewareSimTest, NativeBackendCompletes) {
+  MiddlewareSimConfig config = SmallConfig(6);
+  config.scheduler.protocol = Ss2plNative();
+  auto result = RunMiddlewareSimulation(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 60);
+}
+
+TEST(MiddlewareSimTest, ComposedReadCommittedEdfCapCompletes) {
+  // The issue's scenario mix: relaxed consistency + deadline scheduling +
+  // admission control, assembled from stages instead of new SQL.
+  MiddlewareSimConfig config = SmallConfig(7);
+  config.scheduler.protocol = ComposedReadCommittedEdf(/*cap=*/8);
+  auto result = RunMiddlewareSimulation(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 60);
+}
+
+TEST(MiddlewareSimTest, NativeMatchesSqlResultsExactly) {
+  // Same seed, same workload: the native backend must produce the same
+  // schedule as the SQL backend — identical commits, aborts, and history.
+  MiddlewareSimConfig sql_config = SmallConfig(8);
+  MiddlewareSimConfig native_config = SmallConfig(8);
+  native_config.scheduler.protocol = Ss2plNative();
+  auto sql = RunMiddlewareSimulation(sql_config);
+  auto native = RunMiddlewareSimulation(native_config);
+  ASSERT_TRUE(sql.ok());
+  ASSERT_TRUE(native.ok());
+  EXPECT_EQ(sql->committed_txns, native->committed_txns);
+  EXPECT_EQ(sql->aborted_txns, native->aborted_txns);
+  ASSERT_EQ(sql->history.size(), native->history.size());
+  for (size_t i = 0; i < sql->history.size(); ++i) {
+    EXPECT_EQ(sql->history[i].txn, native->history[i].txn);
+    EXPECT_EQ(sql->history[i].object, native->history[i].object);
+  }
+}
+
 TEST(MiddlewareSimTest, PassthroughCompletes) {
   MiddlewareSimConfig config = SmallConfig(5);
   config.scheduler.protocol = Passthrough();
@@ -187,8 +224,15 @@ INSTANTIATE_TEST_SUITE_P(
                       SerializableCase{"ss2pl-datalog", 1, 40},
                       SerializableCase{"ss2pl-datalog", 2, 15},
                       SerializableCase{"ss2pl-datalog", 3, 200},
+                      SerializableCase{"ss2pl-native", 1, 40},
+                      SerializableCase{"ss2pl-native", 2, 15},
+                      SerializableCase{"ss2pl-native", 3, 200},
+                      SerializableCase{"composed-ss2pl-priority", 1, 40},
+                      SerializableCase{"composed-ss2pl-priority", 4, 200},
                       SerializableCase{"sla-priority-sql", 5, 40},
-                      SerializableCase{"edf-sql", 6, 40}),
+                      SerializableCase{"sla-priority-native", 5, 40},
+                      SerializableCase{"edf-sql", 6, 40},
+                      SerializableCase{"edf-native", 6, 40}),
     [](const ::testing::TestParamInfo<SerializableCase>& info) {
       std::string name = info.param.protocol;
       for (char& c : name) {

@@ -53,6 +53,23 @@ TEST(TriggerIntegrationTest, LongTimerRaisesLatency) {
             fast->latency_by_class[0].Mean() * 1.5);
 }
 
+TEST(TriggerIntegrationTest, TimerTriggerCompletesOnNativeBackend) {
+  MiddlewareSimConfig config =
+      Config(TriggerConfig::Timer(SimTime::FromMillis(5)), 6);
+  config.scheduler.protocol = Ss2plNative();
+  auto result = RunMiddlewareSimulation(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 100);
+}
+
+TEST(TriggerIntegrationTest, FillLevelTriggerCompletesOnComposedBackend) {
+  MiddlewareSimConfig config = Config(TriggerConfig::FillLevel(8), 7);
+  config.scheduler.protocol = ComposedReadCommittedEdf(/*cap=*/16);
+  auto result = RunMiddlewareSimulation(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 100);
+}
+
 TEST(TriggerIntegrationTest, FillLevelBatchesRequests) {
   auto eager = RunMiddlewareSimulation(Config(TriggerConfig::Eager(), 5));
   auto batched = RunMiddlewareSimulation(Config(TriggerConfig::FillLevel(16), 5));
