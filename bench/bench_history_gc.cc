@@ -71,12 +71,13 @@ int main() {
 
     const int64_t rows = store.history_count();
     const int64_t g0 = WallMicros();
-    const int64_t removed = Unwrap(store.GarbageCollectFinished(), "gc");
+    const RequestStore::GcResult gc =
+        Unwrap(store.GarbageCollectFinished(), "gc");
     const double gc_ms = (WallMicros() - g0) / 1000.0;
 
     std::printf("%16d %14lld %16.2f %16.2f   (gc removed %lld)\n", garbage_txns,
                 static_cast<long long>(rows), query_ms, gc_ms,
-                static_cast<long long>(removed));
+                static_cast<long long>(gc.rows_retired));
   }
   std::printf(
       "\nReading: without GC the Listing 1 query pays for every committed\n"

@@ -76,8 +76,11 @@ inline void FillSteadyState(scheduler::RequestStore* store, int clients,
 
 /// One scheduling cycle of `spec` on the steady state above plus one fresh
 /// queued request per client, with GC and deadlock detection off (pure
-/// protocol-evaluation cost). The shared measurement of the overhead
-/// benches — keep them on the same workload.
+/// protocol-evaluation cost). A warm-up cycle with its own fresh requests
+/// runs first, so backends with incremental state (the seeded store was
+/// filled behind their back) measure their steady-state cost, not a
+/// one-off resync. The shared measurement of the overhead benches — keep
+/// them on the same workload.
 inline scheduler::CycleStats MeasureSteadyStateCycle(
     const scheduler::ProtocolSpec& spec, int clients) {
   scheduler::DeclarativeScheduler::Options options;
@@ -88,14 +91,19 @@ inline scheduler::CycleStats MeasureSteadyStateCycle(
   Check(sched.Init(), "init");
   FillSteadyState(sched.store(), clients, /*ops_in_history=*/20, /*seed=*/7);
   Rng rng(11);
-  for (int c = 0; c < clients; ++c) {
-    scheduler::Request r;
-    r.ta = clients + c + 1;
-    r.intrata = 1;
-    r.op = rng.Bernoulli(0.5) ? txn::OpType::kRead : txn::OpType::kWrite;
-    r.object = rng.UniformInt(0, 99999);
-    sched.Submit(r, SimTime());
-  }
+  auto submit_fresh = [&](txn::TxnId base) {
+    for (int c = 0; c < clients; ++c) {
+      scheduler::Request r;
+      r.ta = base + c;
+      r.intrata = 1;
+      r.op = rng.Bernoulli(0.5) ? txn::OpType::kRead : txn::OpType::kWrite;
+      r.object = rng.UniformInt(0, 99999);
+      sched.Submit(r, SimTime());
+    }
+  };
+  submit_fresh(clients + 1);
+  Unwrap(sched.RunCycle(SimTime()), "warm-up cycle");
+  submit_fresh(2 * clients + 1);
   return Unwrap(sched.RunCycle(SimTime()), "steady-state cycle");
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "scheduler/backends/native_protocol.h"
+#include "scheduler/lock_table.h"
 
 namespace declsched::scheduler {
 
@@ -20,17 +21,33 @@ class FilterStage : public ProtocolStage {
   Result<RequestBatch> Apply(const ScheduleContext& context,
                              RequestBatch batch) const override {
     if (kind_ == Kind::kNone) return batch;
-    const LockTable locks = BuildLockTable(context.store);
+    // The owning ComposedProtocol maintains the lock table incrementally
+    // and hands it down through the context; build from scratch only when
+    // driven outside that pipeline.
+    LockTable scratch;
+    const LockTable* locks = context.locks;
+    if (locks == nullptr) {
+      scratch = BuildLockTable(context.store);
+      locks = &scratch;
+    }
     // Pending-pending conflicts are judged against the store's complete
     // pending set, not the incoming batch: an earlier stage may have
     // dropped the older conflicting request from the batch, but it is
     // still pending and still blocks — age ordering must not weaken just
-    // because a cap or rank stage ran first.
-    DS_ASSIGN_OR_RETURN(RequestBatch all_pending, context.store->AllPending());
+    // because a cap or rank stage ran first. The pipeline shares one copy
+    // of that universe through the context.
+    RequestBatch fetched;
+    const RequestBatch* universe = context.pending_universe;
+    if (universe == nullptr) {
+      DS_ASSIGN_OR_RETURN(fetched, context.store->AllPending());
+      universe = &fetched;
+    }
     return kind_ == Kind::kSs2pl
-               ? FilterSs2pl(locks, batch, &all_pending)
-               : FilterReadCommitted(locks, batch, &all_pending);
+               ? FilterSs2pl(*locks, batch, universe)
+               : FilterReadCommitted(*locks, batch, universe);
   }
+
+  bool NeedsLockTable() const override { return kind_ != Kind::kNone; }
 
  private:
   Kind kind_;
@@ -132,19 +149,42 @@ std::map<std::string, StageBuilder>& StageRegistry() {
 class ComposedProtocol : public Protocol {
  public:
   ComposedProtocol(ProtocolSpec spec,
-                   std::vector<std::unique_ptr<ProtocolStage>> stages)
-      : Protocol(std::move(spec)), stages_(std::move(stages)) {}
+                   std::vector<std::unique_ptr<ProtocolStage>> stages,
+                   RequestStore* store)
+      : Protocol(std::move(spec)), stages_(std::move(stages)), store_(store) {
+    for (const auto& stage : stages_) {
+      needs_locks_ = needs_locks_ || stage->NeedsLockTable();
+    }
+  }
 
   Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
-    DS_ASSIGN_OR_RETURN(RequestBatch batch, context.store->AllPending());
+    ScheduleContext staged = context;
+    if (needs_locks_ && context.store == store_) {
+      staged.locks = &lock_state_.Refresh(*context.store);
+    }
+    // One copy of the full pending set serves as both the initial batch and
+    // every filter stage's conflict universe.
+    DS_ASSIGN_OR_RETURN(const RequestBatch universe, context.store->AllPending());
+    staged.pending_universe = &universe;
+    RequestBatch batch = universe;
     for (const auto& stage : stages_) {
-      DS_ASSIGN_OR_RETURN(batch, stage->Apply(context, std::move(batch)));
+      DS_ASSIGN_OR_RETURN(batch, stage->Apply(staged, std::move(batch)));
     }
     return batch;
   }
 
+  void OnScheduled(const RequestBatch& batch) override {
+    if (needs_locks_) lock_state_.ApplyHistoryAppend(batch, *store_);
+  }
+  void OnFinished(const std::vector<txn::TxnId>& txns) override {
+    if (needs_locks_) lock_state_.ApplyFinished(txns, *store_);
+  }
+
  private:
   std::vector<std::unique_ptr<ProtocolStage>> stages_;
+  RequestStore* store_;
+  bool needs_locks_ = false;
+  mutable LockTableState lock_state_;
 };
 
 }  // namespace
@@ -166,7 +206,7 @@ std::vector<std::string> StageKinds() {
 }
 
 Result<std::unique_ptr<Protocol>> CompileComposedProtocol(
-    const ProtocolSpec& spec, RequestStore* /*store*/) {
+    const ProtocolSpec& spec, RequestStore* store) {
   std::vector<std::unique_ptr<ProtocolStage>> stages;
   bool ordered = false;
   for (const std::string& piece : Split(spec.text, '|')) {
@@ -197,7 +237,7 @@ Result<std::unique_ptr<Protocol>> CompileComposedProtocol(
   ProtocolSpec resolved = spec;
   resolved.ordered = resolved.ordered || ordered;
   return std::unique_ptr<Protocol>(
-      new ComposedProtocol(std::move(resolved), std::move(stages)));
+      new ComposedProtocol(std::move(resolved), std::move(stages), store));
 }
 
 }  // namespace declsched::scheduler

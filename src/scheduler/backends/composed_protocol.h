@@ -36,6 +36,11 @@ class ProtocolStage {
   /// True if the stage defines the dispatch order (rank stages); a pipeline
   /// containing any ordering stage makes the composed protocol `ordered`.
   virtual bool DefinesOrder() const { return false; }
+  /// True if the stage consults history-implied locks. A pipeline with any
+  /// such stage makes the composed protocol maintain an incremental
+  /// LockTableState and pass it to every stage via ScheduleContext::locks;
+  /// stages should prefer it over a from-scratch BuildLockTable().
+  virtual bool NeedsLockTable() const { return false; }
 };
 
 /// Builds a stage from the descriptor's argument (the part after ':').

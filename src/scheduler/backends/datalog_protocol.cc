@@ -16,15 +16,12 @@ class DatalogProtocol : public Protocol {
       : Protocol(std::move(spec)), program_(std::move(program)) {}
 
   Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
+    // The EDB comes from the store's epoch-keyed cache: unchanged relations
+    // (typically history, often both on a stalled cycle) are not rebuilt.
     DS_ASSIGN_OR_RETURN(datalog::Database result,
                         program_.Evaluate(context.store->BuildDatalogEdb()));
-    RequestBatch batch;
     const datalog::Relation& rel = result.at(spec_.datalog_output);
-    batch.reserve(rel.size());
-    for (const storage::Row& row : rel) {
-      DS_ASSIGN_OR_RETURN(Request request, context.store->RowToRequest(row));
-      batch.push_back(std::move(request));
-    }
+    DS_ASSIGN_OR_RETURN(RequestBatch batch, context.store->RowsToRequests(rel));
     std::sort(batch.begin(), batch.end(),
               [](const Request& a, const Request& b) { return a.id < b.id; });
     return batch;

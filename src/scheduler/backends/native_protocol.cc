@@ -16,140 +16,50 @@ namespace {
 using txn::ObjectId;
 using txn::TxnId;
 
-void InsertHolder(std::unordered_map<ObjectId, std::vector<TxnId>>* locks,
-                  ObjectId object, TxnId ta) {
-  std::vector<TxnId>& holders = (*locks)[object];
-  if (std::find(holders.begin(), holders.end(), ta) == holders.end()) {
-    holders.push_back(ta);
-  }
-}
-
-/// True if any transaction other than `self` appears in the lock set.
-bool LockedByOther(
-    const std::unordered_map<ObjectId, std::vector<TxnId>>& locks,
-    ObjectId object, TxnId self) {
-  auto it = locks.find(object);
-  if (it == locks.end()) return false;
-  for (TxnId holder : it->second) {
-    if (holder != self) return true;
-  }
-  return false;
-}
-
-/// Per-object oldest pending transaction (any op / writes only), the native
-/// form of the declarative pending-pending conflict rules: a request is
-/// blocked by any strictly older pending request on its object when either
-/// side is a write.
-struct PendingConflicts {
-  std::unordered_map<ObjectId, TxnId> oldest_any;
-  std::unordered_map<ObjectId, TxnId> oldest_write;
-
-  explicit PendingConflicts(const RequestBatch& pending) {
-    for (const Request& r : pending) {
-      auto [it, inserted] = oldest_any.emplace(r.object, r.ta);
-      if (!inserted && r.ta < it->second) it->second = r.ta;
-      if (r.op == txn::OpType::kWrite) {
-        auto [wit, winserted] = oldest_write.emplace(r.object, r.ta);
-        if (!winserted && r.ta < wit->second) wit->second = r.ta;
-      }
-    }
-  }
-
-  bool OlderWriteExists(const Request& r) const {
-    auto it = oldest_write.find(r.object);
-    return it != oldest_write.end() && it->second < r.ta;
-  }
-  bool OlderRequestExists(const Request& r) const {
-    auto it = oldest_any.find(r.object);
-    return it != oldest_any.end() && it->second < r.ta;
-  }
-};
-
-/// Lock analysis over the history relation, optionally restricted to the
-/// objects in `relevant` (null = all objects) — the hand-coded
-/// specialization the native backend uses per cycle: lock rows on objects
-/// no pending request touches can never block, so their lock sets are not
-/// materialized. Answers identically to the unrestricted table for every
-/// object in `relevant`.
-LockTable BuildLockTableImpl(RequestStore* store,
-                             const std::unordered_set<ObjectId>* relevant) {
-  LockTable locks;
-  const storage::Table* history = store->catalog()->GetTable("history");
-
-  // Single table scan into a compact op list; the lock sets need a second
-  // pass because finished/wrote facts may arrive after the rows they gate.
-  struct HistOp {
-    txn::OpType op;
-    TxnId ta;
-    ObjectId object;
-  };
-  std::vector<HistOp> ops;
-  std::unordered_map<ObjectId, std::vector<TxnId>> wrote;
-  history->ForEach([&](storage::RowId, const storage::Row& row) {
-    const txn::OpType op =
-        RequestStore::ParseOperation(row[RequestStore::kColOperation].AsString());
-    const TxnId ta = row[RequestStore::kColTa].AsInt64();
-    if (op == txn::OpType::kCommit || op == txn::OpType::kAbort) {
-      locks.finished.insert(ta);
-      return;
-    }
-    const ObjectId object = row[RequestStore::kColObject].AsInt64();
-    if (relevant != nullptr && relevant->count(object) == 0) return;
-    if (op == txn::OpType::kWrite) InsertHolder(&wrote, object, ta);
-    ops.push_back(HistOp{op, ta, object});
-  });
-
-  for (const HistOp& h : ops) {
-    if (locks.finished.count(h.ta) > 0) continue;
-    if (h.op == txn::OpType::kWrite) {
-      InsertHolder(&locks.wlocks, h.object, h.ta);
-    } else if (h.op == txn::OpType::kRead) {
-      auto it = wrote.find(h.object);
-      if (it == wrote.end() ||
-          std::find(it->second.begin(), it->second.end(), h.ta) ==
-              it->second.end()) {
-        InsertHolder(&locks.rlocks, h.object, h.ta);
-      }
-    }
-  }
-  return locks;
-}
-
 class NativeProtocol : public Protocol {
  public:
   enum class Variant { kSs2pl, kFcfs, kSlaPriority, kEdf, kReadCommitted };
 
-  NativeProtocol(ProtocolSpec spec, Variant variant)
-      : Protocol(std::move(spec)), variant_(variant) {}
+  NativeProtocol(ProtocolSpec spec, Variant variant, RequestStore* store,
+                 bool incremental)
+      : Protocol(std::move(spec)),
+        variant_(variant),
+        store_(store),
+        incremental_(incremental) {}
 
   Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
-    // Hand-coded fast path: build the pending batch straight off the table
-    // rows (each row already carries the SLA columns, so the generic
-    // AllPending() per-row index re-join is pure overhead here).
+    if (!incremental_ || context.store != store_) {
+      // Stateless fallback: "scratch:" variants, or a store this instance
+      // holds no state for.
+      return ScheduleFromScratch(context);
+    }
+    // Incremental fast path. Pending comes off the store's typed mirror —
+    // already decoded, already in id order (the mirror is keyed by id).
     RequestBatch pending;
-    pending.reserve(static_cast<size_t>(context.store->pending_count()));
-    const storage::Table* requests = context.store->catalog()->GetTable("requests");
-    requests->ForEach([&](storage::RowId, const storage::Row& row) {
-      Request r;
-      r.id = row[RequestStore::kColId].AsInt64();
-      r.ta = row[RequestStore::kColTa].AsInt64();
-      r.intrata = row[RequestStore::kColIntrata].AsInt64();
-      r.op = RequestStore::ParseOperation(row[RequestStore::kColOperation].AsString());
-      r.object = row[RequestStore::kColObject].AsInt64();
-      r.priority = static_cast<int>(row[RequestStore::kColPriority].AsInt64());
-      r.deadline = SimTime::FromMicros(row[RequestStore::kColDeadline].AsInt64());
-      r.arrival = SimTime::FromMicros(row[RequestStore::kColArrival].AsInt64());
-      r.client = static_cast<int>(row[RequestStore::kColClient].AsInt64());
-      pending.push_back(r);
-    });
-    RankById(&pending);
+    const auto& mirror = context.store->pending_by_id();
+    pending.reserve(mirror.size());
+    for (const auto& [id, request] : mirror) pending.push_back(request);
     if (variant_ == Variant::kFcfs) return pending;
 
-    std::unordered_set<ObjectId> pending_objects;
-    pending_objects.reserve(pending.size());
-    for (const Request& r : pending) pending_objects.insert(r.object);
-    const LockTable locks =
-        BuildLockTableImpl(context.store, &pending_objects);
+    const LockTable& locks = lock_state_.Refresh(*context.store);
+    return Qualify(locks, pending);
+  }
+
+  // Delta hooks: keep the lock state in lockstep with history so Schedule()
+  // never rescans it. FCFS ignores locks entirely, so it skips the upkeep.
+  void OnScheduled(const RequestBatch& batch) override {
+    if (MaintainsLockState()) lock_state_.ApplyHistoryAppend(batch, *store_);
+  }
+  void OnFinished(const std::vector<TxnId>& txns) override {
+    if (MaintainsLockState()) lock_state_.ApplyFinished(txns, *store_);
+  }
+
+ private:
+  bool MaintainsLockState() const {
+    return incremental_ && variant_ != Variant::kFcfs;
+  }
+
+  RequestBatch Qualify(const LockTable& locks, RequestBatch& pending) const {
     RequestBatch qualified = variant_ == Variant::kReadCommitted
                                  ? FilterReadCommitted(locks, pending)
                                  : FilterSs2pl(locks, pending);
@@ -161,55 +71,41 @@ class NativeProtocol : public Protocol {
         RankByDeadline(&qualified);
         break;
       default:
-        break;  // id order, established above
+        break;  // id order, established by the caller
     }
     return qualified;
   }
 
- private:
+  /// The pre-incremental formulation: decode pending from the table rows,
+  /// rebuild the lock table from a full history scan, restricted to the
+  /// objects pending actually touches.
+  Result<RequestBatch> ScheduleFromScratch(const ScheduleContext& context) const {
+    RequestBatch pending;
+    pending.reserve(static_cast<size_t>(context.store->pending_count()));
+    const storage::Table* requests = context.store->catalog()->GetTable("requests");
+    requests->ForEach([&](storage::RowId, const storage::Row& row) {
+      pending.push_back(RequestStore::RowToRequestFull(row));
+    });
+    RankById(&pending);
+    if (variant_ == Variant::kFcfs) return pending;
+
+    std::unordered_set<ObjectId> pending_objects;
+    pending_objects.reserve(pending.size());
+    for (const Request& r : pending) pending_objects.insert(r.object);
+    const LockTable locks =
+        BuildLockTableRestricted(context.store, &pending_objects);
+    return Qualify(locks, pending);
+  }
+
   Variant variant_;
+  RequestStore* store_;
+  bool incremental_;
+  /// Cache of the store's history-implied locks; mutable because Schedule()
+  /// is a read of the store, even when it refreshes the cache.
+  mutable LockTableState lock_state_;
 };
 
 }  // namespace
-
-LockTable BuildLockTable(RequestStore* store) {
-  return BuildLockTableImpl(store, /*relevant=*/nullptr);
-}
-
-RequestBatch FilterSs2pl(const LockTable& locks, const RequestBatch& pending,
-                         const RequestBatch* conflict_universe) {
-  const PendingConflicts conflicts(
-      conflict_universe != nullptr ? *conflict_universe : pending);
-  RequestBatch qualified;
-  qualified.reserve(pending.size());
-  for (const Request& r : pending) {
-    if (LockedByOther(locks.wlocks, r.object, r.ta)) continue;
-    const bool is_write = r.op == txn::OpType::kWrite;
-    if (is_write && LockedByOther(locks.rlocks, r.object, r.ta)) continue;
-    if (conflicts.OlderWriteExists(r)) continue;
-    if (is_write && conflicts.OlderRequestExists(r)) continue;
-    qualified.push_back(r);
-  }
-  return qualified;
-}
-
-RequestBatch FilterReadCommitted(const LockTable& locks,
-                                 const RequestBatch& pending,
-                                 const RequestBatch* conflict_universe) {
-  const PendingConflicts conflicts(
-      conflict_universe != nullptr ? *conflict_universe : pending);
-  RequestBatch qualified;
-  qualified.reserve(pending.size());
-  for (const Request& r : pending) {
-    if (r.op == txn::OpType::kWrite &&
-        (LockedByOther(locks.wlocks, r.object, r.ta) ||
-         conflicts.OlderWriteExists(r))) {
-      continue;
-    }
-    qualified.push_back(r);
-  }
-  return qualified;
-}
 
 void RankById(RequestBatch* batch) {
   std::sort(batch->begin(), batch->end(),
@@ -232,8 +128,14 @@ void RankByDeadline(RequestBatch* batch) {
 }
 
 Result<std::unique_ptr<Protocol>> CompileNativeProtocol(const ProtocolSpec& spec,
-                                                        RequestStore* /*store*/) {
-  const std::string variant(Trim(spec.text));
+                                                        RequestStore* store) {
+  std::string variant(Trim(spec.text));
+  bool incremental = true;
+  constexpr const char kScratchPrefix[] = "scratch:";
+  if (variant.rfind(kScratchPrefix, 0) == 0) {
+    incremental = false;
+    variant = std::string(Trim(variant.substr(sizeof(kScratchPrefix) - 1)));
+  }
   NativeProtocol::Variant v;
   if (variant == "ss2pl") {
     v = NativeProtocol::Variant::kSs2pl;
@@ -248,10 +150,11 @@ Result<std::unique_ptr<Protocol>> CompileNativeProtocol(const ProtocolSpec& spec
   } else {
     return Status::BindError(StrFormat(
         "protocol %s: unknown native variant '%s' (want ss2pl, fcfs, "
-        "sla-priority, edf, or read-committed)",
+        "sla-priority, edf, or read-committed, optionally scratch:-prefixed)",
         spec.name.c_str(), variant.c_str()));
   }
-  return std::unique_ptr<Protocol>(new NativeProtocol(spec, v));
+  return std::unique_ptr<Protocol>(
+      new NativeProtocol(spec, v, store, incremental));
 }
 
 }  // namespace declsched::scheduler

@@ -9,6 +9,14 @@
 //   edf            SS2PL qualification, earliest deadline first (0 = none)
 //   read-committed readers never block; writers respect write locks
 //
+// The backend is *incremental*: it reads pending straight off the store's
+// typed mirror (no row decoding) and keeps a LockTableState fed by the
+// scheduler's delta hooks, so a cycle costs O(pending + delta) rather than
+// O(pending + history). Prefixing the variant with "scratch:" (e.g.
+// "scratch:ss2pl") compiles the pre-incremental formulation instead — a
+// stateless full-rescan per cycle — kept as the from-scratch baseline the
+// equivalence tests and the cycle-scale bench compare against.
+//
 // The lock analysis matches the SQL (Listing 1) and Datalog formulations
 // operation for operation, so the native and declarative backends qualify
 // identical request sets — the equivalence the protocol tests pin down.
@@ -17,46 +25,16 @@
 #define DECLSCHED_SCHEDULER_BACKENDS_NATIVE_PROTOCOL_H_
 
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "scheduler/lock_table.h"
 #include "scheduler/protocol.h"
-#include "txn/types.h"
 
 namespace declsched::scheduler {
 
 Result<std::unique_ptr<Protocol>> CompileNativeProtocol(const ProtocolSpec& spec,
                                                         RequestStore* store);
 
-// --- building blocks, shared with the composed backend's stages ---
-
-/// Locks implied by the history relation: a write row of an unfinished
-/// transaction write-locks its object; a read row read-locks it unless the
-/// same transaction also wrote it. Holder lists are tiny (almost always one
-/// transaction), so flat vectors beat per-object hash sets by a wide margin.
-struct LockTable {
-  std::unordered_set<txn::TxnId> finished;
-  std::unordered_map<txn::ObjectId, std::vector<txn::TxnId>> wlocks;
-  std::unordered_map<txn::ObjectId, std::vector<txn::TxnId>> rlocks;
-};
-
-LockTable BuildLockTable(RequestStore* store);
-
-/// SS2PL qualification: drops requests blocked by a lock of another
-/// transaction or by an older conflicting pending request. Pending-pending
-/// conflicts are judged against `conflict_universe` when given (normally
-/// the store's complete pending set), else against `pending` itself — so a
-/// composed filter stage stays SS2PL-exact even after an earlier stage
-/// shrank the batch.
-RequestBatch FilterSs2pl(const LockTable& locks, const RequestBatch& pending,
-                         const RequestBatch* conflict_universe = nullptr);
-
-/// Read-committed qualification: only writes block (on write locks and on
-/// older pending writes); readers always qualify. `conflict_universe` as in
-/// FilterSs2pl.
-RequestBatch FilterReadCommitted(const LockTable& locks,
-                                 const RequestBatch& pending,
-                                 const RequestBatch* conflict_universe = nullptr);
+// --- ranking building blocks, shared with the composed backend's stages ---
 
 void RankById(RequestBatch* batch);
 void RankByPriority(RequestBatch* batch);

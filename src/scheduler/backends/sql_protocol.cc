@@ -32,11 +32,17 @@ class SqlProtocol : public Protocol {
     RequestBatch batch;
     batch.reserve(result.rows.size());
     for (const storage::Row& row : result.rows) {
-      storage::Row core = {row[cols_[0]], row[cols_[1]], row[cols_[2]],
-                           row[cols_[3]], row[cols_[4]]};
-      DS_ASSIGN_OR_RETURN(Request request, context.store->RowToRequest(core));
-      batch.push_back(std::move(request));
+      Request request;
+      request.id = row[cols_[0]].AsInt64();
+      request.ta = row[cols_[1]].AsInt64();
+      request.intrata = row[cols_[2]].AsInt64();
+      request.op = RequestStore::ParseOperation(row[cols_[3]].AsString());
+      request.object = row[cols_[4]].AsInt64();
+      batch.push_back(request);
     }
+    // One batched re-join against the pending mirror instead of an index
+    // lookup per row (protocols only guarantee the Table 2 columns).
+    context.store->JoinSlaColumns(&batch);
     if (!spec_.ordered) {
       std::sort(batch.begin(), batch.end(),
                 [](const Request& a, const Request& b) { return a.id < b.id; });

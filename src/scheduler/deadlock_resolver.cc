@@ -47,9 +47,11 @@ Result<DeadlockResolver> DeadlockResolver::Create() {
 
 Result<std::vector<txn::TxnId>> DeadlockResolver::FindVictims(
     const RequestStore& store) const {
-  datalog::Database edb = store.BuildDatalogEdb();
-  edb.erase("reqmeta");  // the program does not use it
-  DS_ASSIGN_OR_RETURN(datalog::Database result, program_->Evaluate(edb));
+  // Evaluate straight off the store's cached EDB (on a stalled cycle the
+  // datalog protocol, if active, already built it); the evaluator only
+  // loads the relations the program names, so the extra reqmeta is free.
+  DS_ASSIGN_OR_RETURN(datalog::Database result,
+                      program_->Evaluate(store.BuildDatalogEdb()));
   std::vector<txn::TxnId> victims;
   for (const storage::Row& row : result.at("victim")) {
     victims.push_back(row[0].AsInt64());

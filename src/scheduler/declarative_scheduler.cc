@@ -64,6 +64,8 @@ const ProtocolSpec& DeclarativeScheduler::protocol() const {
 Status DeclarativeScheduler::AbortTransaction(txn::TxnId ta, SimTime now) {
   // Drop the victim's pending requests, then record an abort marker so the
   // protocol sees its locks released (and GC retires its history rows).
+  // Each store mutation is narrated to the protocol right away, so
+  // incremental backends stay in lockstep.
   RequestBatch marker(1);
   marker[0].id = next_request_id_++;
   marker[0].ta = ta;
@@ -71,22 +73,11 @@ Status DeclarativeScheduler::AbortTransaction(txn::TxnId ta, SimTime now) {
   marker[0].op = txn::OpType::kAbort;
   marker[0].object = Request::kNoObject;
   marker[0].arrival = now;
+  marker[0].client = -1;
 
-  storage::Table* requests = store_.catalog()->GetTable("requests");
-  requests->DeleteWhere([ta](const storage::Row& row) {
-    return row[RequestStore::kColTa].AsInt64() == ta;
-  });
-  storage::Table* history = store_.catalog()->GetTable("history");
-  DS_RETURN_NOT_OK(history
-                       ->Insert({storage::Value::Int64(marker[0].id),
-                                 storage::Value::Int64(ta),
-                                 storage::Value::Int64(marker[0].intrata),
-                                 storage::Value::String("a"),
-                                 storage::Value::Int64(Request::kNoObject),
-                                 storage::Value::Int64(0), storage::Value::Int64(0),
-                                 storage::Value::Int64(now.micros()),
-                                 storage::Value::Int64(-1)})
-                       .status());
+  store_.DropPendingOfTransaction(ta);
+  DS_RETURN_NOT_OK(store_.InsertHistory(marker[0]));
+  protocol_->OnScheduled(marker);
   return Status::OK();
 }
 
@@ -102,6 +93,7 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
   RequestBatch drained = queue_.DrainAll();
   stats.drained = static_cast<int64_t>(drained.size());
   DS_RETURN_NOT_OK(store_.InsertPending(drained));
+  if (!drained.empty()) protocol_->OnAdmitted(drained);
   stats.insert_us = NowMicros() - cycle_start;
 
   // 2. Run the declarative protocol.
@@ -116,11 +108,16 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
   stats.qualified = static_cast<int64_t>(qualified.size());
 
   // 3. Qualified requests leave pending and enter history; finished
-  //    transactions retire from history.
+  //    transactions retire from history. Both mutations are narrated to the
+  //    protocol so incremental backends apply the delta instead of
+  //    rescanning next cycle.
   const int64_t move_start = NowMicros();
   DS_RETURN_NOT_OK(store_.MarkScheduled(qualified));
+  if (!qualified.empty()) protocol_->OnScheduled(qualified);
   if (options_.history_gc) {
-    DS_ASSIGN_OR_RETURN(stats.gc_removed, store_.GarbageCollectFinished());
+    DS_ASSIGN_OR_RETURN(RequestStore::GcResult gc, store_.GarbageCollectFinished());
+    stats.gc_removed = gc.rows_retired;
+    if (!gc.txns.empty()) protocol_->OnFinished(gc.txns);
   }
   stats.move_us = NowMicros() - move_start;
 

@@ -2,10 +2,14 @@
 //
 // Clients submit requests into the incoming queue; when the trigger fires
 // the scheduler (1) drains the queue into the pending-request relation,
-// (2) runs the active protocol — a SQL query or Datalog program — over
-// pending ∪ history, (3) moves the qualified requests into history and
-// garbage-collects finished transactions, (4) resolves declaratively
-// detected deadlocks, and (5) dispatches the qualified batch to the server.
+// (2) runs the active protocol — a SQL query, Datalog program, or native
+// backend — over pending ∪ history, (3) moves the qualified requests into
+// history and garbage-collects finished transactions, (4) resolves
+// declaratively detected deadlocks, and (5) dispatches the qualified batch
+// to the server. The scheduler is the single writer of the request store
+// and narrates every mutation to the active protocol through its delta
+// hooks (OnAdmitted/OnScheduled/OnFinished), so incremental backends pay
+// O(delta) per cycle instead of re-deriving state from what is resident.
 // Every phase of every cycle is timed with a real (wall) clock, since the
 // scheduler's own cost is exactly what Section 4.3 measures.
 

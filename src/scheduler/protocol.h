@@ -25,12 +25,22 @@
 
 namespace declsched::scheduler {
 
+struct LockTable;
+
 /// Everything a backend may consult when evaluating one scheduling cycle.
 /// Today that is the request store plus the cycle's simulated time; new
 /// fields extend every backend at once without signature churn.
 struct ScheduleContext {
   RequestStore* store = nullptr;
   SimTime now;
+  /// Set by protocols that maintain incremental lock state (the composed
+  /// backend fills it before running its stages); null means derive locks
+  /// from the store when needed.
+  const LockTable* locks = nullptr;
+  /// The cycle's complete pending set, filled once by the composed backend
+  /// so later stages can judge pending-pending conflicts without re-copying
+  /// the store's mirror; null means fetch from the store when needed.
+  const RequestBatch* pending_universe = nullptr;
 };
 
 /// The declarative description of a scheduling protocol. `backend` names the
@@ -66,6 +76,24 @@ class Protocol {
   /// Evaluates the protocol over the store's current pending/history
   /// contents; returns the qualified requests in dispatch order.
   virtual Result<RequestBatch> Schedule(const ScheduleContext& context) const = 0;
+
+  // --- delta hooks (optional) -------------------------------------------
+  // The scheduler narrates every mutation it makes to the store it compiled
+  // this protocol against, immediately after making it and in mutation
+  // order. Backends that keep incremental state apply the delta instead of
+  // recomputing from the store next cycle; the defaults no-op, which keeps
+  // from-scratch backends correct with zero changes. Hooks are advisory:
+  // a backend must stay correct if the store was also mutated out-of-band
+  // (incremental backends epoch-check against the store and fall back to a
+  // from-scratch rebuild — see LockTableState).
+
+  /// `batch` was drained from the incoming queue into pending.
+  virtual void OnAdmitted(const RequestBatch& batch) { (void)batch; }
+  /// `batch` just entered history: dispatched requests moved out of
+  /// pending, or an abort marker injected for a deadlock victim.
+  virtual void OnScheduled(const RequestBatch& batch) { (void)batch; }
+  /// GC just retired every history row of `txns` (all terminated).
+  virtual void OnFinished(const std::vector<txn::TxnId>& txns) { (void)txns; }
 
   const ProtocolSpec& spec() const { return spec_; }
   const std::string& name() const { return spec_.name; }

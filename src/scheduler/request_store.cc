@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -28,6 +27,10 @@ storage::Schema RequestSchema() {
       {"arrival", ValueType::kInt64},
       {"client", ValueType::kInt64},
   });
+}
+
+bool IsTerminationMarker(txn::OpType op) {
+  return op == txn::OpType::kCommit || op == txn::OpType::kAbort;
 }
 
 }  // namespace
@@ -61,14 +64,60 @@ storage::Row RequestStore::ToRow(const Request& request) {
   };
 }
 
+Request RequestStore::RowToRequestFull(const storage::Row& row) {
+  Request r;
+  r.id = row[kColId].AsInt64();
+  r.ta = row[kColTa].AsInt64();
+  r.intrata = row[kColIntrata].AsInt64();
+  r.op = ParseOperation(row[kColOperation].AsString());
+  r.object = row[kColObject].AsInt64();
+  r.priority = static_cast<int>(row[kColPriority].AsInt64());
+  r.deadline = SimTime::FromMicros(row[kColDeadline].AsInt64());
+  r.arrival = SimTime::FromMicros(row[kColArrival].AsInt64());
+  r.client = static_cast<int>(row[kColClient].AsInt64());
+  return r;
+}
+
+void RequestStore::EnsureMirror() const {
+  // Version equality is exact: every content mutation of the table bumps
+  // it, so both out-of-band edits (ad-hoc SQL DML, count-preserving
+  // UPDATEs included) and this store's own error paths that bailed before
+  // recording the version land here and heal.
+  if (mirror_version_ == requests_->version()) return;
+  pending_by_id_.clear();
+  requests_->ForEach([&](RowId, const Row& row) {
+    Request r = RowToRequestFull(row);
+    pending_by_id_.emplace(r.id, std::move(r));
+  });
+  mirror_version_ = requests_->version();
+  ++pending_epoch_;
+}
+
 Status RequestStore::InsertPending(const RequestBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  EnsureMirror();
   for (const Request& request : batch) {
     DS_RETURN_NOT_OK(requests_->Insert(ToRow(request)).status());
+    pending_by_id_[request.id] = request;
   }
+  mirror_version_ = requests_->version();
+  ++pending_epoch_;
+  return Status::OK();
+}
+
+Status RequestStore::AppendHistoryRow(const Request& request) {
+  DS_RETURN_NOT_OK(history_->Insert(ToRow(request)).status());
+  if (IsTerminationMarker(request.op)) unretired_finished_.insert(request.ta);
   return Status::OK();
 }
 
 Status RequestStore::MarkScheduled(const RequestBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  EnsureMirror();
+  // Bump before moving rows: a failure partway through is still a mutation,
+  // and epoch-keyed consumers must resync rather than serve stale state.
+  ++pending_epoch_;
+  ++history_epoch_;
   for (const Request& request : batch) {
     DS_ASSIGN_OR_RETURN(std::vector<RowId> ids,
                         requests_->IndexLookup(kColId, Value::Int64(request.id)));
@@ -77,87 +126,154 @@ Status RequestStore::MarkScheduled(const RequestBatch& batch) {
                                         static_cast<long long>(request.id),
                                         ids.size()));
     }
-    const Row row = *requests_->Get(ids[0]);
+    // Move the full stored row (the scheduled batch may carry only the
+    // protocol's projection of it).
+    Row row = *requests_->Get(ids[0]);
     DS_RETURN_NOT_OK(requests_->Delete(ids[0]));
-    DS_RETURN_NOT_OK(history_->Insert(row).status());
+    pending_by_id_.erase(request.id);
+    if (IsTerminationMarker(ParseOperation(row[kColOperation].AsString()))) {
+      unretired_finished_.insert(row[kColTa].AsInt64());
+    }
+    DS_RETURN_NOT_OK(history_->Insert(std::move(row)).status());
   }
+  requests_->MaybeVacuum();
+  mirror_version_ = requests_->version();
+  history_version_expected_ = history_->version();
   return Status::OK();
 }
 
-Result<int64_t> RequestStore::GarbageCollectFinished() {
-  // Pass 1: transactions with a termination marker in history.
-  std::unordered_set<int64_t> finished;
-  history_->ForEach([&](RowId, const Row& row) {
-    const std::string& op = row[kColOperation].AsString();
-    if (op == "c" || op == "a") finished.insert(row[kColTa].AsInt64());
+Status RequestStore::InsertHistory(const Request& request) {
+  DS_RETURN_NOT_OK(AppendHistoryRow(request));
+  history_version_expected_ = history_->version();
+  ++history_epoch_;
+  return Status::OK();
+}
+
+int64_t RequestStore::DropPendingOfTransaction(txn::TxnId ta) {
+  EnsureMirror();
+  const int64_t removed = requests_->DeleteWhere([ta](const Row& row) {
+    return row[kColTa].AsInt64() == ta;
   });
-  if (finished.empty()) return 0;
-  // Pass 2: retire all their rows (markers included).
-  const int64_t removed = history_->DeleteWhere([&](const Row& row) {
-    return finished.count(row[kColTa].AsInt64()) > 0;
-  });
+  if (removed > 0) {
+    for (auto it = pending_by_id_.begin(); it != pending_by_id_.end();) {
+      it = it->second.ta == ta ? pending_by_id_.erase(it) : std::next(it);
+    }
+    mirror_version_ = requests_->version();
+    ++pending_epoch_;
+  }
   return removed;
 }
 
-Result<RequestBatch> RequestStore::AllPending() const {
-  RequestBatch out;
-  out.reserve(static_cast<size_t>(requests_->size()));
-  Status status;
-  requests_->ForEach([&](RowId, const Row& row) {
-    if (!status.ok()) return;
-    auto request = RowToRequest(row);
-    if (!request.ok()) {
-      status = request.status();
-      return;
+Result<RequestStore::GcResult> RequestStore::GarbageCollectFinished() {
+  GcResult gc;
+  // Out-of-band history edits invalidate the running marker count; rescan
+  // like the pre-incremental implementation did every call. (Markers only
+  // ever leave history through this function, which clears the set, so a
+  // full rebuild here is exact — including markers deleted out-of-band.)
+  if (history_version_expected_ != history_->version()) {
+    unretired_finished_.clear();
+    history_->ForEach([&](RowId, const Row& row) {
+      if (IsTerminationMarker(ParseOperation(row[kColOperation].AsString()))) {
+        unretired_finished_.insert(row[kColTa].AsInt64());
+      }
+    });
+    history_version_expected_ = history_->version();
+  }
+  // Fast path: markers were counted as they entered history, so "nothing to
+  // retire" costs no scan at all.
+  if (unretired_finished_.empty()) return gc;
+  gc.txns.assign(unretired_finished_.begin(), unretired_finished_.end());
+  std::sort(gc.txns.begin(), gc.txns.end());
+  unretired_finished_.clear();
+  // Bump before retiring: if a delete below fails partway, epoch-keyed
+  // consumers still see a mutation and resync instead of serving stale.
+  ++history_epoch_;
+  // Retire each finished transaction's rows (markers included) through the
+  // ta index: O(rows retired), independent of resident history size.
+  for (txn::TxnId ta : gc.txns) {
+    DS_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                        history_->IndexLookup(kColTa, Value::Int64(ta)));
+    for (RowId id : rows) {
+      DS_RETURN_NOT_OK(history_->Delete(id));
     }
-    out.push_back(request.MoveValue());
-  });
-  DS_RETURN_NOT_OK(status);
-  std::sort(out.begin(), out.end(),
-            [](const Request& a, const Request& b) { return a.id < b.id; });
+    gc.rows_retired += static_cast<int64_t>(rows.size());
+  }
+  history_->MaybeVacuum();
+  history_version_expected_ = history_->version();
+  return gc;
+}
+
+Result<RequestBatch> RequestStore::AllPending() const {
+  EnsureMirror();
+  RequestBatch out;
+  out.reserve(pending_by_id_.size());
+  for (const auto& [id, request] : pending_by_id_) out.push_back(request);
   return out;
+}
+
+const std::map<int64_t, Request>& RequestStore::pending_by_id() const {
+  EnsureMirror();
+  return pending_by_id_;
 }
 
 int64_t RequestStore::pending_count() const { return requests_->size(); }
 int64_t RequestStore::history_count() const { return history_->size(); }
+uint64_t RequestStore::history_version() const { return history_->version(); }
 
-datalog::Database RequestStore::BuildDatalogEdb() const {
-  datalog::Database edb;
-  datalog::Relation& req = edb["req"];
-  datalog::Relation& reqmeta = edb["reqmeta"];
-  datalog::Relation& hist = edb["hist"];
-  requests_->ForEach([&](RowId, const Row& row) {
-    req.push_back({row[kColId], row[kColTa], row[kColIntrata], row[kColOperation],
-                   row[kColObject]});
-    reqmeta.push_back(
-        {row[kColId], row[kColPriority], row[kColDeadline], row[kColArrival]});
-  });
-  history_->ForEach([&](RowId, const Row& row) {
-    hist.push_back({row[kColId], row[kColTa], row[kColIntrata], row[kColOperation],
-                    row[kColObject]});
-  });
-  return edb;
+const datalog::Database& RequestStore::BuildDatalogEdb() const {
+  EnsureMirror();
+  if (edb_pending_epoch_ != pending_epoch_) {
+    datalog::Relation& req = edb_cache_["req"];
+    datalog::Relation& reqmeta = edb_cache_["reqmeta"];
+    req.clear();
+    reqmeta.clear();
+    req.reserve(pending_by_id_.size());
+    reqmeta.reserve(pending_by_id_.size());
+    for (const auto& [id, r] : pending_by_id_) {
+      req.push_back({Value::Int64(r.id), Value::Int64(r.ta),
+                     Value::Int64(r.intrata),
+                     Value::String(std::string(1, txn::OpTypeToChar(r.op))),
+                     Value::Int64(r.object)});
+      reqmeta.push_back({Value::Int64(r.id), Value::Int64(r.priority),
+                         Value::Int64(r.deadline.micros()),
+                         Value::Int64(r.arrival.micros())});
+    }
+    edb_pending_epoch_ = pending_epoch_;
+  }
+  if (edb_history_epoch_ != history_epoch_ ||
+      edb_history_version_ != history_->version()) {
+    datalog::Relation& hist = edb_cache_["hist"];
+    hist.clear();
+    hist.reserve(static_cast<size_t>(history_->size()));
+    history_->ForEach([&](RowId, const Row& row) {
+      hist.push_back({row[kColId], row[kColTa], row[kColIntrata],
+                      row[kColOperation], row[kColObject]});
+    });
+    edb_history_epoch_ = history_epoch_;
+    edb_history_version_ = history_->version();
+  }
+  return edb_cache_;
 }
 
 Result<Request> RequestStore::RowToRequest(const storage::Row& row) const {
   if (row.size() < 5) {
     return Status::InvalidArgument("protocol result row needs >= 5 columns");
   }
+  EnsureMirror();
   Request request;
   request.id = row[kColId].AsInt64();
   request.ta = row[kColTa].AsInt64();
   request.intrata = row[kColIntrata].AsInt64();
   request.op = ParseOperation(row[kColOperation].AsString());
   request.object = row[kColObject].AsInt64();
-  // Rejoin the metadata columns from the pending table (protocols only
+  // Rejoin the metadata columns from the pending mirror (protocols only
   // guarantee the Table 2 columns in their result).
-  auto ids = requests_->IndexLookup(kColId, row[kColId]);
-  if (ids.ok() && ids->size() == 1) {
-    const Row& full = *requests_->Get((*ids)[0]);
-    request.priority = static_cast<int>(full[kColPriority].AsInt64());
-    request.deadline = SimTime::FromMicros(full[kColDeadline].AsInt64());
-    request.arrival = SimTime::FromMicros(full[kColArrival].AsInt64());
-    request.client = static_cast<int>(full[kColClient].AsInt64());
+  auto it = pending_by_id_.find(request.id);
+  if (it != pending_by_id_.end()) {
+    request.priority = it->second.priority;
+    request.deadline = it->second.deadline;
+    request.arrival = it->second.arrival;
+    request.client = it->second.client;
   } else if (row.size() >= 9) {
     request.priority = static_cast<int>(row[kColPriority].AsInt64());
     request.deadline = SimTime::FromMicros(row[kColDeadline].AsInt64());
@@ -165,6 +281,30 @@ Result<Request> RequestStore::RowToRequest(const storage::Row& row) const {
     request.client = static_cast<int>(row[kColClient].AsInt64());
   }
   return request;
+}
+
+Result<RequestBatch> RequestStore::RowsToRequests(
+    const std::vector<storage::Row>& rows) const {
+  EnsureMirror();
+  RequestBatch batch;
+  batch.reserve(rows.size());
+  for (const storage::Row& row : rows) {
+    DS_ASSIGN_OR_RETURN(Request request, RowToRequest(row));
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+void RequestStore::JoinSlaColumns(RequestBatch* batch) const {
+  EnsureMirror();
+  for (Request& request : *batch) {
+    auto it = pending_by_id_.find(request.id);
+    if (it == pending_by_id_.end()) continue;
+    request.priority = it->second.priority;
+    request.deadline = it->second.deadline;
+    request.arrival = it->second.arrival;
+    request.client = it->second.client;
+  }
 }
 
 }  // namespace declsched::scheduler

@@ -3,11 +3,30 @@
 // Both are ordinary relations in a storage::Catalog so that scheduling
 // protocols — SQL queries or Datalog programs — can treat requests as data.
 // Schema: the paper's Table 2 columns plus the SLA extension columns.
+//
+// The store is the single writer of those relations and keeps three pieces
+// of derived state so per-cycle work is proportional to what changed, not
+// what is resident:
+//   - a typed mirror of pending (id -> Request, iterated in id order) that
+//     spares every consumer the boxed-Value decode and per-row index
+//     re-join;
+//   - monotone pending/history epochs, bumped exactly once per mutating
+//     call, that incremental consumers (the Datalog EDB cache below, the
+//     backends' LockTableState) key their caches on;
+//   - a running set of transactions whose commit/abort markers entered
+//     history since the last GC, so GarbageCollectFinished() skips both
+//     full scans when there is nothing to retire.
+// Mutate the relations through this API only; out-of-band table edits are
+// tolerated (derived state self-heals via the tables' content-version
+// counters) but defeat the incremental machinery.
 
 #ifndef DECLSCHED_SCHEDULER_REQUEST_STORE_H_
 #define DECLSCHED_SCHEDULER_REQUEST_STORE_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -32,9 +51,17 @@ class RequestStore {
   static constexpr int kColArrival = 7;
   static constexpr int kColClient = 8;
 
+  /// What one GarbageCollectFinished() call retired.
+  struct GcResult {
+    int64_t rows_retired = 0;
+    /// The terminated transactions whose rows were retired, ascending.
+    std::vector<txn::TxnId> txns;
+  };
+
   RequestStore();
 
   storage::Catalog* catalog() { return &catalog_; }
+  const storage::Catalog* catalog() const { return &catalog_; }
   sql::SqlEngine* sql_engine() { return &engine_; }
 
   /// Appends a batch to the pending `requests` relation.
@@ -44,38 +71,107 @@ class RequestStore {
   /// (Paper Section 3.3, step three.)
   Status MarkScheduled(const RequestBatch& batch);
 
+  /// Appends one row straight to history — how the scheduler injects the
+  /// abort marker of a deadlock victim.
+  Status InsertHistory(const Request& request);
+
+  /// Drops every pending request of `ta`; returns how many were dropped.
+  int64_t DropPendingOfTransaction(txn::TxnId ta);
+
   /// Deletes every history row of transactions that have a commit/abort
   /// marker. Under SS2PL those rows no longer represent locks; retiring them
   /// keeps the history table at the active working set ("all *relevant*
-  /// prior executed requests"). Returns the number of rows retired.
-  Result<int64_t> GarbageCollectFinished();
+  /// prior executed requests"). O(1) when no marker arrived since the last
+  /// call; otherwise O(rows of the finished transactions) via the ta index.
+  Result<GcResult> GarbageCollectFinished();
 
-  /// All pending requests, by ascending id.
+  /// All pending requests, by ascending id (a copy of the mirror).
   Result<RequestBatch> AllPending() const;
+
+  /// The typed mirror of pending, keyed — and therefore iterated — by id.
+  /// The zero-copy way to walk pending; valid until the next mutation.
+  const std::map<int64_t, Request>& pending_by_id() const;
 
   int64_t pending_count() const;
   int64_t history_count() const;
 
+  /// Epochs bump exactly once per mutating call that touched the relation.
+  /// Consumers cache derived state keyed on them (equality compare only).
+  uint64_t pending_epoch() const { return pending_epoch_; }
+  uint64_t history_epoch() const { return history_epoch_; }
+
+  /// The history table's content-mutation counter (storage::Table::
+  /// version()). Unlike the epoch, it also moves on out-of-band edits —
+  /// ad-hoc SQL DML, partial failures — so incremental consumers pair it
+  /// with the epoch to detect every way history can change under them.
+  uint64_t history_version() const;
+
   /// EDB for Datalog protocols:
   ///   req(Id, Ta, Intrata, Op, Obj), hist(Id, Ta, Intrata, Op, Obj),
   ///   reqmeta(Id, Priority, Deadline, Arrival).
-  datalog::Database BuildDatalogEdb() const;
+  /// Cached with per-relation epoch invalidation: req/reqmeta rebuild only
+  /// when pending changed, hist only when history changed, so repeat
+  /// consumers in one cycle (protocol, deadlock resolver) share one build.
+  /// The reference is valid until the next mutation.
+  const datalog::Database& BuildDatalogEdb() const;
 
   /// Converts a result row (id, ta, intrata, operation, object [, ...]) back
-  /// into a Request, rejoining the SLA columns from the pending table.
+  /// into a Request, rejoining the SLA columns from the pending mirror.
   Result<Request> RowToRequest(const storage::Row& row) const;
+
+  /// Batched RowToRequest for a whole SQL/Datalog result set: one pass, one
+  /// mirror join per row, no per-row Result plumbing.
+  Result<RequestBatch> RowsToRequests(const std::vector<storage::Row>& rows) const;
+
+  /// Fills priority/deadline/arrival/client of each request from the
+  /// pending mirror (by id); requests with unknown ids are left as-is. For
+  /// backends that already decoded the Table 2 columns themselves.
+  void JoinSlaColumns(RequestBatch* batch) const;
 
   /// Decodes the `operation` column ("r"/"w"/"a", anything else = commit) —
   /// the one mapping every consumer of these tables must share.
   static txn::OpType ParseOperation(const std::string& op);
 
+  /// Decodes a full 9-column `requests`/`history` row. The one place the
+  /// column layout is interpreted; consumers scanning raw table rows (the
+  /// scratch native path, the mirror rebuild) must share it.
+  static Request RowToRequestFull(const storage::Row& row);
+
  private:
   static storage::Row ToRow(const Request& request);
+
+  /// Rebuilds the mirror from the table if an out-of-band edit changed the
+  /// row count underneath it.
+  void EnsureMirror() const;
+  /// Tracks a row entering history (marker bookkeeping; no epoch bump).
+  Status AppendHistoryRow(const Request& request);
 
   storage::Catalog catalog_;
   sql::SqlEngine engine_;
   storage::Table* requests_ = nullptr;
   storage::Table* history_ = nullptr;
+
+  /// Typed mirror of the `requests` relation. Mutable: EnsureMirror() may
+  /// lazily self-heal from a const accessor. `mirror_version_` is the table
+  /// version the mirror reflects; any mismatch — out-of-band DML, an error
+  /// path that bailed early — triggers a rebuild.
+  mutable std::map<int64_t, Request> pending_by_id_;
+  mutable uint64_t mirror_version_ = 0;
+  /// Transactions with a termination marker in history not yet retired.
+  /// Valid only while the history table's version equals
+  /// `history_version_expected_` (the version after this store's own last
+  /// mutation); an out-of-band edit forces the next GC to rescan markers.
+  std::unordered_set<txn::TxnId> unretired_finished_;
+  uint64_t history_version_expected_ = 0;
+  /// Epochs start at 1 so 0 can serve consumers as a "never synced" value.
+  mutable uint64_t pending_epoch_ = 1;
+  uint64_t history_epoch_ = 1;
+
+  // Datalog EDB cache (see BuildDatalogEdb). A cached epoch of 0 is stale.
+  mutable datalog::Database edb_cache_;
+  mutable uint64_t edb_pending_epoch_ = 0;
+  mutable uint64_t edb_history_epoch_ = 0;
+  mutable uint64_t edb_history_version_ = 0;
 };
 
 }  // namespace declsched::scheduler

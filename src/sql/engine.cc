@@ -232,6 +232,7 @@ Result<int64_t> SqlEngine::ExecDelete(const DeleteStmt& stmt) {
   for (RowId id : doomed) {
     DS_RETURN_NOT_OK(table->Delete(id));
   }
+  table->MaybeVacuum();
   return static_cast<int64_t>(doomed.size());
 }
 

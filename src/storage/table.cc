@@ -35,6 +35,7 @@ Result<RowId> Table::Insert(Row row) {
   IndexInsert(id, row);
   slots_.emplace_back(std::move(row));
   ++live_rows_;
+  ++version_;
   return id;
 }
 
@@ -51,6 +52,7 @@ void Table::DeleteInternal(RowId id) {
   IndexErase(id, *slots_[id]);
   slots_[id].reset();
   --live_rows_;
+  ++version_;
 }
 
 Status Table::Update(RowId id, Row row) {
@@ -62,6 +64,7 @@ Status Table::Update(RowId id, Row row) {
   IndexErase(id, *slots_[id]);
   IndexInsert(id, row);
   slots_[id] = std::move(row);
+  ++version_;
   return Status::OK();
 }
 
@@ -127,10 +130,28 @@ void Table::IndexErase(RowId id, const Row& row) {
 void Table::Clear() {
   slots_.clear();
   live_rows_ = 0;
+  ++version_;
   for (auto& [col, index] : indexes_) index.clear();
 }
 
+bool Table::MaybeVacuum() {
+  if (auto_vacuum_ratio_ <= 0.0) return false;
+  if (slot_count() < auto_vacuum_min_slots_) return false;
+  if (static_cast<double>(live_rows_) >=
+      auto_vacuum_ratio_ * static_cast<double>(slot_count())) {
+    return false;
+  }
+  Vacuum();
+  return true;
+}
+
+void Table::SetAutoVacuum(double live_ratio, int64_t min_slots) {
+  auto_vacuum_ratio_ = live_ratio;
+  auto_vacuum_min_slots_ = min_slots;
+}
+
 void Table::Vacuum() {
+  if (live_rows_ == slot_count()) return;  // nothing tombstoned
   std::vector<std::optional<Row>> compacted;
   compacted.reserve(static_cast<size_t>(live_rows_));
   for (auto& slot : slots_) {

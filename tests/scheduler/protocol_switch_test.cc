@@ -68,10 +68,16 @@ TEST(ProtocolSwitchTest, SwitchAcrossAllFourBackendsPreservesPending) {
 TEST(ProtocolSwitchTest, RotatingBackendsDispatchEachRequestExactlyOnce) {
   // Closed-loop clients: 6 transactions, each 3 writes (objects in ascending
   // order, so no deadlocks) plus a commit. The active protocol rotates
-  // through all four backends every cycle; no dispatch may be lost or
-  // duplicated across switches.
+  // through every backend every cycle — including the stateless scratch
+  // formulation of the native backend, so each hop back to incremental
+  // native lands on a fresh instance whose lock state must resync before
+  // answering. No dispatch may be lost or duplicated across switches.
+  ProtocolSpec scratch_native = Ss2plNative();
+  scratch_native.name = "ss2pl-native-scratch";
+  scratch_native.text = "scratch:ss2pl";
   const std::vector<ProtocolSpec> rotation = {
-      Ss2plSql(), Ss2plDatalog(), Ss2plNative(), ComposedSs2plPriority()};
+      Ss2plSql(), Ss2plDatalog(), Ss2plNative(), scratch_native,
+      ComposedSs2plPriority()};
 
   server::DatabaseServer::Config server_config;
   server_config.num_rows = 10;

@@ -66,8 +66,16 @@ TEST(RequestStoreTest, GarbageCollectRetiresFinishedTransactions) {
   EXPECT_EQ(store.history_count(), 4);
   auto removed = store.GarbageCollectFinished();
   ASSERT_TRUE(removed.ok());
-  EXPECT_EQ(*removed, 3);  // T10's two ops + marker
+  EXPECT_EQ(removed->rows_retired, 3);  // T10's two ops + marker
+  ASSERT_EQ(removed->txns.size(), 1u);
+  EXPECT_EQ(removed->txns[0], 10);
   EXPECT_EQ(store.history_count(), 1);
+  // Idempotent: the marker set was consumed, so the next call is the O(1)
+  // nothing-to-retire fast path.
+  auto again = store.GarbageCollectFinished();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows_retired, 0);
+  EXPECT_TRUE(again->txns.empty());
 }
 
 TEST(RequestStoreTest, GarbageCollectNoopWithoutMarkers) {
@@ -77,7 +85,8 @@ TEST(RequestStoreTest, GarbageCollectNoopWithoutMarkers) {
   ASSERT_TRUE(store.MarkScheduled({a}).ok());
   auto removed = store.GarbageCollectFinished();
   ASSERT_TRUE(removed.ok());
-  EXPECT_EQ(*removed, 0);
+  EXPECT_EQ(removed->rows_retired, 0);
+  EXPECT_TRUE(removed->txns.empty());
 }
 
 TEST(RequestStoreTest, DatalogEdbShapes) {
@@ -111,6 +120,98 @@ TEST(RequestStoreTest, RowToRequestRejoinsSlaColumns) {
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->priority, 2);
   EXPECT_EQ(back->deadline.micros(), 77000);
+}
+
+TEST(RequestStoreTest, GcRescansAfterOutOfBandHistoryEdit) {
+  RequestStore store;
+  const Request a = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  ASSERT_TRUE(store.InsertPending({a}).ok());
+  ASSERT_TRUE(store.MarkScheduled({a}).ok());
+  // A commit marker injected by ad-hoc SQL rather than the store API: the
+  // version mismatch forces GC back onto the full marker rescan, so the
+  // transaction still retires like it would have pre-incrementally.
+  auto ins = store.sql_engine()->Execute(
+      "INSERT INTO history VALUES (2, 10, 2, 'c', -1, 0, 0, 0, -1)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  auto gc = store.GarbageCollectFinished();
+  ASSERT_TRUE(gc.ok());
+  EXPECT_EQ(gc->rows_retired, 2);
+  ASSERT_EQ(gc->txns.size(), 1u);
+  EXPECT_EQ(gc->txns[0], 10);
+  EXPECT_EQ(store.history_count(), 0);
+}
+
+TEST(RequestStoreTest, PendingMirrorTracksMutations) {
+  RequestStore store;
+  const Request a = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  const Request b = MakeRequest(2, 11, 1, txn::OpType::kRead, 6);
+  const Request c = MakeRequest(3, 11, 2, txn::OpType::kRead, 7);
+  ASSERT_TRUE(store.InsertPending({a, b, c}).ok());
+  EXPECT_EQ(store.pending_by_id().size(), 3u);
+  ASSERT_TRUE(store.MarkScheduled({a}).ok());
+  EXPECT_EQ(store.pending_by_id().count(1), 0u);
+  EXPECT_EQ(store.DropPendingOfTransaction(11), 2);
+  EXPECT_TRUE(store.pending_by_id().empty());
+  EXPECT_EQ(store.pending_count(), 0);
+}
+
+TEST(RequestStoreTest, EpochsBumpOncePerMutatingCall) {
+  RequestStore store;
+  const uint64_t p0 = store.pending_epoch();
+  const uint64_t h0 = store.history_epoch();
+  const Request a = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  const Request b = MakeRequest(2, 10, 2, txn::OpType::kCommit, -1);
+  ASSERT_TRUE(store.InsertPending({a, b}).ok());
+  EXPECT_EQ(store.pending_epoch(), p0 + 1);
+  EXPECT_EQ(store.history_epoch(), h0);
+  ASSERT_TRUE(store.MarkScheduled({a, b}).ok());
+  EXPECT_EQ(store.pending_epoch(), p0 + 2);
+  EXPECT_EQ(store.history_epoch(), h0 + 1);
+  auto gc = store.GarbageCollectFinished();
+  ASSERT_TRUE(gc.ok());
+  EXPECT_EQ(gc->rows_retired, 2);
+  EXPECT_EQ(store.history_epoch(), h0 + 2);
+  // Empty mutations are free: no epoch churn, no cache invalidation.
+  ASSERT_TRUE(store.InsertPending({}).ok());
+  ASSERT_TRUE(store.MarkScheduled({}).ok());
+  ASSERT_TRUE(store.GarbageCollectFinished().ok());
+  EXPECT_EQ(store.pending_epoch(), p0 + 2);
+  EXPECT_EQ(store.history_epoch(), h0 + 2);
+}
+
+TEST(RequestStoreTest, MirrorSelfHealsAfterOutOfBandEdit) {
+  RequestStore store;
+  ASSERT_TRUE(store.InsertPending({MakeRequest(1, 10, 1, txn::OpType::kRead, 5)}).ok());
+  EXPECT_EQ(store.pending_by_id().size(), 1u);
+  const uint64_t before = store.pending_epoch();
+  // Count-preserving ad-hoc DML behind the store's back: the mirror
+  // notices the table's content-version moved, rebuilds, and bumps the
+  // pending epoch.
+  auto updated = store.sql_engine()->Execute("UPDATE requests SET object = 42");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(store.pending_by_id().at(1).object, 42);
+  EXPECT_GT(store.pending_epoch(), before);
+  // Count-changing DML heals too.
+  auto removed = store.sql_engine()->Execute("DELETE FROM requests");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(store.pending_by_id().empty());
+}
+
+TEST(RequestStoreTest, DatalogEdbCacheInvalidatesPerRelation) {
+  RequestStore store;
+  const Request a = MakeRequest(1, 10, 1, txn::OpType::kWrite, 5);
+  const Request b = MakeRequest(2, 11, 1, txn::OpType::kRead, 6);
+  ASSERT_TRUE(store.InsertPending({a, b}).ok());
+  const datalog::Database& edb = store.BuildDatalogEdb();
+  EXPECT_EQ(edb.at("req").size(), 2u);
+  EXPECT_TRUE(edb.at("hist").empty());
+  // Unchanged store: same relations handed back without a rebuild.
+  EXPECT_EQ(&store.BuildDatalogEdb(), &edb);
+  ASSERT_TRUE(store.MarkScheduled({a}).ok());
+  const datalog::Database& after = store.BuildDatalogEdb();
+  EXPECT_EQ(after.at("req").size(), 1u);
+  EXPECT_EQ(after.at("hist").size(), 1u);
+  EXPECT_EQ(after.at("hist")[0][3].AsString(), "w");
 }
 
 TEST(RequestStoreTest, SqlEngineSeesTables) {

@@ -145,6 +145,66 @@ TEST(TableTest, ClearKeepsSchemaAndIndexes) {
   EXPECT_TRUE(t.IndexLookup(0, Value::Int64(1))->empty());
 }
 
+TEST(TableTest, AutoVacuumCompactsDecayedHeap) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex("id").ok());
+  for (int i = 0; i < 1000; ++i) t.Insert(MakeRow(i, "a", i)).ValueOrDie();
+  EXPECT_EQ(t.slot_count(), 1000);
+  // DeleteWhere leaves mostly tombstones behind -> auto-vacuum kicks in.
+  const int64_t removed =
+      t.DeleteWhere([](const Row& row) { return row[0].AsInt64() < 900; });
+  EXPECT_EQ(removed, 900);
+  EXPECT_EQ(t.size(), 100);
+  EXPECT_EQ(t.slot_count(), 100);  // compacted, not tombstoned
+  // Survivors keep their values, relative iteration order, and indexes.
+  int64_t expect = 900;
+  t.ForEach([&](RowId, const Row& row) {
+    EXPECT_EQ(row[0].AsInt64(), expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, 1000);
+  auto hits = t.IndexLookup(0, Value::Int64(950));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*t.Get((*hits)[0]))[0].AsInt64(), 950);
+}
+
+TEST(TableTest, AutoVacuumRespectsMinSlots) {
+  Table t("t", TestSchema());
+  for (int i = 0; i < 100; ++i) t.Insert(MakeRow(i, "a", i)).ValueOrDie();
+  // Below the 256-slot default floor: tombstones are cheaper than a vacuum.
+  t.DeleteWhere([](const Row& row) { return row[0].AsInt64() < 90; });
+  EXPECT_EQ(t.size(), 10);
+  EXPECT_EQ(t.slot_count(), 100);
+  EXPECT_FALSE(t.MaybeVacuum());
+}
+
+TEST(TableTest, AutoVacuumCanBeDisabledAndTriggeredManually) {
+  Table t("t", TestSchema());
+  t.SetAutoVacuum(/*live_ratio=*/0.0, /*min_slots=*/0);
+  for (int i = 0; i < 1000; ++i) t.Insert(MakeRow(i, "a", i)).ValueOrDie();
+  t.DeleteWhere([](const Row& row) { return row[0].AsInt64() != 0; });
+  EXPECT_EQ(t.slot_count(), 1000);  // disabled: full tombstone heap remains
+  EXPECT_FALSE(t.MaybeVacuum());
+  t.SetAutoVacuum(/*live_ratio=*/0.5, /*min_slots=*/256);
+  EXPECT_TRUE(t.MaybeVacuum());
+  EXPECT_EQ(t.slot_count(), 1);
+  EXPECT_EQ(t.size(), 1);
+}
+
+TEST(TableTest, SingleRowDeleteNeverAutoVacuums) {
+  // Delete() callers may hold RowIds from an index lookup; only bulk-delete
+  // boundaries are allowed to compact.
+  Table t("t", TestSchema());
+  std::vector<RowId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(*t.Insert(MakeRow(i, "a", i)));
+  for (int i = 0; i < 999; ++i) ASSERT_TRUE(t.Delete(ids[i]).ok());
+  EXPECT_EQ(t.slot_count(), 1000);  // RowIds stayed valid throughout
+  EXPECT_NE(t.Get(ids[999]), nullptr);
+  EXPECT_TRUE(t.MaybeVacuum());
+  EXPECT_EQ(t.slot_count(), 1);
+}
+
 TEST(TableTest, VacuumCompactsAndReindexes) {
   Table t("t", TestSchema());
   ASSERT_TRUE(t.CreateIndex("id").ok());
