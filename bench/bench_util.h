@@ -1,4 +1,17 @@
-// Shared helpers for the experiment benches.
+// Shared helpers for the experiment benches (see docs/BENCHMARKS.md for
+// what each bench measures and gates).
+//
+// Two behaviors here have surprised bench authors; both are deliberate:
+//
+// * FillSteadyState writes straight into the RequestStore, bypassing the
+//   scheduler — so a protocol compiled before the fill has NOT been
+//   narrated those mutations (its incremental state is stale by design;
+//   the epoch check catches it and the first cycle rebuilds).
+// * MeasureSteadyStateCycle therefore runs one warm-up cycle before the
+//   measured one: the warm-up absorbs that one-off resync (and any
+//   first-cycle cache effects), so the returned stats are the protocol's
+//   steady-state cost, not a rebuild artifact. Benches that seed state
+//   behind a scheduler's back should copy this warm-one-cycle pattern.
 
 #ifndef DECLSCHED_BENCH_BENCH_UTIL_H_
 #define DECLSCHED_BENCH_BENCH_UTIL_H_
@@ -76,11 +89,14 @@ inline void FillSteadyState(scheduler::RequestStore* store, int clients,
 
 /// One scheduling cycle of `spec` on the steady state above plus one fresh
 /// queued request per client, with GC and deadlock detection off (pure
-/// protocol-evaluation cost). A warm-up cycle with its own fresh requests
-/// runs first, so backends with incremental state (the seeded store was
-/// filled behind their back) measure their steady-state cost, not a
-/// one-off resync. The shared measurement of the overhead benches — keep
-/// them on the same workload.
+/// protocol-evaluation cost). WARM-UP CONTRACT: one warm-up cycle with its
+/// own fresh requests runs first — the returned stats describe the SECOND
+/// cycle. Backends with incremental state (the seeded store was filled
+/// behind their back, unnarrated) resync during the warm-up, so the
+/// measured cycle is steady-state O(delta) cost, not a one-off rebuild;
+/// whatever the warm-up dispatched is resident history (and its blocked
+/// requests stay pending) by the time the measured cycle runs. The shared
+/// measurement of the overhead benches — keep them on the same workload.
 inline scheduler::CycleStats MeasureSteadyStateCycle(
     const scheduler::ProtocolSpec& spec, int clients) {
   scheduler::DeclarativeScheduler::Options options;

@@ -1,0 +1,201 @@
+// Sharded server mode: the full stack — N scheduler shards with worker
+// threads dispatching into one thread-safe DatabaseServer — driven by a
+// closed-loop workload.
+//
+//   ./sharded_server --shards=4 --txns=5000 --cross=0.1
+//
+// Each transaction writes `ops` objects in ascending order (one at a time,
+// closed loop) and commits; a --cross fraction of transactions touch two
+// shards, so their commits go through the escrow path. Prints aggregate
+// throughput, per-shard scheduler busy time, and the server's per-shard
+// busy attribution. See docs/ARCHITECTURE.md for the shard/escrow design.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "scheduler/protocol_library.h"
+#include "scheduler/sharded_scheduler.h"
+#include "server/database_server.h"
+
+using namespace declsched;             // NOLINT
+using namespace declsched::scheduler;  // NOLINT
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t FlagValue(const char* arg, const char* name, int64_t fallback) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoll(arg + len + 1);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int shards = 4;
+  int txns = 5000;
+  int ops = 4;
+  double cross = 0.1;
+  for (int i = 1; i < argc; ++i) {
+    shards = static_cast<int>(FlagValue(argv[i], "--shards", shards));
+    txns = static_cast<int>(FlagValue(argv[i], "--txns", txns));
+    ops = static_cast<int>(FlagValue(argv[i], "--ops", ops));
+    if (std::strncmp(argv[i], "--cross=", 8) == 0) cross = std::atof(argv[i] + 8);
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--shards=N] [--txns=N] [--ops=N] [--cross=F]\n",
+                  argv[0]);
+      return 0;
+    }
+  }
+
+  server::DatabaseServer::Config server_config;
+  server_config.num_rows = 100000;
+  server::DatabaseServer server(server_config);
+
+  ShardedScheduler::Options options;
+  options.num_shards = shards;
+  options.shard.protocol = Ss2plNative();
+  options.shard.deadlock_detection = false;  // ascending-object workload
+  options.keep_dispatch_log = false;
+
+  // Pre-generate the workload: per-shard object pools, ascending per txn.
+  ShardRouter placement(shards);
+  Rng rng(7);
+  const int pool_per_shard = 256;
+  std::vector<std::vector<int64_t>> pools(static_cast<size_t>(shards));
+  for (int64_t object = 0;; ++object) {
+    auto& pool = pools[static_cast<size_t>(placement.ShardOfObject(object))];
+    if (static_cast<int>(pool.size()) < pool_per_shard) pool.push_back(object);
+    bool full = true;
+    for (const auto& p : pools) {
+      full = full && static_cast<int>(p.size()) == pool_per_shard;
+    }
+    if (full) break;
+  }
+  std::vector<std::vector<int64_t>> txn_objects(static_cast<size_t>(txns));
+  for (auto& objects : txn_objects) {
+    const int s1 = static_cast<int>(rng.UniformInt(0, shards - 1));
+    int s2 = s1;
+    if (shards > 1 && rng.Bernoulli(cross)) {
+      while (s2 == s1) s2 = static_cast<int>(rng.UniformInt(0, shards - 1));
+    }
+    while (static_cast<int>(objects.size()) < ops) {
+      const auto& pool = pools[static_cast<size_t>(rng.Bernoulli(0.5) ? s1 : s2)];
+      const int64_t o =
+          pool[static_cast<size_t>(rng.UniformInt(0, pool_per_shard - 1))];
+      if (std::find(objects.begin(), objects.end(), o) == objects.end()) {
+        objects.push_back(o);
+      }
+    }
+    std::sort(objects.begin(), objects.end());
+  }
+
+  // Closed loop: follow-ups submitted from the dispatch callbacks.
+  std::vector<std::atomic<int>> next_op(static_cast<size_t>(txns));
+  for (auto& n : next_op) n.store(1);
+  std::atomic<int> next_txn{0};
+  std::atomic<int> finished{0};
+  ShardedScheduler* sched_ptr = nullptr;
+  auto submit_op = [&](int i, int op_index) {
+    Request r;
+    r.ta = i + 1;
+    r.intrata = op_index + 1;
+    if (op_index < ops) {
+      r.op = txn::OpType::kWrite;
+      r.object = txn_objects[static_cast<size_t>(i)][static_cast<size_t>(op_index)];
+    } else {
+      r.op = txn::OpType::kCommit;
+      r.object = Request::kNoObject;
+    }
+    sched_ptr->Submit(r, SimTime());
+  };
+  std::vector<std::atomic<uint64_t>> seen(static_cast<size_t>(txns));
+  for (auto& s : seen) s.store(0);
+  options.on_dispatch = [&](int shard_id, const RequestBatch& batch) {
+    for (const Request& r : batch) {
+      const int i = static_cast<int>(r.ta) - 1;
+      const uint64_t bit = uint64_t{1} << (r.intrata - 1);
+      const uint64_t prev = seen[static_cast<size_t>(i)].fetch_or(bit);
+      if (prev & bit) {
+        std::fprintf(stderr, "DOUBLE DISPATCH of %s on shard %d (seen=%llx)\n",
+                     r.ToString().c_str(), shard_id,
+                     static_cast<unsigned long long>(prev));
+        std::abort();
+      }
+      if (r.op == txn::OpType::kCommit) {
+        finished.fetch_add(1);
+        const int next = next_txn.fetch_add(1);
+        if (next < txns) submit_op(next, 0);
+      } else {
+        submit_op(i, next_op[static_cast<size_t>(i)].fetch_add(1));
+      }
+    }
+  };
+
+  ShardedScheduler sched(std::move(options), &server);
+  sched_ptr = &sched;
+  DS_CHECK_OK(sched.Init());
+  DS_CHECK_OK(sched.Start());
+
+  const int64_t t0 = WallMicros();
+  const int window = std::min(txns, 256);
+  // Reserve the whole window before submitting anything: a fast transaction
+  // can complete while this loop still runs, and its commit callback must
+  // hand out fresh indices, not race this loop for them.
+  next_txn.store(window);
+  for (int i = 0; i < window; ++i) submit_op(i, 0);
+  while (finished.load() < txns) {
+    const int before = finished.load();
+    if (!sched.WaitIdle(/*timeout_us=*/30000000) ||
+        (finished.load() == before && finished.load() < txns)) {
+      std::fprintf(stderr, "stalled at %d/%d transactions\n", finished.load(),
+                   txns);
+      // Stop the workers before touching shard state: store()/queue reads
+      // are cycle-thread-only while workers run.
+      sched.Stop();
+      for (int s = 0; s < shards; ++s) {
+        std::fprintf(stderr, "  shard %d: queue=%lld pending=%lld\n", s,
+                     static_cast<long long>(sched.shard(s)->queue_size()),
+                     static_cast<long long>(sched.shard(s)->store()->pending_count()));
+      }
+      return 1;
+    }
+  }
+  const int64_t elapsed_us = WallMicros() - t0;
+  sched.Stop();
+
+  const auto totals = sched.totals();
+  std::printf("shards=%d txns=%d ops=%d cross=%.0f%%\n", shards, txns, ops,
+              cross * 100);
+  std::printf("dispatched %lld requests in %.1f ms (%.0f req/s), %lld cycles, "
+              "%lld escrows, %lld mirrors\n",
+              static_cast<long long>(totals.dispatched),
+              static_cast<double>(elapsed_us) / 1000.0,
+              static_cast<double>(totals.dispatched) * 1e6 /
+                  static_cast<double>(elapsed_us),
+              static_cast<long long>(totals.cycles),
+              static_cast<long long>(totals.escrows),
+              static_cast<long long>(totals.mirrors_applied));
+  for (int s = 0; s < shards; ++s) {
+    std::printf("  shard %d: scheduler busy %8lld us, server busy %8lld us\n",
+                s, static_cast<long long>(sched.shard_busy_us(s)),
+                static_cast<long long>(server.shard_busy(s).micros()));
+  }
+  std::printf("server executed %lld statements, total busy %lld us\n",
+              static_cast<long long>(server.total_statements()),
+              static_cast<long long>(server.total_busy().micros()));
+  return 0;
+}

@@ -18,7 +18,10 @@ int64_t NowMicros() {
 
 DeclarativeScheduler::DeclarativeScheduler(Options options,
                                            server::DatabaseServer* server)
-    : options_(std::move(options)), server_(server), trigger_(options_.trigger) {}
+    : options_(std::move(options)),
+      server_(server),
+      trigger_(options_.trigger),
+      next_request_id_(options_.first_request_id) {}
 
 const ProtocolFactory& DeclarativeScheduler::factory() const {
   return options_.factory != nullptr ? *options_.factory
@@ -40,6 +43,14 @@ int64_t DeclarativeScheduler::Submit(Request request, SimTime now) {
   queue_.Push(std::move(request));
   ++totals_.admitted;
   return next_request_id_ - 1;
+}
+
+void DeclarativeScheduler::SubmitRouted(Request request) {
+  // Only the queue (its own mutex). totals_.admitted is Submit()-path
+  // state and is deliberately not touched from here — in sharded mode the
+  // ShardedScheduler's own totals().submitted is the admission count, and
+  // queue()->total_pushed() gives the per-shard number when needed.
+  queue_.Push(std::move(request));
 }
 
 bool DeclarativeScheduler::ShouldFire(SimTime now) const {
@@ -64,20 +75,30 @@ const ProtocolSpec& DeclarativeScheduler::protocol() const {
 Status DeclarativeScheduler::AbortTransaction(txn::TxnId ta, SimTime now) {
   // Drop the victim's pending requests, then record an abort marker so the
   // protocol sees its locks released (and GC retires its history rows).
+  Request marker;
+  marker.id = next_request_id_++;
+  marker.ta = ta;
+  marker.intrata = 1 << 30;  // after any real intra-transaction number
+  marker.op = txn::OpType::kAbort;
+  marker.object = Request::kNoObject;
+  marker.arrival = now;
+  marker.client = -1;
+  return InjectFinisherMarker(marker);
+}
+
+Status DeclarativeScheduler::ApplyEscrowedFinisher(const Request& marker) {
+  DS_CHECK(protocol_ != nullptr);  // Init() was called
+  return InjectFinisherMarker(marker);
+}
+
+Status DeclarativeScheduler::InjectFinisherMarker(const Request& marker) {
   // Each store mutation is narrated to the protocol right away, so
   // incremental backends stay in lockstep.
-  RequestBatch marker(1);
-  marker[0].id = next_request_id_++;
-  marker[0].ta = ta;
-  marker[0].intrata = 1 << 30;  // after any real intra-transaction number
-  marker[0].op = txn::OpType::kAbort;
-  marker[0].object = Request::kNoObject;
-  marker[0].arrival = now;
-  marker[0].client = -1;
-
-  store_.DropPendingOfTransaction(ta);
-  DS_RETURN_NOT_OK(store_.InsertHistory(marker[0]));
-  protocol_->OnScheduled(marker);
+  if (marker.op == txn::OpType::kAbort) {
+    store_.DropPendingOfTransaction(marker.ta);
+  }
+  DS_RETURN_NOT_OK(store_.InsertHistory(marker));
+  protocol_->OnScheduled(RequestBatch{marker});
   return Status::OK();
 }
 
@@ -98,8 +119,13 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
 
   // 2. Run the declarative protocol.
   const int64_t query_start = NowMicros();
-  DS_ASSIGN_OR_RETURN(RequestBatch qualified,
-                      protocol_->Schedule(ScheduleContext{&store_, now}));
+  ScheduleContext context;
+  context.store = &store_;
+  context.now = now;
+  context.shard = options_.shard;
+  context.num_shards = options_.num_shards;
+  context.escrowed = escrowed_;
+  DS_ASSIGN_OR_RETURN(RequestBatch qualified, protocol_->Schedule(context));
   stats.query_us = NowMicros() - query_start;
   if (options_.max_dispatch_per_cycle > 0 &&
       static_cast<int64_t>(qualified.size()) > options_.max_dispatch_per_cycle) {
@@ -139,7 +165,7 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
     batch.reserve(qualified.size());
     for (const Request& request : qualified) batch.push_back(request.ToStatement());
     DS_ASSIGN_OR_RETURN(server::DatabaseServer::BatchStats server_stats,
-                        server_->ExecuteBatch(batch));
+                        server_->ExecuteBatch(batch, options_.shard));
     stats.server_busy = server_stats.busy;
   }
   stats.dispatched = static_cast<int64_t>(qualified.size());

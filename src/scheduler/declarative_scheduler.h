@@ -12,6 +12,19 @@
 // O(delta) per cycle instead of re-deriving state from what is resident.
 // Every phase of every cycle is timed with a real (wall) clock, since the
 // scheduler's own cost is exactly what Section 4.3 measures.
+//
+// Thread ownership: one thread — the cycle thread — owns RunCycle,
+// SwitchProtocol, ApplyEscrowedFinisher, store() mutation, and every
+// accessor not documented otherwise. Admission (Submit/SubmitRouted) is
+// the one concurrent entry point: it touches only the thread-safe incoming
+// queue (plus, for Submit, the id counter — so preassign ids via
+// SubmitRouted when submitting from multiple threads). This is the
+// contract the sharded scheduler builds on (one DeclarativeScheduler per
+// shard, one worker thread each); see docs/ARCHITECTURE.md. Epoch
+// invariant: every store mutation RunCycle makes bumps the store's
+// pending/history epoch exactly once and is narrated through exactly one
+// protocol hook immediately after — the handshake incremental backends
+// (LockTableState, the Datalog EDB cache) key their O(delta) fast path on.
 
 #ifndef DECLSCHED_SCHEDULER_DECLARATIVE_SCHEDULER_H_
 #define DECLSCHED_SCHEDULER_DECLARATIVE_SCHEDULER_H_
@@ -78,6 +91,14 @@ class DeclarativeScheduler {
     /// ProtocolFactory::Global(). Supply one to drive the scheduler with
     /// backends that are not registered globally.
     const ProtocolFactory* factory = nullptr;
+    /// Identity reported to protocols via ScheduleContext (which shard this
+    /// instance runs as). The defaults describe an unsharded scheduler.
+    int shard = 0;
+    int num_shards = 1;
+    /// Base for internally assigned ids (Submit, deadlock-victim abort
+    /// markers). The sharded scheduler gives each shard a disjoint high
+    /// range so internal ids never collide with its global request ids.
+    int64_t first_request_id = 1;
 
     Options() : protocol(Ss2plSql()) {}
   };
@@ -91,8 +112,29 @@ class DeclarativeScheduler {
   Status Init();
 
   /// Admits a request: assigns id and arrival, appends to the queue.
-  /// Returns the assigned id.
+  /// Returns the assigned id. Call from one submitting thread at a time
+  /// (the id counter is unsynchronized); concurrent submitters should
+  /// preassign ids and use SubmitRouted.
   int64_t Submit(Request request, SimTime now);
+
+  /// Admits a request that already carries its (globally unique) id —
+  /// sharded mode, where the ShardedScheduler numbers requests. Touches
+  /// only the thread-safe incoming queue: safe from any thread, any number
+  /// concurrently.
+  void SubmitRouted(Request request);
+
+  /// Applies a finisher (commit/abort) marker published by another shard's
+  /// dispatch: drops the transaction's pending requests if it aborted, then
+  /// inserts the marker into history and narrates OnScheduled — exactly the
+  /// store/protocol transition a locally dispatched finisher makes, so
+  /// incremental backends absorb the cross-shard delta at O(delta). Cycle
+  /// thread only.
+  Status ApplyEscrowedFinisher(const Request& marker);
+
+  /// Points the per-cycle ScheduleContext at an externally maintained
+  /// escrow view (null = none). The pointee must outlive the scheduler or
+  /// be reset; cycle thread only.
+  void set_escrowed_locks(const EscrowedLocks* escrowed) { escrowed_ = escrowed; }
 
   /// True if the trigger would fire now.
   bool ShouldFire(SimTime now) const;
@@ -119,7 +161,11 @@ class DeclarativeScheduler {
 
   RequestStore* store() { return &store_; }
   const SchedulerTotals& totals() const { return totals_; }
+  /// Thread-safe (the queue carries its own lock).
   int64_t queue_size() const { return queue_.size(); }
+  /// The incoming queue (e.g. to set its push-notify hook). The queue's own
+  /// API is thread-safe; set_notify before producers start.
+  IncomingQueue* queue() { return &queue_; }
 
  private:
   /// The factory protocols compile through (Options override or Global()).
@@ -128,6 +174,10 @@ class DeclarativeScheduler {
   /// Injects an abort marker for a victim transaction and drops its pending
   /// requests.
   Status AbortTransaction(txn::TxnId ta, SimTime now);
+
+  /// Shared tail of AbortTransaction and ApplyEscrowedFinisher: drop
+  /// pending on abort, append the marker to history, narrate OnScheduled.
+  Status InjectFinisherMarker(const Request& marker);
 
   Options options_;
   server::DatabaseServer* server_;
@@ -139,6 +189,7 @@ class DeclarativeScheduler {
   RequestBatch last_dispatched_;
   std::vector<txn::TxnId> last_victims_;
   SchedulerTotals totals_;
+  const EscrowedLocks* escrowed_ = nullptr;
   int64_t next_request_id_ = 1;
 };
 

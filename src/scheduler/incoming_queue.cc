@@ -3,10 +3,15 @@
 namespace declsched::scheduler {
 
 int64_t IncomingQueue::Push(Request request) {
-  std::lock_guard<std::mutex> lock(mu_);
-  queue_.push_back(std::move(request));
-  ++total_pushed_;
-  return static_cast<int64_t>(queue_.size());
+  int64_t size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(request));
+    ++total_pushed_;
+    size = static_cast<int64_t>(queue_.size());
+  }
+  if (notify_) notify_();
+  return size;
 }
 
 RequestBatch IncomingQueue::DrainAll() {

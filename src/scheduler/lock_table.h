@@ -11,6 +11,18 @@
 // history mutation it was not told about is detected on the next Refresh()
 // and answered with a from-scratch rebuild, so out-of-band store edits
 // degrade performance, never correctness.
+//
+// Thread ownership: a LockTableState is owned by a Protocol instance and
+// inherits its threading contract — hooks and Refresh() run on the one
+// cycle thread of the scheduler (shard) that owns the store; nothing here
+// locks. Epoch invariant it relies on: the store bumps its history epoch
+// exactly once per mutating call, the scheduler narrates that mutation
+// through exactly one hook immediately after making it, and the paired
+// content-version counter moves on every table edit however invoked —
+// which is what lets ApplyHistoryAppend/ApplyFinished accept a delta iff
+// the store is exactly one narrated step ahead, and Refresh() catch
+// everything else (including a cross-shard escrow mirror applied without
+// narration) with a rebuild.
 
 #ifndef DECLSCHED_SCHEDULER_LOCK_TABLE_H_
 #define DECLSCHED_SCHEDULER_LOCK_TABLE_H_

@@ -27,9 +27,19 @@ namespace declsched::scheduler {
 
 struct LockTable;
 
+/// Cross-shard escrow state visible to a shard's protocol: transactions
+/// whose finisher has been admitted under escrow somewhere in the sharded
+/// scheduler and whose locks on this shard will be released when the escrow
+/// home shard publishes the dispatch. Purely advisory — the built-in
+/// protocols schedule correctly without consulting it — but a policy may
+/// use it (e.g. to deprioritize requests that are about to unblock anyway).
+struct EscrowedLocks {
+  /// Transactions in escrow involving this shard, in admission order.
+  std::vector<txn::TxnId> txns;
+};
+
 /// Everything a backend may consult when evaluating one scheduling cycle.
-/// Today that is the request store plus the cycle's simulated time; new
-/// fields extend every backend at once without signature churn.
+/// New fields extend every backend at once without signature churn.
 struct ScheduleContext {
   RequestStore* store = nullptr;
   SimTime now;
@@ -41,6 +51,13 @@ struct ScheduleContext {
   /// so later stages can judge pending-pending conflicts without re-copying
   /// the store's mirror; null means fetch from the store when needed.
   const RequestBatch* pending_universe = nullptr;
+  /// Which scheduler shard is evaluating (0-based) and how many shards the
+  /// scheduler runs. A single-shard DeclarativeScheduler reports 0 of 1.
+  int shard = 0;
+  int num_shards = 1;
+  /// In-flight cross-shard escrows touching this shard; null when the
+  /// scheduler runs unsharded (or no escrow is in flight).
+  const EscrowedLocks* escrowed = nullptr;
 };
 
 /// The declarative description of a scheduling protocol. `backend` names the
@@ -69,6 +86,13 @@ struct ProtocolSpec {
 /// factory, Schedule() every cycle, always with a context naming the store
 /// it was compiled against (backends may bind compile-time state, e.g. a
 /// prepared SQL plan, to that store).
+///
+/// Thread ownership: a Protocol instance belongs to the one thread that
+/// runs its scheduler's cycles. Schedule() and every delta hook are called
+/// from that thread only, so backends need no internal locking even when
+/// they keep mutable incremental state. In the sharded scheduler each shard
+/// compiles its own instance against its own store; instances never share
+/// state across shards.
 class Protocol {
  public:
   virtual ~Protocol() = default;

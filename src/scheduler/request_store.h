@@ -19,6 +19,16 @@
 // Mutate the relations through this API only; out-of-band table edits are
 // tolerated (derived state self-heals via the tables' content-version
 // counters) but defeat the incremental machinery.
+//
+// Thread ownership: a RequestStore belongs to the one thread that runs its
+// scheduler's cycles — nothing here locks. In the sharded scheduler each
+// shard owns a private store (and therefore private epochs); cross-shard
+// effects arrive only as that shard's own cycle-thread mutations (escrow
+// mirror markers applied between cycles). Epoch invariant consumers rely
+// on: each mutating call that touches a relation bumps that relation's
+// epoch exactly once — never zero times, never twice — and the epoch
+// value is meaningful only for equality comparison against a value read
+// from this same store instance.
 
 #ifndef DECLSCHED_SCHEDULER_REQUEST_STORE_H_
 #define DECLSCHED_SCHEDULER_REQUEST_STORE_H_

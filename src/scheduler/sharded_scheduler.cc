@@ -1,0 +1,370 @@
+#include "scheduler/sharded_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool IsFinisher(txn::OpType op) {
+  return op == txn::OpType::kCommit || op == txn::OpType::kAbort;
+}
+
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(Options options,
+                                   server::DatabaseServer* server)
+    : options_(std::move(options)),
+      server_(server),
+      router_(options_.num_shards) {
+  DS_CHECK(options_.num_shards >= 1 &&
+           options_.num_shards <= ShardRouter::kMaxShards);
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedScheduler::~ShardedScheduler() { Stop(); }
+
+Status ShardedScheduler::Init() {
+  DS_CHECK(!initialized_);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    DeclarativeScheduler::Options opt = options_.shard;
+    opt.shard = i;
+    opt.num_shards = options_.num_shards;
+    // A disjoint high range per shard: internally assigned ids (deadlock
+    // abort markers) can never collide with this class's global ids.
+    opt.first_request_id =
+        (int64_t{1} << 40) + (static_cast<int64_t>(i) << 32);
+    shards_[i]->sched =
+        std::make_unique<DeclarativeScheduler>(std::move(opt), server_);
+    DS_RETURN_NOT_OK(shards_[i]->sched->Init());
+    shards_[i]->sched->queue()->set_notify([this, i] { MarkDirty(i); });
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+void ShardedScheduler::MarkDirty(int s) {
+  Shard& sh = *shards_[s];
+  {
+    std::lock_guard<std::mutex> lock(sh.wake_mu);
+    sh.dirty = true;
+  }
+  sh.wake_cv.notify_all();
+}
+
+int64_t ShardedScheduler::Submit(Request request, SimTime now) {
+  DS_CHECK(initialized_);
+  const int64_t t0 = NowMicros();
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.arrival = now;
+  // Advance the shared cycle clock (max, monotone).
+  int64_t observed = now_us_.load(std::memory_order_relaxed);
+  while (now.micros() > observed &&
+         !now_us_.compare_exchange_weak(observed, now.micros(),
+                                        std::memory_order_relaxed)) {
+  }
+
+  const ShardRouter::Route route = router_.RouteRequest(request);
+  if (route.involved.size() <= 1) {
+    shards_[route.shard]->sched->SubmitRouted(request);
+  } else {
+    // Escrow path: tickets in canonical (ascending) shard order.
+    for (int s : route.involved) shards_[s]->ticket_mu.lock();
+    uint32_t mask = 0;
+    for (int s : route.involved) mask |= 1u << s;
+    const int home = route.involved.front();
+    for (int s : route.involved) {
+      Shard& sh = *shards_[s];
+      EscrowEntry entry;
+      entry.marker = request;
+      entry.mirror_mask = s == home ? mask : 0;
+      std::lock_guard<std::mutex> lock(sh.escrow_mu);
+      if (sh.escrow_entries.emplace(request.ta, std::move(entry)).second) {
+        sh.escrow_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Every involved shard has granted (ticket held, escrow registered):
+    // publish the finisher for dispatch by the home shard's protocol.
+    shards_[home]->sched->SubmitRouted(request);
+    for (auto it = route.involved.rbegin(); it != route.involved.rend(); ++it) {
+      shards_[*it]->ticket_mu.unlock();
+    }
+    escrows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  coordination_us_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+  return request.id;
+}
+
+void ShardedScheduler::PublishMirror(int to_shard, const Request& marker) {
+  Shard& sh = *shards_[to_shard];
+  {
+    std::lock_guard<std::mutex> lock(sh.mirror_mu);
+    sh.mirror_inbox.push_back(marker);
+  }
+  MarkDirty(to_shard);
+}
+
+int ShardedScheduler::ApplyMirrors(int s) {
+  Shard& sh = *shards_[s];
+  std::vector<Request> inbox;
+  {
+    std::lock_guard<std::mutex> lock(sh.mirror_mu);
+    inbox.swap(sh.mirror_inbox);
+  }
+  for (const Request& marker : inbox) {
+    DS_CHECK_OK(sh.sched->ApplyEscrowedFinisher(marker));
+    {
+      std::lock_guard<std::mutex> lock(sh.escrow_mu);
+      if (sh.escrow_entries.erase(marker.ta) > 0) {
+        sh.escrow_count.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    mirrors_applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return static_cast<int>(inbox.size());
+}
+
+Status ShardedScheduler::ProcessDispatched(int s, const RequestBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  Shard& sh = *shards_[s];
+  // Escrow fan-out: a dispatched cross-shard finisher publishes its mirror
+  // markers to the other involved shards — locks release there only now,
+  // never before the dispatch.
+  for (const Request& r : batch) {
+    if (!IsFinisher(r.op)) continue;
+    uint32_t mask = 0;
+    {
+      std::lock_guard<std::mutex> lock(sh.escrow_mu);
+      auto it = sh.escrow_entries.find(r.ta);
+      if (it != sh.escrow_entries.end()) {
+        mask = it->second.mirror_mask;
+        sh.escrow_entries.erase(it);
+        sh.escrow_count.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    for (int t = 0; mask != 0; ++t, mask >>= 1) {
+      if ((mask & 1u) && t != s) PublishMirror(t, r);
+    }
+  }
+  dispatched_.fetch_add(static_cast<int64_t>(batch.size()),
+                        std::memory_order_relaxed);
+  if (options_.keep_dispatch_log) {
+    std::lock_guard<std::mutex> lock(dispatch_log_mu_);
+    dispatch_log_.insert(dispatch_log_.end(), batch.begin(), batch.end());
+  }
+  if (options_.on_dispatch) options_.on_dispatch(s, batch);
+  return Status::OK();
+}
+
+Result<bool> ShardedScheduler::RunShardOnce(int s, SimTime now) {
+  Shard& sh = *shards_[s];
+  const int64_t t0 = NowMicros();
+
+  // Order matters: consume the wake flag BEFORE draining the mirror inbox.
+  // A mirror published after the consume leaves the flag set for the next
+  // pass; a mirror published before it is drained below and forces a cycle
+  // via `applied`. Draining first would allow a mirror to slip in between
+  // drain and consume — the cycle would then run without the marker in the
+  // store, dispatch nothing, and eat the only wakeup (a permanent stall).
+  bool runnable;
+  {
+    std::lock_guard<std::mutex> lock(sh.wake_mu);
+    runnable = sh.dirty;
+    sh.dirty = false;
+  }
+  const int applied = ApplyMirrors(s);
+  runnable = runnable || applied > 0;
+
+  // Refresh the advisory escrow view for this shard's protocol. In the
+  // common zero-escrow case skip the lock entirely; the view is advisory,
+  // so a registration racing this relaxed read is simply visible one
+  // cycle later.
+  if (sh.escrow_count.load(std::memory_order_relaxed) == 0) {
+    sh.escrow_view.txns.clear();
+    sh.sched->set_escrowed_locks(nullptr);
+  } else {
+    std::lock_guard<std::mutex> lock(sh.escrow_mu);
+    sh.escrow_view.txns.clear();
+    for (const auto& [ta, entry] : sh.escrow_entries) {
+      sh.escrow_view.txns.push_back(ta);
+    }
+    sh.sched->set_escrowed_locks(sh.escrow_view.txns.empty() ? nullptr
+                                                             : &sh.escrow_view);
+  }
+
+  if (!runnable ||
+      (sh.sched->queue_size() == 0 && sh.sched->store()->pending_count() == 0)) {
+    sh.busy_us.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+    return false;
+  }
+
+  DS_ASSIGN_OR_RETURN(const CycleStats stats, sh.sched->RunCycle(now));
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+  DS_RETURN_NOT_OK(ProcessDispatched(s, sh.sched->last_dispatched()));
+
+  // Cross-shard victim mirroring: the resolver aborted these transactions
+  // here; release their locks (and drop their pending) on every other shard
+  // in their footprint.
+  for (txn::TxnId victim : sh.sched->last_victims()) {
+    victims_.fetch_add(1, std::memory_order_relaxed);
+    const std::vector<int> footprint = router_.Footprint(victim);
+    router_.Forget(victim);
+    for (int t : footprint) {
+      if (t == s) continue;
+      Request marker;
+      marker.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      marker.ta = victim;
+      marker.intrata = 1 << 30;
+      marker.op = txn::OpType::kAbort;
+      marker.object = Request::kNoObject;
+      marker.arrival = now;
+      marker.client = -1;
+      PublishMirror(t, marker);
+    }
+  }
+
+  // Dispatches and aborts change lock state — pending requests that were
+  // blocked may now qualify, so look again. A cycle that moved nothing
+  // leaves the shard quiescent until new input arrives.
+  if (stats.dispatched > 0 || stats.victims > 0) MarkDirty(s);
+
+  sh.busy_us.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+  return true;
+}
+
+void ShardedScheduler::WorkerLoop(int s) {
+  Shard& sh = *shards_[s];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const Result<bool> ran = RunShardOnce(s, Now());
+    if (!ran.ok()) {
+      DS_LOG(Error) << "shard " << s
+                    << " cycle failed: " << ran.status().ToString();
+      break;
+    }
+    std::unique_lock<std::mutex> lock(sh.wake_mu);
+    if (sh.dirty || stop_.load(std::memory_order_acquire)) continue;
+    sh.parked = true;
+    idle_cv_.notify_all();
+    sh.wake_cv.wait(lock, [&] {
+      return sh.dirty || stop_.load(std::memory_order_acquire);
+    });
+    sh.parked = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sh.wake_mu);
+    sh.parked = true;
+  }
+  idle_cv_.notify_all();
+}
+
+Status ShardedScheduler::Start() {
+  DS_CHECK(initialized_);
+  if (started_) return Status::OK();
+  stop_.store(false, std::memory_order_release);
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_[i]->parked = false;
+    shards_[i]->worker = std::thread([this, i] { WorkerLoop(i); });
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void ShardedScheduler::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->wake_mu);
+    sh->wake_cv.notify_all();
+  }
+  for (auto& sh : shards_) {
+    if (sh->worker.joinable()) sh->worker.join();
+  }
+  started_ = false;
+}
+
+bool ShardedScheduler::WaitIdle(int64_t timeout_us) {
+  const int64_t deadline = NowMicros() + timeout_us;
+  std::unique_lock<std::mutex> idle_lock(idle_mu_);
+  while (true) {
+    bool idle = true;
+    for (auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->wake_mu);
+      if (!sh->parked || sh->dirty) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) {
+      for (auto& sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mirror_mu);
+        if (!sh->mirror_inbox.empty()) idle = false;
+      }
+      for (auto& sh : shards_) {
+        if (sh->sched->queue_size() != 0) idle = false;
+      }
+    }
+    if (idle) return true;
+    if (NowMicros() >= deadline) return false;
+    idle_cv_.wait_for(idle_lock, std::chrono::milliseconds(1));
+  }
+}
+
+Result<int> ShardedScheduler::StepOnce(SimTime now) {
+  DS_CHECK(initialized_ && !started_);
+  int ran = 0;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    DS_ASSIGN_OR_RETURN(const bool cycled, RunShardOnce(s, now));
+    ran += cycled ? 1 : 0;
+  }
+  return ran;
+}
+
+Status ShardedScheduler::RunUntilIdle(SimTime now, int max_steps) {
+  for (int step = 0; step < max_steps; ++step) {
+    const int64_t mirrors_before =
+        mirrors_applied_.load(std::memory_order_relaxed);
+    DS_ASSIGN_OR_RETURN(const int ran, StepOnce(now));
+    if (ran == 0 &&
+        mirrors_applied_.load(std::memory_order_relaxed) == mirrors_before) {
+      return Status::OK();
+    }
+  }
+  return Status::Internal("sharded scheduler not quiescent after max_steps");
+}
+
+ShardedScheduler::Totals ShardedScheduler::totals() const {
+  Totals t;
+  t.submitted = submitted_.load(std::memory_order_relaxed);
+  t.dispatched = dispatched_.load(std::memory_order_relaxed);
+  t.cycles = cycles_.load(std::memory_order_relaxed);
+  t.escrows = escrows_.load(std::memory_order_relaxed);
+  t.mirrors_applied = mirrors_applied_.load(std::memory_order_relaxed);
+  t.victims = victims_.load(std::memory_order_relaxed);
+  return t;
+}
+
+RequestBatch ShardedScheduler::TakeDispatched() {
+  std::lock_guard<std::mutex> lock(dispatch_log_mu_);
+  RequestBatch out;
+  out.swap(dispatch_log_);
+  return out;
+}
+
+int64_t ShardedScheduler::shard_busy_us(int i) const {
+  return shards_[i]->busy_us.load(std::memory_order_relaxed);
+}
+
+}  // namespace declsched::scheduler

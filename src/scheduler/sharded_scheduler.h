@@ -1,0 +1,253 @@
+// ShardedScheduler: the declarative middleware partitioned into N parallel
+// shards, each owning a full scheduler stack of its own.
+//
+// Motivation: after the incremental-state work made one cycle O(delta),
+// the remaining scale ceiling is that one thread owns all admission,
+// analysis, and dispatch. Because the declarative policy is separated from
+// the execution substrate (the Protocol API), the substrate can be sharded
+// without touching any policy code: each shard runs its own
+// DeclarativeScheduler — RequestStore mirror, LockTableState, compiled
+// Protocol instance — on its own worker thread, over the partition of
+// requests whose primary lock target it owns.
+//
+// Partitioning (see ShardRouter): a read/write locks exactly one object,
+// and SS2PL qualification is per-object — the locks that can block a
+// request and the pending requests that can conflict with it all live with
+// that object's shard. Single-shard traffic therefore schedules with zero
+// cross-shard coordination. The one cross-shard event is a finisher
+// (commit/abort) of a transaction whose lock set spans shards: its
+// dispatch must release locks on every shard the transaction touched,
+// exactly once, and never before the finisher is actually dispatched
+// (releasing early would publish a lock-release no unsharded SS2PL history
+// could contain).
+//
+// The escrow path handles that event:
+//   1. The coordinator (running on the submitting thread) acquires one
+//      admission ticket per involved shard in canonical (ascending) shard
+//      order — deadlock-free by construction, and serializing overlapping
+//      escrows so their prepare/publish sequences never interleave.
+//   2. Holding all tickets, it registers the escrow with every involved
+//      shard (each shard's protocol sees the transaction in
+//      ScheduleContext::escrowed from its next cycle) and only then
+//      publishes the finisher for dispatch by admitting it to the home
+//      shard (the lowest involved shard).
+//   3. The home shard's protocol dispatches the finisher through the
+//      normal declarative path. Observing that dispatch, the home worker
+//      publishes mirror markers to the other involved shards, which apply
+//      them via DeclarativeScheduler::ApplyEscrowedFinisher — the same
+//      narrated store transition a local dispatch makes, so each shard's
+//      incremental state absorbs the cross-shard delta at O(delta). A
+//      shard that misses the narration (out-of-band edit) falls back to a
+//      from-scratch rebuild via the epoch/content-version staleness
+//      machinery, exactly as in the unsharded scheduler.
+//
+// Deadlock-victim aborts mirror the same way: the shard that aborts a
+// victim publishes abort markers to every other shard in the victim's
+// footprint, dropping its pending requests and releasing its locks there.
+// Deadlock *detection* itself is shard-local (a waits-for cycle spanning
+// shards is not yet seen); workloads that acquire objects in a canonical
+// order are deadlock-free by construction.
+//
+// Submission contract (the paper's closed-loop clients already obey it):
+// submit a transaction's finisher only after all of its reads/writes have
+// been observed dispatched. Ids are assigned globally by this class.
+//
+// Two driving modes, same per-shard logic:
+//   * threaded — Start() spawns one worker per shard; workers park when
+//     quiescent and wake on admissions/mirrors. WaitIdle() waits for
+//     global quiescence.
+//   * cooperative — StepOnce()/RunUntilIdle() drive all shards on the
+//     caller's thread, deterministically (property tests; single-core
+//     speedup projection in bench_shard_scale).
+
+#ifndef DECLSCHED_SCHEDULER_SHARDED_SCHEDULER_H_
+#define DECLSCHED_SCHEDULER_SHARDED_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "scheduler/declarative_scheduler.h"
+#include "scheduler/shard_router.h"
+
+namespace declsched::scheduler {
+
+class ShardedScheduler {
+ public:
+  /// Called on the dispatching shard's cycle thread, after every cycle that
+  /// dispatched requests. Must be thread-safe; may call Submit() (that is
+  /// how closed-loop drivers feed finishers without an extra thread).
+  using DispatchCallback = std::function<void(int shard, const RequestBatch& batch)>;
+
+  struct Options {
+    int num_shards = 4;
+    /// Per-shard scheduler template. shard/num_shards/first_request_id are
+    /// overwritten per shard; the protocol compiles once per shard against
+    /// that shard's own store.
+    DeclarativeScheduler::Options shard;
+    DispatchCallback on_dispatch;
+    /// Record every dispatched request into the log read by
+    /// TakeDispatched(). Turn off for throughput benches that only count.
+    bool keep_dispatch_log = true;
+  };
+
+  /// Monotone aggregates, readable from any thread at any time.
+  struct Totals {
+    int64_t submitted = 0;
+    int64_t dispatched = 0;
+    int64_t cycles = 0;
+    /// Cross-shard escrows admitted / mirror markers applied.
+    int64_t escrows = 0;
+    int64_t mirrors_applied = 0;
+    int64_t victims = 0;
+  };
+
+  /// `server` may be null (benches that time pure scheduling). A non-null
+  /// server is shared by all shards; DatabaseServer::ExecuteBatch is
+  /// thread-safe for exactly this fan-in.
+  ShardedScheduler(Options options, server::DatabaseServer* server);
+  ~ShardedScheduler();
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  /// Compiles every shard's protocol. Once, before Submit/Start/Step.
+  Status Init();
+
+  /// Routes and admits a request (thread-safe, any number of submitters);
+  /// assigns and returns its globally unique id. Cross-shard finishers go
+  /// through the escrow path and may block briefly on admission tickets.
+  int64_t Submit(Request request, SimTime now);
+
+  // --- threaded mode ---
+
+  /// Spawns one worker thread per shard. Not to be mixed with StepOnce().
+  Status Start();
+  /// Parks and joins all workers; idempotent. Called by the destructor.
+  void Stop();
+  /// Waits until the system is quiescent: every worker parked, every
+  /// incoming queue and mirror inbox empty. Quiescent means "no runnable
+  /// work", not "all done" — pending requests may be blocked waiting for a
+  /// finisher the driver has not submitted yet. False on timeout.
+  bool WaitIdle(int64_t timeout_us);
+
+  // --- cooperative mode (deterministic; caller's thread) ---
+
+  /// Runs every shard once — absorb mirrors, then one cycle if it has
+  /// runnable work. Returns how many shards ran a cycle.
+  Result<int> StepOnce(SimTime now);
+  /// Steps until no shard has runnable work. Error if still unquiescent
+  /// after `max_steps` rounds (a livelock guard, not a deadline).
+  Status RunUntilIdle(SimTime now, int max_steps = 1000000);
+
+  // --- introspection ---
+
+  int num_shards() const { return options_.num_shards; }
+  /// The shard's underlying scheduler. Cycle-thread-only members (store(),
+  /// totals(), ...) may be read only while workers are stopped or between
+  /// cooperative steps.
+  DeclarativeScheduler* shard(int i) { return shards_[i]->sched.get(); }
+  const ShardRouter& router() const { return router_; }
+  Totals totals() const;
+  /// Drains the global dispatch log (dispatch order within a shard; across
+  /// shards, append order). Thread-safe.
+  RequestBatch TakeDispatched();
+  /// Wall time shard `i`'s cycles + mirror applications have consumed —
+  /// the per-shard busy time the single-core speedup projection divides by.
+  int64_t shard_busy_us(int i) const;
+  /// Wall time submitters spent in routing + escrow coordination (the
+  /// serial term of the projection).
+  int64_t coordination_us() const { return coordination_us_.load(); }
+
+ private:
+  /// An escrow registered with a shard: the finisher marker plus the
+  /// involved-shard mask (nonzero only on the home shard, which fans the
+  /// mirrors out).
+  struct EscrowEntry {
+    Request marker;
+    uint32_t mirror_mask = 0;
+  };
+
+  struct Shard {
+    std::unique_ptr<DeclarativeScheduler> sched;
+
+    /// Escrow registry: written by submitters holding this shard's ticket,
+    /// consumed by the cycle thread (dispatch fan-out, view rebuild).
+    /// `escrow_count` mirrors the map size so the per-cycle view refresh
+    /// can skip the lock entirely in the common zero-escrow case.
+    std::mutex escrow_mu;
+    std::map<txn::TxnId, EscrowEntry> escrow_entries;
+    std::atomic<int64_t> escrow_count{0};
+
+    /// Mirror inbox: finisher markers published by other shards' cycle
+    /// threads, applied by this shard's cycle thread.
+    std::mutex mirror_mu;
+    std::vector<Request> mirror_inbox;
+
+    /// Worker parking. `dirty` = there may be runnable work; set by queue
+    /// pushes (via the queue's notify hook), mirror publishes, and cycles
+    /// that made progress.
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    bool dirty = true;
+    bool parked = false;
+
+    /// Escrow admission ticket (held briefly by submitting threads, in
+    /// canonical shard order across shards).
+    std::mutex ticket_mu;
+
+    /// The view handed to this shard's protocol; cycle thread only.
+    EscrowedLocks escrow_view;
+
+    std::atomic<int64_t> busy_us{0};
+    std::thread worker;
+  };
+
+  /// One pass of shard `s`'s loop body: absorb mirrors, rebuild the escrow
+  /// view, run one cycle if dirty, process dispatches. Returns true if a
+  /// cycle ran. Cycle thread (worker or cooperative caller) only.
+  Result<bool> RunShardOnce(int s, SimTime now);
+  Status ProcessDispatched(int s, const RequestBatch& batch);
+  /// Drains and applies the shard's mirror inbox; returns how many applied.
+  int ApplyMirrors(int s);
+  void PublishMirror(int to_shard, const Request& marker);
+  void WorkerLoop(int s);
+  void MarkDirty(int s);
+  SimTime Now() const { return SimTime::FromMicros(now_us_.load()); }
+
+  Options options_;
+  server::DatabaseServer* server_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<int64_t> next_id_{1};
+  std::atomic<int64_t> now_us_{0};
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> dispatched_{0};
+  std::atomic<int64_t> cycles_{0};
+  std::atomic<int64_t> escrows_{0};
+  std::atomic<int64_t> mirrors_applied_{0};
+  std::atomic<int64_t> victims_{0};
+  std::atomic<int64_t> coordination_us_{0};
+
+  std::mutex dispatch_log_mu_;
+  RequestBatch dispatch_log_;
+
+  /// Notified whenever a worker parks; WaitIdle waits on it.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool initialized_ = false;
+};
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_SHARDED_SCHEDULER_H_

@@ -20,9 +20,10 @@ DatabaseServer::DatabaseServer(const Config& config)
 }
 
 Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
-    const StatementBatch& batch) {
+    const StatementBatch& batch, int shard) {
   BatchStats stats;
   if (batch.empty()) return stats;
+  std::lock_guard<std::mutex> lock(mu_);
   stats.busy = config_.cost.batch_dispatch;
   for (const Statement& stmt : batch) {
     switch (stmt.op) {
@@ -62,11 +63,26 @@ Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
   }
   total_statements_ += static_cast<int64_t>(batch.size());
   total_busy_ += stats.busy;
+  if (shard >= 0) {
+    if (static_cast<size_t>(shard) >= shard_busy_.size()) {
+      shard_busy_.resize(static_cast<size_t>(shard) + 1);
+    }
+    shard_busy_[static_cast<size_t>(shard)] += stats.busy;
+  }
   return stats;
+}
+
+SimTime DatabaseServer::shard_busy(int shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard < 0 || static_cast<size_t>(shard) >= shard_busy_.size()) {
+    return SimTime();
+  }
+  return shard_busy_[static_cast<size_t>(shard)];
 }
 
 Result<int64_t> DatabaseServer::RowValue(int64_t key) const {
   if (!config_.materialize_rows) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
   const storage::Row* row = table_.Get(key);
   if (row == nullptr) {
     return Status::NotFound(StrFormat("no row %lld", static_cast<long long>(key)));

@@ -5,11 +5,20 @@
 // far as possible. This server executes the batch directly against its
 // storage without any lock acquisition (the middleware guarantees the batch
 // is conflict-safe) and accounts the simulated CPU time it would take.
+//
+// Thread-safety: ExecuteBatch serializes internally, so the N shard workers
+// of a ShardedScheduler may dispatch into one server concurrently (the
+// sharded mode of the server stack — see examples/sharded_server.cpp,
+// which drives it with --shards=N). Batches from different shards execute
+// atomically with respect to each other; the middleware still guarantees
+// each batch is conflict-safe on its own.
 
 #ifndef DECLSCHED_SERVER_DATABASE_SERVER_H_
 #define DECLSCHED_SERVER_DATABASE_SERVER_H_
 
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "common/result.h"
 #include "server/cost_model.h"
@@ -42,21 +51,39 @@ class DatabaseServer {
 
   /// Executes a pre-scheduled batch without internal scheduling. Statements
   /// touching rows outside [0, num_rows) fail with InvalidArgument.
-  Result<BatchStats> ExecuteBatch(const StatementBatch& batch);
+  /// Thread-safe: concurrent callers (shard dispatchers) serialize on an
+  /// internal mutex. `shard` attributes the batch's busy time to that
+  /// dispatcher (see shard_busy); pass 0 when unsharded.
+  Result<BatchStats> ExecuteBatch(const StatementBatch& batch, int shard = 0);
 
   /// Current value of a row (writes increment it); 0 in non-materialized
-  /// mode. For test verification.
+  /// mode. For test verification. Thread-safe.
   Result<int64_t> RowValue(int64_t key) const;
 
-  int64_t total_statements() const { return total_statements_; }
-  SimTime total_busy() const { return total_busy_; }
+  /// Simulated busy time attributed to shard dispatcher `i` so far; zero
+  /// for shards that never dispatched. Thread-safe.
+  SimTime shard_busy(int shard) const;
+
+  int64_t total_statements() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_statements_;
+  }
+  SimTime total_busy() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_busy_;
+  }
   const Config& config() const { return config_; }
 
  private:
   Config config_;
+  /// Guards the table and every counter: one dispatcher executes at a time
+  /// (the simulated server is a single execution resource; shards overlap
+  /// scheduling work, not server work).
+  mutable std::mutex mu_;
   storage::Table table_;
   int64_t total_statements_ = 0;
   SimTime total_busy_;
+  std::vector<SimTime> shard_busy_;
 };
 
 }  // namespace declsched::server

@@ -1,0 +1,545 @@
+// Sharded scheduler: escrow property tests.
+//
+// The core property: on the same trace, the sharded scheduler dispatches
+// exactly the single-shard scheduler's request set — no stall (every
+// admitted request eventually dispatches; in particular the escrow path
+// never deadlocks), no double dispatch (cross-shard finishers publish
+// mirrors, which release locks but are never dispatched), same policy
+// outcome (sharding the substrate does not touch policy code).
+//
+// Traces submit all of a transaction's reads/writes up front and the
+// finisher only after every one of them dispatched (the paper's
+// closed-loop contract). With that shape the age-ordered SS2PL filter is
+// deadlock-free by construction — a younger transaction can only acquire
+// locks on objects the older one never touches — so a stalled run is a
+// scheduler bug, not a workload artifact.
+
+#include "scheduler/sharded_scheduler.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "scheduler/protocol_library.h"
+#include "scheduler/shard_router.h"
+
+namespace declsched::scheduler {
+namespace {
+
+Request Op(int64_t ta, int64_t intrata, txn::OpType op, int64_t object) {
+  Request r;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  return r;
+}
+
+/// Identity of a request independent of assigned ids (ids differ between
+/// the reference and sharded runs when finisher submission order differs).
+std::string Key(const Request& r) {
+  return std::to_string(r.ta) + "." + std::to_string(r.intrata) + ":" +
+         txn::OpTypeToChar(r.op) + std::to_string(r.object);
+}
+
+struct TraceTxn {
+  txn::TxnId ta = 0;
+  std::vector<Request> ops;  // reads/writes, objects strictly ascending
+  txn::OpType finisher = txn::OpType::kCommit;
+};
+
+/// A randomized trace in waves; a wave's transactions are all submitted
+/// before any of its finishers, and the next wave starts only after the
+/// wave fully finished.
+std::vector<std::vector<TraceTxn>> MakeTrace(Rng* rng, txn::TxnId* next_ta) {
+  const int waves = 1 + static_cast<int>(rng->UniformInt(0, 1));
+  std::vector<std::vector<TraceTxn>> trace(static_cast<size_t>(waves));
+  for (auto& wave : trace) {
+    const int txns = 2 + static_cast<int>(rng->UniformInt(0, 3));
+    for (int t = 0; t < txns; ++t) {
+      TraceTxn txn;
+      txn.ta = (*next_ta)++;
+      const int ops = 1 + static_cast<int>(rng->UniformInt(0, 3));
+      // Distinct ascending objects from a small space: heavy conflicts and
+      // multi-shard footprints.
+      std::set<int64_t> objects;
+      while (static_cast<int>(objects.size()) < ops) {
+        objects.insert(rng->UniformInt(0, 11));
+      }
+      int64_t intrata = 1;
+      for (int64_t object : objects) {
+        txn.ops.push_back(Op(txn.ta, intrata++,
+                             rng->Bernoulli(0.6) ? txn::OpType::kWrite
+                                                 : txn::OpType::kRead,
+                             object));
+      }
+      txn.finisher =
+          rng->Bernoulli(0.9) ? txn::OpType::kCommit : txn::OpType::kAbort;
+      wave.push_back(std::move(txn));
+    }
+  }
+  return trace;
+}
+
+DeclarativeScheduler::Options NativeOptions() {
+  DeclarativeScheduler::Options options;
+  options.protocol = Ss2plNative();
+  options.deadlock_detection = false;  // traces are deadlock-free
+  return options;
+}
+
+/// Drives one trace to completion on any scheduler, via three hooks, and
+/// returns every dispatched request. `settle` runs until quiescent and
+/// appends newly dispatched requests. Fails (returns false) on stall.
+bool DriveTrace(const std::vector<std::vector<TraceTxn>>& trace,
+                const std::function<void(const Request&)>& submit,
+                const std::function<void(RequestBatch*)>& settle,
+                RequestBatch* dispatched) {
+  for (const auto& wave : trace) {
+    std::map<txn::TxnId, size_t> remaining;
+    std::set<txn::TxnId> finisher_sent;
+    std::set<txn::TxnId> finished;
+    for (const TraceTxn& txn : wave) {
+      remaining[txn.ta] = txn.ops.size();
+      for (const Request& op : txn.ops) submit(op);
+    }
+    for (int round = 0; round < 1000; ++round) {
+      const size_t before = dispatched->size();
+      settle(dispatched);
+      for (size_t i = before; i < dispatched->size(); ++i) {
+        const Request& r = (*dispatched)[i];
+        if (r.op == txn::OpType::kCommit || r.op == txn::OpType::kAbort) {
+          finished.insert(r.ta);
+        } else if (remaining.count(r.ta)) {
+          --remaining[r.ta];
+        }
+      }
+      bool all_done = true;
+      bool submitted_any = false;
+      for (const TraceTxn& txn : wave) {
+        if (finished.count(txn.ta)) continue;
+        all_done = false;
+        if (remaining[txn.ta] == 0 && !finisher_sent.count(txn.ta)) {
+          finisher_sent.insert(txn.ta);
+          submit(Op(txn.ta, 1000, txn.finisher, Request::kNoObject));
+          submitted_any = true;
+        }
+      }
+      if (all_done) break;
+      if (!submitted_any && dispatched->size() == before) {
+        return false;  // no progress and nothing left to feed: stalled
+      }
+    }
+    for (const TraceTxn& txn : wave) {
+      if (!finished.count(txn.ta)) return false;
+    }
+  }
+  return true;
+}
+
+/// Reference: the unsharded DeclarativeScheduler on the same trace.
+RequestBatch ReferenceDispatches(const std::vector<std::vector<TraceTxn>>& trace) {
+  DeclarativeScheduler sched(NativeOptions(), nullptr);
+  EXPECT_TRUE(sched.Init().ok());
+  RequestBatch dispatched;
+  const bool ok = DriveTrace(
+      trace, [&](const Request& r) { sched.Submit(r, SimTime()); },
+      [&](RequestBatch* out) {
+        while (true) {
+          auto stats = sched.RunCycle(SimTime());
+          ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+          const RequestBatch& batch = sched.last_dispatched();
+          out->insert(out->end(), batch.begin(), batch.end());
+          if (stats->dispatched == 0 && sched.queue_size() == 0) return;
+        }
+      },
+      &dispatched);
+  EXPECT_TRUE(ok) << "reference scheduler stalled";
+  return dispatched;
+}
+
+std::vector<std::string> SortedKeys(const RequestBatch& batch) {
+  std::vector<std::string> keys;
+  keys.reserve(batch.size());
+  for (const Request& r : batch) keys.push_back(Key(r));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// --- router units -----------------------------------------------------------
+
+TEST(ShardRouterTest, ReadWriteRoutesByObjectAndRecordsFootprint) {
+  ShardRouter router(4);
+  const Request w = Op(7, 1, txn::OpType::kWrite, 42);
+  const auto route = router.RouteRequest(w);
+  EXPECT_EQ(route.shard, router.ShardOfObject(42));
+  EXPECT_EQ(route.involved, std::vector<int>{route.shard});
+  EXPECT_EQ(router.Footprint(7), std::vector<int>{route.shard});
+  EXPECT_EQ(router.tracked_transactions(), 1);
+}
+
+TEST(ShardRouterTest, FinisherConsumesFootprintInCanonicalOrder) {
+  ShardRouter router(4);
+  // Touch objects until the footprint spans at least two shards.
+  std::set<int> shards;
+  int64_t intrata = 1;
+  for (int64_t object = 0; static_cast<int>(shards.size()) < 2; ++object) {
+    router.RouteRequest(Op(9, intrata++, txn::OpType::kWrite, object));
+    shards.insert(router.ShardOfObject(object));
+  }
+  const auto route =
+      router.RouteRequest(Op(9, intrata, txn::OpType::kCommit, Request::kNoObject));
+  EXPECT_EQ(route.involved, std::vector<int>(shards.begin(), shards.end()));
+  EXPECT_EQ(route.shard, *shards.begin());  // home = lowest involved
+  EXPECT_EQ(router.tracked_transactions(), 0);  // consumed
+  // A finisher of an unknown transaction routes alone, by transaction hash.
+  const auto unknown =
+      router.RouteRequest(Op(55, 1, txn::OpType::kCommit, Request::kNoObject));
+  EXPECT_EQ(unknown.involved.size(), 1u);
+  EXPECT_EQ(unknown.shard, router.ShardOfTransaction(55));
+}
+
+// --- the escrow property ----------------------------------------------------
+
+TEST(ShardedSchedulerTest, EscrowPropertyDispatchSetEquivalence) {
+  // 1000 randomized traces, each driven through the unsharded scheduler and
+  // through 2/3/4-shard schedulers: identical dispatch sets, no duplicates,
+  // no stall.
+  constexpr int kTraces = 1000;
+  int64_t total_escrows = 0;
+  int64_t total_mirrors = 0;
+  Rng rng(20260727);
+  txn::TxnId next_ta = 1;
+  for (int trace_idx = 0; trace_idx < kTraces; ++trace_idx) {
+    const auto trace = MakeTrace(&rng, &next_ta);
+    const std::vector<std::string> expected =
+        SortedKeys(ReferenceDispatches(trace));
+    // Duplicate keys would make "sets equal" vacuous; assert uniqueness.
+    ASSERT_EQ(std::set<std::string>(expected.begin(), expected.end()).size(),
+              expected.size());
+
+    const int num_shards = 2 + trace_idx % 3;
+    ShardedScheduler::Options options;
+    options.num_shards = num_shards;
+    options.shard = NativeOptions();
+    ShardedScheduler sharded(std::move(options), nullptr);
+    ASSERT_TRUE(sharded.Init().ok());
+    RequestBatch dispatched;
+    const bool ok = DriveTrace(
+        trace, [&](const Request& r) { sharded.Submit(r, SimTime()); },
+        [&](RequestBatch* out) {
+          ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+          const RequestBatch batch = sharded.TakeDispatched();
+          out->insert(out->end(), batch.begin(), batch.end());
+        },
+        &dispatched);
+    ASSERT_TRUE(ok) << "sharded scheduler stalled (trace " << trace_idx
+                    << ", shards " << num_shards << ")";
+    const std::vector<std::string> got = SortedKeys(dispatched);
+    ASSERT_EQ(got, expected) << "dispatch set diverged (trace " << trace_idx
+                             << ", shards " << num_shards << ")";
+    total_escrows += sharded.totals().escrows;
+    total_mirrors += sharded.totals().mirrors_applied;
+    ASSERT_EQ(sharded.totals().dispatched,
+              static_cast<int64_t>(dispatched.size()));
+  }
+  // The property is about the escrow path; make sure the traces exercised it.
+  EXPECT_GT(total_escrows, 100);
+  EXPECT_GT(total_mirrors, 100);
+}
+
+// --- threaded mode ----------------------------------------------------------
+
+TEST(ShardedSchedulerTest, ThreadedWorkersMatchReferenceDispatchSet) {
+  // Real worker threads, concurrent submitters, and a dispatch callback
+  // that feeds finishers from the shard threads themselves (the closed-loop
+  // driver shape the benches use). Compared against the unsharded
+  // reference on the same trace.
+  // Each submitter thread owns a disjoint object range (txn index parity):
+  // a transaction's ops are submitted back-to-back without waiting for
+  // dispatch, which is deadlock-free only while admission order matches
+  // transaction age — true within one submitter's stream, not across two.
+  // Disjoint ranges mean cross-submitter transactions never conflict, so
+  // the concurrent-admission interleaving cannot build a waits-for cycle.
+  Rng rng(99);
+  txn::TxnId next_ta = 1000;
+  std::vector<TraceTxn> txns;
+  for (int t = 0; t < 200; ++t) {
+    TraceTxn txn;
+    txn.ta = next_ta++;
+    std::set<int64_t> objects;
+    const int ops = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    const int64_t base = (t % 2) * 100;
+    while (static_cast<int>(objects.size()) < ops) {
+      objects.insert(base + rng.UniformInt(0, 99));
+    }
+    int64_t intrata = 1;
+    for (int64_t object : objects) {
+      txn.ops.push_back(Op(txn.ta, intrata++, txn::OpType::kWrite, object));
+    }
+    txns.push_back(std::move(txn));
+  }
+  const std::vector<std::vector<TraceTxn>> trace = {txns};
+  const std::vector<std::string> expected =
+      SortedKeys(ReferenceDispatches(trace));
+
+  ShardedScheduler::Options options;
+  options.num_shards = 4;
+  options.shard = NativeOptions();
+  // remaining[i]: ops of txns[i] not yet dispatched; at zero the callback
+  // submits the commit from whichever shard thread dispatched the last op.
+  std::vector<std::atomic<int>> remaining(txns.size());
+  std::map<txn::TxnId, size_t> txn_index;
+  for (size_t i = 0; i < txns.size(); ++i) {
+    remaining[i].store(static_cast<int>(txns[i].ops.size()));
+    txn_index[txns[i].ta] = i;
+  }
+  ShardedScheduler* sharded_ptr = nullptr;
+  options.on_dispatch = [&](int, const RequestBatch& batch) {
+    for (const Request& r : batch) {
+      if (r.op != txn::OpType::kWrite && r.op != txn::OpType::kRead) continue;
+      const size_t i = txn_index.at(r.ta);
+      if (remaining[i].fetch_sub(1) == 1) {
+        sharded_ptr->Submit(Op(r.ta, 1000, txn::OpType::kCommit,
+                               Request::kNoObject),
+                            SimTime());
+      }
+    }
+  };
+  ShardedScheduler sharded(std::move(options), nullptr);
+  sharded_ptr = &sharded;
+  ASSERT_TRUE(sharded.Init().ok());
+  ASSERT_TRUE(sharded.Start().ok());
+  // Two submitter threads share the op stream (MPSC admission).
+  std::vector<std::thread> submitters;
+  for (int part = 0; part < 2; ++part) {
+    submitters.emplace_back([&, part] {
+      for (size_t i = static_cast<size_t>(part); i < txns.size(); i += 2) {
+        for (const Request& op : txns[i].ops) sharded.Submit(op, SimTime());
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  // Quiesce, then wait for every commit to have been dispatched (commits
+  // submitted from shard threads can re-wake the system after a WaitIdle).
+  // Quiescence without progress means a stall — fail loudly, don't spin.
+  const int64_t expected_total = static_cast<int64_t>(expected.size());
+  while (sharded.totals().dispatched < expected_total) {
+    const int64_t before = sharded.totals().dispatched;
+    ASSERT_TRUE(sharded.WaitIdle(/*timeout_us=*/30000000)) << "not quiescent";
+    const int64_t after = sharded.totals().dispatched;
+    ASSERT_TRUE(after > before || after >= expected_total)
+        << "stalled at " << after << "/" << expected_total << " dispatches";
+  }
+  sharded.Stop();
+  EXPECT_EQ(SortedKeys(sharded.TakeDispatched()), expected);
+  EXPECT_GT(sharded.totals().escrows, 0);
+}
+
+// --- staleness fallback -----------------------------------------------------
+
+TEST(ShardedSchedulerTest, MissedCrossShardDeltaFallsBackToRebuild) {
+  // A shard whose history is mutated without narration (here: a finisher
+  // marker written straight into the store, as if the shard missed the
+  // escrow mirror) must fall back to a from-scratch rebuild via the
+  // epoch/content-version check — degraded cost, unchanged answers.
+  ShardedScheduler::Options options;
+  options.num_shards = 2;
+  options.shard = NativeOptions();
+  ShardedScheduler sharded(std::move(options), nullptr);
+  ASSERT_TRUE(sharded.Init().ok());
+
+  // Find an object on shard 1.
+  int64_t object = 0;
+  while (sharded.router().ShardOfObject(object) != 1) ++object;
+
+  // T1 write-locks `object` on shard 1; T2's write behind it blocks.
+  sharded.Submit(Op(1, 1, txn::OpType::kWrite, object), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+  sharded.Submit(Op(2, 1, txn::OpType::kWrite, object), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+  ASSERT_EQ(sharded.shard(1)->store()->pending_count(), 1);  // T2 blocked
+
+  // T1's commit arrives out-of-band: straight into shard 1's history, no
+  // OnScheduled narration — exactly what a missed delta looks like.
+  ASSERT_TRUE(sharded.shard(1)
+                  ->store()
+                  ->InsertHistory(Op(1, 2, txn::OpType::kCommit,
+                                     Request::kNoObject))
+                  .ok());
+
+  // An out-of-band edit wakes nothing by itself — the fallback runs at the
+  // next cycle, whenever one is triggered. Trigger it with an unrelated
+  // admission: the cycle detects the stale epoch/content-version, rebuilds,
+  // sees T1 finished, and dispatches T2.
+  int64_t other = object + 1;
+  while (sharded.router().ShardOfObject(other) != 1) ++other;
+  sharded.Submit(Op(3, 1, txn::OpType::kRead, other), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+  const RequestBatch dispatched = sharded.TakeDispatched();
+  bool t2_dispatched = false;
+  for (const Request& r : dispatched) {
+    t2_dispatched = t2_dispatched || (r.ta == 2 && r.object == object);
+  }
+  EXPECT_TRUE(t2_dispatched);
+  EXPECT_EQ(sharded.shard(1)->store()->pending_count(), 0);
+}
+
+// --- cross-shard victim abort ----------------------------------------------
+
+TEST(ShardedSchedulerTest, VictimAbortMirrorsReleaseLocksOnOtherShards) {
+  ShardedScheduler::Options options;
+  options.num_shards = 2;
+  options.shard = NativeOptions();
+  options.shard.deadlock_detection = true;
+  ShardedScheduler sharded(std::move(options), nullptr);
+  ASSERT_TRUE(sharded.Init().ok());
+
+  // Two objects on shard 0 (the deadlock arena), two on shard 1 (held by
+  // the deadlocking transactions, wanted by bystanders).
+  std::vector<int64_t> on0, on1;
+  for (int64_t o = 0; on0.size() < 2 || on1.size() < 2; ++o) {
+    (sharded.router().ShardOfObject(o) == 0 ? on0 : on1).push_back(o);
+  }
+  // Wave 1: T1 holds {on0[0], on1[0]}, T2 holds {on0[1], on1[1]}.
+  sharded.Submit(Op(1, 1, txn::OpType::kWrite, on0[0]), SimTime());
+  sharded.Submit(Op(1, 2, txn::OpType::kWrite, on1[0]), SimTime());
+  sharded.Submit(Op(2, 1, txn::OpType::kWrite, on0[1]), SimTime());
+  sharded.Submit(Op(2, 2, txn::OpType::kWrite, on1[1]), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+  ASSERT_EQ(sharded.TakeDispatched().size(), 4u);
+
+  // Wave 2: the crossing writes — a waits-for cycle local to shard 0 —
+  // plus bystanders T3/T4 blocked on shard 1 behind T1/T2.
+  sharded.Submit(Op(1, 3, txn::OpType::kWrite, on0[1]), SimTime());
+  sharded.Submit(Op(2, 3, txn::OpType::kWrite, on0[0]), SimTime());
+  sharded.Submit(Op(3, 1, txn::OpType::kWrite, on1[0]), SimTime());
+  sharded.Submit(Op(4, 1, txn::OpType::kWrite, on1[1]), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+
+  const auto totals = sharded.totals();
+  ASSERT_GT(totals.victims, 0) << "shard-local deadlock was not resolved";
+  ASSERT_GT(totals.mirrors_applied, 0) << "victim abort was not mirrored";
+  // Whichever of T1/T2 was aborted, its shard-1 lock released and the
+  // bystander behind it dispatched.
+  const RequestBatch dispatched = sharded.TakeDispatched();
+  bool bystander_freed = false;
+  for (const Request& r : dispatched) {
+    bystander_freed = bystander_freed || r.ta == 3 || r.ta == 4;
+  }
+  EXPECT_TRUE(bystander_freed);
+}
+
+// --- escrow view plumbing ---------------------------------------------------
+
+class EscrowProbeProtocol : public Protocol {
+ public:
+  struct Seen {
+    int shard = -1;
+    int num_shards = 0;
+    std::vector<txn::TxnId> escrowed;
+  };
+
+  EscrowProbeProtocol(ProtocolSpec spec, std::vector<Seen>* log)
+      : Protocol(std::move(spec)), log_(log) {}
+
+  Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
+    Seen seen;
+    seen.shard = context.shard;
+    seen.num_shards = context.num_shards;
+    if (context.escrowed != nullptr) seen.escrowed = context.escrowed->txns;
+    log_->push_back(std::move(seen));
+    return context.store->AllPending();  // passthrough policy
+  }
+
+ private:
+  std::vector<Seen>* log_;
+};
+
+TEST(ShardedSchedulerTest, ScheduleContextCarriesShardIdAndEscrowView) {
+  static std::vector<EscrowProbeProtocol::Seen> log;
+  log.clear();
+  ProtocolFactory factory;
+  ASSERT_TRUE(factory
+                  .RegisterBackend(
+                      "probe",
+                      [](const ProtocolSpec& spec, RequestStore*)
+                          -> Result<std::unique_ptr<Protocol>> {
+                        return std::unique_ptr<Protocol>(
+                            new EscrowProbeProtocol(spec, &log));
+                      })
+                  .ok());
+  ProtocolSpec spec;
+  spec.name = "probe";
+  spec.backend = "probe";
+
+  ShardedScheduler::Options options;
+  options.num_shards = 2;
+  options.shard.protocol = spec;
+  options.shard.factory = &factory;
+  options.shard.deadlock_detection = false;
+  ShardedScheduler sharded(std::move(options), nullptr);
+  ASSERT_TRUE(sharded.Init().ok());
+
+  // A transaction spanning both shards, then its escrowed commit.
+  int64_t obj0 = 0, obj1 = 0;
+  while (sharded.router().ShardOfObject(obj0) != 0) ++obj0;
+  while (sharded.router().ShardOfObject(obj1) != 1) ++obj1;
+  sharded.Submit(Op(5, 1, txn::OpType::kWrite, obj0), SimTime());
+  sharded.Submit(Op(5, 2, txn::OpType::kWrite, obj1), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+  sharded.Submit(Op(5, 3, txn::OpType::kCommit, Request::kNoObject), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+
+  bool saw_escrow = false;
+  for (const auto& seen : log) {
+    EXPECT_EQ(seen.num_shards, 2);
+    EXPECT_TRUE(seen.shard == 0 || seen.shard == 1);
+    for (txn::TxnId ta : seen.escrowed) {
+      saw_escrow = saw_escrow || ta == 5;
+    }
+  }
+  EXPECT_TRUE(saw_escrow) << "no cycle observed transaction 5 in escrow";
+  EXPECT_EQ(sharded.totals().escrows, 1);
+}
+
+// --- shared server fan-in ---------------------------------------------------
+
+TEST(ShardedSchedulerTest, ShardsShareOneServerWithPerShardBusyAccounting) {
+  server::DatabaseServer::Config config;
+  config.num_rows = 1000;
+  server::DatabaseServer server(config);
+
+  ShardedScheduler::Options options;
+  options.num_shards = 2;
+  options.shard = NativeOptions();
+  ShardedScheduler sharded(std::move(options), &server);
+  ASSERT_TRUE(sharded.Init().ok());
+  // One single-op transaction per shard, then commits.
+  int64_t obj0 = 0, obj1 = 0;
+  while (sharded.router().ShardOfObject(obj0) != 0) ++obj0;
+  while (sharded.router().ShardOfObject(obj1) != 1) ++obj1;
+  sharded.Submit(Op(11, 1, txn::OpType::kWrite, obj0), SimTime());
+  sharded.Submit(Op(12, 1, txn::OpType::kWrite, obj1), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+  sharded.Submit(Op(11, 2, txn::OpType::kCommit, Request::kNoObject), SimTime());
+  sharded.Submit(Op(12, 2, txn::OpType::kCommit, Request::kNoObject), SimTime());
+  ASSERT_TRUE(sharded.RunUntilIdle(SimTime()).ok());
+
+  EXPECT_EQ(server.total_statements(), 4);
+  EXPECT_GT(server.shard_busy(0).micros(), 0);
+  EXPECT_GT(server.shard_busy(1).micros(), 0);
+  EXPECT_EQ((server.shard_busy(0) + server.shard_busy(1)).micros(),
+            server.total_busy().micros());
+  // Each write incremented its row once.
+  EXPECT_EQ(server.RowValue(obj0).ValueOrDie(), 1);
+  EXPECT_EQ(server.RowValue(obj1).ValueOrDie(), 1);
+}
+
+}  // namespace
+}  // namespace declsched::scheduler

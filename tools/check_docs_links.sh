@@ -1,0 +1,56 @@
+#!/bin/sh
+# Docs lint: fail on broken relative links in README.md and docs/*.md.
+#
+# Checks every markdown inline link `[text](target)` outside fenced code
+# blocks whose target is not an absolute URL or a pure in-page anchor; the
+# target (minus any #anchor) must exist relative to the file containing the
+# link. Run from anywhere:
+#   tools/check_docs_links.sh [repo-root]
+
+set -u
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 2
+
+status=0
+checked=0
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Extract link targets, one per line, skipping ``` fenced code blocks
+  # (where [](...) is usually a C++ lambda, not a link).
+  targets=$(awk '
+    /^```/ { fence = !fence; next }
+    !fence {
+      line = $0
+      while (match(line, /\]\([^)]*\)/)) {
+        print substr(line, RSTART + 2, RLENGTH - 3)
+        line = substr(line, RSTART + RLENGTH)
+      }
+    }' "$doc")
+  # Real markdown targets never contain spaces (ours never use <...> or
+  # titles), so line-wise iteration is safe.
+  old_ifs=$IFS
+  IFS='
+'
+  for target in $targets; do
+    IFS=$old_ifs
+    case "$target" in
+      http://*|https://*|mailto:*|\#*|*" "*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK in $doc: $target" >&2
+      status=1
+    fi
+    checked=$((checked + 1))
+  done
+  IFS=$old_ifs
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "docs lint: no links found — check the extraction pattern" >&2
+  exit 2
+fi
+echo "docs lint: $checked relative links checked"
+exit $status
