@@ -1,5 +1,7 @@
 #include "scheduler/backends/composed_protocol.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <utility>
@@ -97,6 +99,93 @@ class CapStage : public ProtocolStage {
   int64_t limit_;
 };
 
+/// Tenant-fair ordering off the store's `tenants` relation — the composed
+/// formulation of the native wfq/drr variants.
+class FairRankStage : public ProtocolStage {
+ public:
+  enum class Kind { kVtime, kRound };
+
+  explicit FairRankStage(Kind kind) : kind_(kind) {}
+
+  Result<RequestBatch> Apply(const ScheduleContext& context,
+                             RequestBatch batch) const override {
+    if (kind_ == Kind::kVtime) {
+      RankByTenantVtime(&batch, *context.store);
+    } else {
+      RankByTenantRound(&batch, *context.store);
+    }
+    return batch;
+  }
+
+  bool DefinesOrder() const override { return true; }
+
+ private:
+  Kind kind_;
+};
+
+/// Drops requests of throttled tenants — the composed formulation of the
+/// native tenant-cap variant.
+class TenantCapStage : public ProtocolStage {
+ public:
+  Result<RequestBatch> Apply(const ScheduleContext& context,
+                             RequestBatch batch) const override {
+    return FilterThrottledTenants(std::move(batch), *context.store);
+  }
+};
+
+/// Starvation guard as a stage: requests of tenants whose oldest *pending*
+/// request has waited >= wait_us move to the front, most-starved tenant
+/// first; everything else keeps its order. Judged against the cycle's full
+/// pending universe (like the filter stages), so an earlier cap/rank stage
+/// cannot hide a tenant's oldest request from the guard.
+class StarvationBoostStage : public ProtocolStage {
+ public:
+  explicit StarvationBoostStage(int64_t wait_us) : wait_us_(wait_us) {}
+
+  Result<RequestBatch> Apply(const ScheduleContext& context,
+                             RequestBatch batch) const override {
+    RequestBatch fetched;
+    const RequestBatch* universe = context.pending_universe;
+    if (universe == nullptr) {
+      DS_ASSIGN_OR_RETURN(fetched, context.store->AllPending());
+      universe = &fetched;
+    }
+    // Oldest pending arrival per tenant. Min, not first-sight: preassigned
+    // ids from concurrent submitters (SubmitRouted) need not arrive in
+    // id order.
+    std::map<int64_t, int64_t> oldest;
+    for (const Request& r : *universe) {
+      auto [it, inserted] = oldest.emplace(r.tenant, r.arrival.micros());
+      if (!inserted && r.arrival.micros() < it->second) {
+        it->second = r.arrival.micros();
+      }
+    }
+    std::map<int64_t, int64_t> starved;  // tenant -> oldest arrival
+    for (const auto& [tenant, arrival] : oldest) {
+      if (context.now.micros() - arrival >= wait_us_) {
+        starved.emplace(tenant, arrival);
+      }
+    }
+    if (starved.empty()) return batch;
+    std::stable_sort(batch.begin(), batch.end(),
+                     [&starved](const Request& a, const Request& b) {
+                       auto sa = starved.find(a.tenant);
+                       auto sb = starved.find(b.tenant);
+                       const int64_t ka =
+                           sa == starved.end() ? INT64_MAX : sa->second;
+                       const int64_t kb =
+                           sb == starved.end() ? INT64_MAX : sb->second;
+                       return ka < kb;
+                     });
+    return batch;
+  }
+
+  bool DefinesOrder() const override { return true; }
+
+ private:
+  int64_t wait_us_;
+};
+
 Result<std::unique_ptr<ProtocolStage>> BuildFilter(const std::string& arg) {
   if (arg == "ss2pl") {
     return std::unique_ptr<ProtocolStage>(new FilterStage(FilterStage::Kind::kSs2pl));
@@ -135,12 +224,49 @@ Result<std::unique_ptr<ProtocolStage>> BuildCap(const std::string& arg) {
   return std::unique_ptr<ProtocolStage>(new CapStage(limit));
 }
 
+Result<std::unique_ptr<ProtocolStage>> BuildFairRank(const std::string& arg) {
+  if (arg == "vtime") {
+    return std::unique_ptr<ProtocolStage>(
+        new FairRankStage(FairRankStage::Kind::kVtime));
+  }
+  if (arg == "round") {
+    return std::unique_ptr<ProtocolStage>(
+        new FairRankStage(FairRankStage::Kind::kRound));
+  }
+  return Status::BindError("unknown fair_rank '" + arg +
+                           "' (want vtime or round)");
+}
+
+Result<std::unique_ptr<ProtocolStage>> BuildTenantCap(const std::string& arg) {
+  if (!arg.empty()) {
+    return Status::BindError(
+        "tenant_cap takes no argument (per-tenant caps live in the "
+        "tenants relation), got '" +
+        arg + "'");
+  }
+  return std::unique_ptr<ProtocolStage>(new TenantCapStage());
+}
+
+Result<std::unique_ptr<ProtocolStage>> BuildStarvationBoost(
+    const std::string& arg) {
+  char* end = nullptr;
+  const long long wait_us = std::strtoll(arg.c_str(), &end, 10);
+  if (arg.empty() || end == nullptr || *end != '\0' || wait_us <= 0) {
+    return Status::BindError(
+        "starvation_boost needs a positive wait in micros, got '" + arg + "'");
+  }
+  return std::unique_ptr<ProtocolStage>(new StarvationBoostStage(wait_us));
+}
+
 std::map<std::string, StageBuilder>& StageRegistry() {
   static std::map<std::string, StageBuilder>* registry = [] {
     auto* r = new std::map<std::string, StageBuilder>();
     (*r)["filter"] = BuildFilter;
     (*r)["rank"] = BuildRank;
     (*r)["cap"] = BuildCap;
+    (*r)["fair_rank"] = BuildFairRank;
+    (*r)["tenant_cap"] = BuildTenantCap;
+    (*r)["starvation_boost"] = BuildStarvationBoost;
     return r;
   }();
   return *registry;

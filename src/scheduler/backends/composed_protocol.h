@@ -10,6 +10,13 @@
 //   filter:ss2pl / filter:read-committed / filter:none   consistency filter
 //   rank:fcfs / rank:priority / rank:edf                 dispatch ordering
 //   cap:N                                                admission cap
+//   fair_rank:vtime / fair_rank:round                    tenant fairness
+//                    ordering (wfq / drr, off the `tenants` relation)
+//   tenant_cap                                           drop requests of
+//                    throttled tenants (in-flight cap / empty token bucket)
+//   starvation_boost:WAIT_US                             move requests of
+//                    tenants whose oldest pending request has waited
+//                    >= WAIT_US micros to the front (most-starved first)
 //
 // New stage kinds register a builder via RegisterStage(), the same way new
 // backends register in the ProtocolFactory.

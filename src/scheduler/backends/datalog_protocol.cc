@@ -1,7 +1,9 @@
 #include "scheduler/backends/datalog_protocol.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "datalog/engine.h"
@@ -22,8 +24,39 @@ class DatalogProtocol : public Protocol {
                         program_.Evaluate(context.store->BuildDatalogEdb()));
     const datalog::Relation& rel = result.at(spec_.datalog_output);
     DS_ASSIGN_OR_RETURN(RequestBatch batch, context.store->RowsToRequests(rel));
+    if (spec_.datalog_rank.empty()) {
+      std::sort(batch.begin(), batch.end(),
+                [](const Request& a, const Request& b) { return a.id < b.id; });
+      return batch;
+    }
+    // Ranked dispatch: the rank relation maps each id to its sort-key
+    // columns; order is ascending by keys then id, requests missing from
+    // the relation last. Datalog has no ORDER BY, so the key columns ARE
+    // the protocol's declared dispatch order.
+    const datalog::Relation& rank = result.at(spec_.datalog_rank);
+    std::unordered_map<int64_t, const storage::Row*> keys;
+    keys.reserve(rank.size());
+    for (const storage::Row& tuple : rank) {
+      keys.emplace(tuple[0].AsInt64(), &tuple);
+    }
+    auto key_of = [&keys](const Request& r) -> const storage::Row* {
+      auto it = keys.find(r.id);
+      return it == keys.end() ? nullptr : it->second;
+    };
     std::sort(batch.begin(), batch.end(),
-              [](const Request& a, const Request& b) { return a.id < b.id; });
+              [&key_of](const Request& a, const Request& b) {
+                const storage::Row* ka = key_of(a);
+                const storage::Row* kb = key_of(b);
+                if ((ka == nullptr) != (kb == nullptr)) return kb == nullptr;
+                if (ka != nullptr) {
+                  for (size_t i = 1; i < ka->size() && i < kb->size(); ++i) {
+                    const int64_t va = (*ka)[i].AsInt64();
+                    const int64_t vb = (*kb)[i].AsInt64();
+                    if (va != vb) return va < vb;
+                  }
+                }
+                return a.id < b.id;
+              });
     return batch;
   }
 
@@ -37,14 +70,25 @@ Result<std::unique_ptr<Protocol>> CompileDatalogProtocol(
     const ProtocolSpec& spec, RequestStore* /*store*/) {
   DS_ASSIGN_OR_RETURN(datalog::DatalogProgram program,
                       datalog::DatalogProgram::Create(spec.text));
-  // The output relation must be derived and have the Table 2 arity.
+  // The output relation must be derived and have the Table 2 arity; a rank
+  // relation, when named, must be derived too.
   const auto& idb = program.idb_predicates();
   if (std::find(idb.begin(), idb.end(), spec.datalog_output) == idb.end()) {
     return Status::BindError(StrFormat("protocol %s: program does not derive '%s'",
                                        spec.name.c_str(),
                                        spec.datalog_output.c_str()));
   }
-  return std::unique_ptr<Protocol>(new DatalogProtocol(spec, std::move(program)));
+  ProtocolSpec resolved = spec;
+  if (!spec.datalog_rank.empty()) {
+    if (std::find(idb.begin(), idb.end(), spec.datalog_rank) == idb.end()) {
+      return Status::BindError(
+          StrFormat("protocol %s: program does not derive rank relation '%s'",
+                    spec.name.c_str(), spec.datalog_rank.c_str()));
+    }
+    resolved.ordered = true;
+  }
+  return std::unique_ptr<Protocol>(
+      new DatalogProtocol(std::move(resolved), std::move(program)));
 }
 
 }  // namespace declsched::scheduler

@@ -18,7 +18,16 @@ using txn::TxnId;
 
 class NativeProtocol : public Protocol {
  public:
-  enum class Variant { kSs2pl, kFcfs, kSlaPriority, kEdf, kReadCommitted };
+  enum class Variant {
+    kSs2pl,
+    kFcfs,
+    kSlaPriority,
+    kEdf,
+    kReadCommitted,
+    kWfq,
+    kDrr,
+    kTenantCap,
+  };
 
   NativeProtocol(ProtocolSpec spec, Variant variant, RequestStore* store,
                  bool incremental)
@@ -42,7 +51,7 @@ class NativeProtocol : public Protocol {
     if (variant_ == Variant::kFcfs) return pending;
 
     const LockTable& locks = lock_state_.Refresh(*context.store);
-    return Qualify(locks, pending);
+    return Qualify(locks, pending, *context.store);
   }
 
   // Delta hooks: keep the lock state in lockstep with history so Schedule()
@@ -59,7 +68,8 @@ class NativeProtocol : public Protocol {
     return incremental_ && variant_ != Variant::kFcfs;
   }
 
-  RequestBatch Qualify(const LockTable& locks, RequestBatch& pending) const {
+  RequestBatch Qualify(const LockTable& locks, RequestBatch& pending,
+                       const RequestStore& store) const {
     RequestBatch qualified = variant_ == Variant::kReadCommitted
                                  ? FilterReadCommitted(locks, pending)
                                  : FilterSs2pl(locks, pending);
@@ -69,6 +79,15 @@ class NativeProtocol : public Protocol {
         break;
       case Variant::kEdf:
         RankByDeadline(&qualified);
+        break;
+      case Variant::kWfq:
+        RankByTenantVtime(&qualified, store);
+        break;
+      case Variant::kDrr:
+        RankByTenantRound(&qualified, store);
+        break;
+      case Variant::kTenantCap:
+        qualified = FilterThrottledTenants(std::move(qualified), store);
         break;
       default:
         break;  // id order, established by the caller
@@ -94,7 +113,7 @@ class NativeProtocol : public Protocol {
     for (const Request& r : pending) pending_objects.insert(r.object);
     const LockTable locks =
         BuildLockTableRestricted(context.store, &pending_objects);
-    return Qualify(locks, pending);
+    return Qualify(locks, pending, *context.store);
   }
 
   Variant variant_;
@@ -127,6 +146,68 @@ void RankByDeadline(RequestBatch* batch) {
   });
 }
 
+namespace {
+
+/// Tenant-acct lookup memoizing the last tenant seen — batches are
+/// typically runs of the same tenant.
+class TenantAcctReader {
+ public:
+  explicit TenantAcctReader(const RequestStore& store)
+      : tenants_(store.tenants_by_id()) {}
+
+  const TenantAcct& For(int64_t tenant) {
+    if (cached_ == nullptr || cached_->tenant != tenant) {
+      auto it = tenants_.find(tenant);
+      if (it != tenants_.end()) {
+        cached_ = &it->second;
+      } else {
+        default_ = TenantAcct{};
+        default_.tenant = tenant;
+        cached_ = &default_;
+      }
+    }
+    return *cached_;
+  }
+
+ private:
+  const std::map<int64_t, TenantAcct>& tenants_;
+  const TenantAcct* cached_ = nullptr;
+  TenantAcct default_;
+};
+
+}  // namespace
+
+void RankByTenantVtime(RequestBatch* batch, const RequestStore& store) {
+  TenantAcctReader acct(store);
+  std::sort(batch->begin(), batch->end(),
+            [&acct](const Request& a, const Request& b) {
+              return std::make_pair(acct.For(a.tenant).vtime, a.id) <
+                     std::make_pair(acct.For(b.tenant).vtime, b.id);
+            });
+}
+
+void RankByTenantRound(RequestBatch* batch, const RequestStore& store) {
+  TenantAcctReader acct(store);
+  std::sort(batch->begin(), batch->end(),
+            [&acct](const Request& a, const Request& b) {
+              return std::make_tuple(acct.For(a.tenant).round,
+                                     static_cast<int64_t>(a.tenant), a.id) <
+                     std::make_tuple(acct.For(b.tenant).round,
+                                     static_cast<int64_t>(b.tenant), b.id);
+            });
+}
+
+RequestBatch FilterThrottledTenants(RequestBatch batch,
+                                    const RequestStore& store) {
+  TenantAcctReader acct(store);
+  RequestBatch out;
+  out.reserve(batch.size());
+  for (Request& r : batch) {
+    if (!acct.For(r.tenant).Throttled()) out.push_back(std::move(r));
+  }
+  return out;
+}
+
 Result<std::unique_ptr<Protocol>> CompileNativeProtocol(const ProtocolSpec& spec,
                                                         RequestStore* store) {
   std::string variant(Trim(spec.text));
@@ -147,10 +228,17 @@ Result<std::unique_ptr<Protocol>> CompileNativeProtocol(const ProtocolSpec& spec
     v = NativeProtocol::Variant::kEdf;
   } else if (variant == "read-committed") {
     v = NativeProtocol::Variant::kReadCommitted;
+  } else if (variant == "wfq") {
+    v = NativeProtocol::Variant::kWfq;
+  } else if (variant == "drr") {
+    v = NativeProtocol::Variant::kDrr;
+  } else if (variant == "tenant-cap") {
+    v = NativeProtocol::Variant::kTenantCap;
   } else {
     return Status::BindError(StrFormat(
         "protocol %s: unknown native variant '%s' (want ss2pl, fcfs, "
-        "sla-priority, edf, or read-committed, optionally scratch:-prefixed)",
+        "sla-priority, edf, read-committed, wfq, drr, or tenant-cap, "
+        "optionally scratch:-prefixed)",
         spec.name.c_str(), variant.c_str()));
   }
   return std::unique_ptr<Protocol>(

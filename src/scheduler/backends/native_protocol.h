@@ -8,6 +8,15 @@
 //   sla-priority   SS2PL qualification, premium tier dispatched first
 //   edf            SS2PL qualification, earliest deadline first (0 = none)
 //   read-committed readers never block; writers respect write locks
+//   wfq            SS2PL qualification, tenants ranked by virtual time
+//   drr            SS2PL qualification, tenants ranked by service round
+//   tenant-cap     SS2PL qualification minus throttled tenants (in-flight
+//                  cap or empty token bucket), dispatch by id
+//
+// The tenant-aware variants read the per-tenant QoS state off the store's
+// `tenants` relation (typed mirror) — the same rows the SQL/Datalog
+// formulations join against — so all four formulations answer identically
+// by construction; see docs/PROTOCOLS.md.
 //
 // The backend is *incremental*: it reads pending straight off the store's
 // typed mirror (no row decoding) and keeps a LockTableState fed by the
@@ -39,6 +48,15 @@ Result<std::unique_ptr<Protocol>> CompileNativeProtocol(const ProtocolSpec& spec
 void RankById(RequestBatch* batch);
 void RankByPriority(RequestBatch* batch);
 void RankByDeadline(RequestBatch* batch);
+/// wfq order: ascending tenant virtual time (from `store`'s tenants
+/// mirror; absent tenants rank at vtime 0), ties by id.
+void RankByTenantVtime(RequestBatch* batch, const RequestStore& store);
+/// drr order: ascending tenant service round, then tenant, then id.
+void RankByTenantRound(RequestBatch* batch, const RequestStore& store);
+/// tenant-cap filter: drops requests of throttled tenants
+/// (TenantAcct::Throttled) — in-flight cap reached, or token bucket empty.
+RequestBatch FilterThrottledTenants(RequestBatch batch,
+                                    const RequestStore& store);
 
 }  // namespace declsched::scheduler
 

@@ -30,6 +30,11 @@ const ProtocolFactory& DeclarativeScheduler::factory() const {
 
 Status DeclarativeScheduler::Init() {
   DS_ASSIGN_OR_RETURN(protocol_, factory().Compile(options_.protocol, &store_));
+  if (options_.tenant_accounting) {
+    accountant_ =
+        std::make_unique<TenantAccountant>(options_.tenant_qos, &store_);
+    DS_RETURN_NOT_OK(accountant_->SeedConfig());
+  }
   if (options_.deadlock_detection) {
     DS_ASSIGN_OR_RETURN(DeadlockResolver resolver, DeadlockResolver::Create());
     resolver_.emplace(std::move(resolver));
@@ -91,13 +96,31 @@ Status DeclarativeScheduler::ApplyEscrowedFinisher(const Request& marker) {
   return InjectFinisherMarker(marker);
 }
 
-Status DeclarativeScheduler::InjectFinisherMarker(const Request& marker) {
-  // Each store mutation is narrated to the protocol right away, so
-  // incremental backends stay in lockstep.
+Status DeclarativeScheduler::InjectFinisherMarker(const Request& original) {
+  // Each store mutation is narrated to the protocol (and the tenant
+  // accountant) right away, so incremental backends stay in lockstep.
+  Request marker = original;
+  std::map<int64_t, int64_t> dropped_by_tenant;
   if (marker.op == txn::OpType::kAbort) {
-    store_.DropPendingOfTransaction(marker.ta);
+    store_.DropPendingOfTransaction(marker.ta, &dropped_by_tenant);
+    if (marker.tenant == 0 && !dropped_by_tenant.empty()) {
+      // Internally constructed abort markers (deadlock victims, cross-shard
+      // victim mirrors) carry no tenant; attribute the marker to the tenant
+      // whose pending requests it killed so the QoS charge lands right.
+      // Transactions are single-tenant by construction, so take the
+      // heaviest key when an adversarial trace mixed tenants within one ta.
+      auto best = dropped_by_tenant.begin();
+      for (auto it = dropped_by_tenant.begin(); it != dropped_by_tenant.end();
+           ++it) {
+        if (it->second > best->second) best = it;
+      }
+      marker.tenant = static_cast<int>(best->first);
+    }
   }
   DS_RETURN_NOT_OK(store_.InsertHistory(marker));
+  if (accountant_ != nullptr) {
+    accountant_->OnMarkerInjected(marker, dropped_by_tenant);
+  }
   protocol_->OnScheduled(RequestBatch{marker});
   return Status::OK();
 }
@@ -114,7 +137,15 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
   RequestBatch drained = queue_.DrainAll();
   stats.drained = static_cast<int64_t>(drained.size());
   DS_RETURN_NOT_OK(store_.InsertPending(drained));
-  if (!drained.empty()) protocol_->OnAdmitted(drained);
+  if (!drained.empty()) {
+    if (accountant_ != nullptr) accountant_->OnAdmitted(drained);
+    protocol_->OnAdmitted(drained);
+  }
+  // The accountant refills token buckets, absorbs any out-of-band store
+  // edit (staleness rebuild), and flushes the changed per-tenant rows into
+  // the `tenants` relation — which is what tenant-aware protocols read, so
+  // it must be current before Schedule().
+  if (accountant_ != nullptr) DS_RETURN_NOT_OK(accountant_->BeginCycle(now));
   stats.insert_us = NowMicros() - cycle_start;
 
   // 2. Run the declarative protocol.
@@ -125,6 +156,7 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
   context.shard = options_.shard;
   context.num_shards = options_.num_shards;
   context.escrowed = escrowed_;
+  context.tenants = accountant_.get();
   DS_ASSIGN_OR_RETURN(RequestBatch qualified, protocol_->Schedule(context));
   stats.query_us = NowMicros() - query_start;
   if (options_.max_dispatch_per_cycle > 0 &&
@@ -139,11 +171,17 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
   //    rescanning next cycle.
   const int64_t move_start = NowMicros();
   DS_RETURN_NOT_OK(store_.MarkScheduled(qualified));
-  if (!qualified.empty()) protocol_->OnScheduled(qualified);
+  if (!qualified.empty()) {
+    if (accountant_ != nullptr) accountant_->OnScheduled(qualified);
+    protocol_->OnScheduled(qualified);
+  }
   if (options_.history_gc) {
     DS_ASSIGN_OR_RETURN(RequestStore::GcResult gc, store_.GarbageCollectFinished());
     stats.gc_removed = gc.rows_retired;
-    if (!gc.txns.empty()) protocol_->OnFinished(gc.txns);
+    if (!gc.txns.empty()) {
+      if (accountant_ != nullptr) accountant_->OnFinished(gc);
+      protocol_->OnFinished(gc.txns);
+    }
   }
   stats.move_us = NowMicros() - move_start;
 
@@ -170,6 +208,11 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
   }
   stats.dispatched = static_cast<int64_t>(qualified.size());
   last_dispatched_ = std::move(qualified);
+
+  // Post-dispatch/GC accounting lands in the tenants relation now, so the
+  // relation always holds the cycle-boundary state (and the cross-thread
+  // snapshot, when published, is cut at the same boundary).
+  if (accountant_ != nullptr) DS_RETURN_NOT_OK(accountant_->EndCycle());
 
   stats.total_us = NowMicros() - cycle_start;
   trigger_.NotifyFired(now);

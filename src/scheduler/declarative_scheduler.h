@@ -40,6 +40,7 @@
 #include "scheduler/protocol.h"
 #include "scheduler/protocol_library.h"
 #include "scheduler/request_store.h"
+#include "scheduler/tenant_accountant.h"
 #include "scheduler/trigger_policy.h"
 #include "server/database_server.h"
 
@@ -99,6 +100,14 @@ class DeclarativeScheduler {
     /// markers). The sharded scheduler gives each shard a disjoint high
     /// range so internal ids never collide with its global request ids.
     int64_t first_request_id = 1;
+    /// Run a TenantAccountant alongside the protocol: per-tenant QoS
+    /// counters (pending/in-flight/service, wfq virtual time, drr rounds,
+    /// token buckets) maintained O(delta) from the same narration and
+    /// flushed into the store's `tenants` relation every cycle — what the
+    /// fairness protocols read. Off = zero accounting cost (and the
+    /// tenants relation stays whatever it was).
+    bool tenant_accounting = true;
+    TenantQosConfig tenant_qos;
 
     Options() : protocol(Ss2plSql()) {}
   };
@@ -160,6 +169,10 @@ class DeclarativeScheduler {
   const std::vector<txn::TxnId>& last_victims() const { return last_victims_; }
 
   RequestStore* store() { return &store_; }
+  /// The per-tenant QoS accountant (null before Init(), or when
+  /// Options::tenant_accounting is off). Cycle thread only, except the
+  /// accountant's own PublishedSnapshot().
+  TenantAccountant* tenant_accountant() { return accountant_.get(); }
   const SchedulerTotals& totals() const { return totals_; }
   /// Thread-safe (the queue carries its own lock).
   int64_t queue_size() const { return queue_.size(); }
@@ -185,6 +198,7 @@ class DeclarativeScheduler {
   RequestStore store_;
   TriggerPolicy trigger_;
   std::unique_ptr<Protocol> protocol_;
+  std::unique_ptr<TenantAccountant> accountant_;
   std::optional<DeadlockResolver> resolver_;
   RequestBatch last_dispatched_;
   std::vector<txn::TxnId> last_victims_;

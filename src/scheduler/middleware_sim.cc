@@ -148,6 +148,9 @@ class Harness {
 
     result_.elapsed = now < config_.duration ? now : config_.duration;
     result_.totals = scheduler_->totals();
+    if (scheduler_->tenant_accountant() != nullptr) {
+      result_.tenant_totals = scheduler_->tenant_accountant()->Totals();
+    }
     if (config_.server.materialize_rows) {
       for (int64_t k = 0; k < config_.server.num_rows; ++k) {
         DS_ASSIGN_OR_RETURN(int64_t value, server_.RowValue(k));
@@ -179,6 +182,7 @@ class Harness {
     request.priority = c.spec.sla_class;
     request.deadline = c.deadline;
     request.client = c.index;
+    request.tenant = c.spec.tenant;
     if (c.next_op < c.spec.ops.size()) {
       const workload::OpSpec& op = c.spec.ops[c.next_op];
       request.intrata = static_cast<int64_t>(c.next_op) + 1;

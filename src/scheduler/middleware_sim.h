@@ -55,6 +55,9 @@ struct MiddlewareSimResult {
   int64_t protocol_switches = 0;
   /// Scheduler aggregates (real wall-time query costs live here).
   SchedulerTotals totals;
+  /// Per-tenant accounting at end of run (empty when the scheduler ran
+  /// without tenant accounting). Ascending tenant id.
+  std::vector<TenantAccountant::TenantTotals> tenant_totals;
   /// Executed-operation trace in dispatch order (if recorded).
   std::vector<txn::HistoryOp> history;
   /// Write statements dispatched to the server (including those of

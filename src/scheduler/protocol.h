@@ -26,6 +26,7 @@
 namespace declsched::scheduler {
 
 struct LockTable;
+class TenantAccountant;
 
 /// Cross-shard escrow state visible to a shard's protocol: transactions
 /// whose finisher has been admitted under escrow somewhere in the sharded
@@ -58,6 +59,12 @@ struct ScheduleContext {
   /// In-flight cross-shard escrows touching this shard; null when the
   /// scheduler runs unsharded (or no escrow is in flight).
   const EscrowedLocks* escrowed = nullptr;
+  /// Live per-tenant QoS accounting (starvation guard, cumulative
+  /// counters), when the owning scheduler runs a TenantAccountant.
+  /// Advisory: the built-in fairness policies read the store's `tenants`
+  /// relation instead — which the accountant keeps current — so they
+  /// answer identically on a bare store with hand-written tenants rows.
+  const TenantAccountant* tenants = nullptr;
 };
 
 /// The declarative description of a scheduling protocol. `backend` names the
@@ -72,6 +79,12 @@ struct ProtocolSpec {
   /// Datalog: the derived relation holding qualified requests
   /// (id, ta, intrata, operation, object).
   std::string datalog_output = "qualified";
+  /// Datalog: optional derived relation (Id, Key...) assigning each
+  /// qualified request a sort key; when set, dispatch order is ascending
+  /// by the key columns then id (requests missing from the relation sort
+  /// last), and the protocol is `ordered`. How ranking policies (wfq,
+  /// drr) are expressed in a language without ORDER BY.
+  std::string datalog_rank;
   /// If true, the protocol's result order is the dispatch order (SLA/EDF
   /// protocols rank by priority/deadline); otherwise dispatch is by id.
   bool ordered = false;

@@ -94,7 +94,10 @@ FROM requests r2, QualifiedOps q
 WHERE r2.ta = q.ta AND r2.intrata = q.intrata
 )sql";
 
-constexpr const char* kSs2plDatalog = R"(
+/// The SS2PL locking rules, shared by the plain Datalog protocol and the
+/// tenant-fairness protocols (which differ only in the head they derive) —
+/// the Datalog analogue of the shared kSs2plCtes block above.
+constexpr const char* kSs2plDatalogRules = R"(
 % Strong two-phase locking over the request/history relations.
 finished(Ta) :- hist(_, Ta, _, "c", _).
 finished(Ta) :- hist(_, Ta, _, "a", _).
@@ -105,8 +108,17 @@ blocked(Ta, In) :- req(_, Ta, In, _, Obj), wlock(Obj, T2), Ta != T2.
 blocked(Ta, In) :- req(_, Ta, In, "w", Obj), rlock(Obj, T2), Ta != T2.
 blocked(T2, In2) :- req(_, T2, In2, "w", Obj), req(_, T1, _, _, Obj), T2 > T1.
 blocked(T2, In2) :- req(_, T2, In2, _, Obj), req(_, T1, _, "w", Obj), T2 > T1.
-qualified(Id, Ta, In, Op, Obj) :- req(Id, Ta, In, Op, Obj), !blocked(Ta, In).
 )";
+
+constexpr const char* kSs2plQualifiedHead =
+    "qualified(Id, Ta, In, Op, Obj) :- req(Id, Ta, In, Op, Obj), "
+    "!blocked(Ta, In).\n";
+
+/// The same qualification derived as ss2plok, for the tenant rules that
+/// build `qualified` on top of it.
+constexpr const char* kSs2plOkHead =
+    "ss2plok(Id, Ta, In, Op, Obj) :- req(Id, Ta, In, Op, Obj), "
+    "!blocked(Ta, In).\n";
 
 constexpr const char* kReadCommittedDatalog = R"(
 % Relaxed consistency: readers never block, writers respect write locks.
@@ -116,6 +128,59 @@ wlock(Obj, Ta) :- hist(_, Ta, _, "w", Obj), !finished(Ta).
 blocked(Ta, In) :- req(_, Ta, In, "w", Obj), wlock(Obj, T2), Ta != T2.
 blocked(T2, In2) :- req(_, T2, In2, "w", Obj), req(_, T1, _, "w", Obj), T2 > T1.
 qualified(Id, Ta, In, Op, Obj) :- req(Id, Ta, In, Op, Obj), !blocked(Ta, In).
+)";
+
+// --- multi-tenant fairness (the `tenants` relation / `tenantacct` EDB) ---
+
+constexpr const char* kWfqFinal = R"sql(
+SELECT r2.*, t.vtime
+FROM requests r2, QualifiedSS2PLOps ss2PL, tenants t
+WHERE r2.ta = ss2PL.ta AND r2.intrata = ss2PL.intrata
+  AND r2.tenant = t.tenant
+ORDER BY t.vtime, r2.id
+)sql";
+
+constexpr const char* kDrrFinal = R"sql(
+SELECT r2.*, t.round
+FROM requests r2, QualifiedSS2PLOps ss2PL, tenants t
+WHERE r2.ta = ss2PL.ta AND r2.intrata = ss2PL.intrata
+  AND r2.tenant = t.tenant
+ORDER BY t.round, r2.tenant, r2.id
+)sql";
+
+constexpr const char* kTenantCapFinal = R"sql(
+SELECT r2.*
+FROM requests r2, QualifiedSS2PLOps ss2PL
+WHERE r2.ta = ss2PL.ta AND r2.intrata = ss2PL.intrata
+  AND r2.tenant NOT IN
+    (SELECT tenant FROM tenants
+     WHERE (cap > 0 AND inflight >= cap) OR (rate > 0 AND tokens <= 0))
+)sql";
+
+constexpr const char* kWfqDatalogTail = R"(
+% wfq: every SS2PL-safe request qualifies; dispatch order is the rank
+% relation — the submitting tenant's virtual time (then id).
+qualified(Id, Ta, In, Op, Obj) :- ss2plok(Id, Ta, In, Op, Obj).
+rankkey(Id, V) :- qualified(Id, _, _, _, _), reqtenant(Id, T),
+                  tenantacct(T, _, V, _, _, _, _, _).
+)";
+
+constexpr const char* kDrrDatalogTail = R"(
+% drr: rank by the tenant's consumed service rounds, round-robin by
+% tenant within a round (then id).
+qualified(Id, Ta, In, Op, Obj) :- ss2plok(Id, Ta, In, Op, Obj).
+rankkey(Id, R, T) :- qualified(Id, _, _, _, _), reqtenant(Id, T),
+                     tenantacct(T, _, _, R, _, _, _, _).
+)";
+
+constexpr const char* kTenantCapDatalogTail = R"(
+% tenant-cap: drop SS2PL-safe requests of throttled tenants.
+throttled(T) :- tenantacct(T, _, _, _, _, _, Cap, Inflight),
+                Cap > 0, Inflight >= Cap.
+throttled(T) :- tenantacct(T, _, _, _, Tokens, Rate, _, _),
+                Rate > 0, Tokens <= 0.
+qualified(Id, Ta, In, Op, Obj) :- ss2plok(Id, Ta, In, Op, Obj),
+                                  reqtenant(Id, T), !throttled(T).
 )";
 
 }  // namespace
@@ -134,7 +199,7 @@ ProtocolSpec Ss2plDatalog() {
   spec.name = "ss2pl-datalog";
   spec.description = "Strong 2PL as Datalog rules; serializable";
   spec.backend = "datalog";
-  spec.text = kSs2plDatalog;
+  spec.text = std::string(kSs2plDatalogRules) + kSs2plQualifiedHead;
   return spec;
 }
 
@@ -239,6 +304,111 @@ ProtocolSpec ReadCommittedNative() {
                     /*ordered=*/false);
 }
 
+ProtocolSpec WfqNative() {
+  return NativeSpec("wfq-native", "wfq",
+                    "Weighted-fair tenant dispatch, hand-coded in C++",
+                    /*ordered=*/true);
+}
+
+ProtocolSpec DrrNative() {
+  return NativeSpec("drr-native", "drr",
+                    "Deficit-round fair tenant dispatch, hand-coded in C++",
+                    /*ordered=*/true);
+}
+
+ProtocolSpec TenantCapNative() {
+  return NativeSpec("tenant-cap-native", "tenant-cap",
+                    "Tenant throttling (cap/tokens), hand-coded in C++",
+                    /*ordered=*/false);
+}
+
+ProtocolSpec ComposedWfq() {
+  ProtocolSpec spec;
+  spec.name = "composed-wfq";
+  spec.description = "Composed: SS2PL filter, weighted-fair tenant ranking";
+  spec.backend = "composed";
+  spec.text = "filter:ss2pl | fair_rank:vtime";
+  return spec;
+}
+
+ProtocolSpec ComposedDrr() {
+  ProtocolSpec spec;
+  spec.name = "composed-drr";
+  spec.description = "Composed: SS2PL filter, deficit-round tenant ranking";
+  spec.backend = "composed";
+  spec.text = "filter:ss2pl | fair_rank:round";
+  return spec;
+}
+
+ProtocolSpec ComposedTenantCap() {
+  ProtocolSpec spec;
+  spec.name = "composed-tenant-cap";
+  spec.description = "Composed: SS2PL filter, throttled-tenant drop";
+  spec.backend = "composed";
+  spec.text = "filter:ss2pl | tenant_cap";
+  return spec;
+}
+
+ProtocolSpec WfqSql() {
+  ProtocolSpec spec;
+  spec.name = "wfq-sql";
+  spec.description = "SS2PL-safe, weighted-fair dispatch by tenant vtime";
+  spec.backend = "sql";
+  spec.text = std::string(kSs2plCtes) + kWfqFinal;
+  spec.ordered = true;
+  return spec;
+}
+
+ProtocolSpec DrrSql() {
+  ProtocolSpec spec;
+  spec.name = "drr-sql";
+  spec.description = "SS2PL-safe, deficit-round fair dispatch by tenant";
+  spec.backend = "sql";
+  spec.text = std::string(kSs2plCtes) + kDrrFinal;
+  spec.ordered = true;
+  return spec;
+}
+
+ProtocolSpec TenantCapSql() {
+  ProtocolSpec spec;
+  spec.name = "tenant-cap-sql";
+  spec.description = "SS2PL-safe minus throttled tenants (cap/tokens)";
+  spec.backend = "sql";
+  spec.text = std::string(kSs2plCtes) + kTenantCapFinal;
+  return spec;
+}
+
+ProtocolSpec WfqDatalog() {
+  ProtocolSpec spec;
+  spec.name = "wfq-datalog";
+  spec.description = "wfq as Datalog rules + a rank relation";
+  spec.backend = "datalog";
+  spec.text = std::string(kSs2plDatalogRules) + kSs2plOkHead + kWfqDatalogTail;
+  spec.datalog_rank = "rankkey";
+  spec.ordered = true;
+  return spec;
+}
+
+ProtocolSpec DrrDatalog() {
+  ProtocolSpec spec;
+  spec.name = "drr-datalog";
+  spec.description = "drr as Datalog rules + a rank relation";
+  spec.backend = "datalog";
+  spec.text = std::string(kSs2plDatalogRules) + kSs2plOkHead + kDrrDatalogTail;
+  spec.datalog_rank = "rankkey";
+  spec.ordered = true;
+  return spec;
+}
+
+ProtocolSpec TenantCapDatalog() {
+  ProtocolSpec spec;
+  spec.name = "tenant-cap-datalog";
+  spec.description = "tenant throttling as Datalog rules";
+  spec.backend = "datalog";
+  spec.text = std::string(kSs2plDatalogRules) + kSs2plOkHead + kTenantCapDatalogTail;
+  return spec;
+}
+
 ProtocolSpec ComposedReadCommittedEdf(int64_t cap) {
   ProtocolSpec spec;
   spec.name = cap > 0 ? StrFormat("composed-rc-edf-cap%lld",
@@ -275,7 +445,10 @@ ProtocolRegistry ProtocolRegistry::BuiltIns() {
        {Ss2plSql(), Ss2plDatalog(), Ss2plNative(), FcfsSql(), FcfsNative(),
         SlaPrioritySql(), SlaPriorityNative(), EdfSql(), EdfNative(),
         ReadCommittedSql(), ReadCommittedDatalog(), ReadCommittedNative(),
-        Passthrough(), ComposedReadCommittedEdf(), ComposedSs2plPriority()}) {
+        Passthrough(), ComposedReadCommittedEdf(), ComposedSs2plPriority(),
+        WfqSql(), WfqDatalog(), WfqNative(), ComposedWfq(), DrrSql(),
+        DrrDatalog(), DrrNative(), ComposedDrr(), TenantCapSql(),
+        TenantCapDatalog(), TenantCapNative(), ComposedTenantCap()}) {
     DS_CHECK_OK(registry.Register(spec));
   }
   return registry;

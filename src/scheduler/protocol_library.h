@@ -50,6 +50,31 @@ ProtocolSpec ReadCommittedNative();
 /// Non-scheduling passthrough (paper Section 3.3 last paragraph).
 ProtocolSpec Passthrough();
 
+// --- multi-tenant fairness & QoS (the tenants relation; see
+// --- docs/PROTOCOLS.md for all four formulations side by side) ---
+
+/// Weighted fair queueing: SS2PL-safe requests ranked by the submitting
+/// tenant's virtual time (ascending, ties by id). A tenant's vtime grows
+/// with the service it receives divided by its weight, so light tenants
+/// outrank a heavy aggressor.
+ProtocolSpec WfqSql();
+ProtocolSpec WfqDatalog();
+ProtocolSpec WfqNative();
+/// Deficit-round fairness: like wfq but ranked by whole service rounds
+/// (coarser), round-robin by tenant within a round.
+ProtocolSpec DrrSql();
+ProtocolSpec DrrDatalog();
+ProtocolSpec DrrNative();
+/// Tenant throttling: SS2PL-safe requests minus those of throttled
+/// tenants (in-flight cap reached, or token bucket empty); dispatch by id.
+ProtocolSpec TenantCapSql();
+ProtocolSpec TenantCapDatalog();
+ProtocolSpec TenantCapNative();
+/// The same three policies as composed stage pipelines.
+ProtocolSpec ComposedWfq();
+ProtocolSpec ComposedDrr();
+ProtocolSpec ComposedTenantCap();
+
 /// Composed pipeline: read-committed filter, EDF ranking, and (if cap > 0)
 /// an admission cap — the "relaxed consistency + deadline scheduling +
 /// admission control" scenario mix, no new SQL required.

@@ -40,11 +40,17 @@ struct Request {
   SimTime arrival;
   /// Submitting client (middleware bookkeeping, not visible to protocols).
   int client = -1;
+  /// Submitting tenant — the multi-tenant QoS dimension. Unlike `client`,
+  /// the tenant IS visible to protocols (a `tenant` column of the request
+  /// relations plus the `tenants` accounting relation), so fairness
+  /// policies (wfq, drr, tenant-cap) can rank and throttle by who
+  /// submitted. 0 = the default tenant of single-tenant workloads.
+  int tenant = 0;
 
   static constexpr txn::ObjectId kNoObject = -1;
 
   server::Statement ToStatement() const {
-    return server::Statement{ta, intrata, op, object};
+    return server::Statement{ta, intrata, op, object, tenant};
   }
 
   std::string ToString() const {

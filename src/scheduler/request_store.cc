@@ -26,6 +26,21 @@ storage::Schema RequestSchema() {
       {"deadline", ValueType::kInt64},
       {"arrival", ValueType::kInt64},
       {"client", ValueType::kInt64},
+      {"tenant", ValueType::kInt64},
+  });
+}
+
+storage::Schema TenantSchema() {
+  return storage::Schema({
+      {"tenant", ValueType::kInt64},
+      {"weight", ValueType::kInt64},
+      {"vtime", ValueType::kInt64},
+      {"round", ValueType::kInt64},
+      {"tokens", ValueType::kInt64},
+      {"rate", ValueType::kInt64},
+      {"burst", ValueType::kInt64},
+      {"cap", ValueType::kInt64},
+      {"inflight", ValueType::kInt64},
   });
 }
 
@@ -45,9 +60,12 @@ txn::OpType RequestStore::ParseOperation(const std::string& op) {
 RequestStore::RequestStore() : engine_(&catalog_) {
   requests_ = catalog_.CreateTable("requests", RequestSchema()).ValueOrDie();
   history_ = catalog_.CreateTable("history", RequestSchema()).ValueOrDie();
-  // Point lookups by id (MarkScheduled) and GC by ta benefit from indexes.
+  tenants_ = catalog_.CreateTable("tenants", TenantSchema()).ValueOrDie();
+  // Point lookups by id (MarkScheduled), GC by ta, and tenant upserts
+  // benefit from indexes.
   DS_CHECK_OK(requests_->CreateIndex("id"));
   DS_CHECK_OK(history_->CreateIndex("ta"));
+  DS_CHECK_OK(tenants_->CreateIndex("tenant"));
 }
 
 storage::Row RequestStore::ToRow(const Request& request) {
@@ -61,6 +79,7 @@ storage::Row RequestStore::ToRow(const Request& request) {
       Value::Int64(request.deadline.micros()),
       Value::Int64(request.arrival.micros()),
       Value::Int64(request.client),
+      Value::Int64(request.tenant),
   };
 }
 
@@ -75,7 +94,32 @@ Request RequestStore::RowToRequestFull(const storage::Row& row) {
   r.deadline = SimTime::FromMicros(row[kColDeadline].AsInt64());
   r.arrival = SimTime::FromMicros(row[kColArrival].AsInt64());
   r.client = static_cast<int>(row[kColClient].AsInt64());
+  r.tenant = static_cast<int>(row[kColTenant].AsInt64());
   return r;
+}
+
+storage::Row RequestStore::TenantToRow(const TenantAcct& acct) {
+  return Row{
+      Value::Int64(acct.tenant),  Value::Int64(acct.weight),
+      Value::Int64(acct.vtime),   Value::Int64(acct.round),
+      Value::Int64(acct.tokens),  Value::Int64(acct.rate),
+      Value::Int64(acct.burst),   Value::Int64(acct.cap),
+      Value::Int64(acct.inflight),
+  };
+}
+
+TenantAcct RequestStore::RowToTenant(const storage::Row& row) {
+  TenantAcct a;
+  a.tenant = row[0].AsInt64();
+  a.weight = row[1].AsInt64();
+  a.vtime = row[2].AsInt64();
+  a.round = row[3].AsInt64();
+  a.tokens = row[4].AsInt64();
+  a.rate = row[5].AsInt64();
+  a.burst = row[6].AsInt64();
+  a.cap = row[7].AsInt64();
+  a.inflight = row[8].AsInt64();
+  return a;
 }
 
 void RequestStore::EnsureMirror() const {
@@ -96,14 +140,75 @@ void RequestStore::EnsureMirror() const {
 Status RequestStore::InsertPending(const RequestBatch& batch) {
   if (batch.empty()) return Status::OK();
   EnsureMirror();
+  EnsureTenantMirror();
+  // Auto-create a default tenants row for tenants first seen on a pending
+  // request, so fairness protocols can always inner-join requests with
+  // tenants. `last` short-circuits the common one-tenant batch (a flag,
+  // not a sentinel value: every int is a legal tenant id).
+  bool have_last = false;
+  int64_t last = 0;
   for (const Request& request : batch) {
     DS_RETURN_NOT_OK(requests_->Insert(ToRow(request)).status());
     pending_by_id_[request.id] = request;
+    if ((!have_last || request.tenant != last) &&
+        tenants_by_id_.find(request.tenant) == tenants_by_id_.end()) {
+      TenantAcct acct;
+      acct.tenant = request.tenant;
+      DS_RETURN_NOT_OK(tenants_->Insert(TenantToRow(acct)).status());
+      tenants_by_id_.emplace(acct.tenant, acct);
+      tenant_mirror_version_ = tenants_->version();
+    }
+    have_last = true;
+    last = request.tenant;
   }
   mirror_version_ = requests_->version();
   ++pending_epoch_;
   return Status::OK();
 }
+
+Status RequestStore::UpsertTenant(const TenantAcct& acct) {
+  EnsureTenantMirror();
+  DS_ASSIGN_OR_RETURN(std::vector<RowId> ids,
+                      tenants_->IndexLookup(0, Value::Int64(acct.tenant)));
+  if (ids.empty()) {
+    DS_RETURN_NOT_OK(tenants_->Insert(TenantToRow(acct)).status());
+  } else if (ids.size() == 1) {
+    DS_RETURN_NOT_OK(tenants_->Update(ids[0], TenantToRow(acct)));
+  } else {
+    return Status::Internal(StrFormat("tenant %lld matched %zu rows",
+                                      static_cast<long long>(acct.tenant),
+                                      ids.size()));
+  }
+  tenants_by_id_[acct.tenant] = acct;
+  tenant_mirror_version_ = tenants_->version();
+  return Status::OK();
+}
+
+void RequestStore::EnsureTenantMirror() const {
+  if (tenant_mirror_version_ == tenants_->version()) return;
+  tenants_by_id_.clear();
+  tenants_->ForEach([&](RowId, const Row& row) {
+    TenantAcct a = RowToTenant(row);
+    tenants_by_id_.emplace(a.tenant, a);
+  });
+  tenant_mirror_version_ = tenants_->version();
+}
+
+const std::map<int64_t, TenantAcct>& RequestStore::tenants_by_id() const {
+  EnsureTenantMirror();
+  return tenants_by_id_;
+}
+
+TenantAcct RequestStore::TenantOrDefault(int64_t tenant) const {
+  EnsureTenantMirror();
+  auto it = tenants_by_id_.find(tenant);
+  if (it != tenants_by_id_.end()) return it->second;
+  TenantAcct acct;
+  acct.tenant = tenant;
+  return acct;
+}
+
+int64_t RequestStore::tenant_count() const { return tenants_->size(); }
 
 Status RequestStore::AppendHistoryRow(const Request& request) {
   DS_RETURN_NOT_OK(history_->Insert(ToRow(request)).status());
@@ -149,14 +254,22 @@ Status RequestStore::InsertHistory(const Request& request) {
   return Status::OK();
 }
 
-int64_t RequestStore::DropPendingOfTransaction(txn::TxnId ta) {
+int64_t RequestStore::DropPendingOfTransaction(
+    txn::TxnId ta, std::map<int64_t, int64_t>* dropped_by_tenant) {
   EnsureMirror();
   const int64_t removed = requests_->DeleteWhere([ta](const Row& row) {
     return row[kColTa].AsInt64() == ta;
   });
   if (removed > 0) {
     for (auto it = pending_by_id_.begin(); it != pending_by_id_.end();) {
-      it = it->second.ta == ta ? pending_by_id_.erase(it) : std::next(it);
+      if (it->second.ta == ta) {
+        if (dropped_by_tenant != nullptr) {
+          ++(*dropped_by_tenant)[it->second.tenant];
+        }
+        it = pending_by_id_.erase(it);
+      } else {
+        ++it;
+      }
     }
     mirror_version_ = requests_->version();
     ++pending_epoch_;
@@ -194,6 +307,7 @@ Result<RequestStore::GcResult> RequestStore::GarbageCollectFinished() {
     DS_ASSIGN_OR_RETURN(std::vector<RowId> rows,
                         history_->IndexLookup(kColTa, Value::Int64(ta)));
     for (RowId id : rows) {
+      ++gc.rows_by_tenant[(*history_->Get(id))[kColTenant].AsInt64()];
       DS_RETURN_NOT_OK(history_->Delete(id));
     }
     gc.rows_retired += static_cast<int64_t>(rows.size());
@@ -225,10 +339,13 @@ const datalog::Database& RequestStore::BuildDatalogEdb() const {
   if (edb_pending_epoch_ != pending_epoch_) {
     datalog::Relation& req = edb_cache_["req"];
     datalog::Relation& reqmeta = edb_cache_["reqmeta"];
+    datalog::Relation& reqtenant = edb_cache_["reqtenant"];
     req.clear();
     reqmeta.clear();
+    reqtenant.clear();
     req.reserve(pending_by_id_.size());
     reqmeta.reserve(pending_by_id_.size());
+    reqtenant.reserve(pending_by_id_.size());
     for (const auto& [id, r] : pending_by_id_) {
       req.push_back({Value::Int64(r.id), Value::Int64(r.ta),
                      Value::Int64(r.intrata),
@@ -237,8 +354,22 @@ const datalog::Database& RequestStore::BuildDatalogEdb() const {
       reqmeta.push_back({Value::Int64(r.id), Value::Int64(r.priority),
                          Value::Int64(r.deadline.micros()),
                          Value::Int64(r.arrival.micros())});
+      reqtenant.push_back({Value::Int64(r.id), Value::Int64(r.tenant)});
     }
     edb_pending_epoch_ = pending_epoch_;
+  }
+  if (edb_tenant_version_ != tenants_->version()) {
+    EnsureTenantMirror();
+    datalog::Relation& acct = edb_cache_["tenantacct"];
+    acct.clear();
+    acct.reserve(tenants_by_id_.size());
+    for (const auto& [tenant, a] : tenants_by_id_) {
+      acct.push_back({Value::Int64(a.tenant), Value::Int64(a.weight),
+                      Value::Int64(a.vtime), Value::Int64(a.round),
+                      Value::Int64(a.tokens), Value::Int64(a.rate),
+                      Value::Int64(a.cap), Value::Int64(a.inflight)});
+    }
+    edb_tenant_version_ = tenants_->version();
   }
   if (edb_history_epoch_ != history_epoch_ ||
       edb_history_version_ != history_->version()) {
@@ -274,11 +405,13 @@ Result<Request> RequestStore::RowToRequest(const storage::Row& row) const {
     request.deadline = it->second.deadline;
     request.arrival = it->second.arrival;
     request.client = it->second.client;
-  } else if (row.size() >= 9) {
+    request.tenant = it->second.tenant;
+  } else if (row.size() >= 10) {
     request.priority = static_cast<int>(row[kColPriority].AsInt64());
     request.deadline = SimTime::FromMicros(row[kColDeadline].AsInt64());
     request.arrival = SimTime::FromMicros(row[kColArrival].AsInt64());
     request.client = static_cast<int>(row[kColClient].AsInt64());
+    request.tenant = static_cast<int>(row[kColTenant].AsInt64());
   }
   return request;
 }
@@ -304,6 +437,7 @@ void RequestStore::JoinSlaColumns(RequestBatch* batch) const {
     request.deadline = it->second.deadline;
     request.arrival = it->second.arrival;
     request.client = it->second.client;
+    request.tenant = it->second.tenant;
   }
 }
 

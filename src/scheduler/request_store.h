@@ -47,6 +47,41 @@
 
 namespace declsched::scheduler {
 
+/// One row of the `tenants` accounting relation: the per-tenant QoS state
+/// the fairness protocols (wfq, drr, tenant-cap) read, in every backend.
+/// `weight`/`rate`/`burst`/`cap` are configuration; `vtime`/`round`/
+/// `tokens`/`inflight` are accounting, maintained O(delta) by the
+/// TenantAccountant (or set directly via UpsertTenant in tests/benches).
+struct TenantAcct {
+  int64_t tenant = 0;
+  /// Fair-share weight (>= 1). A weight-2 tenant accrues virtual time at
+  /// half the rate, so wfq grants it twice the service.
+  int64_t weight = 1;
+  /// Virtual time: cumulative service micros x kWfqScale / weight. The wfq
+  /// rank key (ascending).
+  int64_t vtime = 0;
+  /// Service rounds consumed: cumulative service / (quantum x weight). The
+  /// drr rank key (ascending; coarser than vtime).
+  int64_t round = 0;
+  /// Token bucket fill; consumed one per dispatched request when rate > 0.
+  int64_t tokens = 0;
+  /// Token refill rate per simulated second (0 = no rate limit).
+  int64_t rate = 0;
+  /// Token bucket capacity (refill never exceeds it).
+  int64_t burst = 0;
+  /// In-flight cap: max resident (dispatched, unfinished) requests
+  /// (0 = unlimited).
+  int64_t cap = 0;
+  /// Resident history rows of this tenant (dispatched, not yet retired).
+  int64_t inflight = 0;
+
+  /// The tenant-cap throttle predicate, shared by every formulation: the
+  /// native/composed C++ evaluates exactly what the SQL/Datalog texts say.
+  bool Throttled() const {
+    return (cap > 0 && inflight >= cap) || (rate > 0 && tokens <= 0);
+  }
+};
+
 class RequestStore {
  public:
   /// Column layout of both the `requests` and `history` tables.
@@ -60,12 +95,17 @@ class RequestStore {
   static constexpr int kColDeadline = 6;
   static constexpr int kColArrival = 7;
   static constexpr int kColClient = 8;
+  static constexpr int kColTenant = 9;
 
   /// What one GarbageCollectFinished() call retired.
   struct GcResult {
     int64_t rows_retired = 0;
     /// The terminated transactions whose rows were retired, ascending.
     std::vector<txn::TxnId> txns;
+    /// Retired history rows per tenant — read off each row as it is
+    /// retired (still O(rows retired)), so the TenantAccountant can
+    /// decrement per-tenant inflight without keeping its own ta map.
+    std::map<int64_t, int64_t> rows_by_tenant;
   };
 
   RequestStore();
@@ -86,7 +126,10 @@ class RequestStore {
   Status InsertHistory(const Request& request);
 
   /// Drops every pending request of `ta`; returns how many were dropped.
-  int64_t DropPendingOfTransaction(txn::TxnId ta);
+  /// When `dropped_by_tenant` is non-null, accumulates the drop counts per
+  /// tenant into it (the TenantAccountant's O(delta) pending bookkeeping).
+  int64_t DropPendingOfTransaction(
+      txn::TxnId ta, std::map<int64_t, int64_t>* dropped_by_tenant = nullptr);
 
   /// Deletes every history row of transactions that have a commit/abort
   /// marker. Under SS2PL those rows no longer represent locks; retiring them
@@ -116,13 +159,39 @@ class RequestStore {
   /// with the epoch to detect every way history can change under them.
   uint64_t history_version() const;
 
+  // --- the `tenants` accounting relation -------------------------------
+  // Visible to SQL protocols as the `tenants` table and to Datalog as the
+  // `tenantacct` EDB relation; the typed mirror below is the zero-decode
+  // path the native backend and composed stages read. InsertPending
+  // auto-creates a default row for any tenant first seen on a pending
+  // request, so fairness protocols can always inner-join requests with
+  // tenants. Unlike requests/history, mutate this relation through
+  // UpsertTenant only — out-of-band SQL DML against `tenants` is detected
+  // (content version) and answered by a mirror rebuild from the table.
+
+  /// Inserts or overwrites the row of `acct.tenant` (table + mirror).
+  Status UpsertTenant(const TenantAcct& acct);
+
+  /// The typed mirror of the `tenants` relation, keyed by tenant id;
+  /// valid until the next mutation. Missing tenant = default TenantAcct.
+  const std::map<int64_t, TenantAcct>& tenants_by_id() const;
+
+  /// The acct of one tenant (default row if the tenant has no row yet).
+  TenantAcct TenantOrDefault(int64_t tenant) const;
+
+  int64_t tenant_count() const;
+
   /// EDB for Datalog protocols:
   ///   req(Id, Ta, Intrata, Op, Obj), hist(Id, Ta, Intrata, Op, Obj),
-  ///   reqmeta(Id, Priority, Deadline, Arrival).
-  /// Cached with per-relation epoch invalidation: req/reqmeta rebuild only
-  /// when pending changed, hist only when history changed, so repeat
-  /// consumers in one cycle (protocol, deadlock resolver) share one build.
-  /// The reference is valid until the next mutation.
+  ///   reqmeta(Id, Priority, Deadline, Arrival),
+  ///   reqtenant(Id, Tenant),
+  ///   tenantacct(Tenant, Weight, Vtime, Round, Tokens, Rate, Cap,
+  ///              Inflight).
+  /// Cached with per-relation epoch invalidation: req/reqmeta/reqtenant
+  /// rebuild only when pending changed, hist only when history changed,
+  /// tenantacct only when the tenants table changed, so repeat consumers
+  /// in one cycle (protocol, deadlock resolver) share one build. The
+  /// reference is valid until the next mutation.
   const datalog::Database& BuildDatalogEdb() const;
 
   /// Converts a result row (id, ta, intrata, operation, object [, ...]) back
@@ -149,10 +218,14 @@ class RequestStore {
 
  private:
   static storage::Row ToRow(const Request& request);
+  static storage::Row TenantToRow(const TenantAcct& acct);
+  static TenantAcct RowToTenant(const storage::Row& row);
 
   /// Rebuilds the mirror from the table if an out-of-band edit changed the
   /// row count underneath it.
   void EnsureMirror() const;
+  /// As EnsureMirror, for the tenants relation.
+  void EnsureTenantMirror() const;
   /// Tracks a row entering history (marker bookkeeping; no epoch bump).
   Status AppendHistoryRow(const Request& request);
 
@@ -160,6 +233,7 @@ class RequestStore {
   sql::SqlEngine engine_;
   storage::Table* requests_ = nullptr;
   storage::Table* history_ = nullptr;
+  storage::Table* tenants_ = nullptr;
 
   /// Typed mirror of the `requests` relation. Mutable: EnsureMirror() may
   /// lazily self-heal from a const accessor. `mirror_version_` is the table
@@ -177,11 +251,19 @@ class RequestStore {
   mutable uint64_t pending_epoch_ = 1;
   uint64_t history_epoch_ = 1;
 
+  /// Typed mirror of the `tenants` relation; self-heals from the table on
+  /// version mismatch, like the pending mirror.
+  mutable std::map<int64_t, TenantAcct> tenants_by_id_;
+  mutable uint64_t tenant_mirror_version_ = 0;
+
   // Datalog EDB cache (see BuildDatalogEdb). A cached epoch of 0 is stale.
   mutable datalog::Database edb_cache_;
   mutable uint64_t edb_pending_epoch_ = 0;
   mutable uint64_t edb_history_epoch_ = 0;
   mutable uint64_t edb_history_version_ = 0;
+  /// Sentinel-initialized so the first build materializes the (possibly
+  /// empty) tenantacct relation (table versions start at 0).
+  mutable uint64_t edb_tenant_version_ = ~uint64_t{0};
 };
 
 }  // namespace declsched::scheduler

@@ -42,6 +42,9 @@ Status ShardedScheduler::Init() {
     DeclarativeScheduler::Options opt = options_.shard;
     opt.shard = i;
     opt.num_shards = options_.num_shards;
+    // Shard accountants publish cycle-boundary snapshots so
+    // TenantSnapshot() can merge them from any thread.
+    opt.tenant_qos.publish_snapshots = true;
     // A disjoint high range per shard: internally assigned ids (deadlock
     // abort markers) can never collide with this class's global ids.
     opt.first_request_id =
@@ -354,6 +357,38 @@ ShardedScheduler::Totals ShardedScheduler::totals() const {
   t.mirrors_applied = mirrors_applied_.load(std::memory_order_relaxed);
   t.victims = victims_.load(std::memory_order_relaxed);
   return t;
+}
+
+ShardedScheduler::GlobalTenantSnapshot ShardedScheduler::TenantSnapshot() const {
+  GlobalTenantSnapshot global;
+  global.shards.reserve(shards_.size());
+  std::map<int64_t, TenantAccountant::TenantTotals> merged;
+  for (const auto& sh : shards_) {
+    TenantAccountant* acct = sh->sched->tenant_accountant();
+    GlobalTenantSnapshot::ShardStamp stamp;
+    if (acct != nullptr) {
+      const TenantAccountant::Snapshot snap = acct->PublishedSnapshot();
+      stamp.version = snap.version;
+      stamp.pending_epoch = snap.pending_epoch;
+      stamp.history_epoch = snap.history_epoch;
+      for (const TenantAccountant::TenantTotals& t : snap.tenants) {
+        TenantAccountant::TenantTotals& m = merged[t.tenant];
+        m.tenant = t.tenant;
+        m.weight = t.weight;
+        m.pending += t.pending;
+        m.inflight += t.inflight;
+        m.admitted += t.admitted;
+        m.dispatched += t.dispatched;
+        m.finished_rows += t.finished_rows;
+        m.service_us += t.service_us;
+        // vtime/round/tokens are per-shard-relative; left 0 in the merge.
+      }
+    }
+    global.shards.push_back(stamp);
+  }
+  global.tenants.reserve(merged.size());
+  for (auto& [tenant, totals] : merged) global.tenants.push_back(totals);
+  return global;
 }
 
 RequestBatch ShardedScheduler::TakeDispatched() {

@@ -108,6 +108,25 @@ class ShardedScheduler {
     int64_t victims = 0;
   };
 
+  /// Cluster-wide per-tenant accounting: each shard's TenantAccountant
+  /// publishes a snapshot at its own cycle boundary (stamped with the
+  /// store epochs it reflects — per-shard epochs, the same identity the
+  /// escrow/staleness machinery keys on), and this merge sums the
+  /// summable counters per tenant across those per-shard cuts. Per-shard
+  /// state that has no cross-shard meaning (vtime, round, tokens —
+  /// relative to each shard's own service stream) is reported as 0 in the
+  /// merged rows; read a single shard's accountant for those.
+  struct GlobalTenantSnapshot {
+    struct ShardStamp {
+      uint64_t version = 0;  ///< 0 = that shard has not published yet
+      uint64_t pending_epoch = 0;
+      uint64_t history_epoch = 0;
+    };
+    std::vector<ShardStamp> shards;
+    /// Merged totals, ascending tenant id.
+    std::vector<TenantAccountant::TenantTotals> tenants;
+  };
+
   /// `server` may be null (benches that time pure scheduling). A non-null
   /// server is shared by all shards; DatabaseServer::ExecuteBatch is
   /// thread-safe for exactly this fan-in.
@@ -155,6 +174,13 @@ class ShardedScheduler {
   DeclarativeScheduler* shard(int i) { return shards_[i]->sched.get(); }
   const ShardRouter& router() const { return router_; }
   Totals totals() const;
+  /// Merges every shard's last published tenant-accounting snapshot (see
+  /// GlobalTenantSnapshot). Thread-safe; empty tenants if the shard
+  /// template runs without tenant accounting. Each shard's contribution is
+  /// captured atomically at that shard's cycle boundary — never a torn
+  /// mid-cycle read — and its stamp says exactly which store state it
+  /// reflects.
+  GlobalTenantSnapshot TenantSnapshot() const;
   /// Drains the global dispatch log (dispatch order within a shard; across
   /// shards, append order). Thread-safe.
   RequestBatch TakeDispatched();

@@ -26,6 +26,7 @@ Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
   std::lock_guard<std::mutex> lock(mu_);
   stats.busy = config_.cost.batch_dispatch;
   for (const Statement& stmt : batch) {
+    SimTime stmt_cost;
     switch (stmt.op) {
       case txn::OpType::kRead:
       case txn::OpType::kWrite: {
@@ -48,18 +49,20 @@ Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
         } else {
           ++stats.reads;
         }
-        stats.busy += config_.cost.statement_service;
+        stmt_cost = config_.cost.statement_service;
         break;
       }
       case txn::OpType::kCommit:
         ++stats.commits;
-        stats.busy += config_.cost.commit_service;
+        stmt_cost = config_.cost.commit_service;
         break;
       case txn::OpType::kAbort:
         ++stats.aborts;
-        stats.busy += config_.cost.commit_service;
+        stmt_cost = config_.cost.commit_service;
         break;
     }
+    stats.busy += stmt_cost;
+    tenant_busy_[stmt.tenant] += stmt_cost;
   }
   total_statements_ += static_cast<int64_t>(batch.size());
   total_busy_ += stats.busy;
@@ -70,6 +73,12 @@ Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
     shard_busy_[static_cast<size_t>(shard)] += stats.busy;
   }
   return stats;
+}
+
+SimTime DatabaseServer::tenant_busy(int tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenant_busy_.find(tenant);
+  return it == tenant_busy_.end() ? SimTime() : it->second;
 }
 
 SimTime DatabaseServer::shard_busy(int shard) const {

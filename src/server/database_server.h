@@ -17,6 +17,7 @@
 #define DECLSCHED_SERVER_DATABASE_SERVER_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -64,6 +65,11 @@ class DatabaseServer {
   /// for shards that never dispatched. Thread-safe.
   SimTime shard_busy(int shard) const;
 
+  /// Simulated busy time attributed to `tenant`'s statements so far (the
+  /// server-side view of per-tenant service, to validate the scheduler's
+  /// accounting against); zero for unseen tenants. Thread-safe.
+  SimTime tenant_busy(int tenant) const;
+
   int64_t total_statements() const {
     std::lock_guard<std::mutex> lock(mu_);
     return total_statements_;
@@ -84,6 +90,7 @@ class DatabaseServer {
   int64_t total_statements_ = 0;
   SimTime total_busy_;
   std::vector<SimTime> shard_busy_;
+  std::map<int, SimTime> tenant_busy_;
 };
 
 }  // namespace declsched::server

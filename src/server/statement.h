@@ -18,6 +18,8 @@ struct Statement {
   int64_t intra_txn = 0;  // position within the transaction (Table 2 INTRATA)
   txn::OpType op = txn::OpType::kRead;
   txn::ObjectId object = 0;  // row key; ignored for commit/abort
+  /// Submitting tenant (multi-tenant QoS attribution; 0 = default tenant).
+  int tenant = 0;
 };
 
 using StatementBatch = std::vector<Statement>;

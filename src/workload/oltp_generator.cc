@@ -9,19 +9,46 @@ namespace declsched::workload {
 
 OltpWorkloadGenerator::OltpWorkloadGenerator(const WorkloadConfig& config,
                                              uint64_t seed)
-    : config_(config), rng_(seed), zipf_(config.num_objects, config.zipf_theta) {
+    : config_(config),
+      rng_(seed),
+      zipf_(config.num_objects, config.zipf_theta),
+      tenant_zipf_(std::max(config.num_tenants, 1), config.tenant_zipf_theta) {
   DS_CHECK(config.num_objects > 0);
   DS_CHECK(config.reads_per_txn >= 0 && config.writes_per_txn >= 0);
   DS_CHECK(config.reads_per_txn + config.writes_per_txn > 0);
   DS_CHECK(config.num_sla_classes >= 1);
+  DS_CHECK(config.num_tenants >= 1);
   if (config.distinct_objects) {
     DS_CHECK(config.reads_per_txn + config.writes_per_txn <= config.num_objects);
   }
+  if (!config_.tenant_weights.empty()) {
+    DS_CHECK(static_cast<int>(config_.tenant_weights.size()) ==
+             config_.num_tenants);
+    for (double w : config_.tenant_weights) {
+      DS_CHECK(w >= 0);
+      tenant_weight_total_ += w;
+    }
+    DS_CHECK(tenant_weight_total_ > 0);
+  }
+}
+
+int OltpWorkloadGenerator::DrawTenant() {
+  if (config_.num_tenants <= 1) return 0;
+  if (!config_.tenant_weights.empty()) {
+    double draw = rng_.NextDouble() * tenant_weight_total_;
+    for (int t = 0; t < config_.num_tenants; ++t) {
+      draw -= config_.tenant_weights[static_cast<size_t>(t)];
+      if (draw <= 0) return t;
+    }
+    return config_.num_tenants - 1;
+  }
+  return static_cast<int>(tenant_zipf_.Next(rng_));
 }
 
 TxnSpec OltpWorkloadGenerator::NextTransaction() {
   const int total = config_.reads_per_txn + config_.writes_per_txn;
   TxnSpec txn;
+  txn.tenant = DrawTenant();
   txn.ops.reserve(static_cast<size_t>(total));
 
   // Draw objects (optionally distinct within the transaction).

@@ -37,6 +37,18 @@ struct WorkloadConfig {
   /// Number of service classes; class 0 is the highest priority ("premium").
   /// Classes are drawn with probability weight 1/2^class (then normalized).
   int num_sla_classes = 1;
+
+  // --- multi-tenant tagging ---
+  /// Number of tenants; each transaction is tagged with one.
+  int num_tenants = 1;
+  /// Zipf skew of the tenant draw (0 = uniform): with theta ~ 0.99 a few
+  /// hot tenants submit most of the load — the aggressor regime the
+  /// fairness policies exist for. Tenant 0 is the hottest.
+  double tenant_zipf_theta = 0.0;
+  /// Explicit per-tenant submission weights (size num_tenants); overrides
+  /// the Zipf draw when non-empty. E.g. {10,1,1,...} makes tenant 0 a
+  /// 10x aggressor.
+  std::vector<double> tenant_weights;
 };
 
 /// One operation of a transaction.
@@ -45,10 +57,11 @@ struct OpSpec {
   txn::ObjectId object = 0;
 };
 
-/// A generated transaction: its operations plus SLA metadata.
+/// A generated transaction: its operations plus SLA/tenant metadata.
 struct TxnSpec {
   std::vector<OpSpec> ops;
   int sla_class = 0;
+  int tenant = 0;
 };
 
 /// Deterministic generator (a pure function of config + seed + call order).
@@ -61,9 +74,13 @@ class OltpWorkloadGenerator {
   const WorkloadConfig& config() const { return config_; }
 
  private:
+  int DrawTenant();
+
   WorkloadConfig config_;
   Rng rng_;
   ZipfGenerator zipf_;
+  ZipfGenerator tenant_zipf_;
+  double tenant_weight_total_ = 0;
 };
 
 }  // namespace declsched::workload

@@ -69,6 +69,26 @@ TEST(MiddlewareSimTest, FcfsCompletesWithoutConsistency) {
   EXPECT_EQ(result->aborted_txns, 0);
 }
 
+TEST(MiddlewareSimTest, TenantTaggedWorkloadFlowsEndToEnd) {
+  // The generator's tenant tagging must reach the scheduler's accountant
+  // through the full closed-loop sim, with the aggressor's weight showing
+  // up in the per-tenant service split.
+  MiddlewareSimConfig config = SmallConfig(5);
+  config.workload.num_tenants = 4;
+  config.workload.tenant_weights = {10, 1, 1, 1};
+  auto result = RunMiddlewareSimulation(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->committed_txns, 60);
+  ASSERT_GE(result->tenant_totals.size(), 2u);
+  int64_t aggressor_service = 0, light_service = 0;
+  for (const auto& t : result->tenant_totals) {
+    EXPECT_GT(t.dispatched, 0) << "tenant " << t.tenant;
+    (t.tenant == 0 ? aggressor_service : light_service) += t.service_us;
+  }
+  // Tenant 0 submits ~10/13 of all transactions.
+  EXPECT_GT(aggressor_service, light_service);
+}
+
 TEST(MiddlewareSimTest, ReadCommittedCompletes) {
   MiddlewareSimConfig config = SmallConfig(4);
   config.scheduler.protocol = ReadCommittedSql();

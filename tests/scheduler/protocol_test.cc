@@ -102,8 +102,10 @@ TEST(ProtocolLibraryTest, RegistryLookup) {
   EXPECT_TRUE(registry.Get("ss2pl-sql").ok());
   EXPECT_TRUE(registry.Get("ss2pl-native").ok());
   EXPECT_TRUE(registry.Get("composed-rc-edf").ok());
+  EXPECT_TRUE(registry.Get("wfq-native").ok());
+  EXPECT_TRUE(registry.Get("tenant-cap-datalog").ok());
   EXPECT_TRUE(registry.Get("nope").status().IsNotFound());
-  EXPECT_EQ(registry.Names().size(), 15u);
+  EXPECT_EQ(registry.Names().size(), 27u);
   EXPECT_TRUE(registry.Register(Ss2plSql()).code() == StatusCode::kAlreadyExists);
 }
 

@@ -131,7 +131,7 @@ TEST(RequestStoreTest, GcRescansAfterOutOfBandHistoryEdit) {
   // version mismatch forces GC back onto the full marker rescan, so the
   // transaction still retires like it would have pre-incrementally.
   auto ins = store.sql_engine()->Execute(
-      "INSERT INTO history VALUES (2, 10, 2, 'c', -1, 0, 0, 0, -1)");
+      "INSERT INTO history VALUES (2, 10, 2, 'c', -1, 0, 0, 0, -1, 0)");
   ASSERT_TRUE(ins.ok()) << ins.status().ToString();
   auto gc = store.GarbageCollectFinished();
   ASSERT_TRUE(gc.ok());

@@ -1,0 +1,250 @@
+// TenantAccountant: O(delta) per-tenant accounting, token buckets, the
+// starvation guard, and the staleness-rebuild contract.
+
+#include "scheduler/tenant_accountant.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "scheduler/declarative_scheduler.h"
+#include "scheduler/protocol_library.h"
+
+namespace declsched::scheduler {
+namespace {
+
+Request Op(int64_t ta, int64_t intrata, txn::OpType op, int64_t object,
+           int tenant) {
+  Request r;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  r.tenant = tenant;
+  return r;
+}
+
+DeclarativeScheduler::Options FcfsOptions() {
+  DeclarativeScheduler::Options options;
+  options.protocol = FcfsNative();
+  options.deadlock_detection = false;
+  return options;
+}
+
+TEST(TenantAccountantTest, CountersFollowTheCycleNarration) {
+  DeclarativeScheduler sched(FcfsOptions(), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+  TenantAccountant* acct = sched.tenant_accountant();
+  ASSERT_NE(acct, nullptr);
+
+  // Tenant 1: a two-op transaction plus its commit; tenant 2: one read.
+  sched.Submit(Op(1, 1, txn::OpType::kRead, 5, 1), SimTime());
+  sched.Submit(Op(1, 2, txn::OpType::kWrite, 6, 1), SimTime());
+  sched.Submit(Op(2, 1, txn::OpType::kRead, 7, 2), SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+
+  TenantAccountant::TenantTotals t1 = acct->TotalsFor(1);
+  EXPECT_EQ(t1.admitted, 2);
+  EXPECT_EQ(t1.dispatched, 2);
+  EXPECT_EQ(t1.pending, 0);
+  EXPECT_EQ(t1.inflight, 2);
+  EXPECT_EQ(t1.service_us, 352 * 2);
+  EXPECT_EQ(acct->TotalsFor(2).inflight, 1);
+
+  // The store's tenants relation mirrors the accounting (what protocols
+  // actually read).
+  const TenantAcct row = sched.store()->TenantOrDefault(1);
+  EXPECT_EQ(row.inflight, 2);
+  EXPECT_EQ(row.vtime, t1.vtime);
+
+  // Commit dispatches, GC retires all of tenant 1's rows: in-flight drains.
+  sched.Submit(Op(1, 3, txn::OpType::kCommit, Request::kNoObject, 1),
+               SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+  t1 = acct->TotalsFor(1);
+  EXPECT_EQ(t1.inflight, 0);
+  EXPECT_EQ(t1.finished_rows, 3);
+  EXPECT_EQ(t1.dispatched, 3);
+  EXPECT_EQ(sched.store()->TenantOrDefault(1).inflight, 0);
+  EXPECT_TRUE(acct->synced_with(*sched.store()));
+  EXPECT_EQ(acct->full_rebuilds(), 0);
+}
+
+TEST(TenantAccountantTest, VirtualTimeIsWeighted) {
+  DeclarativeScheduler::Options options = FcfsOptions();
+  options.tenant_qos.tenants[1].weight = 1;
+  options.tenant_qos.tenants[2].weight = 2;
+  DeclarativeScheduler sched(std::move(options), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+
+  // Equal service for both tenants: one read each.
+  sched.Submit(Op(1, 1, txn::OpType::kRead, 5, 1), SimTime());
+  sched.Submit(Op(2, 1, txn::OpType::kRead, 6, 2), SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+
+  const TenantAccountant* acct = sched.tenant_accountant();
+  const int64_t v1 = acct->TotalsFor(1).vtime;
+  const int64_t v2 = acct->TotalsFor(2).vtime;
+  EXPECT_GT(v1, 0);
+  EXPECT_EQ(v1, v2 * 2);  // double weight -> half the virtual time
+  // Weights were seeded into the relation before any dispatch.
+  EXPECT_EQ(sched.store()->TenantOrDefault(2).weight, 2);
+}
+
+TEST(TenantAccountantTest, TokenBucketRefillsAndThrottles) {
+  DeclarativeScheduler::Options options;
+  options.protocol = TenantCapNative();
+  options.deadlock_detection = false;
+  options.tenant_qos.tenants[1].rate = 1;  // 1 token per simulated second
+  options.tenant_qos.tenants[1].burst = 2;
+  DeclarativeScheduler sched(std::move(options), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+
+  // The burst of 2 dispatches (throttling is judged at cycle boundaries,
+  // so a whole cycle's batch passes together while tokens remain)...
+  sched.Submit(Op(1, 1, txn::OpType::kRead, 1, 1), SimTime());
+  sched.Submit(Op(2, 1, txn::OpType::kRead, 2, 1), SimTime());
+  auto stats = sched.RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dispatched, 2);
+  EXPECT_EQ(sched.store()->TenantOrDefault(1).tokens, 0);
+
+  // ...the bucket is now empty: the next request waits for a refill.
+  sched.Submit(Op(3, 1, txn::OpType::kRead, 3, 1), SimTime());
+  stats = sched.RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dispatched, 0);
+
+  // One simulated second refills one token.
+  stats = sched.RunCycle(SimTime::FromSeconds(1));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->dispatched, 1);
+}
+
+TEST(TenantAccountantTest, StarvationGuardTracksOldestPending) {
+  DeclarativeScheduler::Options options = FcfsOptions();
+  options.max_dispatch_per_cycle = 1;
+  DeclarativeScheduler sched(std::move(options), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+  sched.Submit(Op(1, 1, txn::OpType::kRead, 5, 1), SimTime::FromMicros(100));
+  sched.Submit(Op(2, 1, txn::OpType::kRead, 6, 2), SimTime::FromMicros(200));
+  ASSERT_TRUE(sched.RunCycle(SimTime::FromMicros(200)).ok());
+
+  // FCFS dispatched tenant 1's request; tenant 2's is still pending.
+  const TenantAccountant* acct = sched.tenant_accountant();
+  EXPECT_EQ(acct->OldestPendingWaitUs(1, SimTime::FromMicros(1000)), -1);
+  EXPECT_EQ(acct->OldestPendingWaitUs(2, SimTime::FromMicros(1000)), 800);
+  EXPECT_EQ(acct->StarvedTenants(SimTime::FromMicros(1000), 500),
+            (std::vector<int64_t>{2}));
+  EXPECT_TRUE(acct->StarvedTenants(SimTime::FromMicros(1000), 5000).empty());
+}
+
+TEST(TenantAccountantTest, RebuildsAfterOutOfBandSeeding) {
+  DeclarativeScheduler sched(FcfsOptions(), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+
+  // Seed the store behind the scheduler's back (the bench pattern): two
+  // resident history rows and one pending request of tenant 3.
+  RequestBatch seeded;
+  seeded.push_back(Op(9, 1, txn::OpType::kRead, 1, 3));
+  seeded.back().id = 1001;
+  seeded.push_back(Op(9, 2, txn::OpType::kWrite, 2, 3));
+  seeded.back().id = 1002;
+  ASSERT_TRUE(sched.store()->InsertPending(seeded).ok());
+  ASSERT_TRUE(sched.store()->MarkScheduled(seeded).ok());
+  Request pending = Op(10, 1, txn::OpType::kRead, 3, 3);
+  pending.id = 1003;
+  ASSERT_TRUE(sched.store()->InsertPending({pending}).ok());
+
+  // The next cycle detects the missed narration and rebuilds exactly.
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+  TenantAccountant* acct = sched.tenant_accountant();
+  EXPECT_EQ(acct->full_rebuilds(), 1);
+  const TenantAccountant::TenantTotals t3 = acct->TotalsFor(3);
+  // The rebuild counted 2 seeded in-flight rows, then the cycle dispatched
+  // the seeded pending request (FCFS dispatches everything).
+  EXPECT_EQ(t3.inflight, 3);
+  EXPECT_EQ(t3.pending, 0);
+  EXPECT_TRUE(acct->synced_with(*sched.store()));
+
+  // Steady state afterwards: no further rebuilds.
+  sched.Submit(Op(11, 1, txn::OpType::kRead, 4, 3), SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+  EXPECT_EQ(acct->full_rebuilds(), 1);
+}
+
+TEST(TenantAccountantTest, OutOfBandHistoryDmlForcesRebuildDespiteAdmissions) {
+  // Ad-hoc SQL against history bumps the table's content version but no
+  // epoch. An admission hook in the next cycle must not launder that edit
+  // into the sync point: the cycle still rebuilds.
+  DeclarativeScheduler sched(FcfsOptions(), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+  sched.Submit(Op(1, 1, txn::OpType::kRead, 5, 1), SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+  EXPECT_EQ(sched.tenant_accountant()->full_rebuilds(), 0);
+
+  auto ins = sched.store()->sql_engine()->Execute(
+      "INSERT INTO history VALUES (99, 7, 1, 'r', 3, 0, 0, 0, -1, 2)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+
+  // The next cycle has a non-empty drain (OnAdmitted runs before the
+  // staleness check) and must still detect the edit and recount: the
+  // out-of-band row belongs to tenant 2.
+  sched.Submit(Op(2, 1, txn::OpType::kRead, 6, 1), SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+  EXPECT_EQ(sched.tenant_accountant()->full_rebuilds(), 1);
+  EXPECT_EQ(sched.tenant_accountant()->TotalsFor(2).inflight, 1);
+  EXPECT_TRUE(sched.tenant_accountant()->synced_with(*sched.store()));
+}
+
+TEST(TenantAccountantTest, VictimAbortKeepsAccountingBalanced) {
+  // A deadlock victim's abort marker is injected (not dispatched): its
+  // pending requests drop and the marker's history row is accounted until
+  // GC retires the transaction.
+  DeclarativeScheduler::Options options;
+  options.protocol = Ss2plNative();  // locks matter here
+  DeclarativeScheduler sched(std::move(options), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+
+  // T1 holds 5 and wants 6; T2 holds 6 and wants 5: a deadlock.
+  sched.Submit(Op(1, 1, txn::OpType::kWrite, 5, 1), SimTime());
+  sched.Submit(Op(2, 1, txn::OpType::kWrite, 6, 2), SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+  sched.Submit(Op(1, 2, txn::OpType::kWrite, 6, 1), SimTime());
+  sched.Submit(Op(2, 2, txn::OpType::kWrite, 5, 2), SimTime());
+  auto stats = sched.RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->victims, 1);
+
+  // Whichever tenant lost: its pending count dropped with the abort and
+  // its accounting stays in lockstep with the store (no rebuild needed).
+  TenantAccountant* acct = sched.tenant_accountant();
+  EXPECT_TRUE(acct->synced_with(*sched.store()));
+  EXPECT_EQ(acct->full_rebuilds(), 0);
+  const int64_t total_pending =
+      acct->TotalsFor(1).pending + acct->TotalsFor(2).pending;
+  EXPECT_EQ(total_pending, sched.store()->pending_count());
+  // The injected abort marker is attributed to the victim's tenant, not
+  // the default tenant 0.
+  EXPECT_EQ(acct->TotalsFor(0).inflight, 0);
+}
+
+TEST(TenantAccountantTest, SnapshotsPublishAtCycleBoundaries) {
+  DeclarativeScheduler::Options options = FcfsOptions();
+  options.tenant_qos.publish_snapshots = true;
+  DeclarativeScheduler sched(std::move(options), nullptr);
+  ASSERT_TRUE(sched.Init().ok());
+  const TenantAccountant* acct = sched.tenant_accountant();
+  EXPECT_EQ(acct->PublishedSnapshot().version, 0u);
+
+  sched.Submit(Op(1, 1, txn::OpType::kRead, 5, 7), SimTime());
+  ASSERT_TRUE(sched.RunCycle(SimTime()).ok());
+  const TenantAccountant::Snapshot snap = acct->PublishedSnapshot();
+  EXPECT_EQ(snap.version, 1u);
+  EXPECT_EQ(snap.pending_epoch, sched.store()->pending_epoch());
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].tenant, 7);
+  EXPECT_EQ(snap.tenants[0].dispatched, 1);
+}
+
+}  // namespace
+}  // namespace declsched::scheduler

@@ -73,6 +73,25 @@ TEST(DatabaseServerTest, BusyTimeScalesWithBatchSize) {
   EXPECT_LT(l->busy.micros(), 11 * s->busy.micros());
 }
 
+TEST(DatabaseServerTest, TenantBusyAttributesPerStatementCost) {
+  DatabaseServer::Config config;
+  config.num_rows = 100;
+  DatabaseServer server(config);
+  StatementBatch batch;
+  Statement a = Stmt(OpType::kRead, 1);
+  a.tenant = 1;
+  Statement b = Stmt(OpType::kRead, 2);
+  b.tenant = 2;
+  Statement c = Stmt(OpType::kCommit, 0);
+  c.tenant = 2;
+  batch = {a, b, c};
+  ASSERT_TRUE(server.ExecuteBatch(batch).ok());
+  EXPECT_EQ(server.tenant_busy(1), config.cost.statement_service);
+  EXPECT_EQ(server.tenant_busy(2),
+            config.cost.statement_service + config.cost.commit_service);
+  EXPECT_EQ(server.tenant_busy(9), SimTime());
+}
+
 TEST(DatabaseServerTest, NonMaterializedModeSkipsData) {
   DatabaseServer::Config config;
   config.num_rows = 1000000;  // would be slow to materialize

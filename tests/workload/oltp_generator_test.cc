@@ -126,6 +126,46 @@ TEST(ZipfTest, HighThetaSkewsToHead) {
   EXPECT_GT(static_cast<double>(head) / n, 0.3);
 }
 
+TEST(OltpGeneratorTest, TenantWeightsSkewTheTenantDraw) {
+  WorkloadConfig config;
+  config.reads_per_txn = 1;
+  config.writes_per_txn = 0;
+  config.num_tenants = 4;
+  config.tenant_weights = {10, 1, 1, 1};  // tenant 0 is a 10x aggressor
+  OltpWorkloadGenerator gen(config, 42);
+  std::vector<int> counts(4, 0);
+  const int n = 13000;
+  for (int i = 0; i < n; ++i) ++counts[gen.NextTransaction().tenant];
+  // Expected shares 10/13 vs 1/13.
+  EXPECT_NEAR(counts[0], n * 10 / 13, n / 20);
+  for (int t = 1; t < 4; ++t) EXPECT_NEAR(counts[t], n / 13, n / 20);
+}
+
+TEST(OltpGeneratorTest, TenantZipfMakesHotTenants) {
+  WorkloadConfig config;
+  config.reads_per_txn = 1;
+  config.writes_per_txn = 0;
+  config.num_tenants = 16;
+  config.tenant_zipf_theta = 0.99;
+  OltpWorkloadGenerator gen(config, 7);
+  std::vector<int> counts(16, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int tenant = gen.NextTransaction().tenant;
+    ASSERT_GE(tenant, 0);
+    ASSERT_LT(tenant, 16);
+    ++counts[tenant];
+  }
+  // Tenant 0 is the hottest under the Zipf draw.
+  EXPECT_GT(counts[0], n / 4);
+  // Single-tenant default stays tenant 0.
+  WorkloadConfig single;
+  single.reads_per_txn = 1;
+  single.writes_per_txn = 0;
+  OltpWorkloadGenerator single_gen(single, 7);
+  EXPECT_EQ(single_gen.NextTransaction().tenant, 0);
+}
+
 TEST(ZipfTest, ValuesStayInRange) {
   ZipfGenerator zipf(50, 0.9);
   Rng rng(3);

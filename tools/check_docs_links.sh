@@ -1,10 +1,19 @@
 #!/bin/sh
-# Docs lint: fail on broken relative links in README.md and docs/*.md.
+# Docs lint: fail on broken relative links in README.md and docs/*.md, and
+# on fenced C++ snippets that drifted away from the code.
 #
-# Checks every markdown inline link `[text](target)` outside fenced code
-# blocks whose target is not an absolute URL or a pure in-page anchor; the
-# target (minus any #anchor) must exist relative to the file containing the
-# link. Run from anywhere:
+# Link check: every markdown inline link `[text](target)` outside fenced
+# code blocks whose target is not an absolute URL or a pure in-page anchor;
+# the target (minus any #anchor) must exist relative to the file containing
+# the link.
+#
+# Snippet drift check: every CamelCase identifier (two humps or more, e.g.
+# RequestStore, FilterSs2pl) inside a ```cpp fenced block must appear
+# somewhere under src/, examples/, or tests/ — a cheap grep-level guard
+# that catches docs quoting renamed or deleted API. Single-hump names
+# (Protocol, Status) are deliberately skipped: too many generic words.
+#
+# Run from anywhere:
 #   tools/check_docs_links.sh [repo-root]
 
 set -u
@@ -13,6 +22,7 @@ cd "$root" || exit 2
 
 status=0
 checked=0
+idents_checked=0
 for doc in README.md docs/*.md; do
   [ -f "$doc" ] || continue
   dir=$(dirname "$doc")
@@ -48,9 +58,34 @@ for doc in README.md docs/*.md; do
   IFS=$old_ifs
 done
 
+for doc in README.md docs/*.md; do
+  [ -f "$doc" ] || continue
+  # Identifiers from ```cpp blocks only (```sql / ```sh / untagged
+  # diagrams are not C++ and would false-positive).
+  idents=$(awk '
+    /^```/ {
+      in_cpp = ($0 ~ /^```[ \t]*(cpp|c\+\+)[ \t]*$/) ? !in_cpp && 1 : 0
+      next
+    }
+    in_cpp { print }' "$doc" |
+    grep -oE '[A-Z][a-z0-9]+([A-Z][A-Za-z0-9]*)+' | sort -u)
+  old_ifs=$IFS
+  IFS='
+'
+  for ident in $idents; do
+    IFS=$old_ifs
+    if ! grep -rqF "$ident" src examples tests; then
+      echo "STALE SNIPPET in $doc: identifier '$ident' not found in src/, examples/, or tests/" >&2
+      status=1
+    fi
+    idents_checked=$((idents_checked + 1))
+  done
+  IFS=$old_ifs
+done
+
 if [ "$checked" -eq 0 ]; then
   echo "docs lint: no links found — check the extraction pattern" >&2
   exit 2
 fi
-echo "docs lint: $checked relative links checked"
+echo "docs lint: $checked relative links checked, $idents_checked snippet identifiers checked"
 exit $status
