@@ -8,16 +8,21 @@
 // percent (SU == 100%).
 
 // In addition, the per-backend section sweeps every protocol backend —
-// hand-coded native, SQL, Datalog, and a composed stage pipeline — through
-// the *same* unified Protocol API on the Section 4.3.2 steady state, and
-// emits one JSON row per backend with its scheduling-cost trajectory. This
-// is the Figure 2 comparison made apples-to-apples: the native scheduler is
-// now just another backend.
+// hand-coded native, compiled SQL/Datalog (lowered to the protocol IR),
+// their interpreted oracles ("interp:" variants), and a composed stage
+// pipeline — through the *same* unified Protocol API on the Section 4.3.2
+// steady state, and emits one JSON row per backend with its
+// scheduling-cost trajectory. This is the Figure 2 comparison made
+// apples-to-apples: the native scheduler is just another backend, and the
+// compiled declarative backends are gated to land in its league (>= 10x
+// over their interpreters at 500 clients, within 3x of native).
 
 #include <algorithm>
 #include <climits>
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -85,11 +90,17 @@ BackendPoint MeasureOneCycle(const ProtocolSpec& spec, int clients) {
   return BackendPoint{clients, stats.query_us, stats.total_us, stats.qualified};
 }
 
-bool SweepBackends() {
+bool SweepBackends(bool smoke, const char* json_path) {
+  // Index map: 0 native (baseline), 1/2 compiled SQL/Datalog (lowered to
+  // the protocol IR), 3/4 their interpreted oracles, 5 composed. The
+  // compiled-vs-interpreted pairs carry identical protocol text.
   const std::vector<ProtocolSpec> backends = {
       declsched::scheduler::Ss2plNative(),
       declsched::scheduler::Ss2plSql(),
       declsched::scheduler::Ss2plDatalog(),
+      declsched::scheduler::InterpretedVariant(declsched::scheduler::Ss2plSql()),
+      declsched::scheduler::InterpretedVariant(
+          declsched::scheduler::Ss2plDatalog()),
       declsched::scheduler::ComposedSs2plPriority(),
   };
   const std::vector<int> client_counts = {100, 300, 500};
@@ -109,8 +120,9 @@ bool SweepBackends() {
       backends.size(),
       std::vector<BackendPoint>(client_counts.size(),
                                 BackendPoint{0, INT64_MAX, INT64_MAX, 0}));
+  const int reps = smoke ? 3 : 7;
   for (size_t point = 0; point < client_counts.size(); ++point) {
-    for (int rep = 0; rep < 7; ++rep) {
+    for (int rep = 0; rep < reps; ++rep) {
       for (size_t b = 0; b < backends.size(); ++b) {
         const BackendPoint p = MeasureOneCycle(backends[b], client_counts[point]);
         BackendPoint& best = trajectories[b][point];
@@ -131,8 +143,9 @@ bool SweepBackends() {
     }
   }
 
-  // One JSON row per backend (machine-readable overhead trajectory).
-  std::printf("\n");
+  // One JSON row per backend (machine-readable overhead trajectory),
+  // echoed to stdout and written to --json PATH when asked.
+  std::string json;
   for (size_t b = 0; b < backends.size(); ++b) {
     std::string clients_json, query_json, cycle_json, qualified_json;
     for (const BackendPoint& p : trajectories[b]) {
@@ -142,36 +155,118 @@ bool SweepBackends() {
       cycle_json += sep + std::to_string(p.cycle_us);
       qualified_json += sep + std::to_string(p.qualified);
     }
-    std::printf(
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
         "{\"bench\":\"fig2_backend_overhead\",\"protocol\":\"%s\","
         "\"backend\":\"%s\",\"clients\":[%s],\"query_us\":[%s],"
         "\"cycle_us\":[%s],\"qualified\":[%s]}\n",
         backends[b].name.c_str(), backends[b].backend.c_str(),
         clients_json.c_str(), query_json.c_str(), cycle_json.c_str(),
         qualified_json.c_str());
+    json += line;
+  }
+  std::printf("\n%s", json.c_str());
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return false;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
   }
 
-  // The native backend (index 0) must be strictly cheapest in protocol
-  // evaluation (the query phase) at every point: it is the hand-coded
-  // baseline the paper benchmarks against. Whole-cycle time is not gated —
-  // with incremental backends the query phase is down to microseconds and
-  // cycle totals are dominated by shared insert/move storage work.
+  // Gate (a): the native backend (index 0) must be strictly cheapest in
+  // protocol evaluation (the query phase) against the *interpreted* and
+  // composed backends at every point: it is the hand-coded baseline the
+  // paper benchmarks against. The compiled declarative backends run the
+  // same incremental machinery, so they are gated separately (b, c)
+  // instead of being required to lose to native. Whole-cycle time is not
+  // gated — with incremental backends the query phase is down to
+  // microseconds and cycle totals are dominated by shared insert/move
+  // storage work.
+  bool ok = true;
   bool native_cheapest = true;
   for (size_t point = 0; point < client_counts.size(); ++point) {
-    for (size_t b = 1; b < trajectories.size(); ++b) {
+    for (size_t b = 3; b < trajectories.size(); ++b) {
       if (trajectories[0][point].query_us >= trajectories[b][point].query_us) {
         native_cheapest = false;
       }
     }
   }
-  std::printf("\nnative strictly cheapest protocol evaluation: %s\n",
+  std::printf("\nnative strictly cheapest vs interpreted+composed: %s\n",
               native_cheapest ? "yes" : "NO (unexpected)");
-  return native_cheapest;
+  ok = ok && native_cheapest;
+
+  // Gate (b): compiling the declarative texts must pay off — the ISSUE 5
+  // acceptance bar is >= 10x per-cycle speedup over the interpreted engine
+  // at the 500-client point, for both languages.
+  constexpr double kCompiledSpeedupGate = 10.0;
+  const size_t last = client_counts.size() - 1;
+  for (const auto& [compiled_idx, interp_idx] :
+       {std::pair<size_t, size_t>{1, 3}, std::pair<size_t, size_t>{2, 4}}) {
+    const int64_t compiled_us = trajectories[compiled_idx][last].query_us;
+    const int64_t interp_us = trajectories[interp_idx][last].query_us;
+    const double speedup =
+        compiled_us > 0 ? static_cast<double>(interp_us) /
+                              static_cast<double>(compiled_us)
+                        : static_cast<double>(interp_us);
+    const bool fast = speedup >= kCompiledSpeedupGate;
+    std::printf("%s vs %s @%d clients: %lldus vs %lldus (%.1fx, need %.0fx) "
+                "-> %s\n",
+                backends[compiled_idx].name.c_str(),
+                backends[interp_idx].name.c_str(), client_counts[last],
+                static_cast<long long>(compiled_us),
+                static_cast<long long>(interp_us), speedup,
+                kCompiledSpeedupGate, fast ? "ok" : "TOO SLOW");
+    ok = ok && fast;
+  }
+
+  // Gate (c): compiled backends must stay in the native backend's league
+  // (same asymptotics, small constant factor) at every point.
+  constexpr double kCompiledVsNativeFactor = 3.0;
+  constexpr int64_t kNoiseFloorUs = 200;
+  for (size_t compiled_idx : {size_t{1}, size_t{2}}) {
+    for (size_t point = 0; point < client_counts.size(); ++point) {
+      const int64_t native_us = trajectories[0][point].query_us;
+      const int64_t compiled_us = trajectories[compiled_idx][point].query_us;
+      const int64_t budget = std::max(
+          static_cast<int64_t>(kCompiledVsNativeFactor *
+                               static_cast<double>(native_us)),
+          kNoiseFloorUs);
+      if (compiled_us > budget) {
+        std::printf("%s @%d clients: %lldus exceeds %.0fx native (%lldus)\n",
+                    backends[compiled_idx].name.c_str(), client_counts[point],
+                    static_cast<long long>(compiled_us),
+                    kCompiledVsNativeFactor, static_cast<long long>(native_us));
+        ok = false;
+      }
+    }
+  }
+  return ok;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke skips the (minutes-long) Figure 2 simulation sweep and runs
+  // only the gated per-backend section with fewer repetitions — the
+  // CI-friendly mode; --json PATH writes the backend JSON rows to a file.
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (smoke) return SweepBackends(smoke, json_path) ? 0 : 1;
+
   std::printf(
       "== Figure 2: execution time multi-user / single-user (SU = 100%%) ==\n"
       "workload: 20 SELECT + 20 UPDATE per txn, 100000 rows, uniform;\n"
@@ -209,5 +304,5 @@ int main() {
 
   // Nonzero exit when the acceptance check regresses, so CI and scripts
   // see it rather than just a line in the log.
-  return SweepBackends() ? 0 : 1;
+  return SweepBackends(smoke, json_path) ? 0 : 1;
 }

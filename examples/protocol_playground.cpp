@@ -2,7 +2,9 @@
 //
 // Shows, side by side, how each declarative protocol decides the same
 // pending-request set — the most direct way to see that the *scheduler* is
-// constant and only the *rules* change. Also prints the declarative
+// constant and only the *rules* change. Then dumps what each declarative
+// protocol compiles to (ExplainProtocol: the lowered IR operator tree, or
+// the interpreter fallback), and finally prints the declarative
 // deadlock-detection program and runs it on a crafted deadlock.
 //
 //   ./build/examples/protocol_playground
@@ -10,6 +12,7 @@
 #include <cstdio>
 
 #include "scheduler/deadlock_resolver.h"
+#include "scheduler/ir/explain.h"
 #include "scheduler/protocol.h"
 #include "scheduler/protocol_library.h"
 
@@ -92,6 +95,21 @@ int main() {
       order += r.ToString();
     }
     std::printf("%-26s %s\n", name.c_str(), order.empty() ? "(nothing)" : order.c_str());
+  }
+
+  std::printf("\n=== What the declarative protocols compile to ===\n"
+              "(ExplainProtocol: lowered IR operator trees; interp:-prefixed\n"
+              "texts or queries outside the IR dialect run interpreted)\n\n");
+  for (const char* name : {"ss2pl-sql", "wfq-datalog", "tenant-cap-sql"}) {
+    auto spec = ProtocolRegistry::BuiltIns().Get(name);
+    if (!spec.ok()) continue;
+    RequestStore explain_store;
+    auto explain = ir::ExplainProtocol(*spec, &explain_store);
+    if (explain.ok()) std::printf("%s\n", explain->c_str());
+    auto interp = ir::ExplainProtocol(InterpretedVariant(*spec), &explain_store);
+    if (interp.ok() && name == std::string("ss2pl-sql")) {
+      std::printf("%s\n", interp->c_str());
+    }
   }
 
   std::printf("\n=== Declarative deadlock detection ===\n%s\n",

@@ -6,7 +6,12 @@
 //   sql> INSERT INTO demo VALUES (1, 'x'), (2, 'y');
 //   sql> SELECT * FROM demo WHERE a > 1;
 //   sql> EXPLAIN SELECT * FROM requests r, history h WHERE r.ta = h.ta;
+//   sql> EXPLAIN PROTOCOL ss2pl-sql;
 //   sql> \q
+//
+// EXPLAIN <select> prints the physical SQL plan; EXPLAIN PROTOCOL <name>
+// prints what a registry protocol compiles to — the lowered protocol IR,
+// or the interpreter fallback with the reason.
 //
 // Starts with the scheduler's `requests` and `history` tables pre-created
 // and a small demo scenario loaded.
@@ -16,6 +21,8 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "scheduler/ir/explain.h"
+#include "scheduler/protocol_library.h"
 #include "scheduler/request_store.h"
 #include "sql/explain.h"
 #include "sql/parser.h"
@@ -73,6 +80,29 @@ int main() {
     std::string text = statement;
     statement.clear();
     const std::string_view body = Trim(text);
+
+    // EXPLAIN PROTOCOL <name>
+    constexpr char kExplainProtocol[] = "EXPLAIN PROTOCOL ";
+    if (body.size() > sizeof(kExplainProtocol) - 1 &&
+        EqualsIgnoreCase(body.substr(0, sizeof(kExplainProtocol) - 1),
+                         kExplainProtocol)) {
+      std::string name(Trim(body.substr(sizeof(kExplainProtocol) - 1)));
+      if (!name.empty() && name.back() == ';') {
+        name = std::string(Trim(std::string_view(name).substr(0, name.size() - 1)));
+      }
+      auto spec = scheduler::ProtocolRegistry::BuiltIns().Get(name);
+      if (!spec.ok()) {
+        std::printf("error: %s\n", spec.status().ToString().c_str());
+        continue;
+      }
+      auto explain = scheduler::ir::ExplainProtocol(*spec, &store);
+      if (!explain.ok()) {
+        std::printf("error: %s\n", explain.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", explain->c_str());
+      continue;
+    }
 
     // EXPLAIN <select>
     if (body.size() > 8 && EqualsIgnoreCase(body.substr(0, 8), "EXPLAIN ")) {

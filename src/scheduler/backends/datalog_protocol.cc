@@ -1,20 +1,27 @@
 #include "scheduler/backends/datalog_protocol.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/string_util.h"
 #include "datalog/engine.h"
+#include "scheduler/ir/compiled_protocol.h"
+#include "scheduler/ir/lower_datalog.h"
 
 namespace declsched::scheduler {
 
 namespace {
 
-class DatalogProtocol : public Protocol {
+/// The interpreted path: the validated program evaluated by the semi-naive
+/// engine against the store's cached EDB every cycle. Kept as the
+/// differential oracle for the compiled path (and the semantics of last
+/// resort for programs outside the IR dialect).
+class InterpretedDatalogProtocol : public Protocol {
  public:
-  DatalogProtocol(ProtocolSpec spec, datalog::DatalogProgram program)
+  InterpretedDatalogProtocol(ProtocolSpec spec, datalog::DatalogProgram program)
       : Protocol(std::move(spec)), program_(std::move(program)) {}
 
   Result<RequestBatch> Schedule(const ScheduleContext& context) const override {
@@ -64,14 +71,11 @@ class DatalogProtocol : public Protocol {
   datalog::DatalogProgram program_;
 };
 
-}  // namespace
-
-Result<std::unique_ptr<Protocol>> CompileDatalogProtocol(
-    const ProtocolSpec& spec, RequestStore* /*store*/) {
-  DS_ASSIGN_OR_RETURN(datalog::DatalogProgram program,
-                      datalog::DatalogProgram::Create(spec.text));
-  // The output relation must be derived and have the Table 2 arity; a rank
-  // relation, when named, must be derived too.
+/// Validates the program and resolves the spec's ordered flag (a rank
+/// relation defines the dispatch order). Shared by both execution paths so
+/// compiled and interpreted variants carry identical specs.
+Result<ProtocolSpec> ResolveSpec(const ProtocolSpec& spec,
+                                 const datalog::DatalogProgram& program) {
   const auto& idb = program.idb_predicates();
   if (std::find(idb.begin(), idb.end(), spec.datalog_output) == idb.end()) {
     return Status::BindError(StrFormat("protocol %s: program does not derive '%s'",
@@ -87,8 +91,35 @@ Result<std::unique_ptr<Protocol>> CompileDatalogProtocol(
     }
     resolved.ordered = true;
   }
+  return resolved;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Protocol>> CompileDatalogProtocol(
+    const ProtocolSpec& spec, RequestStore* store) {
+  ProtocolSpec input = spec;
+  bool force_interp = false;
+  constexpr const char kInterpPrefix[] = "interp:";
+  if (input.text.rfind(kInterpPrefix, 0) == 0) {
+    force_interp = true;
+    input.text = input.text.substr(sizeof(kInterpPrefix) - 1);
+  }
+  DS_ASSIGN_OR_RETURN(datalog::DatalogProgram program,
+                      datalog::DatalogProgram::Create(input.text));
+  DS_ASSIGN_OR_RETURN(ProtocolSpec resolved, ResolveSpec(input, program));
+  if (!force_interp) {
+    // Compile-first: lower the rule AST into the protocol IR; programs
+    // outside the dialect run interpreted.
+    Result<ir::ProtocolPlan> lowered = ir::LowerDatalogSpec(resolved);
+    if (lowered.ok()) {
+      return std::unique_ptr<Protocol>(new ir::CompiledProtocol(
+          std::move(resolved), store, std::move(lowered).MoveValue()));
+    }
+    if (!lowered.status().IsUnsupported()) return lowered.status();
+  }
   return std::unique_ptr<Protocol>(
-      new DatalogProtocol(std::move(resolved), std::move(program)));
+      new InterpretedDatalogProtocol(std::move(resolved), std::move(program)));
 }
 
 }  // namespace declsched::scheduler

@@ -1,20 +1,28 @@
 #include "scheduler/backends/sql_protocol.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/string_util.h"
+#include "scheduler/backends/native_protocol.h"
+#include "scheduler/ir/compiled_protocol.h"
+#include "scheduler/ir/lower_sql.h"
 #include "sql/engine.h"
 
 namespace declsched::scheduler {
 
 namespace {
 
-class SqlProtocol : public Protocol {
+/// The interpreted path: the SELECT prepared once, re-run every cycle
+/// through the SQL engine. Kept as the differential oracle for the
+/// compiled path (and the semantics of last resort for queries outside
+/// the IR dialect).
+class InterpretedSqlProtocol : public Protocol {
  public:
-  SqlProtocol(ProtocolSpec spec, RequestStore* bound_store,
-              sql::PreparedQuery prepared, std::vector<int> cols)
+  InterpretedSqlProtocol(ProtocolSpec spec, RequestStore* bound_store,
+                         sql::PreparedQuery prepared, std::vector<int> cols)
       : Protocol(std::move(spec)),
         bound_store_(bound_store),
         prepared_(std::move(prepared)),
@@ -29,24 +37,10 @@ class SqlProtocol : public Protocol {
           ": scheduled against a different store than it was compiled for");
     }
     DS_ASSIGN_OR_RETURN(sql::QueryResult result, prepared_.Run());
-    RequestBatch batch;
-    batch.reserve(result.rows.size());
-    for (const storage::Row& row : result.rows) {
-      Request request;
-      request.id = row[cols_[0]].AsInt64();
-      request.ta = row[cols_[1]].AsInt64();
-      request.intrata = row[cols_[2]].AsInt64();
-      request.op = RequestStore::ParseOperation(row[cols_[3]].AsString());
-      request.object = row[cols_[4]].AsInt64();
-      batch.push_back(request);
-    }
-    // One batched re-join against the pending mirror instead of an index
-    // lookup per row (protocols only guarantee the Table 2 columns).
-    context.store->JoinSlaColumns(&batch);
-    if (!spec_.ordered) {
-      std::sort(batch.begin(), batch.end(),
-                [](const Request& a, const Request& b) { return a.id < b.id; });
-    }
+    // One shared decode+SLA-join pass over the typed pending mirror.
+    DS_ASSIGN_OR_RETURN(RequestBatch batch,
+                        context.store->RowsToRequests(result.rows, cols_));
+    if (!spec_.ordered) RankById(&batch);
     return batch;
   }
 
@@ -58,9 +52,7 @@ class SqlProtocol : public Protocol {
   std::vector<int> cols_;
 };
 
-}  // namespace
-
-Result<std::unique_ptr<Protocol>> CompileSqlProtocol(const ProtocolSpec& spec,
+Result<std::unique_ptr<Protocol>> CompileInterpreted(const ProtocolSpec& spec,
                                                      RequestStore* store) {
   DS_ASSIGN_OR_RETURN(sql::PreparedQuery prepared,
                       store->sql_engine()->PrepareQuery(spec.text));
@@ -70,7 +62,7 @@ Result<std::unique_ptr<Protocol>> CompileSqlProtocol(const ProtocolSpec& spec,
   for (const char* name : {"id", "ta", "intrata", "operation", "object"}) {
     int found = -1;
     for (int i = 0; i < static_cast<int>(schema.size()); ++i) {
-      if (EqualsIgnoreCase(schema[i].name, name)) {
+      if (EqualsIgnoreCase(schema[static_cast<size_t>(i)].name, name)) {
         found = i;
         break;
       }
@@ -81,8 +73,33 @@ Result<std::unique_ptr<Protocol>> CompileSqlProtocol(const ProtocolSpec& spec,
     }
     cols.push_back(found);
   }
-  return std::unique_ptr<Protocol>(
-      new SqlProtocol(spec, store, std::move(prepared), std::move(cols)));
+  return std::unique_ptr<Protocol>(new InterpretedSqlProtocol(
+      spec, store, std::move(prepared), std::move(cols)));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Protocol>> CompileSqlProtocol(const ProtocolSpec& spec,
+                                                     RequestStore* store) {
+  ProtocolSpec resolved = spec;
+  constexpr const char kInterpPrefix[] = "interp:";
+  if (resolved.text.rfind(kInterpPrefix, 0) == 0) {
+    // Forced interpreter — the differential oracle variant.
+    resolved.text = resolved.text.substr(sizeof(kInterpPrefix) - 1);
+    return CompileInterpreted(resolved, store);
+  }
+  // Compile-first: lower the planned SELECT into the protocol IR. Queries
+  // outside the IR dialect fall back to the interpreter (Unsupported is the
+  // lowering's "not my dialect" signal; real errors — parse, bind — are
+  // surfaced by the interpreted path below with the same text).
+  Result<ir::ProtocolPlan> lowered =
+      ir::LowerSqlSpec(resolved, *store->catalog());
+  if (lowered.ok()) {
+    return std::unique_ptr<Protocol>(new ir::CompiledProtocol(
+        std::move(resolved), store, std::move(lowered).MoveValue()));
+  }
+  if (!lowered.status().IsUnsupported()) return lowered.status();
+  return CompileInterpreted(resolved, store);
 }
 
 }  // namespace declsched::scheduler

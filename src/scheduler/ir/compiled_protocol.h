@@ -1,0 +1,50 @@
+// CompiledProtocol: a Protocol backed by a lowered ProtocolPlan.
+//
+// The compiled form of a SQL or Datalog spec: the plan executes over the
+// store's typed mirrors, the embedded executor's LockTableState rides the
+// scheduler's delta hooks, and per-cycle cost is O(pending qualification +
+// delta) like the hand-coded native backend — while the protocol's
+// semantics remain exactly the declarative text's (property-tested against
+// the interpreted engines, which stay available behind the "interp:" spec
+// prefix).
+
+#ifndef DECLSCHED_SCHEDULER_IR_COMPILED_PROTOCOL_H_
+#define DECLSCHED_SCHEDULER_IR_COMPILED_PROTOCOL_H_
+
+#include <memory>
+
+#include "scheduler/ir/executor.h"
+#include "scheduler/ir/protocol_plan.h"
+#include "scheduler/protocol.h"
+
+namespace declsched::scheduler::ir {
+
+class CompiledProtocol : public Protocol {
+ public:
+  CompiledProtocol(ProtocolSpec spec, RequestStore* store, ProtocolPlan plan);
+
+  Result<RequestBatch> Schedule(const ScheduleContext& context) const override;
+
+  // Delta hooks: keep the executor's lock state in lockstep with history.
+  // Skipped entirely for plans that never consult locks (e.g. FCFS).
+  void OnScheduled(const RequestBatch& batch) override;
+  void OnFinished(const std::vector<txn::TxnId>& txns) override;
+
+  /// The lowered plan (for ExplainProtocol and tests).
+  const ProtocolPlan& plan() const { return plan_; }
+  /// The incremental lock state (tests assert O(delta) on its counters).
+  const LockTableState& lock_state() const { return executor_.lock_state(); }
+
+ private:
+  RequestStore* store_;
+  ProtocolPlan plan_;
+  bool needs_lock_table_;
+  bool may_reorder_;
+  /// Mutable: Schedule() is a read of the store even when it refreshes the
+  /// executor's cached lock state (the native-backend convention).
+  mutable PlanExecutor executor_;
+};
+
+}  // namespace declsched::scheduler::ir
+
+#endif  // DECLSCHED_SCHEDULER_IR_COMPILED_PROTOCOL_H_

@@ -1,0 +1,763 @@
+#include "scheduler/ir/lower_datalog.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "scheduler/ir/optimize.h"
+
+namespace declsched::scheduler::ir {
+
+namespace {
+
+using datalog::Atom;
+using datalog::BodyLiteral;
+using datalog::CompareOp;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+
+Status Unsupported(const std::string& what) {
+  return Status::Unsupported("datalog lowering: " + what);
+}
+
+bool IsVar(const Term& t, std::string* name) {
+  if (t.kind != Term::Kind::kVariable) return false;
+  *name = t.var;
+  return true;
+}
+
+bool IsStringConst(const Term& t, const char* s) {
+  return t.kind == Term::Kind::kConstant &&
+         t.value.type() == storage::ValueType::kString && t.value.AsString() == s;
+}
+
+bool IsIntConst(const Term& t, int64_t v) {
+  return t.kind == Term::Kind::kConstant &&
+         t.value.type() == storage::ValueType::kInt64 && t.value.AsInt64() == v;
+}
+
+int Occurrences(const Rule& rule, const std::string& var) {
+  int count = 0;
+  auto count_atom = [&](const Atom& atom) {
+    for (const Term& t : atom.args) {
+      if (t.kind == Term::Kind::kVariable && t.var == var) ++count;
+    }
+  };
+  count_atom(rule.head);
+  for (const BodyLiteral& lit : rule.body) {
+    if (lit.kind == BodyLiteral::Kind::kComparison) {
+      if (lit.lhs.kind == Term::Kind::kVariable && lit.lhs.var == var) ++count;
+      if (lit.rhs.kind == Term::Kind::kVariable && lit.rhs.var == var) ++count;
+    } else {
+      count_atom(lit.atom);
+    }
+  }
+  return count;
+}
+
+/// A "don't care" position: a wildcard, or a variable nothing else reads.
+bool IsFree(const Rule& rule, const Term& t) {
+  if (t.kind == Term::Kind::kWildcard) return true;
+  if (t.kind != Term::Kind::kVariable) return false;
+  return Occurrences(rule, t.var) == 1;
+}
+
+bool IsVarNamed(const Term& t, const std::string& name) {
+  return t.kind == Term::Kind::kVariable && t.var == name;
+}
+
+// --- role classification ------------------------------------------------
+
+enum class Role { kFinished, kWrote, kWLock, kRLock, kBlocked, kQualified,
+                  kThrottled, kOther };
+
+struct QualifiedInfo {
+  ConflictRules rules;
+  bool throttle = false;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Program& program) {
+    for (const Rule& rule : program.rules) {
+      defs_[rule.head.predicate].push_back(&rule);
+    }
+  }
+
+  Result<Role> Classify(const std::string& pred);
+  Result<ConflictRules> BlockedRules(const std::string& pred);
+  Result<QualifiedInfo> Qualified(const std::string& pred);
+  Result<QualifiedInfo> QualifiedImpl(const std::string& pred);
+  const std::vector<const Rule*>* Defs(const std::string& pred) const {
+    auto it = defs_.find(pred);
+    return it == defs_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  bool Is(const std::string& pred, Role want) {
+    auto result = Classify(pred);
+    return result.ok() && *result == want;
+  }
+
+  bool MatchFinished(const std::vector<const Rule*>& rules);
+  bool MatchWrote(const std::vector<const Rule*>& rules);
+  bool MatchWLock(const std::vector<const Rule*>& rules);
+  bool MatchRLock(const std::vector<const Rule*>& rules);
+  bool MatchBlocked(const std::vector<const Rule*>& rules, ConflictRules* out);
+  bool MatchThrottled(const std::vector<const Rule*>& rules);
+
+  std::map<std::string, std::vector<const Rule*>> defs_;
+  std::map<std::string, Role> roles_;
+  std::map<std::string, ConflictRules> blocked_;
+  std::set<std::string> visiting_;
+  /// Separate guard for the Qualified() alias chain (q1 :- q2 :- q1 ...).
+  std::set<std::string> qualified_visiting_;
+};
+
+Result<Role> Analyzer::Classify(const std::string& pred) {
+  auto it = roles_.find(pred);
+  if (it != roles_.end()) return it->second;
+  auto def = defs_.find(pred);
+  if (def == defs_.end()) return Role::kOther;  // EDB or undefined
+  if (visiting_.count(pred) > 0) {
+    return Unsupported("recursive predicate '" + pred + "'");
+  }
+  visiting_.insert(pred);
+  Role role = Role::kOther;
+  ConflictRules blocked;
+  if (MatchFinished(def->second)) {
+    role = Role::kFinished;
+  } else if (MatchWrote(def->second)) {
+    role = Role::kWrote;
+  } else if (MatchWLock(def->second)) {
+    role = Role::kWLock;
+  } else if (MatchRLock(def->second)) {
+    role = Role::kRLock;
+  } else if (MatchThrottled(def->second)) {
+    role = Role::kThrottled;
+  } else if (MatchBlocked(def->second, &blocked)) {
+    role = Role::kBlocked;
+    blocked_[pred] = blocked;
+  } else if (Qualified(pred).ok()) {
+    role = Role::kQualified;
+  }
+  visiting_.erase(pred);
+  roles_[pred] = role;
+  return role;
+}
+
+/// finished(Ta) :- hist(_, Ta, _, "c", _).   (and the "a" twin)
+bool Analyzer::MatchFinished(const std::vector<const Rule*>& rules) {
+  bool has_a = false;
+  bool has_c = false;
+  for (const Rule* rule : rules) {
+    std::string ta;
+    if (rule->head.args.size() != 1 || !IsVar(rule->head.args[0], &ta)) {
+      return false;
+    }
+    if (rule->body.size() != 1 ||
+        rule->body[0].kind != BodyLiteral::Kind::kAtom) {
+      return false;
+    }
+    const Atom& hist = rule->body[0].atom;
+    if (hist.predicate != "hist" || hist.args.size() != 5 ||
+        !IsVarNamed(hist.args[1], ta) || !IsFree(*rule, hist.args[0]) ||
+        !IsFree(*rule, hist.args[2]) || !IsFree(*rule, hist.args[4])) {
+      return false;
+    }
+    if (IsStringConst(hist.args[3], "a")) {
+      has_a = true;
+    } else if (IsStringConst(hist.args[3], "c")) {
+      has_c = true;
+    } else {
+      return false;
+    }
+  }
+  return has_a && has_c;
+}
+
+/// wrote(Obj, Ta) :- hist(_, Ta, _, "w", Obj).
+bool Analyzer::MatchWrote(const std::vector<const Rule*>& rules) {
+  if (rules.size() != 1) return false;
+  const Rule& rule = *rules[0];
+  std::string obj;
+  std::string ta;
+  if (rule.head.args.size() != 2 || !IsVar(rule.head.args[0], &obj) ||
+      !IsVar(rule.head.args[1], &ta) || obj == ta) {
+    return false;
+  }
+  if (rule.body.size() != 1 || rule.body[0].kind != BodyLiteral::Kind::kAtom) {
+    return false;
+  }
+  const Atom& hist = rule.body[0].atom;
+  return hist.predicate == "hist" && hist.args.size() == 5 &&
+         IsVarNamed(hist.args[1], ta) && IsStringConst(hist.args[3], "w") &&
+         IsVarNamed(hist.args[4], obj) && IsFree(rule, hist.args[0]) &&
+         IsFree(rule, hist.args[2]);
+}
+
+/// wlock(Obj, Ta) :- hist(_, Ta, _, "w", Obj), !finished(Ta).
+bool Analyzer::MatchWLock(const std::vector<const Rule*>& rules) {
+  if (rules.size() != 1) return false;
+  const Rule& rule = *rules[0];
+  std::string obj;
+  std::string ta;
+  if (rule.head.args.size() != 2 || !IsVar(rule.head.args[0], &obj) ||
+      !IsVar(rule.head.args[1], &ta) || obj == ta || rule.body.size() != 2) {
+    return false;
+  }
+  const BodyLiteral& hist_lit = rule.body[0];
+  const BodyLiteral& neg = rule.body[1];
+  if (hist_lit.kind != BodyLiteral::Kind::kAtom ||
+      neg.kind != BodyLiteral::Kind::kNegatedAtom) {
+    return false;
+  }
+  const Atom& hist = hist_lit.atom;
+  if (hist.predicate != "hist" || hist.args.size() != 5 ||
+      !IsVarNamed(hist.args[1], ta) || !IsStringConst(hist.args[3], "w") ||
+      !IsVarNamed(hist.args[4], obj) || !IsFree(rule, hist.args[0]) ||
+      !IsFree(rule, hist.args[2])) {
+    return false;
+  }
+  return neg.atom.args.size() == 1 && IsVarNamed(neg.atom.args[0], ta) &&
+         Is(neg.atom.predicate, Role::kFinished);
+}
+
+/// rlock(Obj, Ta) :- hist(_, Ta, _, "r", Obj), !finished(Ta),
+///                   !wrote(Obj, Ta).
+bool Analyzer::MatchRLock(const std::vector<const Rule*>& rules) {
+  if (rules.size() != 1) return false;
+  const Rule& rule = *rules[0];
+  std::string obj;
+  std::string ta;
+  if (rule.head.args.size() != 2 || !IsVar(rule.head.args[0], &obj) ||
+      !IsVar(rule.head.args[1], &ta) || obj == ta || rule.body.size() != 3) {
+    return false;
+  }
+  const Atom* hist = nullptr;
+  const Atom* neg_finished = nullptr;
+  const Atom* neg_wrote = nullptr;
+  for (const BodyLiteral& lit : rule.body) {
+    if (lit.kind == BodyLiteral::Kind::kAtom && lit.atom.predicate == "hist") {
+      hist = &lit.atom;
+    } else if (lit.kind == BodyLiteral::Kind::kNegatedAtom &&
+               lit.atom.args.size() == 1) {
+      neg_finished = &lit.atom;
+    } else if (lit.kind == BodyLiteral::Kind::kNegatedAtom &&
+               lit.atom.args.size() == 2) {
+      neg_wrote = &lit.atom;
+    } else {
+      return false;
+    }
+  }
+  if (hist == nullptr || neg_finished == nullptr || neg_wrote == nullptr) {
+    return false;
+  }
+  if (hist->args.size() != 5 || !IsVarNamed(hist->args[1], ta) ||
+      !IsStringConst(hist->args[3], "r") || !IsVarNamed(hist->args[4], obj) ||
+      !IsFree(rule, hist->args[0]) || !IsFree(rule, hist->args[2])) {
+    return false;
+  }
+  return IsVarNamed(neg_finished->args[0], ta) &&
+         Is(neg_finished->predicate, Role::kFinished) &&
+         IsVarNamed(neg_wrote->args[0], obj) &&
+         IsVarNamed(neg_wrote->args[1], ta) &&
+         Is(neg_wrote->predicate, Role::kWrote);
+}
+
+namespace {
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return CompareOp::kGt;
+    case CompareOp::kLe: return CompareOp::kGe;
+    case CompareOp::kGt: return CompareOp::kLt;
+    case CompareOp::kGe: return CompareOp::kLe;
+    default: return op;
+  }
+}
+
+/// True if `lit` states `<var> > <other_var>` for the given variables
+/// (either literal direction).
+bool SaysGreater(const BodyLiteral& lit, const std::string& greater,
+                 const std::string& lesser) {
+  if (lit.kind != BodyLiteral::Kind::kComparison) return false;
+  if (lit.op == CompareOp::kGt) {
+    return IsVarNamed(lit.lhs, greater) && IsVarNamed(lit.rhs, lesser);
+  }
+  if (lit.op == CompareOp::kLt) {
+    return IsVarNamed(lit.lhs, lesser) && IsVarNamed(lit.rhs, greater);
+  }
+  return false;
+}
+
+bool SaysNotEqual(const BodyLiteral& lit, const std::string& a,
+                  const std::string& b) {
+  return lit.kind == BodyLiteral::Kind::kComparison &&
+         lit.op == CompareOp::kNe &&
+         ((IsVarNamed(lit.lhs, a) && IsVarNamed(lit.rhs, b)) ||
+          (IsVarNamed(lit.lhs, b) && IsVarNamed(lit.rhs, a)));
+}
+
+}  // namespace
+
+/// blocked(Ta, In) :- req(_, Ta, In, [op], Obj), lockset(Obj, T2), Ta != T2.
+/// blocked(T2, In2) :- req(_, T2, In2, [op], Obj), req(_, T1, _, [op], Obj),
+///                     T2 > T1.
+bool Analyzer::MatchBlocked(const std::vector<const Rule*>& rules,
+                            ConflictRules* out) {
+  *out = ConflictRules{};
+  for (const Rule* rule_ptr : rules) {
+    const Rule& rule = *rule_ptr;
+    std::string ta;
+    std::string in;
+    if (rule.head.args.size() != 2 || !IsVar(rule.head.args[0], &ta) ||
+        !IsVar(rule.head.args[1], &in) || ta == in) {
+      return false;
+    }
+    std::vector<const Atom*> req_atoms;
+    const Atom* lock_atom = nullptr;
+    std::vector<const BodyLiteral*> comparisons;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind == BodyLiteral::Kind::kComparison) {
+        comparisons.push_back(&lit);
+      } else if (lit.kind == BodyLiteral::Kind::kAtom &&
+                 lit.atom.predicate == "req") {
+        req_atoms.push_back(&lit.atom);
+      } else if (lit.kind == BodyLiteral::Kind::kAtom &&
+                 lit.atom.args.size() == 2 && lock_atom == nullptr) {
+        lock_atom = &lit.atom;
+      } else {
+        return false;
+      }
+    }
+    if (comparisons.size() != 1) return false;
+
+    // The blocked request's own atom binds the head variables.
+    auto binds_head = [&](const Atom& a) {
+      return a.args.size() == 5 && IsVarNamed(a.args[1], ta) &&
+             IsVarNamed(a.args[2], in);
+    };
+    auto op_writes_only = [&](const Atom& a, bool* writes) {
+      if (IsStringConst(a.args[3], "w")) {
+        *writes = true;
+        return true;
+      }
+      *writes = false;
+      return IsFree(rule, a.args[3]);
+    };
+
+    if (lock_atom != nullptr) {
+      // Lock-conflict form.
+      if (req_atoms.size() != 1 || !binds_head(*req_atoms[0])) return false;
+      const Atom& req = *req_atoms[0];
+      std::string obj;
+      std::string t2;
+      bool writes = false;
+      if (!IsFree(rule, req.args[0]) || !op_writes_only(req, &writes) ||
+          !IsVar(req.args[4], &obj) || !IsVarNamed(lock_atom->args[0], obj) ||
+          !IsVar(lock_atom->args[1], &t2) || t2 == ta ||
+          !SaysNotEqual(*comparisons[0], ta, t2)) {
+        // t2 == ta would make the Ta != T2 test vacuously false (the rule
+        // derives nothing) — out of dialect, not a conflict rule.
+        return false;
+      }
+      auto role = Classify(lock_atom->predicate);
+      if (!role.ok()) return false;
+      if (*role == Role::kWLock) {
+        (writes ? out->wlock_blocks_writes : out->wlock_blocks_all) = true;
+      } else if (*role == Role::kRLock && writes) {
+        out->rlock_blocks_writes = true;
+      } else {
+        return false;
+      }
+      continue;
+    }
+
+    // Pending-pending form.
+    if (req_atoms.size() != 2) return false;
+    const Atom* blocked_atom = nullptr;
+    const Atom* other_atom = nullptr;
+    for (const Atom* a : req_atoms) {
+      if (binds_head(*a)) {
+        blocked_atom = a;
+      } else {
+        other_atom = a;
+      }
+    }
+    if (blocked_atom == nullptr || other_atom == nullptr ||
+        other_atom->args.size() != 5) {
+      return false;
+    }
+    std::string obj;
+    std::string other_ta;
+    bool blocked_w = false;
+    bool other_w = false;
+    if (!IsFree(rule, blocked_atom->args[0]) ||
+        !op_writes_only(*blocked_atom, &blocked_w) ||
+        !IsVar(blocked_atom->args[4], &obj) ||
+        !IsFree(rule, other_atom->args[0]) ||
+        !IsVar(other_atom->args[1], &other_ta) || other_ta == ta ||
+        !IsFree(rule, other_atom->args[2]) ||
+        !op_writes_only(*other_atom, &other_w) ||
+        !IsVarNamed(other_atom->args[4], obj) ||
+        !SaysGreater(*comparisons[0], ta, other_ta)) {
+      // other_ta == ta would make the T2 > T1 test vacuously false (the
+      // rule derives nothing) — out of dialect, not a conflict rule.
+      return false;
+    }
+    if (blocked_w && other_w) {
+      out->pending_write_blocks_writes = true;
+    } else if (other_w) {
+      out->pending_write_blocks_all = true;
+    } else if (blocked_w) {
+      out->pending_any_blocks_writes = true;
+    } else {
+      return false;
+    }
+  }
+  return out->Any();
+}
+
+/// throttled(T) :- tenantacct(T, _, _, _, _, _, Cap, Inf), Cap > 0,
+///                 Inf >= Cap.               (and the rate/tokens twin)
+bool Analyzer::MatchThrottled(const std::vector<const Rule*>& rules) {
+  bool cap_rule = false;
+  bool rate_rule = false;
+  for (const Rule* rule_ptr : rules) {
+    const Rule& rule = *rule_ptr;
+    std::string t;
+    if (rule.head.args.size() != 1 || !IsVar(rule.head.args[0], &t)) {
+      return false;
+    }
+    const Atom* acct = nullptr;
+    std::vector<const BodyLiteral*> comparisons;
+    for (const BodyLiteral& lit : rule.body) {
+      if (lit.kind == BodyLiteral::Kind::kComparison) {
+        comparisons.push_back(&lit);
+      } else if (lit.kind == BodyLiteral::Kind::kAtom &&
+                 lit.atom.predicate == "tenantacct" &&
+                 lit.atom.args.size() == 8 && acct == nullptr) {
+        acct = &lit.atom;
+      } else {
+        return false;
+      }
+    }
+    if (acct == nullptr || !IsVarNamed(acct->args[0], t) ||
+        comparisons.size() != 2) {
+      return false;
+    }
+    // tenantacct columns: (tenant, weight, vtime, round, tokens, rate, cap,
+    // inflight) — identify which pair of columns the rule tests.
+    std::string tokens_var;
+    std::string rate_var;
+    std::string cap_var;
+    std::string inflight_var;
+    IsVar(acct->args[4], &tokens_var);
+    IsVar(acct->args[5], &rate_var);
+    IsVar(acct->args[6], &cap_var);
+    IsVar(acct->args[7], &inflight_var);
+
+    auto says = [&](const std::string& var, CompareOp op, int64_t value) {
+      if (var.empty()) return false;
+      for (const BodyLiteral* c : comparisons) {
+        if (IsVarNamed(c->lhs, var) && c->op == op && IsIntConst(c->rhs, value)) {
+          return true;
+        }
+        if (IsVarNamed(c->rhs, var) && FlipCompare(c->op) == op &&
+            IsIntConst(c->lhs, value)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    auto says_ge = [&](const std::string& a, const std::string& b) {
+      if (a.empty() || b.empty()) return false;
+      for (const BodyLiteral* c : comparisons) {
+        if (IsVarNamed(c->lhs, a) && c->op == CompareOp::kGe &&
+            IsVarNamed(c->rhs, b)) {
+          return true;
+        }
+        if (IsVarNamed(c->lhs, b) && c->op == CompareOp::kLe &&
+            IsVarNamed(c->rhs, a)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (says(cap_var, CompareOp::kGt, 0) && says_ge(inflight_var, cap_var)) {
+      cap_rule = true;
+    } else if (says(rate_var, CompareOp::kGt, 0) &&
+               says(tokens_var, CompareOp::kLe, 0)) {
+      rate_rule = true;
+    } else {
+      return false;
+    }
+  }
+  return cap_rule && rate_rule;
+}
+
+Result<ConflictRules> Analyzer::BlockedRules(const std::string& pred) {
+  DS_ASSIGN_OR_RETURN(Role role, Classify(pred));
+  if (role != Role::kBlocked) {
+    return Unsupported("'" + pred + "' is not a blocked-operation relation");
+  }
+  return blocked_.at(pred);
+}
+
+/// qualified(Id, Ta, In, Op, Obj) :-
+///     req(Id, Ta, In, Op, Obj), !blocked(Ta, In)
+///   | <other-qualified>(Id, Ta, In, Op, Obj)
+///   [, reqtenant(Id, T), !throttled(T)].
+Result<QualifiedInfo> Analyzer::Qualified(const std::string& pred) {
+  if (qualified_visiting_.count(pred) > 0) {
+    return Unsupported("recursive output relation '" + pred + "'");
+  }
+  qualified_visiting_.insert(pred);
+  auto result = QualifiedImpl(pred);
+  qualified_visiting_.erase(pred);
+  return result;
+}
+
+Result<QualifiedInfo> Analyzer::QualifiedImpl(const std::string& pred) {
+  const std::vector<const Rule*>* defs = Defs(pred);
+  if (defs == nullptr || defs->size() != 1) {
+    return Unsupported("output relation '" + pred +
+                       "' is not derived by exactly one rule");
+  }
+  const Rule& rule = *(*defs)[0];
+  std::vector<std::string> head_vars;
+  if (rule.head.args.size() != 5) {
+    return Unsupported("output relation does not have the Table 2 arity");
+  }
+  for (const Term& t : rule.head.args) {
+    std::string v;
+    if (!IsVar(t, &v)) {
+      return Unsupported("output head arguments must be variables");
+    }
+    head_vars.push_back(v);
+  }
+
+  auto matches_head = [&](const Atom& a) {
+    if (a.args.size() != 5) return false;
+    for (size_t i = 0; i < 5; ++i) {
+      if (!IsVarNamed(a.args[i], head_vars[i])) return false;
+    }
+    return true;
+  };
+
+  const Atom* source = nullptr;        // req or an inner qualified relation
+  const Atom* neg_blocked = nullptr;
+  const Atom* reqtenant = nullptr;
+  const Atom* neg_throttled = nullptr;
+  for (const BodyLiteral& lit : rule.body) {
+    if (lit.kind == BodyLiteral::Kind::kAtom && matches_head(lit.atom) &&
+        source == nullptr) {
+      source = &lit.atom;
+    } else if (lit.kind == BodyLiteral::Kind::kAtom &&
+               lit.atom.predicate == "reqtenant" &&
+               lit.atom.args.size() == 2 && reqtenant == nullptr) {
+      reqtenant = &lit.atom;
+    } else if (lit.kind == BodyLiteral::Kind::kNegatedAtom &&
+               lit.atom.args.size() == 2 && neg_blocked == nullptr) {
+      neg_blocked = &lit.atom;
+    } else if (lit.kind == BodyLiteral::Kind::kNegatedAtom &&
+               lit.atom.args.size() == 1 && neg_throttled == nullptr) {
+      neg_throttled = &lit.atom;
+    } else {
+      return Unsupported("output rule has an unrecognized body literal");
+    }
+  }
+  if (source == nullptr) {
+    return Unsupported("output rule does not bind its head from one atom");
+  }
+
+  QualifiedInfo info;
+  if (source->predicate == "req") {
+    if (neg_blocked == nullptr) {
+      // FCFS-style: every pending request qualifies.
+      info.rules = ConflictRules{};
+    } else {
+      if (!IsVarNamed(neg_blocked->args[0], head_vars[1]) ||
+          !IsVarNamed(neg_blocked->args[1], head_vars[2])) {
+        return Unsupported("blocked test is not on the head's (ta, intrata)");
+      }
+      DS_ASSIGN_OR_RETURN(info.rules, BlockedRules(neg_blocked->predicate));
+    }
+  } else {
+    if (neg_blocked != nullptr) {
+      return Unsupported("alias rule with a blocked test");
+    }
+    DS_ASSIGN_OR_RETURN(info, Qualified(source->predicate));
+  }
+
+  if (reqtenant != nullptr || neg_throttled != nullptr) {
+    if (reqtenant == nullptr || neg_throttled == nullptr) {
+      return Unsupported("throttle filter needs reqtenant and !throttled");
+    }
+    std::string tvar;
+    if (!IsVarNamed(reqtenant->args[0], head_vars[0]) ||
+        !IsVar(reqtenant->args[1], &tvar) ||
+        !IsVarNamed(neg_throttled->args[0], tvar)) {
+      return Unsupported("throttle filter does not join on the request id");
+    }
+    DS_ASSIGN_OR_RETURN(Role role, Classify(neg_throttled->predicate));
+    if (role != Role::kThrottled) {
+      return Unsupported("'" + neg_throttled->predicate +
+                         "' is not the throttled-tenant relation");
+    }
+    info.throttle = true;
+  }
+  return info;
+}
+
+/// rankkey(Id, Key...) :- qualified(Id, ...), reqtenant(Id, T),
+///                        tenantacct(T, ...) [, reqmeta(Id, ...)].
+struct RankInfo {
+  std::vector<RankKey> keys;
+  bool needs_acct = false;  // body joins tenantacct: missing rows sort last
+};
+
+Result<RankInfo> LowerRankRelation(Analyzer* analyzer, const std::string& pred,
+                                   const std::string& output_pred) {
+  const std::vector<const Rule*>* defs = analyzer->Defs(pred);
+  if (defs == nullptr || defs->size() != 1) {
+    return Unsupported("rank relation '" + pred +
+                       "' is not derived by exactly one rule");
+  }
+  const Rule& rule = *(*defs)[0];
+  if (rule.head.args.size() < 2) {
+    return Unsupported("rank relation carries no key columns");
+  }
+  std::string id;
+  if (!IsVar(rule.head.args[0], &id)) {
+    return Unsupported("rank head does not start with the request id");
+  }
+
+  const Atom* qualified = nullptr;
+  const Atom* reqtenant = nullptr;
+  const Atom* acct = nullptr;
+  const Atom* reqmeta = nullptr;
+  for (const BodyLiteral& lit : rule.body) {
+    if (lit.kind != BodyLiteral::Kind::kAtom) {
+      return Unsupported("rank rule bodies are positive joins only");
+    }
+    const Atom& a = lit.atom;
+    if (a.predicate == output_pred && qualified == nullptr) {
+      qualified = &a;
+    } else if (a.predicate == "reqtenant" && a.args.size() == 2 &&
+               reqtenant == nullptr) {
+      reqtenant = &a;
+    } else if (a.predicate == "tenantacct" && a.args.size() == 8 &&
+               acct == nullptr) {
+      acct = &a;
+    } else if (a.predicate == "reqmeta" && a.args.size() == 4 &&
+               reqmeta == nullptr) {
+      reqmeta = &a;
+    } else {
+      return Unsupported("rank rule joins an unrecognized relation");
+    }
+  }
+  if (qualified == nullptr || qualified->args.empty() ||
+      !IsVarNamed(qualified->args[0], id)) {
+    return Unsupported("rank rule does not range over the output relation");
+  }
+  std::string tvar;
+  if (reqtenant != nullptr &&
+      (!IsVarNamed(reqtenant->args[0], id) || !IsVar(reqtenant->args[1], &tvar))) {
+    return Unsupported("rank rule's reqtenant does not join on the id");
+  }
+  if (acct != nullptr &&
+      (reqtenant == nullptr || !IsVarNamed(acct->args[0], tvar))) {
+    return Unsupported("rank rule's tenantacct does not join via reqtenant");
+  }
+  if (reqmeta != nullptr && !IsVarNamed(reqmeta->args[0], id)) {
+    return Unsupported("rank rule's reqmeta does not join on the id");
+  }
+
+  RankInfo info;
+  info.needs_acct = acct != nullptr;
+  for (size_t k = 1; k < rule.head.args.size(); ++k) {
+    std::string var;
+    if (!IsVar(rule.head.args[k], &var)) {
+      return Unsupported("rank key columns must be variables");
+    }
+    RankSource source;
+    if (!tvar.empty() && var == tvar) {
+      source = RankSource::kTenant;
+    } else if (acct != nullptr && IsVarNamed(acct->args[2], var)) {
+      source = RankSource::kTenantVtime;
+    } else if (acct != nullptr && IsVarNamed(acct->args[3], var)) {
+      source = RankSource::kTenantRound;
+    } else if (reqmeta != nullptr && IsVarNamed(reqmeta->args[1], var)) {
+      source = RankSource::kPriority;
+    } else if (reqmeta != nullptr && IsVarNamed(reqmeta->args[2], var)) {
+      source = RankSource::kDeadline;
+    } else {
+      return Unsupported("rank key '" + var +
+                         "' does not come from tenantacct or reqmeta");
+    }
+    info.keys.push_back(RankKey{source});
+  }
+  // Tie-break on id mirrors the interpreter's comparator.
+  info.keys.push_back(RankKey{RankSource::kId});
+  return info;
+}
+
+}  // namespace
+
+Result<ProtocolPlan> LowerDatalogRules(const datalog::Program& program,
+                                       const ProtocolSpec& spec) {
+  Analyzer analyzer(program);
+  DS_ASSIGN_OR_RETURN(QualifiedInfo info,
+                      analyzer.Qualified(spec.datalog_output));
+
+  ProtocolPlan plan;
+  plan.source = "datalog";
+  std::unique_ptr<PlanNode> chain =
+      PlanNode::Make(PlanNode::Kind::kScanPending);
+  if (info.rules.Any()) {
+    auto anti = PlanNode::Make(PlanNode::Kind::kLockAntiJoin);
+    anti->conflicts = info.rules;
+    anti->input = std::move(chain);
+    chain = std::move(anti);
+  }
+  if (info.throttle) {
+    auto anti = PlanNode::Make(PlanNode::Kind::kThrottleAntiJoin);
+    anti->input = std::move(chain);
+    chain = std::move(anti);
+  }
+  if (!spec.datalog_rank.empty()) {
+    DS_ASSIGN_OR_RETURN(
+        RankInfo rank,
+        LowerRankRelation(&analyzer, spec.datalog_rank, spec.datalog_output));
+    if (rank.needs_acct) {
+      auto join = PlanNode::Make(PlanNode::Kind::kTenantJoin);
+      join->left_outer = true;  // ids missing from the rank relation stay
+      join->input = std::move(chain);
+      chain = std::move(join);
+    }
+    auto rank_node = PlanNode::Make(PlanNode::Kind::kRank);
+    rank_node->keys = std::move(rank.keys);
+    rank_node->missing_acct_last = rank.needs_acct;
+    rank_node->input = std::move(chain);
+    chain = std::move(rank_node);
+    plan.ordered = true;
+  }
+  plan.root = std::move(chain);
+  return plan;
+}
+
+Result<ProtocolPlan> LowerDatalogSpec(const ProtocolSpec& spec) {
+  DS_ASSIGN_OR_RETURN(datalog::Program program,
+                      datalog::ParseProgram(spec.text));
+  DS_ASSIGN_OR_RETURN(ProtocolPlan plan, LowerDatalogRules(program, spec));
+  OptimizePlan(&plan);
+  return plan;
+}
+
+}  // namespace declsched::scheduler::ir

@@ -1,0 +1,35 @@
+// LowerDatalogRules: Datalog front-end of the protocol IR.
+//
+// Classifies the program's rules by semantic role — finished-transaction
+// derivation, write/read lock sets over `hist`, blocked-operation rules
+// (lock conflicts and pending-pending ordering conflicts over `req`),
+// qualified-output heads, throttled-tenant rules over `tenantacct`, and
+// rank relations joining `reqtenant`/`tenantacct`/`reqmeta` — by matching
+// each rule against the idiom templates modulo predicate and variable
+// renaming. A program whose rules all classify lowers to the same
+// ProtocolPlan the equivalent SQL does; anything outside the dialect
+// returns Unsupported and the Datalog backend falls back to the
+// interpreted semi-naive engine.
+
+#ifndef DECLSCHED_SCHEDULER_IR_LOWER_DATALOG_H_
+#define DECLSCHED_SCHEDULER_IR_LOWER_DATALOG_H_
+
+#include "common/result.h"
+#include "datalog/ast.h"
+#include "scheduler/ir/protocol_plan.h"
+#include "scheduler/protocol.h"
+
+namespace declsched::scheduler::ir {
+
+/// Lowers a parsed program. `spec` names the output relation
+/// (`datalog_output`) and the optional rank relation (`datalog_rank`).
+Result<ProtocolPlan> LowerDatalogRules(const datalog::Program& program,
+                                       const ProtocolSpec& spec);
+
+/// Parses, lowers and optimizes `spec.text`. The one-call form the Datalog
+/// backend and ExplainProtocol() use.
+Result<ProtocolPlan> LowerDatalogSpec(const ProtocolSpec& spec);
+
+}  // namespace declsched::scheduler::ir
+
+#endif  // DECLSCHED_SCHEDULER_IR_LOWER_DATALOG_H_

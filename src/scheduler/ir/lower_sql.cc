@@ -1,0 +1,1016 @@
+#include "scheduler/ir/lower_sql.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "scheduler/ir/optimize.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace declsched::scheduler::ir {
+
+namespace {
+
+using sql::BoundExpr;
+using sql::BoundKind;
+using sql::OutSchema;
+using SqlNode = sql::PlanNode;
+
+Status Unsupported(const std::string& what) {
+  return Status::Unsupported("sql lowering: " + what);
+}
+
+/// The base relations a protocol SELECT may scan.
+struct Tables {
+  const storage::Table* requests = nullptr;
+  const storage::Table* history = nullptr;
+  const storage::Table* tenants = nullptr;
+};
+
+bool NameIs(const OutSchema& schema, int col, const char* name) {
+  return col >= 0 && col < static_cast<int>(schema.size()) &&
+         EqualsIgnoreCase(schema[static_cast<size_t>(col)].name, name);
+}
+
+std::string LowerName(const OutSchema& schema, int col) {
+  if (col < 0 || col >= static_cast<int>(schema.size())) return "";
+  return ToLower(schema[static_cast<size_t>(col)].name);
+}
+
+// --- expression matchers ------------------------------------------------
+
+void FlattenBin(const BoundExpr* e, sql::BinOp op,
+                std::vector<const BoundExpr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == BoundKind::kBinary && e->bin_op == op) {
+    FlattenBin(e->children[0].get(), op, out);
+    FlattenBin(e->children[1].get(), op, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::vector<const BoundExpr*> Conjuncts(const BoundExpr* e) {
+  std::vector<const BoundExpr*> out;
+  FlattenBin(e, sql::BinOp::kAnd, &out);
+  return out;
+}
+
+std::vector<const BoundExpr*> Disjuncts(const BoundExpr* e) {
+  std::vector<const BoundExpr*> out;
+  FlattenBin(e, sql::BinOp::kOr, &out);
+  return out;
+}
+
+bool IsColRefAtDepth(const BoundExpr& e, int depth, int* col) {
+  if (e.kind != BoundKind::kColRef || e.depth != depth) return false;
+  *col = e.col;
+  return true;
+}
+
+bool IsColRef(const BoundExpr& e, int* col) { return IsColRefAtDepth(e, 0, col); }
+
+bool IsStringConst(const BoundExpr& e, std::string* s) {
+  if (e.kind != BoundKind::kConst ||
+      e.value.type() != storage::ValueType::kString) {
+    return false;
+  }
+  *s = e.value.AsString();
+  return true;
+}
+
+bool IsIntConst(const BoundExpr& e, int64_t* v) {
+  if (e.kind != BoundKind::kConst ||
+      e.value.type() != storage::ValueType::kInt64) {
+    return false;
+  }
+  *v = e.value.AsInt64();
+  return true;
+}
+
+sql::BinOp FlipCompare(sql::BinOp op) {
+  switch (op) {
+    case sql::BinOp::kLt: return sql::BinOp::kGt;
+    case sql::BinOp::kLe: return sql::BinOp::kGe;
+    case sql::BinOp::kGt: return sql::BinOp::kLt;
+    case sql::BinOp::kGe: return sql::BinOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+bool IsCompareOp(sql::BinOp op) {
+  return op == sql::BinOp::kEq || op == sql::BinOp::kNe ||
+         op == sql::BinOp::kLt || op == sql::BinOp::kLe ||
+         op == sql::BinOp::kGt || op == sql::BinOp::kGe;
+}
+
+/// Matches `<col> <op> <const>` (either operand order; op normalized to the
+/// column-on-the-left reading).
+struct ColConstCompare {
+  int col = -1;
+  sql::BinOp op = sql::BinOp::kEq;
+  storage::Value value;
+};
+
+bool MatchColConst(const BoundExpr& e, ColConstCompare* out) {
+  if (e.kind != BoundKind::kBinary || !IsCompareOp(e.bin_op)) return false;
+  const BoundExpr& lhs = *e.children[0];
+  const BoundExpr& rhs = *e.children[1];
+  if (lhs.kind == BoundKind::kColRef && lhs.depth == 0 &&
+      rhs.kind == BoundKind::kConst) {
+    out->col = lhs.col;
+    out->op = e.bin_op;
+    out->value = rhs.value;
+    return true;
+  }
+  if (rhs.kind == BoundKind::kColRef && rhs.depth == 0 &&
+      lhs.kind == BoundKind::kConst) {
+    out->col = rhs.col;
+    out->op = FlipCompare(e.bin_op);
+    out->value = lhs.value;
+    return true;
+  }
+  return false;
+}
+
+/// Matches `<colA> <op> <colB>` at depth 0 (either order; op normalized to
+/// lhs-col-on-the-left).
+struct ColColCompare {
+  int lhs_col = -1;
+  int rhs_col = -1;
+  sql::BinOp op = sql::BinOp::kEq;
+};
+
+bool MatchColCol(const BoundExpr& e, ColColCompare* out) {
+  if (e.kind != BoundKind::kBinary || !IsCompareOp(e.bin_op)) return false;
+  int lhs = -1;
+  int rhs = -1;
+  if (!IsColRef(*e.children[0], &lhs) || !IsColRef(*e.children[1], &rhs)) {
+    return false;
+  }
+  out->lhs_col = lhs;
+  out->rhs_col = rhs;
+  out->op = e.bin_op;
+  return true;
+}
+
+/// True if `e` compares the named column (at `depth`) for equality with the
+/// string constant `value` — e.g. operation = 'w'.
+bool IsNamedStringEq(const BoundExpr& e, const OutSchema& schema, int depth,
+                     const char* name, const char* value) {
+  if (e.kind != BoundKind::kBinary || e.bin_op != sql::BinOp::kEq) return false;
+  for (int flip = 0; flip < 2; ++flip) {
+    const BoundExpr& col = *e.children[static_cast<size_t>(flip)];
+    const BoundExpr& cons = *e.children[static_cast<size_t>(1 - flip)];
+    int c = -1;
+    std::string s;
+    if (IsColRefAtDepth(col, depth, &c) && NameIs(schema, c, name) &&
+        IsStringConst(cons, &s) && EqualsIgnoreCase(s, value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- plan-node helpers --------------------------------------------------
+
+bool IsScanOf(const SqlNode& node, const storage::Table* table) {
+  return node.kind == SqlNode::Kind::kScan && node.table == table;
+}
+
+/// Peels a Project whose exprs are all depth-0 column refs, returning the
+/// child and the output-position -> child-column mapping. Null if not that
+/// shape.
+const SqlNode* PeelColProject(const SqlNode& node, std::vector<int>* cols) {
+  if (node.kind != SqlNode::Kind::kProject) return nullptr;
+  cols->clear();
+  for (const auto& expr : node.exprs) {
+    int col = -1;
+    if (!IsColRef(*expr, &col)) return nullptr;
+    cols->push_back(col);
+  }
+  return node.children[0].get();
+}
+
+// --- lock-set CTE classification ---------------------------------------
+
+enum class LockSetKind { kWLocks, kRLocks };
+
+/// The finished-transactions subplan: Project [ta] <- Filter (operation =
+/// 'a' OR operation = 'c') <- Scan history.
+bool IsFinishedTaSubplan(const SqlNode& node, const Tables& t) {
+  std::vector<int> cols;
+  const SqlNode* child = PeelColProject(node, &cols);
+  if (child == nullptr || cols.size() != 1) return false;
+  if (child->kind != SqlNode::Kind::kFilter) return false;
+  const SqlNode& scan = *child->children[0];
+  if (!IsScanOf(scan, t.history)) return false;
+  if (!NameIs(scan.schema, cols[0], "ta")) return false;
+  bool has_a = false;
+  bool has_c = false;
+  for (const BoundExpr* d : Disjuncts(child->predicate.get())) {
+    if (IsNamedStringEq(*d, scan.schema, 0, "operation", "a")) {
+      has_a = true;
+    } else if (IsNamedStringEq(*d, scan.schema, 0, "operation", "c")) {
+      has_c = true;
+    } else {
+      return false;
+    }
+  }
+  return has_a && has_c;
+}
+
+/// Write-lock set: history rows with operation = 'w' whose transaction has
+/// no termination marker — the LEFT JOIN ... IS NULL anti-join idiom.
+bool IsWLockSet(const SqlNode& node, const Tables& t) {
+  const SqlNode* cur = &node;
+  if (cur->kind == SqlNode::Kind::kDistinct) cur = cur->children[0].get();
+  std::vector<int> cols;
+  cur = PeelColProject(*cur, &cols);
+  if (cur == nullptr || cur->kind != SqlNode::Kind::kFilter) return false;
+  const SqlNode& join = *cur->children[0];
+  if (join.kind != SqlNode::Kind::kHashJoin &&
+      join.kind != SqlNode::Kind::kNestedLoopJoin) {
+    return false;
+  }
+  if (!join.left_outer) return false;
+  const SqlNode& left = *join.children[0];
+  if (!IsScanOf(left, t.history)) return false;
+  if (!IsFinishedTaSubplan(*join.children[1], t)) return false;
+  // The join must pair the transaction columns.
+  if (join.left_keys.size() != 1 || join.right_keys.size() != 1) return false;
+  int lkey = -1;
+  int rkey = -1;
+  if (!IsColRef(*join.left_keys[0], &lkey) ||
+      !IsColRef(*join.right_keys[0], &rkey)) {
+    return false;
+  }
+  if (!NameIs(left.schema, lkey, "ta")) return false;
+  // Filter: operation = 'w' AND <right ta> IS NULL.
+  const int left_width = static_cast<int>(left.schema.size());
+  bool has_w = false;
+  bool has_null_probe = false;
+  for (const BoundExpr* c : Conjuncts(cur->predicate.get())) {
+    if (IsNamedStringEq(*c, join.schema, 0, "operation", "w")) {
+      has_w = true;
+      continue;
+    }
+    int col = -1;
+    if (c->kind == BoundKind::kIsNull && !c->negated &&
+        IsColRef(*c->children[0], &col) && col >= left_width) {
+      has_null_probe = true;
+      continue;
+    }
+    return false;
+  }
+  if (!has_w || !has_null_probe) return false;
+  // Output must expose the object and ta columns of the lock rows.
+  bool has_object = false;
+  bool has_ta = false;
+  for (int col : cols) {
+    has_object |= NameIs(join.schema, col, "object");
+    has_ta |= NameIs(join.schema, col, "ta");
+  }
+  return has_object && has_ta;
+}
+
+/// Read-lock set: history rows of unfinished transactions that did not
+/// write the same object — the decorrelated NOT EXISTS idiom. Recognized by
+/// its feature set: NOT EXISTS over history keyed on ta whose residual
+/// mentions the object-equality (wrote-suppression), the 'w' write probe,
+/// and the 'a'/'c' liveness probes.
+bool IsRLockSet(const SqlNode& node, const Tables& t) {
+  std::vector<int> cols;
+  const SqlNode* cur = PeelColProject(node, &cols);
+  if (cur == nullptr || cur->kind != SqlNode::Kind::kFilter) return false;
+  const SqlNode& scan = *cur->children[0];
+  if (!IsScanOf(scan, t.history)) return false;
+  const BoundExpr& pred = *cur->predicate;
+  if (pred.kind != BoundKind::kExists || !pred.negated ||
+      pred.subquery == nullptr) {
+    return false;
+  }
+  const sql::SubqueryPlan& sq = *pred.subquery;
+  if (!sq.decorrelated || sq.source == nullptr ||
+      !IsScanOf(*sq.source, t.history) || sq.residual == nullptr) {
+    return false;
+  }
+  // Feature scan over the residual (depth 0 = inner history row, depth 1 =
+  // outer history row).
+  bool object_eq = false;
+  bool probe_w = false;
+  bool probe_a = false;
+  bool probe_c = false;
+  std::vector<const BoundExpr*> stack = {sq.residual.get()};
+  while (!stack.empty()) {
+    const BoundExpr* e = stack.back();
+    stack.pop_back();
+    for (const auto& child : e->children) stack.push_back(child.get());
+    if (e->kind != BoundKind::kBinary || e->bin_op != sql::BinOp::kEq) continue;
+    int inner = -1;
+    int outer = -1;
+    if (IsColRefAtDepth(*e->children[0], 0, &inner) &&
+        IsColRefAtDepth(*e->children[1], 1, &outer) &&
+        NameIs(scan.schema, inner, "object") &&
+        NameIs(scan.schema, outer, "object")) {
+      object_eq = true;
+    }
+    if (IsColRefAtDepth(*e->children[1], 0, &inner) &&
+        IsColRefAtDepth(*e->children[0], 1, &outer) &&
+        NameIs(scan.schema, inner, "object") &&
+        NameIs(scan.schema, outer, "object")) {
+      object_eq = true;
+    }
+    probe_w |= IsNamedStringEq(*e, scan.schema, 0, "operation", "w");
+    probe_a |= IsNamedStringEq(*e, scan.schema, 0, "operation", "a");
+    probe_c |= IsNamedStringEq(*e, scan.schema, 0, "operation", "c");
+  }
+  if (!(object_eq && probe_w && probe_a && probe_c)) return false;
+  bool has_object = false;
+  bool has_ta = false;
+  for (int col : cols) {
+    has_object |= NameIs(scan.schema, col, "object");
+    has_ta |= NameIs(scan.schema, col, "ta");
+  }
+  return has_object && has_ta;
+}
+
+Result<LockSetKind> ClassifyLockCte(const SqlNode& cte, const Tables& t) {
+  if (IsWLockSet(cte, t)) return LockSetKind::kWLocks;
+  if (IsRLockSet(cte, t)) return LockSetKind::kRLocks;
+  return Unsupported("CTE is neither a write-lock nor a read-lock set");
+}
+
+// --- blocked-branch classification -------------------------------------
+
+struct Ctes {
+  const std::vector<std::unique_ptr<SqlNode>>* plans;
+
+  Result<const SqlNode*> Resolve(int index) const {
+    if (index < 0 || index >= static_cast<int>(plans->size())) {
+      return Unsupported("CteScan references an unknown CTE");
+    }
+    return (*plans)[static_cast<size_t>(index)].get();
+  }
+};
+
+/// Peels `Filter (operation = 'w') <- Scan requests` / bare `Scan requests`.
+/// Returns the scan, setting `writes_only`; null if another shape.
+const SqlNode* PeelRequestsSide(const SqlNode& node, const Tables& t,
+                                bool* writes_only) {
+  *writes_only = false;
+  const SqlNode* cur = &node;
+  if (cur->kind == SqlNode::Kind::kFilter) {
+    const SqlNode& scan = *cur->children[0];
+    if (!IsScanOf(scan, t.requests)) return nullptr;
+    for (const BoundExpr* c : Conjuncts(cur->predicate.get())) {
+      if (!IsNamedStringEq(*c, scan.schema, 0, "operation", "w")) return nullptr;
+      *writes_only = true;
+    }
+    return &scan;
+  }
+  return IsScanOf(*cur, t.requests) ? cur : nullptr;
+}
+
+Result<ConflictRules> ClassifyBlockedBranch(const SqlNode& branch,
+                                            const Ctes& ctes, const Tables& t);
+
+/// Resolves a branch wrapper: Project [ta, intrata] and CteScan indirection
+/// down to the underlying join, then classifies it.
+Result<ConflictRules> ClassifyBranchNode(const SqlNode& node, const Ctes& ctes,
+                                         const Tables& t) {
+  if (node.kind == SqlNode::Kind::kCteScan) {
+    DS_ASSIGN_OR_RETURN(const SqlNode* resolved, ctes.Resolve(node.cte_index));
+    return ClassifyBranchNode(*resolved, ctes, t);
+  }
+  if (node.kind == SqlNode::Kind::kProject) {
+    std::vector<int> cols;
+    const SqlNode* child = PeelColProject(node, &cols);
+    if (child == nullptr || cols.size() != 2 ||
+        !NameIs(child->schema, cols[0], "ta") ||
+        !NameIs(child->schema, cols[1], "intrata")) {
+      return Unsupported("blocked branch does not project (ta, intrata)");
+    }
+    if (child->kind == SqlNode::Kind::kCteScan) {
+      return ClassifyBranchNode(*child, ctes, t);
+    }
+    return ClassifyBlockedBranch(node, ctes, t);
+  }
+  return ClassifyBlockedBranch(node, ctes, t);
+}
+
+/// Classifies one blocked-operation branch:
+///   Project [ta, intrata] <- Join(requests[, op='w'] x lock-set CTE)
+///     on object, residual ta <> ta                      (lock conflicts)
+///   Project [ta, intrata] <- Join(requests x requests)
+///     on object, residual ta > ta [and write-side tests] (pending-pending)
+Result<ConflictRules> ClassifyBlockedBranch(const SqlNode& branch,
+                                            const Ctes& ctes, const Tables& t) {
+  std::vector<int> proj_cols;
+  const SqlNode* join = PeelColProject(branch, &proj_cols);
+  if (join == nullptr || proj_cols.size() != 2) {
+    return Unsupported("blocked branch does not project two columns");
+  }
+  if (join->kind != SqlNode::Kind::kHashJoin &&
+      join->kind != SqlNode::Kind::kNestedLoopJoin) {
+    return Unsupported("blocked branch is not a join");
+  }
+  if (join->left_outer) return Unsupported("blocked branch join is outer");
+  bool left_w = false;
+  const SqlNode* left_scan = PeelRequestsSide(*join->children[0], t, &left_w);
+  if (left_scan == nullptr) {
+    return Unsupported("blocked branch left side is not the requests relation");
+  }
+  const int left_width = static_cast<int>(join->children[0]->schema.size());
+
+  // Both columns of the projection must come from one side — the blocked
+  // side the branch derives (ta, intrata) of.
+  const bool proj_left = proj_cols[0] < left_width && proj_cols[1] < left_width;
+  const bool proj_right =
+      proj_cols[0] >= left_width && proj_cols[1] >= left_width;
+  if (!proj_left && !proj_right) {
+    return Unsupported("blocked branch projects columns of both join sides");
+  }
+  if (!NameIs(join->schema, proj_cols[0], "ta") ||
+      !NameIs(join->schema, proj_cols[1], "intrata")) {
+    return Unsupported("blocked branch does not project (ta, intrata)");
+  }
+
+  // The join must pair the object columns.
+  if (join->left_keys.size() != 1 || join->right_keys.size() != 1) {
+    return Unsupported("blocked branch join is not a single-key object join");
+  }
+  int lkey = -1;
+  int rkey = -1;
+  if (!IsColRef(*join->left_keys[0], &lkey) ||
+      !IsColRef(*join->right_keys[0], &rkey) ||
+      !NameIs(join->children[0]->schema, lkey, "object") ||
+      !NameIs(join->children[1]->schema, rkey, "object")) {
+    return Unsupported("blocked branch does not join on object");
+  }
+
+  const SqlNode& right = *join->children[1];
+
+  // Case 1: requests x lock-set CTE.
+  if (right.kind == SqlNode::Kind::kCteScan) {
+    if (!proj_left) {
+      return Unsupported("lock conflict branch projects the lock side");
+    }
+    DS_ASSIGN_OR_RETURN(const SqlNode* cte, ctes.Resolve(right.cte_index));
+    DS_ASSIGN_OR_RETURN(LockSetKind lock_kind, ClassifyLockCte(*cte, t));
+    // Residual: exactly `requests.ta <> lockset.ta`.
+    const std::vector<const BoundExpr*> residual =
+        Conjuncts(join->predicate.get());
+    if (residual.size() != 1) {
+      return Unsupported("lock conflict branch has an unexpected residual");
+    }
+    ColColCompare ne;
+    if (!MatchColCol(*residual[0], &ne) || ne.op != sql::BinOp::kNe ||
+        !NameIs(join->schema, ne.lhs_col, "ta") ||
+        !NameIs(join->schema, ne.rhs_col, "ta") ||
+        (ne.lhs_col < left_width) == (ne.rhs_col < left_width)) {
+      return Unsupported("lock conflict branch lacks the ta <> ta test");
+    }
+    ConflictRules rules;
+    if (lock_kind == LockSetKind::kWLocks) {
+      (left_w ? rules.wlock_blocks_writes : rules.wlock_blocks_all) = true;
+    } else {
+      if (!left_w) {
+        return Unsupported("read locks blocking non-writes has no IR form");
+      }
+      rules.rlock_blocks_writes = true;
+    }
+    return rules;
+  }
+
+  // Case 2: requests x requests (pending-pending ordering conflicts).
+  bool right_w = false;
+  if (PeelRequestsSide(right, t, &right_w) == nullptr) {
+    return Unsupported("blocked branch right side is not requests or a CTE");
+  }
+  bool blocked_w = proj_left ? left_w : right_w;  // blocked side writes only
+  bool other_w = proj_left ? right_w : left_w;    // older side writes only
+  bool either_w = false;                          // OR of both write tests
+  bool have_order = false;
+  for (const BoundExpr* c : Conjuncts(join->predicate.get())) {
+    ColColCompare cmp;
+    if (MatchColCol(*c, &cmp) && NameIs(join->schema, cmp.lhs_col, "ta") &&
+        NameIs(join->schema, cmp.rhs_col, "ta") &&
+        (cmp.op == sql::BinOp::kGt || cmp.op == sql::BinOp::kLt)) {
+      // Normalize to greater-side on the left of kGt.
+      const int greater = cmp.op == sql::BinOp::kGt ? cmp.lhs_col : cmp.rhs_col;
+      const bool greater_left = greater < left_width;
+      if (greater_left != proj_left) {
+        return Unsupported("pending conflict blocks the older request");
+      }
+      have_order = true;
+      continue;
+    }
+    // ((older.operation = 'w') OR (blocked.operation = 'w')) — both sides.
+    const std::vector<const BoundExpr*> ds = Disjuncts(c);
+    if (ds.size() == 2) {
+      bool saw_left = false;
+      bool saw_right = false;
+      for (const BoundExpr* d : ds) {
+        ColConstCompare cc;
+        std::string s;
+        if (MatchColConst(*d, &cc) && cc.op == sql::BinOp::kEq &&
+            NameIs(join->schema, cc.col, "operation") &&
+            cc.value.type() == storage::ValueType::kString &&
+            EqualsIgnoreCase(cc.value.AsString(), "w")) {
+          (cc.col < left_width ? saw_left : saw_right) = true;
+        }
+      }
+      if (saw_left && saw_right) {
+        either_w = true;
+        continue;
+      }
+    }
+    return Unsupported("pending conflict residual has an unexpected conjunct");
+  }
+  if (!have_order) {
+    return Unsupported("pending conflict lacks the ta ordering test");
+  }
+  ConflictRules rules;
+  if (either_w) {
+    if (blocked_w || other_w) {
+      return Unsupported("pending conflict mixes OR and per-side write tests");
+    }
+    rules.pending_write_blocks_all = true;
+    rules.pending_any_blocks_writes = true;
+  } else if (blocked_w && other_w) {
+    rules.pending_write_blocks_writes = true;
+  } else if (other_w) {
+    rules.pending_write_blocks_all = true;
+  } else if (blocked_w) {
+    rules.pending_any_blocks_writes = true;
+  } else {
+    return Unsupported("pending conflict with no write test has no IR form");
+  }
+  return rules;
+}
+
+/// Flattens the EXCEPT's right side through UnionAll / CteScan / trivial
+/// (ta, intrata) projections into the individual blocked branches.
+Status FlattenBlockedBranches(const SqlNode& node, const Ctes& ctes,
+                              const Tables& t, ConflictRules* rules) {
+  if (node.kind == SqlNode::Kind::kUnionAll) {
+    DS_RETURN_NOT_OK(FlattenBlockedBranches(*node.children[0], ctes, t, rules));
+    return FlattenBlockedBranches(*node.children[1], ctes, t, rules);
+  }
+  if (node.kind == SqlNode::Kind::kCteScan) {
+    DS_ASSIGN_OR_RETURN(const SqlNode* resolved, ctes.Resolve(node.cte_index));
+    return FlattenBlockedBranches(*resolved, ctes, t, rules);
+  }
+  if (node.kind == SqlNode::Kind::kProject) {
+    // Either a pass-through wrapper over a CteScan / UnionAll, or the
+    // branch's own projection — ClassifyBranchNode tells them apart.
+    std::vector<int> cols;
+    const SqlNode* child = PeelColProject(node, &cols);
+    if (child != nullptr && (child->kind == SqlNode::Kind::kCteScan ||
+                             child->kind == SqlNode::Kind::kUnionAll)) {
+      if (cols.size() != 2 || !NameIs(child->schema, cols[0], "ta") ||
+          !NameIs(child->schema, cols[1], "intrata")) {
+        return Unsupported("blocked union projects something besides "
+                           "(ta, intrata)");
+      }
+      return FlattenBlockedBranches(*child, ctes, t, rules);
+    }
+  }
+  DS_ASSIGN_OR_RETURN(ConflictRules branch, ClassifyBranchNode(node, ctes, t));
+  rules->Merge(branch);
+  return Status::OK();
+}
+
+/// The qualified-operations CTE: (SELECT ta, intrata FROM requests) EXCEPT
+/// (union of blocked branches). Returns the merged conflict rules.
+Result<ConflictRules> ClassifyQualifiedCte(const SqlNode& cte, const Ctes& ctes,
+                                           const Tables& t) {
+  if (cte.kind != SqlNode::Kind::kExcept) {
+    return Unsupported("qualified CTE is not an EXCEPT");
+  }
+  std::vector<int> cols;
+  const SqlNode* left = PeelColProject(*cte.children[0], &cols);
+  if (left == nullptr || !IsScanOf(*left, t.requests) || cols.size() != 2 ||
+      !NameIs(left->schema, cols[0], "ta") ||
+      !NameIs(left->schema, cols[1], "intrata")) {
+    return Unsupported("EXCEPT left side is not (ta, intrata) of requests");
+  }
+  ConflictRules rules;
+  DS_RETURN_NOT_OK(FlattenBlockedBranches(*cte.children[1], ctes, t, &rules));
+  if (!rules.Any()) return Unsupported("EXCEPT right side blocks nothing");
+  return rules;
+}
+
+// --- throttled-tenant subquery ------------------------------------------
+
+/// SELECT tenant FROM tenants WHERE (cap > 0 AND inflight >= cap) OR
+/// (rate > 0 AND tokens <= 0) — the TenantAcct::Throttled() predicate.
+bool IsThrottledTenantSubquery(const SqlNode& plan, const Tables& t) {
+  std::vector<int> cols;
+  const SqlNode* filter = PeelColProject(plan, &cols);
+  if (filter == nullptr || cols.size() != 1 ||
+      filter->kind != SqlNode::Kind::kFilter) {
+    return false;
+  }
+  const SqlNode& scan = *filter->children[0];
+  if (!IsScanOf(scan, t.tenants) || !NameIs(scan.schema, cols[0], "tenant")) {
+    return false;
+  }
+  bool cap_branch = false;
+  bool rate_branch = false;
+  for (const BoundExpr* d : Disjuncts(filter->predicate.get())) {
+    bool gt_zero_cap = false;
+    bool gt_zero_rate = false;
+    bool inflight_ge_cap = false;
+    bool tokens_le_zero = false;
+    for (const BoundExpr* c : Conjuncts(d)) {
+      ColConstCompare cc;
+      ColColCompare cols_cmp;
+      int64_t v = 0;
+      if (MatchColConst(*c, &cc) &&
+          cc.value.type() == storage::ValueType::kInt64) {
+        v = cc.value.AsInt64();
+        if (v == 0 && cc.op == sql::BinOp::kGt) {
+          gt_zero_cap |= NameIs(scan.schema, cc.col, "cap");
+          gt_zero_rate |= NameIs(scan.schema, cc.col, "rate");
+          continue;
+        }
+        if (v == 0 && cc.op == sql::BinOp::kLe &&
+            NameIs(scan.schema, cc.col, "tokens")) {
+          tokens_le_zero = true;
+          continue;
+        }
+      }
+      if (MatchColCol(*c, &cols_cmp)) {
+        const bool ge = cols_cmp.op == sql::BinOp::kGe &&
+                        NameIs(scan.schema, cols_cmp.lhs_col, "inflight") &&
+                        NameIs(scan.schema, cols_cmp.rhs_col, "cap");
+        const bool le = cols_cmp.op == sql::BinOp::kLe &&
+                        NameIs(scan.schema, cols_cmp.lhs_col, "cap") &&
+                        NameIs(scan.schema, cols_cmp.rhs_col, "inflight");
+        if (ge || le) {
+          inflight_ge_cap = true;
+          continue;
+        }
+      }
+      return false;
+    }
+    if (gt_zero_cap && inflight_ge_cap && !gt_zero_rate && !tokens_le_zero) {
+      cap_branch = true;
+    } else if (gt_zero_rate && tokens_le_zero && !gt_zero_cap &&
+               !inflight_ge_cap) {
+      rate_branch = true;
+    } else {
+      return false;
+    }
+  }
+  return cap_branch && rate_branch;
+}
+
+// --- generic typed predicates over the requests scan --------------------
+
+Result<RequestField> FieldByName(const std::string& name) {
+  if (name == "id") return RequestField::kId;
+  if (name == "ta") return RequestField::kTa;
+  if (name == "intrata") return RequestField::kIntrata;
+  if (name == "object") return RequestField::kObject;
+  if (name == "priority") return RequestField::kPriority;
+  if (name == "deadline") return RequestField::kDeadline;
+  if (name == "arrival") return RequestField::kArrival;
+  if (name == "client") return RequestField::kClient;
+  if (name == "tenant") return RequestField::kTenant;
+  if (name == "operation") return RequestField::kOperation;
+  return Unsupported("no typed request field named '" + name + "'");
+}
+
+CompareKind ToCompareKind(sql::BinOp op) {
+  switch (op) {
+    case sql::BinOp::kEq: return CompareKind::kEq;
+    case sql::BinOp::kNe: return CompareKind::kNe;
+    case sql::BinOp::kLt: return CompareKind::kLt;
+    case sql::BinOp::kLe: return CompareKind::kLe;
+    case sql::BinOp::kGt: return CompareKind::kGt;
+    default: return CompareKind::kGe;
+  }
+}
+
+Status LowerScanPredicates(const BoundExpr* predicate, const OutSchema& schema,
+                           std::vector<FieldPredicate>* out) {
+  for (const BoundExpr* c : Conjuncts(predicate)) {
+    ColConstCompare cc;
+    if (!MatchColConst(*c, &cc)) {
+      return Unsupported("WHERE conjunct is not column-vs-constant");
+    }
+    FieldPredicate pred;
+    DS_ASSIGN_OR_RETURN(pred.field, FieldByName(LowerName(schema, cc.col)));
+    pred.cmp = ToCompareKind(cc.op);
+    if (pred.field == RequestField::kOperation) {
+      if (cc.value.type() != storage::ValueType::kString ||
+          (pred.cmp != CompareKind::kEq && pred.cmp != CompareKind::kNe)) {
+        return Unsupported("operation predicates support = / <> of a string");
+      }
+      const std::string& s = cc.value.AsString();
+      if (s != "r" && s != "w" && s != "a" && s != "c") {
+        return Unsupported("unknown operation constant '" + s + "'");
+      }
+      pred.op_value = RequestStore::ParseOperation(s);
+    } else if (cc.value.type() == storage::ValueType::kInt64) {
+      pred.value = cc.value.AsInt64();
+    } else {
+      return Unsupported("typed predicates compare against integers");
+    }
+    out->push_back(pred);
+  }
+  return Status::OK();
+}
+
+// --- rank-key resolution ------------------------------------------------
+
+Result<RankSource> RankSourceByName(const std::string& name) {
+  if (name == "id") return RankSource::kId;
+  if (name == "priority") return RankSource::kPriority;
+  if (name == "deadline") return RankSource::kDeadline;
+  if (name == "tenant") return RankSource::kTenant;
+  if (name == "vtime") return RankSource::kTenantVtime;
+  if (name == "round") return RankSource::kTenantRound;
+  return Unsupported("ORDER BY column '" + name + "' is not a rank source");
+}
+
+/// Resolves one ORDER BY key bound over the final projection: a column ref
+/// through the projection to its source column, or the EDF CASE WHEN
+/// deadline = 0 THEN 1 ELSE 0 idiom.
+Result<RankSource> ResolveSortKey(const BoundExpr& expr, const SqlNode& project,
+                                  const SqlNode& below) {
+  int out_col = -1;
+  if (IsColRef(expr, &out_col)) {
+    if (out_col < 0 || out_col >= static_cast<int>(project.exprs.size())) {
+      return Unsupported("ORDER BY references an unknown output column");
+    }
+    int src = -1;
+    if (!IsColRef(*project.exprs[static_cast<size_t>(out_col)], &src)) {
+      return Unsupported("ORDER BY column is not a plain projection");
+    }
+    return RankSourceByName(LowerName(below.schema, src));
+  }
+  if (expr.kind == BoundKind::kCase && !expr.case_has_operand &&
+      expr.case_has_else && expr.children.size() == 3) {
+    // CASE WHEN deadline = 0 THEN 1 ELSE 0 END: no-deadline-last.
+    const BoundExpr& when = *expr.children[0];
+    int64_t then_v = 0;
+    int64_t else_v = 0;
+    ColConstCompare cc;
+    if (MatchColConst(when, &cc) && cc.op == sql::BinOp::kEq &&
+        cc.value.type() == storage::ValueType::kInt64 &&
+        cc.value.AsInt64() == 0 && IsIntConst(*expr.children[1], &then_v) &&
+        IsIntConst(*expr.children[2], &else_v) && then_v == 1 && else_v == 0) {
+      int src = -1;
+      if (cc.col >= 0 && cc.col < static_cast<int>(project.exprs.size()) &&
+          IsColRef(*project.exprs[static_cast<size_t>(cc.col)], &src) &&
+          NameIs(below.schema, src, "deadline")) {
+        return RankSource::kDeadlineIsZero;
+      }
+    }
+  }
+  return Unsupported("ORDER BY key is not a recognized rank expression");
+}
+
+}  // namespace
+
+Result<ProtocolPlan> LowerSqlPlan(const sql::PreparedPlan& plan,
+                                  const storage::Catalog& catalog,
+                                  bool ordered) {
+  Tables t;
+  t.requests = catalog.GetTable("requests");
+  t.history = catalog.GetTable("history");
+  t.tenants = catalog.GetTable("tenants");
+  if (t.requests == nullptr) {
+    return Unsupported("catalog has no requests relation");
+  }
+  Ctes ctes{&plan.cte_plans};
+
+  const SqlNode* node = plan.root.get();
+  if (node == nullptr) return Unsupported("empty plan");
+
+  // Peel the statement-level operators: LIMIT and ORDER BY.
+  int64_t limit = -1;
+  const SqlNode* sort = nullptr;
+  while (node->kind == SqlNode::Kind::kLimit ||
+         node->kind == SqlNode::Kind::kSort) {
+    if (node->kind == SqlNode::Kind::kLimit) {
+      if (limit >= 0 || sort != nullptr) {
+        return Unsupported("unexpected LIMIT placement");
+      }
+      limit = node->limit;
+    } else {
+      if (sort != nullptr) return Unsupported("nested sorts");
+      sort = node;
+    }
+    node = node->children[0].get();
+  }
+
+  if (node->kind != SqlNode::Kind::kProject) {
+    return Unsupported("statement does not project the request columns");
+  }
+  const SqlNode& project = *node;
+  node = project.children[0].get();
+
+  // Optional throttled-tenant NOT IN filter(s) above the joins; any other
+  // filter here is a plain WHERE over the requests scan and is handled by
+  // the pipeline walk below.
+  bool throttle = false;
+  while (node->kind == SqlNode::Kind::kFilter &&
+         node->predicate->kind == BoundKind::kInSubquery) {
+    const BoundExpr& pred = *node->predicate;
+    if (!pred.negated || pred.subquery == nullptr ||
+        pred.subquery->correlated || pred.subquery->plan == nullptr) {
+      return Unsupported("IN-subquery filter is not a NOT IN tenants subquery");
+    }
+    int col = -1;
+    if (!IsColRef(*pred.children[0], &col) ||
+        !NameIs(node->children[0]->schema, col, "tenant") ||
+        !IsThrottledTenantSubquery(*pred.subquery->plan, t)) {
+      return Unsupported("NOT IN subquery is not the throttled-tenant set");
+    }
+    throttle = true;
+    node = node->children[0].get();
+  }
+
+  // The join pipeline down to the requests scan.
+  bool tenant_join = false;
+  bool have_lock_join = false;
+  ConflictRules rules;
+  std::vector<FieldPredicate> scan_predicates;
+  const SqlNode* below_project = project.children[0].get();
+  while (true) {
+    if (node->kind == SqlNode::Kind::kHashJoin ||
+        node->kind == SqlNode::Kind::kNestedLoopJoin) {
+      if (node->left_outer || node->predicate != nullptr) {
+        return Unsupported("outer or residual-carrying join in the pipeline");
+      }
+      const SqlNode& right = *node->children[1];
+      const SqlNode& left = *node->children[0];
+      if (IsScanOf(right, t.tenants)) {
+        if (tenant_join) return Unsupported("repeated tenants join");
+        int lkey = -1;
+        int rkey = -1;
+        if (node->left_keys.size() != 1 || node->right_keys.size() != 1 ||
+            !IsColRef(*node->left_keys[0], &lkey) ||
+            !IsColRef(*node->right_keys[0], &rkey) ||
+            !NameIs(left.schema, lkey, "tenant") ||
+            !NameIs(right.schema, rkey, "tenant")) {
+          return Unsupported("tenants join is not on the tenant column");
+        }
+        tenant_join = true;
+        node = node->children[0].get();
+        continue;
+      }
+      if (right.kind == SqlNode::Kind::kCteScan) {
+        if (have_lock_join) return Unsupported("repeated qualified-set join");
+        // Keys must pair (ta, intrata) with the qualified set.
+        if (node->left_keys.size() != 2 || node->right_keys.size() != 2) {
+          return Unsupported("qualified-set join needs (ta, intrata) keys");
+        }
+        bool ta_ok = false;
+        bool intrata_ok = false;
+        for (size_t k = 0; k < 2; ++k) {
+          int lkey = -1;
+          int rkey = -1;
+          if (!IsColRef(*node->left_keys[k], &lkey) ||
+              !IsColRef(*node->right_keys[k], &rkey)) {
+            return Unsupported("qualified-set join keys are not columns");
+          }
+          const std::string lname = LowerName(left.schema, lkey);
+          if (lname != LowerName(right.schema, rkey)) {
+            return Unsupported("qualified-set join pairs mismatched columns");
+          }
+          ta_ok |= lname == "ta";
+          intrata_ok |= lname == "intrata";
+        }
+        if (!ta_ok || !intrata_ok) {
+          return Unsupported("qualified-set join is not on (ta, intrata)");
+        }
+        DS_ASSIGN_OR_RETURN(const SqlNode* cte, ctes.Resolve(right.cte_index));
+        DS_ASSIGN_OR_RETURN(rules, ClassifyQualifiedCte(*cte, ctes, t));
+        have_lock_join = true;
+        node = node->children[0].get();
+        continue;
+      }
+      return Unsupported("join against an unrecognized relation");
+    }
+    if (node->kind == SqlNode::Kind::kFilter) {
+      // A filter's schema equals its input's; the pipeline must still
+      // bottom out at the requests scan (checked after the loop), which
+      // is what makes the column names below requests fields.
+      DS_RETURN_NOT_OK(LowerScanPredicates(node->predicate.get(),
+                                           node->schema, &scan_predicates));
+      node = node->children[0].get();
+      continue;
+    }
+    break;
+  }
+  if (!IsScanOf(*node, t.requests)) {
+    return Unsupported("pipeline does not bottom out at the requests scan");
+  }
+
+  // The projection must pass the Table 2 columns through in order (the
+  // requests scan is the leftmost leaf, so combined columns 0..4 are its
+  // id, ta, intrata, operation, object).
+  static constexpr const char* kCore[] = {"id", "ta", "intrata", "operation",
+                                          "object"};
+  if (project.exprs.size() < 5) {
+    return Unsupported("projection lacks the five request columns");
+  }
+  for (int i = 0; i < 5; ++i) {
+    int col = -1;
+    if (!IsColRef(*project.exprs[static_cast<size_t>(i)], &col) || col != i ||
+        !NameIs(below_project->schema, col, kCore[static_cast<size_t>(i)])) {
+      return Unsupported("projection does not pass the request columns "
+                         "through in order");
+    }
+  }
+
+  // Resolve ORDER BY into rank keys.
+  std::vector<RankKey> keys;
+  if (sort != nullptr) {
+    for (const sql::SortKey& key : sort->sort_keys) {
+      if (key.desc) return Unsupported("descending ORDER BY");
+      DS_ASSIGN_OR_RETURN(RankSource source,
+                          ResolveSortKey(*key.expr, project, *below_project));
+      if (source == RankSource::kTenantVtime ||
+          source == RankSource::kTenantRound) {
+        if (!tenant_join) {
+          return Unsupported("fairness rank key without a tenants join");
+        }
+      }
+      keys.push_back(RankKey{source});
+    }
+    if (ordered && (keys.empty() || keys.back().source != RankSource::kId)) {
+      // Without a trailing unique key the SQL engine's sort order is not
+      // total, so the compiled order could diverge from the interpreter's.
+      return Unsupported("ordered protocol lacks a trailing id sort key");
+    }
+  } else if (ordered) {
+    return Unsupported("ordered protocol without an ORDER BY");
+  }
+
+  // Assemble the pipeline, scan first.
+  ProtocolPlan out;
+  out.source = "sql";
+  out.ordered = ordered;
+  auto scan = PlanNode::Make(PlanNode::Kind::kScanPending);
+  std::unique_ptr<PlanNode> chain = std::move(scan);
+  if (!scan_predicates.empty()) {
+    auto filter = PlanNode::Make(PlanNode::Kind::kFilter);
+    filter->predicates = std::move(scan_predicates);
+    filter->input = std::move(chain);
+    chain = std::move(filter);
+  }
+  if (have_lock_join) {
+    auto anti = PlanNode::Make(PlanNode::Kind::kLockAntiJoin);
+    anti->conflicts = rules;
+    anti->input = std::move(chain);
+    chain = std::move(anti);
+  }
+  if (throttle) {
+    auto anti = PlanNode::Make(PlanNode::Kind::kThrottleAntiJoin);
+    anti->input = std::move(chain);
+    chain = std::move(anti);
+  }
+  if (tenant_join) {
+    auto join = PlanNode::Make(PlanNode::Kind::kTenantJoin);
+    join->left_outer = false;  // SQL inner join drops unknown tenants
+    join->input = std::move(chain);
+    chain = std::move(join);
+  }
+  if (!keys.empty()) {
+    auto rank = PlanNode::Make(PlanNode::Kind::kRank);
+    rank->keys = std::move(keys);
+    rank->input = std::move(chain);
+    chain = std::move(rank);
+  }
+  if (limit >= 0) {
+    auto lim = PlanNode::Make(PlanNode::Kind::kLimit);
+    lim->limit = limit;
+    lim->input = std::move(chain);
+    chain = std::move(lim);
+  }
+  out.root = std::move(chain);
+  return out;
+}
+
+Result<ProtocolPlan> LowerSqlSpec(const ProtocolSpec& spec,
+                                  const storage::Catalog& catalog) {
+  DS_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                      sql::ParseSelect(spec.text));
+  DS_ASSIGN_OR_RETURN(sql::PreparedPlan plan,
+                      sql::PlanSelectStatement(catalog, *stmt));
+  DS_ASSIGN_OR_RETURN(ProtocolPlan lowered,
+                      LowerSqlPlan(plan, catalog, spec.ordered));
+  OptimizePlan(&lowered);
+  return lowered;
+}
+
+}  // namespace declsched::scheduler::ir

@@ -1,0 +1,49 @@
+// LowerSqlPlan: SQL front-end of the protocol IR.
+//
+// Takes the sql::Planner's physical plan for a protocol SELECT and lowers
+// it into a ProtocolPlan by recognizing the relational idioms the protocol
+// dialect is built from (the paper's Listing 1 family):
+//
+//   * the lock-set CTEs over `history` (write locks via the finished-TA
+//     anti-join, read locks via the decorrelated NOT EXISTS with the
+//     wrote-suppression rule);
+//   * the blocked-operation branches (requests x lock set joined on object
+//     with a ta inequality; requests x requests pending-pending ordering
+//     conflicts), unioned and EXCEPTed against the pending relation;
+//   * the final join of `requests` back onto the qualified set, optional
+//     `tenants` join for fairness keys, the throttled-tenant NOT IN
+//     anti-join, ORDER BY over request/tenant columns, LIMIT, and plain
+//     WHERE conjuncts over request columns.
+//
+// Recognition is structural and name-driven (operator shapes plus the
+// bound column names the planner carries), not text matching: any SELECT
+// the planner lays out in these shapes lowers, wherever it came from.
+// Everything else returns Unsupported and the SQL backend falls back to
+// the interpreted engine — compilation is an optimization, never a
+// semantics change.
+
+#ifndef DECLSCHED_SCHEDULER_IR_LOWER_SQL_H_
+#define DECLSCHED_SCHEDULER_IR_LOWER_SQL_H_
+
+#include "common/result.h"
+#include "scheduler/ir/protocol_plan.h"
+#include "scheduler/protocol.h"
+#include "sql/plan.h"
+
+namespace declsched::scheduler::ir {
+
+/// Lowers a planned protocol SELECT. `ordered` comes from the spec: when
+/// false the rank nodes the query's ORDER BY produced are advisory only
+/// (the protocol dispatches by id) and the optimizer may drop them.
+Result<ProtocolPlan> LowerSqlPlan(const sql::PreparedPlan& plan,
+                                  const storage::Catalog& catalog,
+                                  bool ordered);
+
+/// Parses, plans, lowers and optimizes `spec.text` against `catalog`.
+/// The one-call form the SQL backend and ExplainProtocol() use.
+Result<ProtocolPlan> LowerSqlSpec(const ProtocolSpec& spec,
+                                  const storage::Catalog& catalog);
+
+}  // namespace declsched::scheduler::ir
+
+#endif  // DECLSCHED_SCHEDULER_IR_LOWER_SQL_H_

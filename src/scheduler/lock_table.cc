@@ -38,7 +38,8 @@ bool ContainsObject(const std::vector<ObjectId>& objects, ObjectId object) {
   return std::find(objects.begin(), objects.end(), object) != objects.end();
 }
 
-/// True if any transaction other than `self` appears in the lock set.
+}  // namespace
+
 bool LockedByOther(
     const std::unordered_map<ObjectId, std::vector<TxnId>>& locks,
     ObjectId object, TxnId self) {
@@ -50,36 +51,23 @@ bool LockedByOther(
   return false;
 }
 
-/// Per-object oldest pending transaction (any op / writes only), the native
-/// form of the declarative pending-pending conflict rules: a request is
-/// blocked by any strictly older pending request on its object when either
-/// side is a write.
-struct PendingConflicts {
-  std::unordered_map<ObjectId, TxnId> oldest_any;
-  std::unordered_map<ObjectId, TxnId> oldest_write;
-
-  explicit PendingConflicts(const RequestBatch& pending) {
-    for (const Request& r : pending) {
-      auto [it, inserted] = oldest_any.emplace(r.object, r.ta);
-      if (!inserted && r.ta < it->second) it->second = r.ta;
-      if (r.op == txn::OpType::kWrite) {
-        auto [wit, winserted] = oldest_write.emplace(r.object, r.ta);
-        if (!winserted && r.ta < wit->second) wit->second = r.ta;
-      }
-    }
+void PendingConflicts::Add(const Request& r) {
+  auto [it, inserted] = oldest_any.emplace(r.object, r.ta);
+  if (!inserted && r.ta < it->second) it->second = r.ta;
+  if (r.op == txn::OpType::kWrite) {
+    auto [wit, winserted] = oldest_write.emplace(r.object, r.ta);
+    if (!winserted && r.ta < wit->second) wit->second = r.ta;
   }
+}
 
-  bool OlderWriteExists(const Request& r) const {
-    auto it = oldest_write.find(r.object);
-    return it != oldest_write.end() && it->second < r.ta;
-  }
-  bool OlderRequestExists(const Request& r) const {
-    auto it = oldest_any.find(r.object);
-    return it != oldest_any.end() && it->second < r.ta;
-  }
-};
+PendingConflicts::PendingConflicts(const RequestBatch& pending) {
+  for (const Request& r : pending) Add(r);
+}
 
-}  // namespace
+PendingConflicts::PendingConflicts(
+    const std::map<int64_t, Request>& pending_by_id) {
+  for (const auto& [id, r] : pending_by_id) Add(r);
+}
 
 LockTable BuildLockTableRestricted(
     RequestStore* store, const std::unordered_set<ObjectId>* relevant) {

@@ -27,6 +27,7 @@
 #ifndef DECLSCHED_SCHEDULER_LOCK_TABLE_H_
 #define DECLSCHED_SCHEDULER_LOCK_TABLE_H_
 
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -124,6 +125,37 @@ class LockTableState {
   int64_t full_rebuilds_ = 0;
   int64_t deltas_applied_ = 0;
 };
+
+/// Per-object oldest pending transaction (any op / writes only) — the
+/// native form of the declarative pending-pending conflict rules: a request
+/// is blocked by any strictly older pending request on its object when
+/// either side is a write. Built once per qualification pass from the full
+/// pending set; shared by the native filter functions and the IR executor.
+struct PendingConflicts {
+  std::unordered_map<txn::ObjectId, txn::TxnId> oldest_any;
+  std::unordered_map<txn::ObjectId, txn::TxnId> oldest_write;
+
+  explicit PendingConflicts(const RequestBatch& pending);
+  /// Same derivation straight off the store's typed pending mirror.
+  explicit PendingConflicts(const std::map<int64_t, Request>& pending_by_id);
+
+  bool OlderWriteExists(const Request& r) const {
+    auto it = oldest_write.find(r.object);
+    return it != oldest_write.end() && it->second < r.ta;
+  }
+  bool OlderRequestExists(const Request& r) const {
+    auto it = oldest_any.find(r.object);
+    return it != oldest_any.end() && it->second < r.ta;
+  }
+
+ private:
+  void Add(const Request& r);
+};
+
+/// True if any transaction other than `self` appears in the lock set.
+bool LockedByOther(
+    const std::unordered_map<txn::ObjectId, std::vector<txn::TxnId>>& locks,
+    txn::ObjectId object, txn::TxnId self);
 
 /// SS2PL qualification: drops requests blocked by a lock of another
 /// transaction or by an older conflicting pending request. Pending-pending

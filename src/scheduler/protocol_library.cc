@@ -439,6 +439,15 @@ ProtocolSpec ComposedSs2plPriority(int64_t cap) {
   return spec;
 }
 
+ProtocolSpec InterpretedVariant(ProtocolSpec spec) {
+  if (spec.backend != "sql" && spec.backend != "datalog") return spec;
+  if (spec.text.rfind("interp:", 0) == 0) return spec;  // already forced
+  spec.name = "interp:" + spec.name;
+  spec.text = "interp:" + spec.text;
+  spec.description += " (interpreted oracle)";
+  return spec;
+}
+
 ProtocolRegistry ProtocolRegistry::BuiltIns() {
   ProtocolRegistry registry;
   for (const ProtocolSpec& spec :

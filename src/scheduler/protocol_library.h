@@ -83,6 +83,14 @@ ProtocolSpec ComposedReadCommittedEdf(int64_t cap = 0);
 /// cap — serializable SLA scheduling out of reusable stages.
 ProtocolSpec ComposedSs2plPriority(int64_t cap = 0);
 
+/// The interpreted-engine variant of a SQL or Datalog spec: same text and
+/// semantics, but evaluated by the interpreter instead of being lowered to
+/// the protocol IR ("interp:" text prefix; name prefixed the same way).
+/// The differential oracle the equivalence tests and benches run compiled
+/// variants against — the `scratch:ss2pl` precedent, for the declarative
+/// backends. Specs of other backends are returned unchanged.
+ProtocolSpec InterpretedVariant(ProtocolSpec spec);
+
 /// Name -> spec registry of every built-in; custom specs can be added.
 class ProtocolRegistry {
  public:

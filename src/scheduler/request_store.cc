@@ -386,59 +386,59 @@ const datalog::Database& RequestStore::BuildDatalogEdb() const {
   return edb_cache_;
 }
 
-Result<Request> RequestStore::RowToRequest(const storage::Row& row) const {
-  if (row.size() < 5) {
-    return Status::InvalidArgument("protocol result row needs >= 5 columns");
-  }
-  EnsureMirror();
-  Request request;
-  request.id = row[kColId].AsInt64();
-  request.ta = row[kColTa].AsInt64();
-  request.intrata = row[kColIntrata].AsInt64();
-  request.op = ParseOperation(row[kColOperation].AsString());
-  request.object = row[kColObject].AsInt64();
-  // Rejoin the metadata columns from the pending mirror (protocols only
-  // guarantee the Table 2 columns in their result).
-  auto it = pending_by_id_.find(request.id);
-  if (it != pending_by_id_.end()) {
-    request.priority = it->second.priority;
-    request.deadline = it->second.deadline;
-    request.arrival = it->second.arrival;
-    request.client = it->second.client;
-    request.tenant = it->second.tenant;
-  } else if (row.size() >= 10) {
-    request.priority = static_cast<int>(row[kColPriority].AsInt64());
-    request.deadline = SimTime::FromMicros(row[kColDeadline].AsInt64());
-    request.arrival = SimTime::FromMicros(row[kColArrival].AsInt64());
-    request.client = static_cast<int>(row[kColClient].AsInt64());
-    request.tenant = static_cast<int>(row[kColTenant].AsInt64());
-  }
-  return request;
-}
-
 Result<RequestBatch> RequestStore::RowsToRequests(
-    const std::vector<storage::Row>& rows) const {
+    const std::vector<storage::Row>& rows, const std::vector<int>& cols) const {
+  if (cols.size() != 5) {
+    return Status::InvalidArgument(
+        "RowsToRequests needs the five Table 2 column positions");
+  }
   EnsureMirror();
   RequestBatch batch;
   batch.reserve(rows.size());
   for (const storage::Row& row : rows) {
-    DS_ASSIGN_OR_RETURN(Request request, RowToRequest(row));
-    batch.push_back(std::move(request));
+    for (int col : cols) {
+      if (col < 0 || static_cast<size_t>(col) >= row.size()) {
+        return Status::InvalidArgument(
+            "protocol result row lacks the Table 2 columns");
+      }
+    }
+    Request request;
+    request.id = row[static_cast<size_t>(cols[0])].AsInt64();
+    request.ta = row[static_cast<size_t>(cols[1])].AsInt64();
+    request.intrata = row[static_cast<size_t>(cols[2])].AsInt64();
+    request.op = ParseOperation(row[static_cast<size_t>(cols[3])].AsString());
+    request.object = row[static_cast<size_t>(cols[4])].AsInt64();
+    // Rejoin the metadata columns from the pending mirror (protocols only
+    // guarantee the Table 2 columns in their result); rows carrying the
+    // full canonical layout fall back to their own columns.
+    auto it = pending_by_id_.find(request.id);
+    if (it != pending_by_id_.end()) {
+      request.priority = it->second.priority;
+      request.deadline = it->second.deadline;
+      request.arrival = it->second.arrival;
+      request.client = it->second.client;
+      request.tenant = it->second.tenant;
+    } else if (row.size() >= 10 && cols[0] == kColId && cols[1] == kColTa &&
+               cols[2] == kColIntrata && cols[3] == kColOperation &&
+               cols[4] == kColObject) {
+      // Only a fully canonical layout guarantees columns 5..9 really are
+      // the SLA metadata; a permuted schema must not decode garbage.
+      request.priority = static_cast<int>(row[kColPriority].AsInt64());
+      request.deadline = SimTime::FromMicros(row[kColDeadline].AsInt64());
+      request.arrival = SimTime::FromMicros(row[kColArrival].AsInt64());
+      request.client = static_cast<int>(row[kColClient].AsInt64());
+      request.tenant = static_cast<int>(row[kColTenant].AsInt64());
+    }
+    batch.push_back(request);
   }
   return batch;
 }
 
-void RequestStore::JoinSlaColumns(RequestBatch* batch) const {
-  EnsureMirror();
-  for (Request& request : *batch) {
-    auto it = pending_by_id_.find(request.id);
-    if (it == pending_by_id_.end()) continue;
-    request.priority = it->second.priority;
-    request.deadline = it->second.deadline;
-    request.arrival = it->second.arrival;
-    request.client = it->second.client;
-    request.tenant = it->second.tenant;
-  }
+Result<RequestBatch> RequestStore::RowsToRequests(
+    const std::vector<storage::Row>& rows) const {
+  static const std::vector<int> kCanonical = {kColId, kColTa, kColIntrata,
+                                              kColOperation, kColObject};
+  return RowsToRequests(rows, kCanonical);
 }
 
 }  // namespace declsched::scheduler

@@ -194,18 +194,16 @@ class RequestStore {
   /// reference is valid until the next mutation.
   const datalog::Database& BuildDatalogEdb() const;
 
-  /// Converts a result row (id, ta, intrata, operation, object [, ...]) back
-  /// into a Request, rejoining the SLA columns from the pending mirror.
-  Result<Request> RowToRequest(const storage::Row& row) const;
-
-  /// Batched RowToRequest for a whole SQL/Datalog result set: one pass, one
-  /// mirror join per row, no per-row Result plumbing.
+  /// The one row -> Request decode/join path shared by every interpreted
+  /// backend: converts result rows carrying the Table 2 columns
+  /// (id, ta, intrata, operation, object) into Requests, rejoining the SLA
+  /// columns from the typed pending mirror in the same pass. `cols` gives
+  /// the position of each Table 2 column in the result schema (the SQL
+  /// backend's by-name binding); the default overload is for results in
+  /// canonical column order (Datalog relations, raw table projections).
+  Result<RequestBatch> RowsToRequests(const std::vector<storage::Row>& rows,
+                                      const std::vector<int>& cols) const;
   Result<RequestBatch> RowsToRequests(const std::vector<storage::Row>& rows) const;
-
-  /// Fills priority/deadline/arrival/client of each request from the
-  /// pending mirror (by id); requests with unknown ids are left as-is. For
-  /// backends that already decoded the Table 2 columns themselves.
-  void JoinSlaColumns(RequestBatch* batch) const;
 
   /// Decodes the `operation` column ("r"/"w"/"a", anything else = commit) —
   /// the one mapping every consumer of these tables must share.

@@ -106,7 +106,7 @@ TEST(RequestStoreTest, DatalogEdbShapes) {
   EXPECT_EQ(edb["hist"][0][3].AsString(), "w");
 }
 
-TEST(RequestStoreTest, RowToRequestRejoinsSlaColumns) {
+TEST(RequestStoreTest, RowsToRequestsRejoinsSlaColumns) {
   RequestStore store;
   Request r = MakeRequest(1, 10, 1, txn::OpType::kRead, 5);
   r.priority = 2;
@@ -116,10 +116,28 @@ TEST(RequestStoreTest, RowToRequestRejoinsSlaColumns) {
   storage::Row core = {storage::Value::Int64(1), storage::Value::Int64(10),
                        storage::Value::Int64(1), storage::Value::String("r"),
                        storage::Value::Int64(5)};
-  auto back = store.RowToRequest(core);
+  auto back = store.RowsToRequests({core});
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(back->priority, 2);
-  EXPECT_EQ(back->deadline.micros(), 77000);
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].priority, 2);
+  EXPECT_EQ((*back)[0].deadline.micros(), 77000);
+}
+
+TEST(RequestStoreTest, RowsToRequestsHonorsColumnPositions) {
+  RequestStore store;
+  Request r = MakeRequest(1, 10, 1, txn::OpType::kRead, 5);
+  r.priority = 3;
+  ASSERT_TRUE(store.InsertPending({r}).ok());
+  // A result schema with the Table 2 columns shuffled (object first).
+  storage::Row shuffled = {storage::Value::Int64(5), storage::Value::Int64(1),
+                           storage::Value::Int64(10), storage::Value::Int64(1),
+                           storage::Value::String("r")};
+  auto back = store.RowsToRequests({shuffled}, {1, 2, 3, 4, 0});
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].id, 1);
+  EXPECT_EQ((*back)[0].object, 5);
+  EXPECT_EQ((*back)[0].priority, 3);
 }
 
 TEST(RequestStoreTest, GcRescansAfterOutOfBandHistoryEdit) {
