@@ -1,0 +1,161 @@
+// Network front-door load bench: end-to-end HTTP throughput and tail
+// latency over loopback, against an in-process FrontDoor (async epoll
+// server -> admission control -> sharded scheduler -> database server).
+//
+// Two phases, both through the poll()-multiplexed loadgen library:
+//
+//   closed loop — every connection keeps one request outstanding at the
+//     saturation point; gates sustained completed req/s and that the
+//     server holds the full keep-alive connection count concurrently
+//     (1024 connections in the full run, scaled down in --smoke);
+//   open loop — a fixed offered rate well under saturation; gates p99
+//     end-to-end latency. Open loop is the honest tail measurement: a
+//     slow response does not slow the request schedule down.
+//
+// Invariant gate (both phases): every request sent gets exactly one
+// response and no connection drops over loopback — the wire-level face of
+// "no admitted request is lost or double-dispatched".
+//
+// Thresholds are conservative: they assume a single-core CI container
+// running server, scheduler shards, and the load generator on the same
+// CPU. On real hardware the closed-loop number is an order of magnitude
+// higher.
+//
+// Flags: --smoke        small run + relaxed gates (CI-friendly)
+//        --json PATH    write one JSON row per phase to PATH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/front_door.h"
+#include "net/loadgen.h"
+#include "scheduler/protocol_library.h"
+
+namespace {
+
+using namespace declsched;             // NOLINT
+using namespace declsched::bench;      // NOLINT
+
+struct Phase {
+  std::string name;
+  net::LoadgenResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int closed_connections = smoke ? 128 : 1024;
+  const int64_t closed_ms = smoke ? 2000 : 5000;
+  const double closed_gate_rps = smoke ? 150.0 : 400.0;
+  const double open_rps = smoke ? 100.0 : 300.0;
+  const int64_t open_ms = smoke ? 2000 : 5000;
+  const int64_t open_p99_gate_us = smoke ? 250000 : 150000;
+
+  net::FrontDoor::Options options;
+  options.num_shards = 2;
+  options.shard.protocol = scheduler::Ss2plNative();
+  options.server.num_rows = 100000;
+  options.http.max_connections = closed_connections + 64;
+  options.max_inflight_statements = 1 << 20;  // saturation, not backpressure
+  net::FrontDoor door(std::move(options));
+  Check(door.Start(), "front door start");
+  std::printf("== Net load: front door on 127.0.0.1:%u, 2 shards ==\n\n",
+              door.port());
+
+  std::vector<Phase> phases;
+  auto run_phase = [&](const std::string& name, int connections,
+                       double rps, int64_t duration_ms) {
+    net::LoadgenOptions lg;
+    lg.port = door.port();
+    lg.connections = connections;
+    lg.duration_ms = duration_ms;
+    lg.open_loop_rps = rps;
+    lg.ops_per_txn = 2;
+    lg.num_objects = 100000;
+    Result<net::LoadgenResult> run = net::RunLoadgen(lg);
+    Check(run.status(), ("loadgen " + name).c_str());
+    Phase phase{name, std::move(run).MoveValue()};
+    const net::LoadgenResult& r = phase.result;
+    std::printf(
+        "%-12s conns %5d  sent %7lld  2xx %7lld  %7.1f req/s  "
+        "p50 %6lld us  p99 %7lld us\n",
+        name.c_str(), connections, static_cast<long long>(r.requests_sent),
+        static_cast<long long>(r.responses_2xx), r.achieved_rps,
+        static_cast<long long>(r.latency_us.Percentile(50)),
+        static_cast<long long>(r.latency_us.Percentile(99)));
+    phases.push_back(std::move(phase));
+    return phases.back().result;
+  };
+
+  const net::LoadgenResult closed =
+      run_phase("closed-loop", closed_connections, 0.0, closed_ms);
+  const net::LoadgenResult open =
+      run_phase("open-loop", smoke ? 32 : 64, open_rps, open_ms);
+
+  door.Shutdown();
+
+  // JSON rows.
+  std::string json;
+  for (const Phase& p : phases) {
+    json += "{\"bench\":\"net_load\",\"phase\":\"" + p.name +
+            "\",\"smoke\":" + (smoke ? std::string("true") : "false") +
+            ",\"result\":" + p.result.ToJson() + "}\n";
+  }
+  std::printf("\n%s", json.c_str());
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+
+  // Gates.
+  bool ok = true;
+  auto gate = [&](bool pass, const char* what) {
+    std::printf("%s -> %s\n", what, pass ? "ok" : "FAIL");
+    ok = ok && pass;
+  };
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "closed loop: %.1f req/s sustained over %d keep-alive "
+                "connections (need >= %.0f)",
+                closed.achieved_rps, closed_connections, closed_gate_rps);
+  gate(closed.achieved_rps >= closed_gate_rps, line);
+  std::snprintf(line, sizeof(line),
+                "open loop @%.0f req/s: p99 %lld us (need <= %lld)", open_rps,
+                static_cast<long long>(open.latency_us.Percentile(99)),
+                static_cast<long long>(open_p99_gate_us));
+  gate(open.latency_us.Percentile(99) <= open_p99_gate_us, line);
+  for (const Phase& p : phases) {
+    const net::LoadgenResult& r = p.result;
+    const int64_t answered =
+        r.responses_2xx + r.responses_429 + r.responses_other;
+    std::snprintf(line, sizeof(line),
+                  "%s: every request answered (%lld sent, %lld answered, "
+                  "%lld conn errors)",
+                  p.name.c_str(), static_cast<long long>(r.requests_sent),
+                  static_cast<long long>(answered),
+                  static_cast<long long>(r.connection_errors));
+    gate(answered == r.requests_sent && r.connection_errors == 0, line);
+  }
+  return ok ? 0 : 1;
+}

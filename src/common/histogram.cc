@@ -64,6 +64,14 @@ void Histogram::Reset() {
   sum_ = 0.0;
 }
 
+int64_t Histogram::CountAtOrBelow(int64_t value) const {
+  if (value < 0) return 0;
+  const int last = BucketFor(value);
+  int64_t seen = 0;
+  for (int i = 0; i <= last; ++i) seen += buckets_[i];
+  return seen;
+}
+
 int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
   if (p <= 0) return min_;
@@ -77,6 +85,48 @@ int64_t Histogram::Percentile(double p) const {
     }
   }
   return max_;
+}
+
+ConcurrentHistogram::ConcurrentHistogram()
+    : buckets_(new std::atomic<int64_t>[Histogram::kNumBuckets]) {
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrentHistogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[Histogram::BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t observed = min_.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !min_.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram ConcurrentHistogram::Snapshot() const {
+  Histogram snap;
+  // Count from the bucket sum, not count_, so the cut is self-consistent
+  // (percentile math never chases samples it did not copy).
+  int64_t count = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const int64_t b = buckets_[i].load(std::memory_order_relaxed);
+    snap.buckets_[i] = b;
+    count += b;
+  }
+  if (count == 0) return snap;
+  snap.count_ = count;
+  snap.sum_ = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  const int64_t lo = min_.load(std::memory_order_relaxed);
+  const int64_t hi = max_.load(std::memory_order_relaxed);
+  snap.min_ = lo == INT64_MAX ? 0 : lo;
+  snap.max_ = hi == INT64_MIN ? 0 : hi;
+  return snap;
 }
 
 std::string Histogram::ToString() const {

@@ -1,9 +1,21 @@
 // Log-bucketed histogram for latency/throughput metrics.
+//
+// Two variants over the same bucket layout:
+//   * Histogram — single-writer, the cheap per-shard / per-connection
+//     recorder. Aggregation is by value: Merge() sums another histogram's
+//     buckets in, so N single-writer histograms roll up without any lock on
+//     the recording path.
+//   * ConcurrentHistogram — multi-writer, lock-free relaxed atomics per
+//     bucket; Snapshot() materializes a mergeable Histogram cut. The
+//     metrics registry's histogram type (many threads record, one scraper
+//     reads).
 
 #ifndef DECLSCHED_COMMON_HISTOGRAM_H_
 #define DECLSCHED_COMMON_HISTOGRAM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +24,7 @@ namespace declsched {
 /// Records non-negative int64 samples (typically microseconds) into
 /// exponentially sized buckets and answers approximate percentile queries.
 /// Relative error is bounded by the bucket growth factor (~10%).
+/// Single writer; aggregate concurrent recorders via Merge() on snapshots.
 class Histogram {
  public:
   Histogram();
@@ -29,10 +42,17 @@ class Histogram {
   /// Approximate value at percentile p in [0, 100].
   int64_t Percentile(double p) const;
 
+  /// Samples recorded at or below `value`, rounded up to the containing
+  /// bucket's boundary (over-counts by at most one bucket, ~10%). Monotone
+  /// in `value` — the Prometheus cumulative-bucket (`le`) read.
+  int64_t CountAtOrBelow(int64_t value) const;
+
   /// One-line summary: count/mean/p50/p95/p99/max.
   std::string ToString() const;
 
  private:
+  friend class ConcurrentHistogram;
+
   static constexpr int kNumBuckets = 280;
   /// Index of the bucket whose range contains `value`.
   static int BucketFor(int64_t value);
@@ -44,6 +64,28 @@ class Histogram {
   int64_t min_ = 0;
   int64_t max_ = 0;
   double sum_ = 0.0;
+};
+
+/// Multi-writer histogram: Record() is lock-free (relaxed atomics), so any
+/// number of threads may record on the hot path. Readers take Snapshot(),
+/// a Histogram cut that merges like any other — the aggregation path shared
+/// with the single-writer variant. A snapshot taken under concurrent writes
+/// is internally consistent (count == sum of buckets) but may trail the
+/// newest samples by a few records.
+class ConcurrentHistogram {
+ public:
+  ConcurrentHistogram();
+
+  void Record(int64_t value);
+  Histogram Snapshot() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{INT64_MIN};
 };
 
 }  // namespace declsched

@@ -30,6 +30,12 @@ enum class StatusCode : int {
   kAborted = 10,
   kUnsupported = 11,
   kInternal = 12,
+  /// A bounded resource (queue, token bucket, in-flight cap) is full; the
+  /// caller should back off and retry — the HTTP layer's 429.
+  kResourceExhausted = 13,
+  /// The service is not accepting work (draining, shut down) — the HTTP
+  /// layer's 503.
+  kUnavailable = 14,
 };
 
 /// Human-readable name of a StatusCode (e.g. "ParseError").
@@ -97,6 +103,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -115,6 +127,10 @@ class Status {
   bool IsDeadlock() const { return code() == StatusCode::kDeadlock; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

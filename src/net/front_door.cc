@@ -1,0 +1,564 @@
+#include "net/front_door.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "scheduler/ir/explain.h"
+
+namespace declsched::net {
+
+using scheduler::Request;
+using scheduler::RequestBatch;
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* StatusClass(int status) {
+  if (status < 300) return "2xx";
+  if (status < 500) return "4xx";
+  return "5xx";
+}
+
+}  // namespace
+
+FrontDoor::FrontDoor(Options options)
+    : options_(std::move(options)),
+      registry_(scheduler::ProtocolRegistry::BuiltIns()) {
+  requests_total_ = metrics_.GetCounter("frontdoor_requests_total",
+                                        "HTTP requests received");
+  responses_2xx_ = metrics_.GetCounter(
+      "frontdoor_responses_total", "HTTP responses by class", {{"class", "2xx"}});
+  responses_4xx_ = metrics_.GetCounter(
+      "frontdoor_responses_total", "HTTP responses by class", {{"class", "4xx"}});
+  responses_5xx_ = metrics_.GetCounter(
+      "frontdoor_responses_total", "HTTP responses by class", {{"class", "5xx"}});
+  throttled_tenant_ =
+      metrics_.GetCounter("frontdoor_throttled_total",
+                          "Submissions refused by admission control",
+                          {{"reason", "tenant"}});
+  throttled_global_ =
+      metrics_.GetCounter("frontdoor_throttled_total",
+                          "Submissions refused by admission control",
+                          {{"reason", "global"}});
+  statements_admitted_ = metrics_.GetCounter(
+      "frontdoor_statements_admitted_total", "Client statements admitted");
+  txns_committed_ = metrics_.GetCounter("frontdoor_txns_committed_total",
+                                        "Transactions committed");
+  inflight_gauge_ = metrics_.GetGauge("frontdoor_inflight_statements",
+                                      "Admitted, unfinished statements");
+  submit_latency_us_ = metrics_.GetHistogram(
+      "frontdoor_submit_latency_us",
+      "Submit admission to last commit, wall micros");
+  dispatch_latency_us_ = metrics_.GetHistogram(
+      "frontdoor_dispatch_latency_us",
+      "Per-operation submit to dispatch, wall micros");
+}
+
+FrontDoor::~FrontDoor() { Shutdown(); }
+
+Status FrontDoor::Start() {
+  DS_CHECK(!started_.load());
+
+  server::DatabaseServer::Config server_config = options_.server;
+  if (server_config.max_batch_statements == 0) {
+    server_config.max_batch_statements = options_.max_statements_per_request;
+  }
+  server_ = std::make_unique<server::DatabaseServer>(server_config);
+
+  scheduler::ShardedScheduler::Options sched_options;
+  sched_options.num_shards = options_.num_shards;
+  sched_options.shard = options_.shard;
+  // The front door's submission order (one op in flight per transaction,
+  // objects ascending) is deadlock-free by construction; victim-abort
+  // markers would not flow through on_dispatch, so detection stays off.
+  sched_options.shard.deadlock_detection = false;
+  sched_options.shard.tenant_qos.publish_snapshots = true;
+  sched_options.keep_dispatch_log = options_.keep_dispatch_log;
+  sched_options.metrics = &metrics_;
+  sched_options.on_dispatch = [this](int, const RequestBatch& batch) {
+    OnDispatch(batch);
+  };
+  sched_ = std::make_unique<scheduler::ShardedScheduler>(
+      std::move(sched_options), server_.get());
+  DS_RETURN_NOT_OK(sched_->Init());
+  DS_RETURN_NOT_OK(sched_->Start());
+
+  HttpServer::Options http_options = options_.http;
+  http_options.metrics = &metrics_;
+  http_ = std::make_unique<HttpServer>(http_options);
+  DS_RETURN_NOT_OK(http_->Start(
+      [this](HttpRequest request, HttpServer::Responder responder) {
+        HandleRequest(std::move(request), std::move(responder));
+      }));
+  started_.store(true);
+  return Status::OK();
+}
+
+void FrontDoor::Shutdown() {
+  if (!started_.exchange(false)) {
+    if (http_) http_->Shutdown();
+    if (sched_) sched_->Stop();
+    return;
+  }
+  draining_.store(true);
+  // HTTP first: its drain window lets in-flight submit responses complete
+  // (the scheduler keeps dispatching while it waits).
+  http_->Shutdown();
+  sched_->Stop();
+}
+
+HttpResponse FrontDoor::StatusToResponse(const Status& status) const {
+  int http_status;
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+      http_status = 400;
+      break;
+    case StatusCode::kNotFound:
+      http_status = 404;
+      break;
+    case StatusCode::kResourceExhausted:
+      http_status = 429;
+      break;
+    case StatusCode::kUnavailable:
+      http_status = 503;
+      break;
+    default:
+      http_status = 500;
+      break;
+  }
+  HttpResponse resp = HttpResponse::Error(
+      http_status, StatusCodeToString(status.code()), status.message());
+  if (http_status == 429 || http_status == 503) {
+    resp.headers.emplace_back("Retry-After",
+                              std::to_string(options_.retry_after_seconds));
+  }
+  return resp;
+}
+
+void FrontDoor::HandleRequest(HttpRequest request,
+                              HttpServer::Responder responder) {
+  requests_total_->Increment();
+  const std::string path = request.Path();
+
+  // Deferred route: the submit response fires from OnDispatch.
+  if (request.method == "POST" && path == "/v1/submit") {
+    HandleSubmit(request, std::move(responder));
+    return;
+  }
+
+  HttpResponse resp;
+  if (request.method == "GET" && path == "/v1/stats") {
+    resp = HandleStats();
+  } else if (request.method == "GET" && path == "/v1/tenants") {
+    resp = HandleTenants();
+  } else if (request.method == "GET" && path == "/v1/protocols") {
+    resp = HandleProtocols();
+  } else if (request.method == "GET" && path == "/metrics") {
+    resp = HandleMetricsScrape();
+  } else if (request.method == "GET" && path == "/healthz") {
+    resp = draining_.load()
+               ? HttpResponse::Error(503, "Unavailable", "draining")
+               : HttpResponse::Json(200, "{\"status\":\"ok\"}");
+  } else if (request.method == "POST" && path == "/v1/admin/protocol") {
+    resp = HandleProtocolSwitch(request);
+  } else if (request.method == "POST" && path == "/v1/admin/drain") {
+    draining_.store(true);
+    resp = HttpResponse::Json(200, "{\"draining\":true}");
+  } else if (request.method == "GET" && path == "/v1/admin/explain") {
+    resp = HandleExplain(request);
+  } else {
+    resp = HttpResponse::Error(404, "NotFound", "no route " + path);
+  }
+
+  const char* cls = StatusClass(resp.status);
+  if (cls[0] == '2') {
+    responses_2xx_->Increment();
+  } else if (cls[0] == '4') {
+    responses_4xx_->Increment();
+  } else {
+    responses_5xx_->Increment();
+  }
+  responder.Send(std::move(resp));
+}
+
+Status FrontDoor::ParseSubmitBody(const std::string& body, int* tenant,
+                                  std::vector<TxnState>* txns,
+                                  int64_t* statements) {
+  DS_ASSIGN_OR_RETURN(const JsonValue doc, JsonValue::Parse(body));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("submit body must be a JSON object");
+  }
+  *tenant = 0;
+  if (const JsonValue* t = doc.Get("tenant")) {
+    if (!t->is_number()) return Status::InvalidArgument("tenant must be a number");
+    *tenant = static_cast<int>(t->AsInt64());
+    if (*tenant < 0) return Status::InvalidArgument("tenant must be >= 0");
+  }
+  const JsonValue* txn_list = doc.Get("txns");
+  if (txn_list == nullptr || !txn_list->is_array() || txn_list->size() == 0) {
+    return Status::InvalidArgument("submit body needs a non-empty txns array");
+  }
+  *statements = 0;
+  for (const JsonValue& txn_value : txn_list->items()) {
+    if (!txn_value.is_object()) {
+      return Status::InvalidArgument("each txn must be an object");
+    }
+    const JsonValue* op_list = txn_value.Get("ops");
+    if (op_list == nullptr || !op_list->is_array() || op_list->size() == 0) {
+      return Status::InvalidArgument("each txn needs a non-empty ops array");
+    }
+    TxnState txn;
+    txn.tenant = *tenant;
+    for (const JsonValue& op_value : op_list->items()) {
+      if (!op_value.is_object()) {
+        return Status::InvalidArgument("each op must be an object");
+      }
+      const JsonValue* kind = op_value.Get("op");
+      const JsonValue* object = op_value.Get("object");
+      if (kind == nullptr || !kind->is_string() || object == nullptr ||
+          !object->is_number()) {
+        return Status::InvalidArgument(
+            "each op needs {\"op\": \"read\"|\"write\", \"object\": n}");
+      }
+      txn::OpType op;
+      if (kind->AsString() == "read") {
+        op = txn::OpType::kRead;
+      } else if (kind->AsString() == "write") {
+        op = txn::OpType::kWrite;
+      } else {
+        return Status::InvalidArgument("op must be \"read\" or \"write\"");
+      }
+      const int64_t obj = object->AsInt64();
+      if (!txn.objects.empty() && obj <= txn.objects.back()) {
+        return Status::InvalidArgument(
+            "ops must name strictly ascending objects (the deadlock-free "
+            "submission order)");
+      }
+      server::Statement stmt;
+      stmt.op = op;
+      stmt.object = obj;
+      stmt.tenant = *tenant;
+      DS_RETURN_NOT_OK(server_->ValidateStatement(stmt));
+      txn.objects.push_back(obj);
+      txn.ops.push_back(op);
+    }
+    *statements += static_cast<int64_t>(txn.ops.size());
+    txns->push_back(std::move(txn));
+  }
+  if (*statements > options_.max_statements_per_request) {
+    return Status::InvalidArgument(
+        StrFormat("request carries %lld statements, limit %lld",
+                  static_cast<long long>(*statements),
+                  static_cast<long long>(options_.max_statements_per_request)));
+  }
+  return Status::OK();
+}
+
+Status FrontDoor::AdmitTenant(int tenant, int64_t statements) {
+  // Callers hold mu_.
+  const scheduler::TenantQosSpec* spec = nullptr;
+  auto spec_it = options_.shard.tenant_qos.tenants.find(tenant);
+  if (spec_it != options_.shard.tenant_qos.tenants.end()) {
+    spec = &spec_it->second;
+  }
+  if (spec == nullptr || spec->rate <= 0) return Status::OK();
+
+  auto [it, created] = buckets_.try_emplace(tenant);
+  TenantBucket& bucket = it->second;
+  const int64_t now_us = WallMicros();
+  if (created) {
+    bucket.rate = static_cast<double>(spec->rate);
+    bucket.burst = static_cast<double>(
+        spec->burst > 0 ? spec->burst : std::max<int64_t>(spec->rate, 1));
+    bucket.tokens = bucket.burst;
+    bucket.last_refill_us = now_us;
+  }
+  bucket.tokens = std::min(
+      bucket.burst,
+      bucket.tokens + bucket.rate *
+                          static_cast<double>(now_us - bucket.last_refill_us) /
+                          1e6);
+  bucket.last_refill_us = now_us;
+  if (bucket.tokens < static_cast<double>(statements)) {
+    return Status::ResourceExhausted(
+        StrFormat("tenant %d over its admission rate", tenant));
+  }
+  bucket.tokens -= static_cast<double>(statements);
+  return Status::OK();
+}
+
+void FrontDoor::HandleSubmit(const HttpRequest& request,
+                             HttpServer::Responder responder) {
+  auto reply = [this, &responder](HttpResponse resp) {
+    const char* cls = StatusClass(resp.status);
+    if (cls[0] == '2') {
+      responses_2xx_->Increment();
+    } else if (cls[0] == '4') {
+      responses_4xx_->Increment();
+    } else {
+      responses_5xx_->Increment();
+    }
+    responder.Send(std::move(resp));
+  };
+
+  if (draining_.load()) {
+    reply(StatusToResponse(Status::Unavailable("draining")));
+    return;
+  }
+  int tenant = 0;
+  std::vector<TxnState> txns;
+  int64_t statements = 0;
+  const Status parsed =
+      ParseSubmitBody(request.body, &tenant, &txns, &statements);
+  if (!parsed.ok()) {
+    reply(StatusToResponse(parsed));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.max_inflight_statements > 0 &&
+        inflight_statements_.load(std::memory_order_relaxed) + statements >
+            options_.max_inflight_statements) {
+      throttled_global_->Increment();
+      reply(StatusToResponse(
+          Status::ResourceExhausted("global in-flight statement cap reached")));
+      return;
+    }
+    const Status admitted = AdmitTenant(tenant, statements);
+    if (!admitted.ok()) {
+      throttled_tenant_->Increment();
+      reply(StatusToResponse(admitted));
+      return;
+    }
+
+    const uint64_t job_id = next_job_id_.fetch_add(1);
+    Job job;
+    job.id = job_id;
+    job.responder = std::move(responder);
+    job.txns_total = static_cast<int64_t>(txns.size());
+    job.statements = statements;
+    job.tenant = tenant;
+    job.start_us = WallMicros();
+    jobs_[job_id] = std::move(job);
+
+    inflight_statements_.fetch_add(statements, std::memory_order_relaxed);
+    inflight_gauge_->Set(inflight_statements_.load(std::memory_order_relaxed));
+    statements_admitted_->Increment(statements);
+
+    for (TxnState& txn : txns) {
+      const txn::TxnId ta = next_ta_.fetch_add(1);
+      txn.job_id = job_id;
+      auto [it, inserted] = txns_.emplace(ta, std::move(txn));
+      DS_CHECK(inserted);
+      SubmitOp(it->second, ta);
+    }
+  }
+}
+
+void FrontDoor::SubmitOp(TxnState& txn, txn::TxnId ta) {
+  // Callers hold mu_.
+  Request r;
+  r.ta = ta;
+  r.tenant = txn.tenant;
+  if (txn.next < txn.ops.size()) {
+    const size_t i = txn.next++;
+    r.intrata = static_cast<int64_t>(i) + 1;
+    r.op = txn.ops[i];
+    r.object = txn.objects[i];
+  } else {
+    DS_CHECK(!txn.commit_sent);
+    txn.commit_sent = true;
+    r.intrata = static_cast<int64_t>(txn.ops.size()) + 1;
+    r.op = txn::OpType::kCommit;
+    r.object = Request::kNoObject;
+  }
+  txn.last_submit_us = WallMicros();
+  sched_->Submit(std::move(r), SimTime());
+}
+
+void FrontDoor::OnDispatch(const RequestBatch& batch) {
+  const int64_t now_us = WallMicros();
+  std::vector<std::pair<HttpServer::Responder, HttpResponse>> completions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Request& r : batch) {
+      auto it = txns_.find(r.ta);
+      if (it == txns_.end()) continue;  // not a front-door transaction
+      TxnState& txn = it->second;
+      dispatch_latency_us_->Record(now_us - txn.last_submit_us);
+      auto job_it = jobs_.find(txn.job_id);
+      DS_CHECK(job_it != jobs_.end());
+      Job& job = job_it->second;
+      ++job.requests_dispatched;
+      if (r.op != txn::OpType::kCommit) {
+        SubmitOp(txn, r.ta);
+        continue;
+      }
+      txns_.erase(it);
+      txns_committed_->Increment();
+      if (++job.txns_done < job.txns_total) continue;
+
+      // Last transaction of the batch committed: finish the job.
+      inflight_statements_.fetch_sub(job.statements,
+                                     std::memory_order_relaxed);
+      inflight_gauge_->Set(
+          inflight_statements_.load(std::memory_order_relaxed));
+      const int64_t latency_us = now_us - job.start_us;
+      submit_latency_us_->Record(latency_us);
+      responses_2xx_->Increment();
+      std::string body = StrFormat(
+          "{\"txns\":%lld,\"statements\":%lld,\"dispatched\":%lld,"
+          "\"latency_us\":%lld}",
+          static_cast<long long>(job.txns_total),
+          static_cast<long long>(job.statements),
+          static_cast<long long>(job.requests_dispatched),
+          static_cast<long long>(latency_us));
+      completions.emplace_back(std::move(job.responder),
+                               HttpResponse::Json(200, std::move(body)));
+      jobs_.erase(job_it);
+    }
+  }
+  // Respond outside the lock: Send posts to the reactor (cheap), but keep
+  // the dispatch path's critical section minimal anyway.
+  for (auto& [resp_responder, response] : completions) {
+    resp_responder.Send(std::move(response));
+  }
+}
+
+HttpResponse FrontDoor::HandleStats() {
+  const scheduler::ShardedScheduler::Totals totals = sched_->totals();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("shards", JsonValue::Int(sched_->num_shards()));
+  doc.Set("draining", JsonValue::Bool(draining_.load()));
+  JsonValue t = JsonValue::Object();
+  t.Set("submitted", JsonValue::Int(totals.submitted));
+  t.Set("dispatched", JsonValue::Int(totals.dispatched));
+  t.Set("cycles", JsonValue::Int(totals.cycles));
+  t.Set("escrows", JsonValue::Int(totals.escrows));
+  t.Set("mirrors_applied", JsonValue::Int(totals.mirrors_applied));
+  t.Set("victims", JsonValue::Int(totals.victims));
+  doc.Set("totals", std::move(t));
+  doc.Set("inflight_statements",
+          JsonValue::Int(inflight_statements_.load(std::memory_order_relaxed)));
+  JsonValue srv = JsonValue::Object();
+  srv.Set("statements", JsonValue::Int(server_->total_statements()));
+  srv.Set("busy_us", JsonValue::Int(server_->total_busy().micros()));
+  doc.Set("server", std::move(srv));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doc.Set("jobs_inflight", JsonValue::Int(static_cast<int64_t>(jobs_.size())));
+  }
+  return HttpResponse::Json(200, doc.Dump());
+}
+
+HttpResponse FrontDoor::HandleTenants() {
+  const scheduler::ShardedScheduler::GlobalTenantSnapshot snap =
+      sched_->TenantSnapshot();
+  JsonValue doc = JsonValue::Object();
+  JsonValue shards = JsonValue::Array();
+  for (const auto& stamp : snap.shards) {
+    JsonValue s = JsonValue::Object();
+    s.Set("version", JsonValue::Int(static_cast<int64_t>(stamp.version)));
+    s.Set("pending_epoch",
+          JsonValue::Int(static_cast<int64_t>(stamp.pending_epoch)));
+    s.Set("history_epoch",
+          JsonValue::Int(static_cast<int64_t>(stamp.history_epoch)));
+    shards.Append(std::move(s));
+  }
+  doc.Set("shards", std::move(shards));
+  JsonValue tenants = JsonValue::Array();
+  for (const auto& row : snap.tenants) {
+    JsonValue t = JsonValue::Object();
+    t.Set("tenant", JsonValue::Int(row.tenant));
+    t.Set("weight", JsonValue::Int(row.weight));
+    t.Set("pending", JsonValue::Int(row.pending));
+    t.Set("inflight", JsonValue::Int(row.inflight));
+    t.Set("admitted", JsonValue::Int(row.admitted));
+    t.Set("dispatched", JsonValue::Int(row.dispatched));
+    t.Set("finished_rows", JsonValue::Int(row.finished_rows));
+    t.Set("service_us", JsonValue::Int(row.service_us));
+    tenants.Append(std::move(t));
+  }
+  doc.Set("tenants", std::move(tenants));
+  return HttpResponse::Json(200, doc.Dump());
+}
+
+HttpResponse FrontDoor::HandleProtocols() {
+  JsonValue doc = JsonValue::Object();
+  JsonValue names = JsonValue::Array();
+  for (const std::string& name : registry_.Names()) {
+    names.Append(JsonValue::Str(name));
+  }
+  doc.Set("protocols", std::move(names));
+  doc.Set("active", JsonValue::Str(options_.shard.protocol.name));
+  return HttpResponse::Json(200, doc.Dump());
+}
+
+HttpResponse FrontDoor::HandleMetricsScrape() {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.body = metrics_.RenderPrometheus();
+  resp.headers.emplace_back("Content-Type",
+                            "text/plain; version=0.0.4; charset=utf-8");
+  return resp;
+}
+
+HttpResponse FrontDoor::HandleProtocolSwitch(const HttpRequest& request) {
+  Result<JsonValue> doc = JsonValue::Parse(request.body);
+  if (!doc.ok()) return StatusToResponse(doc.status());
+  const JsonValue* name = doc.ValueOrDie().Get("protocol");
+  if (name == nullptr || !name->is_string()) {
+    return StatusToResponse(
+        Status::InvalidArgument("body needs {\"protocol\": \"name\"}"));
+  }
+  Result<scheduler::ProtocolSpec> spec = registry_.Get(name->AsString());
+  if (!spec.ok()) return StatusToResponse(spec.status());
+
+  std::lock_guard<std::mutex> admin_lock(admin_mu_);
+  // Park the workers, switch every shard (pending work is preserved),
+  // resume. In-flight transactions continue under the new protocol.
+  sched_->Stop();
+  Status switched = Status::OK();
+  for (int s = 0; s < sched_->num_shards(); ++s) {
+    switched = sched_->shard(s)->SwitchProtocol(spec.ValueOrDie());
+    if (!switched.ok()) break;
+  }
+  const Status restarted = sched_->Start();
+  if (!switched.ok()) return StatusToResponse(switched);
+  if (!restarted.ok()) return StatusToResponse(restarted);
+  options_.shard.protocol = spec.ValueOrDie();
+  return HttpResponse::Json(
+      200, "{\"protocol\":" + JsonQuote(name->AsString()) + "}");
+}
+
+HttpResponse FrontDoor::HandleExplain(const HttpRequest& request) {
+  const std::string name = request.Query("protocol");
+  if (name.empty()) {
+    return StatusToResponse(
+        Status::InvalidArgument("missing ?protocol=<name>"));
+  }
+  Result<scheduler::ProtocolSpec> spec = registry_.Get(name);
+  if (!spec.ok()) return StatusToResponse(spec.status());
+  // A scratch store supplies the catalog; the live shards' stores are
+  // cycle-thread-only.
+  scheduler::RequestStore store;
+  Result<std::string> plan =
+      scheduler::ir::ExplainProtocol(spec.ValueOrDie(), &store);
+  if (!plan.ok()) return StatusToResponse(plan.status());
+  JsonValue doc = JsonValue::Object();
+  doc.Set("protocol", JsonValue::Str(name));
+  doc.Set("plan", JsonValue::Str(plan.ValueOrDie()));
+  return HttpResponse::Json(200, doc.Dump());
+}
+
+}  // namespace declsched::net

@@ -1,0 +1,208 @@
+// FrontDoor: the network face of the declarative scheduling middleware.
+//
+// Wires the async HTTP server to a ShardedScheduler + DatabaseServer stack
+// and speaks a small JSON API:
+//
+//   POST /v1/submit          submit a batch of transactions; the response
+//                            is deferred until every transaction commits
+//   GET  /v1/stats           scheduler totals, shard count, server counters
+//   GET  /v1/tenants         merged per-tenant accounting snapshot
+//   GET  /v1/protocols       names the protocol registry knows
+//   GET  /metrics            Prometheus text exposition of the registry
+//   GET  /healthz            liveness (200 "ok", 503 when draining)
+//   POST /v1/admin/protocol  switch the active protocol on every shard
+//   POST /v1/admin/drain     start refusing new submissions (503)
+//   GET  /v1/admin/explain   compiled plan of a named protocol
+//
+// Submission protocol: the front door drives each transaction closed-loop
+// against the scheduler's contract — operation k+1 is submitted only after
+// operation k has been observed dispatched, and the commit only after the
+// last operation. That drive happens inside the scheduler's on_dispatch
+// callback (shard worker threads), so no extra threads exist per request;
+// the HTTP response is completed from the same callback through the
+// server's thread-safe Responder when the batch's last transaction
+// commits. Operations are required to arrive in ascending object order
+// (enforced at admission, 400 otherwise): with one operation in flight per
+// transaction that makes lock acquisition follow a canonical resource
+// order, so the workload is deadlock-free by construction and per-shard
+// deadlock detection stays off.
+//
+// Admission control, checked in order, before anything is submitted:
+//   1. draining          -> 503 (Unavailable)
+//   2. malformed body    -> 400 (InvalidArgument/ParseError)
+//   3. validation        -> 400 (row range, tenant, batch size — the
+//                           DatabaseServer's validate-first checks)
+//   4. global cap        -> 429 + Retry-After (in-flight statements)
+//   5. tenant bucket     -> 429 + Retry-After (wall-clock token bucket
+//                           from the tenant's TenantQosSpec rate/burst)
+// An admitted batch is never lost and never double-answered: every
+// statement dispatches exactly once and the response fires exactly once.
+
+#ifndef DECLSCHED_NET_FRONT_DOOR_H_
+#define DECLSCHED_NET_FRONT_DOOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "observability/metrics.h"
+#include "scheduler/protocol_library.h"
+#include "scheduler/sharded_scheduler.h"
+#include "server/database_server.h"
+
+namespace declsched::net {
+
+class FrontDoor {
+ public:
+  struct Options {
+    HttpServer::Options http;
+    int num_shards = 2;
+    /// Per-shard scheduler template (protocol, trigger, tenant QoS).
+    /// deadlock_detection is forced off — see the submission-order
+    /// contract above.
+    scheduler::DeclarativeScheduler::Options shard;
+    server::DatabaseServer::Config server;
+    /// Global admission cap: statements admitted but not yet finished.
+    /// <= 0 means unlimited.
+    int64_t max_inflight_statements = 4096;
+    /// Advisory Retry-After for 429/503 responses.
+    int retry_after_seconds = 1;
+    /// Per-tenant admission buckets are taken from
+    /// shard.tenant_qos.tenants: `rate` = statements per wall-clock
+    /// second, `burst` = bucket capacity (0 = unlimited). This reuses the
+    /// declarative QoS spec at the network edge, ahead of the scheduler's
+    /// own simulated-time enforcement.
+    /// Maximum statements in one submit body (maps to the server's
+    /// max_batch_statements when that is unset).
+    int64_t max_statements_per_request = 1024;
+    /// Keep the scheduler's dispatch log (TakeDispatched) — integration
+    /// tests compare the dispatched set against an in-process run.
+    bool keep_dispatch_log = false;
+  };
+
+  explicit FrontDoor(Options options);
+  ~FrontDoor();
+
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Builds the stack (server, sharded scheduler, HTTP server) and starts
+  /// serving.
+  Status Start();
+  /// Graceful stop: drain, stop HTTP, stop shards. Idempotent.
+  void Shutdown();
+
+  uint16_t port() const { return http_ ? http_->port() : 0; }
+  observability::MetricsRegistry& metrics() { return metrics_; }
+  scheduler::ShardedScheduler* sched() { return sched_.get(); }
+  server::DatabaseServer* server() { return server_.get(); }
+
+  /// Statements admitted and not yet finished (the global-cap gauge).
+  int64_t inflight_statements() const {
+    return inflight_statements_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One transaction's closed-loop drive state.
+  struct TxnState {
+    uint64_t job_id = 0;
+    int tenant = 0;
+    std::vector<txn::ObjectId> objects;  ///< ascending
+    std::vector<txn::OpType> ops;        ///< parallel to objects
+    size_t next = 0;       ///< next op index; == ops.size() -> commit next
+    bool commit_sent = false;
+    int64_t last_submit_us = 0;  ///< wall clock of the in-flight op
+  };
+
+  /// One POST /v1/submit being answered.
+  struct Job {
+    uint64_t id = 0;
+    HttpServer::Responder responder;
+    int64_t txns_total = 0;
+    int64_t txns_done = 0;
+    int64_t statements = 0;  ///< client statements (excluding commits)
+    int64_t requests_dispatched = 0;
+    int tenant = 0;
+    int64_t start_us = 0;  ///< wall clock at admission
+  };
+
+  struct TenantBucket {
+    double tokens = 0;
+    double rate = 0;   ///< statements per second
+    double burst = 0;  ///< capacity
+    int64_t last_refill_us = 0;
+  };
+
+  void HandleRequest(HttpRequest request, HttpServer::Responder responder);
+  void HandleSubmit(const HttpRequest& request,
+                    HttpServer::Responder responder);
+  HttpResponse HandleStats();
+  HttpResponse HandleTenants();
+  HttpResponse HandleProtocols();
+  HttpResponse HandleMetricsScrape();
+  HttpResponse HandleProtocolSwitch(const HttpRequest& request);
+  HttpResponse HandleExplain(const HttpRequest& request);
+
+  /// Parses + validates a submit body into txn states (no side effects).
+  /// On success fills `txns` with ops/objects; tenant written through.
+  Status ParseSubmitBody(const std::string& body, int* tenant,
+                         std::vector<TxnState>* txns, int64_t* statements);
+  /// Wall-clock token-bucket check for `tenant`; consumes on success.
+  Status AdmitTenant(int tenant, int64_t statements);
+
+  /// The scheduler's dispatch callback (shard worker threads): advances
+  /// txn cursors, submits next ops/commits, completes finished jobs.
+  void OnDispatch(const scheduler::RequestBatch& batch);
+  void SubmitOp(TxnState& txn, txn::TxnId ta);
+  void CompleteJob(Job& job);
+
+  HttpResponse StatusToResponse(const Status& status) const;
+
+  Options options_;
+  observability::MetricsRegistry metrics_;
+  std::unique_ptr<server::DatabaseServer> server_;
+  std::unique_ptr<scheduler::ShardedScheduler> sched_;
+  std::unique_ptr<HttpServer> http_;
+  scheduler::ProtocolRegistry registry_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int64_t> inflight_statements_{0};
+  std::atomic<int64_t> next_ta_{1};
+  std::atomic<uint64_t> next_job_id_{1};
+
+  /// Guards jobs_, txns_, buckets_ — touched at admission (reactor
+  /// thread) and from on_dispatch (shard threads). Hot-path cost is one
+  /// uncontended lock per dispatched request.
+  std::mutex mu_;
+  std::unordered_map<uint64_t, Job> jobs_;
+  std::unordered_map<txn::TxnId, TxnState> txns_;
+  std::map<int, TenantBucket> buckets_;
+  /// Serializes admin protocol switches against each other.
+  std::mutex admin_mu_;
+
+  // --- cached metric pointers ---
+  observability::Counter* requests_total_ = nullptr;
+  observability::Counter* responses_2xx_ = nullptr;
+  observability::Counter* responses_4xx_ = nullptr;
+  observability::Counter* responses_5xx_ = nullptr;
+  observability::Counter* throttled_tenant_ = nullptr;
+  observability::Counter* throttled_global_ = nullptr;
+  observability::Counter* statements_admitted_ = nullptr;
+  observability::Counter* txns_committed_ = nullptr;
+  observability::Gauge* inflight_gauge_ = nullptr;
+  observability::HistogramMetric* submit_latency_us_ = nullptr;
+  observability::HistogramMetric* dispatch_latency_us_ = nullptr;
+};
+
+}  // namespace declsched::net
+
+#endif  // DECLSCHED_NET_FRONT_DOOR_H_

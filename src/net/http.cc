@@ -1,0 +1,299 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "net/json.h"
+
+namespace declsched::net {
+
+namespace {
+
+/// Finds the end of the header block: returns the offset one past the blank
+/// line, or npos. Tolerates bare-LF line endings.
+size_t FindHeaderEnd(const std::string& buffer) {
+  const size_t crlf = buffer.find("\r\n\r\n");
+  const size_t lf = buffer.find("\n\n");
+  if (crlf == std::string::npos) {
+    return lf == std::string::npos ? std::string::npos : lf + 2;
+  }
+  if (lf != std::string::npos && lf + 2 < crlf + 4) return lf + 2;
+  return crlf + 4;
+}
+
+std::string_view TrimView(std::string_view s) { return Trim(s); }
+
+/// Splits a header block (without the trailing blank line) into lines.
+std::vector<std::string_view> HeaderLines(std::string_view block) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start < block.size()) {
+    size_t end = block.find('\n', start);
+    if (end == std::string_view::npos) end = block.size();
+    std::string_view line = block.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) lines.push_back(line);
+    start = end + 1;
+  }
+  return lines;
+}
+
+const std::string* FindHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+/// Parses `Header: value` lines into `headers`; false on a malformed line.
+bool ParseHeaderFields(
+    const std::vector<std::string_view>& lines, size_t first,
+    std::vector<std::pair<std::string, std::string>>* headers) {
+  for (size_t i = first; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) return false;
+    headers->emplace_back(std::string(TrimView(line.substr(0, colon))),
+                          std::string(TrimView(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+/// Content-Length, or -1 when absent, or -2 when malformed/duplicated.
+int64_t ContentLengthOf(
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  const std::string* value = FindHeader(headers, "Content-Length");
+  if (value == nullptr) return -1;
+  if (value->empty() ||
+      value->find_first_not_of("0123456789") != std::string::npos) {
+    return -2;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(value->c_str(), &end, 10);
+  if (errno != 0 || end != value->c_str() + value->size() || n < 0) return -2;
+  return n;
+}
+
+bool KeepAliveOf(const std::string& version,
+                 const std::vector<std::pair<std::string, std::string>>& headers) {
+  const std::string* conn = FindHeader(headers, "Connection");
+  if (conn != nullptr) {
+    if (EqualsIgnoreCase(*conn, "close")) return false;
+    if (EqualsIgnoreCase(*conn, "keep-alive")) return true;
+  }
+  return version != "HTTP/1.0";
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  return FindHeader(headers, name);
+}
+
+std::string HttpRequest::Path() const {
+  const size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::Query(std::string_view key) const {
+  const size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  std::string_view rest = std::string_view(target).substr(q + 1);
+  while (!rest.empty()) {
+    size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    rest.remove_prefix(amp + 1);
+  }
+  return "";
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+const std::string* HttpResponse::Header(std::string_view name) const {
+  return FindHeader(headers, name);
+}
+
+std::string HttpResponse::Serialize(bool keep_alive) const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + ' ' +
+                    (reason.empty() ? HttpReasonPhrase(status) : reason.c_str()) +
+                    "\r\n";
+  bool have_type = false;
+  for (const auto& [k, v] : headers) {
+    if (EqualsIgnoreCase(k, "Content-Type")) have_type = true;
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  if (!have_type && !body.empty()) {
+    out += "Content-Type: application/json\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse HttpResponse::Error(int status, std::string_view code,
+                                 std::string_view message) {
+  std::string body = "{\"error\":";
+  body += JsonQuote(code);
+  body += ",\"message\":";
+  body += JsonQuote(message);
+  body += '}';
+  return Json(status, std::move(body));
+}
+
+HttpRequestParser::Outcome HttpRequestParser::Fail(int status,
+                                                   std::string message) {
+  error_status_ = status;
+  error_message_ = std::move(message);
+  return Outcome::kError;
+}
+
+HttpRequestParser::Outcome HttpRequestParser::Next(HttpRequest* out) {
+  if (error_status_ != 0) return Outcome::kError;
+  const size_t header_end = FindHeaderEnd(buffer_);
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Fail(431, "header block exceeds limit");
+    }
+    return Outcome::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return Fail(431, "header block exceeds limit");
+  }
+
+  const std::vector<std::string_view> lines =
+      HeaderLines(std::string_view(buffer_).substr(0, header_end));
+  if (lines.empty()) return Fail(400, "empty request");
+
+  // Request line: METHOD SP target SP HTTP/x.y
+  const std::string_view request_line = lines[0];
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  HttpRequest request;
+  request.method = ToUpper(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (request.method.empty() || request.target.empty() ||
+      request.target[0] != '/') {
+    return Fail(400, "malformed request line");
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Fail(505, "unsupported HTTP version");
+  }
+  if (!ParseHeaderFields(lines, 1, &request.headers)) {
+    return Fail(400, "malformed header line");
+  }
+  if (request.Header("Transfer-Encoding") != nullptr) {
+    return Fail(501, "transfer encodings not implemented");
+  }
+
+  const int64_t content_length = ContentLengthOf(request.headers);
+  if (content_length == -2) return Fail(400, "malformed Content-Length");
+  const size_t body_bytes =
+      content_length < 0 ? 0 : static_cast<size_t>(content_length);
+  if (body_bytes > limits_.max_body_bytes) {
+    return Fail(413, "body exceeds limit");
+  }
+  if (buffer_.size() - header_end < body_bytes) return Outcome::kNeedMore;
+
+  request.body = buffer_.substr(header_end, body_bytes);
+  request.keep_alive = KeepAliveOf(request.version, request.headers);
+  buffer_.erase(0, header_end + body_bytes);
+  *out = std::move(request);
+  return Outcome::kRequest;
+}
+
+const std::string* HttpResponseParser::Response::Header(
+    std::string_view name) const {
+  return FindHeader(headers, name);
+}
+
+HttpResponseParser::Outcome HttpResponseParser::Next(Response* out) {
+  const size_t header_end = FindHeaderEnd(buffer_);
+  if (header_end == std::string::npos) return Outcome::kNeedMore;
+
+  const std::vector<std::string_view> lines =
+      HeaderLines(std::string_view(buffer_).substr(0, header_end));
+  if (lines.empty()) {
+    error_message_ = "empty response";
+    return Outcome::kError;
+  }
+  // Status line: HTTP/x.y CODE reason...
+  const std::string_view status_line = lines[0];
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos || status_line.substr(0, 5) != "HTTP/") {
+    error_message_ = "malformed status line";
+    return Outcome::kError;
+  }
+  Response response;
+  response.status =
+      std::atoi(std::string(status_line.substr(sp1 + 1, 3)).c_str());
+  if (response.status < 100 || response.status > 599) {
+    error_message_ = "malformed status code";
+    return Outcome::kError;
+  }
+  if (!ParseHeaderFields(lines, 1, &response.headers)) {
+    error_message_ = "malformed header line";
+    return Outcome::kError;
+  }
+  const int64_t content_length = ContentLengthOf(response.headers);
+  if (content_length < 0) {
+    error_message_ = "response without Content-Length";
+    return Outcome::kError;
+  }
+  const size_t body_bytes = static_cast<size_t>(content_length);
+  if (buffer_.size() - header_end < body_bytes) return Outcome::kNeedMore;
+
+  response.body = buffer_.substr(header_end, body_bytes);
+  const std::string version(lines[0].substr(0, sp1));
+  response.keep_alive = KeepAliveOf(version, response.headers);
+  buffer_.erase(0, header_end + body_bytes);
+  *out = std::move(response);
+  return Outcome::kResponse;
+}
+
+}  // namespace declsched::net

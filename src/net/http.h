@@ -1,0 +1,126 @@
+// HTTP/1.1 message types and incremental parsers.
+//
+// The request parser is the byte-level front of the reactor server: feed it
+// whatever arrived on the socket (any fragmentation) and pull complete
+// requests out one at a time — keep-alive pipelining falls out of the
+// pull-in-a-loop usage. Limits are enforced during parsing, before any
+// allocation proportional to the claimed sizes: oversized headers map to
+// 431, oversized bodies to 413, Transfer-Encoding (unimplemented) to 501.
+// The response parser is the client half, used by the load generator.
+//
+// Dialect: HTTP/1.0 and 1.1, Content-Length framing only (no chunked
+// encoding), CRLF line endings with bare-LF tolerance.
+
+#ifndef DECLSCHED_NET_HTTP_H_
+#define DECLSCHED_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace declsched::net {
+
+struct HttpRequest {
+  std::string method;   // uppercase: GET, POST, ...
+  std::string target;   // request-target as sent: /v1/stats?verbose=1
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection survives this exchange (HTTP/1.1 default, Connection
+  /// header honored both ways).
+  bool keep_alive = true;
+
+  /// First header with this name (case-insensitive), or nullptr.
+  const std::string* Header(std::string_view name) const;
+  /// `target` up to the '?'.
+  std::string Path() const;
+  /// Value of a `?key=value` query parameter ("" if absent; no %-decoding —
+  /// the API's parameters are identifiers).
+  std::string Query(std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason;  // filled from status if empty
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Full wire form; sets Content-Length, Connection, and a default
+  /// Content-Type (application/json) unless already present.
+  std::string Serialize(bool keep_alive) const;
+
+  const std::string* Header(std::string_view name) const;
+
+  /// JSON body response.
+  static HttpResponse Json(int status, std::string body);
+  /// Error with the API's JSON error shape: {"error": code, "message": m}.
+  static HttpResponse Error(int status, std::string_view code,
+                            std::string_view message);
+};
+
+const char* HttpReasonPhrase(int status);
+
+/// Incremental request parser. Feed() bytes as they arrive, then call
+/// Next() in a loop: each kRequest fills `out` with one complete request
+/// (pipelined requests come out back to back); kNeedMore means feed more
+/// bytes; kError is terminal for the connection — respond with
+/// error_status() and close.
+class HttpRequestParser {
+ public:
+  struct Limits {
+    size_t max_header_bytes = 16 * 1024;
+    size_t max_body_bytes = 1 << 20;
+  };
+
+  enum class Outcome { kRequest, kNeedMore, kError };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  void Feed(std::string_view data) { buffer_.append(data); }
+  Outcome Next(HttpRequest* out);
+
+  /// HTTP status to answer with after kError (400/431/413/501/505).
+  int error_status() const { return error_status_; }
+  const std::string& error_message() const { return error_message_; }
+  /// Bytes buffered but not yet consumed by a complete request.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Outcome Fail(int status, std::string message);
+
+  Limits limits_;
+  std::string buffer_;
+  int error_status_ = 0;
+  std::string error_message_;
+};
+
+/// Incremental response parser (the load generator's receive half). Same
+/// Feed()/Next() contract as the request parser.
+class HttpResponseParser {
+ public:
+  struct Response {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    bool keep_alive = true;
+
+    const std::string* Header(std::string_view name) const;
+  };
+
+  enum class Outcome { kResponse, kNeedMore, kError };
+
+  void Feed(std::string_view data) { buffer_.append(data); }
+  Outcome Next(Response* out);
+  const std::string& error_message() const { return error_message_; }
+
+ private:
+  std::string buffer_;
+  std::string error_message_;
+};
+
+}  // namespace declsched::net
+
+#endif  // DECLSCHED_NET_HTTP_H_

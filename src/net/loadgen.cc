@@ -1,0 +1,330 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "net/http.h"
+
+namespace declsched::net {
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Conn {
+  int fd = -1;
+  bool connecting = false;
+  bool busy = false;  ///< a request is outstanding
+  HttpResponseParser parser;
+  std::string out;
+  size_t out_off = 0;
+  int64_t send_start_us = 0;
+};
+
+class Driver {
+ public:
+  Driver(const LoadgenOptions& options, sockaddr_in addr)
+      : options_(options), addr_(addr), rng_(options.seed) {}
+
+  Result<LoadgenResult> Run() {
+    conns_.resize(static_cast<size_t>(options_.connections));
+    for (Conn& conn : conns_) {
+      if (!Open(conn)) ++result_.connection_errors;
+    }
+    bool any = false;
+    for (const Conn& conn : conns_) any = any || conn.fd >= 0;
+    if (!any) {
+      return Status::Unavailable(
+          StrFormat("no connection to %s:%d could be opened",
+                    options_.host.c_str(), options_.port));
+    }
+
+    const int64_t start_us = WallMicros();
+    const int64_t end_us = start_us + options_.duration_ms * 1000;
+    const int64_t drain_end_us = end_us + options_.drain_timeout_ms * 1000;
+    const bool open_loop = options_.open_loop_rps > 0;
+    const double interval_us = open_loop ? 1e6 / options_.open_loop_rps : 0;
+    double next_due_us = static_cast<double>(start_us);
+    int64_t due_backlog = 0;
+
+    while (true) {
+      const int64_t now_us = WallMicros();
+      const bool sending = now_us < end_us;
+      if (!sending) {
+        bool outstanding = false;
+        for (const Conn& conn : conns_) outstanding = outstanding || conn.busy;
+        if (!outstanding || now_us >= drain_end_us) break;
+      }
+
+      if (sending) {
+        if (open_loop) {
+          while (next_due_us <= static_cast<double>(now_us)) {
+            ++due_backlog;
+            next_due_us += interval_us;
+          }
+          while (due_backlog > 0) {
+            Conn* idle = FindIdle();
+            if (idle == nullptr) break;
+            // Late = the slot this send services was due more than one
+            // interval ago (the backlog built up behind busy connections).
+            if (due_backlog > 1) ++result_.late_sends;
+            --due_backlog;
+            StartRequest(*idle);
+          }
+        } else {
+          for (Conn& conn : conns_) {
+            if (conn.fd >= 0 && !conn.connecting && !conn.busy) {
+              StartRequest(conn);
+            }
+          }
+        }
+      }
+
+      PollOnce(sending, now_us, open_loop ? next_due_us : 0);
+    }
+
+    const int64_t elapsed_us = std::max<int64_t>(WallMicros() - start_us, 1);
+    result_.duration_us = elapsed_us;
+    // Rate over the send window: responses that straggled into the drain
+    // window still completed work issued within it.
+    const int64_t window_us = std::max<int64_t>(
+        std::min(elapsed_us, options_.duration_ms * 1000), 1);
+    result_.achieved_rps = static_cast<double>(result_.responses_2xx) * 1e6 /
+                           static_cast<double>(window_us);
+    for (Conn& conn : conns_) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  bool Open(Conn& conn) {
+    conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (conn.fd < 0) return false;
+    const int one = 1;
+    setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int rc =
+        ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr_), sizeof(addr_));
+    if (rc == 0) {
+      conn.connecting = false;
+      return true;
+    }
+    if (errno == EINPROGRESS) {
+      conn.connecting = true;
+      return true;
+    }
+    ::close(conn.fd);
+    conn.fd = -1;
+    return false;
+  }
+
+  void Drop(Conn& conn, bool count_error) {
+    if (conn.fd >= 0) ::close(conn.fd);
+    conn = Conn();
+    if (count_error) ++result_.connection_errors;
+    // Reconnect so the connection count holds for the rest of the run.
+    if (!Open(conn)) ++result_.connection_errors;
+  }
+
+  Conn* FindIdle() {
+    for (Conn& conn : conns_) {
+      if (conn.fd >= 0 && !conn.connecting && !conn.busy) return &conn;
+    }
+    return nullptr;
+  }
+
+  std::string MakeBody() {
+    std::string body =
+        "{\"tenant\":" + std::to_string(options_.tenant) + ",\"txns\":[";
+    for (int t = 0; t < options_.txns_per_request; ++t) {
+      if (t > 0) body += ',';
+      // Distinct ascending objects — the front door's deadlock-free
+      // submission order.
+      std::set<int64_t> objects;
+      while (static_cast<int>(objects.size()) < options_.ops_per_txn) {
+        objects.insert(rng_.UniformInt(0, options_.num_objects - 1));
+      }
+      body += "{\"ops\":[";
+      bool first = true;
+      for (int64_t object : objects) {
+        if (!first) body += ',';
+        first = false;
+        body += "{\"op\":\"write\",\"object\":" + std::to_string(object) + '}';
+      }
+      body += "]}";
+    }
+    body += "]}";
+    return body;
+  }
+
+  void StartRequest(Conn& conn) {
+    const std::string body = MakeBody();
+    conn.out = "POST /v1/submit HTTP/1.1\r\nHost: " + options_.host +
+               "\r\nContent-Type: application/json\r\nContent-Length: " +
+               std::to_string(body.size()) + "\r\n\r\n" + body;
+    conn.out_off = 0;
+    conn.busy = true;
+    conn.send_start_us = WallMicros();
+    ++result_.requests_sent;
+  }
+
+  void PollOnce(bool sending, int64_t now_us, double next_due_us) {
+    pollfds_.clear();
+    poll_conns_.clear();
+    for (Conn& conn : conns_) {
+      if (conn.fd < 0) continue;
+      short events = 0;
+      if (conn.connecting || conn.out_off < conn.out.size()) events |= POLLOUT;
+      if (conn.busy) events |= POLLIN;
+      if (events == 0) continue;
+      pollfds_.push_back(pollfd{conn.fd, events, 0});
+      poll_conns_.push_back(&conn);
+    }
+    int timeout_ms = 10;
+    if (sending && next_due_us > 0) {
+      const int64_t until_due =
+          (static_cast<int64_t>(next_due_us) - now_us) / 1000;
+      timeout_ms = static_cast<int>(std::clamp<int64_t>(until_due, 0, 10));
+    }
+    if (pollfds_.empty()) {
+      if (timeout_ms > 0) ::poll(nullptr, 0, timeout_ms);
+      return;
+    }
+    const int ready = ::poll(pollfds_.data(),
+                             static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+    if (ready <= 0) return;
+    for (size_t i = 0; i < pollfds_.size(); ++i) {
+      const short revents = pollfds_[i].revents;
+      if (revents == 0) continue;
+      Conn& conn = *poll_conns_[i];
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        Drop(conn, conn.busy);
+        continue;
+      }
+      if (conn.connecting && (revents & POLLOUT)) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          Drop(conn, true);
+          continue;
+        }
+        conn.connecting = false;
+      }
+      if ((revents & POLLOUT) && conn.out_off < conn.out.size()) {
+        const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_off,
+                                  conn.out.size() - conn.out_off);
+        if (n > 0) {
+          conn.out_off += static_cast<size_t>(n);
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          Drop(conn, conn.busy);
+          continue;
+        }
+      }
+      if (revents & POLLIN) ReadReplies(conn);
+    }
+  }
+
+  void ReadReplies(Conn& conn) {
+    char buf[16 * 1024];
+    while (true) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.parser.Feed(std::string_view(buf, static_cast<size_t>(n)));
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      Drop(conn, conn.busy);  // peer closed or hard error
+      return;
+    }
+    HttpResponseParser::Response response;
+    while (true) {
+      const HttpResponseParser::Outcome outcome = conn.parser.Next(&response);
+      if (outcome == HttpResponseParser::Outcome::kNeedMore) break;
+      if (outcome == HttpResponseParser::Outcome::kError) {
+        Drop(conn, true);
+        return;
+      }
+      const int64_t latency = WallMicros() - conn.send_start_us;
+      if (response.status >= 200 && response.status < 300) {
+        ++result_.responses_2xx;
+        result_.latency_us.Record(latency);
+      } else if (response.status == 429) {
+        ++result_.responses_429;
+        result_.throttle_latency_us.Record(latency);
+      } else {
+        ++result_.responses_other;
+      }
+      conn.busy = false;
+      if (!response.keep_alive) {
+        Drop(conn, false);
+        return;
+      }
+    }
+  }
+
+  const LoadgenOptions& options_;
+  sockaddr_in addr_;
+  Rng rng_;
+  std::vector<Conn> conns_;
+  std::vector<pollfd> pollfds_;
+  std::vector<Conn*> poll_conns_;
+  LoadgenResult result_;
+};
+
+}  // namespace
+
+std::string LoadgenResult::ToJson() const {
+  return StrFormat(
+      "{\"requests_sent\":%lld,\"responses_2xx\":%lld,\"responses_429\":%lld,"
+      "\"responses_other\":%lld,\"connection_errors\":%lld,"
+      "\"late_sends\":%lld,\"duration_us\":%lld,\"achieved_rps\":%.1f,"
+      "\"latency_p50_us\":%lld,\"latency_p99_us\":%lld,"
+      "\"latency_max_us\":%lld,\"throttle_p99_us\":%lld}",
+      static_cast<long long>(requests_sent),
+      static_cast<long long>(responses_2xx),
+      static_cast<long long>(responses_429),
+      static_cast<long long>(responses_other),
+      static_cast<long long>(connection_errors),
+      static_cast<long long>(late_sends), static_cast<long long>(duration_us),
+      achieved_rps, static_cast<long long>(latency_us.Percentile(50)),
+      static_cast<long long>(latency_us.Percentile(99)),
+      static_cast<long long>(latency_us.max()),
+      static_cast<long long>(throttle_latency_us.Percentile(99)));
+}
+
+Result<LoadgenResult> RunLoadgen(const LoadgenOptions& options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + options.host);
+  }
+  if (options.connections <= 0) {
+    return Status::InvalidArgument("connections must be positive");
+  }
+  return Driver(options, addr).Run();
+}
+
+}  // namespace declsched::net

@@ -1,0 +1,78 @@
+// HTTP load generator for the front door (library half; tools/loadgen.cc
+// is the CLI and bench/bench_net_load.cc the gated bench).
+//
+// One thread multiplexes every connection with poll(): each connection is
+// a nonblocking keep-alive socket with its own response parser, so a
+// thousand concurrent connections cost a thousand fds, not a thousand
+// threads. Two driving modes:
+//
+//   closed loop (open_loop_rps == 0): every connection keeps exactly one
+//     request outstanding — measures saturation throughput;
+//   open loop (open_loop_rps > 0): requests start on a fixed wall-clock
+//     schedule and are handed to idle connections — measures latency at a
+//     controlled offered rate. If every connection is busy when a slot
+//     comes due, the send happens late and `late_sends` counts it (the
+//     coordinated-omission signal).
+//
+// The workload is the front door's submission contract: each request body
+// carries `txns_per_request` transactions of `ops_per_txn` writes over
+// distinct ascending objects drawn from [0, num_objects).
+
+#ifndef DECLSCHED_NET_LOADGEN_H_
+#define DECLSCHED_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/result.h"
+
+namespace declsched::net {
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 64;
+  /// Wall-clock run length (after which outstanding responses drain).
+  int64_t duration_ms = 1000;
+  /// 0 = closed loop; otherwise target offered rate (requests/second).
+  double open_loop_rps = 0;
+  /// Tenant stamped on every submission.
+  int tenant = 0;
+  int txns_per_request = 1;
+  int ops_per_txn = 2;
+  int64_t num_objects = 100000;
+  uint64_t seed = 1;
+  /// Drain window for outstanding responses after the run ends.
+  int64_t drain_timeout_ms = 5000;
+};
+
+struct LoadgenResult {
+  int64_t requests_sent = 0;
+  int64_t responses_2xx = 0;
+  int64_t responses_429 = 0;
+  int64_t responses_other = 0;
+  /// Connections that failed to establish or died mid-run.
+  int64_t connection_errors = 0;
+  /// Open loop only: sends that started after their scheduled slot.
+  int64_t late_sends = 0;
+  int64_t duration_us = 0;
+  /// Completed (2xx) responses per second over the run.
+  double achieved_rps = 0;
+  /// End-to-end latency of 2xx responses, wall micros.
+  Histogram latency_us;
+  /// Latency of 429 responses (how fast backpressure answers).
+  Histogram throttle_latency_us;
+
+  /// One JSON row (the bench artifact shape).
+  std::string ToJson() const;
+};
+
+/// Runs the load and blocks until done. Errors only on setup failures
+/// (bad address, no connection could be established); per-request errors
+/// are counted in the result.
+Result<LoadgenResult> RunLoadgen(const LoadgenOptions& options);
+
+}  // namespace declsched::net
+
+#endif  // DECLSCHED_NET_LOADGEN_H_

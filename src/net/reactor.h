@@ -1,0 +1,85 @@
+// Single-threaded epoll event loop with cross-thread task posting.
+//
+// The reactor owns nothing but the loop: callers register file descriptors
+// with interest masks and callbacks, and the loop dispatches readiness
+// events on its own thread. Post() is the only thread-safe entry point —
+// it enqueues a closure and wakes the loop via an eventfd, which is how
+// shard worker threads hand completed-request responses back to the
+// network thread without any locking in the connection code.
+
+#ifndef DECLSCHED_NET_REACTOR_H_
+#define DECLSCHED_NET_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace declsched::net {
+
+class Reactor {
+ public:
+  /// Bitmask of readiness kinds a handler cares about.
+  static constexpr uint32_t kReadable = 1;
+  static constexpr uint32_t kWritable = 2;
+
+  /// Called with the readiness mask; runs on the reactor thread.
+  using EventFn = std::function<void(uint32_t events)>;
+  using TaskFn = std::function<void()>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `fd` with the given interest mask. The callback stays
+  /// alive until Remove(fd). Reactor-thread or pre-Start only.
+  Status Add(int fd, uint32_t interest, EventFn fn);
+  /// Changes the interest mask of a registered fd.
+  Status Modify(int fd, uint32_t interest);
+  /// Deregisters `fd`; does not close it. Safe to call from inside the
+  /// fd's own callback.
+  void Remove(int fd);
+
+  /// Enqueues `fn` to run on the reactor thread. Thread-safe; the loop
+  /// is woken if sleeping. Tasks posted after Stop() are dropped.
+  void Post(TaskFn fn);
+
+  /// Runs the loop on a dedicated thread until Stop().
+  void Start();
+  /// Stops the loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool InReactorThread() const {
+    return std::this_thread::get_id() == thread_id_.load();
+  }
+
+ private:
+  void Run();
+  void DrainTasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::atomic<std::thread::id> thread_id_{};
+
+  // Handlers are shared_ptr so a callback removing its own (or another)
+  // fd mid-dispatch cannot free the std::function under execution.
+  std::unordered_map<int, std::shared_ptr<EventFn>> handlers_;
+
+  std::mutex task_mu_;
+  std::vector<TaskFn> tasks_;
+  bool accepting_tasks_ = true;
+};
+
+}  // namespace declsched::net
+
+#endif  // DECLSCHED_NET_REACTOR_H_

@@ -1,0 +1,173 @@
+#include "observability/metrics.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace declsched::observability {
+
+namespace {
+
+/// Canonical key of a label set: `k1="v1",k2="v2"` in given order.
+std::string LabelKey(const MetricLabels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (!key.empty()) key += ',';
+    key += k;
+    key += "=\"";
+    for (char c : v) {
+      if (c == '\\' || c == '"') key += '\\';
+      key += c;
+    }
+    key += '"';
+  }
+  return key;
+}
+
+std::string RenderName(const std::string& name, const std::string& label_key,
+                       const std::string& extra = "") {
+  std::string out = name;
+  if (!label_key.empty() || !extra.empty()) {
+    out += '{';
+    out += label_key;
+    if (!label_key.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<int64_t>& DefaultLatencyBoundsUs() {
+  static const std::vector<int64_t> kBounds = {
+      50,     100,    250,    500,     1000,    2500,    5000,    10000,
+      25000,  50000,  100000, 250000,  500000,  1000000, 2500000, 5000000};
+  return kBounds;
+}
+
+MetricsRegistry::Instance* MetricsRegistry::GetInstance(
+    const std::string& name, const std::string& help, Kind kind,
+    MetricLabels labels, const std::vector<int64_t>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = nullptr;
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    family = it->second;
+    DS_CHECK(family->kind == kind);  // one kind per family, ever
+  } else {
+    auto owned = std::make_unique<Family>();
+    owned->name = name;
+    owned->help = help;
+    owned->kind = kind;
+    if (bounds != nullptr) owned->bounds = *bounds;
+    family = owned.get();
+    families_.push_back(std::move(owned));
+    by_name_[name] = family;
+  }
+  const std::string key = LabelKey(labels);
+  auto inst_it = family->by_label_key.find(key);
+  if (inst_it != family->by_label_key.end()) return inst_it->second;
+  auto inst = std::make_unique<Instance>();
+  inst->labels = std::move(labels);
+  switch (kind) {
+    case Kind::kCounter:
+      inst->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      inst->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      inst->histogram = std::make_unique<HistogramMetric>();
+      break;
+  }
+  Instance* raw = inst.get();
+  family->instances.push_back(std::move(inst));
+  family->by_label_key[key] = raw;
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     MetricLabels labels) {
+  return GetInstance(name, help, Kind::kCounter, std::move(labels), nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help, MetricLabels labels) {
+  return GetInstance(name, help, Kind::kGauge, std::move(labels), nullptr)
+      ->gauge.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(
+    const std::string& name, const std::string& help, MetricLabels labels,
+    const std::vector<int64_t>& bounds_us) {
+  return GetInstance(name, help, Kind::kHistogram, std::move(labels), &bounds_us)
+      ->histogram.get();
+}
+
+int64_t MetricsRegistry::Value(const std::string& name,
+                               const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return 0;
+  auto inst_it = it->second->by_label_key.find(LabelKey(labels));
+  if (inst_it == it->second->by_label_key.end()) return 0;
+  const Instance& inst = *inst_it->second;
+  if (inst.counter) return inst.counter->Value();
+  if (inst.gauge) return inst.gauge->Value();
+  if (inst.histogram) return inst.histogram->Snapshot().count();
+  return 0;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& family : families_) {
+    os << "# HELP " << family->name << ' ' << family->help << '\n';
+    os << "# TYPE " << family->name << ' ';
+    switch (family->kind) {
+      case Kind::kCounter:
+        os << "counter\n";
+        break;
+      case Kind::kGauge:
+        os << "gauge\n";
+        break;
+      case Kind::kHistogram:
+        os << "histogram\n";
+        break;
+    }
+    for (const auto& inst : family->instances) {
+      const std::string key = LabelKey(inst->labels);
+      switch (family->kind) {
+        case Kind::kCounter:
+          os << RenderName(family->name, key) << ' ' << inst->counter->Value()
+             << '\n';
+          break;
+        case Kind::kGauge:
+          os << RenderName(family->name, key) << ' ' << inst->gauge->Value()
+             << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram snap = inst->histogram->Snapshot();
+          for (int64_t bound : family->bounds) {
+            os << RenderName(family->name + "_bucket", key,
+                             "le=\"" + std::to_string(bound) + "\"")
+               << ' ' << snap.CountAtOrBelow(bound) << '\n';
+          }
+          os << RenderName(family->name + "_bucket", key, "le=\"+Inf\"") << ' '
+             << snap.count() << '\n';
+          os << RenderName(family->name + "_sum", key) << ' '
+             << static_cast<int64_t>(snap.sum()) << '\n';
+          os << RenderName(family->name + "_count", key) << ' ' << snap.count()
+             << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace declsched::observability

@@ -1,0 +1,141 @@
+// Lock-cheap metrics registry with Prometheus text exposition.
+//
+// The scrape surface every layer of the stack reports into: the sharded
+// scheduler counts admissions/cycles/escrows per shard, the HTTP front door
+// counts requests/throttles and times request latency, and GET /metrics
+// renders the whole registry in Prometheus text format — so every bench and
+// dashboard reads from the same counters the serving path maintains.
+//
+// Cost model: registration (GetCounter/GetGauge/GetHistogram) takes a mutex
+// and should happen once at setup; the returned pointers are stable for the
+// registry's lifetime, and every operation on them is a relaxed atomic —
+// no lock, no allocation on the hot path. Histograms are the log-bucketed
+// common/histogram layout recorded through ConcurrentHistogram (lock-free
+// multi-writer) and rendered as fixed cumulative `le` buckets at scrape
+// time, so recording cost never depends on the exposition schema.
+//
+// Naming follows Prometheus conventions: counters end in `_total`, time
+// histograms in `_us` (this codebase measures microseconds throughout).
+// Labels are ordered (name, value) pairs fixed at registration; the same
+// name may be registered many times with different label sets (one metric
+// per shard, per tenant, ...) and renders as one family.
+
+#ifndef DECLSCHED_OBSERVABILITY_METRICS_H_
+#define DECLSCHED_OBSERVABILITY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace declsched::observability {
+
+/// Ordered label set of one metric instance, fixed at registration.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone counter. All methods thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time value. All methods thread-safe, lock-free.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Multi-writer distribution; renders as a Prometheus histogram with the
+/// fixed `le` bounds chosen at registration.
+class HistogramMetric {
+ public:
+  void Record(int64_t value) { histogram_.Record(value); }
+  /// Mergeable cut of the recorded distribution (percentiles, mean, ...).
+  Histogram Snapshot() const { return histogram_.Snapshot(); }
+
+ private:
+  ConcurrentHistogram histogram_;
+};
+
+/// Default `le` bounds for microsecond latency histograms: 50us .. 5s.
+const std::vector<int64_t>& DefaultLatencyBoundsUs();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds, if this exact name+labels was registered before)
+  /// a metric. The pointer stays valid for the registry's lifetime; cache
+  /// it — lookup takes the registry mutex. `help` is kept from the first
+  /// registration of a family. A name registered as one kind must not be
+  /// re-registered as another (returns the existing metric of the first
+  /// kind's family if labels match, otherwise aborts — a programming
+  /// error, not an input error).
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {});
+  HistogramMetric* GetHistogram(const std::string& name, const std::string& help,
+                                MetricLabels labels = {},
+                                const std::vector<int64_t>& bounds_us =
+                                    DefaultLatencyBoundsUs());
+
+  /// The whole registry in Prometheus text exposition format, families in
+  /// registration order, instances in label order. Thread-safe; values are
+  /// a relaxed read per metric (no stop-the-world cut).
+  std::string RenderPrometheus() const;
+
+  /// Reads a counter/gauge value back by name+labels (tests, stats
+  /// endpoints); 0 if absent.
+  int64_t Value(const std::string& name, const MetricLabels& labels = {}) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instance {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+
+  struct Family {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::vector<int64_t> bounds;  ///< histogram `le` bounds (us)
+    std::vector<std::unique_ptr<Instance>> instances;
+    std::map<std::string, Instance*> by_label_key;
+  };
+
+  Instance* GetInstance(const std::string& name, const std::string& help,
+                        Kind kind, MetricLabels labels,
+                        const std::vector<int64_t>* bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Family>> families_;
+  std::map<std::string, Family*> by_name_;
+};
+
+}  // namespace declsched::observability
+
+#endif  // DECLSCHED_OBSERVABILITY_METRICS_H_

@@ -32,6 +32,28 @@ ShardedScheduler::ShardedScheduler(Options options,
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  if (options_.metrics != nullptr) {
+    auto* m = options_.metrics;
+    m_submitted_ =
+        m->GetCounter("sched_submitted_total", "Requests admitted (routed)");
+    m_dispatched_ =
+        m->GetCounter("sched_dispatched_total", "Requests dispatched");
+    m_cycles_ = m->GetCounter("sched_cycles_total", "Scheduler cycles run");
+    m_escrows_ = m->GetCounter("sched_escrows_total",
+                               "Cross-shard finishers through escrow");
+    m_mirrors_ = m->GetCounter("sched_mirrors_applied_total",
+                               "Escrow mirror markers applied");
+    m_victims_ =
+        m->GetCounter("sched_victims_total", "Deadlock victims aborted");
+    m_gc_removed_ = m->GetCounter("sched_gc_removed_total",
+                                  "History rows retired by GC");
+    m_cycle_us_.reserve(static_cast<size_t>(options_.num_shards));
+    for (int i = 0; i < options_.num_shards; ++i) {
+      m_cycle_us_.push_back(
+          m->GetHistogram("sched_cycle_us", "Cycle wall time per shard",
+                          {{"shard", std::to_string(i)}}));
+    }
+  }
 }
 
 ShardedScheduler::~ShardedScheduler() { Stop(); }
@@ -105,8 +127,10 @@ int64_t ShardedScheduler::Submit(Request request, SimTime now) {
       shards_[*it]->ticket_mu.unlock();
     }
     escrows_.fetch_add(1, std::memory_order_relaxed);
+    if (m_escrows_ != nullptr) m_escrows_->Increment();
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (m_submitted_ != nullptr) m_submitted_->Increment();
   coordination_us_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
   return request.id;
 }
@@ -136,6 +160,7 @@ int ShardedScheduler::ApplyMirrors(int s) {
       }
     }
     mirrors_applied_.fetch_add(1, std::memory_order_relaxed);
+    if (m_mirrors_ != nullptr) m_mirrors_->Increment();
   }
   return static_cast<int>(inbox.size());
 }
@@ -164,6 +189,9 @@ Status ShardedScheduler::ProcessDispatched(int s, const RequestBatch& batch) {
   }
   dispatched_.fetch_add(static_cast<int64_t>(batch.size()),
                         std::memory_order_relaxed);
+  if (m_dispatched_ != nullptr) {
+    m_dispatched_->Increment(static_cast<int64_t>(batch.size()));
+  }
   if (options_.keep_dispatch_log) {
     std::lock_guard<std::mutex> lock(dispatch_log_mu_);
     dispatch_log_.insert(dispatch_log_.end(), batch.begin(), batch.end());
@@ -216,6 +244,11 @@ Result<bool> ShardedScheduler::RunShardOnce(int s, SimTime now) {
 
   DS_ASSIGN_OR_RETURN(const CycleStats stats, sh.sched->RunCycle(now));
   cycles_.fetch_add(1, std::memory_order_relaxed);
+  if (m_cycles_ != nullptr) {
+    m_cycles_->Increment();
+    m_cycle_us_[static_cast<size_t>(s)]->Record(stats.total_us);
+    if (stats.gc_removed > 0) m_gc_removed_->Increment(stats.gc_removed);
+  }
   DS_RETURN_NOT_OK(ProcessDispatched(s, sh.sched->last_dispatched()));
 
   // Cross-shard victim mirroring: the resolver aborted these transactions
@@ -223,6 +256,7 @@ Result<bool> ShardedScheduler::RunShardOnce(int s, SimTime now) {
   // in their footprint.
   for (txn::TxnId victim : sh.sched->last_victims()) {
     victims_.fetch_add(1, std::memory_order_relaxed);
+    if (m_victims_ != nullptr) m_victims_->Increment();
     const std::vector<int> footprint = router_.Footprint(victim);
     router_.Forget(victim);
     for (int t : footprint) {

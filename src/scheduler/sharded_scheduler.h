@@ -73,6 +73,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "observability/metrics.h"
 #include "scheduler/declarative_scheduler.h"
 #include "scheduler/shard_router.h"
 
@@ -95,6 +96,11 @@ class ShardedScheduler {
     /// Record every dispatched request into the log read by
     /// TakeDispatched(). Turn off for throughput benches that only count.
     bool keep_dispatch_log = true;
+    /// When set, the scheduler reports sched_* metrics (admissions,
+    /// dispatches, per-shard cycle cost, escrow traffic, GC retirements)
+    /// into this registry alongside its own atomics. The registry must
+    /// outlive the scheduler. Null = zero instrumentation cost.
+    observability::MetricsRegistry* metrics = nullptr;
   };
 
   /// Monotone aggregates, readable from any thread at any time.
@@ -264,6 +270,16 @@ class ShardedScheduler {
 
   std::mutex dispatch_log_mu_;
   RequestBatch dispatch_log_;
+
+  /// Cached metric pointers (non-null iff options_.metrics is set).
+  observability::Counter* m_submitted_ = nullptr;
+  observability::Counter* m_dispatched_ = nullptr;
+  observability::Counter* m_cycles_ = nullptr;
+  observability::Counter* m_escrows_ = nullptr;
+  observability::Counter* m_mirrors_ = nullptr;
+  observability::Counter* m_victims_ = nullptr;
+  observability::Counter* m_gc_removed_ = nullptr;
+  std::vector<observability::HistogramMetric*> m_cycle_us_;  ///< per shard
 
   /// Notified whenever a worker parks; WaitIdle waits on it.
   std::mutex idle_mu_;

@@ -19,10 +19,50 @@ DatabaseServer::DatabaseServer(const Config& config)
   }
 }
 
+Status DatabaseServer::ValidateStatement(const Statement& stmt) const {
+  if (stmt.op == txn::OpType::kRead || stmt.op == txn::OpType::kWrite) {
+    if (stmt.object < 0 || stmt.object >= config_.num_rows) {
+      return Status::InvalidArgument(
+          StrFormat("row %lld out of range [0, %lld)",
+                    static_cast<long long>(stmt.object),
+                    static_cast<long long>(config_.num_rows)));
+    }
+  }
+  if (!config_.known_tenants.empty()) {
+    bool known = false;
+    for (int t : config_.known_tenants) {
+      if (t == stmt.tenant) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument(
+          StrFormat("unknown tenant %d", stmt.tenant));
+    }
+  }
+  return Status::OK();
+}
+
+Status DatabaseServer::ValidateBatch(const StatementBatch& batch) const {
+  if (config_.max_batch_statements > 0 &&
+      static_cast<int64_t>(batch.size()) > config_.max_batch_statements) {
+    return Status::InvalidArgument(
+        StrFormat("batch of %lld statements exceeds limit %lld",
+                  static_cast<long long>(batch.size()),
+                  static_cast<long long>(config_.max_batch_statements)));
+  }
+  for (const Statement& stmt : batch) {
+    DS_RETURN_NOT_OK(ValidateStatement(stmt));
+  }
+  return Status::OK();
+}
+
 Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
     const StatementBatch& batch, int shard) {
   BatchStats stats;
   if (batch.empty()) return stats;
+  DS_RETURN_NOT_OK(ValidateBatch(batch));
   std::lock_guard<std::mutex> lock(mu_);
   stats.busy = config_.cost.batch_dispatch;
   for (const Statement& stmt : batch) {
@@ -30,12 +70,6 @@ Result<DatabaseServer::BatchStats> DatabaseServer::ExecuteBatch(
     switch (stmt.op) {
       case txn::OpType::kRead:
       case txn::OpType::kWrite: {
-        if (stmt.object < 0 || stmt.object >= config_.num_rows) {
-          return Status::InvalidArgument(
-              StrFormat("row %lld out of range [0, %lld)",
-                        static_cast<long long>(stmt.object),
-                        static_cast<long long>(config_.num_rows)));
-        }
         if (config_.materialize_rows) {
           const storage::Row* row = table_.Get(stmt.object);
           if (stmt.op == txn::OpType::kWrite) {

@@ -37,6 +37,12 @@ class DatabaseServer {
     /// When false, data is not materialized and statements only account
     /// simulated time (fast mode for large benchmarks).
     bool materialize_rows = true;
+    /// Tenants allowed to execute; empty means any tenant id. Statements
+    /// from other tenants fail validation with InvalidArgument.
+    std::vector<int> known_tenants;
+    /// Upper bound on statements per batch; larger batches fail validation
+    /// with InvalidArgument. 0 disables the check.
+    int64_t max_batch_statements = 0;
   };
 
   explicit DatabaseServer(const Config& config);
@@ -50,11 +56,23 @@ class DatabaseServer {
     SimTime busy;
   };
 
-  /// Executes a pre-scheduled batch without internal scheduling. Statements
-  /// touching rows outside [0, num_rows) fail with InvalidArgument.
-  /// Thread-safe: concurrent callers (shard dispatchers) serialize on an
-  /// internal mutex. `shard` attributes the batch's busy time to that
-  /// dispatcher (see shard_busy); pass 0 when unsharded.
+  /// Checks one statement against this server's config without executing
+  /// it: row in [0, num_rows), tenant known (when known_tenants is set).
+  /// InvalidArgument on violation. Thread-safe (config is immutable), so
+  /// the network front door can pre-validate before admission.
+  Status ValidateStatement(const Statement& stmt) const;
+
+  /// ValidateStatement over a whole batch, plus the max_batch_statements
+  /// bound. The first violation is returned.
+  Status ValidateBatch(const StatementBatch& batch) const;
+
+  /// Executes a pre-scheduled batch without internal scheduling.
+  /// Validate-first: the whole batch is checked (ValidateBatch) before any
+  /// statement executes, so a failed batch leaves data and accounting
+  /// untouched — no partial application. Thread-safe: concurrent callers
+  /// (shard dispatchers) serialize on an internal mutex. `shard`
+  /// attributes the batch's busy time to that dispatcher (see
+  /// shard_busy); pass 0 when unsharded.
   Result<BatchStats> ExecuteBatch(const StatementBatch& batch, int shard = 0);
 
   /// Current value of a row (writes increment it); 0 in non-materialized

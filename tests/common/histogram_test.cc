@@ -1,5 +1,9 @@
 #include "common/histogram.h"
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 #include "gtest/gtest.h"
 
@@ -104,6 +108,78 @@ TEST(HistogramTest, PercentileMonotone) {
     EXPECT_GE(v, prev) << "p=" << p;
     prev = v;
   }
+}
+
+TEST(HistogramTest, CountAtOrBelowIsMonotoneAndCumulative) {
+  Histogram h;
+  for (int64_t v : {1, 5, 50, 500, 5000, 50000}) h.Record(v);
+  EXPECT_EQ(h.CountAtOrBelow(0), 0);
+  // Small values land in exact buckets.
+  EXPECT_EQ(h.CountAtOrBelow(1), 1);
+  EXPECT_EQ(h.CountAtOrBelow(5), 2);
+  EXPECT_EQ(h.CountAtOrBelow(50), 3);
+  // Beyond the max everything is included.
+  EXPECT_EQ(h.CountAtOrBelow(1 << 30), 6);
+  // Monotone in the query value.
+  int64_t prev = 0;
+  for (int64_t v = 0; v < 100000; v = v * 2 + 1) {
+    const int64_t c = h.CountAtOrBelow(v);
+    EXPECT_GE(c, prev) << "value=" << v;
+    prev = c;
+  }
+}
+
+TEST(ConcurrentHistogramTest, SnapshotMatchesSingleWriterResult) {
+  ConcurrentHistogram ch;
+  Histogram reference;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(0, 1000000);
+    ch.Record(v);
+    reference.Record(v);
+  }
+  const Histogram snap = ch.Snapshot();
+  EXPECT_EQ(snap.count(), reference.count());
+  EXPECT_EQ(snap.min(), reference.min());
+  EXPECT_EQ(snap.max(), reference.max());
+  EXPECT_EQ(snap.Percentile(50), reference.Percentile(50));
+  EXPECT_EQ(snap.Percentile(99), reference.Percentile(99));
+}
+
+TEST(ConcurrentHistogramTest, ParallelWritersLoseNothing) {
+  ConcurrentHistogram ch;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ch, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        ch.Record(rng.UniformInt(0, 1000000));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Histogram snap = ch.Snapshot();
+  EXPECT_EQ(snap.count(), kThreads * kPerThread);
+  // Internal consistency: bucket sum equals count.
+  EXPECT_EQ(snap.CountAtOrBelow(INT64_MAX), kThreads * kPerThread);
+}
+
+TEST(ConcurrentHistogramTest, SnapshotUnderConcurrentWritesIsConsistent) {
+  ConcurrentHistogram ch;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(9);
+    while (!stop.load()) ch.Record(rng.UniformInt(0, 10000));
+  });
+  for (int i = 0; i < 50; ++i) {
+    const Histogram snap = ch.Snapshot();
+    // A snapshot cut mid-stream must still be internally consistent.
+    EXPECT_EQ(snap.CountAtOrBelow(INT64_MAX), snap.count());
+  }
+  stop.store(true);
+  writer.join();
 }
 
 }  // namespace

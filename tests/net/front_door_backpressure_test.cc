@@ -1,0 +1,116 @@
+// Backpressure property test: an aggressor tenant hammering the front door
+// past its admission rate gets throttled with 429s and cannot push more
+// statements than its token bucket allows, while a compliant tenant's
+// latency stays bounded — and through it all, no admitted request is lost
+// or double-dispatched.
+
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "net/front_door.h"
+#include "net/loadgen.h"
+#include "scheduler/protocol_library.h"
+
+namespace declsched::net {
+namespace {
+
+constexpr int kAggressorTenant = 1;
+constexpr int kCompliantTenant = 2;
+constexpr int64_t kAggressorRate = 400;   // statements per wall second
+constexpr int64_t kAggressorBurst = 100;  // bucket capacity
+constexpr int64_t kRunMs = 1500;
+
+TEST(FrontDoorBackpressureTest, AggressorThrottledCompliantUnharmed) {
+  FrontDoor::Options options;
+  options.num_shards = 2;
+  options.shard.protocol = scheduler::Ss2plNative();
+  options.server.num_rows = 100000;
+  scheduler::TenantQosSpec aggressor_spec;
+  aggressor_spec.rate = kAggressorRate;
+  aggressor_spec.burst = kAggressorBurst;
+  options.shard.tenant_qos.tenants[kAggressorTenant] = aggressor_spec;
+  // The compliant tenant has no spec: admission never throttles it.
+  FrontDoor door(std::move(options));
+  ASSERT_TRUE(door.Start().ok());
+
+  auto loadgen_for = [&](int tenant) {
+    LoadgenOptions lg;
+    lg.port = door.port();
+    lg.duration_ms = kRunMs;
+    lg.ops_per_txn = 2;
+    lg.num_objects = 100000;
+    lg.tenant = tenant;
+    lg.seed = static_cast<uint64_t>(tenant);
+    return lg;
+  };
+
+  // Aggressor: closed loop over 16 connections — offered load far above
+  // its 400 statements/s admission rate.
+  LoadgenOptions aggressor_options = loadgen_for(kAggressorTenant);
+  aggressor_options.connections = 16;
+  // Compliant: a polite open-loop 40 req/s.
+  LoadgenOptions compliant_options = loadgen_for(kCompliantTenant);
+  compliant_options.connections = 8;
+  compliant_options.open_loop_rps = 40;
+
+  LoadgenResult aggressor, compliant;
+  std::thread aggressor_thread([&] {
+    Result<LoadgenResult> run = RunLoadgen(aggressor_options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    aggressor = std::move(run).MoveValue();
+  });
+  Result<LoadgenResult> compliant_run = RunLoadgen(compliant_options);
+  aggressor_thread.join();
+  ASSERT_TRUE(compliant_run.ok()) << compliant_run.status().ToString();
+  compliant = std::move(compliant_run).MoveValue();
+
+  // The aggressor was actually throttled, and with the fast 429 path: a
+  // reject answers from admission without touching the scheduler.
+  EXPECT_GT(aggressor.responses_429, 0);
+  EXPECT_GT(door.metrics().Value("frontdoor_throttled_total",
+                                 {{"reason", "tenant"}}),
+            0);
+  // Token-bucket ceiling: admitted statements cannot exceed burst plus
+  // rate * elapsed. Allow 2x slack for scheduling jitter on a loaded core.
+  const int64_t aggressor_statements =
+      aggressor.responses_2xx * aggressor_options.ops_per_txn;
+  const int64_t ceiling =
+      kAggressorBurst +
+      kAggressorRate * (aggressor.duration_us / 1000000 + 1);
+  EXPECT_LE(aggressor_statements, 2 * ceiling)
+      << "aggressor pushed " << aggressor_statements
+      << " statements past a bucket ceiling of " << ceiling;
+
+  // The compliant tenant saw no throttling and a bounded tail. The bound
+  // is generous — server, shards, and both load generators share one CPU
+  // in CI — but it is orders of magnitude below an unthrottled aggressor
+  // monopolizing the scheduler.
+  EXPECT_EQ(compliant.responses_429, 0);
+  EXPECT_GT(compliant.responses_2xx, 0);
+  EXPECT_LE(compliant.latency_us.Percentile(99), 250000)
+      << compliant.ToJson();
+
+  // Conservation: every request answered exactly once, nothing left over.
+  for (const LoadgenResult* r : {&aggressor, &compliant}) {
+    EXPECT_EQ(r->responses_2xx + r->responses_429 + r->responses_other,
+              r->requests_sent);
+    EXPECT_EQ(r->connection_errors, 0);
+  }
+  // No admitted request lost or double-dispatched: the scheduler dispatched
+  // exactly what was submitted, the front door retired every admitted
+  // statement, and the committed-txn counter matches the 2xx responses.
+  const scheduler::ShardedScheduler::Totals totals = door.sched()->totals();
+  EXPECT_EQ(totals.submitted, totals.dispatched);
+  EXPECT_EQ(door.inflight_statements(), 0);
+  const int64_t committed_txns =
+      door.metrics().Value("frontdoor_txns_committed_total");
+  EXPECT_EQ(committed_txns, aggressor.responses_2xx + compliant.responses_2xx);
+  // Each committed txn dispatched ops + commit; nothing else was submitted.
+  EXPECT_EQ(totals.dispatched,
+            committed_txns * (aggressor_options.ops_per_txn + 1));
+
+  door.Shutdown();
+}
+
+}  // namespace
+}  // namespace declsched::net

@@ -1,0 +1,198 @@
+#include "net/http.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace declsched::net {
+namespace {
+
+using Outcome = HttpRequestParser::Outcome;
+
+TEST(HttpRequestParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  parser.Feed("GET /v1/stats HTTP/1.1\r\nHost: x\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/v1/stats");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_TRUE(req.keep_alive);
+  ASSERT_NE(req.Header("host"), nullptr);  // case-insensitive
+  EXPECT_EQ(*req.Header("Host"), "x");
+  EXPECT_EQ(parser.Next(&req), Outcome::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpRequestParserTest, ParsesPostWithBody) {
+  HttpRequestParser parser;
+  const std::string body = R"({"tenant":1})";
+  parser.Feed("POST /v1/submit HTTP/1.1\r\nContent-Length: " +
+              std::to_string(body.size()) + "\r\n\r\n" + body);
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.body, body);
+}
+
+TEST(HttpRequestParserTest, ByteAtATimeFeeding) {
+  const std::string wire =
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+  HttpRequestParser parser;
+  HttpRequest req;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    const Outcome outcome = parser.Next(&req);
+    if (i < wire.size()) {
+      EXPECT_EQ(outcome, Outcome::kNeedMore) << "at byte " << i;
+    }
+    parser.Feed(std::string_view(&wire[i], 1));
+  }
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_EQ(req.body, "xyz");
+}
+
+TEST(HttpRequestParserTest, PipelinedRequestsComeOutInOrder) {
+  HttpRequestParser parser;
+  parser.Feed(
+      "GET /one HTTP/1.1\r\n\r\n"
+      "POST /two HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /three HTTP/1.1\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_EQ(req.target, "/one");
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_EQ(req.target, "/two");
+  EXPECT_EQ(req.body, "hi");
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_EQ(req.target, "/three");
+  EXPECT_EQ(parser.Next(&req), Outcome::kNeedMore);
+}
+
+TEST(HttpRequestParserTest, KeepAliveSemantics) {
+  HttpRequestParser parser;
+  parser.Feed(
+      "GET /a HTTP/1.1\r\nConnection: close\r\n\r\n"
+      "GET /b HTTP/1.0\r\n\r\n"
+      "GET /c HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_FALSE(req.keep_alive);  // 1.1 + close
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_FALSE(req.keep_alive);  // 1.0 default
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_TRUE(req.keep_alive);  // 1.0 + keep-alive
+}
+
+TEST(HttpRequestParserTest, BareLfLineEndingsTolerated) {
+  HttpRequestParser parser;
+  parser.Feed("GET /x HTTP/1.1\nHost: y\n\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kRequest);
+  EXPECT_EQ(req.target, "/x");
+  EXPECT_EQ(*req.Header("host"), "y");
+}
+
+TEST(HttpRequestParserTest, OversizedHeadersAre431) {
+  HttpRequestParser::Limits limits;
+  limits.max_header_bytes = 128;
+  HttpRequestParser parser(limits);
+  // No terminator in sight and already over the limit: reject without
+  // buffering more.
+  parser.Feed("GET /x HTTP/1.1\r\nX-Filler: " + std::string(200, 'a'));
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpRequestParserTest, OversizedBodyIs413) {
+  HttpRequestParser::Limits limits;
+  limits.max_body_bytes = 10;
+  HttpRequestParser parser(limits);
+  parser.Feed("POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\n");
+  HttpRequest req;
+  // Rejected from the declared length, before any body bytes arrive.
+  ASSERT_EQ(parser.Next(&req), Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpRequestParserTest, MalformedRequestLineIs400) {
+  for (const char* wire :
+       {"GARBAGE\r\n\r\n", "GET\r\n\r\n", "GET /x\r\n\r\n",
+        "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        "POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n"}) {
+    HttpRequestParser parser;
+    parser.Feed(wire);
+    HttpRequest req;
+    ASSERT_EQ(parser.Next(&req), Outcome::kError) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+}
+
+TEST(HttpRequestParserTest, UnsupportedVersionIs505) {
+  HttpRequestParser parser;
+  parser.Feed("GET /x HTTP/2.0\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpRequestParserTest, TransferEncodingIs501) {
+  HttpRequestParser parser;
+  parser.Feed("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.Next(&req), Outcome::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpRequestTest, PathAndQuery) {
+  HttpRequest req;
+  req.target = "/v1/admin/explain?protocol=edf-sql&verbose=1";
+  EXPECT_EQ(req.Path(), "/v1/admin/explain");
+  EXPECT_EQ(req.Query("protocol"), "edf-sql");
+  EXPECT_EQ(req.Query("verbose"), "1");
+  EXPECT_EQ(req.Query("absent"), "");
+  req.target = "/plain";
+  EXPECT_EQ(req.Path(), "/plain");
+  EXPECT_EQ(req.Query("protocol"), "");
+}
+
+TEST(HttpResponseTest, SerializeSetsFramingHeaders) {
+  HttpResponse response = HttpResponse::Json(200, R"({"ok":true})");
+  const std::string wire = response.Serialize(/*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_EQ(wire.find("Connection: close"), std::string::npos);
+  const std::string closed = response.Serialize(/*keep_alive=*/false);
+  EXPECT_NE(closed.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorBodyShape) {
+  HttpResponse response =
+      HttpResponse::Error(429, "RESOURCE_EXHAUSTED", "tenant throttled");
+  EXPECT_EQ(response.status, 429);
+  EXPECT_NE(response.body.find("\"error\":\"RESOURCE_EXHAUSTED\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"message\":\"tenant throttled\""),
+            std::string::npos);
+}
+
+TEST(HttpResponseParserTest, ParsesPipelinedResponses) {
+  HttpResponseParser parser;
+  parser.Feed(
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"
+      "HTTP/1.1 429 Too Many Requests\r\nContent-Length: 0\r\n"
+      "Connection: close\r\n\r\n");
+  HttpResponseParser::Response response;
+  ASSERT_EQ(parser.Next(&response), HttpResponseParser::Outcome::kResponse);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok");
+  EXPECT_TRUE(response.keep_alive);
+  ASSERT_EQ(parser.Next(&response), HttpResponseParser::Outcome::kResponse);
+  EXPECT_EQ(response.status, 429);
+  EXPECT_FALSE(response.keep_alive);
+  EXPECT_EQ(parser.Next(&response), HttpResponseParser::Outcome::kNeedMore);
+}
+
+}  // namespace
+}  // namespace declsched::net

@@ -1,0 +1,91 @@
+#include "net/json.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace declsched::net {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  Result<JsonValue> parsed = JsonValue::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << "\n" << parsed.status().ToString();
+  return parsed.ok() ? std::move(parsed).MoveValue() : JsonValue();
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_EQ(MustParse("true").AsBool(), true);
+  EXPECT_EQ(MustParse("false").AsBool(), false);
+  EXPECT_EQ(MustParse("42").AsInt64(), 42);
+  EXPECT_EQ(MustParse("-7").AsInt64(), -7);
+  EXPECT_DOUBLE_EQ(MustParse("2.5").AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").AsDouble(), 1000.0);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  const JsonValue v = MustParse(
+      R"({"tenant":3,"txns":[{"ops":[{"op":"write","object":9}]}]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Get("tenant")->AsInt64(), 3);
+  const JsonValue* txns = v.Get("txns");
+  ASSERT_TRUE(txns != nullptr && txns->is_array());
+  ASSERT_EQ(txns->size(), 1u);
+  const JsonValue* ops = txns->at(0).Get("ops");
+  ASSERT_TRUE(ops != nullptr && ops->is_array());
+  EXPECT_EQ(ops->at(0).Get("op")->AsString(), "write");
+  EXPECT_EQ(ops->at(0).Get("object")->AsInt64(), 9);
+}
+
+TEST(JsonTest, GetOnAbsentKeyOrNonObjectIsNull) {
+  const JsonValue v = MustParse(R"({"a":1})");
+  EXPECT_EQ(v.Get("b"), nullptr);
+  EXPECT_EQ(MustParse("[1]").Get("a"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\nd\te")").AsString(), "a\"b\\c\nd\te");
+  // \uXXXX decodes to UTF-8.
+  EXPECT_EQ(MustParse(R"("\u0041")").AsString(), "A");
+  EXPECT_EQ(MustParse(R"("\u00e9")").AsString(), "\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1}garbage", "[1,]", "nan", "+1"}) {
+    Result<JsonValue> parsed = JsonValue::Parse(bad);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(10000, '[');
+  deep += std::string(10000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const std::string compact =
+      R"({"a":1,"b":[true,null,"x"],"c":{"d":-2}})";
+  EXPECT_EQ(MustParse(compact).Dump(), compact);
+}
+
+TEST(JsonTest, BuildAndDump) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("n", JsonValue::Int(5));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Str("a\"b"));
+  obj.Set("list", std::move(arr));
+  EXPECT_EQ(obj.Dump(), R"({"n":5,"list":["a\"b"]})");
+}
+
+TEST(JsonTest, JsonQuoteEscapes) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b\\c"), R"("a\"b\\c")");
+  EXPECT_EQ(JsonQuote(std::string("\x01", 1)), "\"\\u0001\"");
+}
+
+}  // namespace
+}  // namespace declsched::net

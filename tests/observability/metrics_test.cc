@@ -1,0 +1,142 @@
+#include "observability/metrics.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace declsched::observability {
+namespace {
+
+TEST(MetricsRegistryTest, CounterRegistersAndCounts) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("requests_total", "Requests seen.");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->Value(), 5);
+  EXPECT_EQ(registry.Value("requests_total"), 5);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "X.");
+  Counter* b = registry.GetCounter("x_total", "X.");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      registry.GetCounter("x_total", "X.", {{"shard", "0"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled, registry.GetCounter("x_total", "X.", {{"shard", "0"}}));
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("inflight", "In-flight work.");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+  EXPECT_EQ(registry.Value("inflight"), 7);
+}
+
+TEST(MetricsRegistryTest, ValueOfAbsentMetricIsZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Value("never_registered"), 0);
+  registry.GetCounter("a_total", "A.", {{"k", "v"}});
+  EXPECT_EQ(registry.Value("a_total", {{"k", "other"}}), 0);
+}
+
+TEST(MetricsRegistryTest, PrometheusRenderingShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("req_total", "Requests.")->Increment(3);
+  registry.GetCounter("req_total", "Requests.", {{"code", "429"}})->Increment();
+  registry.GetGauge("depth", "Queue depth.")->Set(12);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP req_total Requests."), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("req_total 3"), std::string::npos);
+  EXPECT_NE(text.find("req_total{code=\"429\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 12"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramRendersCumulativeBuckets) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.GetHistogram(
+      "latency_us", "Latency.", {}, std::vector<int64_t>{100, 1000, 10000});
+  h->Record(50);
+  h->Record(500);
+  h->Record(5000);
+  h->Record(50000);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE latency_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"100\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"1000\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"10000\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_count 4"), std::string::npos);
+  // The snapshot view answers percentiles for stats endpoints.
+  EXPECT_EQ(h->Snapshot().count(), 4);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreMonotone) {
+  MetricsRegistry registry;
+  HistogramMetric* h = registry.GetHistogram("d_us", "D.");
+  for (int64_t v = 1; v < 3000000; v *= 3) h->Record(v);
+  const Histogram snap = h->Snapshot();
+  int64_t prev = 0;
+  for (int64_t bound : DefaultLatencyBoundsUs()) {
+    const int64_t c = snap.CountAtOrBelow(bound);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(snap.CountAtOrBelow(INT64_MAX), snap.count());
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hits_total", "Hits.");
+  Gauge* g = registry.GetGauge("level", "Level.");
+  HistogramMetric* h = registry.GetHistogram("t_us", "T.");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Add(1);
+        h->Record(i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+  EXPECT_EQ(g->Value(), kThreads * kPerThread);
+  EXPECT_EQ(h->Snapshot().count(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  std::atomic<Counter*> seen{nullptr};
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        Counter* c = registry.GetCounter("race_total", "Race.");
+        Counter* expected = nullptr;
+        if (!seen.compare_exchange_strong(expected, c) && expected != c) {
+          mismatch.store(true);
+        }
+        c->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(registry.Value("race_total"), 4 * 200);
+}
+
+}  // namespace
+}  // namespace declsched::observability

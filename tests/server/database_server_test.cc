@@ -92,6 +92,66 @@ TEST(DatabaseServerTest, TenantBusyAttributesPerStatementCost) {
   EXPECT_EQ(server.tenant_busy(9), SimTime());
 }
 
+TEST(DatabaseServerTest, ValidateFirstLeavesFailedBatchUnapplied) {
+  DatabaseServer::Config config;
+  config.num_rows = 10;
+  DatabaseServer server(config);
+  // The first statement is valid, the second is out of range: nothing may
+  // execute — no partial application, no accounting.
+  auto stats =
+      server.ExecuteBatch({Stmt(OpType::kWrite, 3), Stmt(OpType::kWrite, 10)});
+  EXPECT_TRUE(stats.status().IsInvalidArgument());
+  EXPECT_EQ(*server.RowValue(3), 0);
+  EXPECT_EQ(server.total_statements(), 0);
+  EXPECT_EQ(server.total_busy(), SimTime());
+}
+
+TEST(DatabaseServerTest, ValidateStatementChecksWithoutExecuting) {
+  DatabaseServer::Config config;
+  config.num_rows = 10;
+  DatabaseServer server(config);
+  EXPECT_TRUE(server.ValidateStatement(Stmt(OpType::kRead, 9)).ok());
+  EXPECT_TRUE(server.ValidateStatement(Stmt(OpType::kCommit, -1)).ok());
+  EXPECT_TRUE(
+      server.ValidateStatement(Stmt(OpType::kRead, 10)).IsInvalidArgument());
+  EXPECT_TRUE(
+      server.ValidateStatement(Stmt(OpType::kWrite, -1)).IsInvalidArgument());
+  EXPECT_EQ(server.total_statements(), 0);
+}
+
+TEST(DatabaseServerTest, UnknownTenantRejectedWhenConfigured) {
+  DatabaseServer::Config config;
+  config.num_rows = 10;
+  config.known_tenants = {1, 2};
+  DatabaseServer server(config);
+  Statement ok = Stmt(OpType::kWrite, 1);
+  ok.tenant = 2;
+  EXPECT_TRUE(server.ValidateStatement(ok).ok());
+  Statement unknown = Stmt(OpType::kWrite, 1);
+  unknown.tenant = 7;
+  const Status status = server.ValidateStatement(unknown);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("unknown tenant"), std::string::npos);
+  EXPECT_TRUE(server.ExecuteBatch({unknown}).status().IsInvalidArgument());
+  // An empty allowlist admits any tenant.
+  DatabaseServer open(DatabaseServer::Config{});
+  EXPECT_TRUE(open.ValidateStatement(unknown).ok());
+}
+
+TEST(DatabaseServerTest, BatchSizeLimitEnforced) {
+  DatabaseServer::Config config;
+  config.num_rows = 100;
+  config.max_batch_statements = 2;
+  DatabaseServer server(config);
+  EXPECT_TRUE(
+      server.ExecuteBatch({Stmt(OpType::kRead, 1), Stmt(OpType::kRead, 2)})
+          .ok());
+  auto too_big = server.ExecuteBatch(
+      {Stmt(OpType::kRead, 1), Stmt(OpType::kRead, 2), Stmt(OpType::kRead, 3)});
+  EXPECT_TRUE(too_big.status().IsInvalidArgument());
+  EXPECT_EQ(server.total_statements(), 2);
+}
+
 TEST(DatabaseServerTest, NonMaterializedModeSkipsData) {
   DatabaseServer::Config config;
   config.num_rows = 1000000;  // would be slow to materialize

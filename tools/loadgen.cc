@@ -1,0 +1,99 @@
+// loadgen: standalone HTTP load generator for the front door.
+//
+//   ./loadgen --port=8080 --connections=128 --duration-ms=5000
+//   ./loadgen --port=8080 --rps=2000 --connections=64 --json
+//
+// Closed loop by default (every connection keeps one request in flight);
+// pass --rps=N for an open-loop fixed-rate schedule. Prints a human
+// summary, or one JSON row with --json (the same shape the bench emits).
+// Exits nonzero when no connection could be established or every request
+// failed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/loadgen.h"
+
+using declsched::Result;
+using declsched::net::LoadgenOptions;
+using declsched::net::LoadgenResult;
+using declsched::net::RunLoadgen;
+
+namespace {
+
+int64_t FlagValue(const char* arg, const char* name, int64_t fallback) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoll(arg + len + 1);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions options;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    options.port = static_cast<uint16_t>(
+        FlagValue(argv[i], "--port", options.port));
+    options.connections = static_cast<int>(
+        FlagValue(argv[i], "--connections", options.connections));
+    options.duration_ms = FlagValue(argv[i], "--duration-ms", options.duration_ms);
+    options.open_loop_rps = static_cast<double>(
+        FlagValue(argv[i], "--rps", static_cast<int64_t>(options.open_loop_rps)));
+    options.tenant = static_cast<int>(
+        FlagValue(argv[i], "--tenant", options.tenant));
+    options.txns_per_request = static_cast<int>(
+        FlagValue(argv[i], "--txns", options.txns_per_request));
+    options.ops_per_txn = static_cast<int>(
+        FlagValue(argv[i], "--ops", options.ops_per_txn));
+    options.num_objects = FlagValue(argv[i], "--objects", options.num_objects);
+    options.seed = static_cast<uint64_t>(
+        FlagValue(argv[i], "--seed", static_cast<int64_t>(options.seed)));
+    if (std::strncmp(argv[i], "--host=", 7) == 0) options.host = argv[i] + 7;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s --port=P [--host=H] [--connections=N] [--duration-ms=N]\n"
+          "          [--rps=N (0 = closed loop)] [--tenant=N] [--txns=N]\n"
+          "          [--ops=N] [--objects=N] [--seed=N] [--json]\n",
+          argv[0]);
+      return 0;
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "--port is required (see --help)\n");
+    return 2;
+  }
+
+  Result<LoadgenResult> run = RunLoadgen(options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const LoadgenResult& r = run.ValueOrDie();
+  if (json) {
+    std::printf("%s\n", r.ToJson().c_str());
+  } else {
+    std::printf(
+        "sent %lld  2xx %lld  429 %lld  other %lld  conn-errors %lld\n"
+        "achieved %.1f req/s over %.2fs  latency p50 %lld us  p99 %lld us  "
+        "max %lld us\n",
+        static_cast<long long>(r.requests_sent),
+        static_cast<long long>(r.responses_2xx),
+        static_cast<long long>(r.responses_429),
+        static_cast<long long>(r.responses_other),
+        static_cast<long long>(r.connection_errors), r.achieved_rps,
+        static_cast<double>(r.duration_us) / 1e6,
+        static_cast<long long>(r.latency_us.Percentile(50)),
+        static_cast<long long>(r.latency_us.Percentile(99)),
+        static_cast<long long>(r.latency_us.max()));
+    if (options.open_loop_rps > 0) {
+      std::printf("open loop: %lld late sends (coordinated-omission signal)\n",
+                  static_cast<long long>(r.late_sends));
+    }
+  }
+  return r.responses_2xx > 0 || r.requests_sent == 0 ? 0 : 1;
+}
