@@ -1,0 +1,96 @@
+#include "common/crashpoint.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace declsched {
+
+namespace internal {
+std::atomic<bool> g_crashpoint_armed{false};
+}  // namespace internal
+
+namespace {
+
+// Guarded by the flag above on the fast path; the slow path takes the
+// mutex. Tests arm/disarm from one thread before the workload runs, so the
+// only concurrency is armed readers, which is what the mutex covers.
+std::mutex g_mu;
+std::string g_name;
+int g_remaining = 0;
+std::function<void(const char*)> g_hook;
+
+}  // namespace
+
+namespace internal {
+
+void CrashPointSlow(const char* name) {
+  std::function<void(const char*)> hook;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_remaining <= 0 || g_name != name) return;
+    if (--g_remaining > 0) return;
+    g_crashpoint_armed.store(false, std::memory_order_relaxed);
+    hook = g_hook;
+  }
+  if (hook) {
+    hook(name);
+    return;
+  }
+  // Simulated kill -9: no atexit handlers, no stream flushes. Everything
+  // already write()n is in the kernel and survives; everything buffered in
+  // user space is lost — exactly the failure model recovery must handle.
+  _exit(kCrashPointExitCode);
+}
+
+}  // namespace internal
+
+bool CrashPointWillTrigger(const char* name) {
+  if (!internal::g_crashpoint_armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_remaining == 1 && g_name == name;
+}
+
+void ArmCrashPoint(const char* name, int nth) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_name = name;
+  g_remaining = nth < 1 ? 1 : nth;
+  internal::g_crashpoint_armed.store(true, std::memory_order_relaxed);
+}
+
+void DisarmCrashPoint() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_name.clear();
+  g_remaining = 0;
+  internal::g_crashpoint_armed.store(false, std::memory_order_relaxed);
+}
+
+void SetCrashPointHook(std::function<void(const char*)> hook) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_hook = std::move(hook);
+}
+
+void InstallCrashPointFromEnv() {
+  const char* env = std::getenv("DECLSCHED_CRASHPOINT");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string spec(env);
+  int nth = 1;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    const std::string tail = spec.substr(colon + 1);
+    bool digits = true;
+    for (char c : tail) digits = digits && c >= '0' && c <= '9';
+    if (digits) {
+      nth = std::atoi(tail.c_str());
+      spec.resize(colon);
+    }
+  }
+  ArmCrashPoint(spec.c_str(), nth);
+}
+
+}  // namespace declsched

@@ -1,0 +1,63 @@
+// Deterministic crash-point fault injection for the durability tests.
+//
+// Durability code calls CrashPoint("wal:post-fsync") at every point where a
+// crash must be survivable. In production builds the call is one relaxed
+// atomic load (no point armed -> ~free). The crash-recovery property test
+// arms one named point — either programmatically (ArmCrashPoint) in a
+// forked child, or via the DECLSCHED_CRASHPOINT environment variable
+// ("name" or "name:nth") — and the Nth hit terminates the process with
+// _exit(kCrashPointExitCode), simulating kill -9 at exactly that moment:
+// no destructors, no buffer flushes, nothing but what already reached the
+// kernel survives.
+//
+// The catalog of named points lives in docs/DURABILITY.md; the WAL and
+// snapshot writers are the only call sites.
+
+#ifndef DECLSCHED_COMMON_CRASHPOINT_H_
+#define DECLSCHED_COMMON_CRASHPOINT_H_
+
+#include <atomic>
+#include <functional>
+
+namespace declsched {
+
+/// Exit code of a process killed by an armed crash point (distinguishes an
+/// injected crash from a real failure in the harness's waitpid).
+inline constexpr int kCrashPointExitCode = 42;
+
+namespace internal {
+extern std::atomic<bool> g_crashpoint_armed;
+void CrashPointSlow(const char* name);
+}  // namespace internal
+
+/// Declares a survivable-crash point. Near-free unless a point is armed.
+inline void CrashPoint(const char* name) {
+  if (internal::g_crashpoint_armed.load(std::memory_order_relaxed)) {
+    internal::CrashPointSlow(name);
+  }
+}
+
+/// True if the very next CrashPoint(name) would terminate the process.
+/// The WAL flusher uses this to cut a record short before dying (a torn
+/// tail: _exit alone cannot lose bytes already written to the kernel).
+bool CrashPointWillTrigger(const char* name);
+
+/// Arms `name`: the `nth` call of CrashPoint(name) from now on _exits the
+/// process. nth < 1 is treated as 1. Replaces any previously armed point.
+void ArmCrashPoint(const char* name, int nth = 1);
+
+/// Disarms everything (the parent side of a fork-based test).
+void DisarmCrashPoint();
+
+/// Replaces the default _exit with a custom action (in-process tests that
+/// want to observe the hit instead of dying). Null restores _exit.
+void SetCrashPointHook(std::function<void(const char*)> hook);
+
+/// Arms from DECLSCHED_CRASHPOINT=<name>[:<nth>] if set. Point names
+/// themselves contain a colon ("wal:post-fsync"), so only a final
+/// all-digits token is read as nth. Call early in main(); no-op if unset.
+void InstallCrashPointFromEnv();
+
+}  // namespace declsched
+
+#endif  // DECLSCHED_COMMON_CRASHPOINT_H_

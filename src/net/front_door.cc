@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "scheduler/ir/explain.h"
+#include "storage/wal.h"
 
 namespace declsched::net {
 
@@ -85,11 +86,13 @@ Status FrontDoor::Start() {
   sched_options.on_dispatch = [this](int, const RequestBatch& batch) {
     OnDispatch(batch);
   };
+  sched_options.durability = options_.durability;
   sched_ = std::make_unique<scheduler::ShardedScheduler>(
       std::move(sched_options), server_.get());
-  DS_RETURN_NOT_OK(sched_->Init());
-  DS_RETURN_NOT_OK(sched_->Start());
 
+  // Serve before recovering: until Init() (snapshot load + WAL replay)
+  // finishes, ready_ stays false and HandleRequest answers 503
+  // "recovering" for everything except /metrics.
   HttpServer::Options http_options = options_.http;
   http_options.metrics = &metrics_;
   http_ = std::make_unique<HttpServer>(http_options);
@@ -98,6 +101,14 @@ Status FrontDoor::Start() {
         HandleRequest(std::move(request), std::move(responder));
       }));
   started_.store(true);
+  if (options_.recovery_barrier_for_test) options_.recovery_barrier_for_test();
+
+  DS_RETURN_NOT_OK(sched_->Init());
+  // Resume transaction ids above anything recovery restored; reusing a
+  // live ta would merge a new client transaction with a restored one.
+  next_ta_.store(sched_->recovered_max_ta() + 1);
+  DS_RETURN_NOT_OK(sched_->Start());
+  ready_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -112,6 +123,18 @@ void FrontDoor::Shutdown() {
   // (the scheduler keeps dispatching while it waits).
   http_->Shutdown();
   sched_->Stop();
+  ready_.store(false, std::memory_order_release);
+  if (sched_->wal() != nullptr) {
+    // Clean-shutdown checkpoint: snapshot at the current head and truncate
+    // the log, so the next start replays nothing.
+    const Status st = sched_->Checkpoint();
+    if (st.ok()) {
+      DS_LOG(Info) << "clean shutdown: checkpoint at lsn "
+                   << sched_->wal()->head_lsn();
+    } else {
+      DS_LOG(Error) << "clean-shutdown checkpoint failed: " << st.ToString();
+    }
+  }
 }
 
 HttpResponse FrontDoor::StatusToResponse(const Status& status) const {
@@ -148,6 +171,32 @@ void FrontDoor::HandleRequest(HttpRequest request,
                               HttpServer::Responder responder) {
   requests_total_->Increment();
   const std::string path = request.Path();
+
+  if (!ready_.load(std::memory_order_acquire) && started_.load()) {
+    // Recovery (snapshot load + WAL replay) is still running. Metrics stay
+    // scrapeable; everything else — including submits — answers 503 with
+    // Retry-After so clients back off instead of racing the replay.
+    HttpResponse resp;
+    if (request.method == "GET" && path == "/metrics") {
+      resp = HandleMetricsScrape();
+    } else if (request.method == "GET" && path == "/healthz") {
+      resp = HttpResponse::Json(503, "{\"status\":\"recovering\"}");
+      resp.headers.emplace_back("Retry-After",
+                                std::to_string(options_.retry_after_seconds));
+    } else {
+      resp = StatusToResponse(Status::Unavailable("recovering"));
+    }
+    const char* cls = StatusClass(resp.status);
+    if (cls[0] == '2') {
+      responses_2xx_->Increment();
+    } else if (cls[0] == '4') {
+      responses_4xx_->Increment();
+    } else {
+      responses_5xx_->Increment();
+    }
+    responder.Send(std::move(resp));
+    return;
+  }
 
   // Deferred route: the submit response fires from OnDispatch.
   if (request.method == "POST" && path == "/v1/submit") {
@@ -388,7 +437,12 @@ void FrontDoor::SubmitOp(TxnState& txn, txn::TxnId ta) {
 
 void FrontDoor::OnDispatch(const RequestBatch& batch) {
   const int64_t now_us = WallMicros();
-  std::vector<std::pair<HttpServer::Responder, HttpResponse>> completions;
+  struct Completion {
+    HttpServer::Responder responder;
+    HttpResponse response;
+    uint64_t durable_lsn = 0;
+  };
+  std::vector<Completion> completions;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const Request& r : batch) {
@@ -406,6 +460,13 @@ void FrontDoor::OnDispatch(const RequestBatch& batch) {
       }
       txns_.erase(it);
       txns_committed_->Increment();
+      if (sched_->wal() != nullptr) {
+        // head_lsn() here covers every record this commit's dispatch
+        // appended (store mutations and escrow fan-outs both precede the
+        // on_dispatch callback) and, monotonically, all earlier commits of
+        // the job on other shards.
+        job.durable_lsn = std::max(job.durable_lsn, sched_->wal()->head_lsn());
+      }
       if (++job.txns_done < job.txns_total) continue;
 
       // Last transaction of the batch committed: finish the job.
@@ -423,15 +484,29 @@ void FrontDoor::OnDispatch(const RequestBatch& batch) {
           static_cast<long long>(job.statements),
           static_cast<long long>(job.requests_dispatched),
           static_cast<long long>(latency_us));
-      completions.emplace_back(std::move(job.responder),
-                               HttpResponse::Json(200, std::move(body)));
+      completions.push_back(Completion{std::move(job.responder),
+                                       HttpResponse::Json(200, std::move(body)),
+                                       job.durable_lsn});
       jobs_.erase(job_it);
     }
   }
   // Respond outside the lock: Send posts to the reactor (cheap), but keep
-  // the dispatch path's critical section minimal anyway.
-  for (auto& [resp_responder, response] : completions) {
-    resp_responder.Send(std::move(response));
+  // the dispatch path's critical section minimal anyway. With a WAL the
+  // 200 is deferred until the job's records are durable — the cycle
+  // threads never wait on fsync, only the acknowledgement edge does
+  // (group commit batches the waits).
+  storage::Wal* wal = sched_->wal();
+  for (Completion& c : completions) {
+    if (wal != nullptr && c.durable_lsn > 0) {
+      auto responder =
+          std::make_shared<HttpServer::Responder>(std::move(c.responder));
+      auto response = std::make_shared<HttpResponse>(std::move(c.response));
+      wal->WhenDurable(c.durable_lsn, [responder, response]() {
+        responder->Send(std::move(*response));
+      });
+    } else {
+      c.responder.Send(std::move(c.response));
+    }
   }
 }
 

@@ -43,6 +43,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,17 @@ class FrontDoor {
     /// Keep the scheduler's dispatch log (TakeDispatched) — integration
     /// tests compare the dispatched set against an in-process run.
     bool keep_dispatch_log = false;
+    /// WAL + snapshot durability, passed through to the sharded scheduler.
+    /// When enabled the front door starts serving *before* recovery runs:
+    /// /healthz answers 503 "recovering" (and submits 503 Unavailable)
+    /// until replay finishes, then flips to ready. A 200 submit response
+    /// is only sent once the batch's WAL records are durable
+    /// (storage::Wal::WhenDurable), and Shutdown writes a clean-shutdown
+    /// checkpoint so the next start replays nothing.
+    scheduler::ShardedScheduler::DurabilityOptions durability;
+    /// Test hook: runs after the HTTP server is up but before recovery —
+    /// the window where /healthz must report "recovering".
+    std::function<void()> recovery_barrier_for_test;
   };
 
   explicit FrontDoor(Options options);
@@ -132,6 +144,11 @@ class FrontDoor {
     int64_t requests_dispatched = 0;
     int tenant = 0;
     int64_t start_us = 0;  ///< wall clock at admission
+    /// Highest WAL lsn the job's acknowledgement must wait for (0 = no
+    /// WAL). Read from Wal::head_lsn() at each commit dispatch, which also
+    /// covers the escrow fan-out records the scheduler appends outside the
+    /// store (they precede the on_dispatch callback).
+    uint64_t durable_lsn = 0;
   };
 
   struct TenantBucket {
@@ -175,6 +192,9 @@ class FrontDoor {
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> started_{false};
+  /// False while the HTTP server is up but recovery has not finished:
+  /// everything except /metrics answers 503 "recovering".
+  std::atomic<bool> ready_{false};
   std::atomic<int64_t> inflight_statements_{0};
   std::atomic<int64_t> next_ta_{1};
   std::atomic<uint64_t> next_job_id_{1};

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "storage/wal.h"
 
 namespace declsched::scheduler {
 
@@ -198,6 +199,9 @@ Result<CycleStats> DeclarativeScheduler::RunCycle(SimTime now) {
   }
 
   // 5. Dispatch the batch to the server.
+  if (options_.sync_dispatch_wal && store_.wal() != nullptr) {
+    DS_RETURN_NOT_OK(store_.wal()->Sync(store_.last_wal_lsn()));
+  }
   if (server_ != nullptr && !qualified.empty()) {
     server::StatementBatch batch;
     batch.reserve(qualified.size());

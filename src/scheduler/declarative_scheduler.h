@@ -108,6 +108,13 @@ class DeclarativeScheduler {
     /// tenants relation stays whatever it was).
     bool tenant_accounting = true;
     TenantQosConfig tenant_qos;
+    /// When the store has a WAL attached: block each cycle until the WAL
+    /// records of its dispatch mutations are durable before executing the
+    /// batch against the server. Off by default — the sharded front door
+    /// instead acks asynchronously via Wal::WhenDurable, which keeps fsync
+    /// off every cycle's critical path (the group-commit design). Turn on
+    /// for strict execute-after-durable ordering in single-shard embeds.
+    bool sync_dispatch_wal = false;
 
     Options() : protocol(Ss2plSql()) {}
   };

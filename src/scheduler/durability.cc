@@ -1,0 +1,312 @@
+#include "scheduler/durability.h"
+
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+#include "storage/coding.h"
+
+namespace declsched::scheduler {
+
+namespace {
+
+using storage::ByteReader;
+using storage::PutVarint64;
+using storage::PutVarintSigned;
+using storage::PutVarintSignedRaw;
+
+Status Truncated(const char* what) {
+  return Status::Internal(
+      StrFormat("truncated wal payload while decoding %s", what));
+}
+
+void EncodeOneRequest(std::string* dst, const Request& r) {
+  // Nine varints (<= 10 bytes each) + the op char: one stack buffer, one
+  // append — not ten small appends each paying a capacity check.
+  char buf[91];
+  char* p = buf;
+  p = PutVarintSignedRaw(p, r.id);
+  p = PutVarintSignedRaw(p, r.ta);
+  p = PutVarintSignedRaw(p, r.intrata);
+  *p++ = txn::OpTypeToChar(r.op);
+  p = PutVarintSignedRaw(p, r.object);
+  p = PutVarintSignedRaw(p, static_cast<int64_t>(r.priority));
+  p = PutVarintSignedRaw(p, r.deadline.micros());
+  p = PutVarintSignedRaw(p, r.arrival.micros());
+  p = PutVarintSignedRaw(p, static_cast<int64_t>(r.client));
+  p = PutVarintSignedRaw(p, static_cast<int64_t>(r.tenant));
+  dst->append(buf, static_cast<size_t>(p - buf));
+}
+
+bool DecodeOneRequest(ByteReader* reader, Request* r) {
+  int64_t priority, deadline_us, arrival_us, client, tenant;
+  uint8_t op;
+  if (!reader->ReadVarintSigned(&r->id) || !reader->ReadVarintSigned(&r->ta) ||
+      !reader->ReadVarintSigned(&r->intrata) || !reader->ReadByte(&op) ||
+      !reader->ReadVarintSigned(&r->object) ||
+      !reader->ReadVarintSigned(&priority) ||
+      !reader->ReadVarintSigned(&deadline_us) ||
+      !reader->ReadVarintSigned(&arrival_us) ||
+      !reader->ReadVarintSigned(&client) ||
+      !reader->ReadVarintSigned(&tenant)) {
+    return false;
+  }
+  r->op = RequestStore::ParseOperation(
+      std::string(1, static_cast<char>(op)));
+  r->priority = static_cast<int>(priority);
+  r->deadline = SimTime::FromMicros(deadline_us);
+  r->arrival = SimTime::FromMicros(arrival_us);
+  r->client = static_cast<int>(client);
+  r->tenant = static_cast<int>(tenant);
+  return true;
+}
+
+}  // namespace
+
+void EncodeRequestsTo(std::string* dst, const RequestBatch& batch) {
+  dst->reserve(dst->size() + 1 + batch.size() * 24);
+  PutVarint64(dst, batch.size());
+  for (const Request& r : batch) EncodeOneRequest(dst, r);
+}
+
+std::string EncodeRequests(const RequestBatch& batch) {
+  std::string out;
+  EncodeRequestsTo(&out, batch);
+  return out;
+}
+
+Result<RequestBatch> DecodeRequests(std::string_view payload) {
+  ByteReader reader(payload);
+  uint64_t count;
+  if (!reader.ReadVarint64(&count) || count > payload.size()) {
+    return Truncated("request count");
+  }
+  RequestBatch batch;
+  batch.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Request r;
+    if (!DecodeOneRequest(&reader, &r)) return Truncated("request");
+    batch.push_back(r);
+  }
+  if (!reader.empty()) return Truncated("request batch (trailing bytes)");
+  return batch;
+}
+
+void EncodeRequestIdsTo(std::string* dst, const RequestBatch& batch) {
+  dst->reserve(dst->size() + 1 + batch.size() * 3);
+  PutVarint64(dst, batch.size());
+  char buf[512];
+  char* p = buf;
+  for (const Request& r : batch) {
+    p = PutVarintSignedRaw(p, r.id);
+    if (p > buf + sizeof(buf) - 10) {
+      dst->append(buf, static_cast<size_t>(p - buf));
+      p = buf;
+    }
+  }
+  dst->append(buf, static_cast<size_t>(p - buf));
+}
+
+std::string EncodeRequestIds(const RequestBatch& batch) {
+  std::string out;
+  EncodeRequestIdsTo(&out, batch);
+  return out;
+}
+
+Result<std::vector<int64_t>> DecodeRequestIds(std::string_view payload) {
+  ByteReader reader(payload);
+  uint64_t count;
+  if (!reader.ReadVarint64(&count) || count > payload.size()) {
+    return Truncated("id count");
+  }
+  std::vector<int64_t> ids;
+  ids.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    int64_t id;
+    if (!reader.ReadVarintSigned(&id)) return Truncated("request id");
+    ids.push_back(id);
+  }
+  if (!reader.empty()) return Truncated("id batch (trailing bytes)");
+  return ids;
+}
+
+void EncodeTenantTo(std::string* dst, const TenantAcct& acct) {
+  dst->reserve(dst->size() + 24);
+  PutVarintSigned(dst, acct.tenant);
+  PutVarintSigned(dst, acct.weight);
+  PutVarintSigned(dst, acct.vtime);
+  PutVarintSigned(dst, acct.round);
+  PutVarintSigned(dst, acct.tokens);
+  PutVarintSigned(dst, acct.rate);
+  PutVarintSigned(dst, acct.burst);
+  PutVarintSigned(dst, acct.cap);
+  PutVarintSigned(dst, acct.inflight);
+}
+
+std::string EncodeTenant(const TenantAcct& acct) {
+  std::string out;
+  EncodeTenantTo(&out, acct);
+  return out;
+}
+
+Result<TenantAcct> DecodeTenant(std::string_view payload) {
+  ByteReader reader(payload);
+  TenantAcct acct;
+  if (!reader.ReadVarintSigned(&acct.tenant) ||
+      !reader.ReadVarintSigned(&acct.weight) ||
+      !reader.ReadVarintSigned(&acct.vtime) ||
+      !reader.ReadVarintSigned(&acct.round) ||
+      !reader.ReadVarintSigned(&acct.tokens) ||
+      !reader.ReadVarintSigned(&acct.rate) ||
+      !reader.ReadVarintSigned(&acct.burst) ||
+      !reader.ReadVarintSigned(&acct.cap) ||
+      !reader.ReadVarintSigned(&acct.inflight) || !reader.empty()) {
+    return Truncated("tenant acct");
+  }
+  return acct;
+}
+
+void EncodeTxnIdTo(std::string* dst, txn::TxnId ta) {
+  PutVarintSigned(dst, ta);
+}
+
+std::string EncodeTxnId(txn::TxnId ta) {
+  std::string out;
+  EncodeTxnIdTo(&out, ta);
+  return out;
+}
+
+Result<txn::TxnId> DecodeTxnId(std::string_view payload) {
+  ByteReader reader(payload);
+  int64_t ta;
+  if (!reader.ReadVarintSigned(&ta) || !reader.empty()) {
+    return Truncated("txn id");
+  }
+  return ta;
+}
+
+std::string EncodeEscrowFanout(uint32_t mask, const Request& marker) {
+  std::string out;
+  PutVarint64(&out, mask);
+  EncodeOneRequest(&out, marker);
+  return out;
+}
+
+Result<EscrowFanout> DecodeEscrowFanout(std::string_view payload) {
+  ByteReader reader(payload);
+  EscrowFanout fanout;
+  uint64_t mask;
+  if (!reader.ReadVarint64(&mask) ||
+      !DecodeOneRequest(&reader, &fanout.marker) || !reader.empty()) {
+    return Truncated("escrow fanout");
+  }
+  fanout.mask = static_cast<uint32_t>(mask);
+  return fanout;
+}
+
+Status ApplyWalRecord(RequestStore* store, const storage::WalRecord& record) {
+  if (store->wal() != nullptr) {
+    return Status::Internal("replay against a store with a WAL attached");
+  }
+  switch (static_cast<WalRecordType>(record.type)) {
+    case WalRecordType::kInsertPending: {
+      DS_ASSIGN_OR_RETURN(RequestBatch batch, DecodeRequests(record.payload));
+      return store->InsertPending(batch);
+    }
+    case WalRecordType::kMarkScheduled: {
+      DS_ASSIGN_OR_RETURN(std::vector<int64_t> ids,
+                          DecodeRequestIds(record.payload));
+      RequestBatch batch;
+      batch.reserve(ids.size());
+      for (int64_t id : ids) {
+        Request r;
+        r.id = id;
+        batch.push_back(r);
+      }
+      return store->MarkScheduled(batch);
+    }
+    case WalRecordType::kInsertHistory: {
+      DS_ASSIGN_OR_RETURN(RequestBatch batch, DecodeRequests(record.payload));
+      if (batch.size() != 1) {
+        return Status::Internal("kInsertHistory record without exactly one row");
+      }
+      return store->InsertHistory(batch[0]);
+    }
+    case WalRecordType::kDropPending: {
+      DS_ASSIGN_OR_RETURN(txn::TxnId ta, DecodeTxnId(record.payload));
+      store->DropPendingOfTransaction(ta);
+      return Status::OK();
+    }
+    case WalRecordType::kGc:
+      return store->GarbageCollectFinished().status();
+    case WalRecordType::kUpsertTenant: {
+      DS_ASSIGN_OR_RETURN(TenantAcct acct, DecodeTenant(record.payload));
+      return store->UpsertTenant(acct);
+    }
+    case WalRecordType::kEscrowFanout:
+      return Status::Internal(
+          "kEscrowFanout is not a store mutation; the sharded scheduler's "
+          "recovery handles it");
+  }
+  return Status::Internal(StrFormat("unknown wal record type %d at lsn %llu",
+                                    static_cast<int>(record.type),
+                                    static_cast<unsigned long long>(record.lsn)));
+}
+
+std::vector<storage::TableSnapshot> SnapshotShardStore(
+    const RequestStore& store) {
+  std::vector<storage::TableSnapshot> tables;
+  tables.reserve(3);
+  for (const char* name : {"requests", "tenants", "history"}) {
+    storage::TableSnapshot snap;
+    snap.name = name;
+    snap.rows = store.catalog()->GetTable(name)->Scan();
+    tables.push_back(std::move(snap));
+  }
+  return tables;
+}
+
+Status RestoreShardStore(RequestStore* store,
+                         const std::vector<storage::TableSnapshot>& tables) {
+  if (store->wal() != nullptr) {
+    return Status::Internal("restore into a store with a WAL attached");
+  }
+  const storage::TableSnapshot* requests = nullptr;
+  const storage::TableSnapshot* tenants = nullptr;
+  const storage::TableSnapshot* history = nullptr;
+  for (const auto& table : tables) {
+    if (table.name == "requests") {
+      requests = &table;
+    } else if (table.name == "tenants") {
+      tenants = &table;
+    } else if (table.name == "history") {
+      history = &table;
+    } else {
+      return Status::Internal("snapshot has unknown table " + table.name);
+    }
+  }
+  if (requests != nullptr) {
+    RequestBatch batch;
+    batch.reserve(requests->rows.size());
+    for (const storage::Row& row : requests->rows) {
+      batch.push_back(RequestStore::RowToRequestFull(row));
+    }
+    DS_RETURN_NOT_OK(store->InsertPending(batch));
+  }
+  // After requests: InsertPending auto-created default tenant rows; the
+  // snapshot's exact accounting overwrites them.
+  if (tenants != nullptr) {
+    for (const storage::Row& row : tenants->rows) {
+      DS_RETURN_NOT_OK(store->UpsertTenant(RequestStore::RowToTenant(row)));
+    }
+  }
+  if (history != nullptr) {
+    for (const storage::Row& row : history->rows) {
+      DS_RETURN_NOT_OK(
+          store->InsertHistory(RequestStore::RowToRequestFull(row)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace declsched::scheduler

@@ -1,0 +1,109 @@
+// Scheduler-level durability: WAL record codecs, the replay applier, and
+// the snapshot/restore bridge between RequestStore and the storage layer.
+//
+// The WAL logs *logical* mutations — one record per successful RequestStore
+// mutating call, encoding its arguments — not physical row images. Replay
+// (ApplyWalRecord) re-invokes the same public mutators with the WAL
+// detached, so a store that replays records 1..N ends with exactly the
+// relations of the store that logged them: the mutators are deterministic
+// functions of (current relations, arguments). Derived state — typed
+// mirrors, marker bookkeeping, epochs, lock tables, tenant accounting,
+// compiled-IR operator caches — is deliberately never encoded; recovery
+// restores base rows and forces the normal staleness-rebuild contract to
+// reconstruct all of it (recovery IS a forced full rebuild).
+//
+// Record payloads use the little-endian fixed-width coding of
+// storage/coding.h; see each Encode* for the exact layout.
+
+#ifndef DECLSCHED_SCHEDULER_DURABILITY_H_
+#define DECLSCHED_SCHEDULER_DURABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "scheduler/request_store.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace declsched::scheduler {
+
+/// One value per RequestStore mutating call. Values are part of the on-disk
+/// format — never renumber.
+enum class WalRecordType : uint8_t {
+  kInsertPending = 1,   ///< InsertPending(batch); payload = requests
+  kMarkScheduled = 2,   ///< MarkScheduled(batch); payload = request ids
+  kInsertHistory = 3,   ///< InsertHistory(request); payload = one request
+  kDropPending = 4,     ///< DropPendingOfTransaction(ta); payload = ta
+  kGc = 5,              ///< GarbageCollectFinished(); empty payload
+  kUpsertTenant = 6,    ///< UpsertTenant(acct); payload = the acct
+  /// Not a store mutation: the home shard dispatched a cross-shard
+  /// finisher and fanned release mirrors out to `mask`. The in-memory
+  /// mirror inboxes die with the process; replaying these lets recovery
+  /// re-publish any mirror whose application never reached the receiving
+  /// shard's log — otherwise that shard's locks leak forever (its own GC
+  /// erases the home shard's marker in the same cycle that dispatched it).
+  kEscrowFanout = 7,
+};
+
+/// Varint count, then per request: zigzag-varint id, ta, intrata; u8 op
+/// char; zigzag-varint object, priority, deadline_us, arrival_us, client,
+/// tenant. Zigzag keeps the negative sentinels (kNoObject, marker client
+/// -1) at one byte; a typical request encodes in ~15 bytes, not 73.
+///
+/// Each format has two encoders: the `*To` form appends onto `dst`
+/// (without clearing it) so per-mutation logging can reuse one scratch
+/// buffer and stay allocation-free; the by-value form is the convenient
+/// one for tests and cold paths.
+void EncodeRequestsTo(std::string* dst, const RequestBatch& batch);
+std::string EncodeRequests(const RequestBatch& batch);
+Result<RequestBatch> DecodeRequests(std::string_view payload);
+
+/// Varint count + zigzag-varint id each. MarkScheduled moves the *stored*
+/// row and reads only `id` from its argument, so ids are the whole logical
+/// mutation.
+void EncodeRequestIdsTo(std::string* dst, const RequestBatch& batch);
+std::string EncodeRequestIds(const RequestBatch& batch);
+Result<std::vector<int64_t>> DecodeRequestIds(std::string_view payload);
+
+/// The nine TenantAcct fields as zigzag varints, in declaration order.
+void EncodeTenantTo(std::string* dst, const TenantAcct& acct);
+std::string EncodeTenant(const TenantAcct& acct);
+Result<TenantAcct> DecodeTenant(std::string_view payload);
+
+/// One zigzag varint.
+void EncodeTxnIdTo(std::string* dst, txn::TxnId ta);
+std::string EncodeTxnId(txn::TxnId ta);
+Result<txn::TxnId> DecodeTxnId(std::string_view payload);
+
+/// A kEscrowFanout record: the involved-shard mask plus the finisher
+/// marker the mirrors carry.
+struct EscrowFanout {
+  uint32_t mask = 0;
+  Request marker;
+};
+std::string EncodeEscrowFanout(uint32_t mask, const Request& marker);
+Result<EscrowFanout> DecodeEscrowFanout(std::string_view payload);
+
+/// Re-executes one WAL record against the store it was logged from. The
+/// store must have no WAL attached (replay must not re-log).
+Status ApplyWalRecord(RequestStore* store, const storage::WalRecord& record);
+
+/// Captures one shard's base relations (requests, tenants, history — raw
+/// Table::Scan rows) for a snapshot.
+std::vector<storage::TableSnapshot> SnapshotShardStore(
+    const RequestStore& store);
+
+/// Installs a SnapshotShardStore capture into a *fresh* store, through the
+/// public mutators (so mirrors, marker bookkeeping, and epochs come out
+/// consistent). Tenants are restored after requests: InsertPending
+/// auto-creates default tenant rows, and the snapshot's exact accounting
+/// must overwrite them. The store must have no WAL attached.
+Status RestoreShardStore(RequestStore* store,
+                         const std::vector<storage::TableSnapshot>& tables);
+
+}  // namespace declsched::scheduler
+
+#endif  // DECLSCHED_SCHEDULER_DURABILITY_H_

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "scheduler/durability.h"
+#include "storage/wal.h"
 
 namespace declsched::scheduler {
 
@@ -49,6 +51,22 @@ bool IsTerminationMarker(txn::OpType op) {
 }
 
 }  // namespace
+
+void RequestStore::AttachWal(storage::Wal* wal, uint16_t shard) {
+  wal_ = wal;
+  wal_shard_ = shard;
+  last_wal_lsn_ = 0;
+}
+
+void RequestStore::DetachWal() {
+  wal_ = nullptr;
+  last_wal_lsn_ = 0;
+}
+
+void RequestStore::LogWal(uint8_t type, std::string_view payload) {
+  if (wal_ == nullptr) return;
+  last_wal_lsn_ = wal_->Append(type, wal_shard_, payload);
+}
 
 txn::OpType RequestStore::ParseOperation(const std::string& op) {
   if (op == "r") return txn::OpType::kRead;
@@ -163,6 +181,11 @@ Status RequestStore::InsertPending(const RequestBatch& batch) {
   }
   mirror_version_ = requests_->version();
   ++pending_epoch_;
+  if (wal_ != nullptr) {
+    wal_scratch_.clear();
+    EncodeRequestsTo(&wal_scratch_, batch);
+    LogWal(static_cast<uint8_t>(WalRecordType::kInsertPending), wal_scratch_);
+  }
   return Status::OK();
 }
 
@@ -181,6 +204,11 @@ Status RequestStore::UpsertTenant(const TenantAcct& acct) {
   }
   tenants_by_id_[acct.tenant] = acct;
   tenant_mirror_version_ = tenants_->version();
+  if (wal_ != nullptr) {
+    wal_scratch_.clear();
+    EncodeTenantTo(&wal_scratch_, acct);
+    LogWal(static_cast<uint8_t>(WalRecordType::kUpsertTenant), wal_scratch_);
+  }
   return Status::OK();
 }
 
@@ -244,6 +272,11 @@ Status RequestStore::MarkScheduled(const RequestBatch& batch) {
   requests_->MaybeVacuum();
   mirror_version_ = requests_->version();
   history_version_expected_ = history_->version();
+  if (wal_ != nullptr) {
+    wal_scratch_.clear();
+    EncodeRequestIdsTo(&wal_scratch_, batch);
+    LogWal(static_cast<uint8_t>(WalRecordType::kMarkScheduled), wal_scratch_);
+  }
   return Status::OK();
 }
 
@@ -251,6 +284,11 @@ Status RequestStore::InsertHistory(const Request& request) {
   DS_RETURN_NOT_OK(AppendHistoryRow(request));
   history_version_expected_ = history_->version();
   ++history_epoch_;
+  if (wal_ != nullptr) {
+    wal_scratch_.clear();
+    EncodeRequestsTo(&wal_scratch_, {request});
+    LogWal(static_cast<uint8_t>(WalRecordType::kInsertHistory), wal_scratch_);
+  }
   return Status::OK();
 }
 
@@ -273,6 +311,13 @@ int64_t RequestStore::DropPendingOfTransaction(
     }
     mirror_version_ = requests_->version();
     ++pending_epoch_;
+    // Zero-row drops are not logged: they mutate nothing, and replay would
+    // observe the same zero rows anyway.
+    if (wal_ != nullptr) {
+      wal_scratch_.clear();
+      EncodeTxnIdTo(&wal_scratch_, ta);
+      LogWal(static_cast<uint8_t>(WalRecordType::kDropPending), wal_scratch_);
+    }
   }
   return removed;
 }
@@ -314,6 +359,9 @@ Result<RequestStore::GcResult> RequestStore::GarbageCollectFinished() {
   }
   history_->MaybeVacuum();
   history_version_expected_ = history_->version();
+  // The record carries no payload: GC is a deterministic function of the
+  // history relation, which replay has already reproduced at this point.
+  LogWal(static_cast<uint8_t>(WalRecordType::kGc), {});
   return gc;
 }
 

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -44,6 +45,10 @@
 #include "scheduler/request.h"
 #include "sql/engine.h"
 #include "storage/catalog.h"
+
+namespace declsched::storage {
+class Wal;
+}  // namespace declsched::storage
 
 namespace declsched::scheduler {
 
@@ -214,10 +219,32 @@ class RequestStore {
   /// scratch native path, the mirror rebuild) must share it.
   static Request RowToRequestFull(const storage::Row& row);
 
- private:
-  static storage::Row ToRow(const Request& request);
+  /// Row codecs of the `tenants` relation, shared with the snapshot/restore
+  /// path (scheduler/durability.h).
   static storage::Row TenantToRow(const TenantAcct& acct);
   static TenantAcct RowToTenant(const storage::Row& row);
+
+  // --- durability --------------------------------------------------------
+  // When a WAL is attached, every successful mutating call appends exactly
+  // one logical record (tagged with this store's shard id) describing it,
+  // so replaying records 1..N through ApplyWalRecord reproduces the store's
+  // relations exactly. Recovery replays with the WAL detached — the same
+  // mutators run, but must not re-log.
+
+  void AttachWal(storage::Wal* wal, uint16_t shard);
+  void DetachWal();
+  storage::Wal* wal() const { return wal_; }
+  /// LSN of this store's most recent WAL record (0 = none since attach).
+  /// A dispatch is durably acknowledged once wal()->durable_lsn() passes
+  /// the value read right after the dispatching cycle.
+  uint64_t last_wal_lsn() const { return last_wal_lsn_; }
+
+ private:
+  static storage::Row ToRow(const Request& request);
+
+  /// Appends one record for a mutation that just succeeded (no-op when no
+  /// WAL is attached).
+  void LogWal(uint8_t type, std::string_view payload);
 
   /// Rebuilds the mirror from the table if an out-of-band edit changed the
   /// row count underneath it.
@@ -262,6 +289,14 @@ class RequestStore {
   /// Sentinel-initialized so the first build materializes the (possibly
   /// empty) tenantacct relation (table versions start at 0).
   mutable uint64_t edb_tenant_version_ = ~uint64_t{0};
+
+  /// Durability hooks (see AttachWal). Not owned.
+  storage::Wal* wal_ = nullptr;
+  uint16_t wal_shard_ = 0;
+  uint64_t last_wal_lsn_ = 0;
+  /// Reused by every LogWal call site so record encoding never allocates in
+  /// steady state (the capacity sticks across mutations).
+  std::string wal_scratch_;
 };
 
 }  // namespace declsched::scheduler

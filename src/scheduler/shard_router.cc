@@ -87,6 +87,12 @@ void ShardRouter::Forget(txn::TxnId ta) {
   footprint_.erase(ta);
 }
 
+void ShardRouter::RecordFootprint(txn::TxnId ta, int shard) {
+  DS_CHECK(shard >= 0 && shard < num_shards_);
+  std::lock_guard<std::mutex> lock(mu_);
+  footprint_[ta] |= 1u << shard;
+}
+
 int64_t ShardRouter::tracked_transactions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(footprint_.size());

@@ -68,6 +68,11 @@ class ShardRouter {
   /// Drops `ta`'s footprint (after a victim's abort has been mirrored).
   void Forget(txn::TxnId ta);
 
+  /// Merges `shard` into `ta`'s footprint without routing a request —
+  /// crash recovery rebuilds footprints from restored rows (RouteRequest
+  /// learned them pre-crash; that memory died with the process).
+  void RecordFootprint(txn::TxnId ta, int shard);
+
   /// Transactions with a live footprint (admitted, not yet finished).
   int64_t tracked_transactions() const;
 

@@ -1,9 +1,17 @@
 #include "scheduler/sharded_scheduler.h"
 
-#include <algorithm>
-#include <chrono>
+#include <sys/stat.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/crashpoint.h"
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "scheduler/durability.h"
 
 namespace declsched::scheduler {
 
@@ -13,6 +21,17 @@ int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// For busy/coordination accounting: CPU consumed by the calling thread.
+// Unlike wall time, this does not charge a shard for the WAL flusher (or a
+// neighboring shard, on a machine with fewer cores than threads) preempting
+// it mid-cycle — those cycles belong to the preempting thread. Keeps the
+// speedup/cost projections meaningful on small CI machines.
+int64_t ThreadCpuMicros() {
+  timespec ts;
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return ts.tv_sec * 1000000 + ts.tv_nsec / 1000;
 }
 
 bool IsFinisher(txn::OpType op) {
@@ -53,6 +72,13 @@ ShardedScheduler::ShardedScheduler(Options options,
           m->GetHistogram("sched_cycle_us", "Cycle wall time per shard",
                           {{"shard", std::to_string(i)}}));
     }
+    if (options_.durability.enabled) {
+      m_snapshot_lsn_ = m->GetGauge("snapshot_last_lsn",
+                                    "LSN covered by the last snapshot");
+      m_recovery_replayed_ =
+          m->GetGauge("recovery_replayed_records",
+                      "WAL records replayed by the last recovery");
+    }
   }
 }
 
@@ -76,7 +102,169 @@ Status ShardedScheduler::Init() {
     DS_RETURN_NOT_OK(shards_[i]->sched->Init());
     shards_[i]->sched->queue()->set_notify([this, i] { MarkDirty(i); });
   }
+  if (options_.durability.enabled) DS_RETURN_NOT_OK(RecoverAndAttach());
   initialized_ = true;
+  return Status::OK();
+}
+
+Status ShardedScheduler::RecoverAndAttach() {
+  const DurabilityOptions& d = options_.durability;
+  if (d.dir.empty()) return Status::InvalidArgument("durability.dir must be set");
+  if (::mkdir(d.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(
+        StrFormat("mkdir %s: %s", d.dir.c_str(), std::strerror(errno)));
+  }
+  std::vector<EscrowFanout> fanouts;
+  DS_ASSIGN_OR_RETURN(
+      recovery_result_,
+      storage::RunRecovery(
+          d.dir, options_.num_shards,
+          [this](int s, const std::vector<storage::TableSnapshot>& tables) {
+            return RestoreShardStore(shards_[s]->sched->store(), tables);
+          },
+          [this, &fanouts](const storage::WalRecord& rec) -> Status {
+            if (static_cast<WalRecordType>(rec.type) ==
+                WalRecordType::kEscrowFanout) {
+              DS_ASSIGN_OR_RETURN(EscrowFanout fanout,
+                                  DecodeEscrowFanout(rec.payload));
+              fanouts.push_back(std::move(fanout));
+              return Status::OK();
+            }
+            return ApplyWalRecord(shards_[rec.shard]->sched->store(), rec);
+          }));
+  DS_RETURN_NOT_OK(ReestablishCrossShardState(fanouts));
+
+  storage::Wal::Options wal_opt;
+  wal_opt.path = storage::WalPath(d.dir);
+  wal_opt.fsync = d.fsync;
+  wal_opt.metrics = options_.metrics;
+  DS_ASSIGN_OR_RETURN(wal_,
+                      storage::Wal::Open(wal_opt, recovery_result_.next_lsn));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    shards_[s]->sched->store()->AttachWal(wal_.get(),
+                                          static_cast<uint16_t>(s));
+  }
+  ckpt_bytes_mark_.store(wal_->appended_bytes(), std::memory_order_relaxed);
+
+  if (recovery_result_.records_replayed > 0 || recovery_result_.tail_truncated) {
+    // Fold the replayed tail (and any republished mirrors) into a fresh
+    // snapshot: the next recovery starts from it, and a truncated torn
+    // tail can never resurface.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    DS_RETURN_NOT_OK(WriteCheckpointNow());
+  } else if (m_snapshot_lsn_ != nullptr) {
+    m_snapshot_lsn_->Set(static_cast<int64_t>(recovery_result_.snapshot_lsn));
+  }
+  if (m_recovery_replayed_ != nullptr) {
+    m_recovery_replayed_->Set(recovery_result_.records_replayed);
+  }
+  DS_LOG(Info) << "recovery: replayed " << recovery_result_.records_replayed
+               << " wal records (" << recovery_result_.records_skipped
+               << " pre-snapshot skipped) on top of snapshot lsn "
+               << recovery_result_.snapshot_lsn
+               << (recovery_result_.tail_truncated
+                       ? " — torn tail truncated (" +
+                             recovery_result_.tail_reason + ")"
+                       : "")
+               << " in " << recovery_result_.duration_us << " us";
+  return Status::OK();
+}
+
+Status ShardedScheduler::ReestablishCrossShardState(
+    const std::vector<EscrowFanout>& fanouts) {
+  struct TxnState {
+    uint32_t rows_mask = 0;    ///< shards with non-marker rows of the txn
+    uint32_t marker_mask = 0;  ///< shards with a termination marker in history
+    int pending_finisher_shard = -1;
+    Request pending_finisher;
+  };
+  std::unordered_map<txn::TxnId, TxnState> txns;
+  // Id counters died with the process; the restored rows carry the high
+  // water marks. Ids at or above 1<<40 are the shards' internal ranges
+  // (victim markers) and must not drag the global counter into them.
+  int64_t max_id = 0;
+  txn::TxnId max_ta = 0;
+  const auto observe_ids = [&](const Request& r) {
+    if (r.id < (int64_t{1} << 40)) max_id = std::max(max_id, r.id);
+    max_ta = std::max(max_ta, r.ta);
+  };
+  for (int s = 0; s < options_.num_shards; ++s) {
+    RequestStore* store = shards_[s]->sched->store();
+    for (const auto& [id, r] : store->pending_by_id()) {
+      observe_ids(r);
+      TxnState& t = txns[r.ta];
+      if (IsFinisher(r.op)) {
+        t.pending_finisher_shard = s;
+        t.pending_finisher = r;
+      } else {
+        t.rows_mask |= 1u << s;
+      }
+    }
+    store->catalog()
+        ->GetTable("history")
+        ->ForEach([&](storage::RowId, const storage::Row& row) {
+          const Request r = RequestStore::RowToRequestFull(row);
+          observe_ids(r);
+          TxnState& t = txns[r.ta];
+          if (IsFinisher(r.op)) {
+            t.marker_mask |= 1u << s;
+          } else {
+            t.rows_mask |= 1u << s;
+          }
+        });
+  }
+  next_id_.store(max_id + 1, std::memory_order_relaxed);
+  recovered_max_ta_ = max_ta;
+
+  for (auto& [ta, t] : txns) {
+    if (t.marker_mask != 0) continue;  // finished; mirrors below handle stragglers
+    // Unfinished: the router's footprint died with the process, but the
+    // restored rows say exactly which shards hold this transaction's
+    // locks — without this, a resubmitted finisher would hash-fall-back
+    // to one arbitrary shard and leak locks everywhere else.
+    uint32_t mask = t.rows_mask;
+    for (int s = 0; mask != 0; ++s, mask >>= 1) {
+      if (mask & 1u) router_.RecordFootprint(ta, s);
+    }
+    if (t.pending_finisher_shard < 0) continue;
+    // A restored-but-undispatched finisher: if its transaction spans
+    // shards, re-register the escrow entries its original Submit created,
+    // or its dispatch would never fan the lock releases out.
+    const int home = t.pending_finisher_shard;
+    const uint32_t full = t.rows_mask | (1u << home);
+    std::vector<int> involved;
+    for (int s = 0; s < options_.num_shards; ++s) {
+      if (full >> s & 1u) involved.push_back(s);
+    }
+    if (involved.size() <= 1) continue;
+    for (int s : involved) {
+      Shard& sh = *shards_[s];
+      EscrowEntry entry;
+      entry.marker = t.pending_finisher;
+      entry.mirror_mask = s == home ? full : 0;
+      std::lock_guard<std::mutex> lock(sh.escrow_mu);
+      if (sh.escrow_entries.emplace(ta, std::move(entry)).second) {
+        sh.escrow_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Re-publish mirrors whose application never reached the receiving
+  // shard's log: the fanout record proves the finisher dispatched; a shard
+  // still holding non-marker rows with no marker of its own never applied
+  // (or never re-logged) the release.
+  for (const EscrowFanout& fanout : fanouts) {
+    auto it = txns.find(fanout.marker.ta);
+    if (it == txns.end()) continue;  // fully retired everywhere
+    const TxnState& t = it->second;
+    uint32_t mask = fanout.mask;
+    for (int s = 0; mask != 0; ++s, mask >>= 1) {
+      if (!(mask & 1u)) continue;
+      if ((t.rows_mask >> s & 1u) && !(t.marker_mask >> s & 1u)) {
+        PublishMirror(s, fanout.marker);
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -91,7 +279,7 @@ void ShardedScheduler::MarkDirty(int s) {
 
 int64_t ShardedScheduler::Submit(Request request, SimTime now) {
   DS_CHECK(initialized_);
-  const int64_t t0 = NowMicros();
+  const int64_t t0 = ThreadCpuMicros();
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.arrival = now;
   // Advance the shared cycle clock (max, monotone).
@@ -131,7 +319,7 @@ int64_t ShardedScheduler::Submit(Request request, SimTime now) {
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (m_submitted_ != nullptr) m_submitted_->Increment();
-  coordination_us_.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+  coordination_us_.fetch_add(ThreadCpuMicros() - t0, std::memory_order_relaxed);
   return request.id;
 }
 
@@ -183,6 +371,15 @@ Status ShardedScheduler::ProcessDispatched(int s, const RequestBatch& batch) {
         sh.escrow_count.fetch_sub(1, std::memory_order_relaxed);
       }
     }
+    // Make the fan-out durable before publishing: the inboxes are memory,
+    // and the home shard's own GC retires the marker in this same cycle —
+    // without this record a crash here would leak the other shards' locks
+    // forever (recovery re-publishes from it; see
+    // ReestablishCrossShardState).
+    if (mask != 0 && wal_ != nullptr) {
+      wal_->Append(static_cast<uint8_t>(WalRecordType::kEscrowFanout),
+                   static_cast<uint16_t>(s), EncodeEscrowFanout(mask, r));
+    }
     for (int t = 0; mask != 0; ++t, mask >>= 1) {
       if ((mask & 1u) && t != s) PublishMirror(t, r);
     }
@@ -202,7 +399,7 @@ Status ShardedScheduler::ProcessDispatched(int s, const RequestBatch& batch) {
 
 Result<bool> ShardedScheduler::RunShardOnce(int s, SimTime now) {
   Shard& sh = *shards_[s];
-  const int64_t t0 = NowMicros();
+  const int64_t t0 = ThreadCpuMicros();
 
   // Order matters: consume the wake flag BEFORE draining the mirror inbox.
   // A mirror published after the consume leaves the flag set for the next
@@ -238,7 +435,7 @@ Result<bool> ShardedScheduler::RunShardOnce(int s, SimTime now) {
 
   if (!runnable ||
       (sh.sched->queue_size() == 0 && sh.sched->store()->pending_count() == 0)) {
-    sh.busy_us.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+    sh.busy_us.fetch_add(ThreadCpuMicros() - t0, std::memory_order_relaxed);
     return false;
   }
 
@@ -278,7 +475,7 @@ Result<bool> ShardedScheduler::RunShardOnce(int s, SimTime now) {
   // leaves the shard quiescent until new input arrives.
   if (stats.dispatched > 0 || stats.victims > 0) MarkDirty(s);
 
-  sh.busy_us.fetch_add(NowMicros() - t0, std::memory_order_relaxed);
+  sh.busy_us.fetch_add(ThreadCpuMicros() - t0, std::memory_order_relaxed);
   return true;
 }
 
@@ -307,7 +504,7 @@ void ShardedScheduler::WorkerLoop(int s) {
   idle_cv_.notify_all();
 }
 
-Status ShardedScheduler::Start() {
+Status ShardedScheduler::StartLocked() {
   DS_CHECK(initialized_);
   if (started_) return Status::OK();
   stop_.store(false, std::memory_order_release);
@@ -319,7 +516,7 @@ Status ShardedScheduler::Start() {
   return Status::OK();
 }
 
-void ShardedScheduler::Stop() {
+void ShardedScheduler::StopLocked() {
   if (!started_) return;
   stop_.store(true, std::memory_order_release);
   for (auto& sh : shards_) {
@@ -330,6 +527,100 @@ void ShardedScheduler::Stop() {
     if (sh->worker.joinable()) sh->worker.join();
   }
   started_ = false;
+}
+
+Status ShardedScheduler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    DS_RETURN_NOT_OK(StartLocked());
+  }
+  if (wal_ != nullptr && options_.durability.checkpoint_interval_ms > 0 &&
+      !ckpt_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ckpt_mu_);
+      ckpt_stop_ = false;
+    }
+    ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  return Status::OK();
+}
+
+void ShardedScheduler::Stop() {
+  // Join the checkpoint thread before taking lifecycle_mu_: it calls
+  // Checkpoint(), which takes that mutex.
+  StopCheckpointThread();
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  StopLocked();
+}
+
+Status ShardedScheduler::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("checkpoint without durability enabled");
+  }
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  const bool was_started = started_;
+  if (was_started) StopLocked();
+  const Status st = WriteCheckpointNow();
+  if (was_started) DS_RETURN_NOT_OK(StartLocked());
+  return st;
+}
+
+Status ShardedScheduler::WriteCheckpointNow() {
+  // Workers are parked/joined; drain every mirror inbox before snapshotting.
+  // Rotate() below truncates the kEscrowFanout records, so any fan-out still
+  // sitting in memory must land in the snapshotted relations first.
+  for (int s = 0; s < options_.num_shards; ++s) {
+    (void)ApplyMirrors(s);
+  }
+  DS_RETURN_NOT_OK(wal_->Flush());
+  storage::SnapshotData data;
+  data.last_lsn = wal_->head_lsn();
+  data.shards.reserve(shards_.size());
+  for (auto& sh : shards_) {
+    data.shards.push_back(SnapshotShardStore(*sh->sched->store()));
+  }
+  DS_RETURN_NOT_OK(storage::WriteSnapshot(options_.durability.dir, data));
+  CrashPoint("snapshot:post-rename-pre-truncate");
+  DS_RETURN_NOT_OK(wal_->Rotate());
+  ckpt_bytes_mark_.store(wal_->appended_bytes(), std::memory_order_relaxed);
+  if (m_snapshot_lsn_ != nullptr) {
+    m_snapshot_lsn_->Set(static_cast<int64_t>(data.last_lsn));
+  }
+  return Status::OK();
+}
+
+void ShardedScheduler::CheckpointLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.durability.checkpoint_interval_ms);
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  while (!ckpt_stop_) {
+    ckpt_cv_.wait_for(lock, interval, [this] { return ckpt_stop_; });
+    if (ckpt_stop_) return;
+    lock.unlock();
+    const int64_t every = options_.durability.checkpoint_every_bytes;
+    const bool due =
+        every <= 0 ||
+        wal_->appended_bytes() -
+                ckpt_bytes_mark_.load(std::memory_order_relaxed) >=
+            every;
+    if (due) {
+      const Status st = Checkpoint();
+      if (!st.ok()) {
+        DS_LOG(Error) << "periodic checkpoint failed: " << st.ToString();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void ShardedScheduler::StopCheckpointThread() {
+  if (!ckpt_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_stop_ = true;
+  }
+  ckpt_cv_.notify_all();
+  ckpt_thread_.join();
 }
 
 bool ShardedScheduler::WaitIdle(int64_t timeout_us) {

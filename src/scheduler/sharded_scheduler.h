@@ -76,8 +76,12 @@
 #include "observability/metrics.h"
 #include "scheduler/declarative_scheduler.h"
 #include "scheduler/shard_router.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
 
 namespace declsched::scheduler {
+
+struct EscrowFanout;  // scheduler/durability.h
 
 class ShardedScheduler {
  public:
@@ -86,6 +90,27 @@ class ShardedScheduler {
   /// how closed-loop drivers feed finishers without an extra thread).
   using DispatchCallback = std::function<void(int shard, const RequestBatch& batch)>;
 
+  /// Durability configuration. When enabled, Init() first recovers `dir`
+  /// (snapshot restore + WAL replay + forced derived-state rebuild), then
+  /// attaches one shared group-commit WAL to every shard's store, so each
+  /// store mutation appends a logical record. Dispatch acknowledgments
+  /// become durable at Wal::WhenDurable / Sync of the store's
+  /// last_wal_lsn(); cycle threads themselves never block on fsync.
+  struct DurabilityOptions {
+    bool enabled = false;
+    /// Data directory holding wal.log / snapshot.bin. Created if absent
+    /// (one level only).
+    std::string dir;
+    /// fsync on each group commit. Off = page-cache durability (benches).
+    bool fsync = true;
+    /// Checkpoint when this many WAL bytes accumulated since the last one
+    /// (checked by the periodic thread; <= 0 disables the size trigger).
+    int64_t checkpoint_every_bytes = 64 << 20;
+    /// Period of the background checkpoint thread started by Start()
+    /// (0 = no thread; Checkpoint() can still be called manually).
+    int64_t checkpoint_interval_ms = 0;
+  };
+
   struct Options {
     int num_shards = 4;
     /// Per-shard scheduler template. shard/num_shards/first_request_id are
@@ -93,6 +118,7 @@ class ShardedScheduler {
     /// that shard's own store.
     DeclarativeScheduler::Options shard;
     DispatchCallback on_dispatch;
+    DurabilityOptions durability;
     /// Record every dispatched request into the log read by
     /// TakeDispatched(). Turn off for throughput benches that only count.
     bool keep_dispatch_log = true;
@@ -190,12 +216,32 @@ class ShardedScheduler {
   /// Drains the global dispatch log (dispatch order within a shard; across
   /// shards, append order). Thread-safe.
   RequestBatch TakeDispatched();
-  /// Wall time shard `i`'s cycles + mirror applications have consumed —
-  /// the per-shard busy time the single-core speedup projection divides by.
+  /// CPU time shard `i`'s cycles + mirror applications have consumed —
+  /// the per-shard busy time the single-core speedup projection divides
+  /// by. Thread CPU clock, not wall: time another thread (the WAL flusher,
+  /// another shard on a small machine) spends preempting a cycle is that
+  /// thread's cost, not this shard's.
   int64_t shard_busy_us(int i) const;
-  /// Wall time submitters spent in routing + escrow coordination (the
+  /// CPU time submitters spent in routing + escrow coordination (the
   /// serial term of the projection).
   int64_t coordination_us() const { return coordination_us_.load(); }
+
+  // --- durability ---
+
+  /// The shared WAL (null unless durability is enabled).
+  storage::Wal* wal() const { return wal_.get(); }
+  /// What Init()'s recovery pass did (zeros unless durability is enabled).
+  const storage::RecoveryResult& recovery_result() const {
+    return recovery_result_;
+  }
+  /// Writes a snapshot of every shard's relations and truncates the WAL.
+  /// Safe against running workers: they are parked for the capture and
+  /// restarted after. InvalidArgument unless durability is enabled.
+  Status Checkpoint();
+  /// Highest transaction id seen in the restored relations (0 on a fresh
+  /// start). A layer that assigns transaction ids (the front door) must
+  /// resume above it, or new transactions would merge with restored ones.
+  txn::TxnId recovered_max_ta() const { return recovered_max_ta_; }
 
  private:
   /// An escrow registered with a shard: the finisher marker plus the
@@ -253,12 +299,34 @@ class ShardedScheduler {
   void MarkDirty(int s);
   SimTime Now() const { return SimTime::FromMicros(now_us_.load()); }
 
+  /// Init()'s durability arm: recover the data directory into the fresh
+  /// stores, re-establish cross-shard state, open the WAL, attach it.
+  Status RecoverAndAttach();
+  /// Rebuilds the cross-shard machinery recovery cannot read off a single
+  /// shard: router footprints of unfinished transactions, escrow entries
+  /// of restored-but-undispatched cross-shard finishers, and mirrors
+  /// (from replayed kEscrowFanout records) whose application never
+  /// reached the receiving shard's log.
+  Status ReestablishCrossShardState(const std::vector<EscrowFanout>& fanouts);
+  /// Snapshot + WAL rotate, workers already parked. lifecycle_mu_ held.
+  Status WriteCheckpointNow();
+  void CheckpointLoop();
+  void StopCheckpointThread();
+  /// Worker spawn/join only; lifecycle_mu_ held by the caller.
+  Status StartLocked();
+  void StopLocked();
+
   Options options_;
   server::DatabaseServer* server_;
   ShardRouter router_;
+  /// Declared before shards_ so it is destroyed after them — the stores
+  /// hold raw pointers into it.
+  std::unique_ptr<storage::Wal> wal_;
+  storage::RecoveryResult recovery_result_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<int64_t> next_id_{1};
+  txn::TxnId recovered_max_ta_ = 0;  ///< written once, during Init recovery
   std::atomic<int64_t> now_us_{0};
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> dispatched_{0};
@@ -281,13 +349,30 @@ class ShardedScheduler {
   observability::Counter* m_gc_removed_ = nullptr;
   std::vector<observability::HistogramMetric*> m_cycle_us_;  ///< per shard
 
+  /// Cached gauges (non-null iff metrics set and durability enabled).
+  observability::Gauge* m_snapshot_lsn_ = nullptr;
+  observability::Gauge* m_recovery_replayed_ = nullptr;
+
   /// Notified whenever a worker parks; WaitIdle waits on it.
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
 
   std::atomic<bool> stop_{false};
+  /// Serializes Start/Stop/Checkpoint (the checkpoint thread parks and
+  /// restarts workers through it). The checkpoint thread itself is joined
+  /// by Stop() *before* taking this mutex — it calls Checkpoint(), which
+  /// takes it.
+  std::mutex lifecycle_mu_;
   bool started_ = false;
   bool initialized_ = false;
+
+  /// Background checkpoint thread (durability with interval > 0 only).
+  std::thread ckpt_thread_;
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stop_ = false;
+  /// appended_bytes() at the last checkpoint (size-trigger baseline).
+  std::atomic<int64_t> ckpt_bytes_mark_{0};
 };
 
 }  // namespace declsched::scheduler

@@ -1,0 +1,85 @@
+#include "storage/recovery.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace declsched::storage {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<RecoveryResult> RunRecovery(const std::string& dir, int num_shards,
+                                   const RestoreShardFn& restore_shard,
+                                   const ApplyRecordFn& apply) {
+  const int64_t start_us = NowMicros();
+  RecoveryResult result;
+
+  // A leftover snapshot.tmp is a snapshot that never reached its rename:
+  // garbage by construction.
+  if (::unlink(SnapshotTmpPath(dir).c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal(StrFormat("unlink %s failed",
+                                      SnapshotTmpPath(dir).c_str()));
+  }
+
+  auto snapshot = ReadSnapshot(dir);
+  if (snapshot.ok()) {
+    const SnapshotData& data = snapshot.ValueOrDie();
+    if (static_cast<int>(data.shards.size()) != num_shards) {
+      return Status::Internal(StrFormat(
+          "snapshot has %d shards but the store is configured for %d; "
+          "resharding a durable store is not supported",
+          static_cast<int>(data.shards.size()), num_shards));
+    }
+    for (int s = 0; s < num_shards; ++s) {
+      DS_RETURN_NOT_OK(restore_shard(s, data.shards[s]));
+    }
+    result.snapshot_loaded = true;
+    result.snapshot_lsn = data.last_lsn;
+  } else if (!snapshot.status().IsNotFound()) {
+    return snapshot.status();
+  }
+
+  uint64_t max_replayed_lsn = 0;
+  auto scan = ScanWal(WalPath(dir), [&](const WalRecord& record) -> Status {
+    if (record.lsn <= result.snapshot_lsn) {
+      // Logged before the snapshot was cut but after its last truncation
+      // (crash between rename and Rotate): already in the restored rows.
+      ++result.records_skipped;
+      return Status::OK();
+    }
+    if (static_cast<int>(record.shard) >= num_shards) {
+      return Status::Internal(StrFormat(
+          "wal record lsn %llu targets shard %d of %d",
+          static_cast<unsigned long long>(record.lsn),
+          static_cast<int>(record.shard), num_shards));
+    }
+    DS_RETURN_NOT_OK(apply(record));
+    ++result.records_replayed;
+    max_replayed_lsn = record.lsn;
+    return Status::OK();
+  });
+  DS_RETURN_NOT_OK(scan.status());
+  if (scan.ValueOrDie().tail_truncated) {
+    result.tail_truncated = true;
+    result.tail_reason = scan.ValueOrDie().tail_reason;
+    DS_RETURN_NOT_OK(TruncateWalTail(WalPath(dir), scan.ValueOrDie().valid_bytes));
+  }
+
+  result.next_lsn = std::max(result.snapshot_lsn, max_replayed_lsn) + 1;
+  result.duration_us = NowMicros() - start_us;
+  return result;
+}
+
+}  // namespace declsched::storage

@@ -1,0 +1,59 @@
+// Crash-recovery orchestration: snapshot load + WAL tail replay.
+//
+// RunRecovery is deliberately ignorant of what the records *mean* — the
+// caller supplies a restore function (install a shard's snapshotted tables
+// into a fresh store) and an apply function (re-execute one WAL record).
+// The scheduler layer binds these to RequestStore (scheduler/durability.h);
+// storage-level tests bind them to plain tables. Recovery never
+// deserializes derived state: after base rows are restored, the caller is
+// expected to force its staleness-rebuild path to reconstruct everything
+// else.
+
+#ifndef DECLSCHED_STORAGE_RECOVERY_H_
+#define DECLSCHED_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace declsched::storage {
+
+/// What one recovery pass did — surfaced in logs and gauges.
+struct RecoveryResult {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_lsn = 0;
+  int64_t records_replayed = 0;
+  /// Records whose lsn <= snapshot_lsn: already folded into the snapshot
+  /// (a crash between snapshot rename and WAL truncation leaves them).
+  int64_t records_skipped = 0;
+  bool tail_truncated = false;
+  std::string tail_reason;
+  /// The LSN the reopened WAL continues from.
+  uint64_t next_lsn = 1;
+  int64_t duration_us = 0;
+};
+
+/// Installs one shard's snapshotted tables into a fresh store.
+using RestoreShardFn =
+    std::function<Status(int shard, const std::vector<TableSnapshot>& tables)>;
+
+/// Re-executes one WAL record against the store it was logged from.
+using ApplyRecordFn = std::function<Status(const WalRecord& record)>;
+
+/// Recovers a data directory: removes a stale snapshot.tmp, restores the
+/// snapshot if one exists (a shard-count mismatch with `num_shards` is an
+/// error — resharding a durable store is not supported), replays the WAL
+/// tail, and truncates any torn tail so it cannot resurface. Works on a
+/// directory with no snapshot and/or no WAL (fresh start).
+Result<RecoveryResult> RunRecovery(const std::string& dir, int num_shards,
+                                   const RestoreShardFn& restore_shard,
+                                   const ApplyRecordFn& apply);
+
+}  // namespace declsched::storage
+
+#endif  // DECLSCHED_STORAGE_RECOVERY_H_

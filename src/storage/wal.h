@@ -1,0 +1,223 @@
+// Write-ahead log with group commit.
+//
+// Record framing (all integers little-endian; see storage/coding.h):
+//
+//   file     := magic "DSWAL1\n\0" record*
+//   record   := u32 body_len | u32 crc32(body) | body
+//   body     := u64 lsn | u8 type | u8 reserved | u16 shard | payload
+//
+// The CRC covers the whole body, so a torn or bit-flipped tail is detected
+// and the log remains readable up to the last intact record (ScanWal stops
+// cleanly and reports where; recovery truncates there).
+//
+// Group commit: Append() assigns the next LSN, encodes the record into an
+// in-memory batch buffer, and returns — it never touches the file. A
+// dedicated flusher thread swaps the buffer out, write()s it, fsync()s
+// once, then publishes the batch's highest LSN as durable_lsn(). The
+// flusher is demand-driven: it flushes immediately when a Sync caller or
+// WhenDurable acknowledgment is waiting (or the batch is large), and
+// otherwise lets appends accumulate for a ~1ms window so plain appends
+// cost no wakeup at all and batches stay wide. Writers
+// that need durability block on Sync(lsn) (a commit-sequence-number wait)
+// or register a WhenDurable callback; many concurrent appends share one
+// fsync. An I/O error is sticky: the WAL stops advancing durability and
+// every Sync from then on returns the error.
+//
+// Thread-safety: Append/Sync/WhenDurable and the accessors are safe from
+// any thread. Flush/Rotate/Close require that no Append runs concurrently
+// (checkpoint and shutdown call them with the scheduler parked).
+
+#ifndef DECLSCHED_STORAGE_WAL_H_
+#define DECLSCHED_STORAGE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "observability/metrics.h"
+
+namespace declsched::storage {
+
+/// CRC-32C (Castagnoli polynomial — what the x86 crc32 instruction
+/// implements; hardware-accelerated when available, software slicing-by-8
+/// otherwise, bit-identical either way). `seed` chains partial
+/// computations: Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Forces the software (hardware=false) or hardware (hardware=true, falls
+/// back to software where unsupported) path — exists so a test can pin the
+/// two implementations against each other.
+uint32_t Crc32ForTest(const void* data, size_t len, uint32_t seed,
+                      bool hardware);
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint8_t type = 0;
+  uint16_t shard = 0;
+  std::string payload;
+};
+
+class Wal {
+ public:
+  struct Options {
+    std::string path;
+    /// fsync after each batch write. Off only for benches that isolate the
+    /// in-memory cost; without it "durable" means "in the page cache".
+    bool fsync = true;
+    /// Optional wal_* metrics (appends, fsyncs, bytes, batch-size
+    /// histogram). The registry must outlive the Wal.
+    observability::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Opens (creating if absent) the log for appending and starts the
+  /// flusher thread. `next_lsn` continues the sequence recovery computed
+  /// (1 for a fresh log). A file shorter than the magic (torn creation) is
+  /// reinitialized.
+  static Result<std::unique_ptr<Wal>> Open(const Options& options,
+                                           uint64_t next_lsn);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one record; returns its LSN. Encodes straight into the batch
+  /// buffer and wakes the flusher if it is parked — never blocks on I/O,
+  /// never allocates in steady state.
+  uint64_t Append(uint8_t type, uint16_t shard, std::string_view payload);
+
+  /// Blocks until durable_lsn() >= lsn (or the sticky I/O error). lsn 0
+  /// returns immediately: "nothing to wait for".
+  Status Sync(uint64_t lsn);
+
+  /// Runs `fn` once lsn is durable: inline if it already is, else from the
+  /// flusher thread after the covering fsync. `fn` must be thread-safe and
+  /// cheap. Callbacks are dropped (never invoked) if the WAL hits a sticky
+  /// I/O error or is closed first — an acknowledgment that never becomes
+  /// durable must never fire.
+  void WhenDurable(uint64_t lsn, std::function<void()> fn);
+
+  /// Sync up to everything appended so far.
+  Status Flush() { return Sync(head_lsn()); }
+
+  /// Truncates the log back to the file magic after a snapshot made its
+  /// records redundant. LSNs keep counting — they are a log-lifetime
+  /// sequence, not a file offset. Requires no concurrent Append.
+  Status Rotate();
+
+  /// Flushes, stops the flusher thread, closes the fd. Idempotent; the
+  /// destructor calls it. Requires no concurrent Append.
+  Status Close();
+
+  uint64_t head_lsn() const { return head_lsn_.load(std::memory_order_acquire); }
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  /// Bytes appended since Open (monotone across Rotate) — the size signal
+  /// checkpoint policies trigger on.
+  int64_t appended_bytes() const {
+    return appended_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t fsync_count() const {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
+  int64_t append_count() const {
+    return appends_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit Wal(const Options& options);
+
+  void FlusherLoop();
+  Status WriteAndSync(const std::string& chunk, int64_t records);
+  /// Extends the file with real zeros (in kPreallocChunk steps, one fsync
+  /// each) so group commits overwrite allocated blocks and fdatasync stays
+  /// metadata-free. Flusher thread only.
+  Status EnsureAllocated(int64_t need);
+
+  Options options_;
+  int fd_ = -1;
+  /// End of encoded records in the file; bytes beyond it up to
+  /// allocated_end_ are preallocated zeros. Flusher thread only (Open /
+  /// Rotate / Close touch them with the flusher quiescent).
+  int64_t logical_end_ = 0;
+  int64_t allocated_end_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;     ///< wakes the flusher
+  std::condition_variable durable_cv_;  ///< wakes Sync waiters
+  std::string buffer_;                  ///< encoded records awaiting write
+  /// The flusher's side of the double buffer: batches swap into it (both
+  /// strings keep their capacity, so steady state never reallocates) and
+  /// it is written out with mu_ released. Flusher thread only.
+  std::string spare_;
+  /// True while the flusher is parked on work_cv_ — appenders skip the
+  /// notify (a futex syscall) whenever the flusher is already draining.
+  bool flusher_waiting_ = false;
+  /// Edge-trigger for the wake: the first notifier behind a park sets it
+  /// (and pays the one futex syscall); the flusher clears it on wake. A
+  /// burst of appends or acknowledgment registrations costs one notify.
+  bool flusher_signaled_ = false;
+  /// Sync() callers currently blocked. Nonzero means durability demand:
+  /// the flusher flushes immediately instead of pacing its idle timeout.
+  int sync_waiters_ = 0;
+  int64_t buffered_records_ = 0;
+  uint64_t buffered_lsn_ = 0;  ///< highest lsn in buffer_
+  uint64_t next_lsn_ = 1;
+  bool stop_ = false;
+  Status io_error_;  ///< sticky; set by the first failed write/fsync
+  /// Durability callbacks, unordered; drained after each fsync.
+  std::vector<std::pair<uint64_t, std::function<void()>>> waiters_;
+
+  std::atomic<uint64_t> head_lsn_{0};
+  std::atomic<uint64_t> durable_lsn_{0};
+  std::atomic<int64_t> appended_bytes_{0};
+  std::atomic<int64_t> appends_{0};
+  std::atomic<int64_t> fsyncs_{0};
+
+  std::thread flusher_;
+
+  observability::Counter* m_appends_ = nullptr;
+  observability::Counter* m_fsyncs_ = nullptr;
+  observability::Counter* m_bytes_ = nullptr;
+  observability::HistogramMetric* m_batch_ = nullptr;
+};
+
+/// What one ScanWal pass over a log file found.
+struct WalScanStats {
+  uint64_t records = 0;
+  uint64_t last_lsn = 0;
+  /// A record with a short/oversized header, short body, or CRC mismatch
+  /// ended the scan early (all earlier records were intact).
+  bool tail_truncated = false;
+  std::string tail_reason;
+  /// File prefix (magic included) covered by intact records — what
+  /// TruncateWalTail cuts back to.
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads every intact record in order, invoking `fn` for each; stops
+/// cleanly at the first torn/corrupt one (see WalScanStats). A missing or
+/// empty file scans as zero records. An error from `fn` aborts the scan
+/// and is returned.
+Result<WalScanStats> ScanWal(
+    const std::string& path,
+    const std::function<Status(const WalRecord& record)>& fn);
+
+/// Cuts a log back to `valid_bytes` (from WalScanStats) so a torn tail is
+/// gone for good, then fsyncs. Rewrites the magic if even that was torn.
+Status TruncateWalTail(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace declsched::storage
+
+#endif  // DECLSCHED_STORAGE_WAL_H_
