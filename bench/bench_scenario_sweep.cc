@@ -1,0 +1,208 @@
+// Scenario sweep: the adaptive-consistency claim, measured end to end.
+//
+// Every built-in scenario (bursty floods, diurnal waves, hot-set
+// contention, deadlock-prone orderings, aggressor tenants, cross-shard
+// fan-out — >= 8 mixes) runs under three consistency policies on the
+// sharded cooperative stack:
+//
+//   fixed-strict    ss2pl-native for the whole run
+//   fixed-relaxed   read-committed-native for the whole run
+//   adaptive        the AdaptiveConsistencyController switching between
+//                   the two on live signals (queue depth, lock-wait
+//                   depth, in-flight rows, starved tenants)
+//
+// A transaction misses its SLA if it aborts, commits past its deadline,
+// or commits under relaxed consistency beyond the scenario's
+// relaxed_budget. Strict pays in aborts and deadline misses when load
+// spikes; relaxed pays the consistency charge on quiet scenarios;
+// adaptive should pay neither.
+//
+//   Gate: the adaptive policy's aggregate SLA-miss rate across the whole
+//   sweep must be <= every fixed policy's aggregate rate.
+//
+// Flags: --smoke       fewer seeds + smaller scenarios (CI-friendly)
+//        --json PATH   also write the JSON rows to PATH
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenario/runner.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/synthesizer.h"
+#include "scheduler/adaptive_controller.h"
+#include "scheduler/protocol_library.h"
+
+namespace {
+
+using namespace declsched;             // NOLINT
+using namespace declsched::bench;      // NOLINT
+using namespace declsched::scenario;   // NOLINT
+
+struct PolicyDef {
+  const char* label;
+  bool adaptive;
+  scheduler::ProtocolSpec fixed;  // ignored when adaptive
+};
+
+struct PolicyTotals {
+  int64_t txns = 0;
+  int64_t committed = 0;
+  int64_t sla_misses = 0;
+  int64_t aborted = 0;
+  int64_t deadline_missed = 0;
+  int64_t over_budget = 0;
+  int64_t switches = 0;
+  double rate() const {
+    return txns == 0 ? 0.0 : static_cast<double>(sla_misses) /
+                                 static_cast<double>(txns);
+  }
+};
+
+ScenarioRunnerOptions MakeOptions(const PolicyDef& policy) {
+  ScenarioRunnerOptions options;
+  options.sharded = true;
+  options.num_shards = 3;
+  if (policy.adaptive) {
+    scheduler::AdaptiveConsistencyController::Options adaptive;
+    adaptive.strict = scheduler::Ss2plNative();
+    adaptive.relaxed = scheduler::ReadCommittedNative();
+    adaptive.relax_above = 48;
+    adaptive.tighten_below = 12;
+    adaptive.min_cycles_between_switches = 8;
+    options.adaptive = adaptive;
+  } else {
+    options.protocol = policy.fixed;
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<uint64_t> seeds =
+      smoke ? std::vector<uint64_t>{1, 2} : std::vector<uint64_t>{1, 2, 3, 4};
+  const PolicyDef policies[] = {
+      {"fixed-strict", false, scheduler::Ss2plNative()},
+      {"fixed-relaxed", false, scheduler::ReadCommittedNative()},
+      {"adaptive", true, {}},
+  };
+
+  std::vector<ScenarioSpec> specs = BuiltInScenarios();
+  if (smoke) {
+    for (ScenarioSpec& spec : specs) {
+      spec.txns = std::min<int64_t>(spec.txns, 96);
+    }
+  }
+
+  std::printf("== Scenario sweep: %zu scenarios x %zu seeds x %zu policies, "
+              "sharded cooperative stack ==\n",
+              specs.size(), seeds.size(), std::size(policies));
+
+  std::string json;
+  PolicyTotals totals[std::size(policies)];
+  for (const ScenarioSpec& spec : specs) {
+    for (size_t p = 0; p < std::size(policies); ++p) {
+      PolicyTotals per_scenario;
+      for (uint64_t seed : seeds) {
+        ScenarioSynthesizer synth(spec, seed);
+        ScenarioTrace trace = Unwrap(synth.Synthesize(), "synthesize");
+        ScenarioOutcome outcome = Unwrap(
+            RunScenario(trace, MakeOptions(policies[p])), spec.name.c_str());
+        per_scenario.txns += outcome.txns;
+        per_scenario.committed += outcome.committed;
+        per_scenario.sla_misses += outcome.sla_misses;
+        per_scenario.aborted += outcome.aborted;
+        per_scenario.deadline_missed += outcome.deadline_missed;
+        per_scenario.over_budget += outcome.over_budget_relaxed;
+        per_scenario.switches += outcome.adaptive_switches;
+      }
+      totals[p].txns += per_scenario.txns;
+      totals[p].committed += per_scenario.committed;
+      totals[p].sla_misses += per_scenario.sla_misses;
+      totals[p].aborted += per_scenario.aborted;
+      totals[p].deadline_missed += per_scenario.deadline_missed;
+      totals[p].over_budget += per_scenario.over_budget;
+      totals[p].switches += per_scenario.switches;
+      std::printf("%-22s %-13s miss %5.3f  (%lld/%lld txns, %lld switches)\n",
+                  spec.name.c_str(), policies[p].label, per_scenario.rate(),
+                  static_cast<long long>(per_scenario.sla_misses),
+                  static_cast<long long>(per_scenario.txns),
+                  static_cast<long long>(per_scenario.switches));
+      char line[320];
+      std::snprintf(line, sizeof(line),
+                    "{\"bench\":\"scenario_sweep\",\"scenario\":\"%s\","
+                    "\"policy\":\"%s\",\"seeds\":%zu,\"txns\":%lld,"
+                    "\"committed\":%lld,\"sla_misses\":%lld,"
+                    "\"aborted\":%lld,\"deadline_missed\":%lld,"
+                    "\"over_budget_relaxed\":%lld,"
+                    "\"miss_rate\":%.4f,\"adaptive_switches\":%lld}\n",
+                    spec.name.c_str(), policies[p].label, seeds.size(),
+                    static_cast<long long>(per_scenario.txns),
+                    static_cast<long long>(per_scenario.committed),
+                    static_cast<long long>(per_scenario.sla_misses),
+                    static_cast<long long>(per_scenario.aborted),
+                    static_cast<long long>(per_scenario.deadline_missed),
+                    static_cast<long long>(per_scenario.over_budget),
+                    per_scenario.rate(),
+                    static_cast<long long>(per_scenario.switches));
+      json += line;
+    }
+  }
+
+  std::printf("\n== Aggregate ==\n");
+  for (size_t p = 0; p < std::size(policies); ++p) {
+    std::printf("%-13s miss %5.3f  (%lld/%lld txns)\n", policies[p].label,
+                totals[p].rate(), static_cast<long long>(totals[p].sla_misses),
+                static_cast<long long>(totals[p].txns));
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"scenario_sweep\",\"scenario\":\"aggregate\","
+                  "\"policy\":\"%s\",\"txns\":%lld,\"sla_misses\":%lld,"
+                  "\"miss_rate\":%.4f,\"adaptive_switches\":%lld}\n",
+                  policies[p].label, static_cast<long long>(totals[p].txns),
+                  static_cast<long long>(totals[p].sla_misses),
+                  totals[p].rate(),
+                  static_cast<long long>(totals[p].switches));
+    json += line;
+  }
+
+  // The gate: adaptive beats (or ties) every fixed policy in aggregate.
+  bool ok = true;
+  const PolicyTotals& adaptive = totals[std::size(policies) - 1];
+  for (size_t p = 0; p + 1 < std::size(policies); ++p) {
+    const bool beats = adaptive.rate() <= totals[p].rate();
+    std::printf("adaptive %.3f vs %s %.3f -> %s\n", adaptive.rate(),
+                policies[p].label, totals[p].rate(),
+                beats ? "ok" : "ADAPTIVE LOSES");
+    ok = ok && beats;
+  }
+
+  std::printf("\n%s", json.c_str());
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+  return ok ? 0 : 1;
+}

@@ -82,6 +82,7 @@ Status FrontDoor::Start() {
   sched_options.shard.deadlock_detection = false;
   sched_options.shard.tenant_qos.publish_snapshots = true;
   sched_options.keep_dispatch_log = options_.keep_dispatch_log;
+  sched_options.adaptive = options_.adaptive;
   sched_options.metrics = &metrics_;
   sched_options.on_dispatch = [this](int, const RequestBatch& batch) {
     OnDispatch(batch);
@@ -522,7 +523,31 @@ HttpResponse FrontDoor::HandleStats() {
   t.Set("escrows", JsonValue::Int(totals.escrows));
   t.Set("mirrors_applied", JsonValue::Int(totals.mirrors_applied));
   t.Set("victims", JsonValue::Int(totals.victims));
+  t.Set("adaptive_switches", JsonValue::Int(totals.adaptive_switches));
   doc.Set("totals", std::move(t));
+  {
+    JsonValue adaptive = JsonValue::Object();
+    adaptive.Set("enabled", JsonValue::Bool(options_.adaptive.has_value()));
+    if (options_.adaptive.has_value()) {
+      JsonValue shards = JsonValue::Array();
+      for (int i = 0; i < sched_->num_shards(); ++i) {
+        const scheduler::AdaptiveConsistencyController* controller =
+            sched_->adaptive_controller(i);
+        JsonValue s = JsonValue::Object();
+        s.Set("relaxed", JsonValue::Bool(controller->relaxed_active()));
+        s.Set("active_protocol", JsonValue::Str(controller->active_protocol()));
+        s.Set("switches", JsonValue::Int(controller->switches()));
+        s.Set("load", JsonValue::Int(controller->last_load()));
+        shards.Append(std::move(s));
+      }
+      adaptive.Set("shards", std::move(shards));
+      adaptive.Set("strict",
+                   JsonValue::Str(sched_->adaptive_controller(0)->options().strict.name));
+      adaptive.Set("relaxed",
+                   JsonValue::Str(sched_->adaptive_controller(0)->options().relaxed.name));
+    }
+    doc.Set("adaptive", std::move(adaptive));
+  }
   doc.Set("inflight_statements",
           JsonValue::Int(inflight_statements_.load(std::memory_order_relaxed)));
   JsonValue srv = JsonValue::Object();

@@ -47,6 +47,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,11 @@ class FrontDoor {
     /// deadlock_detection is forced off — see the submission-order
     /// contract above.
     scheduler::DeclarativeScheduler::Options shard;
+    /// Per-shard adaptive consistency, passed through to the sharded
+    /// scheduler: each shard gets its own controller switching between
+    /// the strict/relaxed pair on live load signals. /v1/stats reports
+    /// the per-shard state under "adaptive".
+    std::optional<scheduler::AdaptiveConsistencyController::Options> adaptive;
     server::DatabaseServer::Config server;
     /// Global admission cap: statements admitted but not yet finished.
     /// <= 0 means unlimited.

@@ -1,0 +1,485 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "scheduler/declarative_scheduler.h"
+#include "scheduler/protocol_library.h"
+
+namespace declsched::scenario {
+
+namespace {
+
+using scheduler::AdaptiveConsistencyController;
+using scheduler::AdaptiveSignals;
+using scheduler::CycleStats;
+using scheduler::DeclarativeScheduler;
+using scheduler::ProtocolRegistry;
+using scheduler::ProtocolSpec;
+using scheduler::Request;
+using scheduler::RequestBatch;
+using scheduler::ShardedScheduler;
+using scheduler::TenantAccountant;
+using txn::OpType;
+using txn::TxnId;
+
+/// Protocols that do not provide serializability: commits under any of
+/// these are charged against the scenario's relaxed_budget.
+bool IsRelaxedProtocolName(const std::string& name) {
+  return name.find("read-committed") != std::string::npos ||
+         name.find("rc-edf") != std::string::npos ||
+         name.find("fcfs") != std::string::npos || name == "passthrough";
+}
+
+constexpr int64_t kStarvationWaitUs = 100000;
+
+struct TxnState {
+  int64_t submit_tick = -1;
+  int64_t deadline_tick = 0;
+  int ops_total = 0;
+  int ops_dispatched = 0;
+  bool admitted = false;
+  bool finisher_submitted = false;
+  bool committed = false;
+  bool aborted = false;
+  bool done() const { return committed || aborted; }
+};
+
+class Driver {
+ public:
+  Driver(const ScenarioTrace& trace, const ScenarioRunnerOptions& options)
+      : trace_(trace), options_(options) {}
+
+  Result<ScenarioOutcome> Run() {
+    DS_RETURN_NOT_OK(trace_.spec.Validate());
+    if (!trace_.spec.crash_ticks.empty() &&
+        !(options_.sharded && options_.durability.enabled)) {
+      return Status::InvalidArgument(
+          "crash overlay requires a sharded, durable stack");
+    }
+    if (options_.sharded && options_.num_shards <= 0) {
+      return Status::InvalidArgument("num_shards must be positive");
+    }
+    fixed_protocol_ = options_.protocol.name.empty() ? scheduler::Ss2plSql()
+                                                     : options_.protocol;
+    states_.resize(trace_.txns.size());
+    outcome_.txns = static_cast<int64_t>(trace_.txns.size());
+
+    if (options_.sharded) {
+      DS_RETURN_NOT_OK(BuildSharded());
+    } else {
+      DS_RETURN_NOT_OK(BuildUnsharded());
+    }
+
+    const bool closed = trace_.spec.arrival == ArrivalProcess::kClosed;
+    int64_t last_progress_tick = 0;
+    for (tick_ = 0;; ++tick_) {
+      if (tick_ > options_.max_ticks) {
+        return Status::Internal(StrFormat(
+            "scenario '%s' exceeded max_ticks=%lld (%lld/%lld txns done)",
+            trace_.spec.name.c_str(),
+            static_cast<long long>(options_.max_ticks),
+            static_cast<long long>(done_), static_cast<long long>(states_.size())));
+      }
+      const SimTime now = Now();
+      bool progress = false;
+
+      // --- fault overlays ---
+      for (const SwitchOverlay& sw : trace_.spec.switches) {
+        if (sw.at_tick != tick_) continue;
+        DS_RETURN_NOT_OK(ForceSwitch(sw.protocol));
+        ++outcome_.forced_switches;
+        progress = true;
+      }
+      bool draining = false;
+      for (const DrainOverlay& d : trace_.spec.drains) {
+        draining |= tick_ >= d.from_tick && tick_ < d.until_tick;
+      }
+      for (int64_t ct : trace_.spec.crash_ticks) {
+        if (ct != tick_) continue;
+        DS_RETURN_NOT_OK(Crash(now));
+        ++outcome_.crashes;
+        progress = true;
+      }
+
+      // --- lock-wait timeout backstop ---
+      if (options_.lock_wait_timeout_ticks > 0) {
+        for (size_t i = 0; i < states_.size(); ++i) {
+          TxnState& st = states_[i];
+          if (!st.admitted || st.done() || st.finisher_submitted) continue;
+          if (tick_ - st.submit_tick < options_.lock_wait_timeout_ticks) continue;
+          const Status aborted = AbortBackstop(static_cast<TxnId>(i) + 1, now);
+          if (!aborted.ok()) continue;  // not abortable yet; retried next tick
+          MarkAborted(i, /*victim=*/false);
+          progress = true;
+        }
+      }
+
+      // --- admissions ---
+      if (!draining) {
+        if (closed) {
+          while (next_txn_ < states_.size() &&
+                 in_flight_ < trace_.spec.clients) {
+            Admit(next_txn_++);
+            progress = true;
+          }
+        } else {
+          while (next_txn_ < states_.size() &&
+                 trace_.txns[next_txn_].arrival_tick <= tick_) {
+            Admit(next_txn_++);
+            progress = true;
+          }
+        }
+      }
+
+      // --- one scheduling step ---
+      if (options_.sharded) {
+        DS_RETURN_NOT_OK(sharded_->StepOnce(now).status());
+        for (int s = 0; s < options_.num_shards; ++s) {
+          for (TxnId v : sharded_->shard(s)->last_victims()) CollectVictim(v);
+        }
+      } else {
+        if (sched_->queue_size() > 0 || sched_->store()->pending_count() > 0) {
+          const bool relaxed = IsRelaxedProtocolName(sched_->protocol().name);
+          DS_ASSIGN_OR_RETURN(const CycleStats stats, sched_->RunCycle(now));
+          for (const Request& r : sched_->last_dispatched()) {
+            dispatch_buffer_.push_back({r, relaxed});
+          }
+          for (TxnId v : sched_->last_victims()) CollectVictim(v);
+          if (controller_ != nullptr) {
+            DS_RETURN_NOT_OK(FeedController(stats, now));
+          }
+        }
+      }
+
+      progress |= ProcessDispatchBuffer();
+      progress |= DrainVictims();
+
+      if (progress) last_progress_tick = tick_;
+      const bool work_left =
+          next_txn_ < states_.size() ||
+          done_ < static_cast<int64_t>(states_.size());
+      if (!work_left) break;
+      if (tick_ - last_progress_tick > options_.stall_ticks) {
+        return Status::Internal(StrFormat(
+            "scenario '%s' stalled at tick %lld: %lld/%lld txns done, "
+            "%lld in flight",
+            trace_.spec.name.c_str(), static_cast<long long>(tick_),
+            static_cast<long long>(done_),
+            static_cast<long long>(states_.size()),
+            static_cast<long long>(in_flight_)));
+      }
+    }
+
+    DS_RETURN_NOT_OK(Settle());
+    return Finish();
+  }
+
+ private:
+  SimTime Now() const { return SimTime::FromMicros(tick_ * options_.tick_us); }
+
+  Status BuildSharded() {
+    ShardedScheduler::Options so;
+    so.num_shards = options_.num_shards;
+    so.shard.protocol = fixed_protocol_;
+    so.shard.max_dispatch_per_cycle = options_.max_dispatch_per_cycle;
+    so.shard.deadlock_detection = options_.deadlock_detection;
+    so.durability = options_.durability;
+    so.metrics = options_.metrics;
+    so.adaptive = options_.adaptive;
+    so.keep_dispatch_log = false;
+    // Cooperative mode: the callback runs on this thread, mid-StepOnce, so
+    // reading the dispatching shard's active protocol is safe — and it is
+    // exactly the protocol the batch qualified under (the adaptive step of
+    // the pass runs after dispatch processing).
+    so.on_dispatch = [this](int shard, const RequestBatch& batch) {
+      const bool relaxed =
+          IsRelaxedProtocolName(sharded_->shard(shard)->protocol().name);
+      for (const Request& r : batch) dispatch_buffer_.push_back({r, relaxed});
+    };
+    sharded_ = std::make_unique<ShardedScheduler>(so, nullptr);
+    return sharded_->Init();
+  }
+
+  Status BuildUnsharded() {
+    DeclarativeScheduler::Options o;
+    o.protocol = fixed_protocol_;
+    o.max_dispatch_per_cycle = options_.max_dispatch_per_cycle;
+    o.deadlock_detection = options_.deadlock_detection;
+    sched_ = std::make_unique<DeclarativeScheduler>(o, nullptr);
+    DS_RETURN_NOT_OK(sched_->Init());
+    if (options_.adaptive.has_value()) {
+      controller_ = std::make_unique<AdaptiveConsistencyController>(
+          *options_.adaptive, sched_.get());
+      DS_RETURN_NOT_OK(controller_->Validate());
+      DS_RETURN_NOT_OK(sched_->SwitchProtocol(controller_->options().strict));
+    }
+    return Status::OK();
+  }
+
+  void Admit(size_t i) {
+    const ScenarioTxn& spec = trace_.txns[i];
+    TxnState& st = states_[i];
+    st.admitted = true;
+    st.submit_tick = tick_;
+    st.deadline_tick = tick_ + spec.deadline_ticks;
+    st.ops_total = static_cast<int>(spec.txn.ops.size());
+    const TxnId ta = static_cast<TxnId>(i) + 1;
+    const SimTime now = Now();
+    const SimTime deadline =
+        SimTime::FromMicros(st.deadline_tick * options_.tick_us);
+    for (size_t k = 0; k < spec.txn.ops.size(); ++k) {
+      Request r;
+      r.ta = ta;
+      r.intrata = static_cast<int64_t>(k) + 1;
+      r.op = spec.txn.ops[k].is_write ? OpType::kWrite : OpType::kRead;
+      r.object = spec.txn.ops[k].object;
+      r.priority = spec.txn.sla_class;
+      r.deadline = deadline;
+      r.client = static_cast<int>(i);
+      r.tenant = spec.txn.tenant;
+      Submit(std::move(r), now);
+    }
+    ++in_flight_;
+    if (st.ops_total == 0) SubmitFinisher(i);
+  }
+
+  void Submit(Request request, SimTime now) {
+    if (options_.sharded) {
+      sharded_->Submit(std::move(request), now);
+    } else {
+      sched_->Submit(std::move(request), now);
+    }
+    ++outcome_.submitted_requests;
+  }
+
+  void SubmitFinisher(size_t i) {
+    TxnState& st = states_[i];
+    DS_CHECK(!st.finisher_submitted);
+    st.finisher_submitted = true;
+    const ScenarioTxn& spec = trace_.txns[i];
+    Request r;
+    r.ta = static_cast<TxnId>(i) + 1;
+    r.intrata = static_cast<int64_t>(st.ops_total) + 1;
+    r.op = OpType::kCommit;
+    r.object = Request::kNoObject;
+    r.priority = spec.txn.sla_class;
+    r.deadline = SimTime::FromMicros(st.deadline_tick * options_.tick_us);
+    r.client = static_cast<int>(i);
+    r.tenant = spec.txn.tenant;
+    Submit(std::move(r), Now());
+  }
+
+  Status AbortBackstop(TxnId ta, SimTime now) {
+    return options_.sharded ? sharded_->AbortTransaction(ta, now)
+                            : sched_->AbortTransaction(ta, now);
+  }
+
+  /// Victims reported by a shard's last cycle; last_victims() is sticky
+  /// until that shard's next cycle, so the set dedups re-reads.
+  void CollectVictim(TxnId ta) {
+    if (known_victims_.insert(ta).second) fresh_victims_.push_back(ta);
+  }
+
+  bool DrainVictims() {
+    bool any = false;
+    for (TxnId v : fresh_victims_) {
+      const size_t i = static_cast<size_t>(v) - 1;
+      if (i >= states_.size()) continue;  // not one of ours
+      MarkAborted(i, /*victim=*/true);
+      any = true;
+    }
+    fresh_victims_.clear();
+    return any;
+  }
+
+  void MarkAborted(size_t i, bool victim) {
+    TxnState& st = states_[i];
+    if (st.done()) return;
+    st.aborted = true;
+    ++outcome_.aborted;
+    if (victim) {
+      ++outcome_.deadlock_victims;
+    } else {
+      ++outcome_.timeout_aborts;
+    }
+    ++done_;
+    --in_flight_;
+  }
+
+  bool ProcessDispatchBuffer() {
+    bool any = false;
+    // Entries can grow while we iterate (SubmitFinisher under a zero-op
+    // edge does not dispatch, but keep the index loop for safety).
+    for (size_t n = 0; n < dispatch_buffer_.size(); ++n) {
+      const Request r = dispatch_buffer_[n].first;
+      const bool relaxed = dispatch_buffer_[n].second;
+      any = true;
+      ++outcome_.dispatched_requests;
+      const std::pair<TxnId, int64_t> key{r.ta, r.intrata};
+      if (!seen_dispatch_.insert(r.ta * 4096 + r.intrata).second) {
+        ++outcome_.duplicate_dispatches;
+        continue;
+      }
+      outcome_.dispatch_keys.push_back(key);
+      const size_t i = static_cast<size_t>(r.ta) - 1;
+      if (i >= states_.size()) continue;
+      TxnState& st = states_[i];
+      if (r.op == OpType::kRead || r.op == OpType::kWrite) {
+        ++st.ops_dispatched;
+        if (st.ops_dispatched == st.ops_total && !st.done() &&
+            !st.finisher_submitted) {
+          SubmitFinisher(i);
+        }
+      } else if (r.op == OpType::kCommit) {
+        if (st.done()) continue;
+        st.committed = true;
+        ++outcome_.committed;
+        if (relaxed) ++outcome_.relaxed_commits;
+        if (tick_ > st.deadline_tick) ++outcome_.deadline_missed;
+        ++done_;
+        --in_flight_;
+      }
+    }
+    dispatch_buffer_.clear();
+    return any;
+  }
+
+  Status FeedController(const CycleStats& stats, SimTime now) {
+    AdaptiveSignals sig;
+    sig.queue_depth = sched_->queue_size();
+    sig.wait_depth = sched_->store()->pending_count();
+    sig.conflict_depth = stats.pending_before + stats.drained - stats.qualified;
+    if (TenantAccountant* acct = sched_->tenant_accountant()) {
+      for (const TenantAccountant::TenantTotals& t : acct->Totals()) {
+        sig.inflight += t.inflight;
+      }
+      sig.starved_tenants = static_cast<int64_t>(
+          acct->StarvedTenants(now, kStarvationWaitUs).size());
+    }
+    DS_ASSIGN_OR_RETURN(const bool switched, controller_->OnCycle(sig));
+    if (switched) ++outcome_.adaptive_switches;
+    return Status::OK();
+  }
+
+  Status ForceSwitch(const std::string& protocol_name) {
+    DS_ASSIGN_OR_RETURN(const ProtocolSpec spec, registry_.Get(protocol_name));
+    if (options_.sharded) {
+      for (int s = 0; s < options_.num_shards; ++s) {
+        DS_RETURN_NOT_OK(sharded_->shard(s)->SwitchProtocol(spec));
+      }
+    } else {
+      DS_RETURN_NOT_OK(sched_->SwitchProtocol(spec));
+    }
+    return Status::OK();
+  }
+
+  /// Crash + recover: drain the incoming queues into the (logged) stores,
+  /// force the WAL durable, tear the whole stack down, and rebuild from
+  /// the data directory. Dispatches observed during the drain are still in
+  /// dispatch_buffer_ and are processed against the rebuilt stack — their
+  /// store effects were recovered, so finishers they make ripe submit
+  /// against consistent state.
+  Status Crash(SimTime now) {
+    ProcessDispatchBuffer();
+    for (int round = 0; round < 64; ++round) {
+      bool queued = false;
+      for (int s = 0; s < options_.num_shards; ++s) {
+        queued |= sharded_->shard(s)->queue_size() > 0;
+      }
+      if (!queued) break;
+      DS_RETURN_NOT_OK(sharded_->StepOnce(now).status());
+    }
+    DS_RETURN_NOT_OK(sharded_->wal()->Flush());
+    sharded_.reset();
+    return BuildSharded();
+  }
+
+  /// Absorbs trailing mirrors / GC cycles after the last transaction
+  /// terminates, so the end-state invariants read a settled system.
+  Status Settle() {
+    const SimTime now = Now();
+    if (options_.sharded) {
+      DS_RETURN_NOT_OK(sharded_->RunUntilIdle(now));
+      // A shard with nothing queued or pending never runs another cycle,
+      // which leaves the history rows of the final transactions un-GC'd
+      // (and their accountant in-flight counts standing). Force one last
+      // GC cycle per shard; all transactions are terminal, so these
+      // cycles cannot dispatch.
+      for (int s = 0; s < options_.num_shards; ++s) {
+        DS_RETURN_NOT_OK(sharded_->shard(s)->RunCycle(now).status());
+      }
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        DS_RETURN_NOT_OK(sched_->RunCycle(now).status());
+      }
+    }
+    ProcessDispatchBuffer();
+    return Status::OK();
+  }
+
+  Result<ScenarioOutcome> Finish() {
+    outcome_.ticks = tick_;
+    const int shards = options_.sharded ? options_.num_shards : 1;
+    for (int s = 0; s < shards; ++s) {
+      DeclarativeScheduler* sched =
+          options_.sharded ? sharded_->shard(s) : sched_.get();
+      outcome_.end_queue += sched->queue_size();
+      outcome_.end_pending += sched->store()->pending_count();
+      if (TenantAccountant* acct = sched->tenant_accountant()) {
+        for (const TenantAccountant::TenantTotals& t : acct->Totals()) {
+          outcome_.acct_pending += t.pending;
+          outcome_.acct_inflight += t.inflight;
+        }
+      }
+    }
+    outcome_.adaptive_switches +=
+        options_.sharded ? sharded_->totals().adaptive_switches : 0;
+
+    const int64_t budget = static_cast<int64_t>(
+        trace_.spec.relaxed_budget * static_cast<double>(outcome_.committed));
+    outcome_.over_budget_relaxed =
+        std::max<int64_t>(0, outcome_.relaxed_commits - budget);
+    outcome_.sla_misses = outcome_.aborted + outcome_.deadline_missed +
+                          outcome_.over_budget_relaxed;
+    outcome_.sla_miss_rate =
+        outcome_.txns > 0 ? static_cast<double>(outcome_.sla_misses) /
+                                static_cast<double>(outcome_.txns)
+                          : 0.0;
+    std::sort(outcome_.dispatch_keys.begin(), outcome_.dispatch_keys.end());
+    return std::move(outcome_);
+  }
+
+  const ScenarioTrace& trace_;
+  ScenarioRunnerOptions options_;
+  ProtocolSpec fixed_protocol_;
+  ProtocolRegistry registry_ = ProtocolRegistry::BuiltIns();
+
+  std::unique_ptr<ShardedScheduler> sharded_;
+  std::unique_ptr<DeclarativeScheduler> sched_;
+  std::unique_ptr<AdaptiveConsistencyController> controller_;
+
+  std::vector<TxnState> states_;
+  size_t next_txn_ = 0;
+  int64_t in_flight_ = 0;
+  int64_t done_ = 0;
+  int64_t tick_ = 0;
+  std::vector<std::pair<Request, bool>> dispatch_buffer_;
+  std::unordered_set<int64_t> seen_dispatch_;
+  std::unordered_set<TxnId> known_victims_;
+  std::vector<TxnId> fresh_victims_;
+  ScenarioOutcome outcome_;
+};
+
+}  // namespace
+
+Result<ScenarioOutcome> RunScenario(const ScenarioTrace& trace,
+                                    const ScenarioRunnerOptions& options) {
+  Driver driver(trace, options);
+  return driver.Run();
+}
+
+}  // namespace declsched::scenario

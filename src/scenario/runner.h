@@ -1,0 +1,110 @@
+// ScenarioRunner: drives a synthesized ScenarioTrace through a real
+// scheduler stack — an unsharded DeclarativeScheduler or a cooperative
+// ShardedScheduler — tick by tick, deterministically (same trace + options
+// always produce the same dispatch set; the replay property test depends
+// on it).
+//
+// The runner owns the client side of the submission contract: a
+// transaction's reads/writes are admitted together at its arrival tick,
+// its commit finisher only after every one of them has been observed
+// dispatched. Deadlock victims and timed-out transactions (the
+// AbortTransaction backstop — the escape hatch for cross-shard waits-for
+// cycles shard-local detection cannot see) terminate without a finisher.
+// Fault overlays come from the spec: forced protocol switches, admission
+// drain windows, and crash points (sharded + durable only: flush the WAL,
+// tear the whole scheduler down, recover from disk, keep driving).
+//
+// The outcome reports the per-scenario SLA account the bench gate
+// compares: a transaction misses its SLA if it aborted, committed past
+// its deadline, or committed under relaxed consistency beyond the spec's
+// relaxed_budget — the charge that makes "always relaxed" lose on quiet
+// scenarios and adaptive switching the winner.
+
+#ifndef DECLSCHED_SCENARIO_RUNNER_H_
+#define DECLSCHED_SCENARIO_RUNNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "scenario/synthesizer.h"
+#include "scheduler/adaptive_controller.h"
+#include "scheduler/protocol.h"
+#include "scheduler/sharded_scheduler.h"
+
+namespace declsched::scenario {
+
+struct ScenarioRunnerOptions {
+  /// Cooperative ShardedScheduler vs a single DeclarativeScheduler.
+  bool sharded = false;
+  int num_shards = 3;
+  /// Fixed protocol (empty name resolves to ss2pl-sql). Ignored when
+  /// `adaptive` is set: the controller then owns the active protocol.
+  scheduler::ProtocolSpec protocol;
+  /// Adaptive consistency. Sharded: one controller per shard, fed by the
+  /// ShardedScheduler itself. Unsharded: the runner owns one controller
+  /// and feeds it the same live signals after every cycle.
+  std::optional<scheduler::AdaptiveConsistencyController::Options> adaptive;
+  int64_t max_dispatch_per_cycle = 8;
+  bool deadlock_detection = true;
+  /// Abort a transaction whose finisher is not yet submittable after this
+  /// many ticks since admission (0 = no backstop).
+  int64_t lock_wait_timeout_ticks = 400;
+  /// Hard cap on simulation length (guards runaway scenarios).
+  int64_t max_ticks = 200000;
+  /// Declare a stall after this many ticks without any progress.
+  int64_t stall_ticks = 2000;
+  /// Simulated microseconds per tick.
+  int64_t tick_us = 1000;
+  /// Sharded only; required by crash overlays.
+  scheduler::ShardedScheduler::DurabilityOptions durability;
+  observability::MetricsRegistry* metrics = nullptr;
+};
+
+struct ScenarioOutcome {
+  int64_t txns = 0;
+  int64_t committed = 0;
+  int64_t aborted = 0;  ///< all aborts (victims + timeouts)
+  int64_t deadlock_victims = 0;
+  int64_t timeout_aborts = 0;
+  /// Commits dispatched after the transaction's absolute deadline.
+  int64_t deadline_missed = 0;
+  /// Commits dispatched while a relaxed protocol was active.
+  int64_t relaxed_commits = 0;
+  /// Relaxed commits beyond floor(relaxed_budget * committed).
+  int64_t over_budget_relaxed = 0;
+  int64_t adaptive_switches = 0;
+  int64_t forced_switches = 0;
+  int64_t crashes = 0;
+  int64_t ticks = 0;
+
+  int64_t submitted_requests = 0;
+  int64_t dispatched_requests = 0;
+
+  // --- invariants the soak test asserts ---
+  int64_t duplicate_dispatches = 0;  ///< same (ta, intrata) dispatched twice
+  int64_t end_queue = 0;             ///< incoming-queue depth at the end
+  int64_t end_pending = 0;           ///< pending relation rows at the end
+  int64_t acct_pending = 0;          ///< accountant pending sum at the end
+  int64_t acct_inflight = 0;         ///< accountant in-flight sum at the end
+
+  /// aborted + deadline_missed + over_budget_relaxed, and its rate / txns.
+  int64_t sla_misses = 0;
+  double sla_miss_rate = 0;
+
+  /// Sorted (ta, intrata) keys of every dispatched request — the identity
+  /// the replay-determinism property compares across fresh schedulers.
+  std::vector<std::pair<txn::TxnId, int64_t>> dispatch_keys;
+};
+
+/// Runs the trace to completion. Internal error on stall or max_ticks;
+/// InvalidArgument on impossible configurations (crash overlay without
+/// sharded durability).
+Result<ScenarioOutcome> RunScenario(const ScenarioTrace& trace,
+                                    const ScenarioRunnerOptions& options);
+
+}  // namespace declsched::scenario
+
+#endif  // DECLSCHED_SCENARIO_RUNNER_H_

@@ -1,0 +1,544 @@
+#include "scenario/scenario_spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace declsched::scenario {
+
+namespace {
+
+const char* ArrivalName(ArrivalProcess a) {
+  switch (a) {
+    case ArrivalProcess::kClosed:
+      return "closed";
+    case ArrivalProcess::kOpen:
+      return "open";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+    case ArrivalProcess::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+const char* KeysName(KeyDistribution k) {
+  switch (k) {
+    case KeyDistribution::kUniform:
+      return "uniform";
+    case KeyDistribution::kZipf:
+      return "zipf";
+    case KeyDistribution::kHotSet:
+      return "hotset";
+  }
+  return "?";
+}
+
+const char* OrderName(OpOrdering o) {
+  return o == OpOrdering::kAscending ? "ascending" : "shuffled";
+}
+
+Result<int64_t> ParseInt(std::string_view key, std::string_view value) {
+  errno = 0;
+  char* end = nullptr;
+  const std::string v(value);
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (errno != 0 || end == v.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "scenario key '%.*s': '%s' is not an integer",
+        static_cast<int>(key.size()), key.data(), v.c_str()));
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+Result<double> ParseDouble(std::string_view key, std::string_view value) {
+  errno = 0;
+  char* end = nullptr;
+  const std::string v(value);
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end == v.c_str() || *end != '\0') {
+    return Status::InvalidArgument(StrFormat(
+        "scenario key '%.*s': '%s' is not a number",
+        static_cast<int>(key.size()), key.data(), v.c_str()));
+  }
+  return parsed;
+}
+
+// Formats a double with enough digits to round-trip typical knob values
+// and no trailing-zero noise.
+std::string FormatDouble(double v) {
+  std::string s = StrFormat("%.6f", v);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+Status ScenarioSpec::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("scenario: name is required");
+  if (objects <= 0) return Status::InvalidArgument("scenario: objects must be > 0");
+  if (txns < 0) return Status::InvalidArgument("scenario: txns must be >= 0");
+  if (min_ops < 1 || max_ops < min_ops) {
+    return Status::InvalidArgument(
+        "scenario: need 1 <= min_ops <= max_ops");
+  }
+  if (max_ops > objects) {
+    return Status::InvalidArgument(
+        "scenario: max_ops exceeds objects (transactions draw distinct objects)");
+  }
+  if (write_fraction < 0 || write_fraction > 1) {
+    return Status::InvalidArgument("scenario: write_fraction must be in [0,1]");
+  }
+  if (arrival == ArrivalProcess::kClosed && clients <= 0) {
+    return Status::InvalidArgument("scenario: closed arrival needs clients > 0");
+  }
+  if (arrival != ArrivalProcess::kClosed && rate_per_tick <= 0) {
+    return Status::InvalidArgument("scenario: open arrival needs rate_per_tick > 0");
+  }
+  if (burst_factor < 1) {
+    return Status::InvalidArgument("scenario: burst_factor must be >= 1");
+  }
+  if (burst_period_ticks <= 0 || diurnal_period_ticks <= 0) {
+    return Status::InvalidArgument("scenario: arrival periods must be > 0");
+  }
+  if (burst_duty <= 0 || burst_duty > 1) {
+    return Status::InvalidArgument("scenario: burst_duty must be in (0,1]");
+  }
+  if (zipf_theta < 0) {
+    return Status::InvalidArgument("scenario: zipf_theta must be >= 0");
+  }
+  if (keys == KeyDistribution::kHotSet) {
+    if (hot_set_size < 1 || hot_set_size > objects) {
+      return Status::InvalidArgument(
+          "scenario: hot_set_size must be in [1, objects]");
+    }
+    if (hot_set_size < max_ops) {
+      return Status::InvalidArgument(
+          "scenario: hot_set_size must be >= max_ops (distinct-object draws)");
+    }
+    if (hot_fraction < 0 || hot_fraction > 1) {
+      return Status::InvalidArgument("scenario: hot_fraction must be in [0,1]");
+    }
+    if (hot_rotate_every < 1) {
+      return Status::InvalidArgument("scenario: hot_rotate_every must be >= 1");
+    }
+  }
+  if (tenants < 1) return Status::InvalidArgument("scenario: tenants must be >= 1");
+  if (!tenant_weights.empty()) {
+    if (static_cast<int>(tenant_weights.size()) != tenants) {
+      return Status::InvalidArgument(
+          "scenario: tenant_weights size must equal tenants");
+    }
+    double total = 0;
+    for (double w : tenant_weights) {
+      if (w < 0) {
+        return Status::InvalidArgument("scenario: tenant weights must be >= 0");
+      }
+      total += w;
+    }
+    if (total <= 0) {
+      return Status::InvalidArgument("scenario: tenant weights must sum > 0");
+    }
+  }
+  if (sla_classes < 1) {
+    return Status::InvalidArgument("scenario: sla_classes must be >= 1");
+  }
+  if (deadline_ticks <= 0) {
+    return Status::InvalidArgument("scenario: deadline_ticks must be > 0");
+  }
+  if (relaxed_budget < 0 || relaxed_budget > 1) {
+    return Status::InvalidArgument("scenario: relaxed_budget must be in [0,1]");
+  }
+  for (const SwitchOverlay& s : switches) {
+    if (s.at_tick < 0 || s.protocol.empty()) {
+      return Status::InvalidArgument("scenario: malformed switch overlay");
+    }
+  }
+  for (const DrainOverlay& d : drains) {
+    if (d.from_tick < 0 || d.until_tick <= d.from_tick) {
+      return Status::InvalidArgument("scenario: malformed drain overlay");
+    }
+  }
+  for (int64_t t : crash_ticks) {
+    if (t < 0) return Status::InvalidArgument("scenario: malformed crash overlay");
+  }
+  return Status::OK();
+}
+
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& text) {
+  ScenarioSpec spec;
+  int lineno = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++lineno;
+    std::string_view line = Trim(raw);
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    const size_t eq = line.find('=');
+    std::string_view key = Trim(eq == std::string_view::npos
+                                    ? line
+                                    : line.substr(0, eq));
+    std::string_view value =
+        eq == std::string_view::npos ? std::string_view() : Trim(line.substr(eq + 1));
+
+    // Overlay forms first: switch@T = proto, drain@A-B, crash@T.
+    if (key.rfind("switch@", 0) == 0) {
+      SwitchOverlay overlay;
+      DS_ASSIGN_OR_RETURN(overlay.at_tick, ParseInt(key, key.substr(7)));
+      overlay.protocol = std::string(value);
+      spec.switches.push_back(std::move(overlay));
+      continue;
+    }
+    if (key.rfind("drain@", 0) == 0) {
+      const std::string_view range = key.substr(6);
+      const size_t dash = range.find('-');
+      if (dash == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrFormat("scenario line %d: drain@ needs a FROM-UNTIL range", lineno));
+      }
+      DrainOverlay overlay;
+      DS_ASSIGN_OR_RETURN(overlay.from_tick,
+                          ParseInt(key, range.substr(0, dash)));
+      DS_ASSIGN_OR_RETURN(overlay.until_tick,
+                          ParseInt(key, range.substr(dash + 1)));
+      spec.drains.push_back(overlay);
+      continue;
+    }
+    if (key.rfind("crash@", 0) == 0) {
+      DS_ASSIGN_OR_RETURN(const int64_t tick, ParseInt(key, key.substr(6)));
+      spec.crash_ticks.push_back(tick);
+      continue;
+    }
+
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("scenario line %d: expected 'key = value'", lineno));
+    }
+
+    if (key == "name") {
+      spec.name = std::string(value);
+    } else if (key == "arrival") {
+      if (value == "closed") spec.arrival = ArrivalProcess::kClosed;
+      else if (value == "open") spec.arrival = ArrivalProcess::kOpen;
+      else if (value == "bursty") spec.arrival = ArrivalProcess::kBursty;
+      else if (value == "diurnal") spec.arrival = ArrivalProcess::kDiurnal;
+      else
+        return Status::InvalidArgument(StrFormat(
+            "scenario line %d: unknown arrival '%.*s'", lineno,
+            static_cast<int>(value.size()), value.data()));
+    } else if (key == "keys") {
+      if (value == "uniform") spec.keys = KeyDistribution::kUniform;
+      else if (value == "zipf") spec.keys = KeyDistribution::kZipf;
+      else if (value == "hotset") spec.keys = KeyDistribution::kHotSet;
+      else
+        return Status::InvalidArgument(StrFormat(
+            "scenario line %d: unknown keys '%.*s'", lineno,
+            static_cast<int>(value.size()), value.data()));
+    } else if (key == "op_order") {
+      if (value == "ascending") spec.op_order = OpOrdering::kAscending;
+      else if (value == "shuffled") spec.op_order = OpOrdering::kShuffled;
+      else
+        return Status::InvalidArgument(StrFormat(
+            "scenario line %d: unknown op_order '%.*s'", lineno,
+            static_cast<int>(value.size()), value.data()));
+    } else if (key == "tenant_weights") {
+      spec.tenant_weights.clear();
+      for (const std::string& piece : Split(std::string(value), ',')) {
+        DS_ASSIGN_OR_RETURN(const double w, ParseDouble(key, Trim(piece)));
+        spec.tenant_weights.push_back(w);
+      }
+    } else if (key == "clients") {
+      DS_ASSIGN_OR_RETURN(spec.clients, ParseInt(key, value));
+    } else if (key == "rate_per_tick") {
+      DS_ASSIGN_OR_RETURN(spec.rate_per_tick, ParseDouble(key, value));
+    } else if (key == "burst_factor") {
+      DS_ASSIGN_OR_RETURN(spec.burst_factor, ParseDouble(key, value));
+    } else if (key == "burst_period_ticks") {
+      DS_ASSIGN_OR_RETURN(spec.burst_period_ticks, ParseInt(key, value));
+    } else if (key == "burst_duty") {
+      DS_ASSIGN_OR_RETURN(spec.burst_duty, ParseDouble(key, value));
+    } else if (key == "diurnal_period_ticks") {
+      DS_ASSIGN_OR_RETURN(spec.diurnal_period_ticks, ParseInt(key, value));
+    } else if (key == "objects") {
+      DS_ASSIGN_OR_RETURN(spec.objects, ParseInt(key, value));
+    } else if (key == "zipf_theta") {
+      DS_ASSIGN_OR_RETURN(spec.zipf_theta, ParseDouble(key, value));
+    } else if (key == "hot_set_size") {
+      DS_ASSIGN_OR_RETURN(spec.hot_set_size, ParseInt(key, value));
+    } else if (key == "hot_fraction") {
+      DS_ASSIGN_OR_RETURN(spec.hot_fraction, ParseDouble(key, value));
+    } else if (key == "hot_rotate_every") {
+      DS_ASSIGN_OR_RETURN(spec.hot_rotate_every, ParseInt(key, value));
+    } else if (key == "txns") {
+      DS_ASSIGN_OR_RETURN(spec.txns, ParseInt(key, value));
+    } else if (key == "min_ops") {
+      DS_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      spec.min_ops = static_cast<int>(v);
+    } else if (key == "max_ops") {
+      DS_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      spec.max_ops = static_cast<int>(v);
+    } else if (key == "write_fraction") {
+      DS_ASSIGN_OR_RETURN(spec.write_fraction, ParseDouble(key, value));
+    } else if (key == "tenants") {
+      DS_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      spec.tenants = static_cast<int>(v);
+    } else if (key == "sla_classes") {
+      DS_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      spec.sla_classes = static_cast<int>(v);
+    } else if (key == "deadline_ticks") {
+      DS_ASSIGN_OR_RETURN(spec.deadline_ticks, ParseInt(key, value));
+    } else if (key == "relaxed_budget") {
+      DS_ASSIGN_OR_RETURN(spec.relaxed_budget, ParseDouble(key, value));
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "scenario line %d: unknown key '%.*s'", lineno,
+          static_cast<int>(key.size()), key.data()));
+    }
+  }
+  DS_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+std::string FormatScenarioSpec(const ScenarioSpec& spec) {
+  std::string out;
+  out += StrFormat("name = %s\n", spec.name.c_str());
+  out += StrFormat("arrival = %s\n", ArrivalName(spec.arrival));
+  out += StrFormat("clients = %lld\n", static_cast<long long>(spec.clients));
+  out += StrFormat("rate_per_tick = %s\n", FormatDouble(spec.rate_per_tick).c_str());
+  out += StrFormat("burst_factor = %s\n", FormatDouble(spec.burst_factor).c_str());
+  out += StrFormat("burst_period_ticks = %lld\n",
+                   static_cast<long long>(spec.burst_period_ticks));
+  out += StrFormat("burst_duty = %s\n", FormatDouble(spec.burst_duty).c_str());
+  out += StrFormat("diurnal_period_ticks = %lld\n",
+                   static_cast<long long>(spec.diurnal_period_ticks));
+  out += StrFormat("keys = %s\n", KeysName(spec.keys));
+  out += StrFormat("objects = %lld\n", static_cast<long long>(spec.objects));
+  out += StrFormat("zipf_theta = %s\n", FormatDouble(spec.zipf_theta).c_str());
+  out += StrFormat("hot_set_size = %lld\n",
+                   static_cast<long long>(spec.hot_set_size));
+  out += StrFormat("hot_fraction = %s\n", FormatDouble(spec.hot_fraction).c_str());
+  out += StrFormat("hot_rotate_every = %lld\n",
+                   static_cast<long long>(spec.hot_rotate_every));
+  out += StrFormat("txns = %lld\n", static_cast<long long>(spec.txns));
+  out += StrFormat("min_ops = %d\n", spec.min_ops);
+  out += StrFormat("max_ops = %d\n", spec.max_ops);
+  out += StrFormat("write_fraction = %s\n",
+                   FormatDouble(spec.write_fraction).c_str());
+  out += StrFormat("op_order = %s\n", OrderName(spec.op_order));
+  out += StrFormat("tenants = %d\n", spec.tenants);
+  if (!spec.tenant_weights.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(spec.tenant_weights.size());
+    for (double w : spec.tenant_weights) parts.push_back(FormatDouble(w));
+    out += StrFormat("tenant_weights = %s\n", Join(parts, ",").c_str());
+  }
+  out += StrFormat("sla_classes = %d\n", spec.sla_classes);
+  out += StrFormat("deadline_ticks = %lld\n",
+                   static_cast<long long>(spec.deadline_ticks));
+  out += StrFormat("relaxed_budget = %s\n",
+                   FormatDouble(spec.relaxed_budget).c_str());
+  for (const SwitchOverlay& s : spec.switches) {
+    out += StrFormat("switch@%lld = %s\n", static_cast<long long>(s.at_tick),
+                     s.protocol.c_str());
+  }
+  for (const DrainOverlay& d : spec.drains) {
+    out += StrFormat("drain@%lld-%lld\n", static_cast<long long>(d.from_tick),
+                     static_cast<long long>(d.until_tick));
+  }
+  for (int64_t t : spec.crash_ticks) {
+    out += StrFormat("crash@%lld\n", static_cast<long long>(t));
+  }
+  return out;
+}
+
+std::vector<ScenarioSpec> BuiltInScenarios() {
+  // Each mix stresses a different axis of the space: quiet baselines where
+  // strict wins, contention bursts where relaxed wins, rotations, floods,
+  // cross-shard footprints, and deadlock-prone orderings. Budgets are the
+  // per-scenario SLA expectation: low budget = consistency-sensitive
+  // tenants, budget 1 = latency-only.
+  static const char* kTexts[] = {
+      // 1. Quiet uniform baseline — low load, tight consistency budget:
+      //    strict (and adaptive-staying-strict) should be near-perfect,
+      //    always-relaxed burns the budget.
+      "name = uniform-quiet\n"
+      "arrival = closed\n"
+      "clients = 6\n"
+      "keys = uniform\n"
+      "objects = 2048\n"
+      "txns = 160\n"
+      "min_ops = 1\n"
+      "max_ops = 3\n"
+      "write_fraction = 0.3\n"
+      "op_order = ascending\n"
+      "deadline_ticks = 120\n"
+      "relaxed_budget = 0.05\n",
+
+      // 2. Hot-key write burst — heavy read traffic colliding with writes
+      //    on a small hot set: SS2PL blocks readers behind write locks,
+      //    read-committed sails. Budget 1: latency is all that matters.
+      "name = hot-write-burst\n"
+      "arrival = bursty\n"
+      "rate_per_tick = 6\n"
+      "burst_factor = 6\n"
+      "burst_period_ticks = 120\n"
+      "burst_duty = 0.3\n"
+      "keys = zipf\n"
+      "objects = 64\n"
+      "zipf_theta = 0.99\n"
+      "txns = 220\n"
+      "min_ops = 2\n"
+      "max_ops = 4\n"
+      "write_fraction = 0.25\n"
+      "op_order = ascending\n"
+      "deadline_ticks = 15\n"
+      "relaxed_budget = 1\n",
+
+      // 3. Diurnal zipf — load swings through the day; budget covers the
+      //    peaks but not a permanently relaxed run.
+      "name = diurnal-zipf\n"
+      "arrival = diurnal\n"
+      "rate_per_tick = 2.5\n"
+      "diurnal_period_ticks = 240\n"
+      "keys = zipf\n"
+      "objects = 128\n"
+      "zipf_theta = 0.9\n"
+      "txns = 240\n"
+      "min_ops = 2\n"
+      "max_ops = 4\n"
+      "write_fraction = 0.3\n"
+      "op_order = ascending\n"
+      "deadline_ticks = 80\n"
+      "relaxed_budget = 0.6\n",
+
+      // 4. Hot-set rotation — the hot window moves every 40 txns, so any
+      //    cached notion of "the hot shard" goes stale.
+      "name = hot-set-rotation\n"
+      "arrival = closed\n"
+      "clients = 20\n"
+      "keys = hotset\n"
+      "objects = 256\n"
+      "hot_set_size = 12\n"
+      "hot_fraction = 0.85\n"
+      "hot_rotate_every = 40\n"
+      "txns = 200\n"
+      "min_ops = 2\n"
+      "max_ops = 4\n"
+      "write_fraction = 0.35\n"
+      "op_order = ascending\n"
+      "deadline_ticks = 90\n"
+      "relaxed_budget = 0.5\n",
+
+      // 5. Cross-shard heavy — wide footprints over a wide object space:
+      //    most finishers span shards and ride the escrow path. Quiet
+      //    enough that strict holds; tiny budget.
+      "name = cross-shard-heavy\n"
+      "arrival = closed\n"
+      "clients = 8\n"
+      "keys = uniform\n"
+      "objects = 4096\n"
+      "txns = 150\n"
+      "min_ops = 4\n"
+      "max_ops = 6\n"
+      "write_fraction = 0.5\n"
+      "op_order = ascending\n"
+      "deadline_ticks = 150\n"
+      "relaxed_budget = 0.1\n",
+
+      // 6. Deadlock-prone — shuffled lock orders over a small object
+      //    space, write-heavy: waits-for cycles form and victims die.
+      "name = deadlock-prone\n"
+      "arrival = closed\n"
+      "clients = 10\n"
+      "keys = uniform\n"
+      "objects = 24\n"
+      "txns = 140\n"
+      "min_ops = 2\n"
+      "max_ops = 4\n"
+      "write_fraction = 0.8\n"
+      "op_order = shuffled\n"
+      "deadline_ticks = 200\n"
+      "relaxed_budget = 1\n",
+
+      // 7. Aggressor flood — tenant 0 submits 20x everyone else on hot
+      //    keys; the accountant's starvation signal earns its keep.
+      "name = aggressor-flood\n"
+      "arrival = bursty\n"
+      "rate_per_tick = 5\n"
+      "burst_factor = 5\n"
+      "burst_period_ticks = 100\n"
+      "burst_duty = 0.4\n"
+      "keys = zipf\n"
+      "objects = 96\n"
+      "zipf_theta = 0.95\n"
+      "txns = 220\n"
+      "min_ops = 2\n"
+      "max_ops = 3\n"
+      "write_fraction = 0.3\n"
+      "op_order = ascending\n"
+      "tenants = 5\n"
+      "tenant_weights = 20,1,1,1,1\n"
+      "sla_classes = 2\n"
+      "deadline_ticks = 18\n"
+      "relaxed_budget = 0.8\n",
+
+      // 8. Overload read-mostly — a closed-loop population far above the
+      //    dispatch capacity, read-heavy on hot keys: the regime the
+      //    paper's Section 5 sentence is about.
+      "name = overload-read-mostly\n"
+      "arrival = closed\n"
+      "clients = 48\n"
+      "keys = zipf\n"
+      "objects = 48\n"
+      "zipf_theta = 0.99\n"
+      "txns = 260\n"
+      "min_ops = 2\n"
+      "max_ops = 4\n"
+      "write_fraction = 0.15\n"
+      "op_order = ascending\n"
+      "sla_classes = 2\n"
+      "deadline_ticks = 12\n"
+      "relaxed_budget = 1\n",
+
+      // 9. Mixed tenants, quiet open arrivals — consistency-critical
+      //    (budget 0): any relaxed commit is a miss.
+      "name = strict-tenants\n"
+      "arrival = open\n"
+      "rate_per_tick = 0.8\n"
+      "keys = uniform\n"
+      "objects = 1024\n"
+      "txns = 160\n"
+      "min_ops = 1\n"
+      "max_ops = 3\n"
+      "write_fraction = 0.4\n"
+      "op_order = ascending\n"
+      "tenants = 3\n"
+      "tenant_weights = 2,1,1\n"
+      "deadline_ticks = 140\n"
+      "relaxed_budget = 0\n",
+  };
+
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(sizeof(kTexts) / sizeof(kTexts[0]));
+  for (const char* text : kTexts) {
+    Result<ScenarioSpec> parsed = ParseScenarioSpec(text);
+    // Built-ins are compiled-in constants; a parse failure is a programming
+    // error, surfaced loudly in every test that touches the library.
+    DS_CHECK_OK(parsed.status());
+    specs.push_back(std::move(parsed).ValueOrDie());
+  }
+  return specs;
+}
+
+Result<ScenarioSpec> FindBuiltInScenario(const std::string& name) {
+  for (ScenarioSpec& spec : BuiltInScenarios()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return Status::NotFound(StrFormat("no built-in scenario '%s'", name.c_str()));
+}
+
+}  // namespace declsched::scenario

@@ -1,0 +1,138 @@
+// Declarative scenario specs: workloads as data, the same move the
+// scheduler makes with protocols. A ScenarioSpec names an arrival process,
+// a key distribution, a footprint shape, a tenant mix, per-scenario SLA
+// expectations, and a fault overlay; the ScenarioSynthesizer compiles a
+// spec + seed into a replayable trace and the ScenarioRunner drives that
+// trace through a real scheduler stack.
+//
+// Grammar (line oriented; '#' starts a comment; keys may appear in any
+// order; unknown keys are errors):
+//
+//   name = hot-write-burst
+//   arrival = bursty              # closed | open | bursty | diurnal
+//   clients = 32                  # closed: population kept in flight
+//   rate_per_tick = 2.0           # open/bursty/diurnal: mean arrivals/tick
+//   burst_factor = 8              # bursty: peak multiplier in the on-phase
+//   burst_period_ticks = 200      # bursty: full on+off period
+//   burst_duty = 0.25             # bursty: fraction of the period at peak
+//   diurnal_period_ticks = 1000   # diurnal: sinusoid period
+//   keys = zipf                   # uniform | zipf | hotset
+//   objects = 512
+//   zipf_theta = 0.99
+//   hot_set_size = 16             # hotset: size of the hot window
+//   hot_fraction = 0.9            # hotset: P(op draws from the hot window)
+//   hot_rotate_every = 64         # hotset: txns between window rotations
+//   txns = 400
+//   min_ops = 2
+//   max_ops = 6
+//   write_fraction = 0.5
+//   op_order = ascending          # ascending | shuffled (deadlock-prone)
+//   tenants = 4
+//   tenant_weights = 20,1,1,1     # empty/omitted = uniform
+//   sla_classes = 2               # class c drawn with weight 1/2^c
+//   deadline_ticks = 80           # class c deadline = deadline_ticks*(c+1)
+//   relaxed_budget = 0.25         # max fraction of commits that may land
+//                                 # under relaxed consistency before they
+//                                 # count as SLA misses
+//   switch@150 = read-committed-native   # overlay: forced live switch
+//   drain@200-260                        # overlay: admission pause window
+//   crash@300                            # overlay: crash + recover point
+//
+// FormatScenarioSpec emits canonical text; Parse(Format(spec)) round-trips
+// exactly. BuiltInScenarios() are themselves written in the grammar, so
+// the parser is exercised by everything that uses them.
+
+#ifndef DECLSCHED_SCENARIO_SCENARIO_SPEC_H_
+#define DECLSCHED_SCENARIO_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace declsched::scenario {
+
+enum class ArrivalProcess { kClosed, kOpen, kBursty, kDiurnal };
+enum class KeyDistribution { kUniform, kZipf, kHotSet };
+enum class OpOrdering { kAscending, kShuffled };
+
+/// Fault overlay: force a protocol switch on every scheduler at a tick.
+struct SwitchOverlay {
+  int64_t at_tick = 0;
+  std::string protocol;  ///< registered protocol name
+};
+
+/// Fault overlay: pause admissions in [from_tick, until_tick).
+struct DrainOverlay {
+  int64_t from_tick = 0;
+  int64_t until_tick = 0;
+};
+
+struct ScenarioSpec {
+  std::string name;
+
+  // --- arrival process ---
+  ArrivalProcess arrival = ArrivalProcess::kClosed;
+  int64_t clients = 16;           ///< closed-loop population
+  double rate_per_tick = 2.0;     ///< open modes: mean txn arrivals per tick
+  double burst_factor = 8.0;      ///< bursty peak multiplier (>= 1)
+  int64_t burst_period_ticks = 200;
+  double burst_duty = 0.25;       ///< fraction of the period at peak
+  int64_t diurnal_period_ticks = 1000;
+
+  // --- key distribution ---
+  KeyDistribution keys = KeyDistribution::kUniform;
+  int64_t objects = 1024;
+  double zipf_theta = 0.99;
+  int64_t hot_set_size = 16;
+  double hot_fraction = 0.9;
+  int64_t hot_rotate_every = 64;
+
+  // --- footprint shape ---
+  int64_t txns = 200;
+  int min_ops = 2;
+  int max_ops = 4;
+  double write_fraction = 0.5;
+  /// kAscending: objects sorted — deadlock-free by canonical resource
+  /// order. kShuffled: adversarial orderings that can (and do) deadlock.
+  OpOrdering op_order = OpOrdering::kAscending;
+
+  // --- tenant mix ---
+  int tenants = 1;
+  std::vector<double> tenant_weights;  ///< empty = uniform
+
+  // --- SLA expectations ---
+  int sla_classes = 1;
+  int64_t deadline_ticks = 100;
+  /// The scenario's consistency budget: the fraction of commits allowed to
+  /// land while a relaxed protocol is active. Commits beyond the budget
+  /// count as SLA misses — this is what makes "always relaxed" a losing
+  /// strategy on quiet scenarios, and adaptive switching the winner.
+  double relaxed_budget = 1.0;
+
+  // --- fault overlay ---
+  std::vector<SwitchOverlay> switches;
+  std::vector<DrainOverlay> drains;
+  std::vector<int64_t> crash_ticks;
+
+  Status Validate() const;
+};
+
+/// Parses the grammar above. Unknown keys, malformed values, and specs
+/// that fail Validate() are errors.
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& text);
+
+/// Canonical text form; ParseScenarioSpec(FormatScenarioSpec(s)) == s.
+std::string FormatScenarioSpec(const ScenarioSpec& spec);
+
+/// The built-in scenario library (>= 8 mixes, each stressing a different
+/// axis). Written in the grammar and parsed on demand.
+std::vector<ScenarioSpec> BuiltInScenarios();
+
+/// Looks a built-in up by name.
+Result<ScenarioSpec> FindBuiltInScenario(const std::string& name);
+
+}  // namespace declsched::scenario
+
+#endif  // DECLSCHED_SCENARIO_SCENARIO_SPEC_H_

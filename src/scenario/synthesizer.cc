@@ -1,0 +1,193 @@
+#include "scenario/synthesizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "workload/zipf.h"
+
+namespace declsched::scenario {
+
+namespace {
+
+/// Knuth's Poisson draw — fine for the small per-tick means arrivals use.
+int64_t PoissonDraw(Rng& rng, double mean) {
+  if (mean <= 0) return 0;
+  const double limit = std::exp(-mean);
+  int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+ScenarioSynthesizer::ScenarioSynthesizer(ScenarioSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {}
+
+Result<ScenarioTrace> ScenarioSynthesizer::Synthesize() {
+  DS_RETURN_NOT_OK(spec_.Validate());
+  ScenarioTrace trace;
+  trace.spec = spec_;
+  trace.seed = seed_;
+  trace.txns.reserve(static_cast<size_t>(spec_.txns));
+
+  Rng rng(seed_);
+  workload::ZipfGenerator zipf(
+      spec_.objects,
+      spec_.keys == KeyDistribution::kZipf ? spec_.zipf_theta : 0.0);
+
+  double tenant_weight_total = 0;
+  for (double w : spec_.tenant_weights) tenant_weight_total += w;
+
+  // Arrival ticks for the open processes (empty under closed-loop). The
+  // per-tick mean follows the spec's shape; a Poisson draw per tick keeps
+  // the process simple and fully determined by the rng stream.
+  std::vector<int64_t> arrivals;
+  if (spec_.arrival != ArrivalProcess::kClosed) {
+    arrivals.reserve(static_cast<size_t>(spec_.txns));
+    const int64_t burst_on = std::max<int64_t>(
+        1, static_cast<int64_t>(spec_.burst_duty *
+                                static_cast<double>(spec_.burst_period_ticks)));
+    for (int64_t tick = 0;
+         static_cast<int64_t>(arrivals.size()) < spec_.txns; ++tick) {
+      double rate = spec_.rate_per_tick;
+      if (spec_.arrival == ArrivalProcess::kBursty) {
+        // On-phase at the front of each period, low simmer between bursts.
+        rate = (tick % spec_.burst_period_ticks) < burst_on
+                   ? rate * spec_.burst_factor
+                   : rate * 0.2;
+      } else if (spec_.arrival == ArrivalProcess::kDiurnal) {
+        // Sinusoidal day: mean ~ rate, trough at 0.2x, crest at 1.8x.
+        const double phase =
+            2.0 * M_PI * static_cast<double>(tick % spec_.diurnal_period_ticks) /
+            static_cast<double>(spec_.diurnal_period_ticks);
+        rate = rate * (0.2 + 1.6 * 0.5 * (1.0 + std::sin(phase)));
+      }
+      const int64_t n = PoissonDraw(rng, rate);
+      for (int64_t i = 0;
+           i < n && static_cast<int64_t>(arrivals.size()) < spec_.txns; ++i) {
+        arrivals.push_back(tick);
+      }
+    }
+  }
+
+  for (int64_t i = 0; i < spec_.txns; ++i) {
+    ScenarioTxn out;
+    out.arrival_tick = arrivals.empty() ? 0 : arrivals[static_cast<size_t>(i)];
+
+    // Tenant: explicit weights or uniform.
+    if (!spec_.tenant_weights.empty()) {
+      double draw = rng.NextDouble() * tenant_weight_total;
+      out.txn.tenant = spec_.tenants - 1;
+      for (int t = 0; t < spec_.tenants; ++t) {
+        draw -= spec_.tenant_weights[static_cast<size_t>(t)];
+        if (draw <= 0) {
+          out.txn.tenant = t;
+          break;
+        }
+      }
+    } else if (spec_.tenants > 1) {
+      out.txn.tenant = static_cast<int>(rng.UniformInt(0, spec_.tenants - 1));
+    }
+
+    // SLA class with weight 1/2^c — the OltpGenerator scheme.
+    if (spec_.sla_classes > 1) {
+      double total_weight = 0;
+      for (int c = 0; c < spec_.sla_classes; ++c) total_weight += 1.0 / (1 << c);
+      double draw = rng.NextDouble() * total_weight;
+      out.txn.sla_class = spec_.sla_classes - 1;
+      for (int c = 0; c < spec_.sla_classes; ++c) {
+        draw -= 1.0 / (1 << c);
+        if (draw <= 0) {
+          out.txn.sla_class = c;
+          break;
+        }
+      }
+    }
+    out.deadline_ticks = spec_.deadline_ticks * (out.txn.sla_class + 1);
+
+    // Footprint: `count` distinct objects from the spec's distribution.
+    const int count =
+        static_cast<int>(rng.UniformInt(spec_.min_ops, spec_.max_ops));
+    const int64_t hot_base =
+        spec_.keys == KeyDistribution::kHotSet
+            ? ((i / spec_.hot_rotate_every) * spec_.hot_set_size) % spec_.objects
+            : 0;
+    std::unordered_set<txn::ObjectId> seen;
+    out.txn.ops.reserve(static_cast<size_t>(count));
+    for (int k = 0; k < count; ++k) {
+      txn::ObjectId object = 0;
+      // A bounded redraw keeps the draw faithful to the distribution; the
+      // deterministic linear probe guarantees termination (count <=
+      // max_ops <= objects, and <= hot_set_size for hot draws).
+      for (int attempt = 0;; ++attempt) {
+        switch (spec_.keys) {
+          case KeyDistribution::kUniform:
+            object = rng.UniformInt(0, spec_.objects - 1);
+            break;
+          case KeyDistribution::kZipf:
+            object = zipf.Next(rng);
+            break;
+          case KeyDistribution::kHotSet:
+            object = rng.Bernoulli(spec_.hot_fraction)
+                         ? (hot_base + rng.UniformInt(0, spec_.hot_set_size - 1)) %
+                               spec_.objects
+                         : rng.UniformInt(0, spec_.objects - 1);
+            break;
+        }
+        if (seen.count(object) == 0) break;
+        if (attempt >= 64) {
+          while (seen.count(object) > 0) object = (object + 1) % spec_.objects;
+          break;
+        }
+      }
+      seen.insert(object);
+      out.txn.ops.push_back(
+          workload::OpSpec{rng.Bernoulli(spec_.write_fraction), object});
+    }
+
+    if (spec_.op_order == OpOrdering::kAscending) {
+      std::sort(out.txn.ops.begin(), out.txn.ops.end(),
+                [](const workload::OpSpec& a, const workload::OpSpec& b) {
+                  return a.object < b.object;
+                });
+    } else {
+      // Fisher-Yates: adversarial, deadlock-prone lock orders.
+      for (int k = static_cast<int>(out.txn.ops.size()) - 1; k > 0; --k) {
+        const int j = static_cast<int>(rng.UniformInt(0, k));
+        std::swap(out.txn.ops[static_cast<size_t>(k)],
+                  out.txn.ops[static_cast<size_t>(j)]);
+      }
+    }
+    trace.txns.push_back(std::move(out));
+  }
+  return trace;
+}
+
+std::string ScenarioTrace::Serialize() const {
+  std::string out = StrFormat("scenario %s seed %llu txns %lld\n",
+                              spec.name.c_str(),
+                              static_cast<unsigned long long>(seed),
+                              static_cast<long long>(txns.size()));
+  for (size_t i = 0; i < txns.size(); ++i) {
+    const ScenarioTxn& t = txns[i];
+    out += StrFormat("%lld t%lld ten%d sla%d dl%lld",
+                     static_cast<long long>(i),
+                     static_cast<long long>(t.arrival_tick), t.txn.tenant,
+                     t.txn.sla_class, static_cast<long long>(t.deadline_ticks));
+    for (const workload::OpSpec& op : t.txn.ops) {
+      out += StrFormat(" %c%lld", op.is_write ? 'w' : 'r',
+                       static_cast<long long>(op.object));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace declsched::scenario

@@ -1,21 +1,67 @@
 #include "scheduler/adaptive_controller.h"
 
+#include "common/string_util.h"
+
 namespace declsched::scheduler {
 
+AdaptiveConsistencyController::AdaptiveConsistencyController(
+    Options options, DeclarativeScheduler* scheduler)
+    : options_(std::move(options)), scheduler_(scheduler) {
+  // Lazy defaults: an empty name means "the canonical pair".
+  if (options_.strict.name.empty()) options_.strict = Ss2plSql();
+  if (options_.relaxed.name.empty()) options_.relaxed = ReadCommittedSql();
+}
+
+Status AdaptiveConsistencyController::Validate() const {
+  if (options_.strict.name == options_.relaxed.name) {
+    return Status::InvalidArgument(
+        StrFormat("adaptive strict and relaxed specs both name '%s' — "
+                  "switching between identical protocols is a no-op loop",
+                  options_.strict.name.c_str()));
+  }
+  if (options_.tighten_below > options_.relax_above) {
+    return Status::InvalidArgument(
+        StrFormat("adaptive hysteresis band inverted: tighten_below (%lld) > "
+                  "relax_above (%lld)",
+                  static_cast<long long>(options_.tighten_below),
+                  static_cast<long long>(options_.relax_above)));
+  }
+  if (options_.min_cycles_between_switches < 0) {
+    return Status::InvalidArgument(
+        "adaptive min_cycles_between_switches must be >= 0");
+  }
+  return Status::OK();
+}
+
+Result<bool> AdaptiveConsistencyController::OnCycle(
+    const AdaptiveSignals& signals) {
+  return Step(signals.LoadScore());
+}
+
 Result<bool> AdaptiveConsistencyController::OnCycle(int64_t load) {
+  return Step(load);
+}
+
+Result<bool> AdaptiveConsistencyController::Step(int64_t load) {
+  if (!validated_) {
+    DS_RETURN_NOT_OK(Validate());
+    validated_ = true;
+  }
+  last_load_.store(load, std::memory_order_relaxed);
   ++cycles_since_switch_;
   if (cycles_since_switch_ < options_.min_cycles_between_switches) return false;
-  if (!relaxed_active_ && load > options_.relax_above) {
+  const bool relaxed = relaxed_active_.load(std::memory_order_relaxed);
+  if (!relaxed && load > options_.relax_above) {
     DS_RETURN_NOT_OK(scheduler_->SwitchProtocol(options_.relaxed));
-    relaxed_active_ = true;
-    ++switches_;
+    relaxed_active_.store(true, std::memory_order_relaxed);
+    switches_.fetch_add(1, std::memory_order_relaxed);
     cycles_since_switch_ = 0;
     return true;
   }
-  if (relaxed_active_ && load < options_.tighten_below) {
+  if (relaxed && load < options_.tighten_below) {
     DS_RETURN_NOT_OK(scheduler_->SwitchProtocol(options_.strict));
-    relaxed_active_ = false;
-    ++switches_;
+    relaxed_active_.store(false, std::memory_order_relaxed);
+    switches_.fetch_add(1, std::memory_order_relaxed);
     cycles_since_switch_ = 0;
     return true;
   }

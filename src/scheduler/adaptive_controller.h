@@ -2,10 +2,23 @@
 // criteria may be used during times of high load". The controller watches
 // the scheduler's load and swaps the active protocol between a strict and a
 // relaxed spec — possible precisely because protocols are data, not code.
+//
+// Load is described by AdaptiveSignals, sampled at the end of each cycle
+// from live sources: the incoming queue, the pending relation (requests the
+// protocol left blocked — the lock-conflict wait depth LockTableState
+// induces), the TenantAccountant's in-flight count, and its starvation
+// scan. The legacy OnCycle(int64_t) entry point still exists for drivers
+// that only track a single queue+pending integer.
+//
+// Switching discipline: hysteresis (relax_above > tighten_below, so load
+// noise inside the band changes nothing) plus anti-flap (at least
+// min_cycles_between_switches cycles between any two switches).
 
 #ifndef DECLSCHED_SCHEDULER_ADAPTIVE_CONTROLLER_H_
 #define DECLSCHED_SCHEDULER_ADAPTIVE_CONTROLLER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -13,39 +26,101 @@
 
 namespace declsched::scheduler {
 
+/// One cycle's live load signals. All counts are "as of the end of the
+/// cycle"; LoadScore() folds them into the scalar the thresholds compare
+/// against.
+struct AdaptiveSignals {
+  /// Requests waiting in the incoming queue (not yet drained).
+  int64_t queue_depth = 0;
+  /// Requests still pending after the cycle — blocked on locks (the wait
+  /// depth the lock table's conflict state induces).
+  int64_t wait_depth = 0;
+  /// Requests that were available this cycle but failed to qualify
+  /// (pending_before + drained - qualified): the cycle's conflict count.
+  int64_t conflict_depth = 0;
+  /// Dispatched-but-unfinished rows (TenantAccountant in-flight sum).
+  int64_t inflight = 0;
+  /// Tenants whose oldest pending request exceeded the starvation window
+  /// (TenantAccountant::StarvedTenants).
+  int64_t starved_tenants = 0;
+
+  /// The scalar the relax/tighten thresholds compare against. Queued and
+  /// blocked work dominate; in-flight rows are discounted (they are being
+  /// served, not waiting); a starved tenant is worth a whole burst of
+  /// blocked requests.
+  int64_t LoadScore() const {
+    return queue_depth + wait_depth + inflight / 4 + 8 * starved_tenants;
+  }
+};
+
 class AdaptiveConsistencyController {
  public:
   struct Options {
-    ProtocolSpec strict;   // e.g. Ss2plSql()
-    ProtocolSpec relaxed;  // e.g. ReadCommittedSql()
-    /// Switch to relaxed when load (queued + pending requests) exceeds this.
+    /// The strict / relaxed pair the controller swaps between. Lazy
+    /// defaults: a spec left with an empty name resolves at controller
+    /// construction — strict to Ss2plSql(), relaxed to ReadCommittedSql().
+    /// Options() itself constructs no specs (it used to build both
+    /// eagerly, which priced two registry lookups into every config struct
+    /// that embedded one).
+    ProtocolSpec strict;
+    ProtocolSpec relaxed;
+    /// Switch to relaxed when LoadScore() exceeds this.
     int64_t relax_above = 256;
-    /// Switch back to strict when load drops below this (hysteresis).
+    /// Switch back to strict when LoadScore() drops below this
+    /// (hysteresis; must not exceed relax_above).
     int64_t tighten_below = 64;
     /// Minimum cycles between switches (anti-flapping).
     int64_t min_cycles_between_switches = 4;
 
-    Options() : strict(Ss2plSql()), relaxed(ReadCommittedSql()) {}
+    Options() = default;
   };
 
-  AdaptiveConsistencyController(Options options, DeclarativeScheduler* scheduler)
-      : options_(std::move(options)), scheduler_(scheduler) {}
+  /// Resolves lazy defaults; does not validate (constructors cannot return
+  /// an error). Validate() runs explicitly or on the first OnCycle.
+  AdaptiveConsistencyController(Options options,
+                                DeclarativeScheduler* scheduler);
 
-  /// Call once per cycle with the current load; switches the scheduler's
-  /// protocol when a threshold is crossed. Returns true if a switch happened.
+  /// InvalidArgument when strict and relaxed resolve to the same protocol
+  /// name (the controller would flap between identical policies — the
+  /// config is a typo, not a policy), when the hysteresis band is inverted
+  /// (tighten_below > relax_above), or when
+  /// min_cycles_between_switches < 0.
+  Status Validate() const;
+
+  /// Call once per cycle with the cycle's live signals; switches the
+  /// scheduler's protocol when a threshold is crossed. Returns true if a
+  /// switch happened. Cycle thread only.
+  Result<bool> OnCycle(const AdaptiveSignals& signals);
+
+  /// Legacy raw-load entry point: `load` is taken as the whole score
+  /// (queue + pending, as the middleware sim tracks it).
   Result<bool> OnCycle(int64_t load);
 
-  bool relaxed_active() const { return relaxed_active_; }
-  const std::string& active_protocol() const {
-    return relaxed_active_ ? options_.relaxed.name : options_.strict.name;
+  // Cross-thread reads (e.g. /v1/stats): relaxed_active and switches are
+  // atomics published by the cycle thread.
+  bool relaxed_active() const {
+    return relaxed_active_.load(std::memory_order_relaxed);
   }
-  int64_t switches() const { return switches_; }
+  const std::string& active_protocol() const {
+    return relaxed_active() ? options_.relaxed.name : options_.strict.name;
+  }
+  int64_t switches() const {
+    return switches_.load(std::memory_order_relaxed);
+  }
+  /// The last LoadScore() observed (0 before the first cycle).
+  int64_t last_load() const { return last_load_.load(std::memory_order_relaxed); }
+
+  const Options& options() const { return options_; }
 
  private:
+  Result<bool> Step(int64_t load);
+
   Options options_;
   DeclarativeScheduler* scheduler_;
-  bool relaxed_active_ = false;
-  int64_t switches_ = 0;
+  bool validated_ = false;
+  std::atomic<bool> relaxed_active_{false};
+  std::atomic<int64_t> switches_{0};
+  std::atomic<int64_t> last_load_{0};
   int64_t cycles_since_switch_ = 1 << 20;
 };
 

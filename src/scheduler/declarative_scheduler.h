@@ -152,6 +152,16 @@ class DeclarativeScheduler {
   /// be reset; cycle thread only.
   void set_escrowed_locks(const EscrowedLocks* escrowed) { escrowed_ = escrowed; }
 
+  /// Aborts `ta` without dispatching anything: injects an abort marker
+  /// into history and drops the transaction's pending requests, exactly as
+  /// deadlock resolution does. External drivers use it as a lock-wait
+  /// timeout backstop (the scenario runner's stuck-transaction escape
+  /// hatch). The transaction's requests must already have drained into
+  /// pending — aborting while requests still sit in the incoming queue
+  /// leaves them to dispatch after the transaction is gone. Cycle thread
+  /// only.
+  Status AbortTransaction(txn::TxnId ta, SimTime now);
+
   /// True if the trigger would fire now.
   bool ShouldFire(SimTime now) const;
 
@@ -190,10 +200,6 @@ class DeclarativeScheduler {
  private:
   /// The factory protocols compile through (Options override or Global()).
   const ProtocolFactory& factory() const;
-
-  /// Injects an abort marker for a victim transaction and drops its pending
-  /// requests.
-  Status AbortTransaction(txn::TxnId ta, SimTime now);
 
   /// Shared tail of AbortTransaction and ApplyEscrowedFinisher: drop
   /// pending on abort, append the marker to history, narrate OnScheduled.

@@ -79,6 +79,23 @@ ShardedScheduler::ShardedScheduler(Options options,
           m->GetGauge("recovery_replayed_records",
                       "WAL records replayed by the last recovery");
     }
+    if (options_.adaptive.has_value()) {
+      m_adaptive_switches_ = m->GetCounter(
+          "adaptive_switches_total",
+          "Protocol switches made by per-shard adaptive controllers");
+      m_adaptive_relaxed_.reserve(static_cast<size_t>(options_.num_shards));
+      m_adaptive_load_.reserve(static_cast<size_t>(options_.num_shards));
+      for (int i = 0; i < options_.num_shards; ++i) {
+        m_adaptive_relaxed_.push_back(
+            m->GetGauge("adaptive_relaxed",
+                        "1 while the shard runs its relaxed protocol",
+                        {{"shard", std::to_string(i)}}));
+        m_adaptive_load_.push_back(
+            m->GetGauge("adaptive_load_score",
+                        "Last adaptive load score observed by the shard",
+                        {{"shard", std::to_string(i)}}));
+      }
+    }
   }
 }
 
@@ -101,6 +118,15 @@ Status ShardedScheduler::Init() {
         std::make_unique<DeclarativeScheduler>(std::move(opt), server_);
     DS_RETURN_NOT_OK(shards_[i]->sched->Init());
     shards_[i]->sched->queue()->set_notify([this, i] { MarkDirty(i); });
+    if (options_.adaptive.has_value()) {
+      shards_[i]->adaptive = std::make_unique<AdaptiveConsistencyController>(
+          *options_.adaptive, shards_[i]->sched.get());
+      DS_RETURN_NOT_OK(shards_[i]->adaptive->Validate());
+      // The controller assumes it knows which protocol is active; pin the
+      // shard to the strict spec so state and reality start aligned.
+      DS_RETURN_NOT_OK(shards_[i]->sched->SwitchProtocol(
+          shards_[i]->adaptive->options().strict));
+    }
   }
   if (options_.durability.enabled) DS_RETURN_NOT_OK(RecoverAndAttach());
   initialized_ = true;
@@ -323,6 +349,30 @@ int64_t ShardedScheduler::Submit(Request request, SimTime now) {
   return request.id;
 }
 
+Status ShardedScheduler::AbortTransaction(txn::TxnId ta, SimTime now) {
+  DS_CHECK(initialized_);
+  const std::vector<int> footprint = router_.Footprint(ta);
+  if (footprint.empty()) {
+    return Status::NotFound(
+        StrFormat("no footprint recorded for transaction %lld",
+                  static_cast<long long>(ta)));
+  }
+  router_.Forget(ta);
+  for (int s : footprint) {
+    Request marker;
+    marker.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    marker.ta = ta;
+    marker.intrata = 1 << 30;
+    marker.op = txn::OpType::kAbort;
+    marker.object = Request::kNoObject;
+    marker.arrival = now;
+    marker.client = -1;
+    PublishMirror(s, marker);
+  }
+  external_aborts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 void ShardedScheduler::PublishMirror(int to_shard, const Request& marker) {
   Shard& sh = *shards_[to_shard];
   {
@@ -467,6 +517,38 @@ Result<bool> ShardedScheduler::RunShardOnce(int s, SimTime now) {
       marker.arrival = now;
       marker.client = -1;
       PublishMirror(t, marker);
+    }
+  }
+
+  // Per-shard adaptive consistency: fold this cycle's live signals into
+  // the controller. Sampled after dispatch/victim processing so queue and
+  // pending depths describe what the *next* cycle will face.
+  if (sh.adaptive != nullptr) {
+    // Starvation window for the accountant scan: a tenant whose oldest
+    // pending request has waited this long (simulated) counts as starved —
+    // load the hysteresis cannot ignore.
+    constexpr int64_t kStarvationWaitUs = 100000;
+    AdaptiveSignals sig;
+    sig.queue_depth = sh.sched->queue_size();
+    sig.wait_depth = sh.sched->store()->pending_count();
+    sig.conflict_depth =
+        stats.pending_before + stats.drained - stats.qualified;
+    if (TenantAccountant* acct = sh.sched->tenant_accountant()) {
+      for (const TenantAccountant::TenantTotals& t : acct->Totals()) {
+        sig.inflight += t.inflight;
+      }
+      sig.starved_tenants = static_cast<int64_t>(
+          acct->StarvedTenants(now, kStarvationWaitUs).size());
+    }
+    DS_ASSIGN_OR_RETURN(const bool switched, sh.adaptive->OnCycle(sig));
+    if (switched) {
+      adaptive_switches_.fetch_add(1, std::memory_order_relaxed);
+      if (m_adaptive_switches_ != nullptr) m_adaptive_switches_->Increment();
+    }
+    if (m_adaptive_switches_ != nullptr) {
+      m_adaptive_relaxed_[static_cast<size_t>(s)]->Set(
+          sh.adaptive->relaxed_active() ? 1 : 0);
+      m_adaptive_load_[static_cast<size_t>(s)]->Set(sig.LoadScore());
     }
   }
 
@@ -681,6 +763,8 @@ ShardedScheduler::Totals ShardedScheduler::totals() const {
   t.escrows = escrows_.load(std::memory_order_relaxed);
   t.mirrors_applied = mirrors_applied_.load(std::memory_order_relaxed);
   t.victims = victims_.load(std::memory_order_relaxed);
+  t.adaptive_switches = adaptive_switches_.load(std::memory_order_relaxed);
+  t.external_aborts = external_aborts_.load(std::memory_order_relaxed);
   return t;
 }
 

@@ -69,11 +69,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "observability/metrics.h"
+#include "scheduler/adaptive_controller.h"
 #include "scheduler/declarative_scheduler.h"
 #include "scheduler/shard_router.h"
 #include "storage/recovery.h"
@@ -127,6 +129,16 @@ class ShardedScheduler {
     /// into this registry alongside its own atomics. The registry must
     /// outlive the scheduler. Null = zero instrumentation cost.
     observability::MetricsRegistry* metrics = nullptr;
+    /// Per-shard adaptive consistency (paper Section 5): when set, every
+    /// shard runs its own AdaptiveConsistencyController, fed after each of
+    /// its cycles with that shard's live signals — incoming-queue depth,
+    /// blocked pending (lock-wait depth), the cycle's failed-to-qualify
+    /// count, and the shard accountant's in-flight and starvation reads.
+    /// Shards relax and tighten independently: a hot shard can run relaxed
+    /// while quiet shards stay strict. Validated at Init(). With `metrics`
+    /// set, exports adaptive_switches_total plus per-shard
+    /// adaptive_relaxed / adaptive_load_score gauges.
+    std::optional<AdaptiveConsistencyController::Options> adaptive;
   };
 
   /// Monotone aggregates, readable from any thread at any time.
@@ -138,6 +150,10 @@ class ShardedScheduler {
     int64_t escrows = 0;
     int64_t mirrors_applied = 0;
     int64_t victims = 0;
+    /// Protocol switches made by per-shard adaptive controllers.
+    int64_t adaptive_switches = 0;
+    /// Transactions aborted through AbortTransaction (external backstops).
+    int64_t external_aborts = 0;
   };
 
   /// Cluster-wide per-tenant accounting: each shard's TenantAccountant
@@ -176,6 +192,19 @@ class ShardedScheduler {
   /// through the escrow path and may block briefly on admission tickets.
   int64_t Submit(Request request, SimTime now);
 
+  /// Aborts a transaction from outside the shards: publishes an abort
+  /// marker to every shard in its routed footprint — the same mirror path
+  /// a deadlock-victim abort fans out through — dropping its pending
+  /// requests and releasing its locks there, applied by each shard's next
+  /// pass. For transactions whose finisher has NOT been submitted (a
+  /// submitted finisher owns the transaction's termination), and whose
+  /// requests have all drained into pending (aborting with requests still
+  /// queued leaves them to dispatch after the transaction is gone).
+  /// External drivers use it as a lock-wait-timeout backstop — notably for
+  /// cross-shard waits-for cycles, which shard-local deadlock detection
+  /// cannot see. Thread-safe. NotFound if no footprint is recorded.
+  Status AbortTransaction(txn::TxnId ta, SimTime now);
+
   // --- threaded mode ---
 
   /// Spawns one worker thread per shard. Not to be mixed with StepOnce().
@@ -205,6 +234,12 @@ class ShardedScheduler {
   /// cooperative steps.
   DeclarativeScheduler* shard(int i) { return shards_[i]->sched.get(); }
   const ShardRouter& router() const { return router_; }
+  /// Shard `i`'s adaptive controller (null when Options::adaptive unset).
+  /// relaxed_active()/switches()/last_load() are thread-safe; the rest is
+  /// cycle-thread state.
+  const AdaptiveConsistencyController* adaptive_controller(int i) const {
+    return shards_[i]->adaptive.get();
+  }
   Totals totals() const;
   /// Merges every shard's last published tenant-accounting snapshot (see
   /// GlobalTenantSnapshot). Thread-safe; empty tenants if the shard
@@ -283,6 +318,11 @@ class ShardedScheduler {
     /// The view handed to this shard's protocol; cycle thread only.
     EscrowedLocks escrow_view;
 
+    /// Per-shard adaptive controller (null unless Options::adaptive).
+    /// Driven by the cycle thread after each cycle; its published state
+    /// (relaxed_active, switches, last_load) is readable from any thread.
+    std::unique_ptr<AdaptiveConsistencyController> adaptive;
+
     std::atomic<int64_t> busy_us{0};
     std::thread worker;
   };
@@ -334,6 +374,8 @@ class ShardedScheduler {
   std::atomic<int64_t> escrows_{0};
   std::atomic<int64_t> mirrors_applied_{0};
   std::atomic<int64_t> victims_{0};
+  std::atomic<int64_t> adaptive_switches_{0};
+  std::atomic<int64_t> external_aborts_{0};
   std::atomic<int64_t> coordination_us_{0};
 
   std::mutex dispatch_log_mu_;
@@ -348,6 +390,11 @@ class ShardedScheduler {
   observability::Counter* m_victims_ = nullptr;
   observability::Counter* m_gc_removed_ = nullptr;
   std::vector<observability::HistogramMetric*> m_cycle_us_;  ///< per shard
+
+  /// Adaptive metrics (non-null iff metrics set and adaptive enabled).
+  observability::Counter* m_adaptive_switches_ = nullptr;
+  std::vector<observability::Gauge*> m_adaptive_relaxed_;  ///< per shard
+  std::vector<observability::Gauge*> m_adaptive_load_;     ///< per shard
 
   /// Cached gauges (non-null iff metrics set and durability enabled).
   observability::Gauge* m_snapshot_lsn_ = nullptr;

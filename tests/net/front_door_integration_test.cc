@@ -225,6 +225,51 @@ TEST(FrontDoorTest, StatsTenantsAndProtocolsEndpoints) {
   door.Shutdown();
 }
 
+TEST(FrontDoorTest, AdaptiveStatsExposePerShardControllerState) {
+  // Without the option, /v1/stats still has the adaptive object, disabled.
+  {
+    FrontDoor door(BaseOptions());
+    ASSERT_TRUE(door.Start().ok());
+    TestClient client(door.port());
+    const JsonValue doc = ParseBody(client.Get("/v1/stats").body);
+    ASSERT_TRUE(doc.Get("adaptive") != nullptr);
+    EXPECT_FALSE(doc.Get("adaptive")->Get("enabled")->AsBool());
+    door.Shutdown();
+  }
+
+  scheduler::AdaptiveConsistencyController::Options adaptive;
+  adaptive.strict = scheduler::Ss2plNative();
+  adaptive.relaxed = scheduler::ReadCommittedNative();
+  FrontDoor::Options enabled = BaseOptions();
+  enabled.adaptive = adaptive;
+  FrontDoor adaptive_door(std::move(enabled));
+  ASSERT_TRUE(adaptive_door.Start().ok());
+  TestClient client(adaptive_door.port());
+
+  ASSERT_EQ(client
+                .Post("/v1/submit",
+                      R"({"tenant":1,"txns":[{"ops":[)"
+                      R"({"op":"write","object":2}]}]})")
+                .status,
+            200);
+
+  const JsonValue doc = ParseBody(client.Get("/v1/stats").body);
+  const JsonValue* a = doc.Get("adaptive");
+  ASSERT_TRUE(a != nullptr);
+  EXPECT_TRUE(a->Get("enabled")->AsBool());
+  EXPECT_EQ(a->Get("strict")->AsString(), "ss2pl-native");
+  EXPECT_EQ(a->Get("relaxed")->AsString(), "read-committed-native");
+  ASSERT_EQ(a->Get("shards")->size(), 2u);
+  for (const JsonValue& shard : a->Get("shards")->items()) {
+    // One tiny batch never crosses the relax threshold: still strict.
+    EXPECT_FALSE(shard.Get("relaxed")->AsBool());
+    EXPECT_EQ(shard.Get("active_protocol")->AsString(), "ss2pl-native");
+    EXPECT_EQ(shard.Get("switches")->AsInt64(), 0);
+  }
+  EXPECT_EQ(doc.Get("totals")->Get("adaptive_switches")->AsInt64(), 0);
+  adaptive_door.Shutdown();
+}
+
 TEST(FrontDoorTest, MetricsReconcileWithSchedulerTotals) {
   FrontDoor door(BaseOptions());
   ASSERT_TRUE(door.Start().ok());

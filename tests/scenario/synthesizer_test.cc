@@ -1,0 +1,256 @@
+// Scenario spec language + synthesizer: grammar round-trips, validation,
+// the built-in library, determinism of synthesis, knob behavior, and the
+// replay-determinism property (same spec + seed → byte-identical traces and
+// identical dispatch sets across two fresh scheduler stacks).
+
+#include "scenario/synthesizer.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "scenario/runner.h"
+#include "scenario/scenario_spec.h"
+
+namespace declsched::scenario {
+namespace {
+
+ScenarioSpec BuiltIn(const std::string& name) {
+  Result<ScenarioSpec> spec = FindBuiltInScenario(name);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(spec).ValueOrDie();
+}
+
+ScenarioTrace Synthesize(const ScenarioSpec& spec, uint64_t seed) {
+  ScenarioSynthesizer synth(spec, seed);
+  Result<ScenarioTrace> trace = synth.Synthesize();
+  EXPECT_TRUE(trace.ok()) << trace.status().ToString();
+  return std::move(trace).ValueOrDie();
+}
+
+TEST(ScenarioSpecTest, FormatParseRoundTripsEveryBuiltIn) {
+  for (const ScenarioSpec& spec : BuiltInScenarios()) {
+    const std::string text = FormatScenarioSpec(spec);
+    Result<ScenarioSpec> reparsed = ParseScenarioSpec(text);
+    ASSERT_TRUE(reparsed.ok()) << spec.name << ": " << reparsed.status().ToString();
+    EXPECT_EQ(FormatScenarioSpec(reparsed.ValueOrDie()), text) << spec.name;
+  }
+}
+
+TEST(ScenarioSpecTest, ParsesOverlaysAndComments) {
+  Result<ScenarioSpec> spec = ParseScenarioSpec(
+      "# a scenario with every overlay form\n"
+      "name = overlaid\n"
+      "clients = 4\n"
+      "txns = 20   # trailing comment\n"
+      "switch@150 = read-committed-native\n"
+      "drain@200-260\n"
+      "crash@300\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec.ValueOrDie().switches.size(), 1u);
+  EXPECT_EQ(spec.ValueOrDie().switches[0].at_tick, 150);
+  EXPECT_EQ(spec.ValueOrDie().switches[0].protocol, "read-committed-native");
+  ASSERT_EQ(spec.ValueOrDie().drains.size(), 1u);
+  EXPECT_EQ(spec.ValueOrDie().drains[0].from_tick, 200);
+  EXPECT_EQ(spec.ValueOrDie().drains[0].until_tick, 260);
+  ASSERT_EQ(spec.ValueOrDie().crash_ticks.size(), 1u);
+  EXPECT_EQ(spec.ValueOrDie().crash_ticks[0], 300);
+}
+
+TEST(ScenarioSpecTest, RejectsUnknownKeysAndBadValues) {
+  EXPECT_FALSE(ParseScenarioSpec("name = x\nbogus_knob = 1\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("name = x\ntxns = twelve\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("name = x\narrival = sometimes\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("name = x\ndrain@40\n").ok());  // no range
+  EXPECT_FALSE(ParseScenarioSpec("just some words\n").ok());
+}
+
+TEST(ScenarioSpecTest, ValidateCatchesImpossibleSpecs) {
+  ScenarioSpec spec;
+  spec.name = "bad";
+  spec.objects = 4;
+  spec.max_ops = 8;  // distinct draws cannot exceed the object space
+  EXPECT_FALSE(spec.Validate().ok());
+
+  ScenarioSpec hot;
+  hot.name = "bad-hot";
+  hot.keys = KeyDistribution::kHotSet;
+  hot.hot_set_size = 2;
+  hot.max_ops = 4;  // hot window smaller than a footprint
+  EXPECT_FALSE(hot.Validate().ok());
+
+  ScenarioSpec weights;
+  weights.name = "bad-weights";
+  weights.tenants = 2;
+  weights.tenant_weights = {1.0};  // size mismatch
+  EXPECT_FALSE(weights.Validate().ok());
+}
+
+TEST(ScenarioSpecTest, LibraryHasAtLeastEightDistinctMixes) {
+  const std::vector<ScenarioSpec> specs = BuiltInScenarios();
+  EXPECT_GE(specs.size(), 8u);
+  std::set<std::string> names;
+  for (const ScenarioSpec& spec : specs) {
+    EXPECT_TRUE(spec.Validate().ok()) << spec.name;
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+  }
+  EXPECT_FALSE(FindBuiltInScenario("no-such-scenario").ok());
+}
+
+TEST(ScenarioSynthesizerTest, SameSpecAndSeedIsByteIdentical) {
+  for (const ScenarioSpec& spec : BuiltInScenarios()) {
+    const ScenarioTrace a = Synthesize(spec, 7);
+    const ScenarioTrace b = Synthesize(spec, 7);
+    EXPECT_EQ(a.Serialize(), b.Serialize()) << spec.name;
+    const ScenarioTrace c = Synthesize(spec, 8);
+    EXPECT_NE(a.Serialize(), c.Serialize()) << spec.name;
+    EXPECT_EQ(a.txns.size(), static_cast<size_t>(spec.txns)) << spec.name;
+  }
+}
+
+TEST(ScenarioSynthesizerTest, FootprintsAreDistinctAndInRange) {
+  for (const ScenarioSpec& spec : BuiltInScenarios()) {
+    const ScenarioTrace trace = Synthesize(spec, 3);
+    for (const ScenarioTxn& t : trace.txns) {
+      ASSERT_GE(static_cast<int>(t.txn.ops.size()), spec.min_ops);
+      ASSERT_LE(static_cast<int>(t.txn.ops.size()), spec.max_ops);
+      std::unordered_set<int64_t> seen;
+      for (const workload::OpSpec& op : t.txn.ops) {
+        EXPECT_GE(op.object, 0);
+        EXPECT_LT(op.object, spec.objects);
+        EXPECT_TRUE(seen.insert(op.object).second) << "duplicate object";
+      }
+      EXPECT_GE(t.txn.tenant, 0);
+      EXPECT_LT(t.txn.tenant, spec.tenants);
+      EXPECT_GE(t.txn.sla_class, 0);
+      EXPECT_LT(t.txn.sla_class, spec.sla_classes);
+      EXPECT_EQ(t.deadline_ticks, spec.deadline_ticks * (t.txn.sla_class + 1));
+    }
+  }
+}
+
+TEST(ScenarioSynthesizerTest, AscendingSortsAndShuffledDoesNot) {
+  const ScenarioTrace sorted = Synthesize(BuiltIn("uniform-quiet"), 5);
+  for (const ScenarioTxn& t : sorted.txns) {
+    for (size_t i = 1; i < t.txn.ops.size(); ++i) {
+      EXPECT_LT(t.txn.ops[i - 1].object, t.txn.ops[i].object);
+    }
+  }
+  const ScenarioTrace shuffled = Synthesize(BuiltIn("deadlock-prone"), 5);
+  int descents = 0;
+  for (const ScenarioTxn& t : shuffled.txns) {
+    for (size_t i = 1; i < t.txn.ops.size(); ++i) {
+      if (t.txn.ops[i - 1].object > t.txn.ops[i].object) ++descents;
+    }
+  }
+  EXPECT_GT(descents, 0) << "shuffled ordering never produced a descent";
+}
+
+TEST(ScenarioSynthesizerTest, HotSetConcentratesAndRotates) {
+  const ScenarioSpec spec = BuiltIn("hot-set-rotation");
+  const ScenarioTrace trace = Synthesize(spec, 11);
+  int64_t in_window = 0, total = 0;
+  std::set<int64_t> windows;
+  for (size_t i = 0; i < trace.txns.size(); ++i) {
+    const int64_t base = (static_cast<int64_t>(i) / spec.hot_rotate_every *
+                          spec.hot_set_size) %
+                         spec.objects;
+    windows.insert(base);
+    for (const workload::OpSpec& op : trace.txns[i].txn.ops) {
+      ++total;
+      const int64_t offset =
+          (op.object - base + spec.objects) % spec.objects;
+      if (offset < spec.hot_set_size) ++in_window;
+    }
+  }
+  // hot_fraction = 0.85; cold draws occasionally land in the window too.
+  EXPECT_GT(static_cast<double>(in_window) / static_cast<double>(total), 0.7);
+  EXPECT_GT(windows.size(), 1u) << "window never rotated";
+}
+
+TEST(ScenarioSynthesizerTest, TenantWeightsSkewTheMix) {
+  const ScenarioTrace trace = Synthesize(BuiltIn("aggressor-flood"), 13);
+  std::vector<int> counts(5, 0);
+  for (const ScenarioTxn& t : trace.txns) ++counts[t.txn.tenant];
+  // Weights 20:1:1:1:1 → tenant 0 should dominate.
+  for (int t = 1; t < 5; ++t) EXPECT_GT(counts[0], counts[t] * 4);
+}
+
+TEST(ScenarioSynthesizerTest, OpenArrivalsAreNondecreasingAndSpread) {
+  const ScenarioTrace trace = Synthesize(BuiltIn("diurnal-zipf"), 17);
+  int64_t prev = 0;
+  std::set<int64_t> distinct;
+  for (const ScenarioTxn& t : trace.txns) {
+    EXPECT_GE(t.arrival_tick, prev);
+    prev = t.arrival_tick;
+    distinct.insert(t.arrival_tick);
+  }
+  EXPECT_GT(distinct.size(), 10u) << "arrivals collapsed onto too few ticks";
+}
+
+TEST(ScenarioSynthesizerTest, ZeroTxnsYieldsEmptyTrace) {
+  ScenarioSpec spec = BuiltIn("uniform-quiet");
+  spec.txns = 0;
+  const ScenarioTrace trace = Synthesize(spec, 1);
+  EXPECT_TRUE(trace.txns.empty());
+  EXPECT_NE(trace.Serialize().find("txns 0"), std::string::npos);
+}
+
+// --- the replay-determinism property -----------------------------------
+
+ScenarioOutcome MustRun(const ScenarioTrace& trace,
+                        const ScenarioRunnerOptions& options) {
+  Result<ScenarioOutcome> outcome = RunScenario(trace, options);
+  EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+  return std::move(outcome).ValueOrDie();
+}
+
+TEST(ScenarioReplayTest, UnshardedReplayYieldsIdenticalDispatchSets) {
+  ScenarioSpec spec = BuiltIn("uniform-quiet");
+  spec.txns = 60;
+  const ScenarioTrace trace = Synthesize(spec, 21);
+  ScenarioRunnerOptions options;
+  const ScenarioOutcome a = MustRun(trace, options);
+  const ScenarioOutcome b = MustRun(trace, options);
+  EXPECT_FALSE(a.dispatch_keys.empty());
+  EXPECT_EQ(a.dispatch_keys, b.dispatch_keys);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.committed, 60);
+  EXPECT_EQ(a.duplicate_dispatches, 0);
+}
+
+TEST(ScenarioReplayTest, ShardedReplayYieldsIdenticalDispatchSets) {
+  ScenarioSpec spec = BuiltIn("cross-shard-heavy");
+  spec.txns = 50;
+  const ScenarioTrace trace = Synthesize(spec, 22);
+  ScenarioRunnerOptions options;
+  options.sharded = true;
+  options.num_shards = 3;
+  const ScenarioOutcome a = MustRun(trace, options);
+  const ScenarioOutcome b = MustRun(trace, options);
+  EXPECT_FALSE(a.dispatch_keys.empty());
+  EXPECT_EQ(a.dispatch_keys, b.dispatch_keys);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.duplicate_dispatches, 0);
+}
+
+TEST(ScenarioReplayTest, ShardedMatchesUnshardedOnConflictFreeLoad) {
+  // With ascending lock orders and no aborts, every submitted request
+  // dispatches exactly once in both stacks: the dispatch SETS agree even
+  // though interleavings differ.
+  ScenarioSpec spec = BuiltIn("uniform-quiet");
+  spec.txns = 40;
+  const ScenarioTrace trace = Synthesize(spec, 23);
+  ScenarioRunnerOptions unsharded;
+  ScenarioRunnerOptions sharded;
+  sharded.sharded = true;
+  sharded.num_shards = 3;
+  const ScenarioOutcome a = MustRun(trace, unsharded);
+  const ScenarioOutcome b = MustRun(trace, sharded);
+  EXPECT_EQ(a.dispatch_keys, b.dispatch_keys);
+  EXPECT_EQ(a.committed, 40);
+  EXPECT_EQ(b.committed, 40);
+}
+
+}  // namespace
+}  // namespace declsched::scenario

@@ -1,0 +1,254 @@
+// AdaptiveConsistencyController: the paper's "reduced consistency under
+// load" knob. These tests pin the switching discipline — threshold
+// crossing in both directions, the hysteresis band where load noise
+// changes nothing, the anti-flap cycle floor — plus the config contract
+// (lazy canonical defaults, Validate errors) and the property that a
+// controller-driven switch preserves pending requests exactly like a
+// manual SwitchProtocol.
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "scheduler/adaptive_controller.h"
+#include "scheduler/declarative_scheduler.h"
+#include "scheduler/protocol_library.h"
+#include "server/database_server.h"
+
+namespace declsched::scheduler {
+namespace {
+
+Request Op(int64_t ta, int64_t intrata, txn::OpType op, int64_t object) {
+  Request r;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  return r;
+}
+
+class AdaptiveControllerTest : public ::testing::Test {
+ protected:
+  AdaptiveControllerTest() : server_(ServerConfig()) {}
+
+  static server::DatabaseServer::Config ServerConfig() {
+    server::DatabaseServer::Config config;
+    config.num_rows = 100;
+    return config;
+  }
+
+  // Native strict/relaxed pair on a live scheduler (native so cycles stay
+  // cheap; the switching logic is backend-agnostic).
+  std::unique_ptr<DeclarativeScheduler> MakeScheduler() {
+    DeclarativeScheduler::Options options;
+    options.protocol = Ss2plNative();
+    auto scheduler = std::make_unique<DeclarativeScheduler>(options, &server_);
+    EXPECT_TRUE(scheduler->Init().ok());
+    return scheduler;
+  }
+
+  static AdaptiveConsistencyController::Options NativePair() {
+    AdaptiveConsistencyController::Options options;
+    options.strict = Ss2plNative();
+    options.relaxed = ReadCommittedNative();
+    options.relax_above = 100;
+    options.tighten_below = 10;
+    options.min_cycles_between_switches = 0;
+    return options;
+  }
+
+  server::DatabaseServer server_;
+};
+
+TEST_F(AdaptiveControllerTest, LoadScoreFoldsSignals) {
+  AdaptiveSignals signals;
+  EXPECT_EQ(signals.LoadScore(), 0);
+  signals.queue_depth = 7;
+  signals.wait_depth = 5;
+  signals.conflict_depth = 1000;  // informational; not part of the score
+  signals.inflight = 9;           // discounted 4x
+  signals.starved_tenants = 2;    // 8x
+  EXPECT_EQ(signals.LoadScore(), 7 + 5 + 9 / 4 + 8 * 2);
+}
+
+TEST_F(AdaptiveControllerTest, LazyDefaultsResolveToCanonicalPair) {
+  std::unique_ptr<DeclarativeScheduler> scheduler = MakeScheduler();
+  // Options() names nothing; the constructor resolves the canonical pair.
+  AdaptiveConsistencyController controller({}, scheduler.get());
+  EXPECT_EQ(controller.options().strict.name, "ss2pl-sql");
+  EXPECT_EQ(controller.options().relaxed.name, "read-committed-sql");
+  EXPECT_TRUE(controller.Validate().ok());
+  EXPECT_FALSE(controller.relaxed_active());
+  EXPECT_EQ(controller.active_protocol(), "ss2pl-sql");
+}
+
+TEST_F(AdaptiveControllerTest, ValidateRejectsBadConfigs) {
+  std::unique_ptr<DeclarativeScheduler> scheduler = MakeScheduler();
+
+  AdaptiveConsistencyController::Options same = NativePair();
+  same.relaxed = same.strict;
+  AdaptiveConsistencyController same_controller(same, scheduler.get());
+  Status status = same_controller.Validate();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+
+  AdaptiveConsistencyController::Options inverted = NativePair();
+  inverted.relax_above = 10;
+  inverted.tighten_below = 100;
+  AdaptiveConsistencyController inverted_controller(inverted, scheduler.get());
+  EXPECT_TRUE(inverted_controller.Validate().IsInvalidArgument());
+
+  AdaptiveConsistencyController::Options negative = NativePair();
+  negative.min_cycles_between_switches = -1;
+  AdaptiveConsistencyController negative_controller(negative, scheduler.get());
+  EXPECT_TRUE(negative_controller.Validate().IsInvalidArgument());
+
+  // OnCycle validates lazily, so a bad config fails at first use too.
+  Result<bool> cycle = same_controller.OnCycle(AdaptiveSignals{});
+  EXPECT_FALSE(cycle.ok());
+  EXPECT_TRUE(cycle.status().IsInvalidArgument());
+}
+
+TEST_F(AdaptiveControllerTest, ThresholdCrossingSwitchesBothWays) {
+  std::unique_ptr<DeclarativeScheduler> scheduler = MakeScheduler();
+  AdaptiveConsistencyController controller(NativePair(), scheduler.get());
+
+  // At exactly relax_above nothing happens; the threshold is strict ">".
+  AdaptiveSignals at_threshold;
+  at_threshold.queue_depth = 100;
+  Result<bool> switched = controller.OnCycle(at_threshold);
+  ASSERT_TRUE(switched.ok());
+  EXPECT_FALSE(switched.ValueOrDie());
+  EXPECT_EQ(scheduler->protocol().name, "ss2pl-native");
+  EXPECT_EQ(controller.last_load(), 100);
+
+  AdaptiveSignals overloaded;
+  overloaded.queue_depth = 80;
+  overloaded.wait_depth = 40;
+  switched = controller.OnCycle(overloaded);
+  ASSERT_TRUE(switched.ok());
+  EXPECT_TRUE(switched.ValueOrDie());
+  EXPECT_TRUE(controller.relaxed_active());
+  EXPECT_EQ(controller.active_protocol(), "read-committed-native");
+  EXPECT_EQ(scheduler->protocol().name, "read-committed-native");
+  EXPECT_EQ(controller.switches(), 1);
+  EXPECT_EQ(controller.last_load(), 120);
+
+  // At exactly tighten_below nothing happens either ("<" on the way down).
+  AdaptiveSignals at_floor;
+  at_floor.queue_depth = 10;
+  switched = controller.OnCycle(at_floor);
+  ASSERT_TRUE(switched.ok());
+  EXPECT_FALSE(switched.ValueOrDie());
+  EXPECT_TRUE(controller.relaxed_active());
+
+  AdaptiveSignals quiet;
+  quiet.queue_depth = 3;
+  switched = controller.OnCycle(quiet);
+  ASSERT_TRUE(switched.ok());
+  EXPECT_TRUE(switched.ValueOrDie());
+  EXPECT_FALSE(controller.relaxed_active());
+  EXPECT_EQ(scheduler->protocol().name, "ss2pl-native");
+  EXPECT_EQ(controller.switches(), 2);
+}
+
+TEST_F(AdaptiveControllerTest, HysteresisBandChangesNothing) {
+  std::unique_ptr<DeclarativeScheduler> scheduler = MakeScheduler();
+  AdaptiveConsistencyController controller(NativePair(), scheduler.get());
+
+  // Strict state: anything in (tighten_below, relax_above] is inert.
+  for (int64_t load : {10, 11, 55, 99, 100}) {
+    AdaptiveSignals signals;
+    signals.queue_depth = load;
+    Result<bool> switched = controller.OnCycle(signals);
+    ASSERT_TRUE(switched.ok());
+    EXPECT_FALSE(switched.ValueOrDie()) << "load " << load;
+    EXPECT_FALSE(controller.relaxed_active()) << "load " << load;
+  }
+
+  // Push into relaxed, then sweep the band again: still no switch.
+  AdaptiveSignals overloaded;
+  overloaded.queue_depth = 101;
+  ASSERT_TRUE(controller.OnCycle(overloaded).ok());
+  ASSERT_TRUE(controller.relaxed_active());
+  for (int64_t load : {100, 55, 11, 10}) {
+    AdaptiveSignals signals;
+    signals.queue_depth = load;
+    Result<bool> switched = controller.OnCycle(signals);
+    ASSERT_TRUE(switched.ok());
+    EXPECT_FALSE(switched.ValueOrDie()) << "load " << load;
+    EXPECT_TRUE(controller.relaxed_active()) << "load " << load;
+  }
+  EXPECT_EQ(controller.switches(), 1);
+}
+
+TEST_F(AdaptiveControllerTest, AntiFlapHoldsSwitchesApart) {
+  std::unique_ptr<DeclarativeScheduler> scheduler = MakeScheduler();
+  AdaptiveConsistencyController::Options options = NativePair();
+  options.min_cycles_between_switches = 4;
+  AdaptiveConsistencyController controller(options, scheduler.get());
+
+  // First switch is immediate (no prior switch to hold against).
+  Result<bool> switched = controller.OnCycle(int64_t{1000});
+  ASSERT_TRUE(switched.ok());
+  EXPECT_TRUE(switched.ValueOrDie());
+
+  // Load collapses instantly, but the next three cycles are suppressed.
+  for (int i = 0; i < 3; ++i) {
+    switched = controller.OnCycle(int64_t{0});
+    ASSERT_TRUE(switched.ok());
+    EXPECT_FALSE(switched.ValueOrDie()) << "cycle " << i;
+    EXPECT_TRUE(controller.relaxed_active()) << "cycle " << i;
+  }
+  // Fourth cycle since the switch: the tighten goes through.
+  switched = controller.OnCycle(int64_t{0});
+  ASSERT_TRUE(switched.ok());
+  EXPECT_TRUE(switched.ValueOrDie());
+  EXPECT_FALSE(controller.relaxed_active());
+  EXPECT_EQ(controller.switches(), 2);
+}
+
+TEST_F(AdaptiveControllerTest, ControllerSwitchPreservesPending) {
+  std::unique_ptr<DeclarativeScheduler> scheduler = MakeScheduler();
+  AdaptiveConsistencyController controller(NativePair(), scheduler.get());
+
+  // T1 write-locks object 5; T2's write of 5 drains into pending.
+  scheduler->Submit(Op(1, 1, txn::OpType::kWrite, 5), SimTime());
+  ASSERT_TRUE(scheduler->RunCycle(SimTime()).ok());
+  scheduler->Submit(Op(2, 1, txn::OpType::kWrite, 5), SimTime());
+  ASSERT_TRUE(scheduler->RunCycle(SimTime()).ok());
+  ASSERT_EQ(scheduler->store()->pending_count(), 1);
+
+  // Overload -> relax. The blocked write must ride through the switch, and
+  // write-write conflicts still block under read-committed.
+  Result<bool> switched = controller.OnCycle(int64_t{1000});
+  ASSERT_TRUE(switched.ok());
+  ASSERT_TRUE(switched.ValueOrDie());
+  EXPECT_EQ(scheduler->protocol().name, "read-committed-native");
+  EXPECT_EQ(scheduler->store()->pending_count(), 1);
+  auto stats = scheduler->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 0);
+  EXPECT_EQ(scheduler->store()->pending_count(), 1);
+
+  // Quiet -> tighten back; still pending, still exactly one copy.
+  switched = controller.OnCycle(int64_t{0});
+  ASSERT_TRUE(switched.ok());
+  ASSERT_TRUE(switched.ValueOrDie());
+  EXPECT_EQ(scheduler->protocol().name, "ss2pl-native");
+  EXPECT_EQ(scheduler->store()->pending_count(), 1);
+
+  // T1 commits; T2's write frees and dispatches exactly once.
+  scheduler->Submit(Op(1, 2, txn::OpType::kCommit, Request::kNoObject),
+                   SimTime());
+  stats = scheduler->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 1);  // the commit
+  stats = scheduler->RunCycle(SimTime());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->qualified, 1);  // T2's freed write
+  EXPECT_EQ(scheduler->store()->pending_count(), 0);
+  EXPECT_EQ(controller.switches(), 2);
+}
+
+}  // namespace
+}  // namespace declsched::scheduler

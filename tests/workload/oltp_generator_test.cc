@@ -166,6 +166,90 @@ TEST(OltpGeneratorTest, TenantZipfMakesHotTenants) {
   EXPECT_EQ(single_gen.NextTransaction().tenant, 0);
 }
 
+TEST(OltpGeneratorTest, ZeroWeightTenantIsNeverDrawn) {
+  WorkloadConfig config;
+  config.reads_per_txn = 1;
+  config.writes_per_txn = 0;
+  config.num_tenants = 3;
+  config.tenant_weights = {1, 0, 1};  // tenant 1 submits nothing
+  OltpWorkloadGenerator gen(config, 11);
+  std::vector<int> counts(3, 0);
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) ++counts[gen.NextTransaction().tenant];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[0], n / 3);
+  EXPECT_GT(counts[2], n / 3);
+}
+
+TEST(OltpGeneratorTest, SingleObjectZipfAlwaysDrawsIt) {
+  // num_objects = 1 degenerates every draw — Zipfian or not — to object 0;
+  // the distinct-objects redraw must not spin on an unsatisfiable space.
+  WorkloadConfig config;
+  config.num_objects = 1;
+  config.reads_per_txn = 1;
+  config.writes_per_txn = 0;
+  config.zipf_theta = 0.99;
+  OltpWorkloadGenerator gen(config, 12);
+  for (int t = 0; t < 100; ++t) {
+    TxnSpec txn = gen.NextTransaction();
+    ASSERT_EQ(txn.ops.size(), 1u);
+    EXPECT_EQ(txn.ops[0].object, 0);
+    EXPECT_FALSE(txn.ops[0].is_write);
+  }
+}
+
+TEST(OltpGeneratorTest, EmptyBatchBoundaries) {
+  // One side of the mix at zero must yield a pure batch of the other side,
+  // under every op ordering. (Both sides at zero is a config error the
+  // generator DS_CHECKs at construction — an empty transaction is never a
+  // meaningful workload.)
+  for (WorkloadConfig::OpOrder order :
+       {WorkloadConfig::OpOrder::kShuffled, WorkloadConfig::OpOrder::kReadsFirst,
+        WorkloadConfig::OpOrder::kAlternating}) {
+    WorkloadConfig reads_only;
+    reads_only.reads_per_txn = 5;
+    reads_only.writes_per_txn = 0;
+    reads_only.order = order;
+    OltpWorkloadGenerator read_gen(reads_only, 13);
+    TxnSpec txn = read_gen.NextTransaction();
+    ASSERT_EQ(txn.ops.size(), 5u);
+    for (const OpSpec& op : txn.ops) EXPECT_FALSE(op.is_write);
+
+    WorkloadConfig writes_only;
+    writes_only.reads_per_txn = 0;
+    writes_only.writes_per_txn = 5;
+    writes_only.order = order;
+    OltpWorkloadGenerator write_gen(writes_only, 13);
+    txn = write_gen.NextTransaction();
+    ASSERT_EQ(txn.ops.size(), 5u);
+    for (const OpSpec& op : txn.ops) EXPECT_TRUE(op.is_write);
+  }
+}
+
+TEST(OltpGeneratorTest, MaxFootprintCoversEveryObjectExactlyOnce) {
+  // reads + writes == num_objects with distinct objects: the only legal
+  // transaction touches the whole table, each object exactly once.
+  WorkloadConfig config;
+  config.num_objects = 12;
+  config.reads_per_txn = 5;
+  config.writes_per_txn = 7;
+  OltpWorkloadGenerator gen(config, 14);
+  for (int t = 0; t < 10; ++t) {
+    TxnSpec txn = gen.NextTransaction();
+    ASSERT_EQ(txn.ops.size(), 12u);
+    std::set<int64_t> seen;
+    int writes = 0;
+    for (const OpSpec& op : txn.ops) {
+      EXPECT_TRUE(seen.insert(op.object).second) << "duplicate object";
+      if (op.is_write) ++writes;
+    }
+    EXPECT_EQ(seen.size(), 12u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 11);
+    EXPECT_EQ(writes, 7);
+  }
+}
+
 TEST(ZipfTest, ValuesStayInRange) {
   ZipfGenerator zipf(50, 0.9);
   Rng rng(3);
