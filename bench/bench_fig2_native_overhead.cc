@@ -92,8 +92,11 @@ BackendPoint MeasureOneCycle(const ProtocolSpec& spec, int clients) {
 
 bool SweepBackends(bool smoke, const char* json_path) {
   // Index map: 0 native (baseline), 1/2 compiled SQL/Datalog (lowered to
-  // the protocol IR), 3/4 their interpreted oracles, 5 composed. The
-  // compiled-vs-interpreted pairs carry identical protocol text.
+  // the protocol IR, vectorized executor), 3/4 their interpreted oracles,
+  // 5 composed, 6/7 the compiled plans on the row-at-a-time scalar
+  // executor (the in-IR oracle the vectorized default is gated against).
+  // The compiled-vs-interpreted-vs-scalar tuples carry identical protocol
+  // text.
   const std::vector<ProtocolSpec> backends = {
       declsched::scheduler::Ss2plNative(),
       declsched::scheduler::Ss2plSql(),
@@ -102,6 +105,9 @@ bool SweepBackends(bool smoke, const char* json_path) {
       declsched::scheduler::InterpretedVariant(
           declsched::scheduler::Ss2plDatalog()),
       declsched::scheduler::ComposedSs2plPriority(),
+      declsched::scheduler::ScalarExecVariant(declsched::scheduler::Ss2plSql()),
+      declsched::scheduler::ScalarExecVariant(
+          declsched::scheduler::Ss2plDatalog()),
   };
   const std::vector<int> client_counts = {100, 300, 500};
 
@@ -189,7 +195,7 @@ bool SweepBackends(bool smoke, const char* json_path) {
   bool ok = true;
   bool native_cheapest = true;
   for (size_t point = 0; point < client_counts.size(); ++point) {
-    for (size_t b = 3; b < trajectories.size(); ++b) {
+    for (size_t b = 3; b <= 5; ++b) {
       if (trajectories[0][point].query_us >= trajectories[b][point].query_us) {
         native_cheapest = false;
       }
@@ -242,6 +248,26 @@ bool SweepBackends(bool smoke, const char* json_path) {
                     kCompiledVsNativeFactor, static_cast<long long>(native_us));
         ok = false;
       }
+    }
+  }
+
+  // Gate (d): the vectorized executor (the compiled default, indexes 1/2)
+  // must not lose to the same plan on the row-at-a-time scalar executor
+  // (indexes 6/7) at any point; sub-noise absolute costs pass.
+  for (const auto& [vec_idx, scalar_idx] :
+       {std::pair<size_t, size_t>{1, 6}, std::pair<size_t, size_t>{2, 7}}) {
+    for (size_t point = 0; point < client_counts.size(); ++point) {
+      const int64_t vec_us = trajectories[vec_idx][point].query_us;
+      const int64_t scalar_us = trajectories[scalar_idx][point].query_us;
+      const int64_t budget = std::max(scalar_us, kNoiseFloorUs);
+      const bool fast = vec_us <= budget;
+      std::printf("%s (vec) vs %s @%d clients: %lldus vs %lldus -> %s\n",
+                  backends[vec_idx].name.c_str(),
+                  backends[scalar_idx].name.c_str(), client_counts[point],
+                  static_cast<long long>(vec_us),
+                  static_cast<long long>(scalar_us),
+                  fast ? "ok" : "SLOWER THAN SCALAR");
+      ok = ok && fast;
     }
   }
   return ok;

@@ -146,7 +146,12 @@ Result<std::string> ExplainProtocol(const ProtocolSpec& spec,
         spec.backend == "sql" ? LowerSqlSpec(resolved, *store->catalog())
                               : LowerDatalogSpec(resolved);
     if (!force_interp && lowered.ok()) {
-      return header + "compiled protocol IR:\n" + ExplainProtocolPlan(*lowered);
+      const std::string executor =
+          spec.ir_executor == "scalar"
+              ? "executor: scalar (row-at-a-time oracle, forced by spec)\n"
+              : "executor: vectorized (columnar, selection vectors)\n";
+      return header + "compiled protocol IR:\n" + executor +
+             ExplainProtocolPlan(*lowered);
     }
     std::string out = header;
     out += force_interp ? "interpreted (forced by interp: prefix)\n"

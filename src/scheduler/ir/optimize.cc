@@ -136,6 +136,41 @@ void OptimizePlan(ProtocolPlan* plan) {
     }
   }
 
+  // Selection-vector-aware rewrites (the vectorized executor runs each node
+  // as one compaction pass over the selection):
+  //  - within each run of cheap per-row drops, order typed filters before
+  //    the throttle anti-join — a predicate is a branch-free column compare
+  //    while the throttle probe is a per-tenant lookup, so shrinking the
+  //    selection first is strictly cheaper; legal because both are pure
+  //    per-row drops and commute;
+  //  - then fuse adjacent filter nodes into one conjunction, so a cycle
+  //    compacts the selection once per fused group instead of per node.
+  for (size_t i = 0; i < nodes.size();) {
+    if (!IsCheapFilter(*nodes[i])) {
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < nodes.size() && IsCheapFilter(*nodes[end])) ++end;
+    std::stable_partition(nodes.begin() + static_cast<ptrdiff_t>(i),
+                          nodes.begin() + static_cast<ptrdiff_t>(end),
+                          [](const std::unique_ptr<PlanNode>& n) {
+                            return n->kind == PlanNode::Kind::kFilter;
+                          });
+    i = end;
+  }
+  for (size_t i = 1; i < nodes.size();) {
+    if (nodes[i]->kind == PlanNode::Kind::kFilter &&
+        nodes[i - 1]->kind == PlanNode::Kind::kFilter) {
+      auto& dst = nodes[i - 1]->predicates;
+      auto& src = nodes[i]->predicates;
+      dst.insert(dst.end(), src.begin(), src.end());
+      nodes.erase(nodes.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+
   Relink(plan, std::move(nodes));
 }
 

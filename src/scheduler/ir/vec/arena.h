@@ -1,0 +1,98 @@
+// Arena: per-cycle bump allocation for the vectorized executor.
+//
+// Every transient array a cycle needs — selection vectors, gathered rank
+// keys, join indexes — comes from one arena that is Reset() at the top of
+// the next Execute(). Reset never returns memory to the allocator: the
+// arena keeps its largest block, so a warmed executor allocates nothing in
+// steady state (the SNIPPETS.md snippet-3 arena idiom, specialized to
+// trivially-destructible scratch arrays).
+
+#ifndef DECLSCHED_SCHEDULER_IR_VEC_ARENA_H_
+#define DECLSCHED_SCHEDULER_IR_VEC_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace declsched::scheduler::ir::vec {
+
+class Arena {
+ public:
+  /// `n` default-initialized elements of a trivially destructible type,
+  /// suitably aligned. Valid until the next Reset().
+  template <typename T>
+  T* AllocArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    if (n == 0) return reinterpret_cast<T*>(&zero_size_sentinel_);
+    return static_cast<T*>(AllocBytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Reclaims every allocation. Keeps the single largest block hot, so a
+  /// steady-state cycle reuses it without touching malloc.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      // Consolidate: next cycle gets one block big enough for everything
+      // this cycle needed, instead of re-walking a chain.
+      size_t total = 0;
+      for (const Block& b : blocks_) total += b.capacity;
+      blocks_.clear();
+      AddBlock(total);
+    }
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (tests assert steady-state
+  /// behavior through it).
+  size_t bytes_used() const { return used_; }
+  /// Bytes the arena holds on to across Resets.
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.capacity;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t capacity = 0;
+    size_t offset = 0;
+  };
+
+  static constexpr size_t kMinBlockBytes = 16 * 1024;
+
+  void AddBlock(size_t at_least) {
+    size_t capacity = kMinBlockBytes;
+    while (capacity < at_least) capacity *= 2;
+    Block block;
+    block.data = std::make_unique<char[]>(capacity);
+    block.capacity = capacity;
+    blocks_.push_back(std::move(block));
+  }
+
+  void* AllocBytes(size_t bytes, size_t align) {
+    if (blocks_.empty()) AddBlock(bytes + align);
+    Block* block = &blocks_.back();
+    size_t offset = (block->offset + align - 1) & ~(align - 1);
+    if (offset + bytes > block->capacity) {
+      AddBlock(bytes + align);
+      block = &blocks_.back();
+      offset = 0;
+    }
+    block->offset = offset + bytes;
+    used_ += bytes;
+    return block->data.get() + offset;
+  }
+
+  std::vector<Block> blocks_;
+  size_t used_ = 0;
+  /// Zero-length arrays need a valid non-null pointer without spending
+  /// arena space (max-aligned so any element type is happy).
+  alignas(alignof(std::max_align_t)) char zero_size_sentinel_ = 0;
+};
+
+}  // namespace declsched::scheduler::ir::vec
+
+#endif  // DECLSCHED_SCHEDULER_IR_VEC_ARENA_H_

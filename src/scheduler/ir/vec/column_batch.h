@@ -1,0 +1,162 @@
+// Struct-of-arrays mirrors of the scheduler relations — the data layout the
+// vectorized executor runs over.
+//
+// PendingColumns mirrors the pending `requests` relation as one array per
+// column, sorted ascending by id, with a tombstone bitmap instead of eager
+// erasure (dispatch tombstones rows; compaction is amortized by the owning
+// ColumnarMirror). Batch operators then touch only the columns a node
+// reads — a predicate on `priority` streams one contiguous array instead of
+// striding over whole Request structs — and identify rows by index through
+// selection vectors, so a pipeline never copies a request until the final
+// output materialization.
+//
+// TenantColumns mirrors the `tenants` accounting relation: the two rank
+// keys (vtime, round) plus the pre-evaluated Throttled() bit, sorted by
+// tenant id for binary-search joins.
+
+#ifndef DECLSCHED_SCHEDULER_IR_VEC_COLUMN_BATCH_H_
+#define DECLSCHED_SCHEDULER_IR_VEC_COLUMN_BATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "scheduler/ir/protocol_plan.h"
+#include "scheduler/request.h"
+
+namespace declsched::scheduler::ir::vec {
+
+/// Columnar image of the pending relation. All value columns are int64 so
+/// kernels can address any field through one column pointer; `op` stays a
+/// byte (it is only ever compared for equality, and the lock anti-join
+/// reads it per row).
+struct PendingColumns {
+  std::vector<int64_t> id;
+  std::vector<int64_t> ta;
+  std::vector<int64_t> intrata;
+  std::vector<int64_t> object;
+  std::vector<int64_t> priority;
+  std::vector<int64_t> deadline;  // micros
+  std::vector<int64_t> arrival;   // micros
+  std::vector<int64_t> client;
+  std::vector<int64_t> tenant;
+  std::vector<uint8_t> op;    // static_cast<uint8_t>(txn::OpType)
+  std::vector<uint8_t> dead;  // 1 = tombstoned (dispatched/dropped)
+  int64_t dead_count = 0;
+
+  size_t size() const { return id.size(); }
+  int64_t live_count() const {
+    return static_cast<int64_t>(size()) - dead_count;
+  }
+
+  void Clear() {
+    id.clear();
+    ta.clear();
+    intrata.clear();
+    object.clear();
+    priority.clear();
+    deadline.clear();
+    arrival.clear();
+    client.clear();
+    tenant.clear();
+    op.clear();
+    dead.clear();
+    dead_count = 0;
+  }
+
+  /// Appends `r`. Caller keeps the ascending-id invariant.
+  void PushBack(const Request& r) {
+    id.push_back(r.id);
+    ta.push_back(r.ta);
+    intrata.push_back(r.intrata);
+    object.push_back(r.object);
+    priority.push_back(r.priority);
+    deadline.push_back(r.deadline.micros());
+    arrival.push_back(r.arrival.micros());
+    client.push_back(r.client);
+    tenant.push_back(r.tenant);
+    op.push_back(static_cast<uint8_t>(r.op));
+    dead.push_back(0);
+  }
+
+  /// Rebuilds a full Request from row `i` — the one copy a pipeline makes,
+  /// at output time.
+  Request MaterializeRow(size_t i) const {
+    Request r;
+    r.id = id[i];
+    r.ta = ta[i];
+    r.intrata = intrata[i];
+    r.op = static_cast<txn::OpType>(op[i]);
+    r.object = object[i];
+    r.priority = static_cast<int>(priority[i]);
+    r.deadline = SimTime::FromMicros(deadline[i]);
+    r.arrival = SimTime::FromMicros(arrival[i]);
+    r.client = static_cast<int>(client[i]);
+    r.tenant = static_cast<int>(tenant[i]);
+    return r;
+  }
+
+  /// Index of the live row with `request_id`, -1 if absent or tombstoned.
+  /// Binary search: the id column is sorted (tombstones included).
+  int64_t FindLive(int64_t request_id) const {
+    auto it = std::lower_bound(id.begin(), id.end(), request_id);
+    if (it == id.end() || *it != request_id) return -1;
+    const size_t i = static_cast<size_t>(it - id.begin());
+    return dead[i] ? -1 : static_cast<int64_t>(i);
+  }
+
+  /// The column array backing `field`; null for kOperation (byte column).
+  const int64_t* ColumnFor(RequestField field) const {
+    switch (field) {
+      case RequestField::kId: return id.data();
+      case RequestField::kTa: return ta.data();
+      case RequestField::kIntrata: return intrata.data();
+      case RequestField::kObject: return object.data();
+      case RequestField::kPriority: return priority.data();
+      case RequestField::kDeadline: return deadline.data();
+      case RequestField::kArrival: return arrival.data();
+      case RequestField::kClient: return client.data();
+      case RequestField::kTenant: return tenant.data();
+      case RequestField::kOperation: return nullptr;
+    }
+    return nullptr;
+  }
+};
+
+/// Columnar image of the tenants accounting relation, sorted by tenant id.
+/// `throttled` is TenantAcct::Throttled() evaluated once per rebuild, so
+/// the anti-join probes one byte instead of four accounting fields.
+struct TenantColumns {
+  std::vector<int64_t> tenant;
+  std::vector<int64_t> vtime;
+  std::vector<int64_t> round;
+  std::vector<uint8_t> throttled;
+
+  size_t size() const { return tenant.size(); }
+
+  void Clear() {
+    tenant.clear();
+    vtime.clear();
+    round.clear();
+    throttled.clear();
+  }
+
+  /// Appends a row. Caller keeps the ascending-tenant invariant.
+  void PushBack(int64_t t, int64_t vt, int64_t rd, bool thr) {
+    tenant.push_back(t);
+    vtime.push_back(vt);
+    round.push_back(rd);
+    throttled.push_back(thr ? 1 : 0);
+  }
+
+  /// Index of tenant `t`, -1 if the relation has no row for it.
+  int32_t Find(int64_t t) const {
+    auto it = std::lower_bound(tenant.begin(), tenant.end(), t);
+    if (it == tenant.end() || *it != t) return -1;
+    return static_cast<int32_t>(it - tenant.begin());
+  }
+};
+
+}  // namespace declsched::scheduler::ir::vec
+
+#endif  // DECLSCHED_SCHEDULER_IR_VEC_COLUMN_BATCH_H_

@@ -1,0 +1,62 @@
+// VecPlanExecutor: runs a compiled ProtocolPlan over columnar mirrors with
+// batch operators — the vectorized twin of the scalar PlanExecutor.
+//
+// One executor is owned by one compiled protocol instance and inherits its
+// threading contract (the owning scheduler's cycle thread). It carries the
+// protocol's incremental state twice over: the LockTableState the scalar
+// executor also keeps, plus the ColumnarMirror holding the SoA image of
+// pending/tenants — both riding the scheduler's delta hooks, both answering
+// unnarrated store edits with a staleness rebuild, never a stale result.
+//
+// A cycle executes the plan as selection-vector kernels over the columns:
+// one scan fills the selection, each qualifying node compacts it branch-
+// free, rank sorts a permutation over gathered key arrays, and the only
+// per-request copy is the final output materialization. All transient
+// arrays come from a per-cycle bump arena that retains its high-water block,
+// so a warmed executor allocates nothing in steady state.
+
+#ifndef DECLSCHED_SCHEDULER_IR_VEC_VEC_EXECUTOR_H_
+#define DECLSCHED_SCHEDULER_IR_VEC_VEC_EXECUTOR_H_
+
+#include "common/result.h"
+#include "scheduler/ir/protocol_plan.h"
+#include "scheduler/ir/vec/arena.h"
+#include "scheduler/ir/vec/column_mirror.h"
+#include "scheduler/ir/vec/vec_ops.h"
+#include "scheduler/lock_table.h"
+#include "scheduler/protocol.h"
+
+namespace declsched::scheduler::ir::vec {
+
+class VecPlanExecutor {
+ public:
+  /// Evaluates `plan` against the context's store. Output order: the rank
+  /// node's order if the plan has one, ascending id otherwise — identical
+  /// to the scalar executor on every plan and store state.
+  Result<RequestBatch> Execute(const ProtocolPlan& plan,
+                               const ScheduleContext& context);
+
+  /// The incremental lock state (delta forwarding; O(delta) assertions).
+  LockTableState& lock_state() { return lock_state_; }
+  const LockTableState& lock_state() const { return lock_state_; }
+
+  /// The columnar mirror (delta forwarding; staleness/compaction
+  /// assertions).
+  ColumnarMirror& mirror() { return mirror_; }
+  const ColumnarMirror& mirror() const { return mirror_; }
+
+  /// Arena bytes the last Execute() used (steady-state allocation tests).
+  size_t last_arena_bytes() const { return arena_.bytes_used(); }
+
+ private:
+  ColumnarMirror mirror_;
+  LockTableState lock_state_;
+  Arena arena_;
+  /// Flatten scratch: the plan's nodes leaf-to-root. Member so repeat
+  /// cycles reuse the capacity.
+  std::vector<const PlanNode*> chain_;
+};
+
+}  // namespace declsched::scheduler::ir::vec
+
+#endif  // DECLSCHED_SCHEDULER_IR_VEC_VEC_EXECUTOR_H_

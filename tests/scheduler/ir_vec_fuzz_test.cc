@@ -1,0 +1,295 @@
+// Seeded plan/batch fuzz for the vectorized executor (ISSUE 9 satellite):
+// random ProtocolPlan shapes — arbitrary chains of filter / lock anti-join /
+// throttle anti-join / tenants join / rank / limit over a pending scan, with
+// random predicates, conflict-rule subsets, rank keys, and limits — executed
+// against adversarial store states (empty store, single row, every row
+// filtered out, selection exactly at the limit boundary, deleted tenants
+// rows), cross-checked row-for-row between VecPlanExecutor and the scalar
+// PlanExecutor. The seed matrix is env-overridable via
+// DECLSCHED_VEC_FUZZ_SEEDS (csv), like the scenario soak's
+// DECLSCHED_SOAK_SEEDS.
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "scheduler/ir/executor.h"
+#include "scheduler/ir/explain.h"
+#include "scheduler/ir/vec/vec_executor.h"
+#include "scheduler/request_store.h"
+
+namespace declsched::scheduler {
+namespace {
+
+std::vector<uint64_t> FuzzSeeds() {
+  std::vector<uint64_t> seeds;
+  if (const char* env = std::getenv("DECLSCHED_VEC_FUZZ_SEEDS")) {
+    const char* p = env;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const uint64_t v = std::strtoull(p, &end, 10);
+      if (end == p) break;
+      seeds.push_back(v);
+      p = (*end == ',') ? end + 1 : end;
+    }
+  }
+  if (seeds.empty()) seeds = {5, 55, 555, 5555};
+  return seeds;
+}
+
+Request Op(int64_t id, txn::TxnId ta, int64_t intrata, txn::OpType op,
+           int64_t object) {
+  Request r;
+  r.id = id;
+  r.ta = ta;
+  r.intrata = intrata;
+  r.op = op;
+  r.object = object;
+  return r;
+}
+
+std::string DescribeBatch(const RequestBatch& batch) {
+  std::string out;
+  for (const Request& r : batch) out += r.ToString() + " ";
+  return out;
+}
+
+/// A random linear pipeline: always a pending scan at the leaf, then 0-6
+/// random operators. Shapes the lowerers never emit (filters after ranks,
+/// repeated joins, limit 0, rank with no keys) are deliberately in range —
+/// the executors contract to agree on every well-formed plan, not just
+/// lowered ones.
+ir::ProtocolPlan RandomPlan(Rng* rng) {
+  ir::ProtocolPlan plan;
+  plan.source = "fuzz";
+  plan.ordered = rng->Bernoulli(0.5);
+  auto cur = ir::PlanNode::Make(ir::PlanNode::Kind::kScanPending);
+  const int ops = static_cast<int>(rng->UniformInt(0, 6));
+  for (int i = 0; i < ops; ++i) {
+    std::unique_ptr<ir::PlanNode> node;
+    switch (rng->UniformInt(0, 5)) {
+      case 0: {
+        node = ir::PlanNode::Make(ir::PlanNode::Kind::kFilter);
+        const int preds = static_cast<int>(rng->UniformInt(1, 3));
+        for (int p = 0; p < preds; ++p) {
+          ir::FieldPredicate pred;
+          pred.field = static_cast<ir::RequestField>(rng->UniformInt(0, 9));
+          pred.cmp = static_cast<ir::CompareKind>(rng->UniformInt(0, 5));
+          if (pred.field == ir::RequestField::kOperation) {
+            // Only =/<>' are meaningful on the op column; the lowerers
+            // emit nothing else and the executors only dispatch those.
+            pred.cmp = rng->Bernoulli(0.5) ? ir::CompareKind::kEq
+                                           : ir::CompareKind::kNe;
+            pred.op_value = rng->Bernoulli(0.5) ? txn::OpType::kRead
+                                                : txn::OpType::kWrite;
+          } else if (rng->Bernoulli(0.2)) {
+            pred.value = 1000000;  // matches nothing: all-rows-filtered
+          } else {
+            pred.value = rng->UniformInt(0, 12);
+          }
+          node->predicates.push_back(pred);
+        }
+        break;
+      }
+      case 1: {
+        node = ir::PlanNode::Make(ir::PlanNode::Kind::kLockAntiJoin);
+        node->conflicts.wlock_blocks_all = rng->Bernoulli(0.4);
+        node->conflicts.wlock_blocks_writes = rng->Bernoulli(0.4);
+        node->conflicts.rlock_blocks_writes = rng->Bernoulli(0.4);
+        node->conflicts.pending_write_blocks_all = rng->Bernoulli(0.4);
+        node->conflicts.pending_write_blocks_writes = rng->Bernoulli(0.4);
+        node->conflicts.pending_any_blocks_writes = rng->Bernoulli(0.4);
+        break;
+      }
+      case 2:
+        node = ir::PlanNode::Make(ir::PlanNode::Kind::kThrottleAntiJoin);
+        break;
+      case 3:
+        node = ir::PlanNode::Make(ir::PlanNode::Kind::kTenantJoin);
+        node->left_outer = rng->Bernoulli(0.5);
+        break;
+      case 4: {
+        node = ir::PlanNode::Make(ir::PlanNode::Kind::kRank);
+        const int keys = static_cast<int>(rng->UniformInt(0, 3));
+        for (int k = 0; k < keys; ++k) {
+          ir::RankKey key;
+          key.source = static_cast<ir::RankSource>(rng->UniformInt(0, 6));
+          node->keys.push_back(key);
+        }
+        node->missing_acct_last = rng->Bernoulli(0.3);
+        break;
+      }
+      case 5: {
+        node = ir::PlanNode::Make(ir::PlanNode::Kind::kLimit);
+        // 0, tiny, or right around the typical resident row count, so the
+        // boundary cases limit==n and limit>n both occur.
+        node->limit = rng->UniformInt(0, 14);
+        break;
+      }
+    }
+    node->input = std::move(cur);
+    cur = std::move(node);
+  }
+  plan.root = std::move(cur);
+  return plan;
+}
+
+/// Puts the store in one of several adversarial shapes; `rows` controls
+/// the pending population (0 = empty store, 1 = single-row mirror).
+void PopulateStore(RequestStore* store, Rng* rng, int rows) {
+  RequestBatch batch;
+  for (int i = 0; i < rows; ++i) {
+    const txn::TxnId ta = 1 + i / 3;
+    Request r = Op(i + 1, ta, i % 3 + 1,
+                   rng->Bernoulli(0.5) ? txn::OpType::kRead
+                                       : txn::OpType::kWrite,
+                   rng->UniformInt(0, 5));
+    r.priority = static_cast<int>(rng->UniformInt(0, 2));
+    r.deadline = rng->Bernoulli(0.3)
+                     ? SimTime()
+                     : SimTime::FromMicros(rng->UniformInt(1, 100000));
+    r.tenant = static_cast<int>(rng->UniformInt(0, 4));
+    batch.push_back(r);
+  }
+  if (!batch.empty()) {
+    ASSERT_TRUE(store->InsertPending(batch).ok());
+  }
+
+  // History rows: half the transactions hold live locks, one terminated.
+  if (rows > 0 && rng->Bernoulli(0.7)) {
+    ASSERT_TRUE(
+        store->InsertHistory(Op(1000, 50, 1, txn::OpType::kWrite, 2)).ok());
+    ASSERT_TRUE(
+        store->InsertHistory(Op(1001, 51, 1, txn::OpType::kRead, 3)).ok());
+    if (rng->Bernoulli(0.5)) {
+      ASSERT_TRUE(store
+                      ->InsertHistory(Op(1002, 51, 2, txn::OpType::kCommit,
+                                         Request::kNoObject))
+                      .ok());
+    }
+  }
+
+  // Tenants rows: some throttled (cap hit / bucket empty), some absent —
+  // then one deleted out-of-band, the deleted-tenant-row adversary for
+  // joins and throttles.
+  for (int64_t t = 0; t < 4; ++t) {
+    if (rng->Bernoulli(0.3)) continue;  // leave some tenants unknown
+    TenantAcct acct = store->TenantOrDefault(t);
+    acct.weight = rng->UniformInt(1, 4);
+    acct.vtime = rng->UniformInt(0, 100);
+    acct.round = rng->UniformInt(0, 5);
+    acct.cap = rng->Bernoulli(0.4) ? 1 : 0;
+    acct.inflight = rng->UniformInt(0, 2);
+    acct.rate = rng->Bernoulli(0.4) ? 1 : 0;
+    acct.tokens = 0;
+    ASSERT_TRUE(store->UpsertTenant(acct).ok());
+  }
+  if (rng->Bernoulli(0.5)) {
+    ASSERT_TRUE(store->sql_engine()
+                    ->Execute("DELETE FROM tenants WHERE tenant = " +
+                              std::to_string(rng->UniformInt(0, 3)))
+                    .ok());
+  }
+}
+
+TEST(IrVecFuzzTest, RandomPlansMatchScalarOnAdversarialStores) {
+  for (uint64_t seed : FuzzSeeds()) {
+    Rng rng(seed);
+    for (int round = 0; round < 120; ++round) {
+      // Row population sweeps the adversarial shapes: empty store,
+      // single-row mirror, and enough rows that random limits land both
+      // below, exactly at, and above the surviving selection size.
+      const int rows = static_cast<int>(rng.UniformInt(0, 4)) == 0
+                           ? static_cast<int>(rng.UniformInt(0, 1))
+                           : static_cast<int>(rng.UniformInt(2, 14));
+      RequestStore store;
+      PopulateStore(&store, &rng, rows);
+      if (::testing::Test::HasFatalFailure()) return;
+      const ir::ProtocolPlan plan = RandomPlan(&rng);
+
+      // Fresh executors each round: cold mirrors, every store shape hits
+      // the initial-rebuild path.
+      ir::PlanExecutor scalar;
+      ir::vec::VecPlanExecutor vec;
+      ScheduleContext context{};
+      context.store = &store;
+      auto want = scalar.Execute(plan, context);
+      auto got = vec.Execute(plan, context);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_EQ(got->size(), want->size())
+          << "seed " << seed << " round " << round << " rows " << rows
+          << "\nplan:\n" << ir::ExplainProtocolPlan(plan)
+          << "vec:    " << DescribeBatch(*got)
+          << "\nscalar: " << DescribeBatch(*want);
+      for (size_t i = 0; i < got->size(); ++i) {
+        ASSERT_EQ((*got)[i].id, (*want)[i].id)
+            << "seed " << seed << " round " << round << " position " << i
+            << "\nplan:\n" << ir::ExplainProtocolPlan(plan)
+            << "vec:    " << DescribeBatch(*got)
+            << "\nscalar: " << DescribeBatch(*want);
+      }
+
+      // Mutate the same store and re-run the same executors: the vec
+      // mirror sees an unnarrated edit mid-life, not just cold-start.
+      if (rows > 0 && rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(store.sql_engine()
+                        ->Execute("UPDATE requests SET priority = 0 "
+                                  "WHERE object <= 2")
+                        .ok());
+        auto want2 = scalar.Execute(plan, context);
+        auto got2 = vec.Execute(plan, context);
+        ASSERT_TRUE(want2.ok() && got2.ok());
+        ASSERT_EQ(got2->size(), want2->size())
+            << "post-DML seed " << seed << " round " << round;
+        for (size_t i = 0; i < got2->size(); ++i) {
+          ASSERT_EQ((*got2)[i].id, (*want2)[i].id)
+              << "post-DML seed " << seed << " round " << round;
+        }
+      }
+    }
+  }
+}
+
+TEST(IrVecFuzzTest, LimitExactlyAtSelectionBoundary) {
+  // Deterministic pin of the boundary the fuzz sweeps stochastically:
+  // rank + limit with limit == surviving rows, == rows-1, == 0, and
+  // > rows, on the same store.
+  Rng rng(9);
+  RequestStore store;
+  PopulateStore(&store, &rng, 8);
+  const int64_t live = static_cast<int64_t>((*store.AllPending()).size());
+  for (int64_t limit : {int64_t{0}, live - 1, live, live + 5}) {
+    ir::ProtocolPlan plan;
+    plan.source = "fuzz";
+    plan.ordered = true;
+    auto scan = ir::PlanNode::Make(ir::PlanNode::Kind::kScanPending);
+    auto rank = ir::PlanNode::Make(ir::PlanNode::Kind::kRank);
+    rank->keys.push_back({ir::RankSource::kDeadline});
+    rank->input = std::move(scan);
+    auto lim = ir::PlanNode::Make(ir::PlanNode::Kind::kLimit);
+    lim->limit = limit;
+    lim->input = std::move(rank);
+    plan.root = std::move(lim);
+
+    ir::PlanExecutor scalar;
+    ir::vec::VecPlanExecutor vec;
+    ScheduleContext context{};
+    context.store = &store;
+    auto want = scalar.Execute(plan, context);
+    auto got = vec.Execute(plan, context);
+    ASSERT_TRUE(want.ok() && got.ok()) << "limit " << limit;
+    EXPECT_EQ(static_cast<int64_t>(want->size()), std::min(limit, live));
+    ASSERT_EQ(got->size(), want->size()) << "limit " << limit;
+    for (size_t i = 0; i < got->size(); ++i) {
+      ASSERT_EQ((*got)[i].id, (*want)[i].id) << "limit " << limit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace declsched::scheduler
