@@ -1,6 +1,8 @@
-// Network front door: the full middleware stack behind an HTTP server.
+// Network front door: the full middleware stack behind an HTTP server —
+// and, with --binary-port, the multi-reactor binary wire server beside it.
 //
 //   ./net_server --shards=4 --port=8080 --protocol=ss2pl-sql
+//   ./net_server --port=8080 --binary-port=8081 --reactors=4
 //
 // Then, from another terminal:
 //
@@ -52,17 +54,30 @@ void OnSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   int shards = 2;
   int port = 8080;
+  int binary_port = 0;
+  int reactors = 1;
+  int max_connections = 0;
+  int64_t max_inflight = 0;
   std::string protocol = "ss2pl-sql";
   std::string data_dir;
   for (int i = 1; i < argc; ++i) {
     shards = static_cast<int>(FlagValue(argv[i], "--shards", shards));
     port = static_cast<int>(FlagValue(argv[i], "--port", port));
+    binary_port =
+        static_cast<int>(FlagValue(argv[i], "--binary-port", binary_port));
+    reactors = static_cast<int>(FlagValue(argv[i], "--reactors", reactors));
+    max_connections = static_cast<int>(
+        FlagValue(argv[i], "--max-connections", max_connections));
+    max_inflight = FlagValue(argv[i], "--max-inflight", max_inflight);
     if (std::strncmp(argv[i], "--protocol=", 11) == 0) protocol = argv[i] + 11;
     if (std::strncmp(argv[i], "--data-dir=", 11) == 0) data_dir = argv[i] + 11;
     if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--shards=N] [--port=P] [--protocol=NAME] "
-          "[--data-dir=PATH]\n",
+          "[--data-dir=PATH]\n"
+          "          [--binary-port=P (enables the wire server)] "
+          "[--reactors=N]\n"
+          "          [--max-connections=N] [--max-inflight=N]\n",
           argv[0]);
       return 0;
     }
@@ -82,6 +97,15 @@ int main(int argc, char** argv) {
 
   net::FrontDoor::Options options;
   options.http.port = static_cast<uint16_t>(port);
+  if (max_connections > 0) options.http.max_connections = max_connections;
+  if (binary_port > 0) {
+    net::wire::BinaryServer::Options binary;
+    binary.port = static_cast<uint16_t>(binary_port);
+    binary.reactor_threads = reactors;
+    if (max_connections > 0) binary.max_connections = max_connections;
+    options.binary = binary;
+  }
+  if (max_inflight > 0) options.max_inflight_statements = max_inflight;
   options.num_shards = shards;
   options.shard.protocol = std::move(spec).MoveValue();
   options.server.num_rows = 100000;
@@ -107,6 +131,13 @@ int main(int argc, char** argv) {
   }
   std::printf("front door listening on 127.0.0.1:%u (%d shards, %s)\n",
               door.port(), shards, protocol.c_str());
+  if (binary_port > 0) {
+    std::printf("binary wire server on 127.0.0.1:%u (%d reactors, %s)\n",
+                door.binary_port(), reactors,
+                door.binary_server()->reuseport_active()
+                    ? "SO_REUSEPORT"
+                    : "fd-handoff fallback");
+  }
   std::printf("try: curl -s localhost:%u/v1/stats\n", door.port());
 
   std::signal(SIGINT, OnSignal);

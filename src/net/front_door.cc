@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -67,11 +68,11 @@ FrontDoor::~FrontDoor() { Shutdown(); }
 Status FrontDoor::Start() {
   DS_CHECK(!started_.load());
 
-  server::DatabaseServer::Config server_config = options_.server;
-  if (server_config.max_batch_statements == 0) {
-    server_config.max_batch_statements = options_.max_statements_per_request;
-  }
-  server_ = std::make_unique<server::DatabaseServer>(server_config);
+  // Note: max_statements_per_request is a parse-time body limit, not a
+  // dispatch limit — a cycle's batch aggregates many admitted requests, so
+  // forwarding it to server.max_batch_statements would make a busy cycle
+  // fail validation and kill that shard's worker.
+  server_ = std::make_unique<server::DatabaseServer>(options_.server);
 
   scheduler::ShardedScheduler::Options sched_options;
   sched_options.num_shards = options_.num_shards;
@@ -101,6 +102,15 @@ Status FrontDoor::Start() {
       [this](HttpRequest request, HttpServer::Responder responder) {
         HandleRequest(std::move(request), std::move(responder));
       }));
+  if (options_.binary.has_value()) {
+    wire::BinaryServer::Options binary_options = *options_.binary;
+    binary_options.metrics = &metrics_;
+    binary_ = std::make_unique<wire::BinaryServer>(binary_options);
+    DS_RETURN_NOT_OK(binary_->Start(
+        [this](wire::WireFrame frame, wire::BinaryServer::Responder responder) {
+          HandleWireFrame(std::move(frame), std::move(responder));
+        }));
+  }
   started_.store(true);
   if (options_.recovery_barrier_for_test) options_.recovery_barrier_for_test();
 
@@ -116,13 +126,15 @@ Status FrontDoor::Start() {
 void FrontDoor::Shutdown() {
   if (!started_.exchange(false)) {
     if (http_) http_->Shutdown();
+    if (binary_) binary_->Shutdown();
     if (sched_) sched_->Stop();
     return;
   }
   draining_.store(true);
-  // HTTP first: its drain window lets in-flight submit responses complete
-  // (the scheduler keeps dispatching while it waits).
+  // Servers first: their drain windows let in-flight submit responses
+  // complete (the scheduler keeps dispatching while they wait).
   http_->Shutdown();
+  if (binary_) binary_->Shutdown();
   sched_->Stop();
   ready_.store(false, std::memory_order_release);
   if (sched_->wal() != nullptr) {
@@ -138,27 +150,29 @@ void FrontDoor::Shutdown() {
   }
 }
 
-HttpResponse FrontDoor::StatusToResponse(const Status& status) const {
-  int http_status;
+namespace {
+
+int StatusToHttpCode(const Status& status) {
   switch (status.code()) {
     case StatusCode::kInvalidArgument:
     case StatusCode::kParseError:
     case StatusCode::kTypeError:
-      http_status = 400;
-      break;
+      return 400;
     case StatusCode::kNotFound:
-      http_status = 404;
-      break;
+      return 404;
     case StatusCode::kResourceExhausted:
-      http_status = 429;
-      break;
+      return 429;
     case StatusCode::kUnavailable:
-      http_status = 503;
-      break;
+      return 503;
     default:
-      http_status = 500;
-      break;
+      return 500;
   }
+}
+
+}  // namespace
+
+HttpResponse FrontDoor::StatusToResponse(const Status& status) const {
+  const int http_status = StatusToHttpCode(status);
   HttpResponse resp = HttpResponse::Error(
       http_status, StatusCodeToString(status.code()), status.message());
   if (http_status == 429 || http_status == 503) {
@@ -166,6 +180,28 @@ HttpResponse FrontDoor::StatusToResponse(const Status& status) const {
                               std::to_string(options_.retry_after_seconds));
   }
   return resp;
+}
+
+wire::WireError FrontDoor::StatusToWireError(const Status& status) const {
+  wire::WireError error;
+  error.code = static_cast<uint16_t>(StatusToHttpCode(status));
+  if (error.code == 429 || error.code == 503) {
+    error.retry_after_seconds =
+        static_cast<uint16_t>(options_.retry_after_seconds);
+  }
+  error.message = status.message();
+  return error;
+}
+
+void FrontDoor::CountResponse(int status) {
+  const char* cls = StatusClass(status);
+  if (cls[0] == '2') {
+    responses_2xx_->Increment();
+  } else if (cls[0] == '4') {
+    responses_4xx_->Increment();
+  } else {
+    responses_5xx_->Increment();
+  }
 }
 
 void FrontDoor::HandleRequest(HttpRequest request,
@@ -187,14 +223,7 @@ void FrontDoor::HandleRequest(HttpRequest request,
     } else {
       resp = StatusToResponse(Status::Unavailable("recovering"));
     }
-    const char* cls = StatusClass(resp.status);
-    if (cls[0] == '2') {
-      responses_2xx_->Increment();
-    } else if (cls[0] == '4') {
-      responses_4xx_->Increment();
-    } else {
-      responses_5xx_->Increment();
-    }
+    CountResponse(resp.status);
     responder.Send(std::move(resp));
     return;
   }
@@ -229,14 +258,7 @@ void FrontDoor::HandleRequest(HttpRequest request,
     resp = HttpResponse::Error(404, "NotFound", "no route " + path);
   }
 
-  const char* cls = StatusClass(resp.status);
-  if (cls[0] == '2') {
-    responses_2xx_->Increment();
-  } else if (cls[0] == '4') {
-    responses_4xx_->Increment();
-  } else {
-    responses_5xx_->Increment();
-  }
+  CountResponse(resp.status);
   responder.Send(std::move(resp));
 }
 
@@ -287,19 +309,58 @@ Status FrontDoor::ParseSubmitBody(const std::string& body, int* tenant,
       } else {
         return Status::InvalidArgument("op must be \"read\" or \"write\"");
       }
-      const int64_t obj = object->AsInt64();
-      if (!txn.objects.empty() && obj <= txn.objects.back()) {
-        return Status::InvalidArgument(
-            "ops must name strictly ascending objects (the deadlock-free "
-            "submission order)");
-      }
-      server::Statement stmt;
-      stmt.op = op;
-      stmt.object = obj;
-      stmt.tenant = *tenant;
-      DS_RETURN_NOT_OK(server_->ValidateStatement(stmt));
-      txn.objects.push_back(obj);
-      txn.ops.push_back(op);
+      DS_RETURN_NOT_OK(AppendOp(&txn, op, object->AsInt64()));
+    }
+    *statements += static_cast<int64_t>(txn.ops.size());
+    txns->push_back(std::move(txn));
+  }
+  if (*statements > options_.max_statements_per_request) {
+    return Status::InvalidArgument(
+        StrFormat("request carries %lld statements, limit %lld",
+                  static_cast<long long>(*statements),
+                  static_cast<long long>(options_.max_statements_per_request)));
+  }
+  return Status::OK();
+}
+
+Status FrontDoor::AppendOp(TxnState* txn, txn::OpType op, int64_t object) {
+  if (!txn->objects.empty() && object <= txn->objects.back()) {
+    return Status::InvalidArgument(
+        "ops must name strictly ascending objects (the deadlock-free "
+        "submission order)");
+  }
+  server::Statement stmt;
+  stmt.op = op;
+  stmt.object = object;
+  stmt.tenant = txn->tenant;
+  DS_RETURN_NOT_OK(server_->ValidateStatement(stmt));
+  txn->objects.push_back(object);
+  txn->ops.push_back(op);
+  return Status::OK();
+}
+
+Status FrontDoor::WireSubmitToTxns(const wire::WireSubmit& submit, int* tenant,
+                                   std::vector<TxnState>* txns,
+                                   int64_t* statements) {
+  if (submit.tenant < 0 ||
+      submit.tenant > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("tenant must be >= 0");
+  }
+  *tenant = static_cast<int>(submit.tenant);
+  if (submit.txns.empty()) {
+    return Status::InvalidArgument("SUBMIT needs a non-empty txns list");
+  }
+  *statements = 0;
+  for (const wire::WireTxn& wire_txn : submit.txns) {
+    if (wire_txn.ops.empty()) {
+      return Status::InvalidArgument("each txn needs a non-empty ops list");
+    }
+    TxnState txn;
+    txn.tenant = *tenant;
+    for (const wire::WireOpEntry& op : wire_txn.ops) {
+      DS_RETURN_NOT_OK(AppendOp(
+          &txn, op.write ? txn::OpType::kWrite : txn::OpType::kRead,
+          op.object));
     }
     *statements += static_cast<int64_t>(txn.ops.size());
     txns->push_back(std::move(txn));
@@ -349,14 +410,7 @@ Status FrontDoor::AdmitTenant(int tenant, int64_t statements) {
 void FrontDoor::HandleSubmit(const HttpRequest& request,
                              HttpServer::Responder responder) {
   auto reply = [this, &responder](HttpResponse resp) {
-    const char* cls = StatusClass(resp.status);
-    if (cls[0] == '2') {
-      responses_2xx_->Increment();
-    } else if (cls[0] == '4') {
-      responses_4xx_->Increment();
-    } else {
-      responses_5xx_->Increment();
-    }
+    CountResponse(resp.status);
     responder.Send(std::move(resp));
   };
 
@@ -374,45 +428,169 @@ void FrontDoor::HandleSubmit(const HttpRequest& request,
     return;
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (options_.max_inflight_statements > 0 &&
-        inflight_statements_.load(std::memory_order_relaxed) + statements >
-            options_.max_inflight_statements) {
-      throttled_global_->Increment();
-      reply(StatusToResponse(
-          Status::ResourceExhausted("global in-flight statement cap reached")));
+  const Status admitted = SubmitWork(
+      tenant, std::move(txns), statements,
+      [this, responder](const Status& status, const SubmitOutcome& outcome) {
+        if (!status.ok()) {
+          HttpResponse resp = StatusToResponse(status);
+          CountResponse(resp.status);
+          responder.Send(std::move(resp));
+          return;
+        }
+        std::string body = StrFormat(
+            "{\"txns\":%lld,\"statements\":%lld,\"dispatched\":%lld,"
+            "\"latency_us\":%lld}",
+            static_cast<long long>(outcome.txns),
+            static_cast<long long>(outcome.statements),
+            static_cast<long long>(outcome.dispatched),
+            static_cast<long long>(outcome.latency_us));
+        CountResponse(200);
+        responder.Send(HttpResponse::Json(200, std::move(body)));
+      });
+  if (!admitted.ok()) reply(StatusToResponse(admitted));
+}
+
+Status FrontDoor::SubmitWork(int tenant, std::vector<TxnState> txns,
+                             int64_t statements, SubmitDoneFn done) {
+  if (draining_.load()) return Status::Unavailable("draining");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_inflight_statements > 0 &&
+      inflight_statements_.load(std::memory_order_relaxed) + statements >
+          options_.max_inflight_statements) {
+    throttled_global_->Increment();
+    return Status::ResourceExhausted(
+        "global in-flight statement cap reached");
+  }
+  const Status admitted = AdmitTenant(tenant, statements);
+  if (!admitted.ok()) {
+    throttled_tenant_->Increment();
+    return admitted;
+  }
+
+  const uint64_t job_id = next_job_id_.fetch_add(1);
+  Job job;
+  job.id = job_id;
+  job.done = std::move(done);
+  job.txns_total = static_cast<int64_t>(txns.size());
+  job.statements = statements;
+  job.tenant = tenant;
+  job.start_us = WallMicros();
+  jobs_[job_id] = std::move(job);
+
+  inflight_statements_.fetch_add(statements, std::memory_order_relaxed);
+  inflight_gauge_->Set(inflight_statements_.load(std::memory_order_relaxed));
+  statements_admitted_->Increment(statements);
+
+  for (TxnState& txn : txns) {
+    const txn::TxnId ta = next_ta_.fetch_add(1);
+    txn.job_id = job_id;
+    auto [it, inserted] = txns_.emplace(ta, std::move(txn));
+    DS_CHECK(inserted);
+    SubmitOp(it->second, ta);
+  }
+  return Status::OK();
+}
+
+void FrontDoor::HandleWireFrame(wire::WireFrame frame,
+                                wire::BinaryServer::Responder responder) {
+  requests_total_->Increment();
+
+  if (!ready_.load(std::memory_order_acquire) && started_.load()) {
+    // Recovery is still running: same 503 + Retry-After the HTTP side
+    // answers, without closing the connection — clients back off and retry
+    // on the same pipe.
+    CountResponse(503);
+    responder.SendError(StatusToWireError(Status::Unavailable("recovering")));
+    return;
+  }
+
+  switch (frame.op) {
+    case wire::WireOp::kSubmit:
+      HandleWireSubmit(frame, std::move(responder));
+      return;
+    case wire::WireOp::kStats: {
+      CountResponse(200);
+      responder.Send(wire::WireOp::kStatsOk, StatsJson());
       return;
     }
-    const Status admitted = AdmitTenant(tenant, statements);
-    if (!admitted.ok()) {
-      throttled_tenant_->Increment();
-      reply(StatusToResponse(admitted));
+    case wire::WireOp::kExplain: {
+      std::string name;
+      const Status decoded = wire::DecodeNameBody(frame.body, &name);
+      if (!decoded.ok()) {
+        const wire::WireError error = StatusToWireError(decoded);
+        CountResponse(error.code);
+        responder.SendError(error);
+        return;
+      }
+      Result<std::string> plan = ExplainPlanJson(name);
+      if (!plan.ok()) {
+        const wire::WireError error = StatusToWireError(plan.status());
+        CountResponse(error.code);
+        responder.SendError(error);
+        return;
+      }
+      CountResponse(200);
+      responder.Send(wire::WireOp::kExplainOk, plan.MoveValue());
       return;
     }
-
-    const uint64_t job_id = next_job_id_.fetch_add(1);
-    Job job;
-    job.id = job_id;
-    job.responder = std::move(responder);
-    job.txns_total = static_cast<int64_t>(txns.size());
-    job.statements = statements;
-    job.tenant = tenant;
-    job.start_us = WallMicros();
-    jobs_[job_id] = std::move(job);
-
-    inflight_statements_.fetch_add(statements, std::memory_order_relaxed);
-    inflight_gauge_->Set(inflight_statements_.load(std::memory_order_relaxed));
-    statements_admitted_->Increment(statements);
-
-    for (TxnState& txn : txns) {
-      const txn::TxnId ta = next_ta_.fetch_add(1);
-      txn.job_id = job_id;
-      auto [it, inserted] = txns_.emplace(ta, std::move(txn));
-      DS_CHECK(inserted);
-      SubmitOp(it->second, ta);
+    default: {
+      // The server only forwards application ops, so this is unreachable
+      // in practice; answer rather than assert.
+      const wire::WireError error = StatusToWireError(Status::InvalidArgument(
+          StrFormat("unhandled op %s", wire::WireOpName(frame.op))));
+      CountResponse(error.code);
+      responder.SendError(error);
+      return;
     }
   }
+}
+
+void FrontDoor::HandleWireSubmit(const wire::WireFrame& frame,
+                                 wire::BinaryServer::Responder responder) {
+  auto fail = [this, &responder](const Status& status) {
+    const wire::WireError error = StatusToWireError(status);
+    CountResponse(error.code);
+    responder.SendError(error);
+  };
+
+  if (draining_.load()) {
+    fail(Status::Unavailable("draining"));
+    return;
+  }
+  wire::WireSubmit submit;
+  const Status decoded = wire::DecodeSubmitBody(frame.body, &submit);
+  if (!decoded.ok()) {
+    fail(decoded);
+    return;
+  }
+  int tenant = 0;
+  std::vector<TxnState> txns;
+  int64_t statements = 0;
+  const Status converted =
+      WireSubmitToTxns(submit, &tenant, &txns, &statements);
+  if (!converted.ok()) {
+    fail(converted);
+    return;
+  }
+
+  const Status admitted = SubmitWork(
+      tenant, std::move(txns), statements,
+      [this, responder](const Status& status, const SubmitOutcome& outcome) {
+        if (!status.ok()) {
+          const wire::WireError error = StatusToWireError(status);
+          CountResponse(error.code);
+          responder.SendError(error);
+          return;
+        }
+        wire::WireSubmitResult result;
+        result.txns = outcome.txns;
+        result.statements = outcome.statements;
+        result.dispatched = outcome.dispatched;
+        result.latency_us = outcome.latency_us;
+        CountResponse(200);
+        responder.Send(wire::WireOp::kSubmitOk, EncodeSubmitOkBody(result));
+      });
+  if (!admitted.ok()) fail(admitted);
 }
 
 void FrontDoor::SubmitOp(TxnState& txn, txn::TxnId ta) {
@@ -439,8 +617,8 @@ void FrontDoor::SubmitOp(TxnState& txn, txn::TxnId ta) {
 void FrontDoor::OnDispatch(const RequestBatch& batch) {
   const int64_t now_us = WallMicros();
   struct Completion {
-    HttpServer::Responder responder;
-    HttpResponse response;
+    SubmitDoneFn done;
+    SubmitOutcome outcome;
     uint64_t durable_lsn = 0;
   };
   std::vector<Completion> completions;
@@ -477,41 +655,39 @@ void FrontDoor::OnDispatch(const RequestBatch& batch) {
           inflight_statements_.load(std::memory_order_relaxed));
       const int64_t latency_us = now_us - job.start_us;
       submit_latency_us_->Record(latency_us);
-      responses_2xx_->Increment();
-      std::string body = StrFormat(
-          "{\"txns\":%lld,\"statements\":%lld,\"dispatched\":%lld,"
-          "\"latency_us\":%lld}",
-          static_cast<long long>(job.txns_total),
-          static_cast<long long>(job.statements),
-          static_cast<long long>(job.requests_dispatched),
-          static_cast<long long>(latency_us));
-      completions.push_back(Completion{std::move(job.responder),
-                                       HttpResponse::Json(200, std::move(body)),
-                                       job.durable_lsn});
+      SubmitOutcome outcome;
+      outcome.txns = job.txns_total;
+      outcome.statements = job.statements;
+      outcome.dispatched = job.requests_dispatched;
+      outcome.latency_us = latency_us;
+      completions.push_back(
+          Completion{std::move(job.done), outcome, job.durable_lsn});
       jobs_.erase(job_it);
     }
   }
-  // Respond outside the lock: Send posts to the reactor (cheap), but keep
-  // the dispatch path's critical section minimal anyway. With a WAL the
-  // 200 is deferred until the job's records are durable — the cycle
-  // threads never wait on fsync, only the acknowledgement edge does
-  // (group commit batches the waits).
+  // Respond outside the lock: the done callback posts to a reactor
+  // (cheap), but keep the dispatch path's critical section minimal anyway.
+  // With a WAL the acknowledgement is deferred until the job's records are
+  // durable — the cycle threads never wait on fsync, only the
+  // acknowledgement edge does (group commit batches the waits).
   storage::Wal* wal = sched_->wal();
   for (Completion& c : completions) {
     if (wal != nullptr && c.durable_lsn > 0) {
-      auto responder =
-          std::make_shared<HttpServer::Responder>(std::move(c.responder));
-      auto response = std::make_shared<HttpResponse>(std::move(c.response));
-      wal->WhenDurable(c.durable_lsn, [responder, response]() {
-        responder->Send(std::move(*response));
-      });
+      wal->WhenDurable(c.durable_lsn,
+                       [done = std::move(c.done), outcome = c.outcome]() {
+                         done(Status::OK(), outcome);
+                       });
     } else {
-      c.responder.Send(std::move(c.response));
+      c.done(Status::OK(), c.outcome);
     }
   }
 }
 
 HttpResponse FrontDoor::HandleStats() {
+  return HttpResponse::Json(200, StatsJson());
+}
+
+std::string FrontDoor::StatsJson() {
   const scheduler::ShardedScheduler::Totals totals = sched_->totals();
   JsonValue doc = JsonValue::Object();
   doc.Set("shards", JsonValue::Int(sched_->num_shards()));
@@ -548,6 +724,17 @@ HttpResponse FrontDoor::HandleStats() {
     }
     doc.Set("adaptive", std::move(adaptive));
   }
+  {
+    // Per-shard incoming-queue depth (mutex-safe to sample live). A depth
+    // that stays nonzero while `cycles` stops advancing means that shard's
+    // worker is gone or wedged — the signature that caught the dispatch-
+    // batch-limit worker death.
+    JsonValue depths = JsonValue::Array();
+    for (int i = 0; i < sched_->num_shards(); ++i) {
+      depths.Append(JsonValue::Int(sched_->shard(i)->queue()->size()));
+    }
+    doc.Set("shard_queue_depths", std::move(depths));
+  }
   doc.Set("inflight_statements",
           JsonValue::Int(inflight_statements_.load(std::memory_order_relaxed)));
   JsonValue srv = JsonValue::Object();
@@ -558,7 +745,7 @@ HttpResponse FrontDoor::HandleStats() {
     std::lock_guard<std::mutex> lock(mu_);
     doc.Set("jobs_inflight", JsonValue::Int(static_cast<int64_t>(jobs_.size())));
   }
-  return HttpResponse::Json(200, doc.Dump());
+  return doc.Dump();
 }
 
 HttpResponse FrontDoor::HandleTenants() {
@@ -647,18 +834,22 @@ HttpResponse FrontDoor::HandleExplain(const HttpRequest& request) {
     return StatusToResponse(
         Status::InvalidArgument("missing ?protocol=<name>"));
   }
-  Result<scheduler::ProtocolSpec> spec = registry_.Get(name);
-  if (!spec.ok()) return StatusToResponse(spec.status());
+  Result<std::string> doc = ExplainPlanJson(name);
+  if (!doc.ok()) return StatusToResponse(doc.status());
+  return HttpResponse::Json(200, doc.MoveValue());
+}
+
+Result<std::string> FrontDoor::ExplainPlanJson(const std::string& name) {
+  DS_ASSIGN_OR_RETURN(const scheduler::ProtocolSpec spec, registry_.Get(name));
   // A scratch store supplies the catalog; the live shards' stores are
   // cycle-thread-only.
   scheduler::RequestStore store;
-  Result<std::string> plan =
-      scheduler::ir::ExplainProtocol(spec.ValueOrDie(), &store);
-  if (!plan.ok()) return StatusToResponse(plan.status());
+  DS_ASSIGN_OR_RETURN(const std::string plan,
+                      scheduler::ir::ExplainProtocol(spec, &store));
   JsonValue doc = JsonValue::Object();
   doc.Set("protocol", JsonValue::Str(name));
-  doc.Set("plan", JsonValue::Str(plan.ValueOrDie()));
-  return HttpResponse::Json(200, doc.Dump());
+  doc.Set("plan", JsonValue::Str(plan));
+  return doc.Dump();
 }
 
 }  // namespace declsched::net

@@ -1,7 +1,12 @@
 // FrontDoor: the network face of the declarative scheduling middleware.
 //
-// Wires the async HTTP server to a ShardedScheduler + DatabaseServer stack
-// and speaks a small JSON API:
+// Wires the async HTTP server — and, when Options::binary is set, the
+// multi-reactor binary wire server (net/wire/) — to one ShardedScheduler +
+// DatabaseServer stack. Both transports feed the same submission core
+// (SubmitWork): same admission order, same tenant buckets, same in-flight
+// cap, same response counters, so a batch admits and dispatches
+// identically whether it arrived as JSON or as a wire SUBMIT frame. The
+// HTTP side speaks a small JSON API:
 //
 //   POST /v1/submit          submit a batch of transactions; the response
 //                            is deferred until every transaction commits
@@ -55,6 +60,7 @@
 #include "common/result.h"
 #include "net/http_server.h"
 #include "net/json.h"
+#include "net/wire/binary_server.h"
 #include "observability/metrics.h"
 #include "scheduler/protocol_library.h"
 #include "scheduler/sharded_scheduler.h"
@@ -66,6 +72,11 @@ class FrontDoor {
  public:
   struct Options {
     HttpServer::Options http;
+    /// Optional binary wire front door (see net/wire/): when set, a
+    /// BinaryServer starts next to the HTTP server, sharing the same
+    /// scheduler, admission caps, and tenant buckets — the two transports
+    /// are interchangeable faces of one submission pipeline.
+    std::optional<wire::BinaryServer::Options> binary;
     int num_shards = 2;
     /// Per-shard scheduler template (protocol, trigger, tenant QoS).
     /// deadlock_detection is forced off — see the submission-order
@@ -87,8 +98,11 @@ class FrontDoor {
     /// second, `burst` = bucket capacity (0 = unlimited). This reuses the
     /// declarative QoS spec at the network edge, ahead of the scheduler's
     /// own simulated-time enforcement.
-    /// Maximum statements in one submit body (maps to the server's
-    /// max_batch_statements when that is unset).
+    /// Maximum statements in one submit body, enforced at parse time on
+    /// both transports. Deliberately NOT forwarded to the server's
+    /// max_batch_statements: that limit applies to a dispatch cycle's
+    /// batch, which aggregates many requests and legitimately grows past
+    /// any single body's size under load.
     int64_t max_statements_per_request = 1024;
     /// Keep the scheduler's dispatch log (TakeDispatched) — integration
     /// tests compare the dispatched set against an in-process run.
@@ -119,6 +133,9 @@ class FrontDoor {
   void Shutdown();
 
   uint16_t port() const { return http_ ? http_->port() : 0; }
+  /// Bound binary wire port (0 when Options::binary is unset).
+  uint16_t binary_port() const { return binary_ ? binary_->port() : 0; }
+  wire::BinaryServer* binary_server() { return binary_.get(); }
   observability::MetricsRegistry& metrics() { return metrics_; }
   scheduler::ShardedScheduler* sched() { return sched_.get(); }
   server::DatabaseServer* server() { return server_.get(); }
@@ -127,6 +144,19 @@ class FrontDoor {
   int64_t inflight_statements() const {
     return inflight_statements_.load(std::memory_order_relaxed);
   }
+
+  /// Transport-agnostic submit acknowledgement: the counters both the HTTP
+  /// 200 body and the wire SUBMIT_OK frame report.
+  struct SubmitOutcome {
+    int64_t txns = 0;
+    int64_t statements = 0;
+    int64_t dispatched = 0;
+    int64_t latency_us = 0;
+  };
+  /// Called exactly once when an admitted batch finishes (after its WAL
+  /// records are durable, when a WAL is configured). Runs on a shard
+  /// worker or the WAL group-commit thread — must not block.
+  using SubmitDoneFn = std::function<void(const Status&, const SubmitOutcome&)>;
 
  private:
   /// One transaction's closed-loop drive state.
@@ -140,10 +170,10 @@ class FrontDoor {
     int64_t last_submit_us = 0;  ///< wall clock of the in-flight op
   };
 
-  /// One POST /v1/submit being answered.
+  /// One submitted batch (POST /v1/submit or wire SUBMIT) being answered.
   struct Job {
     uint64_t id = 0;
-    HttpServer::Responder responder;
+    SubmitDoneFn done;
     int64_t txns_total = 0;
     int64_t txns_done = 0;
     int64_t statements = 0;  ///< client statements (excluding commits)
@@ -174,10 +204,33 @@ class FrontDoor {
   HttpResponse HandleProtocolSwitch(const HttpRequest& request);
   HttpResponse HandleExplain(const HttpRequest& request);
 
+  /// Binary wire front door: op-dispatches one request frame (runs on a
+  /// BinaryServer reactor thread).
+  void HandleWireFrame(wire::WireFrame frame,
+                       wire::BinaryServer::Responder responder);
+  void HandleWireSubmit(const wire::WireFrame& frame,
+                        wire::BinaryServer::Responder responder);
+
   /// Parses + validates a submit body into txn states (no side effects).
   /// On success fills `txns` with ops/objects; tenant written through.
   Status ParseSubmitBody(const std::string& body, int* tenant,
                          std::vector<TxnState>* txns, int64_t* statements);
+  /// Same validation for a decoded wire SUBMIT (shared ascending-object /
+  /// server-validate / budget rules — the two transports admit identically).
+  Status WireSubmitToTxns(const wire::WireSubmit& submit, int* tenant,
+                          std::vector<TxnState>* txns, int64_t* statements);
+  /// Validates one op against the submission contract and appends it.
+  Status AppendOp(TxnState* txn, txn::OpType op, int64_t object);
+
+  /// The transport-agnostic submission core: admission (draining, global
+  /// cap, tenant bucket) and scheduler hand-off. On a non-OK return
+  /// nothing was admitted and `done` will never be called; on OK, `done`
+  /// fires exactly once when the batch's last transaction commits (and is
+  /// durable). Counts throttle metrics; response-class counting stays with
+  /// the transport that renders the response.
+  Status SubmitWork(int tenant, std::vector<TxnState> txns,
+                    int64_t statements, SubmitDoneFn done);
+
   /// Wall-clock token-bucket check for `tenant`; consumes on success.
   Status AdmitTenant(int tenant, int64_t statements);
 
@@ -185,15 +238,25 @@ class FrontDoor {
   /// txn cursors, submits next ops/commits, completes finished jobs.
   void OnDispatch(const scheduler::RequestBatch& batch);
   void SubmitOp(TxnState& txn, txn::TxnId ta);
-  void CompleteJob(Job& job);
+
+  /// The /v1/stats document (also the wire STATS_OK body).
+  std::string StatsJson();
+  /// The explain document for a named protocol (also the wire EXPLAIN_OK
+  /// body).
+  Result<std::string> ExplainPlanJson(const std::string& name);
 
   HttpResponse StatusToResponse(const Status& status) const;
+  wire::WireError StatusToWireError(const Status& status) const;
+  /// Bumps frontdoor_responses_total{class} — every response on either
+  /// transport goes through here exactly once.
+  void CountResponse(int status);
 
   Options options_;
   observability::MetricsRegistry metrics_;
   std::unique_ptr<server::DatabaseServer> server_;
   std::unique_ptr<scheduler::ShardedScheduler> sched_;
   std::unique_ptr<HttpServer> http_;
+  std::unique_ptr<wire::BinaryServer> binary_;
   scheduler::ProtocolRegistry registry_;
 
   std::atomic<bool> draining_{false};

@@ -210,9 +210,9 @@ void HttpServer::DoAccept() {
     (void)raw;
     connection_count_.fetch_add(1, std::memory_order_relaxed);
     if (accepted_total_ != nullptr) accepted_total_->Increment();
-    if (connections_gauge_ != nullptr) {
-      connections_gauge_->Set(static_cast<int64_t>(connections_.size()));
-    }
+    // Gauge tracks the accept/close atomic (not the map size) so the
+    // exported count is exact from any thread's point of view.
+    if (connections_gauge_ != nullptr) connections_gauge_->Add(1);
   }
 }
 
@@ -375,9 +375,7 @@ void HttpServer::CloseConnection(uint64_t conn_id) {
   ::close(conn->fd);
   connections_.erase(it);
   connection_count_.fetch_sub(1, std::memory_order_relaxed);
-  if (connections_gauge_ != nullptr) {
-    connections_gauge_->Set(static_cast<int64_t>(connections_.size()));
-  }
+  if (connections_gauge_ != nullptr) connections_gauge_->Add(-1);
 }
 
 }  // namespace declsched::net

@@ -92,7 +92,9 @@ class HttpServer {
 
   /// Bound port (after Start).
   uint16_t port() const { return port_; }
-  /// Live connection count (approximate — reactor-thread maintained).
+  /// Live connection count — exact: one atomic maintained at accept and
+  /// close, and the same number the net_connections_open gauge exports, so
+  /// /metrics reconciles exactly with what the server holds open.
   int64_t connections() const {
     return connection_count_.load(std::memory_order_relaxed);
   }

@@ -1,20 +1,32 @@
-// HTTP load generator for the front door (library half; tools/loadgen.cc
-// is the CLI and bench/bench_net_load.cc the gated bench).
+// Load generator for the front door (library half; tools/loadgen.cc is
+// the CLI and bench/bench_net_load.cc the gated bench). Speaks both
+// transports: HTTP/1.1 keep-alive and the binary wire protocol
+// (net/wire/).
 //
-// One thread multiplexes every connection with poll(): each connection is
-// a nonblocking keep-alive socket with its own response parser, so a
-// thousand concurrent connections cost a thousand fds, not a thousand
-// threads. Two driving modes:
+// Each driver thread multiplexes its share of the connections with
+// poll(): a nonblocking socket per connection with its own response
+// parser, so ten thousand concurrent connections cost fds, not threads.
+// Multiple driver threads (`threads`) split the connection set and the
+// offered rate, and their results merge into one histogram — that is how
+// the harness drives a multi-reactor server without the client becoming
+// the bottleneck. Two driving modes:
 //
-//   closed loop (open_loop_rps == 0): every connection keeps exactly one
-//     request outstanding — measures saturation throughput;
+//   closed loop (open_loop_rps == 0): every connection keeps exactly
+//     `pipeline` requests outstanding — measures saturation throughput;
 //   open loop (open_loop_rps > 0): requests start on a fixed wall-clock
-//     schedule and are handed to idle connections — measures latency at a
-//     controlled offered rate. If every connection is busy when a slot
-//     comes due, the send happens late and `late_sends` counts it (the
-//     coordinated-omission signal).
+//     schedule and are handed to connections with spare pipeline slots —
+//     measures latency at a controlled offered rate. If every slot is
+//     taken when one comes due, the send happens late and `late_sends`
+//     counts it (the coordinated-omission signal).
 //
-// The workload is the front door's submission contract: each request body
+// On the binary transport each connection pipelines its HELLO ahead of
+// the first SUBMIT (no handshake round-trip) and matches responses to
+// send timestamps by request id, so out-of-order completion measures
+// correctly. `connect_settle_ms` opens every connection (and, on binary,
+// finishes handshakes) before the measurement clock starts — at 10k
+// connections the connect burst would otherwise bill into latency.
+//
+// The workload is the front door's submission contract: each request
 // carries `txns_per_request` transactions of `ops_per_txn` writes over
 // distinct ascending objects drawn from [0, num_objects).
 
@@ -29,14 +41,28 @@
 
 namespace declsched::net {
 
+enum class LoadTransport {
+  kHttp,
+  kBinary,
+};
+
 struct LoadgenOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
+  LoadTransport transport = LoadTransport::kHttp;
   int connections = 64;
+  /// Driver threads; connections and offered rate split across them.
+  int threads = 1;
+  /// Binary only: request frames in flight per connection (HTTP drives
+  /// one request per connection — its responses are ordered, not matched).
+  int pipeline = 1;
   /// Wall-clock run length (after which outstanding responses drain).
   int64_t duration_ms = 1000;
   /// 0 = closed loop; otherwise target offered rate (requests/second).
   double open_loop_rps = 0;
+  /// Establish every connection (binary: and pipeline its HELLO) before
+  /// the measurement clock starts; 0 skips the settle phase.
+  int64_t connect_settle_ms = 0;
   /// Tenant stamped on every submission.
   int tenant = 0;
   int txns_per_request = 1;
@@ -63,6 +89,9 @@ struct LoadgenResult {
   Histogram latency_us;
   /// Latency of 429 responses (how fast backpressure answers).
   Histogram throttle_latency_us;
+
+  /// Sums counters and merges histograms (multi-thread aggregation).
+  void Merge(const LoadgenResult& other);
 
   /// One JSON row (the bench artifact shape).
   std::string ToJson() const;

@@ -80,9 +80,15 @@ void Reactor::Post(TaskFn fn) {
     if (!accepting_tasks_) return;
     tasks_.push_back(std::move(fn));
   }
-  const uint64_t one = 1;
-  ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-  (void)n;  // counter saturation is fine — the loop is already awake
+  // Coalesced wakeup: a completion burst (the scheduler finishing a whole
+  // dispatch batch) costs one eventfd write, not one per task. The flag is
+  // cleared by the loop before it drains, so a post that lands after the
+  // drain swap always sees false here and re-arms the wakeup.
+  if (!wake_pending_.exchange(true)) {
+    const uint64_t one = 1;
+    ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+    (void)n;  // counter saturation is fine — the loop is already awake
+  }
 }
 
 void Reactor::Start() {
@@ -125,6 +131,9 @@ void Reactor::Run() {
         uint64_t drained;
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
         }
+        // Must clear before DrainTasks: a poster that enqueues after the
+        // drain's swap must find the flag down so its wakeup is not lost.
+        wake_pending_.store(false);
         continue;
       }
       auto it = handlers_.find(fd);

@@ -78,6 +78,10 @@ class Reactor {
   std::mutex task_mu_;
   std::vector<TaskFn> tasks_;
   bool accepting_tasks_ = true;
+  // True while an eventfd wakeup is outstanding; lets a burst of Post()
+  // calls (one per completed request in a dispatch batch) share a single
+  // wakeup syscall instead of thrashing the loop thread awake per task.
+  std::atomic<bool> wake_pending_{false};
 };
 
 }  // namespace declsched::net

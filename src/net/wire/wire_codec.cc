@@ -1,0 +1,285 @@
+#include "net/wire/wire_codec.h"
+
+#include "common/string_util.h"
+#include "storage/coding.h"
+#include "storage/wal.h"
+
+namespace declsched::net::wire {
+
+using storage::ByteReader;
+using storage::Crc32;
+using storage::PutFixed32;
+using storage::PutFixed64;
+using storage::PutVarint64;
+using storage::PutVarintSigned;
+
+const char* WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kHello:
+      return "HELLO";
+    case WireOp::kHelloOk:
+      return "HELLO_OK";
+    case WireOp::kSubmit:
+      return "SUBMIT";
+    case WireOp::kSubmitOk:
+      return "SUBMIT_OK";
+    case WireOp::kStats:
+      return "STATS";
+    case WireOp::kStatsOk:
+      return "STATS_OK";
+    case WireOp::kExplain:
+      return "EXPLAIN";
+    case WireOp::kExplainOk:
+      return "EXPLAIN_OK";
+    case WireOp::kFinish:
+      return "FINISH";
+    case WireOp::kFinishOk:
+      return "FINISH_OK";
+    case WireOp::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool IsKnownWireOp(uint8_t op) {
+  switch (static_cast<WireOp>(op)) {
+    case WireOp::kHello:
+    case WireOp::kHelloOk:
+    case WireOp::kSubmit:
+    case WireOp::kSubmitOk:
+    case WireOp::kStats:
+    case WireOp::kStatsOk:
+    case WireOp::kExplain:
+    case WireOp::kExplainOk:
+    case WireOp::kFinish:
+    case WireOp::kFinishOk:
+    case WireOp::kError:
+      return true;
+  }
+  return false;
+}
+
+void AppendFrame(std::string* out, WireOp op, uint8_t flags,
+                 uint64_t request_id, std::string_view body) {
+  const size_t payload_len = kFrameHeaderBytes + body.size();
+  const size_t prefix_at = out->size();
+  PutFixed32(out, static_cast<uint32_t>(payload_len));
+  PutFixed32(out, 0);  // crc patched below, once the payload is in place
+  const size_t payload_at = out->size();
+  out->push_back(static_cast<char>(op));
+  out->push_back(static_cast<char>(flags));
+  out->push_back(0);
+  out->push_back(0);
+  PutFixed64(out, request_id);
+  out->append(body.data(), body.size());
+  const uint32_t crc = Crc32(out->data() + payload_at, payload_len);
+  storage::PutFixed32Raw(&(*out)[prefix_at + 4], crc);
+}
+
+std::string EncodeFrame(const WireFrame& frame) {
+  std::string out;
+  out.reserve(kFramePrefixBytes + kFrameHeaderBytes + frame.body.size());
+  AppendFrame(&out, frame.op, frame.flags, frame.request_id, frame.body);
+  return out;
+}
+
+std::string EncodeHelloBody(uint32_t magic, uint16_t version) {
+  std::string body;
+  PutFixed32(&body, magic);
+  PutFixed32(&body, version);  // u16 version + u16 reserved, as one word
+  return body;
+}
+
+Status DecodeHelloBody(std::string_view body, uint32_t* magic,
+                       uint16_t* version) {
+  ByteReader reader(body);
+  uint32_t version_word = 0;
+  if (!reader.ReadFixed32(magic) || !reader.ReadFixed32(&version_word)) {
+    return Status::InvalidArgument("HELLO body truncated");
+  }
+  *version = static_cast<uint16_t>(version_word & 0xffffu);
+  return Status::OK();
+}
+
+std::string EncodeHelloOkBody(uint16_t version) {
+  std::string body;
+  PutFixed32(&body, version);
+  return body;
+}
+
+std::string EncodeSubmitBody(const WireSubmit& submit) {
+  std::string body;
+  PutVarintSigned(&body, submit.tenant);
+  PutVarint64(&body, submit.txns.size());
+  for (const WireTxn& txn : submit.txns) {
+    PutVarint64(&body, txn.ops.size());
+    for (const WireOpEntry& op : txn.ops) {
+      body.push_back(op.write ? 1 : 0);
+      PutVarintSigned(&body, op.object);
+    }
+  }
+  return body;
+}
+
+Status DecodeSubmitBody(std::string_view body, WireSubmit* out) {
+  ByteReader reader(body);
+  out->tenant = 0;
+  out->txns.clear();
+  uint64_t txn_count = 0;
+  if (!reader.ReadVarintSigned(&out->tenant) ||
+      !reader.ReadVarint64(&txn_count)) {
+    return Status::InvalidArgument("SUBMIT body truncated");
+  }
+  // Every txn costs at least 1 byte (its op count), every op at least 2 —
+  // claimed counts beyond the remaining bytes are rejected before any
+  // reserve, so a hostile header cannot drive allocation.
+  if (txn_count > reader.remaining()) {
+    return Status::InvalidArgument("SUBMIT txn count exceeds body");
+  }
+  out->txns.reserve(txn_count);
+  for (uint64_t t = 0; t < txn_count; ++t) {
+    uint64_t op_count = 0;
+    if (!reader.ReadVarint64(&op_count)) {
+      return Status::InvalidArgument("SUBMIT body truncated");
+    }
+    if (op_count > reader.remaining() / 2) {
+      return Status::InvalidArgument("SUBMIT op count exceeds body");
+    }
+    WireTxn txn;
+    txn.ops.reserve(op_count);
+    for (uint64_t i = 0; i < op_count; ++i) {
+      uint8_t kind = 0;
+      WireOpEntry op;
+      if (!reader.ReadByte(&kind) || !reader.ReadVarintSigned(&op.object)) {
+        return Status::InvalidArgument("SUBMIT body truncated");
+      }
+      if (kind > 1) {
+        return Status::InvalidArgument("SUBMIT op kind must be 0 or 1");
+      }
+      op.write = kind == 1;
+      txn.ops.push_back(op);
+    }
+    out->txns.push_back(std::move(txn));
+  }
+  if (!reader.empty()) {
+    return Status::InvalidArgument("SUBMIT body has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string EncodeSubmitOkBody(const WireSubmitResult& result) {
+  std::string body;
+  PutVarint64(&body, static_cast<uint64_t>(result.txns));
+  PutVarint64(&body, static_cast<uint64_t>(result.statements));
+  PutVarint64(&body, static_cast<uint64_t>(result.dispatched));
+  PutVarint64(&body, static_cast<uint64_t>(result.latency_us));
+  return body;
+}
+
+Status DecodeSubmitOkBody(std::string_view body, WireSubmitResult* out) {
+  ByteReader reader(body);
+  uint64_t txns = 0, statements = 0, dispatched = 0, latency_us = 0;
+  if (!reader.ReadVarint64(&txns) || !reader.ReadVarint64(&statements) ||
+      !reader.ReadVarint64(&dispatched) || !reader.ReadVarint64(&latency_us)) {
+    return Status::InvalidArgument("SUBMIT_OK body truncated");
+  }
+  if (!reader.empty()) {
+    return Status::InvalidArgument("SUBMIT_OK body has trailing bytes");
+  }
+  out->txns = static_cast<int64_t>(txns);
+  out->statements = static_cast<int64_t>(statements);
+  out->dispatched = static_cast<int64_t>(dispatched);
+  out->latency_us = static_cast<int64_t>(latency_us);
+  return Status::OK();
+}
+
+std::string EncodeErrorBody(const WireError& error) {
+  std::string body;
+  PutFixed32(&body, static_cast<uint32_t>(error.code) |
+                        static_cast<uint32_t>(error.retry_after_seconds) << 16);
+  storage::PutLengthPrefixed(&body, error.message);
+  return body;
+}
+
+Status DecodeErrorBody(std::string_view body, WireError* out) {
+  ByteReader reader(body);
+  uint32_t word = 0;
+  std::string_view message;
+  if (!reader.ReadFixed32(&word) || !reader.ReadLengthPrefixed(&message)) {
+    return Status::InvalidArgument("ERROR body truncated");
+  }
+  out->code = static_cast<uint16_t>(word & 0xffffu);
+  out->retry_after_seconds = static_cast<uint16_t>(word >> 16);
+  out->message.assign(message.data(), message.size());
+  if (!reader.empty()) {
+    return Status::InvalidArgument("ERROR body has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string EncodeNameBody(std::string_view name) {
+  std::string body;
+  storage::PutLengthPrefixed(&body, name);
+  return body;
+}
+
+Status DecodeNameBody(std::string_view body, std::string* out) {
+  ByteReader reader(body);
+  std::string_view name;
+  if (!reader.ReadLengthPrefixed(&name)) {
+    return Status::InvalidArgument("name body truncated");
+  }
+  if (!reader.empty()) {
+    return Status::InvalidArgument("name body has trailing bytes");
+  }
+  out->assign(name.data(), name.size());
+  return Status::OK();
+}
+
+FrameParser::Outcome FrameParser::Fail(Error error, std::string message) {
+  error_ = error;
+  error_message_ = std::move(message);
+  return Outcome::kError;
+}
+
+FrameParser::Outcome FrameParser::Next(WireFrame* out) {
+  if (error_ != Error::kNone) return Outcome::kError;
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived pipelined connection does not grow its buffer forever.
+  if (consumed_ > 0 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFramePrefixBytes) return Outcome::kNeedMore;
+  const char* base = buffer_.data() + consumed_;
+  const uint32_t payload_len = storage::DecodeFixed32(base);
+  // Limit checks run before waiting for (or allocating) the claimed bytes.
+  if (payload_len > limits_.max_frame_bytes) {
+    return Fail(Error::kOversized,
+                StrFormat("frame payload %u exceeds limit %zu", payload_len,
+                          limits_.max_frame_bytes));
+  }
+  if (payload_len < kFrameHeaderBytes) {
+    return Fail(Error::kShortPayload,
+                StrFormat("frame payload %u shorter than the %zu-byte header",
+                          payload_len, kFrameHeaderBytes));
+  }
+  if (available < kFramePrefixBytes + payload_len) return Outcome::kNeedMore;
+  const uint32_t expected_crc = storage::DecodeFixed32(base + 4);
+  const char* payload = base + kFramePrefixBytes;
+  const uint32_t actual_crc = Crc32(payload, payload_len);
+  if (actual_crc != expected_crc) {
+    return Fail(Error::kBadCrc, StrFormat("frame crc mismatch (got %08x want %08x)",
+                                          actual_crc, expected_crc));
+  }
+  out->op = static_cast<WireOp>(static_cast<uint8_t>(payload[0]));
+  out->flags = static_cast<uint8_t>(payload[1]);
+  out->request_id = storage::DecodeFixed64(payload + 4);
+  out->body.assign(payload + kFrameHeaderBytes,
+                   payload_len - kFrameHeaderBytes);
+  consumed_ += kFramePrefixBytes + payload_len;
+  return Outcome::kFrame;
+}
+
+}  // namespace declsched::net::wire

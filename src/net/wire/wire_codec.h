@@ -1,0 +1,197 @@
+// Binary wire protocol: length-prefixed, CRC-framed, pipelined.
+//
+// The compact transport in front of the sharded scheduler — the HTTP/JSON
+// front door's fast sibling. Where HTTP pays a header parse plus a
+// recursive-descent JSON parse per request, a wire frame is one fixed
+// 12-byte header plus varint-coded fields, checksummed with the same
+// CRC-32C the WAL uses, so the hot path is a length check, a crc32, and a
+// handful of varint decodes.
+//
+// Frame grammar (all integers little-endian; see storage/coding.h):
+//
+//   frame   := u32 payload_len | u32 crc32c(payload) | payload
+//   payload := header body
+//   header  := u8 op | u8 flags | u16 reserved | u64 request_id
+//
+// `request_id` is chosen by the client and echoed on the response frame,
+// which is what makes pipelining safe: a client may keep many requests in
+// flight on one connection and match responses by id regardless of
+// completion order (the server answers SUBMITs as their batches commit,
+// not in arrival order).
+//
+// Handshake: the first frame on a connection must be HELLO carrying the
+// protocol magic and version; the server answers HELLO_OK or a typed
+// ERROR frame (code 505) and closes. Every later frame is op-dispatched.
+// A SUBMIT frame batches many transactions (each a batch of read/write
+// ops over ascending objects — the front door's deadlock-free submission
+// order), so one syscall and one CRC cover an arbitrarily large batch.
+//
+// Error frames carry the HTTP-equivalent status code (400/404/429/500/503
+// /505) plus the Retry-After seconds for 429/503, mapping the admission
+// semantics 1:1 onto the binary transport. kFlagCloseAfter on any frame
+// means the sender closes the connection after it.
+//
+// Robustness contract (FrameParser): oversized, short (payload smaller
+// than the header), zero-length, and CRC-mismatched frames are *typed*
+// parse errors, never UB — the connection answers with an ERROR frame and
+// closes. Unknown ops survive the parser (forward compatibility) and are
+// rejected one layer up.
+
+#ifndef DECLSCHED_NET_WIRE_WIRE_CODEC_H_
+#define DECLSCHED_NET_WIRE_WIRE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace declsched::net::wire {
+
+/// "DSWP" little-endian — first four bytes of every HELLO body.
+constexpr uint32_t kWireMagic = 0x50575344u;
+constexpr uint16_t kWireVersion = 1;
+
+/// Fixed payload header: op(1) + flags(1) + reserved(2) + request_id(8).
+constexpr size_t kFrameHeaderBytes = 12;
+/// Wire prefix before the payload: payload_len(4) + crc32c(4).
+constexpr size_t kFramePrefixBytes = 8;
+
+enum class WireOp : uint8_t {
+  kHello = 1,
+  kHelloOk = 2,
+  kSubmit = 3,
+  kSubmitOk = 4,
+  kStats = 5,
+  kStatsOk = 6,
+  kExplain = 7,
+  kExplainOk = 8,
+  kFinish = 9,
+  kFinishOk = 10,
+  kError = 15,
+};
+
+/// The sender closes the connection after this frame.
+constexpr uint8_t kFlagCloseAfter = 0x1;
+
+const char* WireOpName(WireOp op);
+bool IsKnownWireOp(uint8_t op);
+
+struct WireFrame {
+  WireOp op = WireOp::kError;
+  uint8_t flags = 0;
+  uint64_t request_id = 0;
+  std::string body;
+};
+
+/// One operation of a wire transaction. `write` false = read.
+struct WireOpEntry {
+  bool write = true;
+  int64_t object = 0;
+};
+
+struct WireTxn {
+  std::vector<WireOpEntry> ops;
+};
+
+/// SUBMIT body: one tenant, many transactions per frame.
+struct WireSubmit {
+  int64_t tenant = 0;
+  std::vector<WireTxn> txns;
+};
+
+/// SUBMIT_OK body: the commit acknowledgement counters (the same numbers
+/// the HTTP submit response reports).
+struct WireSubmitResult {
+  int64_t txns = 0;
+  int64_t statements = 0;
+  int64_t dispatched = 0;
+  int64_t latency_us = 0;
+};
+
+/// ERROR body: HTTP-equivalent status code + advisory Retry-After.
+struct WireError {
+  uint16_t code = 500;
+  uint16_t retry_after_seconds = 0;
+  std::string message;
+};
+
+// --- frame encoding -------------------------------------------------------
+
+/// Appends one complete frame (prefix + header + body) to `out`.
+void AppendFrame(std::string* out, WireOp op, uint8_t flags,
+                 uint64_t request_id, std::string_view body);
+std::string EncodeFrame(const WireFrame& frame);
+
+// --- body encoding / decoding --------------------------------------------
+// Decoders are bounds-checked: truncated or trailing-garbage bodies return
+// InvalidArgument, never read past the buffer.
+
+std::string EncodeHelloBody(uint32_t magic = kWireMagic,
+                            uint16_t version = kWireVersion);
+Status DecodeHelloBody(std::string_view body, uint32_t* magic,
+                       uint16_t* version);
+std::string EncodeHelloOkBody(uint16_t version = kWireVersion);
+
+std::string EncodeSubmitBody(const WireSubmit& submit);
+Status DecodeSubmitBody(std::string_view body, WireSubmit* out);
+
+std::string EncodeSubmitOkBody(const WireSubmitResult& result);
+Status DecodeSubmitOkBody(std::string_view body, WireSubmitResult* out);
+
+std::string EncodeErrorBody(const WireError& error);
+Status DecodeErrorBody(std::string_view body, WireError* out);
+
+/// EXPLAIN request body: the protocol name. STATS_OK / EXPLAIN_OK bodies
+/// are the raw UTF-8 text (JSON for stats, plan text for explain) with no
+/// further framing — the frame length already bounds them.
+std::string EncodeNameBody(std::string_view name);
+Status DecodeNameBody(std::string_view body, std::string* out);
+
+// --- incremental frame parser --------------------------------------------
+
+/// Feed() bytes as they arrive (any fragmentation), pull complete frames
+/// with Next() in a loop. kError is terminal for the connection: answer
+/// with an ERROR frame built from error_code()/error_message() and close.
+class FrameParser {
+ public:
+  struct Limits {
+    /// Whole-frame cap (payload length). Oversized frames error before any
+    /// allocation proportional to the claimed size.
+    size_t max_frame_bytes = 1 << 20;
+  };
+
+  enum class Outcome { kFrame, kNeedMore, kError };
+
+  /// Typed parse failures — the satellite robustness contract.
+  enum class Error {
+    kNone = 0,
+    kOversized,     ///< payload_len > max_frame_bytes
+    kShortPayload,  ///< payload_len < header size (includes zero-length)
+    kBadCrc,        ///< checksum mismatch
+  };
+
+  FrameParser() = default;
+  explicit FrameParser(Limits limits) : limits_(limits) {}
+
+  void Feed(std::string_view data) { buffer_.append(data); }
+  Outcome Next(WireFrame* out);
+
+  Error error() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Outcome Fail(Error error, std::string message);
+
+  Limits limits_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already decoded
+  Error error_ = Error::kNone;
+  std::string error_message_;
+};
+
+}  // namespace declsched::net::wire
+
+#endif  // DECLSCHED_NET_WIRE_WIRE_CODEC_H_

@@ -42,6 +42,9 @@ class TestClient {
   TestClient& operator=(const TestClient&) = delete;
 
   bool connected() const { return connected_; }
+  /// Raw socket, for tests that speak something other than HTTP on it
+  /// (the wire-protocol client wraps this).
+  int fd() const { return fd_; }
 
   /// Sends raw bytes on the connection.
   void SendRaw(const std::string& wire) {

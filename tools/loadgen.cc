@@ -1,13 +1,17 @@
-// loadgen: standalone HTTP load generator for the front door.
+// loadgen: standalone load generator for the front door, speaking either
+// transport.
 //
 //   ./loadgen --port=8080 --connections=128 --duration-ms=5000
 //   ./loadgen --port=8080 --rps=2000 --connections=64 --json
+//   ./loadgen --port=8081 --transport=binary --connections=1000
+//             --pipeline=4 --threads=2 --settle-ms=500
 //
-// Closed loop by default (every connection keeps one request in flight);
-// pass --rps=N for an open-loop fixed-rate schedule. Prints a human
-// summary, or one JSON row with --json (the same shape the bench emits).
-// Exits nonzero when no connection could be established or every request
-// failed.
+// Closed loop by default (every connection keeps one request — or, on
+// binary, --pipeline requests — in flight); pass --rps=N for an open-loop
+// fixed-rate schedule. --threads splits the connections across driver
+// threads. Prints a human summary, or one JSON row with --json (the same
+// shape the bench emits). Exits nonzero when no connection could be
+// established or every request failed.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 using declsched::Result;
 using declsched::net::LoadgenOptions;
 using declsched::net::LoadgenResult;
+using declsched::net::LoadTransport;
 using declsched::net::RunLoadgen;
 
 namespace {
@@ -52,11 +57,30 @@ int main(int argc, char** argv) {
     options.num_objects = FlagValue(argv[i], "--objects", options.num_objects);
     options.seed = static_cast<uint64_t>(
         FlagValue(argv[i], "--seed", static_cast<int64_t>(options.seed)));
+    options.threads = static_cast<int>(
+        FlagValue(argv[i], "--threads", options.threads));
+    options.pipeline = static_cast<int>(
+        FlagValue(argv[i], "--pipeline", options.pipeline));
+    options.connect_settle_ms =
+        FlagValue(argv[i], "--settle-ms", options.connect_settle_ms);
     if (std::strncmp(argv[i], "--host=", 7) == 0) options.host = argv[i] + 7;
+    if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      const char* transport = argv[i] + 12;
+      if (std::strcmp(transport, "binary") == 0) {
+        options.transport = LoadTransport::kBinary;
+      } else if (std::strcmp(transport, "http") == 0) {
+        options.transport = LoadTransport::kHttp;
+      } else {
+        std::fprintf(stderr, "--transport must be http or binary\n");
+        return 2;
+      }
+    }
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
-          "usage: %s --port=P [--host=H] [--connections=N] [--duration-ms=N]\n"
+          "usage: %s --port=P [--host=H] [--transport=http|binary]\n"
+          "          [--connections=N] [--threads=N] [--pipeline=N]\n"
+          "          [--duration-ms=N] [--settle-ms=N]\n"
           "          [--rps=N (0 = closed loop)] [--tenant=N] [--txns=N]\n"
           "          [--ops=N] [--objects=N] [--seed=N] [--json]\n",
           argv[0]);
